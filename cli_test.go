@@ -1,0 +1,79 @@
+package rocksalt_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline exercises the tool chain end to end: generate a
+// compliant binary, generate the DFA table bundle, verify the binary with
+// both grammar-compiled and table-loaded checkers, and confirm the unsafe
+// corpus is rejected — all through the real executables.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binaries")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+
+	for _, tool := range []string{"rocksalt", "naclgen", "dfagen"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	img := filepath.Join(dir, "img.bin")
+	if out, err := exec.Command(bin("naclgen"), "-n", "300", "-o", img).CombinedOutput(); err != nil {
+		t.Fatalf("naclgen: %v\n%s", err, out)
+	}
+
+	tables := filepath.Join(dir, "tables.bin")
+	if out, err := exec.Command(bin("dfagen"), "-o", tables).CombinedOutput(); err != nil {
+		t.Fatalf("dfagen: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin("rocksalt"), img).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "SAFE") {
+		t.Fatalf("rocksalt (grammar): %v\n%s", err, out)
+	}
+	out, err = exec.Command(bin("rocksalt"), "-tables", tables, img).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "SAFE") {
+		t.Fatalf("rocksalt (tables): %v\n%s", err, out)
+	}
+
+	// The unsafe corpus must be rejected with exit status 1.
+	unsafeDir := filepath.Join(dir, "unsafe")
+	if out, err := exec.Command(bin("naclgen"), "-unsafe", unsafeDir).CombinedOutput(); err != nil {
+		t.Fatalf("naclgen -unsafe: %v\n%s", err, out)
+	}
+	entries, err := os.ReadDir(unsafeDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("unsafe corpus missing: %v", err)
+	}
+	for _, e := range entries {
+		cmd := exec.Command(bin("rocksalt"), "-q", filepath.Join(unsafeDir, e.Name()))
+		err := cmd.Run()
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Errorf("rocksalt on %s: want exit 1, got %v", e.Name(), err)
+		}
+	}
+
+	// A truncated image (not bundle aligned in a bad way): flip a byte of
+	// the compliant image's first instruction and require rejection.
+	data, err := os.ReadFile(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 0xc3
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(bin("rocksalt"), "-q", bad).Run(); err == nil {
+		t.Error("tampered image must be rejected")
+	}
+}

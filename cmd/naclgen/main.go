@@ -1,0 +1,49 @@
+// Command naclgen produces test binaries for the checkers: random
+// NaCl-compliant images (the stand-in for Csmith + NaCl-GCC output) and
+// the hand-crafted unsafe corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rocksalt/internal/nacl"
+)
+
+func main() {
+	n := flag.Int("n", 200, "approximate instruction count for random images")
+	seed := flag.Int64("seed", 1, "random seed")
+	unsafeDir := flag.String("unsafe", "", "write the unsafe corpus into this directory")
+	out := flag.String("o", "image.bin", "output file for the random image")
+	flag.Parse()
+
+	if *unsafeDir != "" {
+		if err := os.MkdirAll(*unsafeDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "naclgen:", err)
+			os.Exit(1)
+		}
+		for name, img := range nacl.UnsafeCorpus() {
+			path := filepath.Join(*unsafeDir, name+".bin")
+			if err := os.WriteFile(path, img, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "naclgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(img))
+		}
+		return
+	}
+
+	gen := nacl.NewGenerator(*seed)
+	img, err := gen.Random(*n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "naclgen:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, img, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "naclgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d bytes (~%d instructions), NaCl-compliant\n", *out, len(img), *n)
+}

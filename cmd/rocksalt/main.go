@@ -1,0 +1,77 @@
+// Command rocksalt verifies a flat x86 code image against the NaCl
+// sandbox policy using the DFA-driven RockSalt checker.
+//
+// Usage:
+//
+//	rocksalt [-entries 0x10000,0x10020] file.bin
+//
+// The exit status is 0 when the image is safe, 1 when it is rejected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rocksalt/internal/core"
+)
+
+func main() {
+	entries := flag.String("entries", "", "comma-separated out-of-image entry points (hex) direct jumps may target")
+	quiet := flag.Bool("q", false, "suppress output; use the exit status")
+	tables := flag.String("tables", "", "load pre-generated DFA tables (from dfagen -o) instead of compiling grammars")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rocksalt [-entries addr,addr] [-q] file.bin")
+		os.Exit(2)
+	}
+	code, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocksalt:", err)
+		os.Exit(2)
+	}
+
+	var checker *core.Checker
+	if *tables != "" {
+		f, ferr := os.Open(*tables)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", ferr)
+			os.Exit(2)
+		}
+		checker, err = core.NewCheckerFromTables(f)
+		f.Close()
+	} else {
+		checker, err = core.NewChecker()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocksalt:", err)
+		os.Exit(2)
+	}
+	if *entries != "" {
+		checker.Entries = map[uint32]bool{}
+		for _, e := range strings.Split(*entries, ",") {
+			v, err := strconv.ParseUint(strings.TrimPrefix(strings.TrimSpace(e), "0x"), 16, 32)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rocksalt: bad entry %q: %v\n", e, err)
+				os.Exit(2)
+			}
+			checker.Entries[uint32(v)] = true
+		}
+	}
+	start := time.Now()
+	ok, verr := checker.VerifyReport(code)
+	elapsed := time.Since(start)
+	if !*quiet {
+		if ok {
+			fmt.Printf("%s: SAFE (%d bytes checked in %v)\n", flag.Arg(0), len(code), elapsed)
+		} else {
+			fmt.Printf("%s: REJECTED: %v\n", flag.Arg(0), verr)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,11 @@
+// Package rocksalt is a from-scratch Go reproduction of "RockSalt:
+// Better, Faster, Stronger SFI for the x86" (Morrisett, Tan, Tassarotti,
+// Tristan, Gan; PLDI 2012): an executable model of 32-bit x86 built from
+// a grammar DSL and an RTL core language, and a DFA-driven verifier for
+// the Native Client sandbox policy, together with the baselines and
+// harnesses that regenerate the paper's evaluation.
+//
+// The root package holds only documentation and the benchmark suite; the
+// implementation lives under internal/ (see DESIGN.md for the map) and
+// the executables under cmd/ and examples/.
+package rocksalt

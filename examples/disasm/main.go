@@ -1,0 +1,57 @@
+// Disasm: use the grammar-generated decoder as a standalone linear
+// disassembler. Bytes come from the command line (hex) or a built-in
+// sample.
+//
+//	go run ./examples/disasm 31c0 b90a000000 01c8 e2fc c3
+//	go run ./examples/disasm
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rocksalt/internal/x86/decode"
+)
+
+func main() {
+	var code []byte
+	if len(os.Args) > 1 {
+		hexStr := strings.Join(os.Args[1:], "")
+		hexStr = strings.NewReplacer(" ", "", "0x", "", ",", "").Replace(hexStr)
+		var err error
+		code, err = hex.DecodeString(hexStr)
+		if err != nil {
+			log.Fatalf("disasm: bad hex: %v", err)
+		}
+	} else {
+		// A function prologue, some work, and an epilogue.
+		code = []byte{
+			0x55,       // push ebp
+			0x89, 0xe5, // mov ebp, esp
+			0x8b, 0x45, 0x08, // mov eax, [ebp+8]
+			0x8b, 0x4d, 0x0c, // mov ecx, [ebp+12]
+			0x0f, 0xaf, 0xc1, // imul eax, ecx
+			0x83, 0xc0, 0x2a, // add eax, 42
+			0x66, 0x01, 0xc8, // add ax, cx
+			0xf3, 0xa4, // rep movsb
+			0x0f, 0x94, 0xc2, // sete dl
+			0x83, 0xe0, 0xe0, // and eax, -32 (the NaCl mask)
+			0xff, 0xe0, // jmp eax
+			0xc9, // leave
+			0xc3, // ret
+		}
+	}
+
+	dec := decode.NewDecoder()
+	for _, e := range dec.DecodeAll(code) {
+		bytes := fmt.Sprintf("% x", code[e.Off:e.Off+e.Len])
+		if e.Err != nil {
+			fmt.Printf("%04x: %-24s (undecodable byte)\n", e.Off, bytes)
+			continue
+		}
+		fmt.Printf("%04x: %-24s %v\n", e.Off, bytes, e.Inst)
+	}
+}

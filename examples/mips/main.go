@@ -1,0 +1,65 @@
+// MIPS: the architecture-independence demonstration — the same grammar
+// and RTL DSLs that model the x86 drive a MIPS32 model (the paper: "one
+// of the undergraduate co-authors constructed a model of the MIPS
+// architecture using our DSLs in just a few days").
+//
+//	go run ./examples/mips
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rocksalt/internal/mips"
+)
+
+func main() {
+	// A small program: sum the words of an array, then store the result.
+	//   $t0 ($8)  = array pointer
+	//   $t1 ($9)  = count
+	//   $t2 ($10) = accumulator
+	prog := []mips.Inst{
+		{Op: mips.ADDIU, RS: 0, RT: 8, Imm: 0x100}, // t0 = &array
+		{Op: mips.ADDIU, RS: 0, RT: 9, Imm: 5},     // t1 = 5
+		{Op: mips.ADDIU, RS: 0, RT: 10, Imm: 0},    // t2 = 0
+		// loop:
+		{Op: mips.LW, RS: 8, RT: 11, Imm: 0},        // t3 = *t0
+		{Op: mips.ADDU, RS: 10, RT: 11, RD: 10},     // t2 += t3
+		{Op: mips.ADDIU, RS: 8, RT: 8, Imm: 4},      // t0 += 4
+		{Op: mips.ADDIU, RS: 9, RT: 9, Imm: 0xffff}, // t1 -= 1
+		{Op: mips.BNE, RS: 9, RT: 0, Imm: 0xfffb},   // bne t1, $0, loop
+		{Op: mips.SW, RS: 0, RT: 10, Imm: 0x200},    // result = t2
+		{Op: mips.JR, RS: 0},                        // halt convention
+	}
+
+	st := mips.NewState()
+	base := uint32(0x1000)
+	fmt.Println("program (assembled and re-decoded through the grammar):")
+	for i, in := range prog {
+		word := mips.Assemble(in)
+		st.StoreWord(base+uint32(i*4), word)
+		back, err := mips.Decode([]byte{byte(word >> 24), byte(word >> 16), byte(word >> 8), byte(word)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %08x  %08x  %v\n", base+uint32(i*4), word, back)
+	}
+
+	// Array data (little-endian data memory, like the RTL byte ops).
+	for i, v := range []uint32{10, 20, 30, 40, 2} {
+		addr := uint32(0x100 + i*4)
+		st.Mem[addr] = byte(v)
+		st.Mem[addr+1] = byte(v >> 8)
+		st.Mem[addr+2] = byte(v >> 16)
+		st.Mem[addr+3] = byte(v >> 24)
+	}
+
+	st.PC = base
+	steps, err := st.Run(1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result := uint32(st.Mem[0x200]) | uint32(st.Mem[0x201])<<8 |
+		uint32(st.Mem[0x202])<<16 | uint32(st.Mem[0x203])<<24
+	fmt.Printf("\nexecuted %d instructions; sum = %d (want 102)\n", steps, result)
+}

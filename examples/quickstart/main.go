@@ -1,0 +1,69 @@
+// Quickstart: verify a NaCl-compliant code image with the RockSalt
+// checker, then tamper with it and watch the checker reject it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/x86"
+)
+
+func main() {
+	// Build a tiny sandboxed program with the NaCl toolchain substitute:
+	// some arithmetic, a computed jump through a masked register, and
+	// bundle padding — the shape NaCl's compiler emits.
+	b := nacl.NewBuilder()
+	b.Label("start")
+	b.Inst(x86.Inst{Op: x86.MOV, W: true,
+		Args: []x86.Operand{x86.RegOp{Reg: x86.EAX}, x86.Imm{Val: 7}}})
+	b.Inst(x86.Inst{Op: x86.ADD, W: true,
+		Args: []x86.Operand{x86.RegOp{Reg: x86.EAX}, x86.Imm{Val: 35}}})
+	b.Inst(x86.Inst{Op: x86.MOV, W: true,
+		Args: []x86.Operand{x86.RegOp{Reg: x86.ECX}, x86.Imm{Val: 32}}})
+	b.MaskedJump(x86.ECX) // computed jump: AND ecx,-32; JMP ecx
+	b.AlignBundle()
+	b.Label("landing")
+	b.Inst(x86.Inst{Op: x86.NOP, W: true})
+	img, err := b.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	checker, err := core.NewChecker()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("image: %d bytes (%d bundles)\n", len(img), len(img)/core.BundleSize)
+	ok, verr := checker.VerifyReport(img)
+	fmt.Printf("verify(compliant image) = %v\n", ok)
+	if !ok {
+		log.Fatal(verr)
+	}
+
+	// Tamper 1: strip the masking AND, leaving a bare indirect jump.
+	tampered := append([]byte{}, img...)
+	for i := 0; i+4 < len(tampered); i++ {
+		if tampered[i] == 0x83 && tampered[i+3] == 0xff {
+			copy(tampered[i:], tampered[i+3:]) // overwrite the AND with the JMP
+			tampered[i+2] = 0x90
+			tampered[i+3] = 0x90
+			tampered[i+4] = 0x90
+			break
+		}
+	}
+	ok, verr = checker.VerifyReport(tampered)
+	fmt.Printf("verify(mask stripped)   = %v (%v)\n", ok, verr)
+
+	// Tamper 2: hide a syscall in the padding.
+	tampered = append([]byte{}, img...)
+	tampered[len(tampered)-2] = 0xcd // int 0x80
+	tampered[len(tampered)-1] = 0x80
+	ok, verr = checker.VerifyReport(tampered)
+	fmt.Printf("verify(hidden int 0x80) = %v (%v)\n", ok, verr)
+}

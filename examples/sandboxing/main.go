@@ -1,0 +1,139 @@
+// Sandboxing: the full NaCl story end to end. A guest program is built
+// with the sandboxing toolchain, verified by RockSalt, loaded into a
+// segment-isolated machine, and executed in the x86 model; the example
+// then shows that the run never touched memory outside its data segment
+// and that the attack variants are stopped — some statically by the
+// checker, the rest dynamically by the segments the checker's invariants
+// protect.
+//
+//	go run ./examples/sandboxing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/sim"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/machine"
+)
+
+const (
+	codeBase = 0x10000
+	dataBase = 0x100000
+	dataLim  = 0xffff
+)
+
+func buildGuest() []byte {
+	b := nacl.NewBuilder()
+	// Bundle 0: compute into the data segment. The guest fills
+	// data[0..63] with a counter pattern, then jumps to bundle 1 through
+	// a masked register.
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{
+		x86.RegOp{Reg: x86.EDI}, x86.Imm{Val: 0}}})
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{
+		x86.RegOp{Reg: x86.ECX}, x86.Imm{Val: 64}}})
+	b.Inst(x86.Inst{Op: x86.MOV, W: false, Args: []x86.Operand{
+		x86.RegOp{Reg: x86.EAX}, x86.Imm{Val: 0xab}}})
+	b.Inst(x86.Inst{Op: x86.CLD})
+	b.Inst(x86.Inst{Op: x86.STOS, W: false, Prefix: x86.Prefix{Rep: true}})
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{
+		x86.RegOp{Reg: x86.EDX}, x86.Imm{Val: 32}}})
+	b.MaskedJump(x86.EDX)
+	b.AlignBundle()
+	// Bundle 1: write a summary word, then spin on a harmless loop so the
+	// run ends by exhausting its step budget (NaCl guests run forever;
+	// the host decides when to stop them).
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{
+		x86.MemOp{Addr: x86.Addr{Disp: 0x100}}, x86.Imm{Val: 0xfeedface}}})
+	b.Label("spin")
+	b.Jmp("spin")
+	img, err := b.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return img
+}
+
+func loadGuest(img []byte) *machine.State {
+	st := machine.New()
+	for _, s := range []x86.SegReg{x86.ES, x86.SS, x86.DS, x86.FS, x86.GS} {
+		st.SegBase[s] = dataBase
+		st.SegLimit[s] = dataLim
+	}
+	st.SegBase[x86.CS] = codeBase
+	st.SegLimit[x86.CS] = uint32(len(img) - 1)
+	st.Mem.WriteBytes(codeBase, img)
+	st.Regs[x86.ESP] = 0x8000
+	return st
+}
+
+func main() {
+	checker, err := core.NewChecker()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	img := buildGuest()
+	fmt.Printf("guest image: %d bytes\n", len(img))
+	if ok, verr := checker.VerifyReport(img); !ok {
+		log.Fatalf("checker rejected the guest: %v", verr)
+	}
+	fmt.Println("checker: SAFE — loading into the sandbox")
+
+	st := loadGuest(img)
+	s := sim.New(st)
+	steps, runErr := s.Run(500)
+	fmt.Printf("executed %d instructions (stop reason: %v)\n", steps, runErr)
+
+	fmt.Printf("data[0..7]  = % x\n", st.Mem.ReadBytes(dataBase, 8))
+	fmt.Printf("data[0x100] = % x\n", st.Mem.ReadBytes(dataBase+0x100, 4))
+
+	// Confinement evidence: nothing below/above the data segment or
+	// around the code image changed.
+	escaped := false
+	for a := uint32(dataBase - 0x1000); a < dataBase; a++ {
+		if st.Mem.Load(a) != 0 {
+			escaped = true
+		}
+	}
+	for a := uint32(dataBase + dataLim + 1); a < dataBase+dataLim+0x1000; a++ {
+		if st.Mem.Load(a) != 0 {
+			escaped = true
+		}
+	}
+	fmt.Printf("writes escaped the data segment: %v\n", escaped)
+
+	// Attack 1 (static): patch the spin jump into a far jump out of the
+	// sandbox — caught by the checker before it can run.
+	attack := append([]byte{}, img...)
+	for i := 0; i+4 < len(attack); i++ {
+		if attack[i] == 0xe9 { // the spin jmp rel32
+			attack[i] = 0xea // far jmp ptr16:32
+			break
+		}
+	}
+	ok, verr := checker.VerifyReport(attack)
+	fmt.Printf("attack (far jump):   verify = %v (%v)\n", ok, verr)
+
+	// Attack 2 (dynamic): a compliant guest that *tries* to write outside
+	// its segment — passes the checker (the write is a plain MOV) but the
+	// segment limit faults it at run time. Both layers together are the
+	// sandbox.
+	b := nacl.NewBuilder()
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{
+		x86.MemOp{Addr: x86.Addr{Disp: 0x20000}}, x86.Imm{Val: 0x41414141}}})
+	evil, _ := b.Finish()
+	if !checker.Verify(evil) {
+		log.Fatal("out-of-segment store should be statically legal")
+	}
+	st2 := loadGuest(evil)
+	_, err2 := sim.New(st2).Run(10)
+	fmt.Printf("attack (wild store): checker = true, runtime = %v\n", err2)
+	if st2.Mem.Load(dataBase+0x20000) != 0 {
+		log.Fatal("the wild store landed!")
+	}
+	fmt.Println("attack (wild store): memory unchanged — trapped by the segment limit")
+}

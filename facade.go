@@ -1,0 +1,98 @@
+package rocksalt
+
+// This file is the public API surface: a curated facade over the
+// implementation packages (which live under internal/, mirroring the
+// layered design in DESIGN.md). The aliases are real types — values
+// returned here interoperate with everything documented in the package
+// tree — but the supported entry points for downstream users are the
+// ones below.
+
+import (
+	"io"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/mips"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/sim"
+	"rocksalt/internal/tso"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/decode"
+	"rocksalt/internal/x86/encode"
+	"rocksalt/internal/x86/machine"
+)
+
+// ---------- The checker (the paper's contribution) ----------
+
+// Checker verifies flat x86 code images against the NaCl sandbox policy
+// using the DFA-driven RockSalt verifier.
+type Checker = core.Checker
+
+// BundleSize is the NaCl alignment quantum (32 bytes).
+const BundleSize = core.BundleSize
+
+// NewChecker compiles the policy grammars to DFA tables (memoized
+// process-wide) and returns a verifier.
+func NewChecker() (*Checker, error) { return core.NewChecker() }
+
+// NewCheckerFromTables builds a verifier from a pre-generated table
+// bundle (see cmd/dfagen -o), avoiding grammar compilation entirely.
+func NewCheckerFromTables(r io.Reader) (*Checker, error) {
+	return core.NewCheckerFromTables(r)
+}
+
+// ---------- The x86 model ----------
+
+// Inst is a decoded x86 instruction (abstract syntax).
+type Inst = x86.Inst
+
+// Decoder decodes IA-32 machine code via the grammar-derived parser.
+type Decoder = decode.Decoder
+
+// NewDecoder builds a decoder over the full instruction grammar.
+func NewDecoder() *Decoder { return decode.NewDecoder() }
+
+// Encode assembles one instruction (the decoder's right inverse on the
+// covered subset).
+func Encode(i Inst) ([]byte, error) { return encode.Encode(i) }
+
+// Machine is the concrete x86 machine state (registers, flags, segments,
+// paged memory).
+type Machine = machine.State
+
+// NewMachine returns a zeroed machine with flat 4 GiB segments.
+func NewMachine() *Machine { return machine.New() }
+
+// Simulator executes machine code through the decode → RTL → interpret
+// pipeline.
+type Simulator = sim.Simulator
+
+// NewSimulator creates a simulator over a machine state.
+func NewSimulator(st *Machine) *Simulator { return sim.New(st) }
+
+// Oracle resolves the model's non-determinism (undefined flags, RDTSC).
+type Oracle = rtl.Oracle
+
+// ---------- The sandboxing toolchain ----------
+
+// ImageBuilder assembles NaCl-compliant code images (bundle packing,
+// masked jumps, label fixups).
+type ImageBuilder = nacl.Builder
+
+// NewImageBuilder returns an empty compliant-image builder.
+func NewImageBuilder() *ImageBuilder { return nacl.NewBuilder() }
+
+// ---------- Extensions ----------
+
+// TSOSystem is the multiprocessor model with per-CPU store buffers
+// (x86-TSO).
+type TSOSystem = tso.System
+
+// NewTSOSystem creates n processors over one shared memory.
+func NewTSOSystem(n int) *TSOSystem { return tso.NewSystem(n) }
+
+// MIPSState is the bonus MIPS model built from the same DSLs.
+type MIPSState = mips.State
+
+// NewMIPSState returns a zeroed MIPS machine.
+func NewMIPSState() *MIPSState { return mips.NewState() }

@@ -1,0 +1,67 @@
+package rocksalt_test
+
+import (
+	"errors"
+	"fmt"
+
+	"rocksalt"
+	"rocksalt/internal/sim"
+	"rocksalt/internal/x86"
+)
+
+// ExampleChecker verifies a tiny compliant image and a tampered one.
+func ExampleChecker() {
+	b := rocksalt.NewImageBuilder()
+	b.Inst(rocksalt.Inst{Op: x86.MOV, W: true,
+		Args: []x86.Operand{x86.RegOp{Reg: x86.EAX}, x86.Imm{Val: 42}}})
+	b.MaskedJump(x86.ECX)
+	img, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+
+	checker, err := rocksalt.NewChecker()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("compliant:", checker.Verify(img))
+
+	img[0] = 0xc3 // overwrite the first instruction with RET
+	fmt.Println("tampered: ", checker.Verify(img))
+	// Output:
+	// compliant: true
+	// tampered:  false
+}
+
+// ExampleSimulator runs three instructions through the executable model.
+func ExampleSimulator() {
+	st := rocksalt.NewMachine()
+	code := []byte{
+		0xb8, 0x02, 0x00, 0x00, 0x00, // mov eax, 2
+		0xbb, 0x03, 0x00, 0x00, 0x00, // mov ebx, 3
+		0x0f, 0xaf, 0xc3, // imul eax, ebx
+		0xf4, // hlt
+	}
+	st.SegLimit[x86.CS] = uint32(len(code) - 1)
+	st.Mem.WriteBytes(0, code)
+
+	s := rocksalt.NewSimulator(st)
+	if _, err := s.Run(100); !errors.Is(err, sim.ErrHalt) {
+		panic(err)
+	}
+	fmt.Println("eax =", st.Regs[x86.EAX])
+	// Output:
+	// eax = 6
+}
+
+// ExampleDecoder uses the grammar-derived decoder as a disassembler.
+func ExampleDecoder() {
+	d := rocksalt.NewDecoder()
+	inst, n, err := d.Decode([]byte{0x83, 0xe0, 0xe0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d bytes: %v\n", n, inst)
+	// Output:
+	// 3 bytes: and eax, 0xffffffe0
+}

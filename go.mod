@@ -1,0 +1,3 @@
+module rocksalt
+
+go 1.22

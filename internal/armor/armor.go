@@ -1,0 +1,149 @@
+// Package armor is the reproduction of the paper's slow comparator: a
+// verifier in the style of Zhao et al.'s ARMor, which proved the sandbox
+// policy with a general-purpose program logic instead of compiled tables
+// (§1: "about 2.5 hours to check a 300 instruction program").
+//
+// Where RockSalt matches pre-compiled DFAs, this verifier re-derives
+// everything from first principles for every instruction:
+//
+//   - it parses with raw grammar derivatives over the full instruction
+//     grammar (no DFA tables, no memoized states — the grammar is
+//     re-differentiated for every single instruction);
+//   - it translates the instruction to RTL and discharges per-instruction
+//     verification conditions on the RTL term (no segment-register
+//     writes, fall-through PC update) — the "verification condition
+//     generator + abstract interpretation" step;
+//   - only then does it apply the same alignment bookkeeping.
+//
+// The accept language on well-formed inputs matches RockSalt's policy,
+// but the cost per instruction is that of symbolic machinery, which is
+// what experiment E3 measures.
+package armor
+
+import (
+	"rocksalt/internal/core"
+	"rocksalt/internal/grammar"
+	"rocksalt/internal/semanticsutil"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/decode"
+	"rocksalt/internal/x86/semantics"
+)
+
+// Verify checks the NaCl sandbox policy symbolically. It is deliberately
+// table-free; see the package comment.
+func Verify(code []byte) bool {
+	size := len(code)
+	valid := make([]bool, size)
+	target := make([]bool, size)
+	top := decode.TopGrammar()
+
+	pos := 0
+	for pos < size {
+		valid[pos] = true
+		inst, n, err := parseRaw(top, code[pos:])
+		if err != nil {
+			return false
+		}
+		switch {
+		case isMask(inst, n):
+			// Try the masked-pair rule: the next instruction must be an
+			// indirect jump or call through the same register.
+			jmp, m, err := parseRaw(top, code[pos+n:])
+			if err != nil || !isIndirectThrough(jmp, maskReg(inst)) {
+				// A lone mask is still a legal AND.
+				if !checkDataVCs(inst, uint32(pos), n) {
+					return false
+				}
+				pos += n
+				continue
+			}
+			pos += n + m
+		case core.SafeInst(inst):
+			if !checkDataVCs(inst, uint32(pos), n) {
+				return false
+			}
+			pos += n
+		case inst.Rel && (inst.Op == x86.JMP || inst.Op == x86.Jcc || inst.Op == x86.CALL) &&
+			inst.Prefix == (x86.Prefix{}):
+			t := int64(pos+n) + int64(int32(inst.Args[0].(x86.Imm).Val))
+			if t < 0 || t >= int64(size) {
+				return false
+			}
+			target[t] = true
+			pos += n
+		default:
+			return false
+		}
+	}
+	for i := 0; i < size; i++ {
+		if target[i] && !valid[i] {
+			return false
+		}
+		if i%core.BundleSize == 0 && !valid[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseRaw decodes one instruction with fresh grammar derivatives — the
+// general, expensive path (no DFA, no memoization).
+func parseRaw(top *grammar.Grammar, code []byte) (x86.Inst, int, error) {
+	v, n, err := grammar.ParseBytes(top, code, decode.MaxInstLen)
+	if err != nil {
+		return x86.Inst{}, 0, err
+	}
+	return v.(x86.Inst), n, nil
+}
+
+// isMask recognizes the 3-byte NaCl mask: AND r, 0xffffffe0 through a
+// non-ESP register.
+func isMask(i x86.Inst, n int) bool {
+	if i.Op != x86.AND || !i.W || n != 3 || i.Prefix != (x86.Prefix{}) {
+		return false
+	}
+	r, ok := i.Args[0].(x86.RegOp)
+	if !ok || r.Reg == x86.ESP {
+		return false
+	}
+	imm, ok := i.Args[1].(x86.Imm)
+	return ok && imm.Val == 0xffffffe0
+}
+
+func maskReg(i x86.Inst) x86.Reg { return i.Args[0].(x86.RegOp).Reg }
+
+// isIndirectThrough recognizes JMP/CALL through exactly register r.
+func isIndirectThrough(i x86.Inst, r x86.Reg) bool {
+	if (i.Op != x86.JMP && i.Op != x86.CALL) || i.Rel || i.Far || i.Prefix != (x86.Prefix{}) {
+		return false
+	}
+	ro, ok := i.Args[0].(x86.RegOp)
+	return ok && ro.Reg == r
+}
+
+// checkDataVCs translates the instruction to RTL and discharges the
+// paper's property (1) and (3) for NoControlFlow instructions: the RTL
+// term contains no write to a segment location, and its PC effect is
+// exactly pc+len.
+func checkDataVCs(inst x86.Inst, pc uint32, length int) bool {
+	prog, err := semantics.Translate(inst, pc, length)
+	if err != nil {
+		return false
+	}
+	if !semanticsutil.NoSegmentWrites(prog) {
+		return false
+	}
+	if semanticsutil.TrapsUnconditionally(prog) {
+		// A guaranteed fault (e.g. ENTER with an unmodeled nesting level)
+		// is a safe halt: control never leaves the instruction.
+		return true
+	}
+	switch inst.Op {
+	case x86.MOVS, x86.STOS, x86.LODS, x86.SCAS, x86.CMPS:
+		// REP forms either advance or stay on the instruction.
+		return semanticsutil.PCWritesConfined(prog, map[uint32]bool{
+			pc: true, pc + uint32(length): true,
+		})
+	}
+	return semanticsutil.FallThroughOnly(prog, pc+uint32(length))
+}

@@ -1,0 +1,143 @@
+package armor_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rocksalt/internal/armor"
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/ncval"
+)
+
+func TestArmorAcceptsCompliant(t *testing.T) {
+	gen := nacl.NewGenerator(31)
+	n := 20
+	if testing.Short() {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		img, err := gen.Random(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !armor.Verify(img) {
+			t.Fatalf("armor rejected compliant image %d", i)
+		}
+	}
+}
+
+func TestArmorRejectsUnsafe(t *testing.T) {
+	for name, img := range nacl.UnsafeCorpus() {
+		if armor.Verify(img) {
+			t.Errorf("armor accepted unsafe image %q", name)
+		}
+	}
+}
+
+func TestArmorAgreesWithRockSalt(t *testing.T) {
+	c, err := core.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := nacl.NewGenerator(37)
+	n := 10
+	if testing.Short() {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		img, err := gen.Random(15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := armor.Verify(img), c.Verify(img); got != want {
+			t.Fatalf("image %d: armor=%v rocksalt=%v", i, got, want)
+		}
+	}
+}
+
+// TestArmorIsSlow pins the cost profile the paper reports: the symbolic
+// verifier is orders of magnitude slower per instruction than the DFA
+// checker. We only assert a conservative 50x here to keep the test
+// robust; the benchmark and experiment harness measure the real ratio.
+func TestArmorIsSlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	gen := nacl.NewGenerator(41)
+	img, err := gen.Random(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if !armor.Verify(img) {
+		t.Fatal("armor rejected")
+	}
+	armorTime := time.Since(start)
+
+	start = time.Now()
+	const reps = 50
+	for i := 0; i < reps; i++ {
+		if !c.Verify(img) {
+			t.Fatal("rocksalt rejected")
+		}
+	}
+	rocksaltTime := time.Since(start) / reps
+	ratio := float64(armorTime) / float64(rocksaltTime)
+	t.Logf("armor %v vs rocksalt %v per image (ratio %.0fx)", armorTime, rocksaltTime, ratio)
+	if ratio < 50 {
+		t.Errorf("armor-style verifier only %.0fx slower; expected orders of magnitude", ratio)
+	}
+}
+
+// TestThreeWayAgreementOnMutants is the standing regression for the bugs
+// the three-way fuzzer found: all three verifiers must agree on mutated
+// compliant images (rocksalt and ncval at volume, armor spot-checked
+// because of its cost).
+func TestThreeWayAgreementOnMutants(t *testing.T) {
+	c, err := core.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := nacl.NewGenerator(55)
+	rng := rand.New(rand.NewSource(56))
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		img, err := gen.Random(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			img[rng.Intn(len(img))] = byte(rng.Intn(256))
+		}
+		a, b, ar := c.Verify(img), ncval.Validate(img), armor.Verify(img)
+		if a != b || a != ar {
+			t.Fatalf("disagreement rocksalt=%v ncval=%v armor=%v on % x", a, b, ar, img)
+		}
+	}
+	// The two concrete regressions.
+	enter := append([]byte{0xc8, 0xa0, 0x65, 0xc5}, nopFill(28)...)
+	if !c.Verify(enter) || !armor.Verify(enter) || !ncval.Validate(enter) {
+		t.Error("ENTER with nesting level must be accepted by all three")
+	}
+	repnop := append([]byte{0xf2, 0x90}, nopFill(30)...)
+	if c.Verify(repnop) || armor.Verify(repnop) || ncval.Validate(repnop) {
+		t.Error("REPNE on a non-string op must be rejected by all three")
+	}
+}
+
+func nopFill(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = 0x90
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+// Package bits implements fixed-width bit vectors with modular arithmetic.
+//
+// It plays the role of the CompCert integer library that the paper's RTL
+// interpreter is built on: every value flowing through RTL is a bit vector
+// of a statically known width, and all arithmetic is performed modulo 2^w.
+//
+// A Vec carries its width so that mixed-width operations can be rejected at
+// run time, mirroring the dependent types the Coq development uses to
+// "ensure that only bit-vectors of the appropriate size are used".
+package bits
+
+import (
+	"fmt"
+	mathbits "math/bits"
+)
+
+// MaxWidth is the largest supported bit-vector width.
+const MaxWidth = 64
+
+// Vec is a bit vector of Width bits. The value is stored in the low Width
+// bits of V; all higher bits are guaranteed to be zero (the canonical form).
+type Vec struct {
+	W int    // width in bits, 1..64
+	V uint64 // canonical: V < 2^W
+}
+
+// mask returns the bit mask with the low w bits set.
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// New constructs a w-bit vector holding v truncated to w bits.
+// It panics if w is out of range; widths are structural properties of the
+// model (like types), so a bad width is a programming error, not an input
+// error.
+func New(w int, v uint64) Vec {
+	if w < 1 || w > MaxWidth {
+		panic(fmt.Sprintf("bits: invalid width %d", w))
+	}
+	return Vec{W: w, V: v & mask(w)}
+}
+
+// FromInt64 constructs a w-bit vector from a signed integer (two's
+// complement truncation).
+func FromInt64(w int, v int64) Vec { return New(w, uint64(v)) }
+
+// Bool converts a condition to a 1-bit vector (1 for true, 0 for false).
+func Bool(b bool) Vec {
+	if b {
+		return Vec{W: 1, V: 1}
+	}
+	return Vec{W: 1, V: 0}
+}
+
+// Zero returns the w-bit zero vector.
+func Zero(w int) Vec { return New(w, 0) }
+
+// One returns the w-bit vector holding 1.
+func One(w int) Vec { return New(w, 1) }
+
+// AllOnes returns the w-bit vector with every bit set.
+func AllOnes(w int) Vec { return New(w, ^uint64(0)) }
+
+// Width returns the vector's width in bits.
+func (a Vec) Width() int { return a.W }
+
+// Uint64 returns the unsigned interpretation of the vector.
+func (a Vec) Uint64() uint64 { return a.V }
+
+// Int64 returns the signed (two's complement) interpretation.
+func (a Vec) Int64() int64 {
+	if a.W == 64 {
+		return int64(a.V)
+	}
+	sign := uint64(1) << uint(a.W-1)
+	if a.V&sign != 0 {
+		return int64(a.V | ^mask(a.W))
+	}
+	return int64(a.V)
+}
+
+// IsZero reports whether every bit is clear.
+func (a Vec) IsZero() bool { return a.V == 0 }
+
+// IsTrue reports whether the vector is a non-zero value; it is the standard
+// reading of 1-bit flags.
+func (a Vec) IsTrue() bool { return a.V != 0 }
+
+// Bit returns bit i (0 = least significant) as 0 or 1.
+func (a Vec) Bit(i int) uint64 {
+	if i < 0 || i >= a.W {
+		return 0
+	}
+	return (a.V >> uint(i)) & 1
+}
+
+// MSB returns the most significant bit as a 1-bit vector.
+func (a Vec) MSB() Vec { return Bool(a.Bit(a.W-1) == 1) }
+
+// String renders the vector as width'value in hex, e.g. "32'0xdeadbeef".
+func (a Vec) String() string { return fmt.Sprintf("%d'0x%x", a.W, a.V) }
+
+func (a Vec) check(b Vec, op string) {
+	if a.W != b.W {
+		panic(fmt.Sprintf("bits: width mismatch in %s: %d vs %d", op, a.W, b.W))
+	}
+}
+
+// Add returns a+b mod 2^w.
+func (a Vec) Add(b Vec) Vec { a.check(b, "add"); return New(a.W, a.V+b.V) }
+
+// Sub returns a-b mod 2^w.
+func (a Vec) Sub(b Vec) Vec { a.check(b, "sub"); return New(a.W, a.V-b.V) }
+
+// Neg returns -a mod 2^w.
+func (a Vec) Neg() Vec { return New(a.W, -a.V) }
+
+// Mul returns the low w bits of a*b.
+func (a Vec) Mul(b Vec) Vec { a.check(b, "mul"); return New(a.W, a.V*b.V) }
+
+// MulHighU returns the high w bits of the unsigned product a*b, for w <= 32
+// computed exactly; for w == 64 it uses 128-bit arithmetic.
+func (a Vec) MulHighU(b Vec) Vec {
+	a.check(b, "mulhu")
+	if a.W <= 32 {
+		return New(a.W, (a.V*b.V)>>uint(a.W))
+	}
+	hi, _ := mathbits.Mul64(a.V, b.V)
+	return New(a.W, hi)
+}
+
+// MulHighS returns the high w bits of the signed product a*b.
+func (a Vec) MulHighS(b Vec) Vec {
+	a.check(b, "mulhs")
+	if a.W <= 32 {
+		p := a.Int64() * b.Int64()
+		return New(a.W, uint64(p)>>uint(a.W))
+	}
+	hi, lo := mathbits.Mul64(a.V, b.V)
+	// Adjust for signedness: (a_s * b_s)_hi = hi - (a<0 ? b : 0) - (b<0 ? a : 0).
+	_ = lo
+	if a.Int64() < 0 {
+		hi -= b.V
+	}
+	if b.Int64() < 0 {
+		hi -= a.V
+	}
+	return New(a.W, hi)
+}
+
+// DivU returns the unsigned quotient a/b. ok is false when b is zero
+// (the x86 semantics turns that into a #DE trap).
+func (a Vec) DivU(b Vec) (q Vec, ok bool) {
+	a.check(b, "divu")
+	if b.V == 0 {
+		return Zero(a.W), false
+	}
+	return New(a.W, a.V/b.V), true
+}
+
+// RemU returns the unsigned remainder a%b; ok is false when b is zero.
+func (a Vec) RemU(b Vec) (r Vec, ok bool) {
+	a.check(b, "remu")
+	if b.V == 0 {
+		return Zero(a.W), false
+	}
+	return New(a.W, a.V%b.V), true
+}
+
+// DivS returns the signed quotient (truncated toward zero); ok is false for
+// division by zero or the overflowing MinInt/-1 case.
+func (a Vec) DivS(b Vec) (q Vec, ok bool) {
+	a.check(b, "divs")
+	bs := b.Int64()
+	if bs == 0 {
+		return Zero(a.W), false
+	}
+	as := a.Int64()
+	if as == minSigned(a.W) && bs == -1 {
+		return Zero(a.W), false
+	}
+	return FromInt64(a.W, as/bs), true
+}
+
+// RemS returns the signed remainder; ok mirrors DivS.
+func (a Vec) RemS(b Vec) (r Vec, ok bool) {
+	a.check(b, "rems")
+	bs := b.Int64()
+	if bs == 0 {
+		return Zero(a.W), false
+	}
+	as := a.Int64()
+	if as == minSigned(a.W) && bs == -1 {
+		return Zero(a.W), true // remainder is 0 even though quotient overflows
+	}
+	return FromInt64(a.W, as%bs), true
+}
+
+func minSigned(w int) int64 {
+	return -(int64(1) << uint(w-1))
+}
+
+// And returns the bitwise conjunction.
+func (a Vec) And(b Vec) Vec { a.check(b, "and"); return Vec{a.W, a.V & b.V} }
+
+// Or returns the bitwise disjunction.
+func (a Vec) Or(b Vec) Vec { a.check(b, "or"); return Vec{a.W, a.V | b.V} }
+
+// Xor returns the bitwise exclusive or.
+func (a Vec) Xor(b Vec) Vec { a.check(b, "xor"); return Vec{a.W, a.V ^ b.V} }
+
+// Not returns the bitwise complement.
+func (a Vec) Not() Vec { return New(a.W, ^a.V) }
+
+// Shl returns a shifted left by b bits; shifts >= w yield zero.
+func (a Vec) Shl(b Vec) Vec {
+	a.check(b, "shl")
+	if b.V >= uint64(a.W) {
+		return Zero(a.W)
+	}
+	return New(a.W, a.V<<b.V)
+}
+
+// ShrU returns the logical right shift; shifts >= w yield zero.
+func (a Vec) ShrU(b Vec) Vec {
+	a.check(b, "shru")
+	if b.V >= uint64(a.W) {
+		return Zero(a.W)
+	}
+	return Vec{a.W, a.V >> b.V}
+}
+
+// ShrS returns the arithmetic right shift; shifts >= w replicate the sign.
+func (a Vec) ShrS(b Vec) Vec {
+	a.check(b, "shrs")
+	s := b.V
+	if s >= uint64(a.W) {
+		s = uint64(a.W - 1)
+	}
+	return FromInt64(a.W, a.Int64()>>s)
+}
+
+// Rol rotates left by b mod w bits.
+func (a Vec) Rol(b Vec) Vec {
+	a.check(b, "rol")
+	s := b.V % uint64(a.W)
+	if s == 0 {
+		return a
+	}
+	return New(a.W, a.V<<s|a.V>>(uint64(a.W)-s))
+}
+
+// Ror rotates right by b mod w bits.
+func (a Vec) Ror(b Vec) Vec {
+	a.check(b, "ror")
+	s := b.V % uint64(a.W)
+	if s == 0 {
+		return a
+	}
+	return New(a.W, a.V>>s|a.V<<(uint64(a.W)-s))
+}
+
+// Eq compares for equality, returning a 1-bit vector.
+func (a Vec) Eq(b Vec) Vec { a.check(b, "eq"); return Bool(a.V == b.V) }
+
+// LtU is the unsigned less-than comparison as a 1-bit vector.
+func (a Vec) LtU(b Vec) Vec { a.check(b, "ltu"); return Bool(a.V < b.V) }
+
+// LtS is the signed less-than comparison as a 1-bit vector.
+func (a Vec) LtS(b Vec) Vec { a.check(b, "lts"); return Bool(a.Int64() < b.Int64()) }
+
+// ZeroExtend widens the vector to w bits with zero fill. It panics when w
+// is narrower than the current width; use Truncate for that.
+func (a Vec) ZeroExtend(w int) Vec {
+	if w < a.W {
+		panic(fmt.Sprintf("bits: zero-extend %d to narrower %d", a.W, w))
+	}
+	return New(w, a.V)
+}
+
+// SignExtend widens the vector to w bits replicating the sign bit.
+func (a Vec) SignExtend(w int) Vec {
+	if w < a.W {
+		panic(fmt.Sprintf("bits: sign-extend %d to narrower %d", a.W, w))
+	}
+	return FromInt64(w, a.Int64())
+}
+
+// Truncate narrows the vector to its low w bits. Widening is rejected.
+func (a Vec) Truncate(w int) Vec {
+	if w > a.W {
+		panic(fmt.Sprintf("bits: truncate %d to wider %d", a.W, w))
+	}
+	return New(w, a.V)
+}
+
+// OnesCount returns the number of set bits.
+func (a Vec) OnesCount() int { return mathbits.OnesCount64(a.V) }
+
+// ParityEven reports the x86 PF convention: even parity of the low byte.
+func (a Vec) ParityEven() bool {
+	return mathbits.OnesCount8(uint8(a.V))%2 == 0
+}
+
+// TrailingZeros returns the index of the lowest set bit, or w when zero.
+func (a Vec) TrailingZeros() int {
+	if a.V == 0 {
+		return a.W
+	}
+	return mathbits.TrailingZeros64(a.V)
+}
+
+// LeadingBitIndex returns the index of the highest set bit, or -1 when zero
+// (the BSR convention).
+func (a Vec) LeadingBitIndex() int {
+	if a.V == 0 {
+		return -1
+	}
+	return 63 - mathbits.LeadingZeros64(a.V)
+}

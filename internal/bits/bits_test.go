@@ -1,0 +1,326 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTruncates(t *testing.T) {
+	v := New(8, 0x1ff)
+	if v.Uint64() != 0xff {
+		t.Fatalf("New(8, 0x1ff) = %v, want 0xff", v)
+	}
+	if New(32, 1<<40).Uint64() != 0 {
+		t.Fatal("high bits must be cleared")
+	}
+	if New(64, ^uint64(0)).Uint64() != ^uint64(0) {
+		t.Fatal("64-bit values must round-trip")
+	}
+}
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, 0) did not panic", w)
+				}
+			}()
+			New(w, 0)
+		}()
+	}
+}
+
+func TestInt64SignInterpretation(t *testing.T) {
+	cases := []struct {
+		w    int
+		v    uint64
+		want int64
+	}{
+		{8, 0xff, -1},
+		{8, 0x7f, 127},
+		{8, 0x80, -128},
+		{32, 0xffffffff, -1},
+		{32, 0x80000000, -2147483648},
+		{1, 1, -1},
+		{1, 0, 0},
+		{64, ^uint64(0), -1},
+	}
+	for _, c := range cases {
+		if got := New(c.w, c.v).Int64(); got != c.want {
+			t.Errorf("New(%d, %#x).Int64() = %d, want %d", c.w, c.v, got, c.want)
+		}
+	}
+}
+
+func TestAddSubNegRoundTrip(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(32, a), New(32, b)
+		return x.Add(y).Sub(y) == x && x.Sub(y).Add(y) == x && x.Neg().Neg() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := New(16, a), New(16, b), New(16, c)
+		return x.Add(y) == y.Add(x) && x.Add(y).Add(z) == x.Add(y.Add(z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed-width Add did not panic")
+		}
+	}()
+	New(8, 1).Add(New(16, 1))
+}
+
+func TestMulHigh(t *testing.T) {
+	a, b := New(32, 0xffffffff), New(32, 0xffffffff)
+	if got := a.MulHighU(b).Uint64(); got != 0xfffffffe {
+		t.Fatalf("MulHighU = %#x, want 0xfffffffe", got)
+	}
+	// (-1) * (-1) = 1, high bits are 0.
+	if got := a.MulHighS(b).Uint64(); got != 0 {
+		t.Fatalf("MulHighS = %#x, want 0", got)
+	}
+	// -1 * 2 = -2 = 0xffffffff_fffffffe; high = 0xffffffff.
+	if got := a.MulHighS(New(32, 2)).Uint64(); got != 0xffffffff {
+		t.Fatalf("MulHighS(-1, 2) = %#x, want 0xffffffff", got)
+	}
+}
+
+func TestMulHighSMatchesWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		a := New(16, uint64(rng.Uint32()))
+		b := New(16, uint64(rng.Uint32()))
+		wide := a.SignExtend(32).Mul(b.SignExtend(32))
+		wantHi := wide.ShrU(New(32, 16)).Truncate(16)
+		if got := a.MulHighS(b); got != wantHi {
+			t.Fatalf("MulHighS(%v,%v) = %v, want %v", a, b, got, wantHi)
+		}
+		wideU := a.ZeroExtend(32).Mul(b.ZeroExtend(32))
+		wantHiU := wideU.ShrU(New(32, 16)).Truncate(16)
+		if got := a.MulHighU(b); got != wantHiU {
+			t.Fatalf("MulHighU(%v,%v) = %v, want %v", a, b, got, wantHiU)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	a := New(32, 10)
+	z := Zero(32)
+	if _, ok := a.DivU(z); ok {
+		t.Error("DivU by zero must fail")
+	}
+	if _, ok := a.RemU(z); ok {
+		t.Error("RemU by zero must fail")
+	}
+	if _, ok := a.DivS(z); ok {
+		t.Error("DivS by zero must fail")
+	}
+	if _, ok := a.RemS(z); ok {
+		t.Error("RemS by zero must fail")
+	}
+}
+
+func TestDivSOverflow(t *testing.T) {
+	minInt := New(32, 0x80000000)
+	neg1 := New(32, 0xffffffff)
+	if _, ok := minInt.DivS(neg1); ok {
+		t.Error("MinInt / -1 must report overflow")
+	}
+	if r, ok := minInt.RemS(neg1); !ok || !r.IsZero() {
+		t.Errorf("MinInt %% -1 = %v, %v; want 0, true", r, ok)
+	}
+}
+
+func TestDivRemIdentity(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if b == 0 {
+			return true
+		}
+		x, y := New(32, uint64(a)), New(32, uint64(b))
+		q, _ := x.DivU(y)
+		r, _ := x.RemU(y)
+		return q.Mul(y).Add(r) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivSMatchesGo(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 || (a == -2147483648 && b == -1) {
+			return true
+		}
+		x, y := FromInt64(32, int64(a)), FromInt64(32, int64(b))
+		q, ok := x.DivS(y)
+		r, ok2 := x.RemS(y)
+		return ok && ok2 && q.Int64() == int64(a/b) && r.Int64() == int64(a%b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(32, a), New(32, b)
+		deMorgan := x.And(y).Not() == x.Not().Or(y.Not())
+		xorSelf := x.Xor(x).IsZero()
+		return deMorgan && xorSelf && x.And(AllOnes(32)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	v := New(8, 0x81)
+	if got := v.Shl(New(8, 1)).Uint64(); got != 0x02 {
+		t.Errorf("0x81 << 1 = %#x, want 0x02", got)
+	}
+	if got := v.ShrU(New(8, 1)).Uint64(); got != 0x40 {
+		t.Errorf("0x81 >>u 1 = %#x, want 0x40", got)
+	}
+	if got := v.ShrS(New(8, 1)).Uint64(); got != 0xc0 {
+		t.Errorf("0x81 >>s 1 = %#x, want 0xc0", got)
+	}
+	if !v.Shl(New(8, 8)).IsZero() {
+		t.Error("overshift left must be zero")
+	}
+	if !v.ShrU(New(8, 200)).IsZero() {
+		t.Error("overshift right must be zero")
+	}
+	if got := v.ShrS(New(8, 200)).Uint64(); got != 0xff {
+		t.Errorf("arithmetic overshift of negative = %#x, want 0xff", got)
+	}
+}
+
+func TestRotates(t *testing.T) {
+	v := New(8, 0x81)
+	if got := v.Rol(New(8, 1)).Uint64(); got != 0x03 {
+		t.Errorf("rol(0x81,1) = %#x, want 0x03", got)
+	}
+	if got := v.Ror(New(8, 1)).Uint64(); got != 0xc0 {
+		t.Errorf("ror(0x81,1) = %#x, want 0xc0", got)
+	}
+	f := func(a uint64, s uint8) bool {
+		x := New(32, a)
+		sh := New(32, uint64(s))
+		return x.Rol(sh).Ror(sh) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a, b := New(8, 0xff), New(8, 1)
+	if !a.LtU(New(8, 0)).IsZero() {
+		t.Error("0xff <u 0 must be false")
+	}
+	if !b.LtU(a).IsTrue() {
+		t.Error("1 <u 0xff must be true")
+	}
+	if !a.LtS(b).IsTrue() {
+		t.Error("-1 <s 1 must be true")
+	}
+	if !a.Eq(New(8, 0xff)).IsTrue() {
+		t.Error("equal values must compare equal")
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	v := New(8, 0x80)
+	if got := v.ZeroExtend(32).Uint64(); got != 0x80 {
+		t.Errorf("zext = %#x, want 0x80", got)
+	}
+	if got := v.SignExtend(32).Uint64(); got != 0xffffff80 {
+		t.Errorf("sext = %#x, want 0xffffff80", got)
+	}
+	if got := New(32, 0x12345678).Truncate(8).Uint64(); got != 0x78 {
+		t.Errorf("trunc = %#x, want 0x78", got)
+	}
+	if v.SignExtend(8) != v {
+		t.Error("sign-extend to same width must be identity")
+	}
+}
+
+func TestExtensionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(16, 0).ZeroExtend(8) },
+		func() { New(16, 0).SignExtend(8) },
+		func() { New(8, 0).Truncate(16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("narrowing extension / widening truncate must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParity(t *testing.T) {
+	if !New(8, 0).ParityEven() {
+		t.Error("parity of 0 is even")
+	}
+	if New(8, 1).ParityEven() {
+		t.Error("parity of 1 is odd")
+	}
+	if !New(8, 3).ParityEven() {
+		t.Error("parity of 3 is even")
+	}
+	// PF looks at the low byte only.
+	if !New(32, 0x100).ParityEven() {
+		t.Error("parity must consider only the low byte")
+	}
+}
+
+func TestBitIndexing(t *testing.T) {
+	v := New(16, 0x8001)
+	if v.Bit(0) != 1 || v.Bit(15) != 1 || v.Bit(7) != 0 {
+		t.Error("Bit() wrong")
+	}
+	if v.Bit(16) != 0 || v.Bit(-1) != 0 {
+		t.Error("out-of-range Bit() must be 0")
+	}
+	if !v.MSB().IsTrue() {
+		t.Error("MSB of 0x8001 (w=16) is set")
+	}
+	if got := v.TrailingZeros(); got != 0 {
+		t.Errorf("TrailingZeros = %d, want 0", got)
+	}
+	if got := New(16, 0).TrailingZeros(); got != 16 {
+		t.Errorf("TrailingZeros(0) = %d, want 16", got)
+	}
+	if got := v.LeadingBitIndex(); got != 15 {
+		t.Errorf("LeadingBitIndex = %d, want 15", got)
+	}
+	if got := New(16, 0).LeadingBitIndex(); got != -1 {
+		t.Errorf("LeadingBitIndex(0) = %d, want -1", got)
+	}
+}
+
+func TestBoolAndString(t *testing.T) {
+	if Bool(true).Uint64() != 1 || Bool(false).Uint64() != 0 {
+		t.Error("Bool conversion wrong")
+	}
+	if s := New(32, 0xdead).String(); s != "32'0xdead" {
+		t.Errorf("String = %q", s)
+	}
+}

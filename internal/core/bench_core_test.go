@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/ncval"
+)
+
+var bigImg []byte
+
+func getBig(b *testing.B) []byte {
+	if bigImg == nil {
+		img, err := nacl.NewGenerator(3).Random(120000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bigImg = img
+	}
+	return bigImg
+}
+
+func BenchmarkVerifyBig(b *testing.B) {
+	img := getBig(b)
+	c, _ := core.NewChecker()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Verify(img) {
+			b.Fatal("rejected")
+		}
+	}
+}
+
+func BenchmarkNcvalBig(b *testing.B) {
+	img := getBig(b)
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ncval.Validate(img) {
+			b.Fatal("rejected")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/grammar"
+	"rocksalt/internal/x86/decode"
+)
+
+// TestPolicyLanguagesContainedInX86Grammar is the paper's §4.1 language-
+// containment lemma, decided completely on the automata: everything the
+// NoControlFlow and DirectJump expressions accept is a legal instruction
+// of the full x86 grammar, and everything MaskedJump accepts is a legal
+// *pair* of instructions. (Without containment, the inversion principles
+// would be vacuous: the DFAs could accept bytes the model cannot even
+// decode.)
+func TestPolicyLanguagesContainedInX86Grammar(t *testing.T) {
+	ctx := grammar.NewCtx()
+	topR := ctx.Strip(decode.TopGrammar())
+	top, err := ctx.CompileBitDFA(topR, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One instruction, then two in sequence.
+	topPair, err := ctx.CompileBitDFA(ctx.Cat(topR, topR), 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := map[string]*grammar.Grammar{
+		"NoControlFlow": core.NoControlFlowGrammar(),
+		"DirectJump":    core.DirectJumpGrammar(),
+	}
+	for name, g := range single {
+		d, err := ctx.CompileBitDFA(ctx.Strip(g), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !grammar.SubsetOfBitDFAs(d, top) {
+			t.Errorf("%s accepts a string outside the x86 grammar", name)
+		}
+	}
+	d, err := ctx.CompileBitDFA(ctx.Strip(core.MaskedJumpGrammar()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grammar.SubsetOfBitDFAs(d, topPair) {
+		t.Error("MaskedJump accepts a string that is not two legal instructions")
+	}
+
+	// Sanity on the subset decision itself: the full grammar is not a
+	// subset of the restricted policy.
+	if grammar.SubsetOfBitDFAs(top, mustBitDFA(t, ctx, core.NoControlFlowGrammar())) {
+		t.Error("subset test is degenerate")
+	}
+}
+
+func mustBitDFA(t *testing.T, ctx *grammar.Ctx, g *grammar.Grammar) *grammar.BitDFA {
+	t.Helper()
+	d, err := ctx.CompileBitDFA(ctx.Strip(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,397 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/grammar"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/ncval"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/decode"
+)
+
+func checker(t *testing.T) *core.Checker {
+	t.Helper()
+	c, err := core.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDFAStateCounts is experiment E4: the checker DFAs are tiny (the
+// paper's largest was 61 states) and need no minimization.
+func TestDFAStateCounts(t *testing.T) {
+	stats, err := core.DFAStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range stats {
+		t.Logf("%s: %d states", name, n)
+		if n > 64 {
+			t.Errorf("%s has %d states; the paper reports at most 61", name, n)
+		}
+		if n < 2 {
+			t.Errorf("%s is degenerate (%d states)", name, n)
+		}
+	}
+}
+
+func TestNopBundleAccepted(t *testing.T) {
+	c := checker(t)
+	img := make([]byte, 4*core.BundleSize)
+	for i := range img {
+		img[i] = 0x90
+	}
+	if !c.Verify(img) {
+		t.Fatal("all-nop image must verify")
+	}
+}
+
+func TestEmptyImage(t *testing.T) {
+	c := checker(t)
+	if !c.Verify(nil) {
+		t.Fatal("the empty image is vacuously safe")
+	}
+}
+
+func TestMaskedJumpForms(t *testing.T) {
+	c := checker(t)
+	for _, r := range []x86.Reg{x86.EAX, x86.ECX, x86.EDX, x86.EBX, x86.EBP, x86.ESI, x86.EDI} {
+		for _, call := range []bool{false, true} {
+			modrm := byte(0xe0)
+			if call {
+				modrm = 0xd0
+			}
+			img := []byte{0x83, 0xe0 | byte(r), core.SafeMask, 0xff, modrm | byte(r)}
+			for len(img)%core.BundleSize != 0 {
+				img = append(img, 0x90)
+			}
+			if !c.Verify(img) {
+				t.Errorf("masked jump through %v (call=%v) rejected", r, call)
+			}
+		}
+	}
+	// ESP is not maskable.
+	img := []byte{0x83, 0xe4, core.SafeMask, 0xff, 0xe4}
+	for len(img)%core.BundleSize != 0 {
+		img = append(img, 0x90)
+	}
+	if c.Verify(img) {
+		t.Error("masked jump through ESP must be rejected")
+	}
+}
+
+// TestUnsafeCorpusRejected checks every hand-crafted violation is caught
+// (half of experiment E6).
+func TestUnsafeCorpusRejected(t *testing.T) {
+	c := checker(t)
+	for name, img := range nacl.UnsafeCorpus() {
+		if c.Verify(img) {
+			t.Errorf("unsafe image %q accepted", name)
+		}
+	}
+}
+
+// TestGeneratedImagesAccepted: the NaCl toolchain substitute only emits
+// compliant code, and the checker must accept all of it.
+func TestGeneratedImagesAccepted(t *testing.T) {
+	c := checker(t)
+	gen := nacl.NewGenerator(7)
+	n := 150
+	if testing.Short() {
+		n = 20
+	}
+	for i := 0; i < n; i++ {
+		img, err := gen.Random(30 + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, verr := c.VerifyReport(img); !ok {
+			t.Fatalf("generated image %d rejected: %v", i, verr)
+		}
+	}
+}
+
+// TestCheckerAgreement is experiment E6: RockSalt and the Google-style
+// validator agree on thousands of generated programs — both on compliant
+// images and on random mutations of them.
+func TestCheckerAgreement(t *testing.T) {
+	c := checker(t)
+	gen := nacl.NewGenerator(11)
+	rng := rand.New(rand.NewSource(13))
+	images := 400
+	if testing.Short() {
+		images = 50
+	}
+	agreeAccept, agreeReject := 0, 0
+	for i := 0; i < images; i++ {
+		img, err := gen.Random(25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := c.Verify(img), ncval.Validate(img)
+		if a != b {
+			t.Fatalf("disagreement on compliant image %d: rocksalt=%v ncval=%v", i, a, b)
+		}
+		if !a {
+			t.Fatalf("compliant image %d rejected by both (generator bug)", i)
+		}
+		agreeAccept++
+		// Mutate: flip random bytes and require the verdicts to stay in
+		// sync (most mutants are rejected; some remain legal).
+		for m := 0; m < 5; m++ {
+			mut := append([]byte{}, img...)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+			}
+			a, b := c.Verify(mut), ncval.Validate(mut)
+			if a != b {
+				t.Fatalf("disagreement on mutant of image %d: rocksalt=%v ncval=%v\nimage: % x", i, a, b, mut)
+			}
+			if a {
+				agreeAccept++
+			} else {
+				agreeReject++
+			}
+		}
+	}
+	t.Logf("agreement on %d accepts and %d rejects", agreeAccept, agreeReject)
+	// The unsafe corpus must also agree.
+	for name, img := range nacl.UnsafeCorpus() {
+		if ncval.Validate(img) {
+			t.Errorf("ncval accepted unsafe image %q", name)
+		}
+	}
+}
+
+// TestMaskedJumpInversion is the §4.1 inversion principle for the
+// MaskedJump DFA: every accepted string decodes to AND r, safeMask
+// followed by an indirect JMP or CALL through the same register.
+func TestMaskedJumpInversion(t *testing.T) {
+	s := grammar.NewSampler(rand.New(rand.NewSource(5)))
+	g := core.MaskedJumpGrammar()
+	dec := decode.NewDecoder()
+	for i := 0; i < 500; i++ {
+		bs, _, ok := s.SampleBytes(g, 4)
+		if !ok {
+			t.Fatal("cannot sample masked-jump grammar")
+		}
+		mask, n, err := dec.Decode(bs)
+		if err != nil {
+			t.Fatalf("masked pair % x does not decode: %v", bs, err)
+		}
+		if mask.Op != x86.AND || !mask.W {
+			t.Fatalf("pair % x: first instruction is %v, want AND", bs, mask)
+		}
+		reg, ok := mask.Args[0].(x86.RegOp)
+		if !ok {
+			t.Fatalf("pair % x: mask destination not a register", bs)
+		}
+		imm, ok := mask.Args[1].(x86.Imm)
+		if !ok || imm.Val != 0xffffffe0 {
+			t.Fatalf("pair % x: mask immediate %v, want 0xffffffe0", bs, mask.Args[1])
+		}
+		jmp, _, err := dec.Decode(bs[n:])
+		if err != nil {
+			t.Fatalf("pair % x: jump does not decode: %v", bs, err)
+		}
+		if jmp.Op != x86.JMP && jmp.Op != x86.CALL {
+			t.Fatalf("pair % x: second instruction %v", bs, jmp)
+		}
+		if jmp.Rel || jmp.Far {
+			t.Fatalf("pair % x: jump is not register-indirect", bs)
+		}
+		jr, ok := jmp.Args[0].(x86.RegOp)
+		if !ok || jr.Reg != reg.Reg {
+			t.Fatalf("pair % x: jump through %v but mask of %v", bs, jmp.Args[0], reg)
+		}
+		if reg.Reg == x86.ESP {
+			t.Fatalf("pair % x: ESP must not be maskable", bs)
+		}
+	}
+}
+
+// TestDirectJumpInversion: strings accepted by the DirectJump DFA decode
+// to relative JMP/Jcc/CALL instructions.
+func TestDirectJumpInversion(t *testing.T) {
+	s := grammar.NewSampler(rand.New(rand.NewSource(6)))
+	g := core.DirectJumpGrammar()
+	dec := decode.NewDecoder()
+	for i := 0; i < 500; i++ {
+		bs, _, ok := s.SampleBytes(g, 4)
+		if !ok {
+			t.Fatal("cannot sample direct-jump grammar")
+		}
+		inst, n, err := dec.Decode(bs)
+		if err != nil || n != len(bs) {
+			t.Fatalf("direct jump % x: decode %v n=%d", bs, err, n)
+		}
+		switch inst.Op {
+		case x86.JMP, x86.CALL, x86.Jcc:
+		default:
+			t.Fatalf("direct jump % x decodes to %v", bs, inst)
+		}
+		if !inst.Rel {
+			t.Fatalf("direct jump % x is not PC-relative", bs)
+		}
+	}
+}
+
+// TestNoControlFlowInversion: strings accepted by the NoControlFlow DFA
+// decode to instructions satisfying the SafeInst policy predicate.
+func TestNoControlFlowInversion(t *testing.T) {
+	s := grammar.NewSampler(rand.New(rand.NewSource(8)))
+	g := core.NoControlFlowGrammar()
+	dec := decode.NewDecoder()
+	trials := 3000
+	if testing.Short() {
+		trials = 300
+	}
+	for i := 0; i < trials; i++ {
+		bs, _, ok := s.SampleBytes(g, 4)
+		if !ok {
+			t.Fatal("cannot sample NoControlFlow grammar")
+		}
+		inst, n, err := dec.Decode(bs)
+		if err != nil {
+			t.Fatalf("safe string % x does not decode: %v", bs, err)
+		}
+		if n != len(bs) {
+			t.Fatalf("safe string % x: decoder consumed %d of %d bytes", bs, n, len(bs))
+		}
+		if !core.SafeInst(inst) {
+			t.Fatalf("NoControlFlow accepted % x = %v, which violates SafeInst", bs, inst)
+		}
+	}
+}
+
+// TestPolicyGrammarsArePrefixFree: the shortest-match loop in the
+// verifier is only correct when no accepted string is a proper prefix of
+// another; check it on the compiled automata.
+func TestPolicyGrammarsArePrefixFree(t *testing.T) {
+	ctx := grammar.NewCtx()
+	for name, g := range map[string]*grammar.Grammar{
+		"MaskedJump":    core.MaskedJumpGrammar(),
+		"NoControlFlow": core.NoControlFlowGrammar(),
+		"DirectJump":    core.DirectJumpGrammar(),
+	} {
+		d, err := ctx.CompileBitDFA(ctx.Strip(g), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !d.PrefixFree() {
+			t.Errorf("%s is not prefix-free", name)
+		}
+	}
+}
+
+// TestTrampolineEntries: out-of-image direct targets are rejected unless
+// whitelisted as runtime entry points.
+func TestTrampolineEntries(t *testing.T) {
+	c := checker(t)
+	img := []byte{0xe9, 0xfb, 0xff, 0xff, 0x0f} // jmp to 0x10000000
+	for len(img)%core.BundleSize != 0 {
+		img = append(img, 0x90)
+	}
+	if c.Verify(img) {
+		t.Fatal("out-of-image jump must be rejected without entries")
+	}
+	c2 := checker(t)
+	c2.Entries = map[uint32]bool{0x10000000: true}
+	if !c2.Verify(img) {
+		t.Fatal("whitelisted trampoline target must be accepted")
+	}
+}
+
+func TestVerifyReportDiagnostics(t *testing.T) {
+	c := checker(t)
+	ok, err := c.VerifyReport(nacl.Unsafe(nacl.BareIndirectJump))
+	if ok || err == nil {
+		t.Fatal("expected diagnostic")
+	}
+}
+
+func TestAnalyzeArrays(t *testing.T) {
+	c := checker(t)
+	img := []byte{0x83, 0xe0, 0xe0, 0xff, 0xe0, 0x90}
+	for len(img)%core.BundleSize != 0 {
+		img = append(img, 0x90)
+	}
+	valid, pairJmp, ok := c.Analyze(img)
+	if !ok {
+		t.Fatal("image must verify")
+	}
+	if !valid[0] || valid[3] || !valid[5] {
+		t.Fatalf("valid array wrong: %v", valid[:8])
+	}
+	if !pairJmp[3] {
+		t.Fatal("pair jump position not marked")
+	}
+}
+
+func TestAlignedCallsOption(t *testing.T) {
+	strict := checker(t)
+	strict.AlignedCalls = true
+
+	// A misaligned direct call: accepted by default, rejected strictly.
+	b := nacl.NewBuilder()
+	b.Label("f")
+	b.Inst(x86.Inst{Op: x86.NOP, W: true})
+	b.Call("f")
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checker(t).Verify(img) {
+		t.Fatal("baseline policy must accept the misaligned call")
+	}
+	if strict.Verify(img) {
+		t.Fatal("strict policy must reject the misaligned call")
+	}
+
+	// An aligned call passes both.
+	b = nacl.NewBuilder()
+	b.Label("f")
+	b.Inst(x86.Inst{Op: x86.NOP, W: true})
+	b.CallAligned("f")
+	img, err = b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, verr := strict.VerifyReport(img); !ok {
+		t.Fatalf("aligned call rejected: %v", verr)
+	}
+
+	// Masked calls: MaskedCall aligns, a bare Raw pair does not.
+	b = nacl.NewBuilder()
+	b.MaskedCall(x86.ECX)
+	img, err = b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strict.Verify(img) {
+		t.Fatal("MaskedCall must satisfy the strict policy")
+	}
+	b = nacl.NewBuilder()
+	b.Raw([]byte{0x83, 0xe1, 0xe0, 0xff, 0xd1}) // and ecx,-32; call ecx at offset 0
+	img, err = b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Verify(img) {
+		t.Fatal("misaligned masked call must be rejected strictly")
+	}
+	// And masked *jumps* are unaffected by the option.
+	b = nacl.NewBuilder()
+	b.MaskedJump(x86.ECX)
+	img, err = b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strict.Verify(img) {
+		t.Fatal("masked jump must not require alignment")
+	}
+}

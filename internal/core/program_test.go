@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"errors"
+	"hash/adler32"
+	"testing"
+
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/sim"
+	"rocksalt/internal/x86"
+)
+
+// TestRealProgramEndToEnd is the full NaCl story on a real computation:
+// an Adler-32 checksum routine is assembled by the sandboxing toolchain,
+// accepted by the checker, executed in the x86 model against a data
+// buffer, and its result compared to Go's hash/adler32 — the analogue of
+// the paper's CompCert-suite benchmarks (AES, SHA1, ...) compiled through
+// NaCl GCC and run after validation.
+func TestRealProgramEndToEnd(t *testing.T) {
+	reg := func(r x86.Reg) x86.Operand { return x86.RegOp{Reg: r} }
+	imm := func(v uint32) x86.Operand { return x86.Imm{Val: v} }
+	esi := x86.ESI
+	memESI := x86.MemOp{Addr: x86.Addr{Base: &esi}}
+
+	b := nacl.NewBuilder()
+	// Registers on entry: ESI = buffer offset, ECX = length,
+	// EBX = a = 1, EDI = b = 0, EBP = 65521 (the Adler modulus).
+	b.Label("loop")
+	b.Inst(x86.Inst{Op: x86.MOVZX, W: true, SrcSize: 8, Args: []x86.Operand{reg(x86.EAX), memESI}})
+	b.Inst(x86.Inst{Op: x86.ADD, W: true, Args: []x86.Operand{reg(x86.EBX), reg(x86.EAX)}})
+	// a %= 65521
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.EBX)}})
+	b.Inst(x86.Inst{Op: x86.XOR, W: true, Args: []x86.Operand{reg(x86.EDX), reg(x86.EDX)}})
+	b.Inst(x86.Inst{Op: x86.DIV, W: true, Args: []x86.Operand{reg(x86.EBP)}})
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{reg(x86.EBX), reg(x86.EDX)}})
+	// b = (b + a) % 65521
+	b.Inst(x86.Inst{Op: x86.ADD, W: true, Args: []x86.Operand{reg(x86.EDI), reg(x86.EBX)}})
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.EDI)}})
+	b.Inst(x86.Inst{Op: x86.XOR, W: true, Args: []x86.Operand{reg(x86.EDX), reg(x86.EDX)}})
+	b.Inst(x86.Inst{Op: x86.DIV, W: true, Args: []x86.Operand{reg(x86.EBP)}})
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{reg(x86.EDI), reg(x86.EDX)}})
+	// Advance and loop.
+	b.Inst(x86.Inst{Op: x86.INC, W: true, Args: []x86.Operand{reg(x86.ESI)}})
+	b.Inst(x86.Inst{Op: x86.DEC, W: true, Args: []x86.Operand{reg(x86.ECX)}})
+	b.Jcc(x86.CondNE, "loop")
+	// result = b<<16 | a, stored at [0x2000].
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.EDI)}})
+	b.Inst(x86.Inst{Op: x86.SHL, W: true, Args: []x86.Operand{reg(x86.EAX), imm(16)}})
+	b.Inst(x86.Inst{Op: x86.OR, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.EBX)}})
+	b.Inst(x86.Inst{Op: x86.MOV, W: true, Args: []x86.Operand{
+		x86.MemOp{Addr: x86.Addr{Disp: 0x2000}}, reg(x86.EAX)}})
+	b.Label("spin")
+	b.Jmp("spin")
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The checker accepts it (it contains no calls, so the strict
+	// aligned-call variant accepts it too).
+	c := checker(t)
+	if ok, verr := c.VerifyReport(img); !ok {
+		t.Fatalf("adler32 guest rejected: %v", verr)
+	}
+	strict := checker(t)
+	strict.AlignedCalls = true
+	if !strict.Verify(img) {
+		t.Fatal("strict policy must accept the call-free guest")
+	}
+
+	// 2. Execute it in the model.
+	input := []byte("the quick brown fox jumps over the lazy dog, sandboxed")
+	st := sandboxState(img)
+	st.Mem.WriteBytes(dataBase+0x1000, input)
+	st.Regs[x86.ESI] = 0x1000
+	st.Regs[x86.ECX] = uint32(len(input))
+	st.Regs[x86.EBX] = 1
+	st.Regs[x86.EDI] = 0
+	st.Regs[x86.EBP] = 65521
+	s := sim.New(st)
+	if _, err := s.Run(40 * len(input)); err != nil && !errors.Is(err, sim.ErrHalt) {
+		t.Fatal(err)
+	}
+
+	// 3. Compare against the native implementation.
+	got := uint32(st.Mem.Load(dataBase+0x2000)) |
+		uint32(st.Mem.Load(dataBase+0x2001))<<8 |
+		uint32(st.Mem.Load(dataBase+0x2002))<<16 |
+		uint32(st.Mem.Load(dataBase+0x2003))<<24
+	want := adler32.Checksum(input)
+	if got != want {
+		t.Fatalf("sandboxed adler32 = %#x, native = %#x", got, want)
+	}
+
+	// 4. The soundness invariants hold over the whole run too.
+	runSoundness(t, c, img, 4, 40*len(input))
+}

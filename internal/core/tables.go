@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"rocksalt/internal/grammar"
+)
+
+// This file serializes the generated DFA tables. In the paper's
+// deployment story the tables are generated offline from the verified
+// grammars and shipped alongside the tiny trusted C checker; here
+// cmd/dfagen can emit a table bundle and NewCheckerFromTables can run
+// without touching the grammar machinery at all — the run-time trusted
+// computing base is then exactly: this loader, verifier.go, and the
+// bytes of the tables.
+
+// tableMagic identifies a serialized DFA bundle (version 1).
+const tableMagic = "RSLT1\x00"
+
+// WriteTables serializes the three policy DFAs.
+func (s *DFASet) WriteTables(w io.Writer) error {
+	if _, err := io.WriteString(w, tableMagic); err != nil {
+		return err
+	}
+	for _, d := range []*grammar.DFA{s.MaskedJump, s.NoControlFlow, s.DirectJump} {
+		if err := writeDFA(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTables deserializes a bundle written by WriteTables.
+func ReadTables(r io.Reader) (*DFASet, error) {
+	magic := make([]byte, len(tableMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("core: reading table magic: %w", err)
+	}
+	if string(magic) != tableMagic {
+		return nil, fmt.Errorf("core: not a rocksalt table bundle")
+	}
+	var out [3]*grammar.DFA
+	for i := range out {
+		d, err := readDFA(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return &DFASet{MaskedJump: out[0], NoControlFlow: out[1], DirectJump: out[2]}, nil
+}
+
+// NewCheckerFromTables builds a checker directly from serialized tables,
+// bypassing grammar compilation entirely.
+func NewCheckerFromTables(r io.Reader) (*Checker, error) {
+	set, err := ReadTables(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Checker{
+		masked: newDFA(set.MaskedJump),
+		noCF:   newDFA(set.NoControlFlow),
+		direct: newDFA(set.DirectJump),
+	}, nil
+}
+
+func writeDFA(w io.Writer, d *grammar.DFA) error {
+	n := uint32(d.NumStates())
+	if err := binary.Write(w, binary.LittleEndian, n); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(d.Start)); err != nil {
+		return err
+	}
+	status := make([]uint8, n)
+	for i := range status {
+		switch {
+		case d.Accepts[i]:
+			status[i] = 1
+		case d.Rejects[i]:
+			status[i] = 2
+		}
+	}
+	if _, err := w.Write(status); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(status)
+	buf := make([]byte, 512)
+	for _, row := range d.Table {
+		for i, v := range row {
+			binary.LittleEndian.PutUint16(buf[i*2:], v)
+		}
+		crc.Write(buf)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+func readDFA(r io.Reader) (*grammar.DFA, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n == 0 || n > 1<<16 {
+		return nil, fmt.Errorf("core: implausible DFA size %d", n)
+	}
+	var start uint16
+	if err := binary.Read(r, binary.LittleEndian, &start); err != nil {
+		return nil, err
+	}
+	if uint32(start) >= n {
+		return nil, fmt.Errorf("core: start state out of range")
+	}
+	status := make([]uint8, n)
+	if _, err := io.ReadFull(r, status); err != nil {
+		return nil, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(status)
+	d := &grammar.DFA{
+		Start:   int(start),
+		Accepts: make([]bool, n),
+		Rejects: make([]bool, n),
+		Table:   make([][256]uint16, n),
+	}
+	for i, st := range status {
+		switch st {
+		case 0:
+		case 1:
+			d.Accepts[i] = true
+		case 2:
+			d.Rejects[i] = true
+		default:
+			return nil, fmt.Errorf("core: bad state status %d", st)
+		}
+	}
+	buf := make([]byte, 512)
+	for s := range d.Table {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		crc.Write(buf)
+		for i := 0; i < 256; i++ {
+			v := binary.LittleEndian.Uint16(buf[i*2:])
+			if uint32(v) >= n {
+				return nil, fmt.Errorf("core: transition out of range")
+			}
+			d.Table[s][i] = v
+		}
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return nil, err
+	}
+	if sum != crc.Sum32() {
+		return nil, fmt.Errorf("core: table checksum mismatch")
+	}
+	return d, nil
+}

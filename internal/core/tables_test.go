@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+)
+
+func TestTableRoundTrip(t *testing.T) {
+	set, err := core.BuildDFAs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	size := buf.Len()
+	t.Logf("serialized tables: %d bytes", size)
+
+	loaded, err := core.NewCheckerFromTables(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := checker(t)
+
+	// The table-loaded checker and the grammar-compiled one must agree on
+	// a mixed corpus.
+	gen := nacl.NewGenerator(77)
+	for i := 0; i < 50; i++ {
+		img, err := gen.Random(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Verify(img) != fresh.Verify(img) {
+			t.Fatal("table-loaded checker disagrees on compliant image")
+		}
+		mut := append([]byte{}, img...)
+		mut[i%len(mut)] ^= 0xff
+		if loaded.Verify(mut) != fresh.Verify(mut) {
+			t.Fatal("table-loaded checker disagrees on mutant")
+		}
+	}
+	for name, img := range nacl.UnsafeCorpus() {
+		if loaded.Verify(img) {
+			t.Errorf("table-loaded checker accepted %q", name)
+		}
+	}
+}
+
+func TestTableCorruptionDetected(t *testing.T) {
+	set, err := core.BuildDFAs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xff
+	if _, err := core.NewCheckerFromTables(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+	// Flipped table byte (checksum).
+	bad = append([]byte{}, good...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := core.NewCheckerFromTables(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted table must be rejected")
+	}
+	// Truncation.
+	if _, err := core.NewCheckerFromTables(bytes.NewReader(good[:len(good)/3])); err == nil {
+		t.Fatal("truncated bundle must be rejected")
+	}
+}

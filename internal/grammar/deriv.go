@@ -1,0 +1,184 @@
+package grammar
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements §2.2 of the paper: Brzozowski derivatives lifted to
+// grammars with semantic actions, the null and extract functions, and the
+// derivative-based parser that the x86 decoder runs on.
+
+// Deriv computes the derivative of g with respect to one bit:
+//
+//	[[Deriv(b, g)]] = {(s, v) | (b::s, v) ∈ [[g]]}
+//
+// The semantic actions are adjusted with Maps exactly as in the paper, and
+// the smart constructors keep the result reduced.
+func Deriv(b bool, g *Grammar) *Grammar {
+	switch g.op {
+	case opAny:
+		return Map(epsG, func(Value) Value { return b })
+	case opChar:
+		if g.bit == b {
+			c := g.bit
+			return Map(epsG, func(Value) Value { return c })
+		}
+		return voidG
+	case opAlt:
+		return Alt(Deriv(b, g.l), Deriv(b, g.r))
+	case opStar:
+		inner := g.l
+		return Map(Cat(Deriv(b, inner), g), func(v Value) Value {
+			p := v.(Pair)
+			return append([]Value{p.Fst}, p.Snd.([]Value)...)
+		})
+	case opCat:
+		left := Cat(Deriv(b, g.l), g.r)
+		// When g.l is not nullable, Null(g.l) is Void and the right branch
+		// vanishes; skipping it avoids deriving g.r at all.
+		if !g.l.nullable {
+			return left
+		}
+		right := Cat(Null(g.l), Deriv(b, g.r))
+		return Alt(left, right)
+	case opMap:
+		return Map(Deriv(b, g.l), g.f)
+	default: // Eps, Void
+		return voidG
+	}
+}
+
+// Null returns a grammar equivalent to g restricted to the empty string:
+// Eps-like when g accepts ε (carrying the same values), Void otherwise.
+func Null(g *Grammar) *Grammar {
+	switch g.op {
+	case opEps:
+		return epsG
+	case opAlt:
+		return Alt(Null(g.l), Null(g.r))
+	case opCat:
+		return Cat(Null(g.l), Null(g.r))
+	case opStar:
+		return Map(epsG, func(Value) Value { return []Value(nil) })
+	case opMap:
+		return Map(Null(g.l), g.f)
+	default: // Char, Any, Void
+		return voidG
+	}
+}
+
+// Extract returns the semantic values g associates with the empty string.
+func Extract(g *Grammar) []Value {
+	if !g.nullable {
+		return nil
+	}
+	switch g.op {
+	case opEps:
+		return []Value{Unit{}}
+	case opStar:
+		return []Value{[]Value(nil)}
+	case opAlt:
+		return append(Extract(g.l), Extract(g.r)...)
+	case opCat:
+		vs1 := Extract(g.l)
+		if len(vs1) == 0 {
+			return nil
+		}
+		vs2 := Extract(g.r)
+		var out []Value
+		for _, v1 := range vs1 {
+			for _, v2 := range vs2 {
+				out = append(out, Pair{v1, v2})
+			}
+		}
+		return out
+	case opMap:
+		vs := Extract(g.l)
+		out := make([]Value, len(vs))
+		for i, v := range vs {
+			out[i] = g.f(v)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// IsVoid reports whether the grammar is the reduced Void (matches nothing).
+// Because the smart constructors propagate Void, a derivative chain that
+// can no longer match anything collapses to exactly this node.
+func (g *Grammar) IsVoid() bool { return g.op == opVoid }
+
+// DerivBits iterates Deriv over a bit string.
+func DerivBits(g *Grammar, s []bool) *Grammar {
+	for _, b := range s {
+		g = Deriv(b, g)
+		if g.op == opVoid {
+			return voidG
+		}
+	}
+	return g
+}
+
+// DerivByte iterates Deriv over the 8 bits of one byte, MSB first.
+func DerivByte(g *Grammar, b byte) *Grammar {
+	for i := 7; i >= 0; i-- {
+		g = Deriv(b>>uint(i)&1 == 1, g)
+		if g.op == opVoid {
+			return voidG
+		}
+	}
+	return g
+}
+
+// ErrNoParse is returned when the input cannot be matched by the grammar.
+var ErrNoParse = errors.New("grammar: no parse")
+
+// ErrAmbiguous is returned when a parse produces more than one semantic
+// value; the x86 grammar is proven (checked) unambiguous, so seeing this
+// signals a grammar bug, exactly the failure mode the paper describes for
+// the flipped MOV bit.
+var ErrAmbiguous = errors.New("grammar: ambiguous parse")
+
+// ParseBytes matches the shortest prefix of input accepted by g, taking one
+// byte-derivative at a time, and returns the unique semantic value together
+// with the number of bytes consumed. For a prefix-free grammar (which the
+// instruction grammar is checked to be) the shortest match is the only
+// match. maxBytes bounds the search (x86 instructions are at most 15
+// bytes); 0 means len(input).
+func ParseBytes(g *Grammar, input []byte, maxBytes int) (Value, int, error) {
+	if maxBytes <= 0 || maxBytes > len(input) {
+		maxBytes = len(input)
+	}
+	cur := g
+	for n := 0; n < maxBytes; n++ {
+		cur = DerivByte(cur, input[n])
+		if cur.op == opVoid {
+			return nil, 0, fmt.Errorf("%w: dead after %d bytes", ErrNoParse, n+1)
+		}
+		if vs := Extract(cur); len(vs) > 0 {
+			if len(vs) > 1 {
+				return nil, 0, ErrAmbiguous
+			}
+			return vs[0], n + 1, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: input exhausted", ErrNoParse)
+}
+
+// ParseBits runs the derivative parser over a whole bit string, requiring
+// the entire input to be consumed. It is the executable counterpart of the
+// denotational semantics and is compared against Denote in tests (the
+// adequacy theorem).
+func ParseBits(g *Grammar, s []bool) ([]Value, error) {
+	d := DerivBits(g, s)
+	if d.op == opVoid {
+		return nil, ErrNoParse
+	}
+	vs := Extract(d)
+	if len(vs) == 0 {
+		return nil, ErrNoParse
+	}
+	return vs, nil
+}

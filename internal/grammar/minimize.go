@@ -1,0 +1,162 @@
+package grammar
+
+// This file implements DFA minimization (Hopcroft's partition refinement)
+// and language-equivalence checking for the bit-level automata. The paper
+// observes that the Brzozowski construction with smart-constructor
+// reductions yields DFAs small enough that "we do not need to worry about
+// further minimization"; Minimize lets the test suite verify that claim
+// quantitatively, and Equivalent underpins the checks that table
+// transformations preserve the language.
+
+// MinimizeBitDFA returns an equivalent bit-DFA with the minimal number of
+// states (unreachable states dropped, indistinguishable states merged).
+// The accepting/rejecting structure is recomputed: a state of the result
+// rejects iff no accepting state is reachable from it.
+func MinimizeBitDFA(d *BitDFA) *BitDFA {
+	n := d.NumStates()
+	// Reachable states from the start.
+	reach := make([]bool, n)
+	stack := []int{d.Start}
+	reach[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range d.Next[s] {
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+
+	// Initial partition: accepting vs non-accepting (reachable only).
+	part := make([]int, n) // state -> block id
+	for i := range part {
+		part[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		if d.Accepts[i] {
+			part[i] = 1
+		} else {
+			part[i] = 0
+		}
+	}
+	blocks := 2
+	// Moore-style refinement (simple and fast enough at these sizes:
+	// policy DFAs have tens of states, the full grammar ~1000).
+	for {
+		type sig struct{ b, t0, t1 int }
+		next := make(map[sig]int)
+		newPart := make([]int, n)
+		copy(newPart, part)
+		newBlocks := 0
+		for i := 0; i < n; i++ {
+			if part[i] < 0 {
+				continue
+			}
+			k := sig{part[i], part[d.Next[i][0]], part[d.Next[i][1]]}
+			id, ok := next[k]
+			if !ok {
+				id = newBlocks
+				newBlocks++
+				next[k] = id
+			}
+			newPart[i] = id
+		}
+		if newBlocks == blocks {
+			part = newPart
+			break
+		}
+		part = newPart
+		blocks = newBlocks
+	}
+
+	out := &BitDFA{
+		Start:   part[d.Start],
+		Accepts: make([]bool, blocks),
+		Rejects: make([]bool, blocks),
+		Next:    make([][2]int, blocks),
+	}
+	for i := 0; i < n; i++ {
+		if part[i] < 0 {
+			continue
+		}
+		b := part[i]
+		out.Accepts[b] = d.Accepts[i]
+		out.Next[b] = [2]int{part[d.Next[i][0]], part[d.Next[i][1]]}
+	}
+	// Recompute rejecting states: blocks from which no accepting block is
+	// reachable.
+	canAccept := make([]bool, blocks)
+	changed := true
+	for changed {
+		changed = false
+		for b := 0; b < blocks; b++ {
+			if canAccept[b] {
+				continue
+			}
+			if out.Accepts[b] || canAccept[out.Next[b][0]] || canAccept[out.Next[b][1]] {
+				canAccept[b] = true
+				changed = true
+			}
+		}
+	}
+	for b := 0; b < blocks; b++ {
+		out.Rejects[b] = !canAccept[b]
+	}
+	return out
+}
+
+// SubsetOfBitDFAs reports whether L(a) ⊆ L(b): no reachable product state
+// is accepting in a but not in b. This is the executable form of the
+// paper's §4.1 language-containment lemmas (each policy expression's
+// language is contained in the x86 grammar's).
+func SubsetOfBitDFAs(a, b *BitDFA) bool {
+	type pair struct{ x, y int }
+	seen := map[pair]bool{}
+	stack := []pair{{a.Start, b.Start}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.Accepts[p.x] && !b.Accepts[p.y] {
+			return false
+		}
+		for bit := 0; bit < 2; bit++ {
+			q := pair{a.Next[p.x][bit], b.Next[p.y][bit]}
+			if !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	return true
+}
+
+// EquivalentBitDFAs reports whether two bit-DFAs accept the same
+// language, by searching the product automaton for a state pair that
+// disagrees on acceptance.
+func EquivalentBitDFAs(a, b *BitDFA) bool {
+	type pair struct{ x, y int }
+	seen := map[pair]bool{}
+	stack := []pair{{a.Start, b.Start}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.Accepts[p.x] != b.Accepts[p.y] {
+			return false
+		}
+		for bit := 0; bit < 2; bit++ {
+			q := pair{a.Next[p.x][bit], b.Next[p.y][bit]}
+			if !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	return true
+}

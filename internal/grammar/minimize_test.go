@@ -1,0 +1,146 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func bitAccepts(d *BitDFA, s []bool) bool {
+	st := d.Start
+	for _, b := range s {
+		i := 0
+		if b {
+			i = 1
+		}
+		st = d.Next[st][i]
+	}
+	return d.Accepts[st]
+}
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	ctx := NewCtx()
+	for trial := 0; trial < 150; trial++ {
+		g := genGrammar(rng, 3)
+		d, err := ctx.CompileBitDFA(ctx.Strip(g), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := MinimizeBitDFA(d)
+		if m.NumStates() > d.NumStates() {
+			t.Fatalf("minimization grew the DFA: %d -> %d", d.NumStates(), m.NumStates())
+		}
+		if !EquivalentBitDFAs(d, m) {
+			t.Fatalf("minimized DFA not equivalent for %s", g)
+		}
+		for k := 0; k < 30; k++ {
+			s := randString(rng, rng.Intn(10))
+			if bitAccepts(d, s) != bitAccepts(m, s) {
+				t.Fatalf("disagreement on %v for %s", s, g)
+			}
+		}
+	}
+}
+
+func TestMinimizeMergesDuplicates(t *testing.T) {
+	// Alt of the same literal twice (built without interning) must
+	// minimize to the same automaton as the single literal.
+	ctx := NewCtx()
+	one := ctx.Strip(Bits("1011"))
+	d1, err := ctx.CompileBitDFA(one, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := MinimizeBitDFA(d1)
+	// A deliberately redundant grammar with the same language.
+	red := Alt(Cat(Bits("10"), Bits("11")), Bits("1011"))
+	d2, err := ctx.CompileBitDFA(ctx.Strip(red), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := MinimizeBitDFA(d2)
+	if m1.NumStates() != m2.NumStates() {
+		t.Fatalf("same language, different minimal sizes: %d vs %d", m1.NumStates(), m2.NumStates())
+	}
+	if !EquivalentBitDFAs(m1, m2) {
+		t.Fatal("minimal DFAs for the same language must be equivalent")
+	}
+}
+
+func TestEquivalentBitDFAsDetectsDifference(t *testing.T) {
+	ctx := NewCtx()
+	a, err := ctx.CompileBitDFA(ctx.Strip(Bits("10")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.CompileBitDFA(ctx.Strip(Bits("11")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EquivalentBitDFAs(a, b) {
+		t.Fatal("different languages reported equivalent")
+	}
+	if !EquivalentBitDFAs(a, a) {
+		t.Fatal("a DFA must be equivalent to itself")
+	}
+}
+
+// TestBrzozowskiNearMinimal is the paper's §3.2 observation, verified:
+// the derivative construction with ACI normalization is already at (or
+// within a hair of) the minimal state counts, so "we do not need to
+// worry about further minimization".
+func TestBrzozowskiNearMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	ctx := NewCtx()
+	totalRaw, totalMin := 0, 0
+	for trial := 0; trial < 100; trial++ {
+		g := genGrammar(rng, 4)
+		d, err := ctx.CompileBitDFA(ctx.Strip(g), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := MinimizeBitDFA(d)
+		totalRaw += d.NumStates()
+		totalMin += m.NumStates()
+	}
+	ratio := float64(totalRaw) / float64(totalMin)
+	t.Logf("raw %d states vs minimal %d states (%.2fx)", totalRaw, totalMin, ratio)
+	if ratio > 1.5 {
+		t.Errorf("derivative DFAs are %.2fx larger than minimal; expected near-minimal", ratio)
+	}
+}
+
+func TestSubsetOfBitDFAs(t *testing.T) {
+	ctx := NewCtx()
+	small := mustBit(t, ctx, Bits("10"))
+	big := mustBit(t, ctx, Alt(Bits("10"), Bits("11")))
+	if !SubsetOfBitDFAs(small, big) {
+		t.Fatal("subset not detected")
+	}
+	if SubsetOfBitDFAs(big, small) {
+		t.Fatal("superset accepted as subset")
+	}
+	if !SubsetOfBitDFAs(big, big) {
+		t.Fatal("language is a subset of itself")
+	}
+	// Property over random star-free grammars: g ⊆ Alt(g, h) always.
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 100; trial++ {
+		g := genStarFree(rng, 3)
+		h := genStarFree(rng, 3)
+		dg := mustBit(t, ctx, g)
+		dgh := mustBit(t, ctx, Alt(g, h))
+		if !SubsetOfBitDFAs(dg, dgh) {
+			t.Fatalf("g ⊄ g|h for %s, %s", g, h)
+		}
+	}
+}
+
+func mustBit(t *testing.T, ctx *Ctx, g *Grammar) *BitDFA {
+	t.Helper()
+	d, err := ctx.CompileBitDFA(ctx.Strip(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

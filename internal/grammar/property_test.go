@@ -1,0 +1,387 @@
+package grammar
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// This file property-tests the grammar meta-theory over *random grammars*,
+// not just the hand-picked ones: a generator produces small grammar terms,
+// and each algebraic fact the implementation relies on is checked against
+// the denotational reference semantics.
+
+// genGrammar builds a random grammar of bounded depth. Maps use value
+// tagging so results stay comparable with reflect.DeepEqual.
+func genGrammar(rng *rand.Rand, depth int) *Grammar {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Eps()
+		case 1:
+			return Char(rng.Intn(2) == 1)
+		case 2:
+			return Any()
+		default:
+			return Bits(randBits(rng, 1+rng.Intn(3)))
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return Cat(genGrammar(rng, depth-1), genGrammar(rng, depth-1))
+	case 1:
+		return Alt(genGrammar(rng, depth-1), genGrammar(rng, depth-1))
+	case 2:
+		// Star of something that is usually non-nullable to keep the
+		// denotation finite per string length.
+		return Star(Cat(Char(rng.Intn(2) == 1), genGrammar(rng, depth-2)))
+	case 3:
+		tag := rng.Intn(100)
+		return Map(genGrammar(rng, depth-1), func(v Value) Value {
+			return Pair{tag, v}
+		})
+	case 4:
+		return genGrammar(rng, depth-1)
+	default:
+		return Cat(genGrammar(rng, depth-1), Alt(genGrammar(rng, depth-1), genGrammar(rng, depth-1)))
+	}
+}
+
+// genStarFree builds a random grammar without Star (for the generalized
+// derivative properties).
+func genStarFree(rng *rand.Rand, depth int) *Grammar {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Eps()
+		case 1:
+			return Char(rng.Intn(2) == 1)
+		default:
+			return Any()
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return Cat(genStarFree(rng, depth-1), genStarFree(rng, depth-1))
+	case 1:
+		return Alt(genStarFree(rng, depth-1), genStarFree(rng, depth-1))
+	default:
+		return genStarFree(rng, depth-1)
+	}
+}
+
+func randBits(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '0' + byte(rng.Intn(2))
+	}
+	return string(b)
+}
+
+func randString(rng *rand.Rand, n int) []bool {
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = rng.Intn(2) == 1
+	}
+	return s
+}
+
+// canon renders a multiset of semantic values for order-insensitive
+// comparison.
+func canon(vs []Value) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = reprValue(v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func reprValue(v Value) string {
+	// Sprintf on nested Pairs/slices/bools is stable enough for equality.
+	return sprint(v)
+}
+
+func sprint(v Value) string {
+	switch x := v.(type) {
+	case Pair:
+		return "(" + sprint(x.Fst) + "," + sprint(x.Snd) + ")"
+	case []Value:
+		s := "["
+		for _, e := range x {
+			s += sprint(e) + ";"
+		}
+		return s + "]"
+	case bool:
+		if x {
+			return "1"
+		}
+		return "0"
+	case Unit:
+		return "tt"
+	default:
+		return reflectString(v)
+	}
+}
+
+func reflectString(v Value) string {
+	return reflect.ValueOf(v).Kind().String() + ":" + sprintDefault(v)
+}
+
+func sprintDefault(v Value) string {
+	return fmtSprint(v)
+}
+
+// TestPropDerivativeCharacterization: for random g, s, bit b:
+// Denote(Deriv(b, g), s) == Denote(g, b::s), as multisets.
+func TestPropDerivativeCharacterization(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 400; trial++ {
+		g := genGrammar(rng, 3)
+		b := rng.Intn(2) == 1
+		s := randString(rng, rng.Intn(5))
+		want := Denote(g, append([]bool{b}, s...))
+		got := Denote(Deriv(b, g), s)
+		if !reflect.DeepEqual(canon(got), canon(want)) {
+			t.Fatalf("trial %d: deriv(%v) of %s on %v:\n got %v\nwant %v",
+				trial, b, g, s, canon(got), canon(want))
+		}
+	}
+}
+
+// TestPropNullCharacterization: Extract(Null(g)) == Denote(g, ε).
+func TestPropNullCharacterization(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 400; trial++ {
+		g := genGrammar(rng, 3)
+		want := Denote(g, nil)
+		got := Extract(Null(g))
+		if !reflect.DeepEqual(canon(got), canon(want)) {
+			t.Fatalf("trial %d: null of %s:\n got %v\nwant %v", trial, g, canon(got), canon(want))
+		}
+	}
+}
+
+// TestPropExtractCharacterization: Extract(g) == Denote(g, ε).
+func TestPropExtractCharacterization(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 400; trial++ {
+		g := genGrammar(rng, 3)
+		if !reflect.DeepEqual(canon(Extract(g)), canon(Denote(g, nil))) {
+			t.Fatalf("trial %d: extract of %s differs from denotation at ε", trial, g)
+		}
+	}
+}
+
+// TestPropParserAdequacyRandom: the derivative parser equals the
+// denotation on random grammars and strings (the adequacy theorem, now
+// over the generated term space).
+func TestPropParserAdequacyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 400; trial++ {
+		g := genGrammar(rng, 3)
+		s := randString(rng, rng.Intn(7))
+		want := Denote(g, s)
+		got, err := ParseBits(g, s)
+		if len(want) == 0 {
+			if err == nil {
+				t.Fatalf("trial %d: parser accepted a string outside the denotation", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: parser rejected a denoted string: %v", trial, err)
+		}
+		if !reflect.DeepEqual(canon(got), canon(want)) {
+			t.Fatalf("trial %d: parse values differ:\n got %v\nwant %v", trial, canon(got), canon(want))
+		}
+	}
+}
+
+// TestPropStripPreservesLanguage: the action-stripped, interned regex
+// accepts exactly the grammar's language (checked via its bit-DFA).
+func TestPropStripPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	ctx := NewCtx()
+	for trial := 0; trial < 200; trial++ {
+		g := genGrammar(rng, 3)
+		r := ctx.Strip(g)
+		d, err := ctx.CompileBitDFA(r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 20; k++ {
+			s := randString(rng, rng.Intn(7))
+			st := d.Start
+			for _, b := range s {
+				i := 0
+				if b {
+					i = 1
+				}
+				st = d.Next[st][i]
+			}
+			if d.Accepts[st] != InDenotation(g, s) {
+				t.Fatalf("trial %d: DFA and denotation disagree on %v for %s", trial, s, g)
+			}
+		}
+	}
+}
+
+// TestPropIntersectsSound: when Intersects says no, no common string of
+// bounded length exists; when it says yes, a witness is found by search.
+func TestPropIntersectsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	ctx := NewCtx()
+	for trial := 0; trial < 150; trial++ {
+		g1 := genStarFree(rng, 3)
+		g2 := genStarFree(rng, 3)
+		r1, r2 := ctx.Strip(g1), ctx.Strip(g2)
+		claim := ctx.Intersects(r1, r2)
+		// Exhaustive search up to the max possible length of star-free
+		// depth-3 grammars (8 bits is generous).
+		found := false
+		for n := 0; n <= 8 && !found; n++ {
+			for mask := 0; mask < 1<<n && !found; mask++ {
+				s := make([]bool, n)
+				for i := 0; i < n; i++ {
+					s[i] = mask>>i&1 == 1
+				}
+				if InDenotation(g1, s) && InDenotation(g2, s) {
+					found = true
+				}
+			}
+		}
+		if claim != found {
+			t.Fatalf("trial %d: Intersects=%v but exhaustive search says %v for %s vs %s",
+				trial, claim, found, g1, g2)
+		}
+	}
+}
+
+// TestPropDerivByCharacterizationRandom: the generalized derivative's
+// defining equation over random star-free grammars.
+func TestPropDerivByCharacterizationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	ctx := NewCtx()
+	for trial := 0; trial < 80; trial++ {
+		g := genStarFree(rng, 3)
+		by := genStarFree(rng, 2)
+		d, err := ctx.DerivBy(ctx.Strip(g), ctx.Strip(by))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dfa, err := ctx.CompileBitDFA(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepts := func(s []bool) bool {
+			st := dfa.Start
+			for _, b := range s {
+				i := 0
+				if b {
+					i = 1
+				}
+				st = dfa.Next[st][i]
+			}
+			return dfa.Accepts[st]
+		}
+		// Check all s2 up to length 4 against the definition
+		// ∃s1 ∈ by. s1·s2 ∈ g (s1 up to length 6 covers depth-2 terms).
+		for n := 0; n <= 4; n++ {
+			for mask := 0; mask < 1<<n; mask++ {
+				s2 := make([]bool, n)
+				for i := 0; i < n; i++ {
+					s2[i] = mask>>i&1 == 1
+				}
+				want := false
+				for m := 0; m <= 6 && !want; m++ {
+					for pm := 0; pm < 1<<m && !want; pm++ {
+						s1 := make([]bool, m)
+						for i := 0; i < m; i++ {
+							s1[i] = pm>>i&1 == 1
+						}
+						if InDenotation(by, s1) &&
+							InDenotation(g, append(append([]bool{}, s1...), s2...)) {
+							want = true
+						}
+					}
+				}
+				if got := accepts(s2); got != want {
+					t.Fatalf("trial %d: DerivBy wrong on %v: got %v want %v (g=%s by=%s)",
+						trial, s2, got, want, g, by)
+				}
+			}
+		}
+	}
+}
+
+// TestPropSamplerSoundRandom: samples of random grammars lie in their
+// denotations with matching values.
+func TestPropSamplerSoundRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	s := NewSampler(rng)
+	for trial := 0; trial < 300; trial++ {
+		g := genGrammar(rng, 3)
+		bits, v, ok := s.Sample(g)
+		if !ok {
+			// The language may genuinely be empty only via Void, which the
+			// generator never emits; Cat of Star... cannot be empty either.
+			t.Fatalf("trial %d: sampler claims empty language for %s", trial, g)
+		}
+		if len(bits) > 64 {
+			continue // denotation check too costly
+		}
+		vs := Denote(g, bits)
+		found := false
+		for _, w := range vs {
+			if reflect.DeepEqual(v, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: sampled value not in denotation for %s", trial, g)
+		}
+	}
+}
+
+// TestPropSmartConstructorsPreserveLanguage: the reductions performed by
+// the smart constructors never change the denotation.
+func TestPropSmartConstructorsPreserveLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 300; trial++ {
+		g := genGrammar(rng, 2)
+		variants := []*Grammar{
+			Cat(Eps(), g),
+			Cat(g, Eps()),
+			Alt(Void(), g),
+			Alt(g, Void()),
+			Map(g, func(v Value) Value { return v }),
+		}
+		for vi, gv := range variants {
+			for k := 0; k < 10; k++ {
+				s := randString(rng, rng.Intn(6))
+				if InDenotation(g, s) != InDenotation(gv, s) {
+					t.Fatalf("trial %d variant %d: language changed on %v", trial, vi, s)
+				}
+			}
+		}
+	}
+}
+
+// TestPropNullableMatchesDenotation: the cached nullability bit agrees
+// with ε-membership.
+func TestPropNullableMatchesDenotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 500; trial++ {
+		g := genGrammar(rng, 4)
+		if g.nullable != InDenotation(g, nil) {
+			t.Fatalf("trial %d: cached nullable=%v but denotation says %v for %s",
+				trial, g.nullable, InDenotation(g, nil), g)
+		}
+	}
+}
+
+func fmtSprint(v Value) string { return fmt.Sprint(v) }

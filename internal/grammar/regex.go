@@ -1,0 +1,323 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the action-stripped regular expressions the paper
+// compiles to DFAs (§3.2). Stripping the semantic actions makes equality
+// decidable, which unlocks the Alt g g → g reduction; we go further and
+// maintain a full ACI normal form (flattened, sorted, deduplicated Alt;
+// flattened Cat; Void/Eps laws) with hash-consing, so that Brzozowski's
+// finiteness theorem yields small state sets in practice (the paper's
+// largest checker DFA has 61 states).
+
+// Regex is an interned, ACI-normalized regular expression over bits.
+// Regexes are created through a Ctx and compared by pointer.
+type Regex struct {
+	id       int
+	op       rop
+	bit      bool     // for rChar
+	kids     []*Regex // for rCat (ordered) and rAlt (sorted by id)
+	nullable bool
+	derivs   [2]*Regex // memoized bit derivatives
+}
+
+type rop uint8
+
+const (
+	rVoid rop = iota
+	rEps
+	rChar
+	rAny
+	rCat
+	rAlt
+	rStar
+)
+
+// Ctx interns regexes; all construction goes through it. A Ctx is not safe
+// for concurrent use; build DFAs up front (package init or cmd/dfagen).
+type Ctx struct {
+	table map[string]*Regex
+	next  int
+
+	Void *Regex
+	Eps  *Regex
+	R0   *Regex // Char 0
+	R1   *Regex // Char 1
+	Dot  *Regex // Any
+}
+
+// NewCtx creates an interning context with the shared leaves pre-made.
+func NewCtx() *Ctx {
+	c := &Ctx{table: make(map[string]*Regex)}
+	c.Void = c.intern(&Regex{op: rVoid})
+	c.Eps = c.intern(&Regex{op: rEps, nullable: true})
+	c.R0 = c.intern(&Regex{op: rChar, bit: false})
+	c.R1 = c.intern(&Regex{op: rChar, bit: true})
+	c.Dot = c.intern(&Regex{op: rAny})
+	return c
+}
+
+func (c *Ctx) key(r *Regex) string {
+	var sb strings.Builder
+	sb.WriteByte(byte('0' + r.op))
+	if r.op == rChar {
+		if r.bit {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	for _, k := range r.kids {
+		fmt.Fprintf(&sb, ",%d", k.id)
+	}
+	return sb.String()
+}
+
+func (c *Ctx) intern(r *Regex) *Regex {
+	k := c.key(r)
+	if got, ok := c.table[k]; ok {
+		return got
+	}
+	r.id = c.next
+	c.next++
+	c.table[k] = r
+	return r
+}
+
+// Size reports how many distinct regex nodes have been interned.
+func (c *Ctx) Size() int { return c.next }
+
+// Char returns the single-bit literal.
+func (c *Ctx) Char(b bool) *Regex {
+	if b {
+		return c.R1
+	}
+	return c.R0
+}
+
+// Cat builds normalized concatenation: flattens nested Cats, drops Eps,
+// and annihilates on Void.
+func (c *Ctx) Cat(rs ...*Regex) *Regex {
+	var kids []*Regex
+	for _, r := range rs {
+		switch r.op {
+		case rVoid:
+			return c.Void
+		case rEps:
+			continue
+		case rCat:
+			kids = append(kids, r.kids...)
+		default:
+			kids = append(kids, r)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return c.Eps
+	case 1:
+		return kids[0]
+	}
+	nullable := true
+	for _, k := range kids {
+		nullable = nullable && k.nullable
+	}
+	return c.intern(&Regex{op: rCat, kids: kids, nullable: nullable})
+}
+
+// Alt builds normalized alternation: flattens, removes Void, sorts by id
+// and deduplicates (the ACI laws, including the paper's Alt g g → g).
+func (c *Ctx) Alt(rs ...*Regex) *Regex {
+	var kids []*Regex
+	var add func(r *Regex)
+	add = func(r *Regex) {
+		if r.op == rVoid {
+			return
+		}
+		if r.op == rAlt {
+			for _, k := range r.kids {
+				add(k)
+			}
+			return
+		}
+		kids = append(kids, r)
+	}
+	for _, r := range rs {
+		add(r)
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i].id < kids[j].id })
+	out := kids[:0]
+	for i, k := range kids {
+		if i == 0 || kids[i-1] != k {
+			out = append(out, k)
+		}
+	}
+	kids = out
+	switch len(kids) {
+	case 0:
+		return c.Void
+	case 1:
+		return kids[0]
+	}
+	nullable := false
+	for _, k := range kids {
+		nullable = nullable || k.nullable
+	}
+	cp := make([]*Regex, len(kids))
+	copy(cp, kids)
+	return c.intern(&Regex{op: rAlt, kids: cp, nullable: nullable})
+}
+
+// Star builds normalized iteration: Star Star g → Star g; Star of
+// Void/Eps → Eps.
+func (c *Ctx) Star(r *Regex) *Regex {
+	switch r.op {
+	case rStar:
+		return r
+	case rVoid, rEps:
+		return c.Eps
+	}
+	return c.intern(&Regex{op: rStar, kids: []*Regex{r}, nullable: true})
+}
+
+// Nullable reports whether the regex accepts the empty string.
+func (r *Regex) Nullable() bool { return r.nullable }
+
+// IsVoid reports whether the regex is the canonical empty language.
+func (r *Regex) IsVoid() bool { return r.op == rVoid }
+
+// ID returns the regex's interning identity (stable within its Ctx).
+func (r *Regex) ID() int { return r.id }
+
+// Deriv computes the memoized Brzozowski derivative with respect to a bit.
+func (c *Ctx) Deriv(r *Regex, b bool) *Regex {
+	idx := 0
+	if b {
+		idx = 1
+	}
+	if d := r.derivs[idx]; d != nil {
+		return d
+	}
+	var d *Regex
+	switch r.op {
+	case rVoid, rEps:
+		d = c.Void
+	case rChar:
+		if r.bit == b {
+			d = c.Eps
+		} else {
+			d = c.Void
+		}
+	case rAny:
+		d = c.Eps
+	case rCat:
+		// d(r1 r2 … rn) = d(r1) r2…rn | [r1 nullable] d(r2 r3…rn)
+		head := c.Deriv(r.kids[0], b)
+		rest := c.Cat(r.kids[1:]...)
+		d = c.Cat(append([]*Regex{head}, r.kids[1:]...)...)
+		if r.kids[0].nullable {
+			d = c.Alt(d, c.Deriv(rest, b))
+		}
+	case rAlt:
+		parts := make([]*Regex, len(r.kids))
+		for i, k := range r.kids {
+			parts[i] = c.Deriv(k, b)
+		}
+		d = c.Alt(parts...)
+	case rStar:
+		d = c.Cat(c.Deriv(r.kids[0], b), r)
+	}
+	r.derivs[idx] = d
+	return d
+}
+
+// DerivByte applies eight bit derivatives, MSB first.
+func (c *Ctx) DerivByte(r *Regex, by byte) *Regex {
+	for i := 7; i >= 0; i-- {
+		r = c.Deriv(r, by>>uint(i)&1 == 1)
+		if r.op == rVoid {
+			return r
+		}
+	}
+	return r
+}
+
+// Strip converts a grammar into its action-stripped regex, the first step
+// of DFA compilation in §3.2.
+func (c *Ctx) Strip(g *Grammar) *Regex {
+	switch g.op {
+	case opVoid:
+		return c.Void
+	case opEps:
+		return c.Eps
+	case opChar:
+		return c.Char(g.bit)
+	case opAny:
+		return c.Dot
+	case opCat:
+		return c.Cat(c.Strip(g.l), c.Strip(g.r))
+	case opAlt:
+		return c.Alt(c.Strip(g.l), c.Strip(g.r))
+	case opStar:
+		return c.Star(c.Strip(g.l))
+	case opMap:
+		return c.Strip(g.l)
+	default:
+		panic("grammar: unknown op in Strip")
+	}
+}
+
+// String renders the regex.
+func (r *Regex) String() string {
+	var sb strings.Builder
+	r.render(&sb)
+	return sb.String()
+}
+
+func (r *Regex) render(sb *strings.Builder) {
+	switch r.op {
+	case rVoid:
+		sb.WriteString("∅")
+	case rEps:
+		sb.WriteString("ε")
+	case rChar:
+		if r.bit {
+			sb.WriteString("1")
+		} else {
+			sb.WriteString("0")
+		}
+	case rAny:
+		sb.WriteString(".")
+	case rCat:
+		for _, k := range r.kids {
+			if k.op == rAlt {
+				sb.WriteString("(")
+				k.render(sb)
+				sb.WriteString(")")
+			} else {
+				k.render(sb)
+			}
+		}
+	case rAlt:
+		sb.WriteString("(")
+		for i, k := range r.kids {
+			if i > 0 {
+				sb.WriteString("|")
+			}
+			k.render(sb)
+		}
+		sb.WriteString(")")
+	case rStar:
+		if len(r.kids[0].kids) > 0 {
+			sb.WriteString("(")
+			r.kids[0].render(sb)
+			sb.WriteString(")*")
+		} else {
+			r.kids[0].render(sb)
+			sb.WriteString("*")
+		}
+	}
+}

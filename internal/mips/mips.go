@@ -1,0 +1,434 @@
+// Package mips reproduces the paper's architecture-independence claim:
+// "the tools are architecture independent and can thus be re-used to
+// specify the semantics of other machine architectures. For example, one
+// of the undergraduate co-authors constructed a model of the MIPS
+// architecture using our DSLs in just a few days."
+//
+// The package reuses internal/grammar for the decoder (MIPS words are
+// fixed 32-bit, big-endian, field-structured — a much easier grammar than
+// the x86's) and internal/rtl for the semantics, instantiated at a MIPS
+// machine state.
+package mips
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rocksalt/internal/bits"
+	"rocksalt/internal/grammar"
+	"rocksalt/internal/rtl"
+)
+
+// Op is a MIPS mnemonic.
+type Op uint8
+
+// Supported MIPS instructions.
+const (
+	BAD Op = iota
+	ADDU
+	SUBU
+	AND
+	OR
+	XOR
+	NOR
+	SLT
+	SLTU
+	SLL
+	SRL
+	SRA
+	JR
+	ADDIU
+	SLTI
+	ANDI
+	ORI
+	XORI
+	LUI
+	LW
+	SW
+	LB
+	LBU
+	SB
+	BEQ
+	BNE
+	J
+	JAL
+	NumOps
+)
+
+var opNames = [...]string{
+	"bad", "addu", "subu", "and", "or", "xor", "nor", "slt", "sltu",
+	"sll", "srl", "sra", "jr", "addiu", "slti", "andi", "ori", "xori",
+	"lui", "lw", "sw", "lb", "lbu", "sb", "beq", "bne", "j", "jal",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Inst is a decoded MIPS instruction.
+type Inst struct {
+	Op         Op
+	RS, RT, RD uint8  // register fields
+	Shamt      uint8  // shift amount
+	Imm        uint16 // I-type immediate
+	Target     uint32 // J-type target (26 bits)
+}
+
+func (i Inst) String() string {
+	switch {
+	case i.Op == J || i.Op == JAL:
+		return fmt.Sprintf("%s %#x", i.Op, i.Target<<2)
+	case i.Op == JR:
+		return fmt.Sprintf("jr $%d", i.RS)
+	case i.Op == SLL || i.Op == SRL || i.Op == SRA:
+		return fmt.Sprintf("%s $%d, $%d, %d", i.Op, i.RD, i.RT, i.Shamt)
+	case i.Op >= ADDIU && i.Op <= SB:
+		return fmt.Sprintf("%s $%d, $%d, %#x", i.Op, i.RT, i.RS, i.Imm)
+	case i.Op == BEQ || i.Op == BNE:
+		return fmt.Sprintf("%s $%d, $%d, %d", i.Op, i.RS, i.RT, int16(i.Imm))
+	default:
+		return fmt.Sprintf("%s $%d, $%d, $%d", i.Op, i.RD, i.RS, i.RT)
+	}
+}
+
+type g = grammar.Grammar
+
+// field helpers over the 32-bit big-endian word.
+func reg5() *g { return grammar.Field(5) }
+
+// rType builds "000000 rs rt rd shamt FUNCT".
+func rType(funct uint64, op Op) *g {
+	return grammar.Map(
+		grammar.Cat(grammar.Bits("000000"),
+			grammar.Cat(reg5(),
+				grammar.Cat(reg5(),
+					grammar.Cat(reg5(),
+						grammar.Cat(grammar.Field(5), grammar.BitsValue(6, funct)))))),
+		func(v grammar.Value) grammar.Value {
+			p := v.(grammar.Pair).Snd.(grammar.Pair)
+			rs := p.Fst.(uint64)
+			p = p.Snd.(grammar.Pair)
+			rt := p.Fst.(uint64)
+			p = p.Snd.(grammar.Pair)
+			rd := p.Fst.(uint64)
+			shamt := p.Snd.(grammar.Pair).Fst.(uint64)
+			return Inst{Op: op, RS: uint8(rs), RT: uint8(rt), RD: uint8(rd), Shamt: uint8(shamt)}
+		})
+}
+
+// iType builds "OPCODE rs rt imm16".
+func iType(opcode uint64, op Op) *g {
+	return grammar.Map(
+		grammar.Cat(grammar.BitsValue(6, opcode),
+			grammar.Cat(reg5(), grammar.Cat(reg5(), grammar.Field(16)))),
+		func(v grammar.Value) grammar.Value {
+			p := v.(grammar.Pair).Snd.(grammar.Pair)
+			rs := p.Fst.(uint64)
+			p = p.Snd.(grammar.Pair)
+			rt := p.Fst.(uint64)
+			imm := p.Snd.(uint64)
+			return Inst{Op: op, RS: uint8(rs), RT: uint8(rt), Imm: uint16(imm)}
+		})
+}
+
+// jType builds "OPCODE target26".
+func jType(opcode uint64, op Op) *g {
+	return grammar.Map(
+		grammar.Cat(grammar.BitsValue(6, opcode), grammar.Field(26)),
+		func(v grammar.Value) grammar.Value {
+			return Inst{Op: op, Target: uint32(v.(grammar.Pair).Snd.(uint64))}
+		})
+}
+
+var (
+	grammarOnce sync.Once
+	grammarG    *g
+)
+
+// Grammar is the full MIPS decode grammar (built once and shared;
+// grammars are immutable).
+func Grammar() *g {
+	grammarOnce.Do(func() { grammarG = buildGrammar() })
+	return grammarG
+}
+
+func buildGrammar() *g {
+	return grammar.Alt(
+		rType(0x21, ADDU), rType(0x23, SUBU), rType(0x24, AND),
+		rType(0x25, OR), rType(0x26, XOR), rType(0x27, NOR),
+		rType(0x2a, SLT), rType(0x2b, SLTU),
+		rType(0x00, SLL), rType(0x02, SRL), rType(0x03, SRA),
+		rType(0x08, JR),
+		iType(0x09, ADDIU), iType(0x0a, SLTI), iType(0x0c, ANDI),
+		iType(0x0d, ORI), iType(0x0e, XORI), iType(0x0f, LUI),
+		iType(0x23, LW), iType(0x2b, SW), iType(0x20, LB),
+		iType(0x24, LBU), iType(0x28, SB),
+		iType(0x04, BEQ), iType(0x05, BNE),
+		jType(0x02, J), jType(0x03, JAL),
+	)
+}
+
+// decodeCache memoizes word → instruction: a MIPS word determines its
+// decoding, and programs reuse few distinct words.
+var decodeCache sync.Map // uint32 → Inst
+
+const decodeCacheMax = 1 << 16
+
+var decodeCacheSize int64
+
+// Decode decodes one big-endian instruction word.
+func Decode(word []byte) (Inst, error) {
+	if len(word) < 4 {
+		return Inst{}, fmt.Errorf("mips: truncated word")
+	}
+	key := uint32(word[0])<<24 | uint32(word[1])<<16 | uint32(word[2])<<8 | uint32(word[3])
+	if v, ok := decodeCache.Load(key); ok {
+		return v.(Inst), nil
+	}
+	v, n, err := grammar.ParseBytes(Grammar(), word[:4], 4)
+	if err != nil {
+		return Inst{}, fmt.Errorf("mips: %w", err)
+	}
+	if n != 4 {
+		return Inst{}, fmt.Errorf("mips: decoded %d bytes", n)
+	}
+	inst := v.(Inst)
+	if atomic.AddInt64(&decodeCacheSize, 1) <= decodeCacheMax {
+		decodeCache.Store(key, inst)
+	}
+	return inst, nil
+}
+
+// ---------- Machine state ----------
+
+// RegLoc addresses one of the 32 general registers.
+type RegLoc uint8
+
+// PCLoc addresses the program counter.
+type PCLoc struct{}
+
+// Width implements rtl.Loc.
+func (RegLoc) Width() int { return 32 }
+
+// Width implements rtl.Loc.
+func (PCLoc) Width() int { return 32 }
+
+func (l RegLoc) String() string { return fmt.Sprintf("$%d", uint8(l)) }
+func (PCLoc) String() string    { return "pc" }
+
+// State is the MIPS machine state: 32 registers ($0 wired to zero), PC,
+// and byte memory.
+type State struct {
+	Regs [32]uint32
+	PC   uint32
+	Mem  map[uint32]byte
+}
+
+// NewState returns a zeroed machine.
+func NewState() *State { return &State{Mem: make(map[uint32]byte)} }
+
+var _ rtl.Machine = (*State)(nil)
+
+// Get implements rtl.Machine.
+func (s *State) Get(loc rtl.Loc) bits.Vec {
+	switch l := loc.(type) {
+	case RegLoc:
+		return bits.New(32, uint64(s.Regs[l&31]))
+	case PCLoc:
+		return bits.New(32, uint64(s.PC))
+	}
+	panic("mips: unknown location")
+}
+
+// Set implements rtl.Machine; writes to $0 are discarded.
+func (s *State) Set(loc rtl.Loc, v bits.Vec) {
+	switch l := loc.(type) {
+	case RegLoc:
+		if l&31 != 0 {
+			s.Regs[l&31] = uint32(v.Uint64())
+		}
+		return
+	case PCLoc:
+		s.PC = uint32(v.Uint64())
+		return
+	}
+	panic("mips: unknown location")
+}
+
+// LoadByte implements rtl.Machine.
+func (s *State) LoadByte(a uint32) byte { return s.Mem[a] }
+
+// StoreByte implements rtl.Machine.
+func (s *State) StoreByte(a uint32, b byte) { s.Mem[a] = b }
+
+// ---------- Translation to RTL ----------
+
+// Translate compiles a MIPS instruction at pc to RTL (delay slots are not
+// modeled; branches take effect immediately, MIPS32r6-style).
+func Translate(i Inst, pc uint32) ([]rtl.Instr, error) {
+	b := rtl.NewBuilder()
+	next := pc + 4
+	fall := func() { b.Set(PCLoc{}, b.ImmU(32, uint64(next))) }
+	rs := func() rtl.Var { return b.Get(RegLoc(i.RS)) }
+	rt := func() rtl.Var { return b.Get(RegLoc(i.RT)) }
+	setRD := func(v rtl.Var) { b.Set(RegLoc(i.RD), v) }
+	setRT := func(v rtl.Var) { b.Set(RegLoc(i.RT), v) }
+	immS := func() rtl.Var { return b.Imm(bits.FromInt64(32, int64(int16(i.Imm)))) }
+	immU := func() rtl.Var { return b.ImmU(32, uint64(i.Imm)) }
+
+	switch i.Op {
+	case ADDU:
+		setRD(b.Arith(rtl.Add, rs(), rt()))
+		fall()
+	case SUBU:
+		setRD(b.Arith(rtl.Sub, rs(), rt()))
+		fall()
+	case AND:
+		setRD(b.Arith(rtl.And, rs(), rt()))
+		fall()
+	case OR:
+		setRD(b.Arith(rtl.Or, rs(), rt()))
+		fall()
+	case XOR:
+		setRD(b.Arith(rtl.Xor, rs(), rt()))
+		fall()
+	case NOR:
+		or := b.Arith(rtl.Or, rs(), rt())
+		setRD(b.Arith(rtl.Xor, or, b.Imm(bits.AllOnes(32))))
+		fall()
+	case SLT:
+		setRD(b.CastU(32, b.Test(rtl.LtS, rs(), rt())))
+		fall()
+	case SLTU:
+		setRD(b.CastU(32, b.Test(rtl.LtU, rs(), rt())))
+		fall()
+	case SLL:
+		setRD(b.Arith(rtl.Shl, rt(), b.ImmU(32, uint64(i.Shamt))))
+		fall()
+	case SRL:
+		setRD(b.Arith(rtl.ShrU, rt(), b.ImmU(32, uint64(i.Shamt))))
+		fall()
+	case SRA:
+		setRD(b.Arith(rtl.ShrS, rt(), b.ImmU(32, uint64(i.Shamt))))
+		fall()
+	case JR:
+		b.Set(PCLoc{}, rs())
+	case ADDIU:
+		setRT(b.Arith(rtl.Add, rs(), immS()))
+		fall()
+	case SLTI:
+		setRT(b.CastU(32, b.Test(rtl.LtS, rs(), immS())))
+		fall()
+	case ANDI:
+		setRT(b.Arith(rtl.And, rs(), immU()))
+		fall()
+	case ORI:
+		setRT(b.Arith(rtl.Or, rs(), immU()))
+		fall()
+	case XORI:
+		setRT(b.Arith(rtl.Xor, rs(), immU()))
+		fall()
+	case LUI:
+		setRT(b.ImmU(32, uint64(i.Imm)<<16))
+		fall()
+	case LW:
+		addr := b.Arith(rtl.Add, rs(), immS())
+		setRT(b.LoadBytes(32, addr))
+		fall()
+	case SW:
+		addr := b.Arith(rtl.Add, rs(), immS())
+		b.StoreBytes(addr, rt())
+		fall()
+	case LB:
+		addr := b.Arith(rtl.Add, rs(), immS())
+		setRT(b.CastS(32, b.LoadBytes(8, addr)))
+		fall()
+	case LBU:
+		addr := b.Arith(rtl.Add, rs(), immS())
+		setRT(b.CastU(32, b.LoadBytes(8, addr)))
+		fall()
+	case SB:
+		addr := b.Arith(rtl.Add, rs(), immS())
+		b.StoreBytes(addr, b.CastU(8, rt()))
+		fall()
+	case BEQ, BNE:
+		taken := b.Test(rtl.Eq, rs(), rt())
+		if i.Op == BNE {
+			taken = b.Not1(taken)
+		}
+		target := next + uint32(int32(int16(i.Imm))<<2)
+		b.Set(PCLoc{}, b.Mux(taken, b.ImmU(32, uint64(target)), b.ImmU(32, uint64(next))))
+	case J, JAL:
+		target := next&0xf0000000 | i.Target<<2
+		if i.Op == JAL {
+			b.Set(RegLoc(31), b.ImmU(32, uint64(next)))
+		}
+		b.Set(PCLoc{}, b.ImmU(32, uint64(target)))
+	default:
+		return nil, fmt.Errorf("mips: no translation for %v", i.Op)
+	}
+	return b.Take(), nil
+}
+
+// Step fetches, decodes, translates, executes one instruction.
+func (s *State) Step() error {
+	word := []byte{s.Mem[s.PC], s.Mem[s.PC+1], s.Mem[s.PC+2], s.Mem[s.PC+3]}
+	inst, err := Decode(word)
+	if err != nil {
+		return err
+	}
+	prog, err := Translate(inst, s.PC)
+	if err != nil {
+		return err
+	}
+	return rtl.Exec(prog, rtl.NewState(s, nil))
+}
+
+// Run executes up to maxSteps instructions; it stops early (without
+// error) on the conventional `jr $0` halt (PC = 0).
+func (s *State) Run(maxSteps int) (int, error) {
+	for i := 0; i < maxSteps; i++ {
+		if err := s.Step(); err != nil {
+			return i, err
+		}
+		if s.PC == 0 {
+			return i + 1, nil
+		}
+	}
+	return maxSteps, nil
+}
+
+// Assemble encodes an instruction to its big-endian word (the test
+// round-trip partner).
+func Assemble(i Inst) uint32 {
+	switch i.Op {
+	case ADDU, SUBU, AND, OR, XOR, NOR, SLT, SLTU, SLL, SRL, SRA, JR:
+		funct := map[Op]uint32{
+			ADDU: 0x21, SUBU: 0x23, AND: 0x24, OR: 0x25, XOR: 0x26,
+			NOR: 0x27, SLT: 0x2a, SLTU: 0x2b, SLL: 0x00, SRL: 0x02,
+			SRA: 0x03, JR: 0x08,
+		}[i.Op]
+		return uint32(i.RS)&31<<21 | uint32(i.RT)&31<<16 | uint32(i.RD)&31<<11 |
+			uint32(i.Shamt)&31<<6 | funct
+	case J, JAL:
+		opc := uint32(0x02)
+		if i.Op == JAL {
+			opc = 0x03
+		}
+		return opc<<26 | i.Target&0x3ffffff
+	default:
+		opc := map[Op]uint32{
+			ADDIU: 0x09, SLTI: 0x0a, ANDI: 0x0c, ORI: 0x0d, XORI: 0x0e,
+			LUI: 0x0f, LW: 0x23, SW: 0x2b, LB: 0x20, LBU: 0x24, SB: 0x28,
+			BEQ: 0x04, BNE: 0x05,
+		}[i.Op]
+		return opc<<26 | uint32(i.RS)&31<<21 | uint32(i.RT)&31<<16 | uint32(i.Imm)
+	}
+}
+
+// StoreWord writes a big-endian instruction word into memory.
+func (s *State) StoreWord(addr, word uint32) {
+	s.Mem[addr] = byte(word >> 24)
+	s.Mem[addr+1] = byte(word >> 16)
+	s.Mem[addr+2] = byte(word >> 8)
+	s.Mem[addr+3] = byte(word)
+}

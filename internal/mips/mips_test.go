@@ -1,0 +1,205 @@
+package mips
+
+import (
+	"math/rand"
+	"testing"
+
+	"rocksalt/internal/grammar"
+)
+
+func word(w uint32) []byte {
+	return []byte{byte(w >> 24), byte(w >> 16), byte(w >> 8), byte(w)}
+}
+
+func TestDecodeKnown(t *testing.T) {
+	cases := []struct {
+		w    uint32
+		want string
+	}{
+		{0x01094021, "addu $8, $8, $9"},   // addu $t0, $t0, $t1
+		{0x25080004, "addiu $8, $8, 0x4"}, // addiu $t0, $t0, 4
+		{0x8d090000, "lw $9, $8, 0x0"},
+		{0xad090000, "sw $9, $8, 0x0"},
+		{0x3c011234, "lui $1, $0, 0x1234"},
+		{0x1109fffe, "beq $8, $9, -2"},
+		{0x08000010, "j 0x40"},
+		{0x0c000010, "jal 0x40"},
+		{0x01000008, "jr $8"},
+		{0x00084080, "sll $8, $8, 2"},
+	}
+	for _, c := range cases {
+		inst, err := Decode(word(c.w))
+		if err != nil {
+			t.Errorf("%#08x: %v", c.w, err)
+			continue
+		}
+		if got := inst.String(); got != c.want {
+			t.Errorf("%#08x: got %q, want %q", c.w, got, c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknown(t *testing.T) {
+	// Opcode 0x3f is not in the modeled subset.
+	if _, err := Decode(word(0xfc000000)); err == nil {
+		t.Fatal("unknown opcode must fail")
+	}
+	if _, err := Decode([]byte{0x01}); err == nil {
+		t.Fatal("short word must fail")
+	}
+}
+
+func TestAssembleDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ops := []Op{ADDU, SUBU, AND, OR, XOR, NOR, SLT, SLTU, SLL, SRL, SRA, JR,
+		ADDIU, SLTI, ANDI, ORI, XORI, LUI, LW, SW, LB, LBU, SB, BEQ, BNE, J, JAL}
+	for i := 0; i < 2000; i++ {
+		in := Inst{
+			Op:     ops[rng.Intn(len(ops))],
+			RS:     uint8(rng.Intn(32)),
+			RT:     uint8(rng.Intn(32)),
+			RD:     uint8(rng.Intn(32)),
+			Shamt:  uint8(rng.Intn(32)),
+			Imm:    uint16(rng.Intn(1 << 16)),
+			Target: uint32(rng.Intn(1 << 26)),
+		}
+		// Normalize fields the encoding does not carry.
+		switch in.Op {
+		case ADDU, SUBU, AND, OR, XOR, NOR, SLT, SLTU:
+			in.Imm, in.Target = 0, 0
+		case SLL, SRL, SRA:
+			in.Imm, in.Target = 0, 0
+		case JR:
+			in.Imm, in.Target = 0, 0
+		case J, JAL:
+			in.RS, in.RT, in.RD, in.Shamt, in.Imm = 0, 0, 0, 0, 0
+		default:
+			in.RD, in.Shamt, in.Target = 0, 0, 0
+		}
+		got, err := Decode(word(Assemble(in)))
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if got != in {
+			t.Fatalf("round trip: %v -> %v", in, got)
+		}
+	}
+}
+
+func TestGrammarUnambiguous(t *testing.T) {
+	ctx := grammar.NewCtx()
+	if err := grammar.CheckUnambiguous(ctx, Grammar()); err != nil {
+		t.Fatalf("MIPS grammar ambiguous: %v", err)
+	}
+}
+
+func TestZeroRegisterWiredToZero(t *testing.T) {
+	s := NewState()
+	s.StoreWord(0, Assemble(Inst{Op: ADDIU, RS: 0, RT: 0, Imm: 42})) // addiu $0,$0,42
+	s.StoreWord(4, Assemble(Inst{Op: ADDIU, RS: 0, RT: 8, Imm: 7}))  // addiu $t0,$0,7
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Regs[0] != 0 {
+		t.Fatal("$0 must stay zero")
+	}
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Regs[8] != 7 {
+		t.Fatalf("$t0 = %d", s.Regs[8])
+	}
+}
+
+// TestSumLoop runs a small program: sum 1..10 into $t2.
+func TestSumLoop(t *testing.T) {
+	s := NewState()
+	pc := uint32(0x1000)
+	prog := []Inst{
+		{Op: ADDIU, RS: 0, RT: 8, Imm: 10}, // $t0 = 10
+		{Op: ADDIU, RS: 0, RT: 10, Imm: 0}, // $t2 = 0
+		// loop:
+		{Op: ADDU, RS: 10, RT: 8, RD: 10},      // $t2 += $t0
+		{Op: ADDIU, RS: 8, RT: 8, Imm: 0xffff}, // $t0 -= 1
+		{Op: BNE, RS: 8, RT: 0, Imm: 0xfffd},   // bne $t0,$0,-3
+		{Op: JR, RS: 0},                        // jr $0 (halt convention)
+	}
+	for i, in := range prog {
+		s.StoreWord(pc+uint32(i*4), Assemble(in))
+	}
+	s.PC = pc
+	steps, err := s.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Regs[10] != 55 {
+		t.Fatalf("sum = %d after %d steps", s.Regs[10], steps)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	s := NewState()
+	pc := uint32(0)
+	prog := []Inst{
+		{Op: LUI, RT: 8, Imm: 0x1234},        // $t0 = 0x12340000
+		{Op: ORI, RS: 8, RT: 8, Imm: 0x5678}, // $t0 |= 0x5678
+		{Op: SW, RS: 0, RT: 8, Imm: 0x100},   // mem[0x100] = $t0
+		{Op: LW, RS: 0, RT: 9, Imm: 0x100},   // $t1 = mem[0x100]
+		{Op: LB, RS: 0, RT: 10, Imm: 0x103},  // $t2 = signed byte
+		{Op: LBU, RS: 0, RT: 11, Imm: 0x103},
+	}
+	for i, in := range prog {
+		s.StoreWord(pc+uint32(i*4), Assemble(in))
+	}
+	for range prog {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Regs[9] != 0x12345678 {
+		t.Fatalf("$t1 = %#x", s.Regs[9])
+	}
+	// Little-endian data memory: byte 3 of the stored word is 0x12.
+	if s.Regs[10] != 0x12 || s.Regs[11] != 0x12 {
+		t.Fatalf("byte loads: %#x %#x", s.Regs[10], s.Regs[11])
+	}
+}
+
+func TestJalAndJr(t *testing.T) {
+	s := NewState()
+	// 0x0: jal 0x20; 0x20: addiu $t0,$0,9; jr $31
+	s.StoreWord(0, Assemble(Inst{Op: JAL, Target: 0x20 >> 2}))
+	s.StoreWord(0x20, Assemble(Inst{Op: ADDIU, RS: 0, RT: 8, Imm: 9}))
+	s.StoreWord(0x24, Assemble(Inst{Op: JR, RS: 31}))
+	for i := 0; i < 3; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Regs[31] != 4 {
+		t.Fatalf("$ra = %#x", s.Regs[31])
+	}
+	if s.Regs[8] != 9 || s.PC != 4 {
+		t.Fatalf("jal/jr wrong: $t0=%d pc=%#x", s.Regs[8], s.PC)
+	}
+}
+
+func TestGenerativeFuzzMips(t *testing.T) {
+	// The same grammar fuzz loop as for the x86: sample, decode, compare.
+	samp := grammar.NewSampler(rand.New(rand.NewSource(3)))
+	g := Grammar()
+	for i := 0; i < 2000; i++ {
+		bs, v, ok := samp.SampleBytes(g, 4)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		want := v.(Inst)
+		got, err := Decode(bs)
+		if err != nil {
+			t.Fatalf("% x: %v", bs, err)
+		}
+		if got != want {
+			t.Fatalf("% x: %v vs %v", bs, got, want)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package nacl is the sandboxing toolchain substitute: where the paper
+// uses NaCl's modified GCC to produce compliant binaries (and Csmith to
+// generate test programs), this package assembles code images that obey
+// the aligned sandbox policy — instructions packed into 32-byte bundles,
+// computed jumps preceded by the AND mask, direct jumps to instruction
+// boundaries — plus a corpus of deliberately violating images for
+// negative testing.
+package nacl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/grammar"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/encode"
+)
+
+// Builder assembles a NaCl-compliant code image.
+type Builder struct {
+	buf    []byte
+	labels map[string]int
+	fixups []fixup
+	err    error
+}
+
+type fixup struct {
+	at    int // offset of the rel32 field
+	label string
+}
+
+// NewBuilder returns an empty image builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Len returns the current image size.
+func (b *Builder) Len() int { return len(b.buf) }
+
+// padTo pads with NOPs so the next instruction starts exactly at off.
+func (b *Builder) padTo(off int) {
+	if off < len(b.buf) {
+		b.err = fmt.Errorf("nacl: cannot pad backwards to %#x", off)
+		return
+	}
+	b.buf = append(b.buf, encode.NopPad(off-len(b.buf))...)
+}
+
+// fit pads to the next bundle when n more bytes would cross a bundle
+// boundary (the policy requires every 32nd byte to start an instruction).
+func (b *Builder) fit(n int) {
+	rem := core.BundleSize - len(b.buf)%core.BundleSize
+	if n > rem {
+		b.padTo(len(b.buf) + rem)
+	}
+}
+
+// Raw appends pre-encoded instruction bytes as one unit, keeping it
+// within a bundle.
+func (b *Builder) Raw(code []byte) {
+	b.fit(len(code))
+	b.buf = append(b.buf, code...)
+}
+
+// Inst encodes and appends one instruction.
+func (b *Builder) Inst(i x86.Inst) {
+	code, err := encode.Encode(i)
+	if err != nil && b.err == nil {
+		b.err = err
+		return
+	}
+	b.Raw(code)
+}
+
+// Label defines a label at the current position (an instruction start).
+func (b *Builder) Label(name string) {
+	b.labels[name] = len(b.buf)
+}
+
+// AlignBundle pads to the next 32-byte boundary (no-op when already
+// aligned). Jump targets for computed jumps must be bundle-aligned.
+func (b *Builder) AlignBundle() {
+	if rem := len(b.buf) % core.BundleSize; rem != 0 {
+		b.padTo(len(b.buf) + core.BundleSize - rem)
+	}
+}
+
+// MaskedJump emits the two-instruction nacljmp sequence through r
+// (AND r, -32; JMP r), as one unit within a bundle.
+func (b *Builder) MaskedJump(r x86.Reg) {
+	b.Raw(naclPair(r, false))
+}
+
+// MaskedCall emits AND r, -32; CALL r. The call is placed so that it ends
+// exactly at a bundle boundary, making the return address bundle-aligned
+// (the NaCl convention for returns, which replace RET).
+func (b *Builder) MaskedCall(r x86.Reg) {
+	pair := naclPair(r, true)
+	want := core.BundleSize - len(pair) // start offset within the bundle
+	pos := len(b.buf) % core.BundleSize
+	if pos > want {
+		b.AlignBundle()
+		pos = 0
+	}
+	b.padTo(len(b.buf) + want - pos)
+	b.buf = append(b.buf, pair...)
+}
+
+func naclPair(r x86.Reg, call bool) []byte {
+	modrm := byte(0xe0) // /4 = jmp
+	if call {
+		modrm = 0xd0 // /2 = call
+	}
+	return []byte{0x83, 0xe0 | byte(r), core.SafeMask, 0xff, modrm | byte(r)}
+}
+
+// Jmp emits a direct jump to a label (rel32 form, patched at Finish).
+func (b *Builder) Jmp(label string) {
+	b.fit(5)
+	b.buf = append(b.buf, 0xe9, 0, 0, 0, 0)
+	b.fixups = append(b.fixups, fixup{at: len(b.buf) - 4, label: label})
+}
+
+// Jcc emits a conditional direct jump to a label (0F 8x rel32).
+func (b *Builder) Jcc(c x86.Cond, label string) {
+	b.fit(6)
+	b.buf = append(b.buf, 0x0f, 0x80|byte(c), 0, 0, 0, 0)
+	b.fixups = append(b.fixups, fixup{at: len(b.buf) - 4, label: label})
+}
+
+// Call emits a direct call to a label.
+func (b *Builder) Call(label string) {
+	b.fit(5)
+	b.buf = append(b.buf, 0xe8, 0, 0, 0, 0)
+	b.fixups = append(b.fixups, fixup{at: len(b.buf) - 4, label: label})
+}
+
+// CallAligned emits a direct call padded so it ends exactly at a bundle
+// boundary: the pushed return address is then bundle-aligned, satisfying
+// checkers running with AlignedCalls.
+func (b *Builder) CallAligned(label string) {
+	const n = 5 // e8 rel32
+	want := core.BundleSize - n
+	pos := len(b.buf) % core.BundleSize
+	if pos > want {
+		b.AlignBundle()
+		pos = 0
+	}
+	b.padTo(len(b.buf) + want - pos)
+	b.Call(label)
+}
+
+// Finish resolves fixups, pads the image to a whole number of bundles,
+// and returns the code image.
+func (b *Builder) Finish() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	b.AlignBundle()
+	for _, f := range b.fixups {
+		t, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("nacl: undefined label %q", f.label)
+		}
+		rel := int32(t - (f.at + 4))
+		b.buf[f.at] = byte(rel)
+		b.buf[f.at+1] = byte(rel >> 8)
+		b.buf[f.at+2] = byte(rel >> 16)
+		b.buf[f.at+3] = byte(rel >> 24)
+	}
+	return b.buf, nil
+}
+
+// Generator produces random compliant images, the stand-in for the
+// paper's Csmith + NaCl-GCC pipeline. Instruction bytes are drawn from
+// the checker's own NoControlFlow grammar (so they are definitionally
+// legal instructions), interleaved with masked jumps and direct jumps to
+// bundle boundaries.
+type Generator struct {
+	rng     *rand.Rand
+	sampler *grammar.Sampler
+	safe    *grammar.Grammar
+}
+
+// NewGenerator creates a generator with the given seed.
+func NewGenerator(seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		rng:     rng,
+		sampler: grammar.NewSampler(rng),
+		safe:    core.NoControlFlowGrammar(),
+	}
+}
+
+// Random produces a compliant image containing roughly n instructions.
+func (g *Generator) Random(n int) ([]byte, error) {
+	b := NewBuilder()
+	bundles := 1
+	for i := 0; i < n; i++ {
+		switch r := g.rng.Intn(100); {
+		case r < 82:
+			code, _, ok := g.sampler.SampleBytes(g.safe, 8)
+			if !ok {
+				return nil, fmt.Errorf("nacl: sampling safe instruction failed")
+			}
+			b.Raw(code)
+		case r < 90:
+			reg := x86.Reg(g.rng.Intn(8))
+			if reg == x86.ESP {
+				reg = x86.EAX
+			}
+			b.MaskedJump(reg)
+		case r < 96:
+			// Direct jump to a random bundle boundary (bundle starts are
+			// always instruction starts).
+			label := fmt.Sprintf("b%d", g.rng.Intn(bundles))
+			if g.rng.Intn(2) == 0 {
+				b.Jmp(label)
+			} else {
+				b.Jcc(x86.Cond(g.rng.Intn(16)), label)
+			}
+		default:
+			b.AlignBundle()
+		}
+		// Define a label at every bundle boundary we cross.
+		for len(b.buf)/core.BundleSize >= bundles {
+			b.Label(fmt.Sprintf("b%d", bundles))
+			// Labels at bundle starts require the boundary to be an
+			// instruction start, which the builder guarantees.
+			bundles++
+		}
+	}
+	// Backstop label targets: define any missing bundle labels at the end.
+	b.AlignBundle()
+	for i := 0; i <= bundles; i++ {
+		name := fmt.Sprintf("b%d", i)
+		if _, ok := b.labels[name]; !ok {
+			b.Label(name)
+		}
+	}
+	// The final position may be referenced; make it a real boundary with
+	// one more bundle of nops.
+	b.Raw(encode.NopPad(core.BundleSize))
+	return b.Finish()
+}
+
+// UnsafeKind enumerates the hand-crafted violation categories.
+type UnsafeKind int
+
+// Violation categories, mirroring the attacks the policy must stop.
+const (
+	BareIndirectJump UnsafeKind = iota
+	Syscall
+	SoftwareInterrupt
+	StraddlingBoundary
+	JumpIntoInstruction
+	JumpOverMask
+	JumpOutOfImage
+	SegmentWrite
+	SegmentOverride
+	FarCall
+	PrivilegedHalt
+	MaskWrongRegister
+	MaskedPairSplit
+	ReturnInstruction
+	UndefinedInstruction
+	NumUnsafeKinds
+)
+
+var unsafeNames = [...]string{
+	"bare-indirect-jump", "syscall", "software-interrupt",
+	"straddling-boundary", "jump-into-instruction", "jump-over-mask",
+	"jump-out-of-image", "segment-write", "segment-override", "far-call",
+	"privileged-halt", "mask-wrong-register", "masked-pair-split",
+	"return-instruction", "undefined-instruction",
+}
+
+func (k UnsafeKind) String() string { return unsafeNames[k] }
+
+// Unsafe builds a hand-crafted image exhibiting the given violation; all
+// of them must be rejected by a correct checker.
+func Unsafe(kind UnsafeKind) []byte {
+	pad := func(code ...byte) []byte {
+		out := append([]byte{}, code...)
+		for len(out)%core.BundleSize != 0 {
+			out = append(out, 0x90)
+		}
+		return out
+	}
+	switch kind {
+	case BareIndirectJump:
+		return pad(0xff, 0xe0) // jmp eax without mask
+	case Syscall:
+		return pad(0xcd, 0x80) // int 0x80
+	case SoftwareInterrupt:
+		return pad(0xcc) // int3
+	case StraddlingBoundary:
+		// 30 nops, then a 5-byte mov eax imm straddling offset 32.
+		img := make([]byte, 0, 64)
+		for i := 0; i < 30; i++ {
+			img = append(img, 0x90)
+		}
+		img = append(img, 0xb8, 0x01, 0x02, 0x03, 0x04)
+		return pad(img...)
+	case JumpIntoInstruction:
+		// jmp +3 lands inside the following 5-byte mov.
+		return pad(0xeb, 0x03, 0xb8, 0x00, 0x00, 0x00, 0x00)
+	case JumpOverMask:
+		// Direct jump targeting the jmp of a masked pair (offset 5... the
+		// pair starts at 2, so its jump half is at 5).
+		return pad(0xeb, 0x03, 0x83, 0xe0, 0xe0, 0xff, 0xe0)
+	case JumpOutOfImage:
+		return pad(0xe9, 0x00, 0x10, 0x00, 0x00) // jmp far beyond the image
+	case SegmentWrite:
+		return pad(0x8e, 0xd8) // mov ds, eax
+	case SegmentOverride:
+		return pad(0x64, 0x8b, 0x00) // mov eax, fs:[eax]
+	case FarCall:
+		return pad(0x9a, 0, 0, 0, 0, 0x23, 0x00) // call 0023:0
+	case PrivilegedHalt:
+		return pad(0xf4)
+	case MaskWrongRegister:
+		// Mask EAX but jump through ECX.
+		return pad(0x83, 0xe0, 0xe0, 0xff, 0xe1)
+	case MaskedPairSplit:
+		// Mask and jump separated by a nop: the pair grammar must not
+		// match, and the bare jump is illegal.
+		return pad(0x83, 0xe0, 0xe0, 0x90, 0xff, 0xe0)
+	case ReturnInstruction:
+		return pad(0xc3)
+	case UndefinedInstruction:
+		return pad(0x0f, 0x0b) // ud2
+	}
+	panic("nacl: unknown unsafe kind")
+}
+
+// UnsafeCorpus returns every hand-crafted violating image with its name.
+func UnsafeCorpus() map[string][]byte {
+	out := make(map[string][]byte, NumUnsafeKinds)
+	for k := UnsafeKind(0); k < NumUnsafeKinds; k++ {
+		out[k.String()] = Unsafe(k)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package nacl_test
+
+import (
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/x86"
+)
+
+func TestBuilderBundlePacking(t *testing.T) {
+	b := nacl.NewBuilder()
+	// 30 one-byte instructions, then a 5-byte one: it must be pushed to
+	// the next bundle.
+	for i := 0; i < 30; i++ {
+		b.Inst(x86.Inst{Op: x86.NOP, W: true})
+	}
+	b.Inst(x86.Inst{Op: x86.MOV, W: true,
+		Args: []x86.Operand{x86.RegOp{Reg: x86.EAX}, x86.Imm{Val: 1}}})
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img)%core.BundleSize != 0 {
+		t.Fatal("image must be a whole number of bundles")
+	}
+	if img[32] != 0xb8 {
+		t.Fatalf("5-byte instruction must start the next bundle, got %#x at 32", img[32])
+	}
+}
+
+func TestBuilderLabelsAndJumps(t *testing.T) {
+	b := nacl.NewBuilder()
+	b.Label("start")
+	b.Inst(x86.Inst{Op: x86.NOP, W: true})
+	b.Jmp("start")
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// jmp at offset 1, rel32 = start(0) - (1+5) = -6.
+	if img[1] != 0xe9 {
+		t.Fatalf("expected e9 at 1, got %#x", img[1])
+	}
+	rel := int32(uint32(img[2]) | uint32(img[3])<<8 | uint32(img[4])<<16 | uint32(img[5])<<24)
+	if rel != -6 {
+		t.Fatalf("rel = %d, want -6", rel)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := nacl.NewBuilder()
+	b.Jmp("nowhere")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("undefined label must be an error")
+	}
+}
+
+func TestMaskedCallEndsAtBundleBoundary(t *testing.T) {
+	b := nacl.NewBuilder()
+	b.Inst(x86.Inst{Op: x86.NOP, W: true})
+	b.MaskedCall(x86.ECX)
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The call (last byte of the pair) must end exactly at a 32-byte
+	// boundary: find the pair.
+	found := false
+	for i := 0; i+5 <= len(img); i++ {
+		if img[i] == 0x83 && img[i+3] == 0xff && img[i+4] == 0xd1 {
+			if (i+5)%core.BundleSize != 0 {
+				t.Fatalf("masked call ends at %d, not a bundle boundary", i+5)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("masked call pair not found")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, err := nacl.NewGenerator(5).Random(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nacl.NewGenerator(5).Random(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("generator must be deterministic per seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator must be deterministic per seed")
+		}
+	}
+}
+
+func TestUnsafeCorpusComplete(t *testing.T) {
+	corpus := nacl.UnsafeCorpus()
+	if len(corpus) != int(nacl.NumUnsafeKinds) {
+		t.Fatalf("corpus has %d entries, want %d", len(corpus), nacl.NumUnsafeKinds)
+	}
+	for name, img := range corpus {
+		if len(img) == 0 || len(img)%core.BundleSize != 0 {
+			t.Errorf("unsafe image %q has bad size %d", name, len(img))
+		}
+	}
+}
+
+func TestGeneratedImageSizes(t *testing.T) {
+	gen := nacl.NewGenerator(9)
+	img, err := gen.Random(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) < 1000 { // at least one byte per instruction
+		t.Fatalf("image too small: %d", len(img))
+	}
+	if len(img)%core.BundleSize != 0 {
+		t.Fatal("image must be bundle aligned")
+	}
+}

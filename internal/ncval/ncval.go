@@ -1,0 +1,441 @@
+// Package ncval is the baseline the paper compares against: a validator
+// in the style of Google's original hand-written NaCl checker (§3.1).
+// It partially decodes instructions with opcode/length tables, and the
+// policy checks are intertwined with the decoding — exactly the structure
+// whose size and opacity motivated RockSalt. It exists to reproduce the
+// speed and agreement experiments (E2, E6, E7) and as a differential
+// testing partner for the DFA-based checker.
+package ncval
+
+// The accept language is intended to be identical to internal/core's:
+// NaCl-safe instructions, direct jumps to instruction boundaries, and
+// contiguous mask+jump pairs, under the 32-byte alignment discipline.
+
+const bundleSize = 32
+
+// immKind describes the immediate following the opcode/ModRM.
+type immKind uint8
+
+const (
+	immNone immKind = iota
+	imm8            // one byte
+	immZ            // 2 or 4 bytes depending on operand size
+	imm16           // always two bytes
+	imm16p8         // imm16 followed by imm8 (ENTER)
+)
+
+// opFlags describes one opcode's shape and legality.
+type opFlags struct {
+	legal   bool
+	modrm   bool
+	imm     immKind
+	memOnly bool // ModRM must not be a register (LEA)
+	// extLegal restricts the ModRM reg field when non-zero: bit i set
+	// means /i is allowed.
+	extMask uint8
+	// immByExt gives per-extension immediates for group opcodes (F6/F7).
+	immByExt map[uint8]immKind
+}
+
+var oneByte [256]opFlags
+var twoByte [256]opFlags
+
+func init() {
+	legal := func(b byte, f opFlags) {
+		f.legal = true
+		oneByte[b] = f
+	}
+	legal2 := func(b byte, f opFlags) {
+		f.legal = true
+		twoByte[b] = f
+	}
+	// The classic ALU family: 00+8n..05+8n for n = 0..7.
+	for n := 0; n < 8; n++ {
+		base := byte(n * 8)
+		legal(base+0, opFlags{modrm: true})
+		legal(base+1, opFlags{modrm: true})
+		legal(base+2, opFlags{modrm: true})
+		legal(base+3, opFlags{modrm: true})
+		legal(base+4, opFlags{imm: imm8})
+		legal(base+5, opFlags{imm: immZ})
+	}
+	// BCD adjusts.
+	for _, b := range []byte{0x27, 0x2f, 0x37, 0x3f} {
+		legal(b, opFlags{})
+	}
+	// INC/DEC/PUSH/POP reg.
+	for b := 0x40; b <= 0x5f; b++ {
+		legal(byte(b), opFlags{})
+	}
+	legal(0x60, opFlags{})
+	legal(0x61, opFlags{})
+	legal(0x68, opFlags{imm: immZ})
+	legal(0x69, opFlags{modrm: true, imm: immZ})
+	legal(0x6a, opFlags{imm: imm8})
+	legal(0x6b, opFlags{modrm: true, imm: imm8})
+	// Group 1 immediates: every extension is a legal ALU op.
+	legal(0x80, opFlags{modrm: true, imm: imm8, extMask: 0xff})
+	legal(0x81, opFlags{modrm: true, imm: immZ, extMask: 0xff})
+	legal(0x83, opFlags{modrm: true, imm: imm8, extMask: 0xff})
+	legal(0x84, opFlags{modrm: true})
+	legal(0x85, opFlags{modrm: true})
+	legal(0x86, opFlags{modrm: true})
+	legal(0x87, opFlags{modrm: true})
+	for b := 0x88; b <= 0x8b; b++ {
+		legal(byte(b), opFlags{modrm: true})
+	}
+	legal(0x8d, opFlags{modrm: true, memOnly: true})
+	legal(0x8f, opFlags{modrm: true, extMask: 1 << 0})
+	for b := 0x90; b <= 0x97; b++ {
+		legal(byte(b), opFlags{})
+	}
+	legal(0x98, opFlags{})
+	legal(0x99, opFlags{})
+	legal(0x9c, opFlags{})
+	legal(0x9d, opFlags{})
+	legal(0x9e, opFlags{})
+	legal(0x9f, opFlags{})
+	// moffs forms carry a 4-byte absolute address regardless of operand
+	// size.
+	for b := 0xa0; b <= 0xa3; b++ {
+		oneByte[b] = opFlags{legal: true, imm: moffsMarker}
+	}
+	for _, b := range []byte{0xa4, 0xa5, 0xa6, 0xa7, 0xaa, 0xab, 0xac, 0xad, 0xae, 0xaf} {
+		legal(b, opFlags{})
+	}
+	legal(0xa8, opFlags{imm: imm8})
+	legal(0xa9, opFlags{imm: immZ})
+	for b := 0xb0; b <= 0xb7; b++ {
+		legal(byte(b), opFlags{imm: imm8})
+	}
+	for b := 0xb8; b <= 0xbf; b++ {
+		legal(byte(b), opFlags{imm: immZ})
+	}
+	// Shift groups: /6 is undefined.
+	legal(0xc0, opFlags{modrm: true, imm: imm8, extMask: 0xff &^ (1 << 6)})
+	legal(0xc1, opFlags{modrm: true, imm: imm8, extMask: 0xff &^ (1 << 6)})
+	legal(0xc6, opFlags{modrm: true, imm: imm8, extMask: 1 << 0})
+	legal(0xc7, opFlags{modrm: true, imm: immZ, extMask: 1 << 0})
+	legal(0xc8, opFlags{imm: imm16p8}) // ENTER
+	legal(0xc9, opFlags{})
+	for _, b := range []byte{0xd0, 0xd1, 0xd2, 0xd3} {
+		legal(b, opFlags{modrm: true, extMask: 0xff &^ (1 << 6)})
+	}
+	legal(0xd4, opFlags{imm: imm8})
+	legal(0xd5, opFlags{imm: imm8})
+	legal(0xd7, opFlags{})
+	for _, b := range []byte{0xf5, 0xf8, 0xf9, 0xfc, 0xfd} {
+		legal(b, opFlags{})
+	}
+	// Group 3: /0 TEST has an immediate, /1 is undefined.
+	legal(0xf6, opFlags{modrm: true, extMask: 0xff &^ (1 << 1),
+		immByExt: map[uint8]immKind{0: imm8}})
+	legal(0xf7, opFlags{modrm: true, extMask: 0xff &^ (1 << 1),
+		immByExt: map[uint8]immKind{0: immZ}})
+	// Group 4/5: only INC/DEC are data ops; FF/6 PUSH is also safe.
+	legal(0xfe, opFlags{modrm: true, extMask: 1<<0 | 1<<1})
+	legal(0xff, opFlags{modrm: true, extMask: 1<<0 | 1<<1 | 1<<6})
+
+	// Two-byte opcodes.
+	legal2(0x1f, opFlags{modrm: true, extMask: 1 << 0}) // long NOP
+	for b := 0x40; b <= 0x4f; b++ {
+		legal2(byte(b), opFlags{modrm: true}) // CMOVcc
+	}
+	for b := 0x90; b <= 0x9f; b++ {
+		legal2(byte(b), opFlags{modrm: true}) // SETcc
+	}
+	legal2(0xa3, opFlags{modrm: true})
+	legal2(0xa4, opFlags{modrm: true, imm: imm8})
+	legal2(0xa5, opFlags{modrm: true})
+	legal2(0xab, opFlags{modrm: true})
+	legal2(0xac, opFlags{modrm: true, imm: imm8})
+	legal2(0xad, opFlags{modrm: true})
+	legal2(0xaf, opFlags{modrm: true})
+	legal2(0xb0, opFlags{modrm: true})
+	legal2(0xb1, opFlags{modrm: true})
+	legal2(0xb3, opFlags{modrm: true})
+	legal2(0xb6, opFlags{modrm: true})
+	legal2(0xb7, opFlags{modrm: true})
+	legal2(0xba, opFlags{modrm: true, imm: imm8, extMask: 1<<4 | 1<<5 | 1<<6 | 1<<7})
+	legal2(0xbb, opFlags{modrm: true})
+	legal2(0xbc, opFlags{modrm: true})
+	legal2(0xbd, opFlags{modrm: true})
+	legal2(0xbe, opFlags{modrm: true})
+	legal2(0xbf, opFlags{modrm: true})
+	legal2(0xc0, opFlags{modrm: true})
+	legal2(0xc1, opFlags{modrm: true})
+	legal2(0xc7, opFlags{modrm: true, memOnly: true, extMask: 1 << 1}) // CMPXCHG8B
+	legal2(0x31, opFlags{})                                            // RDTSC
+	legal2(0xa2, opFlags{})                                            // CPUID
+	for b := 0xc8; b <= 0xcf; b++ {
+		legal2(byte(b), opFlags{}) // BSWAP
+	}
+}
+
+const moffsMarker = immKind(200)
+
+// decoded summarizes a partially decoded instruction.
+type decoded struct {
+	length   int
+	maskReg  int // >= 0 when the instruction is "AND reg, 0xe0" (83 /4)
+	indirect int // register of an indirect FF/2|/4 jump/call, else -1
+	direct   bool
+	target   int64 // direct target (image-relative), valid when direct
+}
+
+// decode partially decodes the instruction at code[pos:], returning false
+// when it is illegal or truncated. This is the "partial decoding
+// intertwined with policy enforcement" the paper describes.
+func decode(code []byte, pos int) (decoded, bool) {
+	d := decoded{maskReg: -1, indirect: -1}
+	p := pos
+	n := len(code)
+	opsize16 := false
+	rep := false
+
+	// Prefixes: only 0x66 and F2/F3 (string ops) are legal.
+	for {
+		if p >= n {
+			return d, false
+		}
+		b := code[p]
+		if b == 0x66 && !opsize16 && !rep {
+			opsize16 = true
+			p++
+			continue
+		}
+		if (b == 0xf2 || b == 0xf3) && !rep && !opsize16 {
+			rep = true
+			p++
+			continue
+		}
+		break
+	}
+	if p >= n {
+		return d, false
+	}
+	op := code[p]
+	p++
+
+	// Direct jumps (no prefixes allowed on them).
+	if !opsize16 && !rep {
+		switch {
+		case op == 0xeb || op>>4 == 0x7: // JMP rel8 / Jcc rel8
+			if p >= n {
+				return d, false
+			}
+			rel := int64(int8(code[p]))
+			p++
+			d.length = p - pos
+			d.direct = true
+			d.target = int64(p) + rel
+			return d, true
+		case op == 0xe8 || op == 0xe9:
+			if p+4 > n {
+				return d, false
+			}
+			rel := int64(int32(le32(code[p:])))
+			p += 4
+			d.length = p - pos
+			d.direct = true
+			d.target = int64(p) + rel
+			return d, true
+		case op == 0x0f && p < n && code[p]>>4 == 0x8: // Jcc rel32
+			p++
+			if p+4 > n {
+				return d, false
+			}
+			rel := int64(int32(le32(code[p:])))
+			p += 4
+			d.length = p - pos
+			d.direct = true
+			d.target = int64(p) + rel
+			return d, true
+		}
+	}
+
+	// Indirect jump/call through a register: FF /2 or /4 with mod=11.
+	// Only meaningful as the second half of a masked pair.
+	if !opsize16 && !rep && op == 0xff && p < n {
+		modrm := code[p]
+		if modrm>>6 == 3 {
+			ext := modrm >> 3 & 7
+			if ext == 2 || ext == 4 {
+				d.indirect = int(modrm & 7)
+				d.length = p + 1 - pos
+				return d, true
+			}
+		}
+	}
+
+	var f opFlags
+	if op == 0x0f {
+		if p >= n {
+			return d, false
+		}
+		f = twoByte[code[p]]
+		p++
+	} else {
+		f = oneByte[op]
+	}
+	if !f.legal {
+		return d, false
+	}
+	if rep {
+		// REP/REPNE only before the plain string ops.
+		switch op {
+		case 0xa4, 0xa5, 0xa6, 0xa7, 0xaa, 0xab, 0xac, 0xad, 0xae, 0xaf:
+		default:
+			return d, false
+		}
+	}
+
+	if f.modrm {
+		ml, ext, isReg, rm := modrmLen(code, p)
+		if ml < 0 {
+			return d, false
+		}
+		if f.memOnly && isReg {
+			return d, false
+		}
+		if f.extMask != 0 && f.extMask&(1<<ext) == 0 {
+			return d, false
+		}
+		// Mask detection: AND r/m32, imm8 is 83 /4; the NaCl mask is the
+		// register form with immediate 0xe0.
+		if op == 0x83 && ext == 4 && isReg && !opsize16 {
+			immPos := p + ml
+			if immPos < n && code[immPos] == 0xe0 {
+				d.maskReg = int(rm)
+			}
+		}
+		if f.immByExt != nil {
+			if k, ok := f.immByExt[ext]; ok {
+				f.imm = k
+			} else {
+				f.imm = immNone
+			}
+		}
+		p += ml
+	}
+	switch f.imm {
+	case imm8:
+		p++
+	case imm16:
+		p += 2
+	case imm16p8:
+		p += 3
+	case immZ:
+		if opsize16 {
+			p += 2
+		} else {
+			p += 4
+		}
+	case moffsMarker:
+		p += 4
+	}
+	if p > n {
+		return d, false
+	}
+	d.length = p - pos
+	return d, true
+}
+
+// modrmLen returns the byte length of the ModRM/SIB/displacement cluster,
+// the reg/extension field, whether the r/m is a register, and the rm
+// bits. A negative length means truncated or malformed.
+func modrmLen(code []byte, p int) (length int, ext uint8, isReg bool, rm uint8) {
+	if p >= len(code) {
+		return -1, 0, false, 0
+	}
+	modrm := code[p]
+	mod := modrm >> 6
+	ext = modrm >> 3 & 7
+	rm = modrm & 7
+	length = 1
+	if mod == 3 {
+		return length, ext, true, rm
+	}
+	disp := 0
+	switch mod {
+	case 0:
+		if rm == 5 {
+			disp = 4
+		}
+	case 1:
+		disp = 1
+	case 2:
+		disp = 4
+	}
+	if rm == 4 { // SIB
+		if p+1 >= len(code) {
+			return -1, 0, false, 0
+		}
+		sib := code[p+1]
+		length++
+		if mod == 0 && sib&7 == 5 {
+			disp = 4
+		}
+	}
+	length += disp
+	if p+length > len(code) {
+		return -1, 0, false, 0
+	}
+	return length, ext, false, rm
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Validate checks the image against the sandbox policy, Google-checker
+// style: one pass decoding instructions and recording instruction starts
+// and jump targets, then the alignment and target checks.
+func Validate(code []byte) bool {
+	size := len(code)
+	valid := make([]bool, size)
+	target := make([]bool, size)
+
+	pos := 0
+	lastMaskReg := -1
+	lastMaskEnd := -1
+	for pos < size {
+		d, ok := decode(code, pos)
+		if !ok {
+			return false
+		}
+		valid[pos] = true
+		end := pos + d.length
+		if d.indirect >= 0 {
+			// Legal only as the contiguous second half of a masked pair
+			// through the same (non-ESP) register.
+			if d.indirect == 4 || lastMaskReg != d.indirect || lastMaskEnd != pos {
+				return false
+			}
+			// The jump itself must not be reachable directly.
+			valid[pos] = false
+		}
+		if d.direct {
+			if d.target < 0 || d.target >= int64(size) {
+				return false
+			}
+			target[d.target] = true
+		}
+		if d.maskReg >= 0 {
+			lastMaskReg = d.maskReg
+			lastMaskEnd = end
+		} else {
+			lastMaskReg, lastMaskEnd = -1, -1
+		}
+		pos = end
+	}
+	for i := 0; i < size; i++ {
+		if target[i] && !valid[i] {
+			return false
+		}
+		if i%bundleSize == 0 && !valid[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package ncval_test
+
+import (
+	"testing"
+
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/ncval"
+)
+
+func pad(code ...byte) []byte {
+	for len(code)%32 != 0 {
+		code = append(code, 0x90)
+	}
+	return code
+}
+
+func TestValidateBasics(t *testing.T) {
+	if !ncval.Validate(pad(0x90)) {
+		t.Fatal("nops must validate")
+	}
+	if !ncval.Validate(nil) {
+		t.Fatal("empty image is safe")
+	}
+	if !ncval.Validate(pad(0x83, 0xe0, 0xe0, 0xff, 0xe0)) {
+		t.Fatal("masked jump must validate")
+	}
+	if ncval.Validate(pad(0xff, 0xe0)) {
+		t.Fatal("bare indirect jump must fail")
+	}
+	if ncval.Validate(pad(0xc3)) {
+		t.Fatal("ret must fail")
+	}
+	if ncval.Validate(pad(0xcd, 0x80)) {
+		t.Fatal("int 0x80 must fail")
+	}
+}
+
+func TestValidateDirectJumps(t *testing.T) {
+	// jmp +0 to the following nop: fine.
+	if !ncval.Validate(pad(0xeb, 0x00)) {
+		t.Fatal("direct jump to next instruction must validate")
+	}
+	// jmp into the middle of an instruction: fail.
+	if ncval.Validate(pad(0xeb, 0x03, 0xb8, 0, 0, 0, 0)) {
+		t.Fatal("jump into instruction must fail")
+	}
+	// jmp out of image: fail.
+	if ncval.Validate(pad(0xe9, 0x00, 0x10, 0x00, 0x00)) {
+		t.Fatal("out-of-image jump must fail")
+	}
+}
+
+func TestValidatePrefixRules(t *testing.T) {
+	if !ncval.Validate(pad(0x66, 0x01, 0xd8)) {
+		t.Fatal("operand-size prefix on add must validate")
+	}
+	if !ncval.Validate(pad(0xf3, 0xa4)) {
+		t.Fatal("rep movsb must validate")
+	}
+	if ncval.Validate(pad(0xf3, 0x90)) {
+		t.Fatal("rep on non-string op must fail")
+	}
+	if ncval.Validate(pad(0xf3, 0x66, 0xa5)) {
+		t.Fatal("66 after rep must fail")
+	}
+	if ncval.Validate(pad(0x64, 0x8b, 0x00)) {
+		t.Fatal("segment override must fail")
+	}
+	if ncval.Validate(pad(0xf0, 0x01, 0x08)) {
+		t.Fatal("lock prefix must fail")
+	}
+	if ncval.Validate(pad(0x67, 0x90)) {
+		t.Fatal("address-size prefix must fail")
+	}
+}
+
+func TestValidateBoundaryRules(t *testing.T) {
+	// 30 nops then a 5-byte mov straddling the bundle boundary.
+	img := make([]byte, 0, 64)
+	for i := 0; i < 30; i++ {
+		img = append(img, 0x90)
+	}
+	img = append(img, 0xb8, 1, 2, 3, 4)
+	if ncval.Validate(pad(img...)) {
+		t.Fatal("straddling instruction must fail")
+	}
+}
+
+func TestValidateMaskedPairRules(t *testing.T) {
+	// Mask of wrong register.
+	if ncval.Validate(pad(0x83, 0xe0, 0xe0, 0xff, 0xe1)) {
+		t.Fatal("mask/jump register mismatch must fail")
+	}
+	// Mask and jump separated by a nop.
+	if ncval.Validate(pad(0x83, 0xe0, 0xe0, 0x90, 0xff, 0xe0)) {
+		t.Fatal("non-contiguous pair must fail")
+	}
+	// ESP pair.
+	if ncval.Validate(pad(0x83, 0xe4, 0xe0, 0xff, 0xe4)) {
+		t.Fatal("ESP pair must fail")
+	}
+	// Direct jump targeting the jump half of a pair.
+	if ncval.Validate(pad(0xeb, 0x03, 0x83, 0xe0, 0xe0, 0xff, 0xe0)) {
+		t.Fatal("jump over mask must fail")
+	}
+	// A lone mask is a perfectly good AND.
+	if !ncval.Validate(pad(0x83, 0xe0, 0xe0)) {
+		t.Fatal("lone mask must validate")
+	}
+}
+
+func TestValidateUnsafeCorpus(t *testing.T) {
+	for name, img := range nacl.UnsafeCorpus() {
+		if ncval.Validate(img) {
+			t.Errorf("unsafe image %q accepted", name)
+		}
+	}
+}
+
+func TestValidateGenerated(t *testing.T) {
+	gen := nacl.NewGenerator(3)
+	for i := 0; i < 50; i++ {
+		img, err := gen.Random(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ncval.Validate(img) {
+			t.Fatalf("compliant image %d rejected", i)
+		}
+	}
+}
+
+func TestValidateTruncated(t *testing.T) {
+	// An image ending mid-instruction must fail (but note images are
+	// bundle multiples in practice; here we feed raw bytes).
+	if ncval.Validate([]byte{0xb8, 0x01}) {
+		t.Fatal("truncated instruction must fail")
+	}
+}

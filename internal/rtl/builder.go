@@ -1,0 +1,206 @@
+package rtl
+
+import (
+	"fmt"
+
+	"rocksalt/internal/bits"
+)
+
+// Builder is the translation monad of §2.3: it allocates fresh local
+// variables, tracks their widths for early error detection, and
+// accumulates the RTL sequence. Higher-level operations (multi-byte loads,
+// boolean algebra on flags) are built out of the core instructions.
+type Builder struct {
+	instrs []Instr
+	widths []int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Take returns the accumulated sequence and resets the builder.
+func (b *Builder) Take() []Instr {
+	out := b.instrs
+	b.instrs = nil
+	b.widths = nil
+	return out
+}
+
+// Len reports how many RTL instructions have been emitted.
+func (b *Builder) Len() int { return len(b.instrs) }
+
+func (b *Builder) fresh(width int) Var {
+	v := Var(len(b.widths))
+	b.widths = append(b.widths, width)
+	return v
+}
+
+// WidthOf returns the width of a builder-allocated variable.
+func (b *Builder) WidthOf(v Var) int { return b.widths[v] }
+
+func (b *Builder) emit(i Instr) { b.instrs = append(b.instrs, i) }
+
+func (b *Builder) checkWidth(v Var, w int, ctx string) {
+	if b.widths[v] != w {
+		panic(fmt.Sprintf("rtl: width mismatch in %s: v%d is %d bits, want %d",
+			ctx, int(v), b.widths[v], w))
+	}
+}
+
+// Imm loads an immediate.
+func (b *Builder) Imm(v bits.Vec) Var {
+	d := b.fresh(v.Width())
+	b.emit(LoadImm{Dst: d, Val: v})
+	return d
+}
+
+// ImmU loads width-bit constant n.
+func (b *Builder) ImmU(width int, n uint64) Var { return b.Imm(bits.New(width, n)) }
+
+// Arith emits a binary operation; both operands must share a width.
+func (b *Builder) Arith(op ArithOp, x, y Var) Var {
+	b.checkWidth(y, b.widths[x], "arith")
+	d := b.fresh(b.widths[x])
+	b.emit(Arith{Dst: d, Op: op, A: x, B: y})
+	return d
+}
+
+// Test emits a comparison yielding a 1-bit vector.
+func (b *Builder) Test(op CmpOp, x, y Var) Var {
+	b.checkWidth(y, b.widths[x], "test")
+	d := b.fresh(1)
+	b.emit(Test{Dst: d, Op: op, A: x, B: y})
+	return d
+}
+
+// Get reads a machine location.
+func (b *Builder) Get(loc Loc) Var {
+	d := b.fresh(loc.Width())
+	b.emit(GetLoc{Dst: d, Loc: loc})
+	return d
+}
+
+// Set writes a machine location.
+func (b *Builder) Set(loc Loc, v Var) {
+	b.checkWidth(v, loc.Width(), "set "+loc.String())
+	b.emit(SetLoc{Loc: loc, Src: v})
+}
+
+// Choose draws a non-deterministic value of the given width.
+func (b *Builder) Choose(width int) Var {
+	d := b.fresh(width)
+	b.emit(Choose{Dst: d, Width: width})
+	return d
+}
+
+// CastU zero-extends or truncates v to width.
+func (b *Builder) CastU(width int, v Var) Var {
+	if b.widths[v] == width {
+		return v
+	}
+	d := b.fresh(width)
+	b.emit(CastU{Dst: d, Src: v, Width: width})
+	return d
+}
+
+// CastS sign-extends or truncates v to width.
+func (b *Builder) CastS(width int, v Var) Var {
+	d := b.fresh(width)
+	b.emit(CastS{Dst: d, Src: v, Width: width})
+	return d
+}
+
+// Mux selects a when c is set, b otherwise.
+func (b *Builder) Mux(c, x, y Var) Var {
+	b.checkWidth(c, 1, "mux cond")
+	b.checkWidth(y, b.widths[x], "mux arms")
+	d := b.fresh(b.widths[x])
+	b.emit(Mux{Dst: d, Cond: c, A: x, B: y})
+	return d
+}
+
+// TrapIf faults the instruction when the 1-bit condition is set.
+func (b *Builder) TrapIf(c Var, reason string) {
+	b.checkWidth(c, 1, "trapif")
+	b.emit(TrapIf{Cond: c, Reason: reason})
+}
+
+// Trap faults unconditionally.
+func (b *Builder) Trap(reason string) { b.emit(Trap{Reason: reason}) }
+
+// LoadBytes emits a little-endian load of size bits (8/16/32) at the
+// 32-bit linear address.
+func (b *Builder) LoadBytes(size int, addr Var) Var {
+	b.checkWidth(addr, 32, "load address")
+	nbytes := size / 8
+	if size%8 != 0 || nbytes < 1 || nbytes > 4 {
+		panic(fmt.Sprintf("rtl: bad load size %d", size))
+	}
+	var acc Var
+	for i := 0; i < nbytes; i++ {
+		a := addr
+		if i > 0 {
+			a = b.Arith(Add, addr, b.ImmU(32, uint64(i)))
+		}
+		byteVar := b.fresh(8)
+		b.emit(LoadMem{Dst: byteVar, Addr: a})
+		wide := b.CastU(size, byteVar)
+		if i == 0 {
+			acc = wide
+		} else {
+			shifted := b.Arith(Shl, wide, b.ImmU(size, uint64(8*i)))
+			acc = b.Arith(Or, acc, shifted)
+		}
+	}
+	return acc
+}
+
+// StoreBytes emits a little-endian store of v (8/16/32 bits) at the
+// 32-bit linear address.
+func (b *Builder) StoreBytes(addr, v Var) {
+	b.checkWidth(addr, 32, "store address")
+	size := b.widths[v]
+	nbytes := size / 8
+	if size%8 != 0 || nbytes < 1 || nbytes > 4 {
+		panic(fmt.Sprintf("rtl: bad store size %d", size))
+	}
+	for i := 0; i < nbytes; i++ {
+		a := addr
+		if i > 0 {
+			a = b.Arith(Add, addr, b.ImmU(32, uint64(i)))
+		}
+		byteVal := v
+		if i > 0 {
+			byteVal = b.Arith(ShrU, v, b.ImmU(size, uint64(8*i)))
+		}
+		byteVal = b.CastU(8, byteVal)
+		b.emit(StoreMem{Addr: a, Src: byteVal})
+	}
+}
+
+// Not computes the 1-bit complement.
+func (b *Builder) Not1(v Var) Var {
+	return b.Arith(Xor, v, b.ImmU(1, 1))
+}
+
+// Bool loads a 1-bit constant.
+func (b *Builder) Bool(v bool) Var { return b.Imm(bits.Bool(v)) }
+
+// IsZero tests v == 0.
+func (b *Builder) IsZero(v Var) Var {
+	return b.Test(Eq, v, b.ImmU(b.widths[v], 0))
+}
+
+// MSB extracts the most significant bit of v as a 1-bit vector.
+func (b *Builder) MSB(v Var) Var {
+	w := b.widths[v]
+	sh := b.Arith(ShrU, v, b.ImmU(w, uint64(w-1)))
+	return b.CastU(1, sh)
+}
+
+// BitAt extracts bit i of v (constant index) as a 1-bit vector.
+func (b *Builder) BitAt(v Var, i uint) Var {
+	w := b.widths[v]
+	sh := b.Arith(ShrU, v, b.ImmU(w, uint64(i)))
+	return b.CastU(1, sh)
+}

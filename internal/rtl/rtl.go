@@ -1,0 +1,488 @@
+// Package rtl implements the paper's RTL (register transfer list) DSL: a
+// small RISC-like core language over bit vectors, parameterized by an
+// architecture's notion of machine state (Figure 3). x86 instructions are
+// given meaning by translation to RTL sequences; the interpreter here is a
+// pure step function, with non-determinism expressed through an oracle bit
+// stream exactly as in §2.4.
+package rtl
+
+import (
+	"fmt"
+
+	"rocksalt/internal/bits"
+)
+
+// Loc identifies one architecture-defined machine location (a register, a
+// flag, the PC, a segment base...). Implementations must be comparable.
+type Loc interface {
+	// Width returns the location's width in bits.
+	Width() int
+	String() string
+}
+
+// Machine is the architecture-specific state RTL is parameterized by:
+// locations plus a byte-addressed memory.
+type Machine interface {
+	Get(Loc) bits.Vec
+	Set(Loc, bits.Vec)
+	// LoadByte / StoreByte access linear memory. Addresses are 32 bits.
+	LoadByte(addr uint32) byte
+	StoreByte(addr uint32, b byte)
+}
+
+// Var names an RTL local variable (the countably infinite supply of
+// temporaries).
+type Var int
+
+// ArithOp is a binary bit-vector operation.
+type ArithOp uint8
+
+// Arithmetic and logic operations.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	MulHiU
+	MulHiS
+	DivU // traps on zero divisor
+	DivS // traps on zero divisor or overflow
+	RemU
+	RemS
+	And
+	Or
+	Xor
+	Shl
+	ShrU
+	ShrS
+	Rol
+	Ror
+)
+
+var arithNames = [...]string{
+	"add", "sub", "mul", "mulhu", "mulhs", "divu", "divs", "remu", "rems",
+	"and", "or", "xor", "shl", "shru", "shrs", "rol", "ror",
+}
+
+func (o ArithOp) String() string { return arithNames[o] }
+
+// CmpOp is a comparison producing a 1-bit vector.
+type CmpOp uint8
+
+// Comparison operations.
+const (
+	Eq CmpOp = iota
+	LtU
+	LtS
+)
+
+var cmpNames = [...]string{"eq", "ltu", "lts"}
+
+func (o CmpOp) String() string { return cmpNames[o] }
+
+// Instr is one RTL instruction. The set follows Figure 3, extended with
+// the Mux and TrapIf forms needed to express conditional data flow and
+// faulting behavior without control flow inside a sequence.
+type Instr interface {
+	exec(st *State) error
+	String() string
+}
+
+// LoadImm sets a local to an immediate bit vector: x := imm.
+type LoadImm struct {
+	Dst Var
+	Val bits.Vec
+}
+
+// Arith is x := y op z.
+type Arith struct {
+	Dst  Var
+	Op   ArithOp
+	A, B Var
+}
+
+// Test is x := y cmp z, yielding a 1-bit vector.
+type Test struct {
+	Dst  Var
+	Op   CmpOp
+	A, B Var
+}
+
+// GetLoc is x := load loc.
+type GetLoc struct {
+	Dst Var
+	Loc Loc
+}
+
+// SetLoc is store loc x.
+type SetLoc struct {
+	Loc Loc
+	Src Var
+}
+
+// LoadMem is x := Mem[a], a single byte load; multi-byte loads are built
+// from byte loads by the translator.
+type LoadMem struct {
+	Dst  Var
+	Addr Var // 32-bit linear address
+}
+
+// StoreMem is Mem[a] := x, a single byte store.
+type StoreMem struct {
+	Addr Var
+	Src  Var // 8-bit value
+}
+
+// Choose is x := choose(width): non-deterministically pick a bit vector,
+// resolved by pulling bits from the oracle.
+type Choose struct {
+	Dst   Var
+	Width int
+}
+
+// CastU is x := zero-extend-or-truncate(y) to Width.
+type CastU struct {
+	Dst   Var
+	Src   Var
+	Width int
+}
+
+// CastS is x := sign-extend-or-truncate(y) to Width.
+type CastS struct {
+	Dst   Var
+	Src   Var
+	Width int
+}
+
+// Mux is x := c ? a : b (c is 1 bit wide).
+type Mux struct {
+	Dst  Var
+	Cond Var
+	A, B Var
+}
+
+// TrapIf aborts execution of the whole program with a machine trap when
+// the 1-bit condition is set. Traps model faults (#DE, #GP, illegal
+// instruction) and the policy-relevant "instruction not supported" cases.
+type TrapIf struct {
+	Cond   Var
+	Reason string
+}
+
+// Trap aborts unconditionally.
+type Trap struct {
+	Reason string
+}
+
+// TrapError is the error produced when RTL execution traps.
+type TrapError struct {
+	Reason string
+}
+
+func (e *TrapError) Error() string { return "rtl: trap: " + e.Reason }
+
+// Oracle supplies the bits consumed by Choose. Implementations may be
+// random (validation) or adversarial (safety proofs consider all oracles).
+type Oracle interface {
+	// Choose returns an arbitrary bit vector of the given width.
+	Choose(width int) bits.Vec
+}
+
+// ZeroOracle always chooses zero — the deterministic baseline.
+type ZeroOracle struct{}
+
+// Choose returns the zero vector.
+func (ZeroOracle) Choose(width int) bits.Vec { return bits.Zero(width) }
+
+// StreamOracle pulls bits from a fixed byte stream, wrapping around; the
+// paper's "stream of bits that serves as an oracle".
+type StreamOracle struct {
+	Bits []byte
+	pos  int
+}
+
+// Choose consumes width bits from the stream.
+func (o *StreamOracle) Choose(width int) bits.Vec {
+	if len(o.Bits) == 0 {
+		return bits.Zero(width)
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		byteIdx := (o.pos / 8) % len(o.Bits)
+		bit := o.Bits[byteIdx] >> uint(o.pos%8) & 1
+		v = v<<1 | uint64(bit)
+		o.pos++
+	}
+	return bits.New(width, v)
+}
+
+// State is the RTL machine state: the architecture state, the local
+// variables of the sequence being executed, and the oracle.
+type State struct {
+	M      Machine
+	Oracle Oracle
+	locals []bits.Vec
+	set    []bool
+}
+
+// NewState creates an interpreter state over a machine.
+func NewState(m Machine, o Oracle) *State {
+	if o == nil {
+		o = ZeroOracle{}
+	}
+	return &State{M: m, Oracle: o}
+}
+
+// Reset clears the local variables between instruction translations (each
+// x86 instruction gets a fresh supply of temporaries).
+func (st *State) Reset() {
+	st.locals = st.locals[:0]
+	st.set = st.set[:0]
+}
+
+func (st *State) setVar(v Var, val bits.Vec) {
+	for int(v) >= len(st.locals) {
+		st.locals = append(st.locals, bits.Vec{})
+		st.set = append(st.set, false)
+	}
+	st.locals[v] = val
+	st.set[v] = true
+}
+
+func (st *State) getVar(v Var) (bits.Vec, error) {
+	if int(v) >= len(st.locals) || !st.set[v] {
+		return bits.Vec{}, fmt.Errorf("rtl: read of unset local v%d", int(v))
+	}
+	return st.locals[v], nil
+}
+
+// Exec runs a sequence of RTL instructions against the state. A TrapError
+// is returned when the sequence faults; the machine state may be partially
+// updated, as on real hardware.
+func Exec(prog []Instr, st *State) error {
+	for _, ins := range prog {
+		if err := ins.exec(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (i LoadImm) exec(st *State) error {
+	st.setVar(i.Dst, i.Val)
+	return nil
+}
+
+func (i Arith) exec(st *State) error {
+	a, err := st.getVar(i.A)
+	if err != nil {
+		return err
+	}
+	b, err := st.getVar(i.B)
+	if err != nil {
+		return err
+	}
+	var r bits.Vec
+	ok := true
+	switch i.Op {
+	case Add:
+		r = a.Add(b)
+	case Sub:
+		r = a.Sub(b)
+	case Mul:
+		r = a.Mul(b)
+	case MulHiU:
+		r = a.MulHighU(b)
+	case MulHiS:
+		r = a.MulHighS(b)
+	case DivU:
+		r, ok = a.DivU(b)
+	case DivS:
+		r, ok = a.DivS(b)
+	case RemU:
+		r, ok = a.RemU(b)
+	case RemS:
+		r, ok = a.RemS(b)
+	case And:
+		r = a.And(b)
+	case Or:
+		r = a.Or(b)
+	case Xor:
+		r = a.Xor(b)
+	case Shl:
+		r = a.Shl(b)
+	case ShrU:
+		r = a.ShrU(b)
+	case ShrS:
+		r = a.ShrS(b)
+	case Rol:
+		r = a.Rol(b)
+	case Ror:
+		r = a.Ror(b)
+	default:
+		return fmt.Errorf("rtl: unknown arith op %d", i.Op)
+	}
+	if !ok {
+		return &TrapError{Reason: "#DE division error"}
+	}
+	st.setVar(i.Dst, r)
+	return nil
+}
+
+func (i Test) exec(st *State) error {
+	a, err := st.getVar(i.A)
+	if err != nil {
+		return err
+	}
+	b, err := st.getVar(i.B)
+	if err != nil {
+		return err
+	}
+	var r bits.Vec
+	switch i.Op {
+	case Eq:
+		r = a.Eq(b)
+	case LtU:
+		r = a.LtU(b)
+	case LtS:
+		r = a.LtS(b)
+	default:
+		return fmt.Errorf("rtl: unknown cmp op %d", i.Op)
+	}
+	st.setVar(i.Dst, r)
+	return nil
+}
+
+func (i GetLoc) exec(st *State) error {
+	st.setVar(i.Dst, st.M.Get(i.Loc))
+	return nil
+}
+
+func (i SetLoc) exec(st *State) error {
+	v, err := st.getVar(i.Src)
+	if err != nil {
+		return err
+	}
+	if v.Width() != i.Loc.Width() {
+		return fmt.Errorf("rtl: width mismatch storing %d bits to %s (%d bits)",
+			v.Width(), i.Loc, i.Loc.Width())
+	}
+	st.M.Set(i.Loc, v)
+	return nil
+}
+
+func (i LoadMem) exec(st *State) error {
+	a, err := st.getVar(i.Addr)
+	if err != nil {
+		return err
+	}
+	b := st.M.LoadByte(uint32(a.Uint64()))
+	st.setVar(i.Dst, bits.New(8, uint64(b)))
+	return nil
+}
+
+func (i StoreMem) exec(st *State) error {
+	a, err := st.getVar(i.Addr)
+	if err != nil {
+		return err
+	}
+	v, err := st.getVar(i.Src)
+	if err != nil {
+		return err
+	}
+	if v.Width() != 8 {
+		return fmt.Errorf("rtl: StoreMem source must be 8 bits, got %d", v.Width())
+	}
+	st.M.StoreByte(uint32(a.Uint64()), byte(v.Uint64()))
+	return nil
+}
+
+func (i Choose) exec(st *State) error {
+	st.setVar(i.Dst, st.Oracle.Choose(i.Width))
+	return nil
+}
+
+func (i CastU) exec(st *State) error {
+	v, err := st.getVar(i.Src)
+	if err != nil {
+		return err
+	}
+	if i.Width >= v.Width() {
+		st.setVar(i.Dst, v.ZeroExtend(i.Width))
+	} else {
+		st.setVar(i.Dst, v.Truncate(i.Width))
+	}
+	return nil
+}
+
+func (i CastS) exec(st *State) error {
+	v, err := st.getVar(i.Src)
+	if err != nil {
+		return err
+	}
+	if i.Width >= v.Width() {
+		st.setVar(i.Dst, v.SignExtend(i.Width))
+	} else {
+		st.setVar(i.Dst, v.Truncate(i.Width))
+	}
+	return nil
+}
+
+func (i Mux) exec(st *State) error {
+	c, err := st.getVar(i.Cond)
+	if err != nil {
+		return err
+	}
+	a, err := st.getVar(i.A)
+	if err != nil {
+		return err
+	}
+	b, err := st.getVar(i.B)
+	if err != nil {
+		return err
+	}
+	if c.Width() != 1 {
+		return fmt.Errorf("rtl: Mux condition must be 1 bit")
+	}
+	if a.Width() != b.Width() {
+		return fmt.Errorf("rtl: Mux arms differ in width")
+	}
+	if c.IsTrue() {
+		st.setVar(i.Dst, a)
+	} else {
+		st.setVar(i.Dst, b)
+	}
+	return nil
+}
+
+func (i TrapIf) exec(st *State) error {
+	c, err := st.getVar(i.Cond)
+	if err != nil {
+		return err
+	}
+	if c.IsTrue() {
+		return &TrapError{Reason: i.Reason}
+	}
+	return nil
+}
+
+func (i Trap) exec(st *State) error {
+	return &TrapError{Reason: i.Reason}
+}
+
+func (i LoadImm) String() string { return fmt.Sprintf("v%d := %v", i.Dst, i.Val) }
+func (i Arith) String() string   { return fmt.Sprintf("v%d := v%d %s v%d", i.Dst, i.A, i.Op, i.B) }
+func (i Test) String() string    { return fmt.Sprintf("v%d := v%d %s v%d", i.Dst, i.A, i.Op, i.B) }
+func (i GetLoc) String() string  { return fmt.Sprintf("v%d := load %s", i.Dst, i.Loc) }
+func (i SetLoc) String() string  { return fmt.Sprintf("store %s, v%d", i.Loc, i.Src) }
+func (i LoadMem) String() string { return fmt.Sprintf("v%d := Mem[v%d]", i.Dst, i.Addr) }
+func (i StoreMem) String() string {
+	return fmt.Sprintf("Mem[v%d] := v%d", i.Addr, i.Src)
+}
+func (i Choose) String() string { return fmt.Sprintf("v%d := choose %d", i.Dst, i.Width) }
+func (i CastU) String() string  { return fmt.Sprintf("v%d := castu%d v%d", i.Dst, i.Width, i.Src) }
+func (i CastS) String() string  { return fmt.Sprintf("v%d := casts%d v%d", i.Dst, i.Width, i.Src) }
+func (i Mux) String() string {
+	return fmt.Sprintf("v%d := v%d ? v%d : v%d", i.Dst, i.Cond, i.A, i.B)
+}
+func (i TrapIf) String() string { return fmt.Sprintf("trapif v%d, %q", i.Cond, i.Reason) }
+func (i Trap) String() string   { return fmt.Sprintf("trap %q", i.Reason) }

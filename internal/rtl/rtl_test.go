@@ -1,0 +1,253 @@
+package rtl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rocksalt/internal/bits"
+)
+
+// testLoc is a minimal location for the tests.
+type testLoc struct {
+	name  string
+	width int
+}
+
+func (l testLoc) Width() int     { return l.width }
+func (l testLoc) String() string { return l.name }
+
+// testMachine is a minimal rtl.Machine.
+type testMachine struct {
+	locs map[testLoc]bits.Vec
+	mem  map[uint32]byte
+}
+
+func newTestMachine() *testMachine {
+	return &testMachine{locs: map[testLoc]bits.Vec{}, mem: map[uint32]byte{}}
+}
+
+func (m *testMachine) Get(l Loc) bits.Vec {
+	v, ok := m.locs[l.(testLoc)]
+	if !ok {
+		return bits.Zero(l.Width())
+	}
+	return v
+}
+func (m *testMachine) Set(l Loc, v bits.Vec)      { m.locs[l.(testLoc)] = v }
+func (m *testMachine) LoadByte(a uint32) byte     { return m.mem[a] }
+func (m *testMachine) StoreByte(a uint32, b byte) { m.mem[a] = b }
+
+func run(t *testing.T, b *Builder, m Machine, o Oracle) *State {
+	t.Helper()
+	st := NewState(m, o)
+	if err := Exec(b.Take(), st); err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return st
+}
+
+func TestArithAndLocs(t *testing.T) {
+	m := newTestMachine()
+	r := testLoc{"r0", 32}
+	b := NewBuilder()
+	x := b.ImmU(32, 7)
+	y := b.ImmU(32, 5)
+	b.Set(r, b.Arith(Add, x, y))
+	run(t, b, m, nil)
+	if got := m.Get(r).Uint64(); got != 12 {
+		t.Fatalf("r0 = %d, want 12", got)
+	}
+}
+
+func TestAllArithOps(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		a, b uint64
+		want uint64
+	}{
+		{Add, 3, 4, 7}, {Sub, 3, 4, 0xffffffff}, {Mul, 6, 7, 42},
+		{MulHiU, 1 << 31, 4, 2}, {DivU, 42, 5, 8}, {RemU, 42, 5, 2},
+		{And, 0xf0, 0x3c, 0x30}, {Or, 0xf0, 0x0f, 0xff}, {Xor, 0xff, 0x0f, 0xf0},
+		{Shl, 1, 4, 16}, {ShrU, 16, 4, 1}, {ShrS, 0x80000000, 31, 0xffffffff},
+		{Rol, 0x80000001, 1, 3}, {Ror, 3, 1, 0x80000001},
+	}
+	for _, c := range cases {
+		b := NewBuilder()
+		loc := testLoc{"out", 32}
+		b.Set(loc, b.Arith(c.op, b.ImmU(32, c.a), b.ImmU(32, c.b)))
+		m := newTestMachine()
+		run(t, b, m, nil)
+		if got := m.Get(loc).Uint64(); got != c.want {
+			t.Errorf("%v(%#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivisionTraps(t *testing.T) {
+	b := NewBuilder()
+	b.Arith(DivU, b.ImmU(32, 1), b.ImmU(32, 0))
+	st := NewState(newTestMachine(), nil)
+	err := Exec(b.Take(), st)
+	var trap *TrapError
+	if !errors.As(err, &trap) {
+		t.Fatalf("expected trap, got %v", err)
+	}
+}
+
+func TestTests(t *testing.T) {
+	b := NewBuilder()
+	lt := testLoc{"lt", 1}
+	ltu := testLoc{"ltu", 1}
+	eq := testLoc{"eq", 1}
+	a := b.ImmU(32, 0xffffffff) // -1 signed
+	z := b.ImmU(32, 1)
+	b.Set(lt, b.Test(LtS, a, z))
+	b.Set(ltu, b.Test(LtU, a, z))
+	b.Set(eq, b.Test(Eq, a, a))
+	m := newTestMachine()
+	run(t, b, m, nil)
+	if !m.Get(lt).IsTrue() || m.Get(ltu).IsTrue() || !m.Get(eq).IsTrue() {
+		t.Fatal("comparison results wrong")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	addr := b.ImmU(32, 0x100)
+	b.StoreBytes(addr, b.ImmU(32, 0xdeadbeef))
+	loaded := b.LoadBytes(32, addr)
+	out := testLoc{"out", 32}
+	b.Set(out, loaded)
+	m := newTestMachine()
+	run(t, b, m, nil)
+	if got := m.Get(out).Uint64(); got != 0xdeadbeef {
+		t.Fatalf("loaded %#x", got)
+	}
+	// Little-endian byte order in memory.
+	if m.mem[0x100] != 0xef || m.mem[0x103] != 0xde {
+		t.Fatal("store is not little-endian")
+	}
+}
+
+func TestMemory16And8(t *testing.T) {
+	b := NewBuilder()
+	addr := b.ImmU(32, 0)
+	b.StoreBytes(addr, b.ImmU(16, 0xabcd))
+	v8 := b.LoadBytes(8, addr)
+	v16 := b.LoadBytes(16, addr)
+	l8, l16 := testLoc{"a", 8}, testLoc{"b", 16}
+	b.Set(l8, v8)
+	b.Set(l16, v16)
+	m := newTestMachine()
+	run(t, b, m, nil)
+	if m.Get(l8).Uint64() != 0xcd || m.Get(l16).Uint64() != 0xabcd {
+		t.Fatal("sub-word memory access wrong")
+	}
+}
+
+func TestChooseUsesOracle(t *testing.T) {
+	b := NewBuilder()
+	out := testLoc{"out", 8}
+	b.Set(out, b.Choose(8))
+	m := newTestMachine()
+	st := NewState(m, &StreamOracle{Bits: []byte{0xff}})
+	if err := Exec(b.Take(), st); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(out).Uint64(); got != 0xff {
+		t.Fatalf("choose = %#x, want 0xff (all-ones oracle)", got)
+	}
+	// Zero oracle gives zero.
+	b2 := NewBuilder()
+	b2.Set(out, b2.Choose(8))
+	m2 := newTestMachine()
+	run(t, b2, m2, ZeroOracle{})
+	if !m2.Get(out).IsZero() {
+		t.Fatal("zero oracle must choose zero")
+	}
+}
+
+func TestMux(t *testing.T) {
+	b := NewBuilder()
+	out := testLoc{"out", 32}
+	c := b.Test(Eq, b.ImmU(8, 1), b.ImmU(8, 1))
+	b.Set(out, b.Mux(c, b.ImmU(32, 111), b.ImmU(32, 222)))
+	m := newTestMachine()
+	run(t, b, m, nil)
+	if m.Get(out).Uint64() != 111 {
+		t.Fatal("mux picked wrong arm")
+	}
+}
+
+func TestTrapIf(t *testing.T) {
+	b := NewBuilder()
+	b.TrapIf(b.Bool(true), "boom")
+	err := Exec(b.Take(), NewState(newTestMachine(), nil))
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected boom trap, got %v", err)
+	}
+	b2 := NewBuilder()
+	b2.TrapIf(b2.Bool(false), "boom")
+	if err := Exec(b2.Take(), NewState(newTestMachine(), nil)); err != nil {
+		t.Fatalf("false TrapIf must not trap: %v", err)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	b := NewBuilder()
+	sExt := testLoc{"s", 32}
+	uExt := testLoc{"u", 32}
+	tr := testLoc{"t", 8}
+	v := b.ImmU(8, 0x80)
+	b.Set(sExt, b.CastS(32, v))
+	b.Set(uExt, b.CastU(32, v))
+	b.Set(tr, b.CastU(8, b.ImmU(32, 0x1234)))
+	m := newTestMachine()
+	run(t, b, m, nil)
+	if m.Get(sExt).Uint64() != 0xffffff80 || m.Get(uExt).Uint64() != 0x80 || m.Get(tr).Uint64() != 0x34 {
+		t.Fatal("casts wrong")
+	}
+}
+
+func TestReadOfUnsetLocalFails(t *testing.T) {
+	st := NewState(newTestMachine(), nil)
+	err := Exec([]Instr{Arith{Dst: 0, Op: Add, A: 5, B: 6}}, st)
+	if err == nil {
+		t.Fatal("reading unset locals must fail")
+	}
+}
+
+func TestWidthMismatchPanicsInBuilder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed-width arith must panic at build time")
+		}
+	}()
+	b := NewBuilder()
+	b.Arith(Add, b.ImmU(8, 1), b.ImmU(16, 1))
+}
+
+func TestInstrStrings(t *testing.T) {
+	b := NewBuilder()
+	x := b.ImmU(32, 1)
+	y := b.Arith(Add, x, x)
+	b.Set(testLoc{"r", 32}, y)
+	b.TrapIf(b.Test(Eq, x, y), "t")
+	for _, ins := range b.Take() {
+		if ins.String() == "" {
+			t.Fatal("empty instruction rendering")
+		}
+	}
+}
+
+func TestStreamOracleDeterministic(t *testing.T) {
+	o1 := &StreamOracle{Bits: []byte{0xa5, 0x5a}}
+	o2 := &StreamOracle{Bits: []byte{0xa5, 0x5a}}
+	for i := 0; i < 20; i++ {
+		w := i%31 + 1
+		if o1.Choose(w) != o2.Choose(w) {
+			t.Fatal("stream oracle must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package semanticsutil provides syntactic analyses over RTL terms:
+// the per-instruction "verification conditions" that connect the
+// generated RTL to the sandbox policy (the paper's §4 properties (1)
+// and (3)). They are used by the armor-style verifier and by the test
+// suite that checks the same properties across the whole NoControlFlow
+// instruction class.
+package semanticsutil
+
+import (
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86/machine"
+)
+
+// NoSegmentWrites reports whether the RTL term never writes a segment
+// selector, base, or limit — the paper's property (1) for non-control-
+// flow instructions.
+func NoSegmentWrites(prog []rtl.Instr) bool {
+	for _, ins := range prog {
+		set, ok := ins.(rtl.SetLoc)
+		if !ok {
+			continue
+		}
+		switch set.Loc.(type) {
+		case machine.SegSelLoc, machine.SegBaseLoc, machine.SegLimitLoc:
+			return false
+		}
+	}
+	return true
+}
+
+// FallThroughOnly reports whether every PC write in the term is the
+// constant next — the paper's property (3): after executing a
+// non-control-flow instruction the PC is the old PC plus the length.
+// The check is syntactic: the PC must be assigned from a variable whose
+// definition chain is the literal `next` (possibly through casts).
+func FallThroughOnly(prog []rtl.Instr, next uint32) bool {
+	// Track variables holding the literal `next` (through casts).
+	isNext := map[rtl.Var]bool{}
+	sawPCWrite := false
+	for _, ins := range prog {
+		switch i := ins.(type) {
+		case rtl.LoadImm:
+			if i.Val.Width() == 32 && uint32(i.Val.Uint64()) == next {
+				isNext[i.Dst] = true
+			} else {
+				delete(isNext, i.Dst)
+			}
+		case rtl.CastU:
+			if isNext[i.Src] && i.Width == 32 {
+				isNext[i.Dst] = true
+			} else {
+				delete(isNext, i.Dst)
+			}
+		case rtl.CastS:
+			if isNext[i.Src] && i.Width == 32 {
+				isNext[i.Dst] = true
+			} else {
+				delete(isNext, i.Dst)
+			}
+		case rtl.SetLoc:
+			if _, isPC := i.Loc.(machine.PCLoc); isPC {
+				sawPCWrite = true
+				if !isNext[i.Src] {
+					return false
+				}
+			}
+		}
+	}
+	return sawPCWrite
+}
+
+// TrapsUnconditionally reports whether the term contains an unconditional
+// Trap: execution can never complete, so the instruction is a safe halt
+// regardless of its PC behavior.
+func TrapsUnconditionally(prog []rtl.Instr) bool {
+	for _, ins := range prog {
+		if _, ok := ins.(rtl.Trap); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// PCWritesConfined reports whether every PC write in the term stores a
+// value provably in the allowed set: a literal member, a cast of one, or
+// a Mux whose both arms are confined. It is the relaxed property (3) for
+// REP-style instructions, whose PC either advances or stays put.
+func PCWritesConfined(prog []rtl.Instr, allowed map[uint32]bool) bool {
+	confined := map[rtl.Var]bool{}
+	sawPCWrite := false
+	for _, ins := range prog {
+		switch i := ins.(type) {
+		case rtl.LoadImm:
+			confined[i.Dst] = i.Val.Width() == 32 && allowed[uint32(i.Val.Uint64())]
+		case rtl.CastU:
+			confined[i.Dst] = confined[i.Src] && i.Width == 32
+		case rtl.CastS:
+			confined[i.Dst] = confined[i.Src] && i.Width == 32
+		case rtl.Mux:
+			confined[i.Dst] = confined[i.A] && confined[i.B]
+		case rtl.SetLoc:
+			if _, isPC := i.Loc.(machine.PCLoc); isPC {
+				sawPCWrite = true
+				if !confined[i.Src] {
+					return false
+				}
+			}
+		}
+	}
+	return sawPCWrite
+}
+
+// WritesLoc reports whether the term writes the given location.
+func WritesLoc(prog []rtl.Instr, loc rtl.Loc) bool {
+	for _, ins := range prog {
+		if set, ok := ins.(rtl.SetLoc); ok && set.Loc == loc {
+			return true
+		}
+	}
+	return false
+}
+
+// MemWriteCount counts the byte stores in the term.
+func MemWriteCount(prog []rtl.Instr) int {
+	n := 0
+	for _, ins := range prog {
+		if _, ok := ins.(rtl.StoreMem); ok {
+			n++
+		}
+	}
+	return n
+}

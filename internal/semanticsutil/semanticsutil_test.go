@@ -1,0 +1,119 @@
+package semanticsutil_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/grammar"
+	"rocksalt/internal/semanticsutil"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/decode"
+	"rocksalt/internal/x86/machine"
+	"rocksalt/internal/x86/semantics"
+)
+
+func TestNoSegmentWritesOnMov(t *testing.T) {
+	prog, err := semantics.Translate(x86.Inst{Op: x86.MOV, W: true,
+		Args: []x86.Operand{x86.RegOp{Reg: x86.EAX}, x86.Imm{Val: 1}}}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !semanticsutil.NoSegmentWrites(prog) {
+		t.Fatal("plain mov writes no segments")
+	}
+	// mov ds, eax does.
+	prog, err = semantics.Translate(x86.Inst{Op: x86.MOV, W: true,
+		Args: []x86.Operand{x86.SegOp{Seg: x86.DS}, x86.RegOp{Reg: x86.EAX}}}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semanticsutil.NoSegmentWrites(prog) {
+		t.Fatal("mov ds, eax must be flagged")
+	}
+}
+
+func TestFallThroughOnly(t *testing.T) {
+	prog, err := semantics.Translate(x86.Inst{Op: x86.ADD, W: true,
+		Args: []x86.Operand{x86.RegOp{Reg: x86.EAX}, x86.RegOp{Reg: x86.EBX}}}, 0x100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !semanticsutil.FallThroughOnly(prog, 0x102) {
+		t.Fatal("add must fall through")
+	}
+	if semanticsutil.FallThroughOnly(prog, 0x999) {
+		t.Fatal("wrong next must fail")
+	}
+	// A jump does not fall through.
+	prog, err = semantics.Translate(x86.Inst{Op: x86.JMP, W: true, Rel: true,
+		Args: []x86.Operand{x86.Imm{Val: 0x10}}}, 0x100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semanticsutil.FallThroughOnly(prog, 0x102) {
+		t.Fatal("jmp must not count as fall-through")
+	}
+}
+
+func TestPCWritesConfined(t *testing.T) {
+	// rep movsb: PC either stays or advances.
+	prog, err := semantics.Translate(x86.Inst{Op: x86.MOVS, W: false,
+		Prefix: x86.Prefix{Rep: true}}, 0x100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !semanticsutil.PCWritesConfined(prog, map[uint32]bool{0x100: true, 0x102: true}) {
+		t.Fatal("rep movs PC must be confined to {self, next}")
+	}
+	if semanticsutil.PCWritesConfined(prog, map[uint32]bool{0x102: true}) {
+		t.Fatal("rep movs can stay on itself; {next} alone must fail")
+	}
+}
+
+// TestSafeInstructionsSatisfyVCs is the whole-class version of the
+// paper's property (1): every instruction the NoControlFlow grammar can
+// produce translates to RTL without segment writes.
+func TestSafeInstructionsSatisfyVCs(t *testing.T) {
+	s := grammar.NewSampler(rand.New(rand.NewSource(17)))
+	g := core.NoControlFlowGrammar()
+	dec := decode.NewDecoder()
+	trials := 2000
+	if testing.Short() {
+		trials = 200
+	}
+	for i := 0; i < trials; i++ {
+		bs, _, ok := s.SampleBytes(g, 4)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		inst, n, err := dec.Decode(bs)
+		if err != nil {
+			t.Fatalf("% x: %v", bs, err)
+		}
+		prog, err := semantics.Translate(inst, 0x1000, n)
+		if err != nil {
+			t.Fatalf("translate %v: %v", inst, err)
+		}
+		if !semanticsutil.NoSegmentWrites(prog) {
+			t.Fatalf("safe instruction %v writes a segment register", inst)
+		}
+	}
+}
+
+func TestWritesLocAndMemWriteCount(t *testing.T) {
+	prog, err := semantics.Translate(x86.Inst{Op: x86.PUSH, W: true,
+		Args: []x86.Operand{x86.RegOp{Reg: x86.EAX}}}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !semanticsutil.WritesLoc(prog, machine.RegLoc(x86.ESP)) {
+		t.Fatal("push must write ESP")
+	}
+	if semanticsutil.WritesLoc(prog, machine.RegLoc(x86.EBX)) {
+		t.Fatal("push must not write EBX")
+	}
+	if got := semanticsutil.MemWriteCount(prog); got != 4 {
+		t.Fatalf("push stores %d bytes, want 4", got)
+	}
+}

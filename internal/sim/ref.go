@@ -1,0 +1,951 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	mathbits "math/bits"
+
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/machine"
+)
+
+// This file is the model-validation substitute for the paper's Pin-based
+// tracing of a real CPU: an independent, directly-coded interpreter for a
+// large subset of the modeled instructions. It shares no code with the
+// RTL pipeline (it works in plain uint32 arithmetic), so agreement between
+// the two on random instances is meaningful evidence. Undefined flags
+// follow the same convention as the RTL translation under a zero oracle:
+// they read as 0.
+
+// ErrRefUnsupported marks instructions outside the reference subset;
+// differential tests skip them.
+var ErrRefUnsupported = errors.New("sim: reference interpreter does not cover instruction")
+
+// RefStep executes one instruction directly against the state, mirroring
+// Simulator.Step.
+func RefStep(s *Simulator) error {
+	inst, n, err := s.FetchDecode()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHalt, err)
+	}
+	r := &refCtx{st: s.St, inst: inst, size: inst.OperandSize(), next: s.St.PC + uint32(n)}
+	return r.exec()
+}
+
+type refCtx struct {
+	st   *machine.State
+	inst x86.Inst
+	size int
+	next uint32
+}
+
+func (r *refCtx) mask() uint32 {
+	switch r.size {
+	case 8:
+		return 0xff
+	case 16:
+		return 0xffff
+	default:
+		return 0xffffffff
+	}
+}
+
+func (r *refCtx) signBit() uint32 { return 1 << uint(r.size-1) }
+
+func (r *refCtx) flag(f x86.Flag) bool       { return r.st.Flags[f] }
+func (r *refCtx) setFlag(f x86.Flag, v bool) { r.st.Flags[f] = v }
+
+func (r *refCtx) readReg(reg x86.Reg, size int) uint32 {
+	switch size {
+	case 32:
+		return r.st.Regs[reg]
+	case 16:
+		return r.st.Regs[reg] & 0xffff
+	case 8:
+		if reg >= 4 {
+			return r.st.Regs[reg-4] >> 8 & 0xff
+		}
+		return r.st.Regs[reg] & 0xff
+	}
+	panic("ref: bad size")
+}
+
+func (r *refCtx) writeReg(reg x86.Reg, size int, v uint32) {
+	switch size {
+	case 32:
+		r.st.Regs[reg] = v
+	case 16:
+		r.st.Regs[reg] = r.st.Regs[reg]&0xffff0000 | v&0xffff
+	case 8:
+		if reg >= 4 {
+			r.st.Regs[reg-4] = r.st.Regs[reg-4]&^uint32(0xff00) | (v&0xff)<<8
+		} else {
+			r.st.Regs[reg] = r.st.Regs[reg]&^uint32(0xff) | v&0xff
+		}
+	}
+}
+
+func (r *refCtx) defaultSeg(a x86.Addr) x86.SegReg {
+	if r.inst.Prefix.Seg != nil {
+		return *r.inst.Prefix.Seg
+	}
+	if a.Base != nil && (*a.Base == x86.EBP || *a.Base == x86.ESP) {
+		return x86.SS
+	}
+	return x86.DS
+}
+
+func (r *refCtx) effAddr(a x86.Addr) uint32 {
+	ea := a.Disp
+	if a.Base != nil {
+		ea += r.st.Regs[*a.Base]
+	}
+	if a.Index != nil {
+		ea += r.st.Regs[*a.Index] * uint32(a.Scale)
+	}
+	return ea
+}
+
+func (r *refCtx) linear(seg x86.SegReg, ea uint32, size int) (uint32, error) {
+	if uint64(ea)+uint64(size/8-1) > uint64(r.st.SegLimit[seg]) {
+		return 0, fmt.Errorf("%w: #GP segment limit (%v)", ErrHalt, seg)
+	}
+	return r.st.SegBase[seg] + ea, nil
+}
+
+func (r *refCtx) loadMem(seg x86.SegReg, ea uint32, size int) (uint32, error) {
+	lin, err := r.linear(seg, ea, size)
+	if err != nil {
+		return 0, err
+	}
+	var v uint32
+	for i := size/8 - 1; i >= 0; i-- {
+		v = v<<8 | uint32(r.st.Mem.Load(lin+uint32(i)))
+	}
+	return v, nil
+}
+
+func (r *refCtx) storeMem(seg x86.SegReg, ea uint32, size int, v uint32) error {
+	lin, err := r.linear(seg, ea, size)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < size/8; i++ {
+		r.st.Mem.Store(lin+uint32(i), byte(v>>uint(8*i)))
+	}
+	return nil
+}
+
+func (r *refCtx) readOp(op x86.Operand, size int) (uint32, error) {
+	switch o := op.(type) {
+	case x86.Imm:
+		return o.Val & (uint32(1)<<uint(size-1)<<1 - 1), nil
+	case x86.RegOp:
+		return r.readReg(o.Reg, size), nil
+	case x86.MemOp:
+		return r.loadMem(r.defaultSeg(o.Addr), r.effAddr(o.Addr), size)
+	case x86.OffOp:
+		seg := x86.DS
+		if r.inst.Prefix.Seg != nil {
+			seg = *r.inst.Prefix.Seg
+		}
+		return r.loadMem(seg, o.Off, size)
+	}
+	return 0, ErrRefUnsupported
+}
+
+func (r *refCtx) writeOp(op x86.Operand, size int, v uint32) error {
+	switch o := op.(type) {
+	case x86.RegOp:
+		r.writeReg(o.Reg, size, v)
+		return nil
+	case x86.MemOp:
+		return r.storeMem(r.defaultSeg(o.Addr), r.effAddr(o.Addr), size, v)
+	case x86.OffOp:
+		seg := x86.DS
+		if r.inst.Prefix.Seg != nil {
+			seg = *r.inst.Prefix.Seg
+		}
+		return r.storeMem(seg, o.Off, size, v)
+	}
+	return ErrRefUnsupported
+}
+
+func (r *refCtx) setSZP(v uint32) {
+	r.setFlag(x86.SF, v&r.signBit() != 0)
+	r.setFlag(x86.ZF, v&r.mask() == 0)
+	r.setFlag(x86.PF, mathbits.OnesCount8(uint8(v))%2 == 0)
+}
+
+func (r *refCtx) setAddFlags(a, b, carry, res uint32) {
+	wide := uint64(a) + uint64(b) + uint64(carry)
+	r.setFlag(x86.CF, wide>>uint(r.size) != 0)
+	sa, sb, sr := a&r.signBit() != 0, b&r.signBit() != 0, res&r.signBit() != 0
+	r.setFlag(x86.OF, sa == sb && sa != sr)
+	r.setFlag(x86.AF, (a^b^res)&0x10 != 0)
+}
+
+func (r *refCtx) setSubFlags(a, b, borrow, res uint32) {
+	r.setFlag(x86.CF, uint64(a) < uint64(b)+uint64(borrow))
+	sa, sb, sr := a&r.signBit() != 0, b&r.signBit() != 0, res&r.signBit() != 0
+	r.setFlag(x86.OF, sa != sb && sa != sr)
+	r.setFlag(x86.AF, (a^b^res)&0x10 != 0)
+}
+
+func (r *refCtx) setLogicFlags(res uint32) {
+	r.setFlag(x86.CF, false)
+	r.setFlag(x86.OF, false)
+	r.setFlag(x86.AF, false) // undefined: zero-oracle convention
+	r.setSZP(res)
+}
+
+func (r *refCtx) cond(c x86.Cond) bool {
+	var v bool
+	switch c &^ 1 {
+	case x86.CondO:
+		v = r.flag(x86.OF)
+	case x86.CondB:
+		v = r.flag(x86.CF)
+	case x86.CondE:
+		v = r.flag(x86.ZF)
+	case x86.CondBE:
+		v = r.flag(x86.CF) || r.flag(x86.ZF)
+	case x86.CondS:
+		v = r.flag(x86.SF)
+	case x86.CondP:
+		v = r.flag(x86.PF)
+	case x86.CondL:
+		v = r.flag(x86.SF) != r.flag(x86.OF)
+	case x86.CondLE:
+		v = r.flag(x86.ZF) || r.flag(x86.SF) != r.flag(x86.OF)
+	}
+	if c&1 == 1 {
+		return !v
+	}
+	return v
+}
+
+func (r *refCtx) push(size int, v uint32) error {
+	r.st.Regs[x86.ESP] -= uint32(size / 8)
+	return r.storeMem(x86.SS, r.st.Regs[x86.ESP], size, v)
+}
+
+func (r *refCtx) pop(size int) (uint32, error) {
+	v, err := r.loadMem(x86.SS, r.st.Regs[x86.ESP], size)
+	if err != nil {
+		return 0, err
+	}
+	r.st.Regs[x86.ESP] += uint32(size / 8)
+	return v, nil
+}
+
+func sext(v uint32, size int) int64 {
+	switch size {
+	case 8:
+		return int64(int8(v))
+	case 16:
+		return int64(int16(v))
+	default:
+		return int64(int32(v))
+	}
+}
+
+func (r *refCtx) exec() error {
+	if r.inst.Prefix.AddrSize {
+		return ErrRefUnsupported
+	}
+	i := r.inst
+	m := r.mask()
+	switch i.Op {
+	case x86.NOP:
+		r.st.PC = r.next
+		return nil
+	case x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.CMP, x86.AND, x86.OR, x86.XOR, x86.TEST:
+		a, err := r.readOp(i.Args[0], r.size)
+		if err != nil {
+			return err
+		}
+		b, err := r.readOp(i.Args[1], r.size)
+		if err != nil {
+			return err
+		}
+		var res uint32
+		store := true
+		switch i.Op {
+		case x86.ADD:
+			res = (a + b) & m
+			r.setAddFlags(a, b, 0, res)
+			r.setSZP(res)
+		case x86.ADC:
+			c := uint32(0)
+			if r.flag(x86.CF) {
+				c = 1
+			}
+			res = (a + b + c) & m
+			r.setAddFlags(a, b, c, res)
+			r.setSZP(res)
+		case x86.SUB, x86.CMP:
+			res = (a - b) & m
+			r.setSubFlags(a, b, 0, res)
+			r.setSZP(res)
+			store = i.Op == x86.SUB
+		case x86.SBB:
+			c := uint32(0)
+			if r.flag(x86.CF) {
+				c = 1
+			}
+			res = (a - b - c) & m
+			r.setSubFlags(a, b, c, res)
+			r.setSZP(res)
+		case x86.AND, x86.TEST:
+			res = a & b
+			r.setLogicFlags(res)
+			store = i.Op == x86.AND
+		case x86.OR:
+			res = a | b
+			r.setLogicFlags(res)
+		case x86.XOR:
+			res = a ^ b
+			r.setLogicFlags(res)
+		}
+		if store {
+			if err := r.writeOp(i.Args[0], r.size, res); err != nil {
+				return err
+			}
+		}
+	case x86.INC, x86.DEC:
+		a, err := r.readOp(i.Args[0], r.size)
+		if err != nil {
+			return err
+		}
+		cf := r.flag(x86.CF)
+		var res uint32
+		if i.Op == x86.INC {
+			res = (a + 1) & m
+			r.setAddFlags(a, 1, 0, res)
+		} else {
+			res = (a - 1) & m
+			r.setSubFlags(a, 1, 0, res)
+		}
+		r.setSZP(res)
+		r.setFlag(x86.CF, cf)
+		if err := r.writeOp(i.Args[0], r.size, res); err != nil {
+			return err
+		}
+	case x86.NEG:
+		a, err := r.readOp(i.Args[0], r.size)
+		if err != nil {
+			return err
+		}
+		res := (-a) & m
+		r.setSubFlags(0, a, 0, res)
+		r.setSZP(res)
+		if err := r.writeOp(i.Args[0], r.size, res); err != nil {
+			return err
+		}
+	case x86.NOT:
+		a, err := r.readOp(i.Args[0], r.size)
+		if err != nil {
+			return err
+		}
+		if err := r.writeOp(i.Args[0], r.size, ^a&m); err != nil {
+			return err
+		}
+	case x86.MOV:
+		if _, isSeg := i.Args[0].(x86.SegOp); isSeg {
+			return ErrRefUnsupported
+		}
+		if _, isSeg := i.Args[1].(x86.SegOp); isSeg {
+			return ErrRefUnsupported
+		}
+		v, err := r.readOp(i.Args[1], r.size)
+		if err != nil {
+			return err
+		}
+		if err := r.writeOp(i.Args[0], r.size, v); err != nil {
+			return err
+		}
+	case x86.MOVZX, x86.MOVSX:
+		v, err := r.readOp(i.Args[1], int(i.SrcSize))
+		if err != nil {
+			return err
+		}
+		if i.Op == x86.MOVSX {
+			v = uint32(sext(v, int(i.SrcSize))) & m
+		}
+		if err := r.writeOp(i.Args[0], r.size, v); err != nil {
+			return err
+		}
+	case x86.LEA:
+		mem := i.Args[1].(x86.MemOp)
+		if err := r.writeOp(i.Args[0], r.size, r.effAddr(mem.Addr)); err != nil {
+			return err
+		}
+	case x86.XCHG:
+		a, err := r.readOp(i.Args[0], r.size)
+		if err != nil {
+			return err
+		}
+		b, err := r.readOp(i.Args[1], r.size)
+		if err != nil {
+			return err
+		}
+		if err := r.writeOp(i.Args[0], r.size, b); err != nil {
+			return err
+		}
+		if err := r.writeOp(i.Args[1], r.size, a); err != nil {
+			return err
+		}
+	case x86.CMOVcc:
+		v, err := r.readOp(i.Args[1], r.size)
+		if err != nil {
+			return err
+		}
+		if r.cond(i.Cond) {
+			if err := r.writeOp(i.Args[0], r.size, v); err != nil {
+				return err
+			}
+		}
+	case x86.SETcc:
+		v := uint32(0)
+		if r.cond(i.Cond) {
+			v = 1
+		}
+		if err := r.writeOp(i.Args[0], 8, v); err != nil {
+			return err
+		}
+	case x86.PUSH:
+		if _, isSeg := i.Args[0].(x86.SegOp); isSeg {
+			return ErrRefUnsupported
+		}
+		v, err := r.readOp(i.Args[0], r.size)
+		if err != nil {
+			return err
+		}
+		if err := r.push(r.size, v); err != nil {
+			return err
+		}
+	case x86.POP:
+		if _, isSeg := i.Args[0].(x86.SegOp); isSeg {
+			return ErrRefUnsupported
+		}
+		v, err := r.pop(r.size)
+		if err != nil {
+			return err
+		}
+		if err := r.writeOp(i.Args[0], r.size, v); err != nil {
+			return err
+		}
+	case x86.LEAVE:
+		r.st.Regs[x86.ESP] = r.st.Regs[x86.EBP]
+		v, err := r.pop(r.size)
+		if err != nil {
+			return err
+		}
+		r.writeReg(x86.EBP, r.size, v)
+	case x86.SHL, x86.SHR, x86.SAR, x86.ROL, x86.ROR:
+		return r.shift()
+	case x86.MUL, x86.IMUL:
+		return r.mul()
+	case x86.DIV, x86.IDIV:
+		return r.div()
+	case x86.CWDE:
+		if r.size == 16 {
+			r.writeReg(x86.EAX, 16, uint32(int8(r.readReg(x86.EAX, 8)))&0xffff)
+		} else {
+			r.st.Regs[x86.EAX] = uint32(int16(r.readReg(x86.EAX, 16)))
+		}
+	case x86.CDQ:
+		if r.size == 16 {
+			if r.readReg(x86.EAX, 16)&0x8000 != 0 {
+				r.writeReg(x86.EDX, 16, 0xffff)
+			} else {
+				r.writeReg(x86.EDX, 16, 0)
+			}
+		} else {
+			if r.st.Regs[x86.EAX]&0x80000000 != 0 {
+				r.st.Regs[x86.EDX] = 0xffffffff
+			} else {
+				r.st.Regs[x86.EDX] = 0
+			}
+		}
+	case x86.CLC:
+		r.setFlag(x86.CF, false)
+	case x86.STC:
+		r.setFlag(x86.CF, true)
+	case x86.CMC:
+		r.setFlag(x86.CF, !r.flag(x86.CF))
+	case x86.CLD:
+		r.setFlag(x86.DF, false)
+	case x86.STD:
+		r.setFlag(x86.DF, true)
+	case x86.LAHF:
+		var v uint32 = 1 << 1
+		for _, fb := range []struct {
+			f   x86.Flag
+			bit uint
+		}{{x86.CF, 0}, {x86.PF, 2}, {x86.AF, 4}, {x86.ZF, 6}, {x86.SF, 7}} {
+			if r.flag(fb.f) {
+				v |= 1 << fb.bit
+			}
+		}
+		r.writeReg(x86.Reg(4), 8, v)
+	case x86.SAHF:
+		ah := r.readReg(x86.Reg(4), 8)
+		r.setFlag(x86.CF, ah&1 != 0)
+		r.setFlag(x86.PF, ah&4 != 0)
+		r.setFlag(x86.AF, ah&16 != 0)
+		r.setFlag(x86.ZF, ah&64 != 0)
+		r.setFlag(x86.SF, ah&128 != 0)
+	case x86.BSWAP:
+		reg := i.Args[0].(x86.RegOp).Reg
+		v := r.st.Regs[reg]
+		r.st.Regs[reg] = v<<24 | v>>24 | v<<8&0xff0000 | v>>8&0xff00
+	case x86.BT, x86.BTS, x86.BTR, x86.BTC:
+		a, err := r.readOp(i.Args[0], r.size)
+		if err != nil {
+			return err
+		}
+		off, err := r.readOp(i.Args[1], r.size)
+		if err != nil {
+			return err
+		}
+		off &= uint32(r.size - 1)
+		r.setFlag(x86.CF, a>>off&1 != 0)
+		switch i.Op {
+		case x86.BTS:
+			a |= 1 << off
+		case x86.BTR:
+			a &^= 1 << off
+		case x86.BTC:
+			a ^= 1 << off
+		}
+		if i.Op != x86.BT {
+			if err := r.writeOp(i.Args[0], r.size, a); err != nil {
+				return err
+			}
+		}
+		r.setFlag(x86.OF, false)
+		r.setFlag(x86.SF, false)
+		r.setFlag(x86.AF, false)
+		r.setFlag(x86.PF, false)
+	case x86.BSF, x86.BSR:
+		v, err := r.readOp(i.Args[1], r.size)
+		if err != nil {
+			return err
+		}
+		v &= m
+		r.setFlag(x86.ZF, v == 0)
+		var idx uint32
+		if v != 0 {
+			if i.Op == x86.BSF {
+				idx = uint32(mathbits.TrailingZeros32(v))
+			} else {
+				idx = uint32(31 - mathbits.LeadingZeros32(v))
+			}
+		}
+		if err := r.writeOp(i.Args[0], r.size, idx); err != nil {
+			return err
+		}
+		r.setFlag(x86.CF, false)
+		r.setFlag(x86.OF, false)
+		r.setFlag(x86.SF, false)
+		r.setFlag(x86.AF, false)
+		r.setFlag(x86.PF, false)
+	case x86.JMP:
+		if i.Far {
+			return ErrRefUnsupported
+		}
+		t, err := r.target()
+		if err != nil {
+			return err
+		}
+		r.st.PC = t
+		return nil
+	case x86.Jcc:
+		t, err := r.target()
+		if err != nil {
+			return err
+		}
+		if r.cond(i.Cond) {
+			r.st.PC = t
+		} else {
+			r.st.PC = r.next
+		}
+		return nil
+	case x86.JCXZ:
+		t, err := r.target()
+		if err != nil {
+			return err
+		}
+		if r.st.Regs[x86.ECX] == 0 {
+			r.st.PC = t
+		} else {
+			r.st.PC = r.next
+		}
+		return nil
+	case x86.LOOP, x86.LOOPZ, x86.LOOPNZ:
+		t, err := r.target()
+		if err != nil {
+			return err
+		}
+		r.st.Regs[x86.ECX]--
+		take := r.st.Regs[x86.ECX] != 0
+		if i.Op == x86.LOOPZ {
+			take = take && r.flag(x86.ZF)
+		}
+		if i.Op == x86.LOOPNZ {
+			take = take && !r.flag(x86.ZF)
+		}
+		if take {
+			r.st.PC = t
+		} else {
+			r.st.PC = r.next
+		}
+		return nil
+	case x86.CALL:
+		if i.Far {
+			return ErrRefUnsupported
+		}
+		t, err := r.target()
+		if err != nil {
+			return err
+		}
+		if err := r.push(32, r.next); err != nil {
+			return err
+		}
+		r.st.PC = t
+		return nil
+	case x86.RET:
+		if i.Far {
+			return ErrRefUnsupported
+		}
+		t, err := r.pop(32)
+		if err != nil {
+			return err
+		}
+		if len(i.Args) == 1 {
+			r.st.Regs[x86.ESP] += i.Args[0].(x86.Imm).Val
+		}
+		r.st.PC = t
+		return nil
+	case x86.STOS, x86.LODS, x86.MOVS, x86.SCAS, x86.CMPS:
+		return r.strOp()
+	default:
+		return ErrRefUnsupported
+	}
+	r.st.PC = r.next
+	return nil
+}
+
+func (r *refCtx) target() (uint32, error) {
+	i := r.inst
+	if i.Rel {
+		return r.next + i.Args[0].(x86.Imm).Val, nil
+	}
+	switch i.Args[0].(type) {
+	case x86.RegOp, x86.MemOp:
+		return r.readOp(i.Args[0], 32)
+	}
+	return 0, ErrRefUnsupported
+}
+
+func (r *refCtx) shift() error {
+	i := r.inst
+	m := r.mask()
+	a, err := r.readOp(i.Args[0], r.size)
+	if err != nil {
+		return err
+	}
+	cntRaw, err := r.readOp(i.Args[1], 8)
+	if err != nil {
+		return err
+	}
+	cnt := cntRaw & 0x1f
+	if cnt == 0 {
+		// Flags and destination untouched.
+		if err := r.writeOp(i.Args[0], r.size, a); err != nil {
+			return err
+		}
+		r.st.PC = r.next
+		return nil
+	}
+	var res uint32
+	var cf bool
+	switch i.Op {
+	case x86.SHL:
+		switch {
+		case cnt > uint32(r.size):
+			res, cf = 0, false
+		case cnt == uint32(r.size):
+			res, cf = 0, a&1 != 0
+		default:
+			res = a << cnt & m
+			cf = a>>(uint32(r.size)-cnt)&1 != 0
+		}
+	case x86.SHR:
+		res = (a & m) >> cnt
+		cf = a>>(cnt-1)&1 != 0
+	case x86.SAR:
+		sa := sext(a, r.size)
+		res = uint32(sa>>cnt) & m
+		cf = sa>>(cnt-1)&1 != 0
+	case x86.ROL:
+		c := cnt % uint32(r.size)
+		if c == 0 {
+			res = a & m
+		} else {
+			res = (a<<c | (a&m)>>(uint32(r.size)-c)) & m
+		}
+		cf = res&1 != 0
+	case x86.ROR:
+		c := cnt % uint32(r.size)
+		if c == 0 {
+			res = a & m
+		} else {
+			res = ((a&m)>>c | a<<(uint32(r.size)-c)) & m
+		}
+		cf = res&r.signBit() != 0
+	}
+	if err := r.writeOp(i.Args[0], r.size, res); err != nil {
+		return err
+	}
+	r.setFlag(x86.CF, cf)
+	var of bool
+	if cnt == 1 {
+		switch i.Op {
+		case x86.SHL:
+			of = (res&r.signBit() != 0) != cf
+		case x86.SHR:
+			of = a&r.signBit() != 0
+		case x86.SAR:
+			of = false
+		case x86.ROL:
+			of = (res&r.signBit() != 0) != cf
+		case x86.ROR:
+			of = (res&r.signBit() != 0) != (res&(r.signBit()>>1) != 0)
+		}
+	}
+	r.setFlag(x86.OF, of)
+	if i.Op == x86.SHL || i.Op == x86.SHR || i.Op == x86.SAR {
+		r.setSZP(res)
+		r.setFlag(x86.AF, false)
+	}
+	r.st.PC = r.next
+	return nil
+}
+
+func (r *refCtx) mul() error {
+	i := r.inst
+	m := r.mask()
+	signed := i.Op == x86.IMUL
+	clearSZAP := func() {
+		r.setFlag(x86.SF, false)
+		r.setFlag(x86.ZF, false)
+		r.setFlag(x86.AF, false)
+		r.setFlag(x86.PF, false)
+	}
+	switch len(i.Args) {
+	case 1:
+		src, err := r.readOp(i.Args[0], r.size)
+		if err != nil {
+			return err
+		}
+		acc := r.readReg(x86.EAX, r.size)
+		var lo, hi uint32
+		if signed {
+			p := sext(acc, r.size) * sext(src, r.size)
+			lo = uint32(p) & m
+			hi = uint32(p>>uint(r.size)) & m
+		} else {
+			p := uint64(acc) * uint64(src)
+			lo = uint32(p) & m
+			hi = uint32(p>>uint(r.size)) & m
+		}
+		if r.size == 8 {
+			r.writeReg(x86.EAX, 8, lo)
+			r.writeReg(x86.Reg(4), 8, hi)
+		} else {
+			r.writeReg(x86.EAX, r.size, lo)
+			r.writeReg(x86.EDX, r.size, hi)
+		}
+		var ov bool
+		if signed {
+			fill := uint32(sext(lo, r.size)>>uint(r.size-1)) & m
+			ov = hi != fill&m
+		} else {
+			ov = hi != 0
+		}
+		r.setFlag(x86.CF, ov)
+		r.setFlag(x86.OF, ov)
+		clearSZAP()
+	case 2, 3:
+		a, err := r.readOp(i.Args[1], r.size)
+		if err != nil {
+			return err
+		}
+		var b uint32
+		if len(i.Args) == 3 {
+			b, err = r.readOp(i.Args[2], r.size)
+		} else {
+			b, err = r.readOp(i.Args[0], r.size)
+		}
+		if err != nil {
+			return err
+		}
+		p := sext(a, r.size) * sext(b, r.size)
+		lo := uint32(p) & m
+		hi := uint32(p>>uint(r.size)) & m
+		if err := r.writeOp(i.Args[0], r.size, lo); err != nil {
+			return err
+		}
+		fill := uint32(sext(lo, r.size)>>uint(r.size-1)) & m
+		ov := hi != fill
+		r.setFlag(x86.CF, ov)
+		r.setFlag(x86.OF, ov)
+		clearSZAP()
+	}
+	r.st.PC = r.next
+	return nil
+}
+
+func (r *refCtx) div() error {
+	i := r.inst
+	src, err := r.readOp(i.Args[0], r.size)
+	if err != nil {
+		return err
+	}
+	if src&r.mask() == 0 {
+		return fmt.Errorf("%w: #DE", ErrHalt)
+	}
+	var dividend uint64
+	if r.size == 8 {
+		dividend = uint64(r.readReg(x86.EAX, 16))
+	} else {
+		dividend = uint64(r.readReg(x86.EDX, r.size))<<uint(r.size) | uint64(r.readReg(x86.EAX, r.size))
+	}
+	var q, rem uint64
+	if i.Op == x86.IDIV {
+		var sd int64
+		switch r.size {
+		case 8:
+			sd = int64(int16(dividend))
+		case 16:
+			sd = int64(int32(dividend))
+		default:
+			sd = int64(dividend)
+		}
+		ss := sext(src, r.size)
+		sq := sd / ss
+		sr := sd % ss
+		lim := int64(1) << uint(r.size-1)
+		if sq >= lim || sq < -lim {
+			return fmt.Errorf("%w: #DE overflow", ErrHalt)
+		}
+		q, rem = uint64(sq), uint64(sr)
+	} else {
+		d := uint64(src & r.mask())
+		q = dividend / d
+		rem = dividend % d
+		if q>>uint(r.size) != 0 {
+			return fmt.Errorf("%w: #DE overflow", ErrHalt)
+		}
+	}
+	if r.size == 8 {
+		r.writeReg(x86.EAX, 8, uint32(q))
+		r.writeReg(x86.Reg(4), 8, uint32(rem))
+	} else {
+		r.writeReg(x86.EAX, r.size, uint32(q))
+		r.writeReg(x86.EDX, r.size, uint32(rem))
+	}
+	for _, f := range []x86.Flag{x86.CF, x86.OF, x86.SF, x86.ZF, x86.AF, x86.PF} {
+		r.setFlag(f, false)
+	}
+	r.st.PC = r.next
+	return nil
+}
+
+func (r *refCtx) strOp() error {
+	i := r.inst
+	rep := i.Prefix.Rep || i.Prefix.RepN
+	n := uint32(r.size / 8)
+	delta := n
+	if r.flag(x86.DF) {
+		delta = -n
+	}
+	srcSeg := x86.DS
+	if i.Prefix.Seg != nil {
+		srcSeg = *i.Prefix.Seg
+	}
+	if rep && r.st.Regs[x86.ECX] == 0 {
+		r.st.PC = r.next
+		return nil
+	}
+	esi, edi := r.st.Regs[x86.ESI], r.st.Regs[x86.EDI]
+	switch i.Op {
+	case x86.MOVS:
+		v, err := r.loadMem(srcSeg, esi, r.size)
+		if err != nil {
+			return err
+		}
+		if err := r.storeMem(x86.ES, edi, r.size, v); err != nil {
+			return err
+		}
+		r.st.Regs[x86.ESI] += delta
+		r.st.Regs[x86.EDI] += delta
+	case x86.STOS:
+		if err := r.storeMem(x86.ES, edi, r.size, r.readReg(x86.EAX, r.size)); err != nil {
+			return err
+		}
+		r.st.Regs[x86.EDI] += delta
+	case x86.LODS:
+		v, err := r.loadMem(srcSeg, esi, r.size)
+		if err != nil {
+			return err
+		}
+		r.writeReg(x86.EAX, r.size, v)
+		r.st.Regs[x86.ESI] += delta
+	case x86.SCAS:
+		v, err := r.loadMem(x86.ES, edi, r.size)
+		if err != nil {
+			return err
+		}
+		acc := r.readReg(x86.EAX, r.size)
+		res := (acc - v) & r.mask()
+		r.setSubFlags(acc, v, 0, res)
+		r.setSZP(res)
+		r.st.Regs[x86.EDI] += delta
+	case x86.CMPS:
+		vs, err := r.loadMem(srcSeg, esi, r.size)
+		if err != nil {
+			return err
+		}
+		vd, err := r.loadMem(x86.ES, edi, r.size)
+		if err != nil {
+			return err
+		}
+		res := (vs - vd) & r.mask()
+		r.setSubFlags(vs, vd, 0, res)
+		r.setSZP(res)
+		r.st.Regs[x86.ESI] += delta
+		r.st.Regs[x86.EDI] += delta
+	}
+	if !rep {
+		r.st.PC = r.next
+		return nil
+	}
+	r.st.Regs[x86.ECX]--
+	done := r.st.Regs[x86.ECX] == 0
+	if i.Op == x86.CMPS || i.Op == x86.SCAS {
+		if i.Prefix.Rep {
+			done = done || !r.flag(x86.ZF)
+		} else {
+			done = done || r.flag(x86.ZF)
+		}
+	}
+	if done {
+		r.st.PC = r.next
+	}
+	// Otherwise PC stays on this instruction (the RTL model's behavior).
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package sim is the executable x86 model: the decode → translate →
+// interpret loop that the paper extracts to OCaml, plus an independent
+// reference interpreter used for differential validation (the substitute
+// for tracing a real CPU with Pin, §2.5).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/decode"
+	"rocksalt/internal/x86/machine"
+	"rocksalt/internal/x86/semantics"
+)
+
+// Simulator executes machine code against a machine state through the
+// three-stage model.
+type Simulator struct {
+	St     *machine.State
+	Dec    *decode.Decoder
+	Oracle rtl.Oracle
+	// Trace, when non-nil, receives one line per executed instruction.
+	Trace func(pc uint32, inst x86.Inst)
+	// CacheTranslations memoizes (instruction bytes, pc) → RTL term, a
+	// large win for loops (translation embeds the pc as a literal, so the
+	// pc is part of the key). Enabled by New.
+	CacheTranslations bool
+
+	xlat map[xlatKey]xlatEntry
+	rst  *rtl.State
+}
+
+type xlatKey struct {
+	pc    uint32
+	bytes string
+}
+
+type xlatEntry struct {
+	inst x86.Inst
+	n    int
+	prog []rtl.Instr
+}
+
+const xlatCacheMax = 1 << 16
+
+// New creates a simulator over a machine state with a deterministic
+// (all-zeros) oracle and translation caching enabled.
+func New(st *machine.State) *Simulator {
+	return &Simulator{
+		St: st, Dec: decode.NewDecoder(), Oracle: rtl.ZeroOracle{},
+		CacheTranslations: true,
+	}
+}
+
+// ErrHalt is returned (wrapped) when the program executes a faulting or
+// unsupported instruction; inspect the message for the trap reason.
+var ErrHalt = errors.New("sim: halted")
+
+// FetchDecode decodes the instruction at CS:PC without executing it.
+func (s *Simulator) FetchDecode() (x86.Inst, int, error) {
+	lin := s.St.SegBase[x86.CS] + s.St.PC
+	window := s.St.Mem.ReadBytes(lin, decode.MaxInstLen)
+	// The code fetch itself is bounded by the CS limit.
+	if s.St.PC > s.St.SegLimit[x86.CS] {
+		return x86.Inst{}, 0, fmt.Errorf("%w: pc %#x beyond CS limit", ErrHalt, s.St.PC)
+	}
+	return s.Dec.Decode(window)
+}
+
+// Step fetches, decodes, translates and executes one instruction.
+func (s *Simulator) Step() error {
+	var inst x86.Inst
+	var n int
+	var prog []rtl.Instr
+
+	hit := false
+	var key xlatKey
+	if s.CacheTranslations {
+		lin := s.St.SegBase[x86.CS] + s.St.PC
+		if s.St.PC > s.St.SegLimit[x86.CS] {
+			return fmt.Errorf("%w: pc %#x beyond CS limit", ErrHalt, s.St.PC)
+		}
+		window := s.St.Mem.ReadBytes(lin, decode.MaxInstLen)
+		key = xlatKey{pc: s.St.PC, bytes: string(window)}
+		if e, ok := s.xlat[key]; ok {
+			inst, n, prog = e.inst, e.n, e.prog
+			hit = true
+		}
+	}
+	if !hit {
+		var err error
+		inst, n, err = s.FetchDecode()
+		if err != nil {
+			return fmt.Errorf("%w: %v at pc %#x", ErrHalt, err, s.St.PC)
+		}
+		prog, err = semantics.Translate(inst, s.St.PC, n)
+		if err != nil {
+			return fmt.Errorf("%w: %v at pc %#x", ErrHalt, err, s.St.PC)
+		}
+		if s.CacheTranslations {
+			if s.xlat == nil {
+				s.xlat = make(map[xlatKey]xlatEntry)
+			}
+			if len(s.xlat) < xlatCacheMax {
+				s.xlat[key] = xlatEntry{inst: inst, n: n, prog: prog}
+			}
+		}
+	}
+	if s.Trace != nil {
+		s.Trace(s.St.PC, inst)
+	}
+	if s.rst == nil {
+		s.rst = rtl.NewState(s.St, s.Oracle)
+	} else {
+		s.rst.M, s.rst.Oracle = s.St, s.Oracle
+		s.rst.Reset()
+	}
+	if s.Oracle == nil {
+		s.rst.Oracle = rtl.ZeroOracle{}
+	}
+	if err := rtl.Exec(prog, s.rst); err != nil {
+		return fmt.Errorf("%w: %v at pc %#x (%v)", ErrHalt, err, s.St.PC, inst)
+	}
+	return nil
+}
+
+// Run executes up to maxSteps instructions, returning the count executed
+// and the reason execution stopped (nil when the step budget ran out).
+func (s *Simulator) Run(maxSteps int) (int, error) {
+	for i := 0; i < maxSteps; i++ {
+		if err := s.Step(); err != nil {
+			return i, err
+		}
+	}
+	return maxSteps, nil
+}

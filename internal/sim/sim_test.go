@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/machine"
+)
+
+// loadProgram builds a machine with the code at CS base 0x10000 and data
+// and stack segments at 0x100000, sized 64 KiB.
+func loadProgram(code []byte) *machine.State {
+	st := machine.New()
+	const codeBase, dataBase = 0x10000, 0x100000
+	for _, s := range []x86.SegReg{x86.ES, x86.SS, x86.DS, x86.FS, x86.GS} {
+		st.SegBase[s] = dataBase
+		st.SegLimit[s] = 0xffff
+		st.SegSel[s] = 0x2b
+	}
+	st.SegBase[x86.CS] = codeBase
+	st.SegLimit[x86.CS] = uint32(len(code) - 1)
+	st.SegSel[x86.CS] = 0x23
+	st.Mem.WriteBytes(codeBase, code)
+	st.PC = 0
+	st.Regs[x86.ESP] = 0x8000
+	return st
+}
+
+func TestSimulatorStraightLine(t *testing.T) {
+	// mov eax, 5; mov ebx, 7; add eax, ebx; hlt
+	code := []byte{
+		0xb8, 0x05, 0x00, 0x00, 0x00,
+		0xbb, 0x07, 0x00, 0x00, 0x00,
+		0x01, 0xd8,
+		0xf4,
+	}
+	st := loadProgram(code)
+	s := New(st)
+	steps, err := s.Run(100)
+	if !errors.Is(err, ErrHalt) {
+		t.Fatalf("expected halt, got steps=%d err=%v", steps, err)
+	}
+	if steps != 3 {
+		t.Fatalf("executed %d steps, want 3", steps)
+	}
+	if st.Regs[x86.EAX] != 12 {
+		t.Fatalf("eax = %d, want 12", st.Regs[x86.EAX])
+	}
+	if st.Flags[x86.ZF] || st.Flags[x86.SF] || st.Flags[x86.CF] || st.Flags[x86.OF] {
+		t.Fatal("flags wrong after 5+7")
+	}
+}
+
+func TestSimulatorLoopSum(t *testing.T) {
+	// Sum 1..10 with a loop:
+	//   xor eax, eax; mov ecx, 10
+	// L: add eax, ecx; loop L
+	//   hlt
+	code := []byte{
+		0x31, 0xc0,
+		0xb9, 0x0a, 0x00, 0x00, 0x00,
+		0x01, 0xc8,
+		0xe2, 0xfc,
+		0xf4,
+	}
+	st := loadProgram(code)
+	s := New(st)
+	_, err := s.Run(1000)
+	if !errors.Is(err, ErrHalt) {
+		t.Fatalf("expected halt, got %v", err)
+	}
+	if st.Regs[x86.EAX] != 55 {
+		t.Fatalf("eax = %d, want 55", st.Regs[x86.EAX])
+	}
+}
+
+func TestSimulatorMemoryAndStack(t *testing.T) {
+	// mov dword [0x100], 0xdeadbeef; push dword [0x100]; pop eax; hlt
+	code := []byte{
+		0xc7, 0x05, 0x00, 0x01, 0x00, 0x00, 0xef, 0xbe, 0xad, 0xde,
+		0xff, 0x35, 0x00, 0x01, 0x00, 0x00,
+		0x58,
+		0xf4,
+	}
+	st := loadProgram(code)
+	s := New(st)
+	if _, err := s.Run(100); !errors.Is(err, ErrHalt) {
+		t.Fatalf("expected halt, got %v", err)
+	}
+	if st.Regs[x86.EAX] != 0xdeadbeef {
+		t.Fatalf("eax = %#x, want 0xdeadbeef", st.Regs[x86.EAX])
+	}
+	// The write went to DS base + 0x100.
+	got := st.Mem.ReadBytes(0x100000+0x100, 4)
+	if got[0] != 0xef || got[3] != 0xde {
+		t.Fatalf("memory = % x", got)
+	}
+}
+
+func TestSimulatorCallRet(t *testing.T) {
+	// call f; hlt; f: mov eax, 42; ret
+	code := []byte{
+		0xe8, 0x01, 0x00, 0x00, 0x00, // call +1
+		0xf4,                         // hlt
+		0xb8, 0x2a, 0x00, 0x00, 0x00, // f: mov eax, 42
+		0xc3, // ret
+	}
+	st := loadProgram(code)
+	s := New(st)
+	if _, err := s.Run(100); !errors.Is(err, ErrHalt) {
+		t.Fatalf("expected halt, got %v", err)
+	}
+	if st.Regs[x86.EAX] != 42 {
+		t.Fatalf("eax = %d, want 42", st.Regs[x86.EAX])
+	}
+	if st.PC != 5 {
+		t.Fatalf("pc = %#x, want 5 (the hlt)", st.PC)
+	}
+}
+
+func TestSimulatorConditionals(t *testing.T) {
+	// mov eax, 1; cmp eax, 2; jl +5 (skip mov eax 99); mov eax, 99; hlt
+	code := []byte{
+		0xb8, 0x01, 0x00, 0x00, 0x00,
+		0x83, 0xf8, 0x02,
+		0x7c, 0x05,
+		0xb8, 0x63, 0x00, 0x00, 0x00,
+		0xf4,
+	}
+	st := loadProgram(code)
+	s := New(st)
+	if _, err := s.Run(100); !errors.Is(err, ErrHalt) {
+		t.Fatal("expected halt")
+	}
+	if st.Regs[x86.EAX] != 1 {
+		t.Fatalf("eax = %d, want 1 (branch taken)", st.Regs[x86.EAX])
+	}
+}
+
+func TestSimulatorRepMovs(t *testing.T) {
+	// Copy 8 bytes with rep movsb.
+	// mov esi, 0x200; mov edi, 0x300; mov ecx, 8; cld; rep movsb; hlt
+	code := []byte{
+		0xbe, 0x00, 0x02, 0x00, 0x00,
+		0xbf, 0x00, 0x03, 0x00, 0x00,
+		0xb9, 0x08, 0x00, 0x00, 0x00,
+		0xfc,
+		0xf3, 0xa4,
+		0xf4,
+	}
+	st := loadProgram(code)
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	st.Mem.WriteBytes(0x100000+0x200, src)
+	s := New(st)
+	if _, err := s.Run(1000); !errors.Is(err, ErrHalt) {
+		t.Fatal("expected halt")
+	}
+	got := st.Mem.ReadBytes(0x100000+0x300, 8)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("copy wrong at %d: % x", i, got)
+		}
+	}
+	if st.Regs[x86.ECX] != 0 {
+		t.Fatalf("ecx = %d, want 0", st.Regs[x86.ECX])
+	}
+	if st.Regs[x86.ESI] != 0x208 || st.Regs[x86.EDI] != 0x308 {
+		t.Fatalf("esi/edi = %#x/%#x", st.Regs[x86.ESI], st.Regs[x86.EDI])
+	}
+}
+
+func TestSegmentLimitTrap(t *testing.T) {
+	// A store beyond the DS limit must fault.
+	// mov byte [0x1ffff+1], 0  — limit is 0xffff, so [0x10000] faults.
+	code := []byte{
+		0xc6, 0x05, 0x00, 0x00, 0x01, 0x00, 0x00, // mov byte [0x10000], 0
+		0xf4,
+	}
+	st := loadProgram(code)
+	s := New(st)
+	steps, err := s.Run(10)
+	if err == nil || steps != 0 {
+		t.Fatalf("expected immediate #GP, got steps=%d err=%v", steps, err)
+	}
+	if !strings.Contains(err.Error(), "#GP") {
+		t.Fatalf("expected #GP trap, got %v", err)
+	}
+}
+
+func TestSegmentedAddressing(t *testing.T) {
+	// The same offset through different segment bases hits different
+	// physical bytes: write via DS, read via ES with a different base.
+	code := []byte{
+		0xc6, 0x05, 0x10, 0x00, 0x00, 0x00, 0xaa, // mov byte ds:[0x10], 0xaa
+		0x26, 0x8a, 0x0d, 0x10, 0x00, 0x00, 0x00, // mov cl, es:[0x10]
+		0xf4,
+	}
+	st := loadProgram(code)
+	st.SegBase[x86.ES] = 0x200000
+	st.Mem.Store(0x200000+0x10, 0xbb)
+	s := New(st)
+	if _, err := s.Run(10); !errors.Is(err, ErrHalt) {
+		t.Fatal("expected halt")
+	}
+	if st.Mem.Load(0x100000+0x10) != 0xaa {
+		t.Fatal("DS store went to the wrong place")
+	}
+	if got := st.Regs[x86.ECX] & 0xff; got != 0xbb {
+		t.Fatalf("cl = %#x, want 0xbb (read through ES)", got)
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	// mov eax, 8; jmp eax; (pad) target: mov ebx, 1; hlt
+	code := []byte{
+		0xb8, 0x08, 0x00, 0x00, 0x00, // 0: mov eax, 8
+		0xff, 0xe0, // 5: jmp eax
+		0x90,                         // 7: nop (skipped)
+		0xbb, 0x01, 0x00, 0x00, 0x00, // 8: mov ebx, 1
+		0xf4, // 13: hlt
+	}
+	st := loadProgram(code)
+	s := New(st)
+	if _, err := s.Run(10); !errors.Is(err, ErrHalt) {
+		t.Fatal("expected halt")
+	}
+	if st.Regs[x86.EBX] != 1 {
+		t.Fatal("indirect jump missed its target")
+	}
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	code := []byte{
+		0x31, 0xd2, // xor edx, edx
+		0xb8, 0x0a, 0x00, 0x00, 0x00, // mov eax, 10
+		0x31, 0xc9, // xor ecx, ecx
+		0xf7, 0xf1, // div ecx
+		0xf4,
+	}
+	st := loadProgram(code)
+	s := New(st)
+	_, err := s.Run(10)
+	if err == nil || !strings.Contains(err.Error(), "#DE") {
+		t.Fatalf("expected #DE, got %v", err)
+	}
+}
+
+func TestSelfModifyingCodeDefeatsNoCache(t *testing.T) {
+	// The program overwrites its own next instruction; the translation
+	// cache is keyed on (pc, bytes) so it must pick up the new bytes.
+	//   mov byte [esp], 0x43      ; patch: we will write into code below
+	// Instead, simpler: write into the code segment through DS mapped to
+	// the same linear region.
+	code := []byte{
+		// mov byte [0x05], 0x43   (DS base == CS base here; patches the
+		// `inc ebx` below into `inc ebx` -> 0x43 = inc ebx, start 0x40)
+		0xc6, 0x05, 0x0a, 0x00, 0x00, 0x00, 0x40, // mov byte [0x0a], 0x40 (inc eax)
+		0x90, 0x90, 0x90, // nops
+		0x43, // inc ebx  <- patched to inc eax (0x40)
+		0xf4, // hlt
+	}
+	st := machine.New()
+	const base = 0x30000
+	for _, s := range []x86.SegReg{x86.CS, x86.DS, x86.SS, x86.ES} {
+		st.SegBase[s] = base
+		st.SegLimit[s] = uint32(len(code) - 1)
+	}
+	st.Mem.WriteBytes(base, code)
+	s := New(st)
+	// Execute twice: once with the original bytes cached, once patched.
+	if _, err := s.Run(100); !errors.Is(err, ErrHalt) {
+		t.Fatal("expected halt")
+	}
+	if st.Regs[x86.EAX] != 1 || st.Regs[x86.EBX] != 0 {
+		t.Fatalf("self-modified instruction not honored: eax=%d ebx=%d",
+			st.Regs[x86.EAX], st.Regs[x86.EBX])
+	}
+}
+
+func TestRunWithAndWithoutTranslationCacheAgree(t *testing.T) {
+	code := []byte{
+		0x31, 0xc0, // xor eax, eax
+		0xb9, 0x20, 0x00, 0x00, 0x00, // mov ecx, 32
+		0x01, 0xc8, // L: add eax, ecx
+		0xe2, 0xfc, // loop L
+		0xf4,
+	}
+	run := func(cache bool) uint32 {
+		st := loadProgram(code)
+		s := New(st)
+		s.CacheTranslations = cache
+		if _, err := s.Run(1000); !errors.Is(err, ErrHalt) {
+			t.Fatal("expected halt")
+		}
+		return st.Regs[x86.EAX]
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("cache changes semantics: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,259 @@
+// Package tso implements the paper's §6.1 future-work item: "to model
+// multiple processors and the total-store order (TSO) memory consistency
+// model, we believe that it is sufficient to add a store buffer to the
+// machine state for each processor."
+//
+// Each processor owns a full x86 machine state whose memory operations
+// are routed through a FIFO store buffer in front of a shared memory:
+// stores enqueue; loads snoop the local buffer (youngest entry first)
+// before falling through to shared memory; buffers drain to shared
+// memory non-deterministically, under the control of a schedule — the
+// same oracle idea the sequential model uses for undefined flags. Locked
+// instructions and XCHG-with-memory drain the buffer around their
+// execution (x86's fence semantics), which is what makes them usable for
+// synchronization.
+package tso
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"rocksalt/internal/bits"
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/decode"
+	"rocksalt/internal/x86/machine"
+	"rocksalt/internal/x86/semantics"
+)
+
+// store is one pending write in a store buffer.
+type store struct {
+	addr uint32
+	val  byte
+}
+
+// CPU is one processor: architectural state plus its store buffer. It
+// implements rtl.Machine by splicing the buffer between the core and the
+// shared memory.
+type CPU struct {
+	ID     int
+	State  *machine.State // Mem field unused; memory ops are redirected
+	Shared *machine.Memory
+	Buffer []store
+}
+
+var _ rtl.Machine = (*CPU)(nil)
+
+// Get reads an architectural location.
+func (c *CPU) Get(loc rtl.Loc) bits.Vec { return c.State.Get(loc) }
+
+// Set writes an architectural location.
+func (c *CPU) Set(loc rtl.Loc, v bits.Vec) { c.State.Set(loc, v) }
+
+// LoadByte reads through the store buffer: the youngest buffered write to
+// the address wins; otherwise the shared memory supplies the value.
+func (c *CPU) LoadByte(addr uint32) byte {
+	for i := len(c.Buffer) - 1; i >= 0; i-- {
+		if c.Buffer[i].addr == addr {
+			return c.Buffer[i].val
+		}
+	}
+	return c.Shared.Load(addr)
+}
+
+// StoreByte enqueues a write in program order.
+func (c *CPU) StoreByte(addr uint32, b byte) {
+	c.Buffer = append(c.Buffer, store{addr, b})
+}
+
+// DrainOne commits the oldest buffered store to shared memory; it reports
+// whether anything was pending.
+func (c *CPU) DrainOne() bool {
+	if len(c.Buffer) == 0 {
+		return false
+	}
+	st := c.Buffer[0]
+	c.Buffer = c.Buffer[1:]
+	c.Shared.Store(st.addr, st.val)
+	return true
+}
+
+// Drain commits the whole buffer (a fence).
+func (c *CPU) Drain() {
+	for c.DrainOne() {
+	}
+}
+
+// System is a multiprocessor: CPUs over one shared memory. A System is
+// not safe for concurrent use (interleaving is expressed by schedules,
+// not goroutines).
+type System struct {
+	Shared *machine.Memory
+	CPUs   []*CPU
+	dec    *decode.Decoder
+}
+
+// sharedDec amortizes the decoder's derivative cache across all systems
+// in the process (the decoder is a pure function of the instruction
+// bytes).
+var (
+	sharedDecOnce sync.Once
+	sharedDec     *decode.Decoder
+)
+
+// NewSystem creates n processors sharing one memory, each with flat
+// 4 GiB segments (litmus tests do not need the sandbox configuration;
+// callers may adjust the per-CPU states).
+func NewSystem(n int) *System {
+	sharedDecOnce.Do(func() { sharedDec = decode.NewDecoder() })
+	sys := &System{Shared: machine.NewMemory(), dec: sharedDec}
+	for i := 0; i < n; i++ {
+		st := machine.New()
+		cpu := &CPU{ID: i, State: st, Shared: sys.Shared}
+		sys.CPUs = append(sys.CPUs, cpu)
+	}
+	return sys
+}
+
+// LoadCode writes a program into shared memory and points the CPU at it.
+func (sys *System) LoadCode(cpu int, base uint32, code []byte) {
+	sys.Shared.WriteBytes(base, code)
+	st := sys.CPUs[cpu].State
+	st.SegBase[x86.CS] = base
+	st.SegLimit[x86.CS] = uint32(len(code) - 1)
+	st.PC = 0
+}
+
+// fencing reports whether an instruction drains the store buffer on x86:
+// LOCK-prefixed RMWs and XCHG with a memory operand are full fences.
+func fencing(i x86.Inst) bool {
+	if i.Prefix.Lock {
+		return true
+	}
+	if i.Op == x86.XCHG {
+		for _, a := range i.Args {
+			if _, mem := a.(x86.MemOp); mem {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Step executes one instruction on the given CPU (its stores stay in the
+// buffer unless the instruction fences).
+func (sys *System) Step(cpu int) error {
+	c := sys.CPUs[cpu]
+	// Fetch from shared memory (code is never written in these tests).
+	lin := c.State.SegBase[x86.CS] + c.State.PC
+	if c.State.PC > c.State.SegLimit[x86.CS] {
+		return fmt.Errorf("tso: cpu %d pc out of code segment", cpu)
+	}
+	window := make([]byte, decode.MaxInstLen)
+	for i := range window {
+		window[i] = c.LoadByte(lin + uint32(i))
+	}
+	inst, n, err := sys.dec.Decode(window)
+	if err != nil {
+		return fmt.Errorf("tso: cpu %d: %w", cpu, err)
+	}
+	fence := fencing(inst)
+	if fence {
+		c.Drain()
+	}
+	prog, err := semantics.Translate(inst, c.State.PC, n)
+	if err != nil {
+		return fmt.Errorf("tso: cpu %d: %w", cpu, err)
+	}
+	if err := rtl.Exec(prog, rtl.NewState(c, rtl.ZeroOracle{})); err != nil {
+		return fmt.Errorf("tso: cpu %d: %w", cpu, err)
+	}
+	if fence {
+		c.Drain()
+	}
+	return nil
+}
+
+// Event is one step of a schedule: execute an instruction on a CPU, or
+// commit one buffered store.
+type Event struct {
+	CPU   int
+	Flush bool // true: drain one store instead of executing
+}
+
+// RunSchedule executes an explicit interleaving. Instruction events on a
+// halted CPU (error or out of code) are ignored so schedules can be
+// generated blindly. All buffers are drained at the end (TSO is
+// eventually coherent).
+func (sys *System) RunSchedule(events []Event) {
+	for _, e := range events {
+		if e.Flush {
+			sys.CPUs[e.CPU].DrainOne()
+			continue
+		}
+		_ = sys.Step(e.CPU) // halted CPUs simply stop contributing
+	}
+	for _, c := range sys.CPUs {
+		c.Drain()
+	}
+}
+
+// RandomSchedule produces a schedule of roughly steps events per CPU with
+// the given flush bias (0..1: probability that an event commits a store
+// instead of executing an instruction).
+func RandomSchedule(rng *rand.Rand, cpus, steps int, flushBias float64) []Event {
+	var out []Event
+	for i := 0; i < cpus*steps; i++ {
+		cpu := rng.Intn(cpus)
+		out = append(out, Event{CPU: cpu, Flush: rng.Float64() < flushBias})
+	}
+	return out
+}
+
+// Finish runs every CPU until it halts (decode error or end of code) and
+// drains all buffers, completing whatever a partial schedule left
+// undone.
+func (sys *System) Finish(maxSteps int) {
+	for cpu := range sys.CPUs {
+		for i := 0; i < maxSteps; i++ {
+			if sys.Step(cpu) != nil {
+				break
+			}
+		}
+	}
+	for _, c := range sys.CPUs {
+		c.Drain()
+	}
+}
+
+// RunSC executes the same programs under sequential consistency: every
+// instruction immediately drains its stores. Used as the contrast model
+// in the litmus tests.
+func (sys *System) RunSC(rng *rand.Rand, maxSteps int) {
+	live := make([]bool, len(sys.CPUs))
+	for i := range live {
+		live[i] = true
+	}
+	for n := 0; n < maxSteps; n++ {
+		anyLive := false
+		for _, l := range live {
+			anyLive = anyLive || l
+		}
+		if !anyLive {
+			break
+		}
+		cpu := rng.Intn(len(sys.CPUs))
+		if !live[cpu] {
+			continue
+		}
+		if err := sys.Step(cpu); err != nil {
+			live[cpu] = false
+			continue
+		}
+		sys.CPUs[cpu].Drain()
+	}
+	for _, c := range sys.CPUs {
+		c.Drain()
+	}
+}

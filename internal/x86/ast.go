@@ -1,0 +1,401 @@
+// Package x86 defines the abstract syntax of the modeled 32-bit x86
+// fragment: registers, flags, operands, prefixes, and the instruction
+// type — the paper's Figure 1. The decoder (internal/x86/decode) produces
+// these values and the RTL translation (internal/x86/semantics) consumes
+// them; the abstract syntax is the interface between the two stages.
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is a 32-bit general purpose register. The numeric values are the
+// x86 encoding of the register fields.
+type Reg uint8
+
+// General purpose registers in encoding order.
+const (
+	EAX Reg = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+)
+
+var regNames = [...]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+var reg16Names = [...]string{"ax", "cx", "dx", "bx", "sp", "bp", "si", "di"}
+var reg8Names = [...]string{"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"}
+
+func (r Reg) String() string { return regNames[r&7] }
+
+// Name renders the register at a given operand size (8, 16 or 32 bits);
+// at size 8 the encoding addresses AL..BH.
+func (r Reg) Name(size int) string {
+	switch size {
+	case 8:
+		return reg8Names[r&7]
+	case 16:
+		return reg16Names[r&7]
+	default:
+		return regNames[r&7]
+	}
+}
+
+// SegReg is a segment register, in x86 encoding order.
+type SegReg uint8
+
+// Segment registers in encoding order.
+const (
+	ES SegReg = iota
+	CS
+	SS
+	DS
+	FS
+	GS
+)
+
+var segNames = [...]string{"es", "cs", "ss", "ds", "fs", "gs"}
+
+func (s SegReg) String() string { return segNames[s%6] }
+
+// Flag identifies one bit of EFLAGS that the model tracks.
+type Flag uint8
+
+// Tracked EFLAGS bits.
+const (
+	CF Flag = iota // carry
+	PF             // parity
+	AF             // auxiliary carry
+	ZF             // zero
+	SF             // sign
+	OF             // overflow
+	DF             // direction
+	NumFlags
+)
+
+var flagNames = [...]string{"CF", "PF", "AF", "ZF", "SF", "OF", "DF"}
+
+func (f Flag) String() string { return flagNames[f%NumFlags] }
+
+// Cond is a condition code, the tttn field of Jcc/SETcc/CMOVcc, in
+// encoding order (0 = overflow, 1 = no overflow, ...).
+type Cond uint8
+
+// Condition codes in tttn encoding order.
+const (
+	CondO Cond = iota
+	CondNO
+	CondB
+	CondNB
+	CondE
+	CondNE
+	CondBE
+	CondNBE
+	CondS
+	CondNS
+	CondP
+	CondNP
+	CondL
+	CondNL
+	CondLE
+	CondNLE
+)
+
+var condNames = [...]string{"o", "no", "b", "nb", "e", "ne", "be", "nbe", "s", "ns", "p", "np", "l", "nl", "le", "nle"}
+
+func (c Cond) String() string { return condNames[c&15] }
+
+// Scale is an SIB scale factor: 1, 2, 4 or 8.
+type Scale uint8
+
+// Addr is a memory effective address: Disp + Base + Index*Scale, any of
+// base and index optional (the paper's int32 × option reg × option
+// (scale × reg)).
+type Addr struct {
+	Disp  uint32
+	Base  *Reg
+	Index *Reg // never ESP
+	Scale Scale
+}
+
+func (a Addr) String() string {
+	var parts []string
+	if a.Base != nil {
+		parts = append(parts, a.Base.String())
+	}
+	if a.Index != nil {
+		parts = append(parts, fmt.Sprintf("%s*%d", a.Index, a.Scale))
+	}
+	if a.Disp != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("0x%x", a.Disp))
+	}
+	return "[" + strings.Join(parts, "+") + "]"
+}
+
+// Operand is an instruction operand (Figure 1's op type).
+type Operand interface {
+	isOperand()
+	String() string
+}
+
+// Imm is an immediate operand.
+type Imm struct{ Val uint32 }
+
+// RegOp is a register operand.
+type RegOp struct{ Reg Reg }
+
+// MemOp is a memory operand with an effective address.
+type MemOp struct{ Addr Addr }
+
+// OffOp is a direct memory offset (the moffs forms of MOV).
+type OffOp struct{ Off uint32 }
+
+// SegOp is a segment-register operand (MOV to/from Sreg, PUSH/POP Sreg).
+type SegOp struct{ Seg SegReg }
+
+func (Imm) isOperand()   {}
+func (RegOp) isOperand() {}
+func (MemOp) isOperand() {}
+func (OffOp) isOperand() {}
+func (SegOp) isOperand() {}
+
+func (o Imm) String() string   { return fmt.Sprintf("0x%x", o.Val) }
+func (o RegOp) String() string { return o.Reg.String() }
+func (o MemOp) String() string { return o.Addr.String() }
+func (o OffOp) String() string { return fmt.Sprintf("[0x%x]", o.Off) }
+func (o SegOp) String() string { return o.Seg.String() }
+
+// Prefix records the instruction prefixes, the paper's prefix record.
+type Prefix struct {
+	Lock     bool    // F0
+	Rep      bool    // F3
+	RepN     bool    // F2
+	Seg      *SegReg // segment override, nil if none
+	OpSize   bool    // 66: 16-bit operands
+	AddrSize bool    // 67: 16-bit addressing (parsed, rejected by policy)
+}
+
+func (p Prefix) String() string {
+	var parts []string
+	if p.Lock {
+		parts = append(parts, "lock")
+	}
+	if p.Rep {
+		parts = append(parts, "rep")
+	}
+	if p.RepN {
+		parts = append(parts, "repn")
+	}
+	if p.Seg != nil {
+		parts = append(parts, p.Seg.String()+":")
+	}
+	if p.OpSize {
+		parts = append(parts, "o16")
+	}
+	if p.AddrSize {
+		parts = append(parts, "a16")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Op is an instruction opcode (mnemonic).
+type Op uint16
+
+// Opcodes, alphabetical. Condition-code families (Jcc, SETcc, CMOVcc) are
+// single opcodes with the condition stored in Inst.Cond, matching the
+// paper's convention of counting e.g. all fourteen ADC encodings as one
+// instruction.
+const (
+	BAD Op = iota
+	AAA
+	AAD
+	AAM
+	AAS
+	ADC
+	ADD
+	AND
+	BOUND
+	BSF
+	BSR
+	BSWAP
+	BT
+	BTC
+	BTR
+	BTS
+	CALL
+	CDQ
+	CLC
+	CLD
+	CMC
+	CMOVcc
+	CMP
+	CMPS
+	CMPXCHG
+	CMPXCHG8B
+	CPUID
+	CWDE
+	DAA
+	DAS
+	DEC
+	DIV
+	ENTER
+	HLT
+	IDIV
+	IMUL
+	IN
+	INC
+	INS
+	INT
+	INT3
+	INTO
+	IRET
+	Jcc
+	JCXZ
+	JMP
+	LAHF
+	LDS
+	LEA
+	LEAVE
+	LES
+	LFS
+	LGS
+	LODS
+	LOOP
+	LOOPNZ
+	LOOPZ
+	LSS
+	MOV
+	MOVS
+	MOVSX
+	MOVZX
+	MUL
+	NEG
+	NOP
+	NOT
+	OR
+	OUT
+	OUTS
+	POP
+	POPA
+	POPF
+	PUSH
+	PUSHA
+	PUSHF
+	RCL
+	RCR
+	RDTSC
+	RET
+	ROL
+	ROR
+	SAHF
+	SAR
+	SBB
+	SCAS
+	SETcc
+	SHL
+	SHLD
+	SHR
+	SHRD
+	STC
+	STD
+	STOS
+	SUB
+	TEST
+	UD2
+	XADD
+	XCHG
+	XLAT
+	XOR
+	NumOps
+)
+
+var opNames = [...]string{
+	"bad", "aaa", "aad", "aam", "aas", "adc", "add", "and", "bound", "bsf",
+	"bsr", "bswap", "bt", "btc", "btr", "bts", "call", "cdq", "clc", "cld",
+	"cmc", "cmov", "cmp", "cmps", "cmpxchg", "cmpxchg8b", "cpuid", "cwde",
+	"daa", "das", "dec", "div", "enter", "hlt", "idiv", "imul", "in",
+	"inc", "ins", "int", "int3", "into", "iret", "j", "jcxz", "jmp",
+	"lahf", "lds", "lea", "leave", "les", "lfs", "lgs", "lods", "loop",
+	"loopnz", "loopz", "lss", "mov", "movs", "movsx", "movzx", "mul",
+	"neg", "nop", "not", "or", "out", "outs", "pop", "popa", "popf",
+	"push", "pusha", "pushf", "rcl", "rcr", "rdtsc", "ret", "rol", "ror",
+	"sahf", "sar", "sbb", "scas", "set", "shl", "shld", "shr", "shrd",
+	"stc", "std", "stos", "sub", "test", "ud2", "xadd", "xchg", "xlat",
+	"xor",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint16(o))
+}
+
+// Inst is a decoded instruction. W is the paper's "boolean mode": true
+// when the operand size is the default (32 bits, or 16 under an
+// operand-size prefix), false when it is one byte.
+type Inst struct {
+	Prefix  Prefix
+	Op      Op
+	W       bool
+	Cond    Cond      // for Jcc/SETcc/CMOVcc
+	Args    []Operand // destination first
+	Far     bool      // far forms of CALL/JMP/RET
+	Sel     uint16    // far segment selector (CALL ptr16:32)
+	Rel     bool      // Args[0] immediate is PC-relative (JMP/Jcc/CALL rel)
+	SrcSize uint8     // source width in bits for MOVZX/MOVSX (8 or 16)
+}
+
+// OperandSize returns the instruction's operand size in bits under its
+// prefixes: 8 when W is clear, else 16 under an operand-size override,
+// else 32.
+func (i Inst) OperandSize() int {
+	if !i.W {
+		return 8
+	}
+	if i.Prefix.OpSize {
+		return 16
+	}
+	return 32
+}
+
+func (i Inst) String() string {
+	var sb strings.Builder
+	if p := i.Prefix.String(); p != "" {
+		sb.WriteString(p)
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(i.Op.String())
+	switch i.Op {
+	case Jcc, SETcc, CMOVcc:
+		sb.WriteString(i.Cond.String())
+	}
+	size := i.OperandSize()
+	for n, a := range i.Args {
+		if n == 0 {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteString(", ")
+		}
+		if r, ok := a.(RegOp); ok {
+			sb.WriteString(r.Reg.Name(size))
+		} else {
+			sb.WriteString(a.String())
+		}
+	}
+	return sb.String()
+}
+
+// IsControlFlow reports whether the instruction can change the program
+// counter non-sequentially.
+func (i Inst) IsControlFlow() bool {
+	switch i.Op {
+	case CALL, JMP, Jcc, JCXZ, RET, LOOP, LOOPZ, LOOPNZ, INT, INT3, INTO, IRET:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package x86
+
+import "testing"
+
+func TestRegisterNames(t *testing.T) {
+	if EAX.String() != "eax" || EDI.String() != "edi" {
+		t.Fatal("register names wrong")
+	}
+	if EAX.Name(16) != "ax" || EAX.Name(8) != "al" || Reg(4).Name(8) != "ah" {
+		t.Fatal("sized register names wrong")
+	}
+	if ESP.Name(32) != "esp" {
+		t.Fatal("esp name wrong")
+	}
+}
+
+func TestSegFlagCondNames(t *testing.T) {
+	if CS.String() != "cs" || GS.String() != "gs" {
+		t.Fatal("segment names wrong")
+	}
+	if CF.String() != "CF" || DF.String() != "DF" {
+		t.Fatal("flag names wrong")
+	}
+	if CondE.String() != "e" || CondNLE.String() != "nle" {
+		t.Fatal("condition names wrong")
+	}
+}
+
+func TestOperandSize(t *testing.T) {
+	cases := []struct {
+		i    Inst
+		want int
+	}{
+		{Inst{W: false}, 8},
+		{Inst{W: true}, 32},
+		{Inst{W: true, Prefix: Prefix{OpSize: true}}, 16},
+		{Inst{W: false, Prefix: Prefix{OpSize: true}}, 8},
+	}
+	for _, c := range cases {
+		if got := c.i.OperandSize(); got != c.want {
+			t.Errorf("OperandSize(%+v) = %d, want %d", c.i, got, c.want)
+		}
+	}
+}
+
+func TestIsControlFlow(t *testing.T) {
+	for _, op := range []Op{CALL, JMP, Jcc, JCXZ, RET, LOOP, LOOPZ, LOOPNZ, INT, INT3, INTO, IRET} {
+		if !(Inst{Op: op}).IsControlFlow() {
+			t.Errorf("%v must be control flow", op)
+		}
+	}
+	for _, op := range []Op{ADD, MOV, NOP, PUSH, SETcc, CMOVcc, MOVS} {
+		if (Inst{Op: op}).IsControlFlow() {
+			t.Errorf("%v must not be control flow", op)
+		}
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	ebx, esi := EBX, ESI
+	cases := []struct {
+		a    Addr
+		want string
+	}{
+		{Addr{Disp: 0x10}, "[0x10]"},
+		{Addr{Base: &ebx}, "[ebx]"},
+		{Addr{Base: &ebx, Index: &esi, Scale: 4, Disp: 8}, "[ebx+esi*4+0x8]"},
+		{Addr{}, "[0x0]"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("Addr %+v = %q, want %q", c.a, got, c.want)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	i := Inst{Op: ADD, W: true, Args: []Operand{RegOp{EAX}, Imm{0x10}}}
+	if got := i.String(); got != "add eax, 0x10" {
+		t.Errorf("String = %q", got)
+	}
+	i = Inst{Op: Jcc, Cond: CondNE, W: true, Rel: true, Args: []Operand{Imm{4}}}
+	if got := i.String(); got != "jne 0x4" {
+		t.Errorf("String = %q", got)
+	}
+	i = Inst{Op: MOV, W: false, Args: []Operand{RegOp{Reg(4)}, Imm{1}}}
+	if got := i.String(); got != "mov ah, 0x1" {
+		t.Errorf("String = %q", got)
+	}
+	lock := Inst{Op: XCHG, W: true, Prefix: Prefix{Lock: true},
+		Args: []Operand{RegOp{EAX}, RegOp{EBX}}}
+	if got := lock.String(); got != "lock xchg eax, ebx" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOperandStrings(t *testing.T) {
+	if (Imm{0xff}).String() != "0xff" ||
+		(RegOp{ECX}).String() != "ecx" ||
+		(OffOp{0x20}).String() != "[0x20]" ||
+		(SegOp{DS}).String() != "ds" {
+		t.Fatal("operand rendering wrong")
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	fs := FS
+	p := Prefix{Lock: true, Seg: &fs, OpSize: true}
+	if got := p.String(); got != "lock fs: o16" {
+		t.Errorf("Prefix = %q", got)
+	}
+	if (Prefix{}).String() != "" {
+		t.Error("empty prefix renders empty")
+	}
+}

@@ -1,0 +1,219 @@
+package decode
+
+import (
+	"fmt"
+	"sync"
+
+	"rocksalt/internal/grammar"
+	"rocksalt/internal/x86"
+)
+
+// MaxInstLen is the architectural limit on instruction length.
+const MaxInstLen = 15
+
+// prefixEdit is the semantic value of one prefix alternative: a mutation
+// applied to the Prefix record being assembled.
+type prefixEdit func(*x86.Prefix)
+
+func noEdit(*x86.Prefix) {}
+
+func prefixLockRep() *g {
+	alt := func(b byte, f prefixEdit) *g {
+		return grammar.Map(lit(b), func(val) val { return f })
+	}
+	return grammar.Alt(
+		alt(0xf0, func(p *x86.Prefix) { p.Lock = true }),
+		alt(0xf3, func(p *x86.Prefix) { p.Rep = true }),
+		alt(0xf2, func(p *x86.Prefix) { p.RepN = true }),
+		grammar.Map(grammar.Eps(), func(val) val { return prefixEdit(noEdit) }),
+	)
+}
+
+func prefixSeg() *g {
+	segBytes := []struct {
+		b byte
+		s x86.SegReg
+	}{
+		{0x26, x86.ES}, {0x2e, x86.CS}, {0x36, x86.SS},
+		{0x3e, x86.DS}, {0x64, x86.FS}, {0x65, x86.GS},
+	}
+	var alts []*g
+	for _, sb := range segBytes {
+		s := sb.s
+		alts = append(alts, grammar.Map(lit(sb.b), func(val) val {
+			return prefixEdit(func(p *x86.Prefix) { p.Seg = &s })
+		}))
+	}
+	alts = append(alts, grammar.Map(grammar.Eps(), func(val) val { return prefixEdit(noEdit) }))
+	return grammar.Alt(alts...)
+}
+
+// prefixGrammar matches the prefix bytes in canonical order — lock/rep,
+// segment override, then the mandatory 0x66 and/or 0x67 overrides for
+// this variant — and yields an x86.Prefix.
+func prefixGrammar(c cfg) *g {
+	parts := []*g{prefixLockRep(), prefixSeg()}
+	if c.opsize16 {
+		parts = append(parts, lit(0x66))
+	}
+	if c.addr16 {
+		parts = append(parts, lit(0x67))
+	}
+	gp := chain(parts...)
+	return act(gp, func(vs []val) val {
+		p := x86.Prefix{OpSize: c.opsize16, AddrSize: c.addr16}
+		for _, v := range vs {
+			v.(prefixEdit)(&p)
+		}
+		return p
+	})
+}
+
+// InstructionsGrammar is the alternation of every instruction encoding
+// (without prefixes), parameterized by whether an operand-size override is
+// in force (32-bit addressing).
+func InstructionsGrammar(opsize16 bool) *g {
+	return grammar.Alt(instructionGrammars(cfg{opsize16: opsize16})...)
+}
+
+// topVariant glues prefixes to the instruction body.
+func topVariant(c cfg) *g {
+	return grammar.Map(
+		grammar.Cat(prefixGrammar(c), grammar.Alt(instructionGrammars(c)...)),
+		func(v val) val {
+			p := v.(grammar.Pair)
+			i := p.Snd.(x86.Inst)
+			i.Prefix = p.Fst.(x86.Prefix)
+			return i
+		})
+}
+
+var (
+	topOnce sync.Once
+	topG    *g
+)
+
+// TopGrammar returns the complete decode grammar — all prefixes and all
+// instruction forms, the paper's x86grammar: the four combinations of
+// operand-size and address-size overrides. It is built once and shared;
+// grammars are immutable.
+func TopGrammar() *g {
+	topOnce.Do(func() {
+		topG = grammar.Alt(
+			topVariant(cfg{}),
+			topVariant(cfg{opsize16: true}),
+			topVariant(cfg{addr16: true}),
+			topVariant(cfg{opsize16: true, addr16: true}),
+		)
+	})
+	return topG
+}
+
+// Decoder decodes instructions with the derivative parser, memoizing
+// derivative states in a byte-trie so that shared opcode prefixes are
+// derived only once. This is the "lazy, on-line construction of a
+// deterministic finite-state transducer" the paper describes at the end
+// of §2.2.
+type Decoder struct {
+	root     *trieNode
+	numNodes int
+}
+
+type trieNode struct {
+	g        *grammar.Grammar
+	kids     map[byte]*trieNode
+	accepted bool
+	inst     x86.Inst
+}
+
+const (
+	trieDepth    = 4       // cache derivative states this many bytes deep
+	trieMaxNodes = 1 << 15 // hard cap on cached states
+)
+
+// NewDecoder builds a decoder over the full instruction grammar.
+func NewDecoder() *Decoder {
+	return &Decoder{root: &trieNode{g: TopGrammar(), kids: make(map[byte]*trieNode)}, numNodes: 1}
+}
+
+// Decode decodes a single instruction from the head of code, returning the
+// abstract syntax and the number of bytes consumed.
+func (d *Decoder) Decode(code []byte) (x86.Inst, int, error) {
+	limit := len(code)
+	if limit > MaxInstLen {
+		limit = MaxInstLen
+	}
+	node := d.root
+	cur := d.root.g
+	for n := 0; n < limit; n++ {
+		b := code[n]
+		if node != nil {
+			next, ok := node.kids[b]
+			if !ok && d.numNodes < trieMaxNodes && n < trieDepth {
+				ng := grammar.DerivByte(node.g, b)
+				next = &trieNode{g: ng, kids: make(map[byte]*trieNode)}
+				if vs := grammar.Extract(ng); len(vs) == 1 {
+					next.accepted = true
+					next.inst = vs[0].(x86.Inst)
+				}
+				node.kids[b] = next
+				d.numNodes++
+				ok = true
+			}
+			if ok {
+				node = next
+				cur = next.g
+				if next.g.IsVoid() {
+					return x86.Inst{}, 0, fmt.Errorf("decode: illegal byte sequence at offset %d", n)
+				}
+				if next.accepted {
+					return next.inst, n + 1, nil
+				}
+				continue
+			}
+			// Fall out of the cache.
+			node = nil
+		}
+		cur = grammar.DerivByte(cur, b)
+		if cur.IsVoid() {
+			return x86.Inst{}, 0, fmt.Errorf("decode: illegal byte sequence at offset %d", n)
+		}
+		if vs := grammar.Extract(cur); len(vs) > 0 {
+			if len(vs) > 1 {
+				return x86.Inst{}, 0, fmt.Errorf("decode: ambiguous parse (grammar bug)")
+			}
+			return vs[0].(x86.Inst), n + 1, nil
+		}
+	}
+	return x86.Inst{}, 0, fmt.Errorf("decode: truncated or overlong instruction")
+}
+
+// Disassembled is one entry of a linear disassembly: either a decoded
+// instruction of length Len at offset Off, or a one-byte undecodable gap
+// (Err non-nil, Len 1).
+type Disassembled struct {
+	Off  int
+	Len  int
+	Inst x86.Inst
+	Err  error
+}
+
+// DecodeAll linearly disassembles the whole byte slice from offset 0,
+// resynchronizing one byte at a time after undecodable input (the usual
+// disassembler convention; note the paper's point that a linear
+// disassembly is NOT a safety argument — only the checker's analysis of
+// all reachable parses is).
+func (d *Decoder) DecodeAll(code []byte) []Disassembled {
+	var out []Disassembled
+	for pos := 0; pos < len(code); {
+		inst, n, err := d.Decode(code[pos:])
+		if err != nil {
+			out = append(out, Disassembled{Off: pos, Len: 1, Err: err})
+			pos++
+			continue
+		}
+		out = append(out, Disassembled{Off: pos, Len: n, Inst: inst})
+		pos += n
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package decode
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rocksalt/internal/grammar"
+	"rocksalt/internal/x86"
+)
+
+func decodeOne(t *testing.T, code ...byte) (x86.Inst, int) {
+	t.Helper()
+	d := NewDecoder()
+	inst, n, err := d.Decode(code)
+	if err != nil {
+		t.Fatalf("decode % x: %v", code, err)
+	}
+	return inst, n
+}
+
+func TestDecodeBasics(t *testing.T) {
+	cases := []struct {
+		code []byte
+		want string
+		len  int
+	}{
+		{[]byte{0x90}, "nop", 1},
+		{[]byte{0x01, 0xd8}, "add eax, ebx", 2},
+		{[]byte{0x29, 0xc8}, "sub eax, ecx", 2},
+		{[]byte{0x31, 0xff}, "xor edi, edi", 2},
+		{[]byte{0x83, 0xe0, 0xe0}, "and eax, 0xffffffe0", 3},
+		{[]byte{0x25, 0xe0, 0xff, 0xff, 0xff}, "and eax, 0xffffffe0", 5},
+		{[]byte{0xff, 0xe0}, "jmp eax", 2},
+		{[]byte{0xff, 0xd1}, "call ecx", 2},
+		{[]byte{0xc3}, "ret", 1},
+		{[]byte{0x55}, "push ebp", 1},
+		{[]byte{0x5d}, "pop ebp", 1},
+		{[]byte{0x89, 0xe5}, "mov ebp, esp", 2},
+		{[]byte{0xb8, 0x78, 0x56, 0x34, 0x12}, "mov eax, 0x12345678", 5},
+		{[]byte{0x8b, 0x45, 0xfc}, "mov eax, [ebp+0xfffffffc]", 3},
+		{[]byte{0x8b, 0x04, 0x24}, "mov eax, [esp]", 3},
+		{[]byte{0x8d, 0x44, 0x88, 0x10}, "lea eax, [eax+ecx*4+0x10]", 4},
+		{[]byte{0x0f, 0xaf, 0xc3}, "imul eax, ebx", 3},
+		{[]byte{0xf7, 0xf9}, "idiv ecx", 2},
+		{[]byte{0xd1, 0xe8}, "shr eax, 0x1", 2},
+		{[]byte{0xc1, 0xe0, 0x05}, "shl eax, 0x5", 3},
+		{[]byte{0xd3, 0xf8}, "sar eax, ecx", 2},
+		{[]byte{0x0f, 0xb6, 0xc9}, "movzx ecx, ecx", 3},
+		{[]byte{0x0f, 0x94, 0xc0}, "sete al", 3},
+		{[]byte{0x0f, 0x44, 0xc1}, "cmove eax, ecx", 3},
+		{[]byte{0x85, 0xc0}, "test eax, eax", 2},
+		{[]byte{0xa8, 0x01}, "test al, 0x1", 2},
+		{[]byte{0x66, 0x01, 0xd8}, "o16 add ax, bx", 3},
+		{[]byte{0xf3, 0xa4}, "rep movs", 2},
+		{[]byte{0xf0, 0x0f, 0xb1, 0x0b}, "lock cmpxchg [ebx], ecx", 4},
+		{[]byte{0x64, 0x8b, 0x01}, "fs: mov eax, [ecx]", 3},
+		{[]byte{0x74, 0x10}, "je 0x10", 2},
+		{[]byte{0x0f, 0x85, 0x00, 0x01, 0x00, 0x00}, "jne 0x100", 6},
+		{[]byte{0xe2, 0xfb}, "loop 0xfffffffb", 2},
+		{[]byte{0xcd, 0x80}, "int 0x80", 2},
+		{[]byte{0x0f, 0xc8}, "bswap eax", 2},
+		{[]byte{0x99}, "cdq", 1},
+		{[]byte{0xc9}, "leave", 1},
+		{[]byte{0x0f, 0xa4, 0xd8, 0x04}, "shld eax, ebx, 0x4", 4},
+		{[]byte{0x0f, 0xbc, 0xc2}, "bsf eax, edx", 3},
+		{[]byte{0x0f, 0xab, 0xc8}, "bts eax, ecx", 3},
+		{[]byte{0x8e, 0xd8}, "mov ds, eax", 2},
+		{[]byte{0x8c, 0xd8}, "mov eax, ds", 2},
+		{[]byte{0x1e}, "push ds", 1},
+		{[]byte{0xea, 0x00, 0x10, 0x00, 0x00, 0x23, 0x00}, "jmp 0x1000", 7},
+		{[]byte{0xc8, 0x20, 0x00, 0x00}, "enter 0x20, 0x0", 4},
+		{[]byte{0x0f, 0xc7, 0x0b}, "cmpxchg8b [ebx]", 3},
+		{[]byte{0x0f, 0x31}, "rdtsc", 2},
+		{[]byte{0x0f, 0xa2}, "cpuid", 2},
+		{[]byte{0x0f, 0x0b}, "ud2", 2},
+		{[]byte{0x67, 0x8b, 0x00}, "a16 mov eax, [ebx+esi*1]", 3},
+		{[]byte{0x67, 0x8b, 0x07}, "a16 mov eax, [ebx]", 3},
+		{[]byte{0x67, 0x8b, 0x46, 0xfc}, "a16 mov eax, [ebp+0xfffc]", 4},
+		{[]byte{0x67, 0x8b, 0x0e, 0x34, 0x12}, "a16 mov ecx, [0x1234]", 5},
+		{[]byte{0x66, 0x67, 0x01, 0xd8}, "o16 a16 add ax, bx", 4},
+	}
+	for _, c := range cases {
+		inst, n := decodeOne(t, c.code...)
+		if got := inst.String(); got != c.want {
+			t.Errorf("% x: got %q, want %q", c.code, got, c.want)
+		}
+		if n != c.len {
+			t.Errorf("% x: consumed %d, want %d", c.code, n, c.len)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	bad := [][]byte{
+		{0x67, 0x66, 0x01, 0xd8}, // prefixes out of canonical order
+		{0x0f, 0x05},             // syscall (not IA-32 ring-3 subset)
+		{0x82, 0xc0, 0x01},       // 0x82 alias excluded
+		{0xd8, 0xc0},             // x87 not modeled
+		{0x0f, 0x0c},             // unassigned 0F opcode
+		{0xf1},                   // INT1 not modeled
+		{0xc1, 0xf0, 0x05},       // shift group /6 undefined
+		{},                       // empty
+		{0xe8, 0x01, 0x02},       // truncated imm32
+	}
+	d := NewDecoder()
+	for _, code := range bad {
+		if inst, _, err := d.Decode(code); err == nil {
+			t.Errorf("% x: decoded unexpectedly to %v", code, inst)
+		}
+	}
+}
+
+func TestDecodeRelativeAndFarMarkers(t *testing.T) {
+	d := NewDecoder()
+	inst, _, _ := d.Decode([]byte{0xe8, 0x10, 0, 0, 0})
+	if !inst.Rel || inst.Far {
+		t.Error("call rel32 must be marked Rel")
+	}
+	inst, _, _ = d.Decode([]byte{0xff, 0xd0})
+	if inst.Rel || inst.Far {
+		t.Error("call reg must be near indirect")
+	}
+	inst, _, _ = d.Decode([]byte{0x9a, 0, 0, 0, 0, 0x23, 0})
+	if !inst.Far || inst.Sel != 0x23 {
+		t.Error("far call must carry its selector")
+	}
+	inst, _, _ = d.Decode([]byte{0xcb})
+	if inst.Op != x86.RET || !inst.Far {
+		t.Error("retf must be far")
+	}
+}
+
+func TestDecodeModRMCorners(t *testing.T) {
+	d := NewDecoder()
+	// [disp32] absolute.
+	inst, n, err := d.Decode([]byte{0x8b, 0x05, 0x44, 0x33, 0x22, 0x11})
+	if err != nil || n != 6 {
+		t.Fatalf("decode abs: %v", err)
+	}
+	m := inst.Args[1].(x86.MemOp)
+	if m.Addr.Disp != 0x11223344 || m.Addr.Base != nil || m.Addr.Index != nil {
+		t.Errorf("abs addr wrong: %v", m)
+	}
+	// SIB with no base (disp32 + index*scale).
+	inst, _, err = d.Decode([]byte{0x8b, 0x04, 0xcd, 0x10, 0x00, 0x00, 0x00})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = inst.Args[1].(x86.MemOp)
+	if m.Addr.Base != nil || m.Addr.Index == nil || *m.Addr.Index != x86.ECX || m.Addr.Scale != 8 || m.Addr.Disp != 0x10 {
+		t.Errorf("sib-no-base wrong: %v", m)
+	}
+	// SIB with index=100 (none): scale bits ignored.
+	inst, _, err = d.Decode([]byte{0x8b, 0x04, 0x24}) // mov eax, [esp]
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = inst.Args[1].(x86.MemOp)
+	if m.Addr.Base == nil || *m.Addr.Base != x86.ESP || m.Addr.Index != nil {
+		t.Errorf("esp base wrong: %v", m)
+	}
+	// EBP base with mod=01 zero displacement.
+	inst, _, err = d.Decode([]byte{0x8b, 0x45, 0x00})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = inst.Args[1].(x86.MemOp)
+	if m.Addr.Base == nil || *m.Addr.Base != x86.EBP || m.Addr.Disp != 0 {
+		t.Errorf("ebp+0 wrong: %v", m)
+	}
+	// mod=10 disp32 with SIB and EBP base.
+	inst, _, err = d.Decode([]byte{0x8b, 0x84, 0x8d, 0x00, 0x01, 0x00, 0x00})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = inst.Args[1].(x86.MemOp)
+	if m.Addr.Base == nil || *m.Addr.Base != x86.EBP || m.Addr.Index == nil || *m.Addr.Index != x86.ECX ||
+		m.Addr.Scale != 4 || m.Addr.Disp != 0x100 {
+		t.Errorf("full sib wrong: %v", m)
+	}
+}
+
+// TestGenerativeRoundTrip is the paper's fuzzing loop (§2.5): sample byte
+// sequences from the generative grammar together with their semantic
+// values, and check the decoder reproduces exactly those values.
+func TestGenerativeRoundTrip(t *testing.T) {
+	s := grammar.NewSampler(rand.New(rand.NewSource(2024)))
+	top := TopGrammar()
+	d := NewDecoder()
+	trials := 4000
+	if testing.Short() {
+		trials = 400
+	}
+	for i := 0; i < trials; i++ {
+		bs, v, ok := s.SampleBytes(top, 4)
+		if !ok {
+			t.Fatal("sampler failed on instruction grammar")
+		}
+		want := v.(x86.Inst)
+		got, n, err := d.Decode(bs)
+		if err != nil {
+			t.Fatalf("sampled % x (%v) does not decode: %v", bs, want, err)
+		}
+		if n != len(bs) {
+			t.Fatalf("sampled % x: decoded %d of %d bytes (prefix ambiguity?)", bs, n, len(bs))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sampled % x: decoded %#v, want %#v", bs, got, want)
+		}
+	}
+}
+
+func TestNumEncodingForms(t *testing.T) {
+	if n := NumEncodingForms(); n < 130 {
+		t.Errorf("only %d encoding forms; the paper's model parses over 130", n)
+	} else {
+		t.Logf("decoder grammar has %d encoding forms", n)
+	}
+}
+
+func TestDecoderCacheConsistency(t *testing.T) {
+	// Decoding the same bytes twice (second time through the trie cache)
+	// must give identical results.
+	d := NewDecoder()
+	code := []byte{0x8b, 0x44, 0x8a, 0x04}
+	a, n1, err1 := d.Decode(code)
+	b, n2, err2 := d.Decode(code)
+	if err1 != nil || err2 != nil || n1 != n2 || !reflect.DeepEqual(a, b) {
+		t.Fatalf("cache inconsistency: %v/%v %d/%d %v/%v", a, b, n1, n2, err1, err2)
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	d := NewDecoder()
+	code := []byte{0x90, 0xd8, 0x01, 0xd8, 0xc3} // nop, junk(x87), add, ret
+	out := d.DecodeAll(code)
+	if len(out) != 4 {
+		t.Fatalf("DecodeAll entries = %d, want 4: %v", len(out), out)
+	}
+	if out[0].Inst.Op != x86.NOP || out[0].Len != 1 {
+		t.Fatal("first entry wrong")
+	}
+	if out[1].Err == nil || out[1].Len != 1 {
+		t.Fatal("junk byte must be a one-byte gap")
+	}
+	if out[2].Inst.Op != x86.ADD || out[2].Off != 2 || out[2].Len != 2 {
+		t.Fatalf("resync failed: %+v", out[2])
+	}
+	if out[3].Inst.Op != x86.RET {
+		t.Fatal("final ret missing")
+	}
+	// Offsets tile the input exactly.
+	pos := 0
+	for _, e := range out {
+		if e.Off != pos {
+			t.Fatalf("offset gap at %d", pos)
+		}
+		pos += e.Len
+	}
+	if pos != len(code) {
+		t.Fatal("entries must cover the input")
+	}
+	if got := d.DecodeAll(nil); len(got) != 0 {
+		t.Fatal("empty input decodes to nothing")
+	}
+}

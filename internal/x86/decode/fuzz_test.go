@@ -1,0 +1,96 @@
+package decode
+
+import (
+	"reflect"
+	"testing"
+
+	"rocksalt/internal/grammar"
+
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/encode"
+	"rocksalt/internal/x86/semantics"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder: it must never panic,
+// and whatever it accepts must re-encode (when the encoder covers the
+// form) to bytes that decode to the identical instruction, and must
+// translate to RTL without internal errors. Run with
+//
+//	go test -fuzz FuzzDecode ./internal/x86/decode
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x90})
+	f.Add([]byte{0x83, 0xe0, 0xe0})
+	f.Add([]byte{0x8b, 0x84, 0x8d, 0x00, 0x01, 0x00, 0x00})
+	f.Add([]byte{0x66, 0xf3, 0x0f, 0xff, 0xc0})
+	f.Add([]byte{0x0f, 0xc7, 0x0d, 1, 2, 3, 4})
+	dec := NewDecoder()
+	f.Fuzz(func(t *testing.T, code []byte) {
+		inst, n, err := dec.Decode(code)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if n <= 0 || n > len(code) || n > MaxInstLen {
+			t.Fatalf("bad length %d for % x", n, code)
+		}
+		// Accepted instructions must translate (or report a clean error).
+		if _, terr := semantics.Translate(inst, 0x1000, n); terr != nil {
+			// Only the documented gaps may fail.
+			if inst.Prefix.AddrSize {
+				return
+			}
+			t.Fatalf("decoded %v (% x) but translation failed: %v", inst, code[:n], terr)
+		}
+		// Round-trip through the encoder when it covers the form.
+		re, eerr := encode.Encode(inst)
+		if eerr != nil {
+			return
+		}
+		second, m, derr := dec.Decode(re)
+		if derr != nil {
+			t.Fatalf("re-encoding % x of %v produced undecodable % x: %v", code[:n], inst, re, derr)
+		}
+		if m != len(re) || !reflect.DeepEqual(second, inst) {
+			t.Fatalf("decode∘encode drift: %v -> % x -> %v", inst, re, second)
+		}
+	})
+}
+
+// FuzzDecodeMatchesRawParse cross-checks the trie-cached decoder against
+// the uncached derivative parser on arbitrary inputs.
+func FuzzDecodeMatchesRawParse(f *testing.F) {
+	f.Add([]byte{0x01, 0xd8})
+	f.Add([]byte{0xf0, 0x0f, 0xb1, 0x0b})
+	dec := NewDecoder()
+	top := TopGrammar()
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) > 20 {
+			code = code[:20]
+		}
+		i1, n1, e1 := dec.Decode(code)
+		v, n2, e2 := rawParse(top, code)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("cached/raw accept disagreement on % x: %v vs %v", code, e1, e2)
+		}
+		if e1 == nil {
+			if n1 != n2 || !reflect.DeepEqual(i1, v) {
+				t.Fatalf("cached/raw value disagreement on % x", code)
+			}
+		}
+	})
+}
+
+func rawParse(top *g, code []byte) (x86.Inst, int, error) {
+	v, n, err := parseBytesRaw(top, code)
+	if err != nil {
+		return x86.Inst{}, 0, err
+	}
+	return v.(x86.Inst), n, nil
+}
+
+func parseBytesRaw(top *g, code []byte) (val, int, error) {
+	limit := len(code)
+	if limit > MaxInstLen {
+		limit = MaxInstLen
+	}
+	return grammar.ParseBytes(top, code, limit)
+}

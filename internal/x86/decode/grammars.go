@@ -1,0 +1,657 @@
+package decode
+
+import (
+	"rocksalt/internal/grammar"
+	"rocksalt/internal/x86"
+)
+
+// This file transcribes the Intel manual's opcode tables into grammars,
+// one definition per instruction, in the style of the paper's Figure 2.
+// Bit patterns are written most-significant-bit first; `chain` sequences
+// sub-grammars and `act` attaches the semantic action building the
+// abstract syntax.
+//
+// Each builder is parameterized by opsize16: whether an operand-size
+// override prefix (0x66) is in force, which changes the width of "z"
+// immediates. The top-level grammar (decode.go) combines the two variants
+// with the appropriate prefix grammars.
+
+func lit(b byte) *g { return grammar.LitByte(b) }
+
+func esc() *g { return lit(0x0f) } // two-byte opcode escape
+
+func mk(op x86.Op, w bool, args ...x86.Operand) x86.Inst {
+	return x86.Inst{Op: op, W: w, Args: args}
+}
+
+func regOp(r x86.Reg) x86.Operand { return x86.RegOp{Reg: r} }
+func immOp(v uint32) x86.Operand  { return x86.Imm{Val: v} }
+
+// instG wraps an action returning x86.Inst.
+func instG(gr *g, f func([]val) x86.Inst) *g {
+	return act(gr, func(vs []val) val { return f(vs) })
+}
+
+// ---------- The binary arithmetic family ----------
+
+// arithFamily covers ADD/OR/ADC/SBB/AND/SUB/XOR/CMP, each with the six
+// classic encodings: 00+8n /r (four d/w forms counted as one pattern),
+// 04+8n AL/eAX-immediate, and the 80/81/83 group forms.
+func arithFamily(c cfg) []*g {
+	type fam struct {
+		op  x86.Op
+		nnn uint64
+	}
+	fams := []fam{
+		{x86.ADD, 0}, {x86.OR, 1}, {x86.ADC, 2}, {x86.SBB, 3},
+		{x86.AND, 4}, {x86.SUB, 5}, {x86.XOR, 6}, {x86.CMP, 7},
+	}
+	var out []*g
+	for _, f := range fams {
+		op := f.op
+		// 00nnn0dw /r : reg/modrm forms.
+		out = append(out, instG(
+			chain(grammar.Bits("00"), grammar.BitsValue(3, f.nnn), grammar.Bits("0"),
+				bit(), bit(), c.modrm()),
+			func(vs []val) x86.Inst {
+				d, w := vs[0].(bool), vs[1].(bool)
+				m := vs[2].(modrmVal)
+				rop := regOp(x86.Reg(m.reg))
+				if d {
+					return mk(op, w, rop, m.op)
+				}
+				return mk(op, w, m.op, rop)
+			}))
+		// 04+8n ib : op AL, imm8.
+		out = append(out, instG(
+			chain(grammar.Bits("00"), grammar.BitsValue(3, f.nnn), grammar.Bits("100"), imm8()),
+			func(vs []val) x86.Inst {
+				return mk(op, false, regOp(x86.EAX), immOp(vs[0].(uint32)))
+			}))
+		// 05+8n iz : op eAX, immZ.
+		out = append(out, instG(
+			chain(grammar.Bits("00"), grammar.BitsValue(3, f.nnn), grammar.Bits("101"), c.immZ()),
+			func(vs []val) x86.Inst {
+				return mk(op, true, regOp(x86.EAX), immOp(vs[0].(uint32)))
+			}))
+	}
+	ext := func(n uint64) string {
+		s := ""
+		for i := 2; i >= 0; i-- {
+			if n>>uint(i)&1 == 1 {
+				s += "1"
+			} else {
+				s += "0"
+			}
+		}
+		return s
+	}
+	for _, f := range fams {
+		op := f.op
+		// 80 /n ib : op r/m8, imm8.
+		out = append(out, instG(chain(lit(0x80), c.extOpModrm(ext(f.nnn)), imm8()),
+			func(vs []val) x86.Inst {
+				return mk(op, false, vs[0].(x86.Operand), immOp(vs[1].(uint32)))
+			}))
+		// 81 /n iz : op r/m, immZ.
+		out = append(out, instG(chain(lit(0x81), c.extOpModrm(ext(f.nnn)), c.immZ()),
+			func(vs []val) x86.Inst {
+				return mk(op, true, vs[0].(x86.Operand), immOp(vs[1].(uint32)))
+			}))
+		// 83 /n ib : op r/m, imm8 sign-extended.
+		out = append(out, instG(chain(lit(0x83), c.extOpModrm(ext(f.nnn)), imm8s()),
+			func(vs []val) x86.Inst {
+				return mk(op, true, vs[0].(x86.Operand), immOp(vs[1].(uint32)))
+			}))
+	}
+	return out
+}
+
+// ---------- Data movement ----------
+
+func seg3() *g {
+	var alts []*g
+	for s := x86.ES; s <= x86.GS; s++ {
+		ss := s
+		alts = append(alts, grammar.Map(grammar.BitsValue(3, uint64(ss)),
+			func(val) val { return ss }))
+	}
+	return grammar.Alt(alts...)
+}
+
+func movGrammars(c cfg) []*g {
+	var out []*g
+	// 88/89/8A/8B /r.
+	out = append(out, instG(chain(grammar.Bits("100010"), bit(), bit(), c.modrm()),
+		func(vs []val) x86.Inst {
+			d, w := vs[0].(bool), vs[1].(bool)
+			m := vs[2].(modrmVal)
+			rop := regOp(x86.Reg(m.reg))
+			if d {
+				return mk(x86.MOV, w, rop, m.op)
+			}
+			return mk(x86.MOV, w, m.op, rop)
+		}))
+	// 8C /r : MOV r/m, Sreg (the encoding family of the paper's famous
+	// flipped-bit bug).
+	segModrm := c.modrmWithReg(grammar.Field(3), false)
+	out = append(out, instG(chain(lit(0x8c), segModrm), func(vs []val) x86.Inst {
+		m := vs[0].(modrmVal)
+		return mk(x86.MOV, true, m.op, x86.SegOp{Seg: x86.SegReg(m.reg % 6)})
+	}))
+	// 8E /r : MOV Sreg, r/m.
+	out = append(out, instG(chain(lit(0x8e), segModrm), func(vs []val) x86.Inst {
+		m := vs[0].(modrmVal)
+		return mk(x86.MOV, true, x86.SegOp{Seg: x86.SegReg(m.reg % 6)}, m.op)
+	}))
+	// A0-A3 : moffs forms.
+	out = append(out,
+		instG(chain(lit(0xa0), c.moffs()), func(vs []val) x86.Inst {
+			return mk(x86.MOV, false, regOp(x86.EAX), x86.OffOp{Off: vs[0].(uint32)})
+		}),
+		instG(chain(lit(0xa1), c.moffs()), func(vs []val) x86.Inst {
+			return mk(x86.MOV, true, regOp(x86.EAX), x86.OffOp{Off: vs[0].(uint32)})
+		}),
+		instG(chain(lit(0xa2), c.moffs()), func(vs []val) x86.Inst {
+			return mk(x86.MOV, false, x86.OffOp{Off: vs[0].(uint32)}, regOp(x86.EAX))
+		}),
+		instG(chain(lit(0xa3), c.moffs()), func(vs []val) x86.Inst {
+			return mk(x86.MOV, true, x86.OffOp{Off: vs[0].(uint32)}, regOp(x86.EAX))
+		}))
+	// B0+r ib / B8+r iz.
+	out = append(out,
+		instG(chain(grammar.Bits("10110"), reg3(), imm8()), func(vs []val) x86.Inst {
+			return mk(x86.MOV, false, regOp(vs[0].(x86.Reg)), immOp(vs[1].(uint32)))
+		}),
+		instG(chain(grammar.Bits("10111"), reg3(), c.immZ()), func(vs []val) x86.Inst {
+			return mk(x86.MOV, true, regOp(vs[0].(x86.Reg)), immOp(vs[1].(uint32)))
+		}))
+	// C6 /0 ib, C7 /0 iz.
+	out = append(out,
+		instG(chain(lit(0xc6), c.extOpModrm("000"), imm8()), func(vs []val) x86.Inst {
+			return mk(x86.MOV, false, vs[0].(x86.Operand), immOp(vs[1].(uint32)))
+		}),
+		instG(chain(lit(0xc7), c.extOpModrm("000"), c.immZ()), func(vs []val) x86.Inst {
+			return mk(x86.MOV, true, vs[0].(x86.Operand), immOp(vs[1].(uint32)))
+		}))
+	// MOVZX / MOVSX: 0F B6/B7/BE/BF /r.
+	wide := func(op x86.Op, second byte, srcW bool) *g {
+		return instG(chain(esc(), lit(second), c.modrm()), func(vs []val) x86.Inst {
+			m := vs[0].(modrmVal)
+			i := mk(op, true, regOp(x86.Reg(m.reg)), m.op)
+			if srcW {
+				i.SrcSize = 16
+			} else {
+				i.SrcSize = 8
+			}
+			return i
+		})
+	}
+	out = append(out,
+		wide(x86.MOVZX, 0xb6, false), wide(x86.MOVZX, 0xb7, true),
+		wide(x86.MOVSX, 0xbe, false), wide(x86.MOVSX, 0xbf, true))
+	// LEA 8D /r (memory only).
+	out = append(out, instG(chain(lit(0x8d), c.modrmMemOnly()), func(vs []val) x86.Inst {
+		m := vs[0].(modrmVal)
+		return mk(x86.LEA, true, regOp(x86.Reg(m.reg)), m.op)
+	}))
+	// XCHG 86/87 /r; 90+r with eAX (r=0 is NOP, excluded here).
+	out = append(out, instG(chain(grammar.Bits("1000011"), bit(), c.modrm()),
+		func(vs []val) x86.Inst {
+			m := vs[1].(modrmVal)
+			return mk(x86.XCHG, vs[0].(bool), m.op, regOp(x86.Reg(m.reg)))
+		}))
+	out = append(out, instG(chain(grammar.Bits("10010"), reg3Except(x86.EAX)),
+		func(vs []val) x86.Inst {
+			return mk(x86.XCHG, true, regOp(x86.EAX), regOp(vs[0].(x86.Reg)))
+		}))
+	// XLAT D7.
+	out = append(out, instG(chain(lit(0xd7)), func([]val) x86.Inst { return mk(x86.XLAT, false) }))
+	// CMOVcc 0F 40+tttn /r.
+	out = append(out, instG(chain(esc(), grammar.Bits("0100"), grammar.Field(4), c.modrm()),
+		func(vs []val) x86.Inst {
+			m := vs[1].(modrmVal)
+			i := mk(x86.CMOVcc, true, regOp(x86.Reg(m.reg)), m.op)
+			i.Cond = x86.Cond(vs[0].(uint64))
+			return i
+		}))
+	// SETcc 0F 90+tttn /r (reg field ignored by hardware; we accept any).
+	out = append(out, instG(chain(esc(), grammar.Bits("1001"), grammar.Field(4), c.modrm()),
+		func(vs []val) x86.Inst {
+			m := vs[1].(modrmVal)
+			i := mk(x86.SETcc, false, m.op)
+			i.Cond = x86.Cond(vs[0].(uint64))
+			return i
+		}))
+	return out
+}
+
+// ---------- Stack operations ----------
+
+func stackGrammars(c cfg) []*g {
+	var out []*g
+	out = append(out,
+		instG(chain(grammar.Bits("01010"), reg3()), func(vs []val) x86.Inst {
+			return mk(x86.PUSH, true, regOp(vs[0].(x86.Reg)))
+		}),
+		instG(chain(grammar.Bits("01011"), reg3()), func(vs []val) x86.Inst {
+			return mk(x86.POP, true, regOp(vs[0].(x86.Reg)))
+		}),
+		instG(chain(lit(0xff), c.extOpModrm("110")), func(vs []val) x86.Inst {
+			return mk(x86.PUSH, true, vs[0].(x86.Operand))
+		}),
+		instG(chain(lit(0x8f), c.extOpModrm("000")), func(vs []val) x86.Inst {
+			return mk(x86.POP, true, vs[0].(x86.Operand))
+		}),
+		instG(chain(lit(0x68), c.immZ()), func(vs []val) x86.Inst {
+			return mk(x86.PUSH, true, immOp(vs[0].(uint32)))
+		}),
+		instG(chain(lit(0x6a), imm8s()), func(vs []val) x86.Inst {
+			return mk(x86.PUSH, true, immOp(vs[0].(uint32)))
+		}),
+		instG(chain(lit(0x60)), func([]val) x86.Inst { return mk(x86.PUSHA, true) }),
+		instG(chain(lit(0x61)), func([]val) x86.Inst { return mk(x86.POPA, true) }),
+		instG(chain(lit(0x9c)), func([]val) x86.Inst { return mk(x86.PUSHF, true) }),
+		instG(chain(lit(0x9d)), func([]val) x86.Inst { return mk(x86.POPF, true) }),
+		instG(chain(lit(0xc9)), func([]val) x86.Inst { return mk(x86.LEAVE, true) }),
+	)
+	// PUSH/POP Sreg.
+	pushSeg := func(b byte, s x86.SegReg) *g {
+		return instG(chain(lit(b)), func([]val) x86.Inst {
+			return mk(x86.PUSH, true, x86.SegOp{Seg: s})
+		})
+	}
+	popSeg := func(b byte, s x86.SegReg) *g {
+		return instG(chain(lit(b)), func([]val) x86.Inst {
+			return mk(x86.POP, true, x86.SegOp{Seg: s})
+		})
+	}
+	out = append(out,
+		pushSeg(0x06, x86.ES), pushSeg(0x0e, x86.CS), pushSeg(0x16, x86.SS), pushSeg(0x1e, x86.DS),
+		popSeg(0x07, x86.ES), popSeg(0x17, x86.SS), popSeg(0x1f, x86.DS),
+		instG(chain(esc(), lit(0xa0)), func([]val) x86.Inst {
+			return mk(x86.PUSH, true, x86.SegOp{Seg: x86.FS})
+		}),
+		instG(chain(esc(), lit(0xa1)), func([]val) x86.Inst {
+			return mk(x86.POP, true, x86.SegOp{Seg: x86.FS})
+		}),
+		instG(chain(esc(), lit(0xa8)), func([]val) x86.Inst {
+			return mk(x86.PUSH, true, x86.SegOp{Seg: x86.GS})
+		}),
+		instG(chain(esc(), lit(0xa9)), func([]val) x86.Inst {
+			return mk(x86.POP, true, x86.SegOp{Seg: x86.GS})
+		}),
+	)
+	return out
+}
+
+// ---------- Unary groups, multiplies, shifts ----------
+
+func unaryGrammars(c cfg) []*g {
+	var out []*g
+	// INC/DEC: 40+r / 48+r, FE//FF /0 /1.
+	out = append(out,
+		instG(chain(grammar.Bits("01000"), reg3()), func(vs []val) x86.Inst {
+			return mk(x86.INC, true, regOp(vs[0].(x86.Reg)))
+		}),
+		instG(chain(grammar.Bits("01001"), reg3()), func(vs []val) x86.Inst {
+			return mk(x86.DEC, true, regOp(vs[0].(x86.Reg)))
+		}),
+		instG(chain(grammar.Bits("1111111"), bit(), c.extOpModrm("000")), func(vs []val) x86.Inst {
+			return mk(x86.INC, vs[0].(bool), vs[1].(x86.Operand))
+		}),
+		instG(chain(grammar.Bits("1111111"), bit(), c.extOpModrm("001")), func(vs []val) x86.Inst {
+			return mk(x86.DEC, vs[0].(bool), vs[1].(x86.Operand))
+		}),
+	)
+	// F6/F7 group: TEST /0, NOT /2, NEG /3, MUL /4, IMUL /5, DIV /6, IDIV /7.
+	grp := func(ext string, op x86.Op) *g {
+		return instG(chain(grammar.Bits("1111011"), bit(), c.extOpModrm(ext)), func(vs []val) x86.Inst {
+			return mk(op, vs[0].(bool), vs[1].(x86.Operand))
+		})
+	}
+	out = append(out, grp("010", x86.NOT), grp("011", x86.NEG),
+		grp("100", x86.MUL), grp("101", x86.IMUL), grp("110", x86.DIV), grp("111", x86.IDIV))
+	// TEST F6/F7 /0 carries an immediate.
+	out = append(out,
+		instG(chain(lit(0xf6), c.extOpModrm("000"), imm8()), func(vs []val) x86.Inst {
+			return mk(x86.TEST, false, vs[0].(x86.Operand), immOp(vs[1].(uint32)))
+		}),
+		instG(chain(lit(0xf7), c.extOpModrm("000"), c.immZ()), func(vs []val) x86.Inst {
+			return mk(x86.TEST, true, vs[0].(x86.Operand), immOp(vs[1].(uint32)))
+		}),
+		// TEST 84/85 /r, A8 ib, A9 iz.
+		instG(chain(grammar.Bits("1000010"), bit(), c.modrm()), func(vs []val) x86.Inst {
+			m := vs[1].(modrmVal)
+			return mk(x86.TEST, vs[0].(bool), m.op, regOp(x86.Reg(m.reg)))
+		}),
+		instG(chain(lit(0xa8), imm8()), func(vs []val) x86.Inst {
+			return mk(x86.TEST, false, regOp(x86.EAX), immOp(vs[0].(uint32)))
+		}),
+		instG(chain(lit(0xa9), c.immZ()), func(vs []val) x86.Inst {
+			return mk(x86.TEST, true, regOp(x86.EAX), immOp(vs[0].(uint32)))
+		}),
+	)
+	// IMUL two/three operand forms.
+	out = append(out,
+		instG(chain(esc(), lit(0xaf), c.modrm()), func(vs []val) x86.Inst {
+			m := vs[0].(modrmVal)
+			return mk(x86.IMUL, true, regOp(x86.Reg(m.reg)), m.op)
+		}),
+		instG(chain(lit(0x6b), c.modrm(), imm8s()), func(vs []val) x86.Inst {
+			m := vs[0].(modrmVal)
+			return mk(x86.IMUL, true, regOp(x86.Reg(m.reg)), m.op, immOp(vs[1].(uint32)))
+		}),
+		instG(chain(lit(0x69), c.modrm(), c.immZ()), func(vs []val) x86.Inst {
+			m := vs[0].(modrmVal)
+			return mk(x86.IMUL, true, regOp(x86.Reg(m.reg)), m.op, immOp(vs[1].(uint32)))
+		}),
+	)
+	// Shift/rotate group: C0/C1 ib, D0/D1 by-1, D2/D3 by-CL.
+	shiftExt := []struct {
+		ext string
+		op  x86.Op
+	}{
+		{"000", x86.ROL}, {"001", x86.ROR}, {"010", x86.RCL}, {"011", x86.RCR},
+		{"100", x86.SHL}, {"101", x86.SHR}, {"111", x86.SAR},
+	}
+	for _, se := range shiftExt {
+		op := se.op
+		out = append(out,
+			instG(chain(grammar.Bits("1100000"), bit(), c.extOpModrm(se.ext), imm8()),
+				func(vs []val) x86.Inst {
+					return mk(op, vs[0].(bool), vs[1].(x86.Operand), immOp(vs[2].(uint32)))
+				}),
+			instG(chain(grammar.Bits("1101000"), bit(), c.extOpModrm(se.ext)),
+				func(vs []val) x86.Inst {
+					return mk(op, vs[0].(bool), vs[1].(x86.Operand), immOp(1))
+				}),
+			instG(chain(grammar.Bits("1101001"), bit(), c.extOpModrm(se.ext)),
+				func(vs []val) x86.Inst {
+					return mk(op, vs[0].(bool), vs[1].(x86.Operand), regOp(x86.ECX))
+				}),
+		)
+	}
+	// SHLD/SHRD.
+	dbl := func(second byte, op x86.Op, byCL bool) *g {
+		if byCL {
+			return instG(chain(esc(), lit(second), c.modrm()), func(vs []val) x86.Inst {
+				m := vs[0].(modrmVal)
+				return mk(op, true, m.op, regOp(x86.Reg(m.reg)), regOp(x86.ECX))
+			})
+		}
+		return instG(chain(esc(), lit(second), c.modrm(), imm8()), func(vs []val) x86.Inst {
+			m := vs[0].(modrmVal)
+			return mk(op, true, m.op, regOp(x86.Reg(m.reg)), immOp(vs[1].(uint32)))
+		})
+	}
+	out = append(out,
+		dbl(0xa4, x86.SHLD, false), dbl(0xa5, x86.SHLD, true),
+		dbl(0xac, x86.SHRD, false), dbl(0xad, x86.SHRD, true))
+	return out
+}
+
+// ---------- Bit tests, scans, byte swap, atomic helpers ----------
+
+func bitGrammars(c cfg) []*g {
+	var out []*g
+	btRM := func(second byte, op x86.Op) *g {
+		return instG(chain(esc(), lit(second), c.modrm()), func(vs []val) x86.Inst {
+			m := vs[0].(modrmVal)
+			return mk(op, true, m.op, regOp(x86.Reg(m.reg)))
+		})
+	}
+	out = append(out, btRM(0xa3, x86.BT), btRM(0xab, x86.BTS), btRM(0xb3, x86.BTR), btRM(0xbb, x86.BTC))
+	btImm := func(ext string, op x86.Op) *g {
+		return instG(chain(esc(), lit(0xba), c.extOpModrm(ext), imm8()), func(vs []val) x86.Inst {
+			return mk(op, true, vs[0].(x86.Operand), immOp(vs[1].(uint32)))
+		})
+	}
+	out = append(out, btImm("100", x86.BT), btImm("101", x86.BTS), btImm("110", x86.BTR), btImm("111", x86.BTC))
+	scan := func(second byte, op x86.Op) *g {
+		return instG(chain(esc(), lit(second), c.modrm()), func(vs []val) x86.Inst {
+			m := vs[0].(modrmVal)
+			return mk(op, true, regOp(x86.Reg(m.reg)), m.op)
+		})
+	}
+	out = append(out, scan(0xbc, x86.BSF), scan(0xbd, x86.BSR))
+	out = append(out, instG(chain(esc(), grammar.Bits("11001"), reg3()), func(vs []val) x86.Inst {
+		return mk(x86.BSWAP, true, regOp(vs[0].(x86.Reg)))
+	}))
+	xaddCmp := func(second byte, op x86.Op, w bool) *g {
+		return instG(chain(esc(), lit(second), c.modrm()), func(vs []val) x86.Inst {
+			m := vs[0].(modrmVal)
+			return mk(op, w, m.op, regOp(x86.Reg(m.reg)))
+		})
+	}
+	out = append(out,
+		xaddCmp(0xb0, x86.CMPXCHG, false), xaddCmp(0xb1, x86.CMPXCHG, true),
+		xaddCmp(0xc0, x86.XADD, false), xaddCmp(0xc1, x86.XADD, true))
+	return out
+}
+
+// ---------- Control flow ----------
+
+func controlGrammars(c cfg) []*g {
+	var out []*g
+	// CALL: the paper's Figure 2, plus Intel's operand order for the far
+	// immediate form (offset then selector).
+	out = append(out,
+		instG(chain(lit(0xe8), c.immZ()), func(vs []val) x86.Inst {
+			i := mk(x86.CALL, true, immOp(vs[0].(uint32)))
+			i.Rel = true
+			return i
+		}),
+		instG(chain(lit(0xff), c.extOpModrm("010")), func(vs []val) x86.Inst {
+			return mk(x86.CALL, true, vs[0].(x86.Operand))
+		}),
+		instG(chain(lit(0x9a), disp32(), imm16()), func(vs []val) x86.Inst {
+			i := mk(x86.CALL, true, immOp(vs[0].(uint32)))
+			i.Far = true
+			i.Sel = uint16(vs[1].(uint32))
+			return i
+		}),
+		instG(chain(lit(0xff), c.extOpModrmMem("011")), func(vs []val) x86.Inst {
+			i := mk(x86.CALL, true, vs[0].(x86.Operand))
+			i.Far = true
+			return i
+		}),
+	)
+	// JMP: EB rel8, E9 relZ, EA far, FF /4, FF /5 mem.
+	out = append(out,
+		instG(chain(lit(0xeb), imm8s()), func(vs []val) x86.Inst {
+			i := mk(x86.JMP, true, immOp(vs[0].(uint32)))
+			i.Rel = true
+			return i
+		}),
+		instG(chain(lit(0xe9), c.immZ()), func(vs []val) x86.Inst {
+			i := mk(x86.JMP, true, immOp(vs[0].(uint32)))
+			i.Rel = true
+			return i
+		}),
+		instG(chain(lit(0xea), disp32(), imm16()), func(vs []val) x86.Inst {
+			i := mk(x86.JMP, true, immOp(vs[0].(uint32)))
+			i.Far = true
+			i.Sel = uint16(vs[1].(uint32))
+			return i
+		}),
+		instG(chain(lit(0xff), c.extOpModrm("100")), func(vs []val) x86.Inst {
+			return mk(x86.JMP, true, vs[0].(x86.Operand))
+		}),
+		instG(chain(lit(0xff), c.extOpModrmMem("101")), func(vs []val) x86.Inst {
+			i := mk(x86.JMP, true, vs[0].(x86.Operand))
+			i.Far = true
+			return i
+		}),
+	)
+	// Jcc rel8 and rel32.
+	out = append(out,
+		instG(chain(grammar.Bits("0111"), grammar.Field(4), imm8s()), func(vs []val) x86.Inst {
+			i := mk(x86.Jcc, true, immOp(vs[1].(uint32)))
+			i.Cond = x86.Cond(vs[0].(uint64))
+			i.Rel = true
+			return i
+		}),
+		instG(chain(esc(), grammar.Bits("1000"), grammar.Field(4), c.immZ()), func(vs []val) x86.Inst {
+			i := mk(x86.Jcc, true, immOp(vs[1].(uint32)))
+			i.Cond = x86.Cond(vs[0].(uint64))
+			i.Rel = true
+			return i
+		}),
+	)
+	// LOOP family and JECXZ (all rel8).
+	loopG := func(b byte, op x86.Op) *g {
+		return instG(chain(lit(b), imm8s()), func(vs []val) x86.Inst {
+			i := mk(op, true, immOp(vs[0].(uint32)))
+			i.Rel = true
+			return i
+		})
+	}
+	out = append(out, loopG(0xe0, x86.LOOPNZ), loopG(0xe1, x86.LOOPZ), loopG(0xe2, x86.LOOP), loopG(0xe3, x86.JCXZ))
+	// RET near/far, with and without the stack adjustment.
+	out = append(out,
+		instG(chain(lit(0xc3)), func([]val) x86.Inst { return mk(x86.RET, true) }),
+		instG(chain(lit(0xc2), imm16()), func(vs []val) x86.Inst {
+			return mk(x86.RET, true, immOp(vs[0].(uint32)))
+		}),
+		instG(chain(lit(0xcb)), func([]val) x86.Inst {
+			i := mk(x86.RET, true)
+			i.Far = true
+			return i
+		}),
+		instG(chain(lit(0xca), imm16()), func(vs []val) x86.Inst {
+			i := mk(x86.RET, true, immOp(vs[0].(uint32)))
+			i.Far = true
+			return i
+		}),
+	)
+	// Software interrupts.
+	out = append(out,
+		instG(chain(lit(0xcc)), func([]val) x86.Inst { return mk(x86.INT3, false) }),
+		instG(chain(lit(0xcd), imm8()), func(vs []val) x86.Inst {
+			return mk(x86.INT, false, immOp(vs[0].(uint32)))
+		}),
+		instG(chain(lit(0xce)), func([]val) x86.Inst { return mk(x86.INTO, false) }),
+		instG(chain(lit(0xcf)), func([]val) x86.Inst { return mk(x86.IRET, true) }),
+	)
+	return out
+}
+
+// ---------- Strings, I/O, flags, conversions, decimal, misc ----------
+
+func miscGrammars(c cfg) []*g {
+	var out []*g
+	strOp := func(b byte, op x86.Op, w bool) *g {
+		return instG(chain(lit(b)), func([]val) x86.Inst { return mk(op, w) })
+	}
+	out = append(out,
+		strOp(0xa4, x86.MOVS, false), strOp(0xa5, x86.MOVS, true),
+		strOp(0xa6, x86.CMPS, false), strOp(0xa7, x86.CMPS, true),
+		strOp(0xaa, x86.STOS, false), strOp(0xab, x86.STOS, true),
+		strOp(0xac, x86.LODS, false), strOp(0xad, x86.LODS, true),
+		strOp(0xae, x86.SCAS, false), strOp(0xaf, x86.SCAS, true),
+		strOp(0x6c, x86.INS, false), strOp(0x6d, x86.INS, true),
+		strOp(0x6e, x86.OUTS, false), strOp(0x6f, x86.OUTS, true),
+	)
+	// IN/OUT with port immediate or DX.
+	out = append(out,
+		instG(chain(grammar.Bits("1110010"), bit(), imm8()), func(vs []val) x86.Inst {
+			return mk(x86.IN, vs[0].(bool), regOp(x86.EAX), immOp(vs[1].(uint32)))
+		}),
+		instG(chain(grammar.Bits("1110011"), bit(), imm8()), func(vs []val) x86.Inst {
+			return mk(x86.OUT, vs[0].(bool), immOp(vs[1].(uint32)), regOp(x86.EAX))
+		}),
+		instG(chain(grammar.Bits("1110110"), bit()), func(vs []val) x86.Inst {
+			return mk(x86.IN, vs[0].(bool), regOp(x86.EAX), regOp(x86.EDX))
+		}),
+		instG(chain(grammar.Bits("1110111"), bit()), func(vs []val) x86.Inst {
+			return mk(x86.OUT, vs[0].(bool), regOp(x86.EDX), regOp(x86.EAX))
+		}),
+	)
+	single := func(b byte, op x86.Op, w bool) *g {
+		return instG(chain(lit(b)), func([]val) x86.Inst { return mk(op, w) })
+	}
+	out = append(out,
+		single(0x27, x86.DAA, false), single(0x2f, x86.DAS, false),
+		single(0x37, x86.AAA, false), single(0x3f, x86.AAS, false),
+		single(0x98, x86.CWDE, true), single(0x99, x86.CDQ, true),
+		single(0x9e, x86.SAHF, false), single(0x9f, x86.LAHF, false),
+		single(0xf4, x86.HLT, false), single(0xf5, x86.CMC, false),
+		single(0xf8, x86.CLC, false), single(0xf9, x86.STC, false),
+		single(0xfc, x86.CLD, false), single(0xfd, x86.STD, false),
+		single(0x90, x86.NOP, true),
+	)
+	// AAM/AAD carry an explicit base immediate (0x0A in practice).
+	out = append(out,
+		instG(chain(lit(0xd4), imm8()), func(vs []val) x86.Inst {
+			return mk(x86.AAM, false, immOp(vs[0].(uint32)))
+		}),
+		instG(chain(lit(0xd5), imm8()), func(vs []val) x86.Inst {
+			return mk(x86.AAD, false, immOp(vs[0].(uint32)))
+		}),
+	)
+	// Multi-byte NOP 0F 1F /0 (NaCl padding uses it).
+	out = append(out, instG(chain(esc(), lit(0x1f), c.extOpModrm("000")), func(vs []val) x86.Inst {
+		return mk(x86.NOP, true, vs[0].(x86.Operand))
+	}))
+	// ENTER size16, level8.
+	out = append(out, instG(chain(lit(0xc8), imm16(), imm8()), func(vs []val) x86.Inst {
+		return mk(x86.ENTER, true, immOp(vs[0].(uint32)), immOp(vs[1].(uint32)))
+	}))
+	// CMPXCHG8B 0F C7 /1 (memory only).
+	out = append(out, instG(chain(esc(), lit(0xc7), c.extOpModrmMem("001")), func(vs []val) x86.Inst {
+		return mk(x86.CMPXCHG8B, true, vs[0].(x86.Operand))
+	}))
+	// RDTSC, CPUID, UD2.
+	out = append(out,
+		instG(chain(esc(), lit(0x31)), func([]val) x86.Inst { return mk(x86.RDTSC, true) }),
+		instG(chain(esc(), lit(0xa2)), func([]val) x86.Inst { return mk(x86.CPUID, true) }),
+		instG(chain(esc(), lit(0x0b)), func([]val) x86.Inst { return mk(x86.UD2, false) }),
+	)
+	// BOUND 62 /r (memory only).
+	out = append(out, instG(chain(lit(0x62), c.modrmMemOnly()), func(vs []val) x86.Inst {
+		m := vs[0].(modrmVal)
+		return mk(x86.BOUND, true, regOp(x86.Reg(m.reg)), m.op)
+	}))
+	// Far pointer loads.
+	farLoad := func(mkG func() *g, op x86.Op) *g {
+		return instG(chain(mkG(), c.modrmMemOnly()), func(vs []val) x86.Inst {
+			m := vs[len(vs)-1].(modrmVal)
+			return mk(op, true, regOp(x86.Reg(m.reg)), m.op)
+		})
+	}
+	out = append(out,
+		farLoad(func() *g { return lit(0xc4) }, x86.LES),
+		farLoad(func() *g { return lit(0xc5) }, x86.LDS),
+		farLoad(func() *g { return grammar.Then(esc(), lit(0xb2)) }, x86.LSS),
+		farLoad(func() *g { return grammar.Then(esc(), lit(0xb4)) }, x86.LFS),
+		farLoad(func() *g { return grammar.Then(esc(), lit(0xb5)) }, x86.LGS),
+	)
+	return out
+}
+
+// instructionGrammars returns one grammar per instruction encoding form.
+func instructionGrammars(c cfg) []*g {
+	var out []*g
+	out = append(out, arithFamily(c)...)
+	out = append(out, movGrammars(c)...)
+	out = append(out, stackGrammars(c)...)
+	out = append(out, unaryGrammars(c)...)
+	out = append(out, bitGrammars(c)...)
+	out = append(out, controlGrammars(c)...)
+	out = append(out, miscGrammars(c)...)
+	return out
+}
+
+// NumEncodingForms reports how many distinct encoding patterns the decoder
+// grammar contains (for the README's "parser for over 130 instructions").
+func NumEncodingForms() int { return len(instructionGrammars(cfg{})) }
+
+// InstructionForms returns one grammar per instruction encoding form
+// (without prefixes). Each form is homogeneous: every string it matches
+// decodes to the same opcode and operand shape, which lets the policy
+// layer (internal/core) classify forms by sampling. The slice is freshly
+// built; grammars are immutable and safe to share.
+func InstructionForms(opsize16 bool) []*grammar.Grammar {
+	return instructionGrammars(cfg{opsize16: opsize16})
+}

@@ -1,0 +1,89 @@
+package decode
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"rocksalt/internal/grammar"
+)
+
+// This file holds the decoder's meta-theory (experiment E8): the
+// reflection-style checks the paper uses in place of manual proofs.
+
+// TestGrammarUnambiguous runs the paper's §4.1 reflection procedure over
+// the full instruction grammar: descend into every Alt and check that the
+// alternatives' languages are pairwise disjoint. "This helps provide some
+// assurance that in transcribing the grammar from Intel's manual, we have
+// not made a mistake."
+func TestGrammarUnambiguous(t *testing.T) {
+	ctx := grammar.NewCtx()
+	if err := grammar.CheckUnambiguous(ctx, TopGrammar()); err != nil {
+		t.Fatalf("instruction grammar is ambiguous: %v", err)
+	}
+}
+
+// TestSeededAmbiguityDetected reproduces the paper's war story: "when we
+// first tried to prove determinism, we failed because we had flipped a
+// bit in an infrequently used encoding of the MOV instruction, causing it
+// to overlap with another instruction." We seed exactly that bug — a MOV
+// variant whose opcode byte has one bit flipped so that it collides with
+// an existing encoding — and check the reflection procedure reports it.
+func TestSeededAmbiguityDetected(t *testing.T) {
+	// 0x8a is MOV r8, r/m8. Flipping bit 1 of 0x88 (MOV r/m8, r8) gives
+	// 0x8a — the buggy duplicate overlaps the real one.
+	buggy := grammar.Then(grammar.LitByte(0x8a), grammar.AnyByte())
+	g := grammar.Alt(InstructionsGrammar(false), buggy)
+	ctx := grammar.NewCtx()
+	err := grammar.CheckUnambiguous(ctx, g)
+	if err == nil {
+		t.Fatal("seeded MOV overlap was not detected")
+	}
+	var amb *grammar.AmbiguityError
+	if !errors.As(err, &amb) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+// TestInstructionGrammarPrefixFree: no instruction encoding is a proper
+// prefix of another — the property that makes the verifier's shortest-
+// match loop compute real instruction lengths. Checked completely on the
+// bit-level DFA of the whole grammar.
+func TestInstructionGrammarPrefixFree(t *testing.T) {
+	ctx := grammar.NewCtx()
+	d, err := ctx.CompileBitDFA(ctx.Strip(TopGrammar()), 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full instruction grammar bit-DFA: %d states", d.NumStates())
+	if !d.PrefixFree() {
+		t.Fatal("an instruction encoding is a prefix of another")
+	}
+}
+
+// TestParseUniqueness samples the grammar and checks the parser never
+// produces more than one semantic value (the determinism theorem, tested
+// on the value level rather than the language level).
+func TestParseUniqueness(t *testing.T) {
+	s := grammar.NewSampler(newRand(77))
+	top := TopGrammar()
+	trials := 1500
+	if testing.Short() {
+		trials = 150
+	}
+	for i := 0; i < trials; i++ {
+		bits, _, ok := s.Sample(top)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		vs, err := grammar.ParseBits(top, bits)
+		if err != nil {
+			t.Fatalf("sampled string does not parse: %v", err)
+		}
+		if len(vs) != 1 {
+			t.Fatalf("ambiguous parse: %d values", len(vs))
+		}
+	}
+}
+
+func newRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

@@ -1,0 +1,762 @@
+// Package encode is an assembler for the modeled x86 subset. It is the
+// round-trip partner of the decoder grammar (decode(encode(i)) == i, a
+// property test), and the backend of the NaCl code generator, which needs
+// to emit masked jumps, bundle padding and ordinary computation.
+package encode
+
+import (
+	"fmt"
+
+	"rocksalt/internal/x86"
+)
+
+// Encode assembles one instruction. The encoder picks a canonical encoding
+// (shortest displacement, group form for immediates); the decoder accepts
+// every encoding, so round-tripping compares abstract syntax, not bytes.
+func Encode(i x86.Inst) ([]byte, error) {
+	e := &enc{}
+	if err := e.prefixes(i.Prefix); err != nil {
+		return nil, err
+	}
+	if err := e.inst(i); err != nil {
+		return nil, err
+	}
+	return e.out, nil
+}
+
+type enc struct {
+	out []byte
+}
+
+func (e *enc) b(bs ...byte) { e.out = append(e.out, bs...) }
+
+func (e *enc) imm8(v uint32)  { e.b(byte(v)) }
+func (e *enc) imm16(v uint32) { e.b(byte(v), byte(v>>8)) }
+func (e *enc) imm32(v uint32) { e.b(byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+
+// immZ emits a "z" immediate: 16 bits under an operand-size override.
+func (e *enc) immZ(p x86.Prefix, v uint32) {
+	if p.OpSize {
+		e.imm16(v)
+	} else {
+		e.imm32(v)
+	}
+}
+
+func (e *enc) prefixes(p x86.Prefix) error {
+	if p.AddrSize {
+		return fmt.Errorf("encode: 16-bit addressing is not modeled")
+	}
+	n := 0
+	if p.Lock {
+		e.b(0xf0)
+		n++
+	}
+	if p.Rep {
+		e.b(0xf3)
+		n++
+	}
+	if p.RepN {
+		e.b(0xf2)
+		n++
+	}
+	if n > 1 {
+		return fmt.Errorf("encode: conflicting lock/rep prefixes")
+	}
+	if p.Seg != nil {
+		segByte := map[x86.SegReg]byte{
+			x86.ES: 0x26, x86.CS: 0x2e, x86.SS: 0x36,
+			x86.DS: 0x3e, x86.FS: 0x64, x86.GS: 0x65,
+		}
+		e.b(segByte[*p.Seg])
+	}
+	if p.OpSize {
+		e.b(0x66)
+	}
+	return nil
+}
+
+func fitsInt8(v uint32) bool {
+	return int32(v) >= -128 && int32(v) <= 127
+}
+
+// modrm emits the ModRM byte (and SIB/displacement) for reg field `reg`
+// and r/m operand `rm`.
+func (e *enc) modrm(reg byte, rm x86.Operand) error {
+	switch o := rm.(type) {
+	case x86.RegOp:
+		e.b(0xc0 | reg<<3 | byte(o.Reg))
+		return nil
+	case x86.MemOp:
+		return e.mem(reg, o.Addr)
+	default:
+		return fmt.Errorf("encode: operand %v cannot be an r/m", rm)
+	}
+}
+
+func (e *enc) mem(reg byte, a x86.Addr) error {
+	if a.Index != nil && *a.Index == x86.ESP {
+		return fmt.Errorf("encode: ESP cannot be an index register")
+	}
+	scaleBits := map[x86.Scale]byte{1: 0, 2: 1, 4: 2, 8: 3}
+	sb, okScale := scaleBits[a.Scale]
+	if a.Index != nil && !okScale {
+		return fmt.Errorf("encode: bad scale %d", a.Scale)
+	}
+	needSIB := a.Index != nil || (a.Base != nil && *a.Base == x86.ESP)
+
+	// No base: absolute (optionally indexed) forms.
+	if a.Base == nil {
+		if a.Index == nil {
+			e.b(reg<<3 | 0x05) // mod=00 rm=101: disp32
+			e.imm32(a.Disp)
+			return nil
+		}
+		// mod=00 rm=100, SIB base=101: disp32 + index.
+		e.b(reg<<3|0x04, sb<<6|byte(*a.Index)<<3|0x05)
+		e.imm32(a.Disp)
+		return nil
+	}
+
+	base := *a.Base
+	// Pick the mod field: EBP as base cannot use mod=00.
+	var mod byte
+	switch {
+	case a.Disp == 0 && base != x86.EBP:
+		mod = 0
+	case fitsInt8(a.Disp):
+		mod = 1
+	default:
+		mod = 2
+	}
+	rmBits := byte(base)
+	if needSIB {
+		rmBits = 0x04
+	}
+	e.b(mod<<6 | reg<<3 | rmBits)
+	if needSIB {
+		idx := byte(0x04) // none
+		if a.Index != nil {
+			idx = byte(*a.Index)
+		}
+		e.b(sb<<6 | idx<<3 | byte(base))
+	}
+	switch mod {
+	case 1:
+		e.imm8(a.Disp)
+	case 2:
+		e.imm32(a.Disp)
+	}
+	return nil
+}
+
+// arithInfo gives the family number for the classic ALU group.
+var arithNNN = map[x86.Op]byte{
+	x86.ADD: 0, x86.OR: 1, x86.ADC: 2, x86.SBB: 3,
+	x86.AND: 4, x86.SUB: 5, x86.XOR: 6, x86.CMP: 7,
+}
+
+var shiftExtN = map[x86.Op]byte{
+	x86.ROL: 0, x86.ROR: 1, x86.RCL: 2, x86.RCR: 3,
+	x86.SHL: 4, x86.SHR: 5, x86.SAR: 7,
+}
+
+func wbit(w bool) byte {
+	if w {
+		return 1
+	}
+	return 0
+}
+
+func (e *enc) inst(i x86.Inst) error {
+	switch i.Op {
+	case x86.NOP:
+		if len(i.Args) == 0 {
+			e.b(0x90)
+			return nil
+		}
+		e.b(0x0f, 0x1f)
+		return e.modrm(0, i.Args[0])
+	case x86.ADD, x86.OR, x86.ADC, x86.SBB, x86.AND, x86.SUB, x86.XOR, x86.CMP:
+		return e.arith(i)
+	case x86.MOV:
+		return e.mov(i)
+	case x86.LEA:
+		e.b(0x8d)
+		return e.modrm(byte(i.Args[0].(x86.RegOp).Reg), i.Args[1])
+	case x86.PUSH:
+		return e.push(i)
+	case x86.POP:
+		return e.pop(i)
+	case x86.INC, x86.DEC:
+		ext := byte(0)
+		if i.Op == x86.DEC {
+			ext = 1
+		}
+		if r, ok := i.Args[0].(x86.RegOp); ok && i.W {
+			e.b(0x40 | ext<<3 | byte(r.Reg))
+			return nil
+		}
+		e.b(0xfe | wbit(i.W))
+		return e.modrm(ext, i.Args[0])
+	case x86.NOT, x86.NEG, x86.MUL, x86.DIV, x86.IDIV:
+		ext := map[x86.Op]byte{x86.NOT: 2, x86.NEG: 3, x86.MUL: 4, x86.DIV: 6, x86.IDIV: 7}[i.Op]
+		e.b(0xf6 | wbit(i.W))
+		return e.modrm(ext, i.Args[0])
+	case x86.IMUL:
+		return e.imul(i)
+	case x86.TEST:
+		return e.test(i)
+	case x86.XCHG:
+		if len(i.Args) == 2 {
+			if a, ok := i.Args[0].(x86.RegOp); ok && a.Reg == x86.EAX && i.W {
+				if b, ok := i.Args[1].(x86.RegOp); ok && b.Reg != x86.EAX {
+					e.b(0x90 | byte(b.Reg))
+					return nil
+				}
+			}
+			e.b(0x86 | wbit(i.W))
+			reg, ok := i.Args[1].(x86.RegOp)
+			if !ok {
+				return fmt.Errorf("encode: xchg second operand must be a register")
+			}
+			return e.modrm(byte(reg.Reg), i.Args[0])
+		}
+		return fmt.Errorf("encode: bad xchg arity")
+	case x86.ROL, x86.ROR, x86.RCL, x86.RCR, x86.SHL, x86.SHR, x86.SAR:
+		return e.shift(i)
+	case x86.SHLD, x86.SHRD:
+		return e.shiftD(i)
+	case x86.MOVZX, x86.MOVSX:
+		second := map[struct {
+			op x86.Op
+			w  uint8
+		}]byte{
+			{x86.MOVZX, 8}: 0xb6, {x86.MOVZX, 16}: 0xb7,
+			{x86.MOVSX, 8}: 0xbe, {x86.MOVSX, 16}: 0xbf,
+		}[struct {
+			op x86.Op
+			w  uint8
+		}{i.Op, i.SrcSize}]
+		if second == 0 {
+			return fmt.Errorf("encode: movzx/movsx needs SrcSize 8 or 16")
+		}
+		e.b(0x0f, second)
+		return e.modrm(byte(i.Args[0].(x86.RegOp).Reg), i.Args[1])
+	case x86.SETcc:
+		e.b(0x0f, 0x90|byte(i.Cond))
+		return e.modrm(0, i.Args[0])
+	case x86.CMOVcc:
+		e.b(0x0f, 0x40|byte(i.Cond))
+		return e.modrm(byte(i.Args[0].(x86.RegOp).Reg), i.Args[1])
+	case x86.BT, x86.BTS, x86.BTR, x86.BTC:
+		if imm, ok := i.Args[1].(x86.Imm); ok {
+			ext := map[x86.Op]byte{x86.BT: 4, x86.BTS: 5, x86.BTR: 6, x86.BTC: 7}[i.Op]
+			e.b(0x0f, 0xba)
+			if err := e.modrm(ext, i.Args[0]); err != nil {
+				return err
+			}
+			e.imm8(imm.Val)
+			return nil
+		}
+		second := map[x86.Op]byte{x86.BT: 0xa3, x86.BTS: 0xab, x86.BTR: 0xb3, x86.BTC: 0xbb}[i.Op]
+		e.b(0x0f, second)
+		return e.modrm(byte(i.Args[1].(x86.RegOp).Reg), i.Args[0])
+	case x86.BSF, x86.BSR:
+		second := byte(0xbc)
+		if i.Op == x86.BSR {
+			second = 0xbd
+		}
+		e.b(0x0f, second)
+		return e.modrm(byte(i.Args[0].(x86.RegOp).Reg), i.Args[1])
+	case x86.BSWAP:
+		e.b(0x0f, 0xc8|byte(i.Args[0].(x86.RegOp).Reg))
+		return nil
+	case x86.CMPXCHG, x86.XADD:
+		base := byte(0xb0)
+		if i.Op == x86.XADD {
+			base = 0xc0
+		}
+		e.b(0x0f, base|wbit(i.W))
+		return e.modrm(byte(i.Args[1].(x86.RegOp).Reg), i.Args[0])
+	case x86.CALL:
+		return e.call(i)
+	case x86.JMP:
+		return e.jmp(i)
+	case x86.Jcc:
+		imm := i.Args[0].(x86.Imm).Val
+		if fitsInt8(imm) {
+			e.b(0x70 | byte(i.Cond))
+			e.imm8(imm)
+			return nil
+		}
+		e.b(0x0f, 0x80|byte(i.Cond))
+		e.immZ(i.Prefix, imm)
+		return nil
+	case x86.JCXZ, x86.LOOP, x86.LOOPZ, x86.LOOPNZ:
+		b := map[x86.Op]byte{x86.LOOPNZ: 0xe0, x86.LOOPZ: 0xe1, x86.LOOP: 0xe2, x86.JCXZ: 0xe3}[i.Op]
+		e.b(b)
+		e.imm8(i.Args[0].(x86.Imm).Val)
+		return nil
+	case x86.RET:
+		op := byte(0xc3)
+		if i.Far {
+			op = 0xcb
+		}
+		if len(i.Args) == 1 {
+			op-- // c2 / ca
+			e.b(op)
+			e.imm16(i.Args[0].(x86.Imm).Val)
+			return nil
+		}
+		e.b(op)
+		return nil
+	case x86.INT3:
+		e.b(0xcc)
+		return nil
+	case x86.INT:
+		e.b(0xcd)
+		e.imm8(i.Args[0].(x86.Imm).Val)
+		return nil
+	case x86.INTO:
+		e.b(0xce)
+		return nil
+	case x86.IRET:
+		e.b(0xcf)
+		return nil
+	case x86.HLT:
+		e.b(0xf4)
+		return nil
+	case x86.CMC:
+		e.b(0xf5)
+		return nil
+	case x86.CLC:
+		e.b(0xf8)
+		return nil
+	case x86.STC:
+		e.b(0xf9)
+		return nil
+	case x86.CLD:
+		e.b(0xfc)
+		return nil
+	case x86.STD:
+		e.b(0xfd)
+		return nil
+	case x86.SAHF:
+		e.b(0x9e)
+		return nil
+	case x86.LAHF:
+		e.b(0x9f)
+		return nil
+	case x86.CWDE:
+		e.b(0x98)
+		return nil
+	case x86.CDQ:
+		e.b(0x99)
+		return nil
+	case x86.LEAVE:
+		e.b(0xc9)
+		return nil
+	case x86.PUSHA:
+		e.b(0x60)
+		return nil
+	case x86.POPA:
+		e.b(0x61)
+		return nil
+	case x86.PUSHF:
+		e.b(0x9c)
+		return nil
+	case x86.POPF:
+		e.b(0x9d)
+		return nil
+	case x86.XLAT:
+		e.b(0xd7)
+		return nil
+	case x86.MOVS, x86.CMPS, x86.STOS, x86.LODS, x86.SCAS, x86.INS, x86.OUTS:
+		b := map[x86.Op]byte{
+			x86.MOVS: 0xa4, x86.CMPS: 0xa6, x86.STOS: 0xaa,
+			x86.LODS: 0xac, x86.SCAS: 0xae, x86.INS: 0x6c, x86.OUTS: 0x6e,
+		}[i.Op]
+		e.b(b | wbit(i.W))
+		return nil
+	case x86.AAA:
+		e.b(0x37)
+		return nil
+	case x86.AAS:
+		e.b(0x3f)
+		return nil
+	case x86.DAA:
+		e.b(0x27)
+		return nil
+	case x86.DAS:
+		e.b(0x2f)
+		return nil
+	case x86.AAM:
+		e.b(0xd4)
+		e.imm8(i.Args[0].(x86.Imm).Val)
+		return nil
+	case x86.AAD:
+		e.b(0xd5)
+		e.imm8(i.Args[0].(x86.Imm).Val)
+		return nil
+	case x86.ENTER:
+		e.b(0xc8)
+		e.imm16(i.Args[0].(x86.Imm).Val)
+		e.imm8(i.Args[1].(x86.Imm).Val)
+		return nil
+	case x86.CMPXCHG8B:
+		e.b(0x0f, 0xc7)
+		return e.modrm(1, i.Args[0])
+	case x86.RDTSC:
+		e.b(0x0f, 0x31)
+		return nil
+	case x86.CPUID:
+		e.b(0x0f, 0xa2)
+		return nil
+	case x86.UD2:
+		e.b(0x0f, 0x0b)
+		return nil
+	default:
+		return fmt.Errorf("encode: unsupported op %v", i.Op)
+	}
+}
+
+func (e *enc) arith(i x86.Inst) error {
+	nnn := arithNNN[i.Op]
+	dst, src := i.Args[0], i.Args[1]
+	if imm, ok := src.(x86.Imm); ok {
+		switch {
+		case !i.W:
+			e.b(0x80)
+			if err := e.modrm(nnn, dst); err != nil {
+				return err
+			}
+			e.imm8(imm.Val)
+		case fitsInt8(imm.Val):
+			e.b(0x83)
+			if err := e.modrm(nnn, dst); err != nil {
+				return err
+			}
+			e.imm8(imm.Val)
+		default:
+			e.b(0x81)
+			if err := e.modrm(nnn, dst); err != nil {
+				return err
+			}
+			e.immZ(i.Prefix, imm.Val)
+		}
+		return nil
+	}
+	if r, ok := src.(x86.RegOp); ok {
+		e.b(nnn<<3 | wbit(i.W)) // 00+8n /r: op r/m, r
+		return e.modrm(byte(r.Reg), dst)
+	}
+	if r, ok := dst.(x86.RegOp); ok {
+		e.b(nnn<<3 | 2 | wbit(i.W)) // 02+8n /r: op r, r/m
+		return e.modrm(byte(r.Reg), src)
+	}
+	return fmt.Errorf("encode: bad arith operands %v", i)
+}
+
+func (e *enc) mov(i x86.Inst) error {
+	dst, src := i.Args[0], i.Args[1]
+	if s, ok := src.(x86.SegOp); ok {
+		e.b(0x8c)
+		return e.modrm(byte(s.Seg), dst)
+	}
+	if d, ok := dst.(x86.SegOp); ok {
+		e.b(0x8e)
+		return e.modrm(byte(d.Seg), src)
+	}
+	if off, ok := src.(x86.OffOp); ok {
+		if i.W {
+			e.b(0xa1)
+		} else {
+			e.b(0xa0)
+		}
+		e.imm32(off.Off)
+		return nil
+	}
+	if off, ok := dst.(x86.OffOp); ok {
+		if i.W {
+			e.b(0xa3)
+		} else {
+			e.b(0xa2)
+		}
+		e.imm32(off.Off)
+		return nil
+	}
+	if imm, ok := src.(x86.Imm); ok {
+		if r, ok := dst.(x86.RegOp); ok {
+			if i.W {
+				e.b(0xb8 | byte(r.Reg))
+				e.immZ(i.Prefix, imm.Val)
+			} else {
+				e.b(0xb0 | byte(r.Reg))
+				e.imm8(imm.Val)
+			}
+			return nil
+		}
+		if i.W {
+			e.b(0xc7)
+		} else {
+			e.b(0xc6)
+		}
+		if err := e.modrm(0, dst); err != nil {
+			return err
+		}
+		if i.W {
+			e.immZ(i.Prefix, imm.Val)
+		} else {
+			e.imm8(imm.Val)
+		}
+		return nil
+	}
+	if r, ok := src.(x86.RegOp); ok {
+		e.b(0x88 | wbit(i.W))
+		return e.modrm(byte(r.Reg), dst)
+	}
+	if r, ok := dst.(x86.RegOp); ok {
+		e.b(0x8a | wbit(i.W))
+		return e.modrm(byte(r.Reg), src)
+	}
+	return fmt.Errorf("encode: bad mov operands %v", i)
+}
+
+func (e *enc) push(i x86.Inst) error {
+	switch o := i.Args[0].(type) {
+	case x86.RegOp:
+		e.b(0x50 | byte(o.Reg))
+		return nil
+	case x86.Imm:
+		if fitsInt8(o.Val) {
+			e.b(0x6a)
+			e.imm8(o.Val)
+		} else {
+			e.b(0x68)
+			e.immZ(i.Prefix, o.Val)
+		}
+		return nil
+	case x86.MemOp:
+		e.b(0xff)
+		return e.modrm(6, o)
+	case x86.SegOp:
+		switch o.Seg {
+		case x86.ES:
+			e.b(0x06)
+		case x86.CS:
+			e.b(0x0e)
+		case x86.SS:
+			e.b(0x16)
+		case x86.DS:
+			e.b(0x1e)
+		case x86.FS:
+			e.b(0x0f, 0xa0)
+		case x86.GS:
+			e.b(0x0f, 0xa8)
+		}
+		return nil
+	}
+	return fmt.Errorf("encode: bad push operand")
+}
+
+func (e *enc) pop(i x86.Inst) error {
+	switch o := i.Args[0].(type) {
+	case x86.RegOp:
+		e.b(0x58 | byte(o.Reg))
+		return nil
+	case x86.MemOp:
+		e.b(0x8f)
+		return e.modrm(0, o)
+	case x86.SegOp:
+		switch o.Seg {
+		case x86.ES:
+			e.b(0x07)
+		case x86.SS:
+			e.b(0x17)
+		case x86.DS:
+			e.b(0x1f)
+		case x86.FS:
+			e.b(0x0f, 0xa1)
+		case x86.GS:
+			e.b(0x0f, 0xa9)
+		default:
+			return fmt.Errorf("encode: pop cs is illegal")
+		}
+		return nil
+	}
+	return fmt.Errorf("encode: bad pop operand")
+}
+
+func (e *enc) imul(i x86.Inst) error {
+	switch len(i.Args) {
+	case 1:
+		e.b(0xf6 | wbit(i.W))
+		return e.modrm(5, i.Args[0])
+	case 2:
+		e.b(0x0f, 0xaf)
+		return e.modrm(byte(i.Args[0].(x86.RegOp).Reg), i.Args[1])
+	case 3:
+		imm := i.Args[2].(x86.Imm).Val
+		if fitsInt8(imm) {
+			e.b(0x6b)
+			if err := e.modrm(byte(i.Args[0].(x86.RegOp).Reg), i.Args[1]); err != nil {
+				return err
+			}
+			e.imm8(imm)
+			return nil
+		}
+		e.b(0x69)
+		if err := e.modrm(byte(i.Args[0].(x86.RegOp).Reg), i.Args[1]); err != nil {
+			return err
+		}
+		e.immZ(i.Prefix, imm)
+		return nil
+	}
+	return fmt.Errorf("encode: bad imul arity")
+}
+
+func (e *enc) test(i x86.Inst) error {
+	dst, src := i.Args[0], i.Args[1]
+	if imm, ok := src.(x86.Imm); ok {
+		e.b(0xf6 | wbit(i.W))
+		if err := e.modrm(0, dst); err != nil {
+			return err
+		}
+		if i.W {
+			e.immZ(i.Prefix, imm.Val)
+		} else {
+			e.imm8(imm.Val)
+		}
+		return nil
+	}
+	r, ok := src.(x86.RegOp)
+	if !ok {
+		return fmt.Errorf("encode: bad test operands")
+	}
+	e.b(0x84 | wbit(i.W))
+	return e.modrm(byte(r.Reg), dst)
+}
+
+func (e *enc) shift(i x86.Inst) error {
+	ext := shiftExtN[i.Op]
+	switch by := i.Args[1].(type) {
+	case x86.Imm:
+		if by.Val == 1 {
+			e.b(0xd0 | wbit(i.W))
+			return e.modrm(ext, i.Args[0])
+		}
+		e.b(0xc0 | wbit(i.W))
+		if err := e.modrm(ext, i.Args[0]); err != nil {
+			return err
+		}
+		e.imm8(by.Val)
+		return nil
+	case x86.RegOp:
+		if by.Reg != x86.ECX {
+			return fmt.Errorf("encode: shift count must be CL or immediate")
+		}
+		e.b(0xd2 | wbit(i.W))
+		return e.modrm(ext, i.Args[0])
+	}
+	return fmt.Errorf("encode: bad shift count operand")
+}
+
+func (e *enc) shiftD(i x86.Inst) error {
+	base := byte(0xa4)
+	if i.Op == x86.SHRD {
+		base = 0xac
+	}
+	reg := byte(i.Args[1].(x86.RegOp).Reg)
+	switch by := i.Args[2].(type) {
+	case x86.Imm:
+		e.b(0x0f, base)
+		if err := e.modrm(reg, i.Args[0]); err != nil {
+			return err
+		}
+		e.imm8(by.Val)
+		return nil
+	case x86.RegOp:
+		if by.Reg != x86.ECX {
+			return fmt.Errorf("encode: shld/shrd count must be CL or immediate")
+		}
+		e.b(0x0f, base+1)
+		return e.modrm(reg, i.Args[0])
+	}
+	return fmt.Errorf("encode: bad shld/shrd count")
+}
+
+func (e *enc) call(i x86.Inst) error {
+	if i.Rel {
+		e.b(0xe8)
+		e.immZ(i.Prefix, i.Args[0].(x86.Imm).Val)
+		return nil
+	}
+	if i.Far {
+		if imm, ok := i.Args[0].(x86.Imm); ok {
+			e.b(0x9a)
+			e.imm32(imm.Val)
+			e.imm16(uint32(i.Sel))
+			return nil
+		}
+		e.b(0xff)
+		return e.modrm(3, i.Args[0])
+	}
+	e.b(0xff)
+	return e.modrm(2, i.Args[0])
+}
+
+func (e *enc) jmp(i x86.Inst) error {
+	if i.Rel {
+		imm := i.Args[0].(x86.Imm).Val
+		if fitsInt8(imm) {
+			e.b(0xeb)
+			e.imm8(imm)
+			return nil
+		}
+		e.b(0xe9)
+		e.immZ(i.Prefix, imm)
+		return nil
+	}
+	if i.Far {
+		if imm, ok := i.Args[0].(x86.Imm); ok {
+			e.b(0xea)
+			e.imm32(imm.Val)
+			e.imm16(uint32(i.Sel))
+			return nil
+		}
+		e.b(0xff)
+		return e.modrm(5, i.Args[0])
+	}
+	e.b(0xff)
+	return e.modrm(4, i.Args[0])
+}
+
+// nopPatterns are the recommended multi-byte NOP encodings, indexed by
+// length (1..9 bytes).
+var nopPatterns = [][]byte{
+	1: {0x90},
+	2: {0x66, 0x90},
+	3: {0x0f, 0x1f, 0x00},
+	4: {0x0f, 0x1f, 0x40, 0x00},
+	5: {0x0f, 0x1f, 0x44, 0x00, 0x00},
+	6: {0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00},
+	7: {0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00},
+	8: {0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+	9: {0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+}
+
+// NopPad returns a sequence of NOP instructions totaling exactly n bytes,
+// used by the NaCl generator to pad bundles.
+func NopPad(n int) []byte {
+	var out []byte
+	for n > 0 {
+		k := n
+		if k > 9 {
+			k = 9
+		}
+		out = append(out, nopPatterns[k]...)
+		n -= k
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+// Package machine defines the concrete x86 machine state the RTL language
+// is instantiated at: general purpose registers, tracked EFLAGS bits, the
+// program counter, segment registers with base and limit (the mechanism
+// 32-bit NaCl leans on), and a paged byte-addressed memory.
+package machine
+
+import (
+	"fmt"
+
+	"rocksalt/internal/bits"
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+)
+
+// RegLoc addresses a 32-bit general purpose register.
+type RegLoc x86.Reg
+
+// FlagLoc addresses one EFLAGS bit.
+type FlagLoc x86.Flag
+
+// PCLoc addresses the program counter (EIP).
+type PCLoc struct{}
+
+// SegSelLoc addresses a segment register's 16-bit selector.
+type SegSelLoc x86.SegReg
+
+// SegBaseLoc addresses the linear base of a segment (part of the hidden
+// descriptor cache on real hardware; architectural state in the model).
+type SegBaseLoc x86.SegReg
+
+// SegLimitLoc addresses the limit (size in bytes, exclusive) of a segment.
+type SegLimitLoc x86.SegReg
+
+// Width implements rtl.Loc.
+func (RegLoc) Width() int      { return 32 }
+func (FlagLoc) Width() int     { return 1 }
+func (PCLoc) Width() int       { return 32 }
+func (SegSelLoc) Width() int   { return 16 }
+func (SegBaseLoc) Width() int  { return 32 }
+func (SegLimitLoc) Width() int { return 32 }
+
+func (l RegLoc) String() string      { return x86.Reg(l).String() }
+func (l FlagLoc) String() string     { return x86.Flag(l).String() }
+func (PCLoc) String() string         { return "pc" }
+func (l SegSelLoc) String() string   { return x86.SegReg(l).String() }
+func (l SegBaseLoc) String() string  { return x86.SegReg(l).String() + ".base" }
+func (l SegLimitLoc) String() string { return x86.SegReg(l).String() + ".limit" }
+
+const pageBits = 12
+
+// Memory is a sparse, paged, byte-addressed 32-bit memory.
+type Memory struct {
+	pages map[uint32]*[1 << pageBits]byte
+}
+
+// NewMemory returns an empty memory (all bytes zero).
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[1 << pageBits]byte)}
+}
+
+// Load reads one byte.
+func (m *Memory) Load(addr uint32) byte {
+	p := m.pages[addr>>pageBits]
+	if p == nil {
+		return 0
+	}
+	return p[addr&(1<<pageBits-1)]
+}
+
+// Store writes one byte.
+func (m *Memory) Store(addr uint32, b byte) {
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil {
+		p = new([1 << pageBits]byte)
+		m.pages[key] = p
+	}
+	p[addr&(1<<pageBits-1)] = b
+}
+
+// WriteBytes copies a byte slice into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, bs []byte) {
+	for i, b := range bs {
+		m.Store(addr+uint32(i), b)
+	}
+}
+
+// ReadBytes copies n bytes out of memory starting at addr.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Load(addr + uint32(i))
+	}
+	return out
+}
+
+// Clone deep-copies the memory.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two memories hold the same bytes everywhere.
+func (m *Memory) Equal(o *Memory) bool {
+	check := func(a, b *Memory) bool {
+		for k, p := range a.pages {
+			q := b.pages[k]
+			if q == nil {
+				for _, v := range p {
+					if v != 0 {
+						return false
+					}
+				}
+				continue
+			}
+			if *p != *q {
+				return false
+			}
+		}
+		return true
+	}
+	return check(m, o) && check(o, m)
+}
+
+// State is the full x86 machine state.
+type State struct {
+	Regs     [8]uint32
+	Flags    [x86.NumFlags]bool
+	PC       uint32
+	SegSel   [6]uint16
+	SegBase  [6]uint32
+	SegLimit [6]uint32
+	Mem      *Memory
+}
+
+// New returns a zeroed machine state with fresh memory and maximal
+// (flat 4 GiB) segments.
+func New() *State {
+	s := &State{Mem: NewMemory()}
+	for i := range s.SegLimit {
+		s.SegLimit[i] = 0xffffffff
+	}
+	return s
+}
+
+var _ rtl.Machine = (*State)(nil)
+
+// Get implements rtl.Machine.
+func (s *State) Get(loc rtl.Loc) bits.Vec {
+	switch l := loc.(type) {
+	case RegLoc:
+		return bits.New(32, uint64(s.Regs[l&7]))
+	case FlagLoc:
+		return bits.Bool(s.Flags[l])
+	case PCLoc:
+		return bits.New(32, uint64(s.PC))
+	case SegSelLoc:
+		return bits.New(16, uint64(s.SegSel[l%6]))
+	case SegBaseLoc:
+		return bits.New(32, uint64(s.SegBase[l%6]))
+	case SegLimitLoc:
+		return bits.New(32, uint64(s.SegLimit[l%6]))
+	default:
+		panic(fmt.Sprintf("machine: unknown location %v", loc))
+	}
+}
+
+// Set implements rtl.Machine.
+func (s *State) Set(loc rtl.Loc, v bits.Vec) {
+	switch l := loc.(type) {
+	case RegLoc:
+		s.Regs[l&7] = uint32(v.Uint64())
+	case FlagLoc:
+		s.Flags[l] = v.IsTrue()
+	case PCLoc:
+		s.PC = uint32(v.Uint64())
+	case SegSelLoc:
+		s.SegSel[l%6] = uint16(v.Uint64())
+	case SegBaseLoc:
+		s.SegBase[l%6] = uint32(v.Uint64())
+	case SegLimitLoc:
+		s.SegLimit[l%6] = uint32(v.Uint64())
+	default:
+		panic(fmt.Sprintf("machine: unknown location %v", loc))
+	}
+}
+
+// LoadByte implements rtl.Machine.
+func (s *State) LoadByte(addr uint32) byte { return s.Mem.Load(addr) }
+
+// StoreByte implements rtl.Machine.
+func (s *State) StoreByte(addr uint32, b byte) { s.Mem.Store(addr, b) }
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := *s
+	c.Mem = s.Mem.Clone()
+	return &c
+}
+
+// EqualRegs reports whether the register files (including flags, PC and
+// segments) of two states agree; memory is compared separately.
+func (s *State) EqualRegs(o *State) bool {
+	return s.Regs == o.Regs && s.Flags == o.Flags && s.PC == o.PC &&
+		s.SegSel == o.SegSel && s.SegBase == o.SegBase && s.SegLimit == o.SegLimit
+}
+
+// Diff describes the first difference between two states, for test output.
+func (s *State) Diff(o *State) string {
+	for i := range s.Regs {
+		if s.Regs[i] != o.Regs[i] {
+			return fmt.Sprintf("%s: %#x vs %#x", x86.Reg(i), s.Regs[i], o.Regs[i])
+		}
+	}
+	for i := range s.Flags {
+		if s.Flags[i] != o.Flags[i] {
+			return fmt.Sprintf("%s: %v vs %v", x86.Flag(i), s.Flags[i], o.Flags[i])
+		}
+	}
+	if s.PC != o.PC {
+		return fmt.Sprintf("pc: %#x vs %#x", s.PC, o.PC)
+	}
+	if s.SegSel != o.SegSel || s.SegBase != o.SegBase || s.SegLimit != o.SegLimit {
+		return "segment state differs"
+	}
+	if !s.Mem.Equal(o.Mem) {
+		return "memory differs"
+	}
+	return ""
+}
+
+// String renders the register file.
+func (s *State) String() string {
+	return fmt.Sprintf("eax=%08x ecx=%08x edx=%08x ebx=%08x esp=%08x ebp=%08x esi=%08x edi=%08x pc=%08x cf=%v zf=%v sf=%v of=%v",
+		s.Regs[0], s.Regs[1], s.Regs[2], s.Regs[3], s.Regs[4], s.Regs[5], s.Regs[6], s.Regs[7],
+		s.PC, s.Flags[x86.CF], s.Flags[x86.ZF], s.Flags[x86.SF], s.Flags[x86.OF])
+}

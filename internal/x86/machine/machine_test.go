@@ -1,0 +1,141 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rocksalt/internal/bits"
+	"rocksalt/internal/x86"
+)
+
+func TestMemoryDefaultZero(t *testing.T) {
+	m := NewMemory()
+	if m.Load(0) != 0 || m.Load(0xffffffff) != 0 {
+		t.Fatal("fresh memory must read zero")
+	}
+}
+
+func TestMemoryStoreLoad(t *testing.T) {
+	f := func(addr uint32, b byte) bool {
+		m := NewMemory()
+		m.Store(addr, b)
+		return m.Load(addr) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryPageBoundary(t *testing.T) {
+	m := NewMemory()
+	m.WriteBytes(0xfff, []byte{1, 2, 3})
+	got := m.ReadBytes(0xfff, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("cross-page write lost: %v", got)
+	}
+}
+
+func TestMemoryWrapAround(t *testing.T) {
+	m := NewMemory()
+	m.WriteBytes(0xffffffff, []byte{9, 8})
+	if m.Load(0xffffffff) != 9 || m.Load(0) != 8 {
+		t.Fatal("address arithmetic must wrap at 2^32")
+	}
+}
+
+func TestMemoryCloneIsDeep(t *testing.T) {
+	m := NewMemory()
+	m.Store(100, 42)
+	c := m.Clone()
+	c.Store(100, 7)
+	if m.Load(100) != 42 {
+		t.Fatal("clone aliases the original")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("clone must be equal")
+	}
+}
+
+func TestMemoryEqualIgnoresZeroPages(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	a.Store(0x5000, 0) // allocates a page of zeros
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("all-zero page must compare equal to absent page")
+	}
+	a.Store(0x5000, 1)
+	if a.Equal(b) {
+		t.Fatal("differing byte must be detected")
+	}
+}
+
+func TestStateLocations(t *testing.T) {
+	s := New()
+	// Round-trip through the rtl.Machine interface.
+	s.Set(RegLoc(x86.EAX), bits.New(32, 0xdeadbeef))
+	if s.Regs[x86.EAX] != 0xdeadbeef {
+		t.Fatal("RegLoc set failed")
+	}
+	if s.Get(RegLoc(x86.EAX)).Uint64() != 0xdeadbeef {
+		t.Fatal("RegLoc get failed")
+	}
+	s.Set(FlagLoc(x86.ZF), bits.Bool(true))
+	if !s.Flags[x86.ZF] || !s.Get(FlagLoc(x86.ZF)).IsTrue() {
+		t.Fatal("FlagLoc failed")
+	}
+	s.Set(PCLoc{}, bits.New(32, 0x42))
+	if s.PC != 0x42 {
+		t.Fatal("PCLoc failed")
+	}
+	s.Set(SegSelLoc(x86.GS), bits.New(16, 0x63))
+	s.Set(SegBaseLoc(x86.GS), bits.New(32, 0x1000))
+	s.Set(SegLimitLoc(x86.GS), bits.New(32, 0xfff))
+	if s.SegSel[x86.GS] != 0x63 || s.SegBase[x86.GS] != 0x1000 || s.SegLimit[x86.GS] != 0xfff {
+		t.Fatal("segment locations failed")
+	}
+}
+
+func TestLocWidthsAndNames(t *testing.T) {
+	if RegLoc(x86.EAX).Width() != 32 || FlagLoc(x86.CF).Width() != 1 ||
+		(PCLoc{}).Width() != 32 || SegSelLoc(x86.CS).Width() != 16 ||
+		SegBaseLoc(x86.CS).Width() != 32 || SegLimitLoc(x86.CS).Width() != 32 {
+		t.Fatal("widths wrong")
+	}
+	if RegLoc(x86.EAX).String() != "eax" || SegBaseLoc(x86.CS).String() != "cs.base" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestStateCloneAndDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New()
+	for i := range s.Regs {
+		s.Regs[i] = rng.Uint32()
+	}
+	s.Mem.Store(123, 45)
+	c := s.Clone()
+	if !s.EqualRegs(c) || s.Diff(c) != "" {
+		t.Fatal("clone must equal original")
+	}
+	c.Regs[x86.EBX] ^= 1
+	if s.EqualRegs(c) || s.Diff(c) == "" {
+		t.Fatal("register diff must be detected")
+	}
+	c2 := s.Clone()
+	c2.Mem.Store(9999, 1)
+	if s.Diff(c2) == "" {
+		t.Fatal("memory diff must be detected")
+	}
+}
+
+func TestNewStateHasFlatSegments(t *testing.T) {
+	s := New()
+	for i := range s.SegLimit {
+		if s.SegLimit[i] != 0xffffffff || s.SegBase[i] != 0 {
+			t.Fatal("fresh state must have flat segments")
+		}
+	}
+	if s.String() == "" {
+		t.Fatal("String must render")
+	}
+}

@@ -1,0 +1,345 @@
+package semantics
+
+import (
+	"fmt"
+
+	"rocksalt/internal/bits"
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+)
+
+// convBinArith translates the two-operand ALU family. The ADD case is the
+// paper's Figure 4: load both operands, perform the bit-vector operation,
+// store the result through set_op, then compute each flag.
+func (t *tr) convBinArith() error {
+	i := t.inst
+	dst, src := i.Args[0], i.Args[1]
+	a := t.loadOp(dst)
+	bv := t.loadOp(src)
+	b := t.b
+	switch i.Op {
+	case x86.ADD:
+		r := b.Arith(rtl.Add, a, bv)
+		t.storeOp(dst, r)
+		t.setAddFlags(a, bv, b.Bool(false), r)
+		t.setSZP(r)
+	case x86.ADC:
+		c := t.flag(x86.CF)
+		r := b.Arith(rtl.Add, b.Arith(rtl.Add, a, bv), b.CastU(t.size, c))
+		t.storeOp(dst, r)
+		t.setAddFlags(a, bv, c, r)
+		t.setSZP(r)
+	case x86.SUB, x86.CMP:
+		r := b.Arith(rtl.Sub, a, bv)
+		if i.Op == x86.SUB {
+			t.storeOp(dst, r)
+		}
+		t.setSubFlags(a, bv, b.Bool(false), r)
+		t.setSZP(r)
+	case x86.SBB:
+		c := t.flag(x86.CF)
+		r := b.Arith(rtl.Sub, b.Arith(rtl.Sub, a, bv), b.CastU(t.size, c))
+		t.storeOp(dst, r)
+		t.setSubFlags(a, bv, c, r)
+		t.setSZP(r)
+	case x86.AND, x86.OR, x86.XOR, x86.TEST:
+		op := map[x86.Op]rtl.ArithOp{
+			x86.AND: rtl.And, x86.TEST: rtl.And, x86.OR: rtl.Or, x86.XOR: rtl.Xor,
+		}[i.Op]
+		r := b.Arith(op, a, bv)
+		if i.Op != x86.TEST {
+			t.storeOp(dst, r)
+		}
+		t.setLogicFlags(r)
+	}
+	t.fallThrough()
+	return nil
+}
+
+// convIncDec translates INC/DEC: like ADD/SUB by one, but CF is preserved.
+func (t *tr) convIncDec() error {
+	dst := t.inst.Args[0]
+	a := t.loadOp(dst)
+	one := t.b.ImmU(t.size, 1)
+	savedCF := t.flag(x86.CF)
+	var r rtl.Var
+	if t.inst.Op == x86.INC {
+		r = t.b.Arith(rtl.Add, a, one)
+		t.setAddFlags(a, one, t.b.Bool(false), r)
+	} else {
+		r = t.b.Arith(rtl.Sub, a, one)
+		t.setSubFlags(a, one, t.b.Bool(false), r)
+	}
+	t.storeOp(dst, r)
+	t.setSZP(r)
+	t.setFlag(x86.CF, savedCF) // INC/DEC leave CF untouched
+	t.fallThrough()
+	return nil
+}
+
+// convNeg translates two's complement negation: CF = (operand != 0).
+func (t *tr) convNeg() error {
+	dst := t.inst.Args[0]
+	a := t.loadOp(dst)
+	zero := t.b.ImmU(t.size, 0)
+	r := t.b.Arith(rtl.Sub, zero, a)
+	t.storeOp(dst, r)
+	t.setSubFlags(zero, a, t.b.Bool(false), r)
+	t.setSZP(r)
+	t.fallThrough()
+	return nil
+}
+
+// convNot translates bitwise complement; NOT affects no flags.
+func (t *tr) convNot() error {
+	dst := t.inst.Args[0]
+	a := t.loadOp(dst)
+	r := t.b.Arith(rtl.Xor, a, t.b.Imm(bits.AllOnes(t.size)))
+	t.storeOp(dst, r)
+	t.fallThrough()
+	return nil
+}
+
+// convMul translates the widening multiplies. One-operand forms write the
+// double-width product to (E)DX:(E)AX (or AX for byte operands); the two
+// and three operand IMUL forms truncate.
+func (t *tr) convMul() error {
+	i := t.inst
+	b := t.b
+	signed := i.Op == x86.IMUL
+	hiOp := rtl.MulHiU
+	if signed {
+		hiOp = rtl.MulHiS
+	}
+	switch len(i.Args) {
+	case 1:
+		src := t.loadOp(i.Args[0])
+		acc := t.loadReg(x86.EAX, t.size)
+		lo := b.Arith(rtl.Mul, acc, src)
+		hi := b.Arith(hiOp, acc, src)
+		if t.size == 8 {
+			// AX = AL * r/m8: write AH:AL.
+			t.storeReg(x86.EAX, lo)    // AL
+			t.storeReg(x86.Reg(4), hi) // AH (code 4 at size 8)
+		} else {
+			t.storeReg(x86.EAX, lo)
+			t.storeReg(x86.EDX, hi)
+		}
+		// CF=OF=1 iff the high half is significant: nonzero for MUL,
+		// not the sign-fill of the low half for IMUL.
+		var overflow rtl.Var
+		if signed {
+			fill := b.Arith(rtl.ShrS, lo, b.ImmU(t.size, uint64(t.size-1)))
+			overflow = b.Not1(b.Test(rtl.Eq, hi, fill))
+		} else {
+			overflow = b.Not1(t.b.IsZero(hi))
+		}
+		t.setFlag(x86.CF, overflow)
+		t.setFlag(x86.OF, overflow)
+		t.chooseFlag(x86.SF)
+		t.chooseFlag(x86.ZF)
+		t.chooseFlag(x86.AF)
+		t.chooseFlag(x86.PF)
+	case 2, 3:
+		a := t.loadOp(i.Args[1])
+		var bv rtl.Var
+		if len(i.Args) == 3 {
+			bv = t.loadOp(i.Args[2])
+		} else {
+			bv = t.loadOp(i.Args[0])
+		}
+		lo := b.Arith(rtl.Mul, a, bv)
+		hi := b.Arith(rtl.MulHiS, a, bv)
+		t.storeOp(i.Args[0], lo)
+		fill := b.Arith(rtl.ShrS, lo, b.ImmU(t.size, uint64(t.size-1)))
+		overflow := b.Not1(b.Test(rtl.Eq, hi, fill))
+		t.setFlag(x86.CF, overflow)
+		t.setFlag(x86.OF, overflow)
+		t.chooseFlag(x86.SF)
+		t.chooseFlag(x86.ZF)
+		t.chooseFlag(x86.AF)
+		t.chooseFlag(x86.PF)
+	default:
+		return fmt.Errorf("semantics: bad mul arity")
+	}
+	t.fallThrough()
+	return nil
+}
+
+// convDiv translates the unsigned and signed divides of the double-width
+// accumulator, trapping (#DE) on zero divisors and quotient overflow.
+func (t *tr) convDiv() error {
+	i := t.inst
+	b := t.b
+	src := t.loadOp(i.Args[0])
+	size := t.size
+	wide := size * 2
+	var dividend rtl.Var
+	if size == 8 {
+		dividend = t.b.CastU(16, t.loadReg(x86.EAX, 16))
+	} else {
+		hi := t.loadReg(x86.EDX, size)
+		lo := t.loadReg(x86.EAX, size)
+		dividend = b.Arith(rtl.Or,
+			b.Arith(rtl.Shl, b.CastU(wide, hi), b.ImmU(wide, uint64(size))),
+			b.CastU(wide, lo))
+	}
+	zero := b.IsZero(src)
+	t.b.TrapIf(zero, "#DE divide by zero")
+	signed := i.Op == x86.IDIV
+	var q, r rtl.Var
+	if signed {
+		ws := t.b.CastS(wide, src)
+		q = b.Arith(rtl.DivS, dividend, ws)
+		r = b.Arith(rtl.RemS, dividend, ws)
+		// Quotient must fit in `size` signed bits.
+		qt := b.CastS(size, q)
+		back := b.CastS(wide, qt)
+		t.b.TrapIf(b.Not1(b.Test(rtl.Eq, back, q)), "#DE quotient overflow")
+	} else {
+		ws := t.b.CastU(wide, src)
+		q = b.Arith(rtl.DivU, dividend, ws)
+		r = b.Arith(rtl.RemU, dividend, ws)
+		qt := b.CastU(size, q)
+		back := b.CastU(wide, qt)
+		t.b.TrapIf(b.Not1(b.Test(rtl.Eq, back, q)), "#DE quotient overflow")
+	}
+	if size == 8 {
+		t.storeReg(x86.EAX, b.CastU(8, q))    // AL
+		t.storeReg(x86.Reg(4), b.CastU(8, r)) // AH
+	} else {
+		t.storeReg(x86.EAX, b.CastU(size, q))
+		t.storeReg(x86.EDX, b.CastU(size, r))
+	}
+	for _, f := range []x86.Flag{x86.CF, x86.OF, x86.SF, x86.ZF, x86.AF, x86.PF} {
+		t.chooseFlag(f)
+	}
+	t.fallThrough()
+	return nil
+}
+
+// convCwde translates CBW/CWDE: sign-extend AL into AX, or AX into EAX.
+func (t *tr) convCwde() error {
+	if t.size == 16 {
+		al := t.loadReg(x86.EAX, 8)
+		t.storeReg(x86.EAX, t.b.CastS(16, al))
+	} else {
+		ax := t.loadReg(x86.EAX, 16)
+		t.storeReg(x86.EAX, t.b.CastS(32, ax))
+	}
+	t.fallThrough()
+	return nil
+}
+
+// convCdq translates CWD/CDQ: sign-fill (E)DX from (E)AX.
+func (t *tr) convCdq() error {
+	acc := t.loadReg(x86.EAX, t.size)
+	fill := t.b.Arith(rtl.ShrS, acc, t.b.ImmU(t.size, uint64(t.size-1)))
+	t.storeReg(x86.EDX, fill)
+	t.fallThrough()
+	return nil
+}
+
+// convFlagOp translates the single-flag instructions.
+func (t *tr) convFlagOp() error {
+	switch t.inst.Op {
+	case x86.CLC:
+		t.setFlag(x86.CF, t.b.Bool(false))
+	case x86.STC:
+		t.setFlag(x86.CF, t.b.Bool(true))
+	case x86.CMC:
+		t.setFlag(x86.CF, t.b.Not1(t.flag(x86.CF)))
+	case x86.CLD:
+		t.setFlag(x86.DF, t.b.Bool(false))
+	case x86.STD:
+		t.setFlag(x86.DF, t.b.Bool(true))
+	}
+	t.fallThrough()
+	return nil
+}
+
+// convDecimal translates the BCD adjustment instructions, which operate on
+// AL/AH with data-dependent corrections (a dense exercise in Mux).
+func (t *tr) convDecimal() error {
+	b := t.b
+	al := t.loadReg(x86.EAX, 8)
+	switch t.inst.Op {
+	case x86.AAM:
+		base := t.loadOpSized(t.inst.Args[0], 8)
+		t.b.TrapIf(b.IsZero(base), "#DE aam base zero")
+		q := b.Arith(rtl.DivU, al, base)
+		r := b.Arith(rtl.RemU, al, base)
+		t.storeReg(x86.Reg(4), q) // AH
+		t.storeReg(x86.EAX, r)    // AL
+		t.setSZP(r)
+		t.chooseFlag(x86.CF)
+		t.chooseFlag(x86.OF)
+		t.chooseFlag(x86.AF)
+	case x86.AAD:
+		base := t.loadOpSized(t.inst.Args[0], 8)
+		ah := t.loadReg(x86.Reg(4), 8)
+		r := b.Arith(rtl.Add, al, b.Arith(rtl.Mul, ah, base))
+		t.storeReg(x86.EAX, r)
+		t.storeReg(x86.Reg(4), b.ImmU(8, 0))
+		t.setSZP(r)
+		t.chooseFlag(x86.CF)
+		t.chooseFlag(x86.OF)
+		t.chooseFlag(x86.AF)
+	case x86.AAA, x86.AAS:
+		// Adjust when (AL & 0xF) > 9 or AF.
+		low := b.Arith(rtl.And, al, b.ImmU(8, 0x0f))
+		needs := b.Arith(rtl.Or,
+			b.Test(rtl.LtU, b.ImmU(8, 9), low),
+			t.flag(x86.AF))
+		delta := b.ImmU(8, 6)
+		var adjAL rtl.Var
+		if t.inst.Op == x86.AAA {
+			adjAL = b.Arith(rtl.Add, al, delta)
+		} else {
+			adjAL = b.Arith(rtl.Sub, al, delta)
+		}
+		adjAL = b.Arith(rtl.And, adjAL, b.ImmU(8, 0x0f))
+		plainAL := b.Arith(rtl.And, al, b.ImmU(8, 0x0f))
+		t.storeReg(x86.EAX, b.Mux(needs, adjAL, plainAL))
+		ah := t.loadReg(x86.Reg(4), 8)
+		var adjAH rtl.Var
+		if t.inst.Op == x86.AAA {
+			adjAH = b.Arith(rtl.Add, ah, b.ImmU(8, 1))
+		} else {
+			adjAH = b.Arith(rtl.Sub, ah, b.ImmU(8, 1))
+		}
+		t.storeReg(x86.Reg(4), b.Mux(needs, adjAH, ah))
+		t.setFlag(x86.AF, needs)
+		t.setFlag(x86.CF, needs)
+		t.chooseFlag(x86.OF)
+		t.chooseFlag(x86.SF)
+		t.chooseFlag(x86.ZF)
+		t.chooseFlag(x86.PF)
+	case x86.DAA, x86.DAS:
+		low := b.Arith(rtl.And, al, b.ImmU(8, 0x0f))
+		cond1 := b.Arith(rtl.Or,
+			b.Test(rtl.LtU, b.ImmU(8, 9), low),
+			t.flag(x86.AF))
+		cond2 := b.Arith(rtl.Or,
+			b.Test(rtl.LtU, b.ImmU(8, 0x99), al),
+			t.flag(x86.CF))
+		d1 := b.ImmU(8, 0x06)
+		d2 := b.ImmU(8, 0x60)
+		zero8 := b.ImmU(8, 0)
+		step1 := b.Mux(cond1, d1, zero8)
+		step2 := b.Mux(cond2, d2, zero8)
+		var r rtl.Var
+		if t.inst.Op == x86.DAA {
+			r = b.Arith(rtl.Add, b.Arith(rtl.Add, al, step1), step2)
+		} else {
+			r = b.Arith(rtl.Sub, b.Arith(rtl.Sub, al, step1), step2)
+		}
+		t.storeReg(x86.EAX, r)
+		t.setFlag(x86.AF, cond1)
+		t.setFlag(x86.CF, cond2)
+		t.setSZP(r)
+		t.chooseFlag(x86.OF)
+	}
+	t.fallThrough()
+	return nil
+}

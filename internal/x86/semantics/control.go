@@ -1,0 +1,134 @@
+package semantics
+
+import (
+	"fmt"
+
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/machine"
+)
+
+// branchTarget resolves the target of a JMP/CALL: an absolute value from a
+// register/memory operand, or pc+len+disp for the relative immediate
+// forms.
+func (t *tr) branchTarget() (rtl.Var, error) {
+	i := t.inst
+	if i.Rel {
+		imm := i.Args[0].(x86.Imm)
+		return t.b.ImmU(32, uint64(t.nextPC()+imm.Val)), nil
+	}
+	switch i.Args[0].(type) {
+	case x86.RegOp, x86.MemOp:
+		return t.b.CastU(32, t.loadOpSized(i.Args[0], 32)), nil
+	case x86.Imm:
+		// Far absolute ptr16:32.
+		return t.b.ImmU(32, uint64(i.Args[0].(x86.Imm).Val)), nil
+	}
+	return 0, fmt.Errorf("semantics: bad branch operand %v", i.Args[0])
+}
+
+// convJmpCall translates near and far JMP/CALL. Far forms additionally
+// load the CS selector — a sandbox-violating effect the checker rejects.
+func (t *tr) convJmpCall() error {
+	i := t.inst
+	if i.Far && len(i.Args) > 0 {
+		if _, isMem := i.Args[0].(x86.MemOp); isMem {
+			// Far indirect through m16:32: offset then selector.
+			mem := i.Args[0].(x86.MemOp)
+			seg := t.defaultSeg(mem.Addr)
+			ea := t.effAddr(mem.Addr)
+			off := t.loadMem(seg, ea, 32)
+			selEA := t.b.Arith(rtl.Add, ea, t.b.ImmU(32, 4))
+			sel := t.loadMem(seg, selEA, 16)
+			if i.Op == x86.CALL {
+				t.pushVar(t.b.CastU(32, t.b.Get(machine.SegSelLoc(x86.CS))))
+				t.pushVar(t.b.ImmU(32, uint64(t.nextPC())))
+			}
+			t.b.Set(machine.SegSelLoc(x86.CS), sel)
+			t.setPC(off)
+			return nil
+		}
+		// Far immediate ptr16:32.
+		if i.Op == x86.CALL {
+			t.pushVar(t.b.CastU(32, t.b.Get(machine.SegSelLoc(x86.CS))))
+			t.pushVar(t.b.ImmU(32, uint64(t.nextPC())))
+		}
+		t.b.Set(machine.SegSelLoc(x86.CS), t.b.ImmU(16, uint64(i.Sel)))
+		t.setPC(t.b.ImmU(32, uint64(i.Args[0].(x86.Imm).Val)))
+		return nil
+	}
+	target, err := t.branchTarget()
+	if err != nil {
+		return err
+	}
+	if i.Op == x86.CALL {
+		t.pushVar(t.b.ImmU(32, uint64(t.nextPC())))
+	}
+	t.setPC(target)
+	return nil
+}
+
+// convJcc translates the conditional jumps: PC := cond ? target : next.
+func (t *tr) convJcc() error {
+	target, err := t.branchTarget()
+	if err != nil {
+		return err
+	}
+	c := t.cond(t.inst.Cond)
+	next := t.b.ImmU(32, uint64(t.nextPC()))
+	t.setPC(t.b.Mux(c, target, next))
+	return nil
+}
+
+// convJcxz jumps when ECX is zero.
+func (t *tr) convJcxz() error {
+	target, err := t.branchTarget()
+	if err != nil {
+		return err
+	}
+	ecx := t.b.Get(machineLoc(x86.ECX))
+	c := t.b.IsZero(ecx)
+	next := t.b.ImmU(32, uint64(t.nextPC()))
+	t.setPC(t.b.Mux(c, target, next))
+	return nil
+}
+
+// convLoop decrements ECX and branches while it is non-zero (LOOPZ/LOOPNZ
+// additionally test ZF).
+func (t *tr) convLoop() error {
+	b := t.b
+	target, err := t.branchTarget()
+	if err != nil {
+		return err
+	}
+	ecx := b.Get(machineLoc(x86.ECX))
+	dec := b.Arith(rtl.Sub, ecx, b.ImmU(32, 1))
+	b.Set(machineLoc(x86.ECX), dec)
+	cont := b.Not1(b.IsZero(dec))
+	switch t.inst.Op {
+	case x86.LOOPZ:
+		cont = b.Arith(rtl.And, cont, t.flag(x86.ZF))
+	case x86.LOOPNZ:
+		cont = b.Arith(rtl.And, cont, b.Not1(t.flag(x86.ZF)))
+	}
+	next := b.ImmU(32, uint64(t.nextPC()))
+	t.setPC(b.Mux(cont, target, next))
+	return nil
+}
+
+// convRet pops the return address (far forms also pop CS) and optionally
+// releases stack arguments.
+func (t *tr) convRet() error {
+	addr := t.popVar(32)
+	if t.inst.Far {
+		sel := t.popVar(32)
+		t.b.Set(machine.SegSelLoc(x86.CS), t.b.CastU(16, sel))
+	}
+	if len(t.inst.Args) == 1 {
+		n := t.inst.Args[0].(x86.Imm).Val
+		esp := t.b.Get(machineESP())
+		t.b.Set(machineESP(), t.b.Arith(rtl.Add, esp, t.b.ImmU(32, uint64(n))))
+	}
+	t.setPC(addr)
+	return nil
+}

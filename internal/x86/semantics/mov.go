@@ -1,0 +1,336 @@
+package semantics
+
+import (
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+)
+
+// convMov translates every MOV form: register/memory moves, immediates,
+// the moffs accumulator forms, and the segment-register forms (which only
+// update the selector; see storeOp).
+func (t *tr) convMov() error {
+	dst, src := t.inst.Args[0], t.inst.Args[1]
+	v := t.loadOp(src)
+	t.storeOp(dst, v)
+	t.fallThrough()
+	return nil
+}
+
+// convMovX translates MOVZX/MOVSX: load at the source width, extend to
+// the destination width.
+func (t *tr) convMovX() error {
+	srcSize := int(t.inst.SrcSize)
+	v := t.loadOpSized(t.inst.Args[1], srcSize)
+	var wide rtl.Var
+	if t.inst.Op == x86.MOVZX {
+		wide = t.b.CastU(t.size, v)
+	} else {
+		wide = t.b.CastS(t.size, v)
+	}
+	t.storeOp(t.inst.Args[0], wide)
+	t.fallThrough()
+	return nil
+}
+
+// convLea stores the effective address itself; no memory access and no
+// segment translation take place.
+func (t *tr) convLea() error {
+	mem := t.inst.Args[1].(x86.MemOp)
+	ea := t.effAddr(mem.Addr)
+	t.storeOp(t.inst.Args[0], t.b.CastU(t.size, ea))
+	t.fallThrough()
+	return nil
+}
+
+// convXchg swaps its operands (flags unaffected).
+func (t *tr) convXchg() error {
+	a, b := t.inst.Args[0], t.inst.Args[1]
+	va := t.loadOp(a)
+	vb := t.loadOp(b)
+	t.storeOp(a, vb)
+	t.storeOp(b, va)
+	t.fallThrough()
+	return nil
+}
+
+// convCmov performs the load unconditionally (it can fault even when the
+// condition is false, as on hardware) and muxes the destination.
+func (t *tr) convCmov() error {
+	dst := t.inst.Args[0]
+	old := t.loadOp(dst)
+	v := t.loadOp(t.inst.Args[1])
+	c := t.cond(t.inst.Cond)
+	t.storeOp(dst, t.b.Mux(c, v, old))
+	t.fallThrough()
+	return nil
+}
+
+// convSetcc writes the condition as a byte.
+func (t *tr) convSetcc() error {
+	c := t.cond(t.inst.Cond)
+	t.storeOp(t.inst.Args[0], t.b.CastU(8, c))
+	t.fallThrough()
+	return nil
+}
+
+// ---------- Stack operations ----------
+
+// pushVar pushes a value (width = operand size) through SS.
+func (t *tr) pushVar(v rtl.Var) {
+	n := uint64(t.b.WidthOf(v) / 8)
+	esp := t.b.Get(machineESP())
+	newESP := t.b.Arith(rtl.Sub, esp, t.b.ImmU(32, n))
+	t.storeMem(x86.SS, newESP, v)
+	t.b.Set(machineESP(), newESP)
+}
+
+// popVar pops size bits through SS.
+func (t *tr) popVar(size int) rtl.Var {
+	esp := t.b.Get(machineESP())
+	v := t.loadMem(x86.SS, esp, size)
+	newESP := t.b.Arith(rtl.Add, esp, t.b.ImmU(32, uint64(size/8)))
+	t.b.Set(machineESP(), newESP)
+	return v
+}
+
+// convPush pushes a register, immediate, memory operand, or segment
+// selector.
+func (t *tr) convPush() error {
+	v := t.loadOp(t.inst.Args[0])
+	t.pushVar(v)
+	t.fallThrough()
+	return nil
+}
+
+// convPop pops into the destination. The increment happens before the
+// destination write, so POP ESP yields the loaded value and memory
+// destinations compute their address with the updated ESP.
+func (t *tr) convPop() error {
+	v := t.popVar(t.size)
+	t.storeOp(t.inst.Args[0], v)
+	t.fallThrough()
+	return nil
+}
+
+// convPusha pushes all eight registers, with the pre-push ESP in the ESP
+// slot.
+func (t *tr) convPusha() error {
+	orig := t.loadReg(x86.ESP, t.size)
+	for _, r := range []x86.Reg{x86.EAX, x86.ECX, x86.EDX, x86.EBX} {
+		t.pushVar(t.loadReg(r, t.size))
+	}
+	t.pushVar(orig)
+	for _, r := range []x86.Reg{x86.EBP, x86.ESI, x86.EDI} {
+		t.pushVar(t.loadReg(r, t.size))
+	}
+	t.fallThrough()
+	return nil
+}
+
+// convPopa pops all registers, discarding the stacked ESP.
+func (t *tr) convPopa() error {
+	for _, r := range []x86.Reg{x86.EDI, x86.ESI, x86.EBP} {
+		t.storeReg(r, t.popVar(t.size))
+	}
+	_ = t.popVar(t.size) // skip saved ESP
+	for _, r := range []x86.Reg{x86.EBX, x86.EDX, x86.ECX, x86.EAX} {
+		t.storeReg(r, t.popVar(t.size))
+	}
+	t.fallThrough()
+	return nil
+}
+
+// eflagsWord assembles the architectural EFLAGS image of the tracked
+// flags; reserved bit 1 reads as 1 and IF (bit 9) as 1 (user mode).
+func (t *tr) eflagsWord(size int) rtl.Var {
+	b := t.b
+	word := b.ImmU(size, 1<<1|1<<9)
+	add := func(f x86.Flag, bit uint64) {
+		v := b.Arith(rtl.Shl, b.CastU(size, t.flag(f)), b.ImmU(size, bit))
+		word = b.Arith(rtl.Or, word, v)
+	}
+	add(x86.CF, 0)
+	add(x86.PF, 2)
+	add(x86.AF, 4)
+	add(x86.ZF, 6)
+	add(x86.SF, 7)
+	add(x86.DF, 10)
+	add(x86.OF, 11)
+	return word
+}
+
+// convPushf pushes the EFLAGS image.
+func (t *tr) convPushf() error {
+	t.pushVar(t.eflagsWord(t.size))
+	t.fallThrough()
+	return nil
+}
+
+// convPopf pops the EFLAGS image into the tracked flag bits; system bits
+// are ignored (user mode cannot change them).
+func (t *tr) convPopf() error {
+	v := t.popVar(t.size)
+	set := func(f x86.Flag, bit uint) { t.setFlag(f, t.b.BitAt(v, bit)) }
+	set(x86.CF, 0)
+	set(x86.PF, 2)
+	set(x86.AF, 4)
+	set(x86.ZF, 6)
+	set(x86.SF, 7)
+	set(x86.DF, 10)
+	set(x86.OF, 11)
+	t.fallThrough()
+	return nil
+}
+
+// convLeave is ESP := EBP; EBP := pop.
+func (t *tr) convLeave() error {
+	ebp := t.b.Get(machineEBP())
+	t.b.Set(machineESP(), ebp)
+	t.storeReg(x86.EBP, t.popVar(t.size))
+	t.fallThrough()
+	return nil
+}
+
+// convLahf loads AH from the flag image byte: SF ZF 0 AF 0 PF 1 CF.
+func (t *tr) convLahf() error {
+	b := t.b
+	word := b.ImmU(8, 1<<1)
+	add := func(f x86.Flag, bit uint64) {
+		v := b.Arith(rtl.Shl, b.CastU(8, t.flag(f)), b.ImmU(8, bit))
+		word = b.Arith(rtl.Or, word, v)
+	}
+	add(x86.CF, 0)
+	add(x86.PF, 2)
+	add(x86.AF, 4)
+	add(x86.ZF, 6)
+	add(x86.SF, 7)
+	t.storeReg(x86.Reg(4), word) // AH
+	t.fallThrough()
+	return nil
+}
+
+// convSahf stores AH into the low flag byte.
+func (t *tr) convSahf() error {
+	ah := t.loadReg(x86.Reg(4), 8)
+	set := func(f x86.Flag, bit uint) { t.setFlag(f, t.b.BitAt(ah, bit)) }
+	set(x86.CF, 0)
+	set(x86.PF, 2)
+	set(x86.AF, 4)
+	set(x86.ZF, 6)
+	set(x86.SF, 7)
+	t.fallThrough()
+	return nil
+}
+
+// convXlat is AL := DS:[EBX + zero-extend AL].
+func (t *tr) convXlat() error {
+	al := t.loadReg(x86.EAX, 8)
+	ebx := t.b.Get(machineLoc(x86.EBX))
+	ea := t.b.Arith(rtl.Add, ebx, t.b.CastU(32, al))
+	v := t.loadMem(t.segOverridable(x86.DS), ea, 8)
+	t.storeReg(x86.EAX, v)
+	t.fallThrough()
+	return nil
+}
+
+// convCmpxchg compares the accumulator with the destination; on equality
+// the source is stored, otherwise the destination loads the accumulator.
+// Flags are set as by CMP.
+func (t *tr) convCmpxchg() error {
+	b := t.b
+	dst, srcReg := t.inst.Args[0], t.inst.Args[1]
+	acc := t.loadReg(x86.EAX, t.size)
+	old := t.loadOp(dst)
+	src := t.loadOp(srcReg)
+	r := b.Arith(rtl.Sub, acc, old)
+	t.setSubFlags(acc, old, b.Bool(false), r)
+	t.setSZP(r)
+	equal := b.Test(rtl.Eq, acc, old)
+	t.storeOp(dst, b.Mux(equal, src, old))
+	t.storeReg(x86.EAX, b.Mux(equal, acc, old))
+	t.fallThrough()
+	return nil
+}
+
+// convXadd is the exchange-and-add: dst gets dst+src, src register gets
+// the old dst; flags as by ADD.
+func (t *tr) convXadd() error {
+	dst, srcReg := t.inst.Args[0], t.inst.Args[1]
+	old := t.loadOp(dst)
+	src := t.loadOp(srcReg)
+	sum := t.b.Arith(rtl.Add, old, src)
+	t.storeOp(srcReg, old)
+	t.storeOp(dst, sum)
+	t.setAddFlags(old, src, t.b.Bool(false), sum)
+	t.setSZP(sum)
+	t.fallThrough()
+	return nil
+}
+
+// convEnter builds a stack frame: push EBP, set EBP to the new top, and
+// reserve size bytes. Only nesting level 0 (what compilers emit) is
+// modeled; other levels trap.
+func (t *tr) convEnter() error {
+	size := t.inst.Args[0].(x86.Imm).Val
+	level := t.inst.Args[1].(x86.Imm).Val % 32
+	if level != 0 {
+		t.b.Trap("enter: nesting levels not modeled")
+		return nil
+	}
+	ebp := t.b.Get(machineEBP())
+	t.pushVar(ebp)
+	frame := t.b.Get(machineESP())
+	t.b.Set(machineEBP(), frame)
+	newESP := t.b.Arith(rtl.Sub, frame, t.b.ImmU(32, uint64(size)))
+	t.b.Set(machineESP(), newESP)
+	t.fallThrough()
+	return nil
+}
+
+// convCmpxchg8b compares EDX:EAX against a 64-bit memory operand: on
+// equality ZF is set and ECX:EBX is stored; otherwise the operand loads
+// into EDX:EAX. Other flags are untouched (Intel defines only ZF).
+func (t *tr) convCmpxchg8b() error {
+	b := t.b
+	mem := t.inst.Args[0].(x86.MemOp)
+	seg := t.defaultSeg(mem.Addr)
+	ea := t.effAddr(mem.Addr)
+	lo := t.loadMem(seg, ea, 32)
+	hiEA := b.Arith(rtl.Add, ea, b.ImmU(32, 4))
+	hi := t.loadMem(seg, hiEA, 32)
+	eax := b.Get(machineLoc(x86.EAX))
+	edx := b.Get(machineLoc(x86.EDX))
+	eqLo := b.Test(rtl.Eq, lo, eax)
+	eqHi := b.Test(rtl.Eq, hi, edx)
+	equal := b.Arith(rtl.And, eqLo, eqHi)
+	t.setFlag(x86.ZF, equal)
+	ebx := b.Get(machineLoc(x86.EBX))
+	ecx := b.Get(machineLoc(x86.ECX))
+	t.storeMem(seg, ea, b.Mux(equal, ebx, lo))
+	t.storeMem(seg, hiEA, b.Mux(equal, ecx, hi))
+	b.Set(machineLoc(x86.EAX), b.Mux(equal, eax, lo))
+	b.Set(machineLoc(x86.EDX), b.Mux(equal, edx, hi))
+	t.fallThrough()
+	return nil
+}
+
+// convBswap reverses the bytes of a 32-bit register.
+func (t *tr) convBswap() error {
+	b := t.b
+	r := t.inst.Args[0].(x86.RegOp).Reg
+	v := b.Get(machineLoc(r))
+	b0 := b.Arith(rtl.And, v, b.ImmU(32, 0xff))
+	b1 := b.Arith(rtl.And, b.Arith(rtl.ShrU, v, b.ImmU(32, 8)), b.ImmU(32, 0xff))
+	b2 := b.Arith(rtl.And, b.Arith(rtl.ShrU, v, b.ImmU(32, 16)), b.ImmU(32, 0xff))
+	b3 := b.Arith(rtl.ShrU, v, b.ImmU(32, 24))
+	out := b.Arith(rtl.Or,
+		b.Arith(rtl.Or,
+			b.Arith(rtl.Shl, b0, b.ImmU(32, 24)),
+			b.Arith(rtl.Shl, b1, b.ImmU(32, 16))),
+		b.Arith(rtl.Or,
+			b.Arith(rtl.Shl, b2, b.ImmU(32, 8)),
+			b3))
+	b.Set(machineLoc(r), out)
+	t.fallThrough()
+	return nil
+}

@@ -1,0 +1,469 @@
+// Package semantics translates x86 abstract syntax into RTL sequences —
+// the paper's §2.3 "compiler" stage, one conv_* function per instruction.
+// The translation is encapsulated in a builder that allocates fresh local
+// variables; higher-level operations (operand load/store through segments,
+// EFLAGS computation) are built from RTL primitives. Under-specified
+// behavior (undefined flags) is over-approximated with the non-
+// deterministic choose operation, exactly as the paper prescribes.
+package semantics
+
+import (
+	"fmt"
+
+	"rocksalt/internal/bits"
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/machine"
+)
+
+// allOnesVec is the all-ones constant at a given width.
+func allOnesVec(w int) bits.Vec { return bits.AllOnes(w) }
+
+// Translate compiles one decoded instruction into an RTL sequence.
+// pc is the instruction's address and length its encoded size; the
+// sequence updates the PC location (to pc+length for fall-through, or to
+// the branch target).
+func Translate(inst x86.Inst, pc uint32, length int) (prog []rtl.Instr, err error) {
+	defer func() {
+		// The builder panics on width errors; those are translation bugs,
+		// but we surface them as errors so a fuzzer can report them.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("semantics: internal error translating %v: %v", inst, r)
+		}
+	}()
+	t := &tr{
+		b:      rtl.NewBuilder(),
+		inst:   inst,
+		size:   inst.OperandSize(),
+		pc:     pc,
+		length: uint32(length),
+	}
+	if err := t.conv(); err != nil {
+		return nil, err
+	}
+	return t.b.Take(), nil
+}
+
+// machineLoc abbreviates the register location constructor.
+func machineLoc(r x86.Reg) rtl.Loc { return machine.RegLoc(r) }
+
+func machineESP() rtl.Loc { return machine.RegLoc(x86.ESP) }
+func machineEBP() rtl.Loc { return machine.RegLoc(x86.EBP) }
+
+// tr carries the per-instruction translation context.
+type tr struct {
+	b      *rtl.Builder
+	inst   x86.Inst
+	size   int // operand size in bits (8/16/32)
+	pc     uint32
+	length uint32
+}
+
+func (t *tr) nextPC() uint32 { return t.pc + t.length }
+
+// fallthrough writes PC := pc+length, the non-control-flow epilogue
+// (property (3) in the paper's proof for NoControlFlow instructions).
+func (t *tr) fallThrough() {
+	t.b.Set(machine.PCLoc{}, t.b.ImmU(32, uint64(t.nextPC())))
+}
+
+func (t *tr) setPC(target rtl.Var) {
+	t.b.Set(machine.PCLoc{}, t.b.CastU(32, target))
+}
+
+// ---------- Segmented memory access ----------
+
+// defaultSeg returns the default segment for a memory operand: SS when the
+// base register is EBP or ESP, DS otherwise, overridden by a prefix.
+func (t *tr) defaultSeg(a x86.Addr) x86.SegReg {
+	if t.inst.Prefix.Seg != nil {
+		return *t.inst.Prefix.Seg
+	}
+	if a.Base != nil && (*a.Base == x86.EBP || *a.Base == x86.ESP) {
+		return x86.SS
+	}
+	return x86.DS
+}
+
+// segOverridable returns seg unless a prefix overrides it.
+func (t *tr) segOverridable(seg x86.SegReg) x86.SegReg {
+	if t.inst.Prefix.Seg != nil {
+		return *t.inst.Prefix.Seg
+	}
+	return seg
+}
+
+// effAddr computes the effective address (offset within segment). Under
+// a 0x67 prefix the address is computed modulo 2^16, the 8086 wraparound
+// (the component registers contribute only their low halves, which the
+// final truncation subsumes because mod 2^16 is a ring homomorphism).
+func (t *tr) effAddr(a x86.Addr) rtl.Var {
+	ea := t.b.ImmU(32, uint64(a.Disp))
+	if a.Base != nil {
+		ea = t.b.Arith(rtl.Add, ea, t.b.Get(machine.RegLoc(*a.Base)))
+	}
+	if a.Index != nil {
+		idx := t.b.Get(machine.RegLoc(*a.Index))
+		shift := map[x86.Scale]uint64{1: 0, 2: 1, 4: 2, 8: 3}[a.Scale]
+		idx = t.b.Arith(rtl.Shl, idx, t.b.ImmU(32, shift))
+		ea = t.b.Arith(rtl.Add, ea, idx)
+	}
+	if t.inst.Prefix.AddrSize {
+		ea = t.b.CastU(32, t.b.CastU(16, ea))
+	}
+	return ea
+}
+
+// linearize translates a segment offset into a linear address, emitting
+// the limit check (the hardware #GP that the NaCl sandbox relies on) and
+// adding the segment base. size is the access width in bits.
+func (t *tr) linearize(seg x86.SegReg, ea rtl.Var, size int) rtl.Var {
+	// Trap when ea + size/8 - 1 > limit, computed without wraparound in 64
+	// bits.
+	ea64 := t.b.CastU(64, ea)
+	last := t.b.Arith(rtl.Add, ea64, t.b.ImmU(64, uint64(size/8-1)))
+	limit := t.b.CastU(64, t.b.Get(machine.SegLimitLoc(seg)))
+	beyond := t.b.Test(rtl.LtU, limit, last)
+	t.b.TrapIf(beyond, fmt.Sprintf("#GP segment limit violation (%v)", seg))
+	return t.b.Arith(rtl.Add, ea, t.b.Get(machine.SegBaseLoc(seg)))
+}
+
+// loadMem loads size bits from seg:ea.
+func (t *tr) loadMem(seg x86.SegReg, ea rtl.Var, size int) rtl.Var {
+	lin := t.linearize(seg, ea, size)
+	return t.b.LoadBytes(size, lin)
+}
+
+// storeMem stores v at seg:ea.
+func (t *tr) storeMem(seg x86.SegReg, ea, v rtl.Var) {
+	lin := t.linearize(seg, ea, t.b.WidthOf(v))
+	t.b.StoreBytes(lin, v)
+}
+
+// ---------- Register access with x86 sub-register rules ----------
+
+// loadReg reads an operand-sized view of a register: full 32 bits, the
+// low 16, or the 8-bit bank where codes 4..7 address AH/CH/DH/BH.
+func (t *tr) loadReg(r x86.Reg, size int) rtl.Var {
+	switch size {
+	case 32:
+		return t.b.Get(machine.RegLoc(r))
+	case 16:
+		return t.b.CastU(16, t.b.Get(machine.RegLoc(r)))
+	case 8:
+		if r >= 4 { // AH CH DH BH: bits 8..15 of regs 0..3
+			full := t.b.Get(machine.RegLoc(r - 4))
+			sh := t.b.Arith(rtl.ShrU, full, t.b.ImmU(32, 8))
+			return t.b.CastU(8, sh)
+		}
+		return t.b.CastU(8, t.b.Get(machine.RegLoc(r)))
+	default:
+		panic(fmt.Sprintf("semantics: bad register size %d", size))
+	}
+}
+
+// storeReg writes an operand-sized view of a register, preserving the
+// untouched bits (x86 partial-register semantics).
+func (t *tr) storeReg(r x86.Reg, v rtl.Var) {
+	size := t.b.WidthOf(v)
+	switch size {
+	case 32:
+		t.b.Set(machine.RegLoc(r), v)
+	case 16:
+		full := t.b.Get(machine.RegLoc(r))
+		hi := t.b.Arith(rtl.And, full, t.b.ImmU(32, 0xffff0000))
+		merged := t.b.Arith(rtl.Or, hi, t.b.CastU(32, v))
+		t.b.Set(machine.RegLoc(r), merged)
+	case 8:
+		target, shift := r, uint64(0)
+		if r >= 4 {
+			target, shift = r-4, 8
+		}
+		full := t.b.Get(machine.RegLoc(target))
+		mask := uint64(0xff) << shift
+		cleared := t.b.Arith(rtl.And, full, t.b.ImmU(32, ^mask))
+		wide := t.b.Arith(rtl.Shl, t.b.CastU(32, v), t.b.ImmU(32, shift))
+		t.b.Set(machine.RegLoc(target), t.b.Arith(rtl.Or, cleared, wide))
+	default:
+		panic(fmt.Sprintf("semantics: bad register store size %d", size))
+	}
+}
+
+// ---------- Operand load/store (the paper's load_op / set_op) ----------
+
+// loadOp fetches an operand at the instruction's operand size.
+func (t *tr) loadOp(op x86.Operand) rtl.Var {
+	return t.loadOpSized(op, t.size)
+}
+
+func (t *tr) loadOpSized(op x86.Operand, size int) rtl.Var {
+	switch o := op.(type) {
+	case x86.Imm:
+		return t.b.ImmU(size, uint64(o.Val)&(1<<uint(size)-1))
+	case x86.RegOp:
+		return t.loadReg(o.Reg, size)
+	case x86.MemOp:
+		return t.loadMem(t.defaultSeg(o.Addr), t.effAddr(o.Addr), size)
+	case x86.OffOp:
+		ea := t.b.ImmU(32, uint64(o.Off))
+		return t.loadMem(t.segOverridable(x86.DS), ea, size)
+	case x86.SegOp:
+		return t.b.CastU(size, t.b.Get(machine.SegSelLoc(o.Seg)))
+	default:
+		panic(fmt.Sprintf("semantics: cannot load operand %v", op))
+	}
+}
+
+// storeOp writes v to an operand destination.
+func (t *tr) storeOp(op x86.Operand, v rtl.Var) {
+	switch o := op.(type) {
+	case x86.RegOp:
+		t.storeReg(o.Reg, v)
+	case x86.MemOp:
+		t.storeMem(t.defaultSeg(o.Addr), t.effAddr(o.Addr), v)
+	case x86.OffOp:
+		ea := t.b.ImmU(32, uint64(o.Off))
+		t.storeMem(t.segOverridable(x86.DS), ea, v)
+	case x86.SegOp:
+		// Loading a segment register updates the selector. The model has
+		// no descriptor tables, so base and limit are unchanged; the
+		// sandbox safety property is falsified by the selector change
+		// alone, which is what the checker must rule out.
+		t.b.Set(machine.SegSelLoc(o.Seg), t.b.CastU(16, v))
+	default:
+		panic(fmt.Sprintf("semantics: cannot store operand %v", op))
+	}
+}
+
+// ---------- Flags ----------
+
+func (t *tr) flag(f x86.Flag) rtl.Var       { return t.b.Get(machine.FlagLoc(f)) }
+func (t *tr) setFlag(f x86.Flag, v rtl.Var) { t.b.Set(machine.FlagLoc(f), t.b.CastU(1, v)) }
+
+// chooseFlag models an undefined flag result (§2.3: "we use the choose
+// operation, which non-deterministically selects a bit-vector value").
+func (t *tr) chooseFlag(f x86.Flag) { t.setFlag(f, t.b.Choose(1)) }
+
+// parity computes the even-parity bit of the low byte of v: the xor-fold
+// of bits 0..7, complemented.
+func (t *tr) parity(v rtl.Var) rtl.Var {
+	low := t.b.CastU(8, v)
+	acc := t.b.CastU(1, low)
+	for i := uint(1); i < 8; i++ {
+		acc = t.b.Arith(rtl.Xor, acc, t.b.BitAt(low, i))
+	}
+	return t.b.Not1(acc)
+}
+
+// setSZP sets SF, ZF, PF from a result.
+func (t *tr) setSZP(r rtl.Var) {
+	t.setFlag(x86.SF, t.b.MSB(r))
+	t.setFlag(x86.ZF, t.b.IsZero(r))
+	t.setFlag(x86.PF, t.parity(r))
+}
+
+// setAddFlags computes CF/OF/AF for r = a + b + carry (carry is a 1-bit
+// variable or the zero constant). The OF computation follows the paper's
+// Figure 4 xor dance.
+func (t *tr) setAddFlags(a, b, carry, r rtl.Var) {
+	size := t.b.WidthOf(a)
+	// Carry out, computed in size+1 bits when possible (size+1 <= 64).
+	wa := t.b.CastU(size+1, a)
+	wb := t.b.CastU(size+1, b)
+	wc := t.b.CastU(size+1, carry)
+	sum := t.b.Arith(rtl.Add, t.b.Arith(rtl.Add, wa, wb), wc)
+	t.setFlag(x86.CF, t.b.BitAt(sum, uint(size)))
+	// Overflow: Figure 4's xor dance with up = 1 (addition).
+	up := t.b.Bool(true)
+	b0 := t.b.Test(rtl.LtS, a, t.b.ImmU(size, 0))
+	b1 := t.b.Test(rtl.LtS, b, t.b.ImmU(size, 0))
+	b2 := t.b.Test(rtl.LtS, r, t.b.ImmU(size, 0))
+	b3 := t.b.Arith(rtl.Xor, b0, b1)
+	b3 = t.b.Arith(rtl.Xor, up, b3)
+	b4 := t.b.Arith(rtl.Xor, b0, b2)
+	b4 = t.b.Arith(rtl.And, b3, b4)
+	t.setFlag(x86.OF, b4)
+	// Auxiliary carry: bit 4 of a^b^r (carry-in folded through sum).
+	ax := t.b.Arith(rtl.Xor, a, b)
+	ax = t.b.Arith(rtl.Xor, ax, r)
+	t.setFlag(x86.AF, t.b.BitAt(ax, 4))
+}
+
+// setSubFlags computes CF/OF/AF for r = a - b - borrow.
+func (t *tr) setSubFlags(a, b, borrow, r rtl.Var) {
+	size := t.b.WidthOf(a)
+	wa := t.b.CastU(size+1, a)
+	wb := t.b.CastU(size+1, b)
+	wc := t.b.CastU(size+1, borrow)
+	diff := t.b.Arith(rtl.Sub, t.b.Arith(rtl.Sub, wa, wb), wc)
+	t.setFlag(x86.CF, t.b.BitAt(diff, uint(size)))
+	// Overflow for subtraction: signs differ and result sign != a's sign.
+	b0 := t.b.Test(rtl.LtS, a, t.b.ImmU(size, 0))
+	b1 := t.b.Test(rtl.LtS, b, t.b.ImmU(size, 0))
+	b2 := t.b.Test(rtl.LtS, r, t.b.ImmU(size, 0))
+	signsDiffer := t.b.Arith(rtl.Xor, b0, b1)
+	resDiffers := t.b.Arith(rtl.Xor, b0, b2)
+	t.setFlag(x86.OF, t.b.Arith(rtl.And, signsDiffer, resDiffers))
+	ax := t.b.Arith(rtl.Xor, a, b)
+	ax = t.b.Arith(rtl.Xor, ax, r)
+	t.setFlag(x86.AF, t.b.BitAt(ax, 4))
+}
+
+// setLogicFlags implements the AND/OR/XOR/TEST flag behavior: CF=OF=0,
+// SZP from the result, AF undefined.
+func (t *tr) setLogicFlags(r rtl.Var) {
+	t.setFlag(x86.CF, t.b.Bool(false))
+	t.setFlag(x86.OF, t.b.Bool(false))
+	t.chooseFlag(x86.AF)
+	t.setSZP(r)
+}
+
+// cond evaluates a condition code from the flags, per the tttn table.
+func (t *tr) cond(c x86.Cond) rtl.Var {
+	b := t.b
+	base := func() rtl.Var {
+		switch c &^ 1 { // even variant
+		case x86.CondO:
+			return t.flag(x86.OF)
+		case x86.CondB:
+			return t.flag(x86.CF)
+		case x86.CondE:
+			return t.flag(x86.ZF)
+		case x86.CondBE:
+			return b.Arith(rtl.Or, t.flag(x86.CF), t.flag(x86.ZF))
+		case x86.CondS:
+			return t.flag(x86.SF)
+		case x86.CondP:
+			return t.flag(x86.PF)
+		case x86.CondL:
+			return b.Arith(rtl.Xor, t.flag(x86.SF), t.flag(x86.OF))
+		case x86.CondLE:
+			lt := b.Arith(rtl.Xor, t.flag(x86.SF), t.flag(x86.OF))
+			return b.Arith(rtl.Or, t.flag(x86.ZF), lt)
+		default:
+			panic("semantics: bad condition")
+		}
+	}()
+	if c&1 == 1 { // odd codes negate
+		return b.Not1(base)
+	}
+	return base
+}
+
+// conv dispatches to the per-instruction translation.
+func (t *tr) conv() error {
+	i := t.inst
+	switch i.Op {
+	case x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.CMP,
+		x86.AND, x86.OR, x86.XOR, x86.TEST:
+		return t.convBinArith()
+	case x86.INC, x86.DEC:
+		return t.convIncDec()
+	case x86.NEG:
+		return t.convNeg()
+	case x86.NOT:
+		return t.convNot()
+	case x86.MUL, x86.IMUL:
+		return t.convMul()
+	case x86.DIV, x86.IDIV:
+		return t.convDiv()
+	case x86.MOV:
+		return t.convMov()
+	case x86.MOVZX, x86.MOVSX:
+		return t.convMovX()
+	case x86.LEA:
+		return t.convLea()
+	case x86.XCHG:
+		return t.convXchg()
+	case x86.CMOVcc:
+		return t.convCmov()
+	case x86.SETcc:
+		return t.convSetcc()
+	case x86.PUSH:
+		return t.convPush()
+	case x86.POP:
+		return t.convPop()
+	case x86.PUSHA:
+		return t.convPusha()
+	case x86.POPA:
+		return t.convPopa()
+	case x86.PUSHF:
+		return t.convPushf()
+	case x86.POPF:
+		return t.convPopf()
+	case x86.LEAVE:
+		return t.convLeave()
+	case x86.LAHF:
+		return t.convLahf()
+	case x86.SAHF:
+		return t.convSahf()
+	case x86.CWDE:
+		return t.convCwde()
+	case x86.CDQ:
+		return t.convCdq()
+	case x86.NOP:
+		t.fallThrough()
+		return nil
+	case x86.CLC, x86.STC, x86.CMC, x86.CLD, x86.STD:
+		return t.convFlagOp()
+	case x86.ROL, x86.ROR, x86.RCL, x86.RCR, x86.SHL, x86.SHR, x86.SAR:
+		return t.convShift()
+	case x86.SHLD, x86.SHRD:
+		return t.convShiftD()
+	case x86.BT, x86.BTS, x86.BTR, x86.BTC:
+		return t.convBitTest()
+	case x86.BSF, x86.BSR:
+		return t.convBitScan()
+	case x86.BSWAP:
+		return t.convBswap()
+	case x86.CMPXCHG:
+		return t.convCmpxchg()
+	case x86.XADD:
+		return t.convXadd()
+	case x86.XLAT:
+		return t.convXlat()
+	case x86.JMP, x86.CALL:
+		return t.convJmpCall()
+	case x86.Jcc:
+		return t.convJcc()
+	case x86.JCXZ:
+		return t.convJcxz()
+	case x86.LOOP, x86.LOOPZ, x86.LOOPNZ:
+		return t.convLoop()
+	case x86.RET:
+		return t.convRet()
+	case x86.MOVS, x86.STOS, x86.LODS, x86.SCAS, x86.CMPS:
+		return t.convString()
+	case x86.AAA, x86.AAS, x86.AAD, x86.AAM, x86.DAA, x86.DAS:
+		return t.convDecimal()
+	case x86.ENTER:
+		return t.convEnter()
+	case x86.CMPXCHG8B:
+		return t.convCmpxchg8b()
+	case x86.RDTSC:
+		// The timestamp counter is outside the model: its value is
+		// non-deterministic (an oracle read), like undefined flags.
+		t.b.Set(machineLoc(x86.EAX), t.b.Choose(32))
+		t.b.Set(machineLoc(x86.EDX), t.b.Choose(32))
+		t.fallThrough()
+		return nil
+	case x86.CPUID:
+		for _, r := range []x86.Reg{x86.EAX, x86.EBX, x86.ECX, x86.EDX} {
+			t.b.Set(machineLoc(r), t.b.Choose(32))
+		}
+		t.fallThrough()
+		return nil
+	case x86.UD2:
+		t.b.Trap("#UD undefined instruction")
+		return nil
+	case x86.HLT, x86.INT, x86.INT3, x86.INTO, x86.IRET,
+		x86.IN, x86.OUT, x86.INS, x86.OUTS, x86.BOUND,
+		x86.LDS, x86.LES, x86.LSS, x86.LFS, x86.LGS:
+		// Outside the modeled user-mode fragment: these fault. The
+		// checker must (and does) reject them.
+		t.b.Trap(fmt.Sprintf("unsupported instruction %v", i.Op))
+		return nil
+	default:
+		return fmt.Errorf("semantics: no translation for %v", i.Op)
+	}
+}

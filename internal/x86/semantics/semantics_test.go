@@ -1,0 +1,621 @@
+package semantics_test
+
+import (
+	"testing"
+
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/machine"
+	"rocksalt/internal/x86/semantics"
+)
+
+// exec translates and runs one instruction on a fresh flat-segment state,
+// returning the state. Registers and flags may be preset via mut.
+func exec(t *testing.T, inst x86.Inst, length int, mut func(*machine.State)) *machine.State {
+	t.Helper()
+	st := machine.New()
+	if mut != nil {
+		mut(st)
+	}
+	prog, err := semantics.Translate(inst, 0x1000, length)
+	if err != nil {
+		t.Fatalf("translate %v: %v", inst, err)
+	}
+	if err := rtl.Exec(prog, rtl.NewState(st, nil)); err != nil {
+		t.Fatalf("exec %v: %v", inst, err)
+	}
+	return st
+}
+
+func reg(r x86.Reg) x86.Operand { return x86.RegOp{Reg: r} }
+func imm(v uint32) x86.Operand  { return x86.Imm{Val: v} }
+
+func TestAddFlags(t *testing.T) {
+	cases := []struct {
+		a, b                   uint32
+		cf, zf, sf, of, af, pf bool
+	}{
+		{1, 2, false, false, false, false, false, true},
+		{0xffffffff, 1, true, true, false, false, true, true},
+		{0x7fffffff, 1, false, false, true, true, true, true},
+		{0x80000000, 0x80000000, true, true, false, true, false, true},
+		{0, 0, false, true, false, false, false, true},
+		{0x0f, 0x01, false, false, false, false, true, false},
+	}
+	for _, c := range cases {
+		st := exec(t, x86.Inst{Op: x86.ADD, W: true, Args: []x86.Operand{reg(x86.EAX), imm(c.b)}}, 5,
+			func(s *machine.State) { s.Regs[x86.EAX] = c.a })
+		if st.Regs[x86.EAX] != c.a+c.b {
+			t.Errorf("add(%#x,%#x) = %#x", c.a, c.b, st.Regs[x86.EAX])
+		}
+		got := [6]bool{st.Flags[x86.CF], st.Flags[x86.ZF], st.Flags[x86.SF],
+			st.Flags[x86.OF], st.Flags[x86.AF], st.Flags[x86.PF]}
+		want := [6]bool{c.cf, c.zf, c.sf, c.of, c.af, c.pf}
+		if got != want {
+			t.Errorf("add(%#x,%#x) flags CF/ZF/SF/OF/AF/PF = %v, want %v", c.a, c.b, got, want)
+		}
+		if st.PC != 0x1005 {
+			t.Errorf("PC after add = %#x", st.PC)
+		}
+	}
+}
+
+func TestSubCmpFlags(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.CMP, W: true, Args: []x86.Operand{reg(x86.EAX), imm(5)}}, 3,
+		func(s *machine.State) { s.Regs[x86.EAX] = 3 })
+	if !st.Flags[x86.CF] || !st.Flags[x86.SF] || st.Flags[x86.ZF] || st.Flags[x86.OF] {
+		t.Error("3 cmp 5: borrow and sign expected")
+	}
+	if st.Regs[x86.EAX] != 3 {
+		t.Error("cmp must not write its destination")
+	}
+	// Signed overflow: min-int minus 1.
+	st = exec(t, x86.Inst{Op: x86.SUB, W: true, Args: []x86.Operand{reg(x86.EAX), imm(1)}}, 3,
+		func(s *machine.State) { s.Regs[x86.EAX] = 0x80000000 })
+	if !st.Flags[x86.OF] || st.Flags[x86.CF] {
+		t.Error("min-int - 1 must set OF, not CF")
+	}
+}
+
+func TestAdcSbbUseCarry(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.ADC, W: true, Args: []x86.Operand{reg(x86.EAX), imm(0)}}, 3,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 5
+			s.Flags[x86.CF] = true
+		})
+	if st.Regs[x86.EAX] != 6 {
+		t.Errorf("adc with carry = %d", st.Regs[x86.EAX])
+	}
+	st = exec(t, x86.Inst{Op: x86.SBB, W: true, Args: []x86.Operand{reg(x86.EAX), imm(0)}}, 3,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 5
+			s.Flags[x86.CF] = true
+		})
+	if st.Regs[x86.EAX] != 4 {
+		t.Errorf("sbb with borrow = %d", st.Regs[x86.EAX])
+	}
+}
+
+func TestIncPreservesCF(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.INC, W: true, Args: []x86.Operand{reg(x86.EBX)}}, 1,
+		func(s *machine.State) {
+			s.Regs[x86.EBX] = 0xffffffff
+			s.Flags[x86.CF] = true
+		})
+	if st.Regs[x86.EBX] != 0 || !st.Flags[x86.ZF] {
+		t.Error("inc wrap wrong")
+	}
+	if !st.Flags[x86.CF] {
+		t.Error("inc must preserve CF")
+	}
+}
+
+func TestPartialRegisterWrites(t *testing.T) {
+	// mov ah, 0x12 must touch only bits 8..15 of EAX.
+	st := exec(t, x86.Inst{Op: x86.MOV, W: false, Args: []x86.Operand{reg(x86.Reg(4)), imm(0x12)}}, 2,
+		func(s *machine.State) { s.Regs[x86.EAX] = 0xaabbccdd })
+	if st.Regs[x86.EAX] != 0xaabb12dd {
+		t.Errorf("mov ah: eax = %#x", st.Regs[x86.EAX])
+	}
+	// mov al only low byte.
+	st = exec(t, x86.Inst{Op: x86.MOV, W: false, Args: []x86.Operand{reg(x86.EAX), imm(0x34)}}, 2,
+		func(s *machine.State) { s.Regs[x86.EAX] = 0xaabbccdd })
+	if st.Regs[x86.EAX] != 0xaabbcc34 {
+		t.Errorf("mov al: eax = %#x", st.Regs[x86.EAX])
+	}
+	// 16-bit write preserves the top half.
+	st = exec(t, x86.Inst{Op: x86.MOV, W: true, Prefix: x86.Prefix{OpSize: true},
+		Args: []x86.Operand{reg(x86.EAX), imm(0x1234)}}, 4,
+		func(s *machine.State) { s.Regs[x86.EAX] = 0xaabbccdd })
+	if st.Regs[x86.EAX] != 0xaabb1234 {
+		t.Errorf("mov ax: eax = %#x", st.Regs[x86.EAX])
+	}
+}
+
+func TestMulWidening(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.MUL, W: true, Args: []x86.Operand{reg(x86.EBX)}}, 2,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 0x10000000
+			s.Regs[x86.EBX] = 0x100
+		})
+	if st.Regs[x86.EAX] != 0 || st.Regs[x86.EDX] != 0x10 {
+		t.Errorf("mul: edx:eax = %#x:%#x", st.Regs[x86.EDX], st.Regs[x86.EAX])
+	}
+	if !st.Flags[x86.CF] || !st.Flags[x86.OF] {
+		t.Error("mul with significant high half must set CF/OF")
+	}
+	// 8-bit: AX = AL * r/m8.
+	st = exec(t, x86.Inst{Op: x86.MUL, W: false, Args: []x86.Operand{reg(x86.EBX)}}, 2,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 0xff // AL
+			s.Regs[x86.EBX] = 0xff // BL
+		})
+	if st.Regs[x86.EAX]&0xffff != 0xfe01 {
+		t.Errorf("8-bit mul: ax = %#x", st.Regs[x86.EAX]&0xffff)
+	}
+}
+
+func TestImulSignedness(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.IMUL, W: true,
+		Args: []x86.Operand{reg(x86.EAX), reg(x86.EBX), imm(0xffffffff)}}, 3, // eax = ebx * -1
+		func(s *machine.State) { s.Regs[x86.EBX] = 5 })
+	if int32(st.Regs[x86.EAX]) != -5 {
+		t.Errorf("imul: %d", int32(st.Regs[x86.EAX]))
+	}
+	if st.Flags[x86.CF] || st.Flags[x86.OF] {
+		t.Error("no overflow expected")
+	}
+}
+
+func TestDivQuotientRemainder(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.DIV, W: true, Args: []x86.Operand{reg(x86.EBX)}}, 2,
+		func(s *machine.State) {
+			s.Regs[x86.EDX] = 0
+			s.Regs[x86.EAX] = 100
+			s.Regs[x86.EBX] = 7
+		})
+	if st.Regs[x86.EAX] != 14 || st.Regs[x86.EDX] != 2 {
+		t.Errorf("div: q=%d r=%d", st.Regs[x86.EAX], st.Regs[x86.EDX])
+	}
+	// Signed division with negative dividend.
+	st = exec(t, x86.Inst{Op: x86.IDIV, W: true, Args: []x86.Operand{reg(x86.EBX)}}, 2,
+		func(s *machine.State) {
+			s.Regs[x86.EDX] = 0xffffffff
+			s.Regs[x86.EAX] = 0xffffff9c // -100
+			s.Regs[x86.EBX] = 7
+		})
+	if int32(st.Regs[x86.EAX]) != -14 || int32(st.Regs[x86.EDX]) != -2 {
+		t.Errorf("idiv: q=%d r=%d", int32(st.Regs[x86.EAX]), int32(st.Regs[x86.EDX]))
+	}
+}
+
+func TestDivOverflowTraps(t *testing.T) {
+	prog, err := semantics.Translate(
+		x86.Inst{Op: x86.DIV, W: true, Args: []x86.Operand{reg(x86.EBX)}}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := machine.New()
+	st.Regs[x86.EDX] = 5 // dividend 5 * 2^32 + ...: quotient overflows
+	st.Regs[x86.EBX] = 2
+	if err := rtl.Exec(prog, rtl.NewState(st, nil)); err == nil {
+		t.Fatal("quotient overflow must trap")
+	}
+}
+
+func TestShiftFlagBehavior(t *testing.T) {
+	// Count 0 leaves flags alone.
+	st := exec(t, x86.Inst{Op: x86.SHL, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.ECX)}}, 2,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 0xff
+			s.Regs[x86.ECX] = 0
+			s.Flags[x86.CF] = true
+			s.Flags[x86.ZF] = true
+		})
+	if !st.Flags[x86.CF] || !st.Flags[x86.ZF] || st.Regs[x86.EAX] != 0xff {
+		t.Error("zero-count shift must be a no-op")
+	}
+	// SHL 1 of the MSB sets CF.
+	st = exec(t, x86.Inst{Op: x86.SHL, W: true, Args: []x86.Operand{reg(x86.EAX), imm(1)}}, 3,
+		func(s *machine.State) { s.Regs[x86.EAX] = 0x80000000 })
+	if !st.Flags[x86.CF] || st.Regs[x86.EAX] != 0 || !st.Flags[x86.ZF] {
+		t.Error("shl msb out wrong")
+	}
+	// SAR keeps sign.
+	st = exec(t, x86.Inst{Op: x86.SAR, W: true, Args: []x86.Operand{reg(x86.EAX), imm(4)}}, 3,
+		func(s *machine.State) { s.Regs[x86.EAX] = 0x80000000 })
+	if st.Regs[x86.EAX] != 0xf8000000 {
+		t.Errorf("sar = %#x", st.Regs[x86.EAX])
+	}
+}
+
+func TestRotateThroughCarry(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.RCL, W: false, Args: []x86.Operand{reg(x86.EAX), imm(1)}}, 3,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 0x80
+			s.Flags[x86.CF] = false
+		})
+	if st.Regs[x86.EAX]&0xff != 0 || !st.Flags[x86.CF] {
+		t.Errorf("rcl: al=%#x cf=%v", st.Regs[x86.EAX]&0xff, st.Flags[x86.CF])
+	}
+	st = exec(t, x86.Inst{Op: x86.RCR, W: false, Args: []x86.Operand{reg(x86.EAX), imm(1)}}, 3,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 0x01
+			s.Flags[x86.CF] = true
+		})
+	if st.Regs[x86.EAX]&0xff != 0x80 || !st.Flags[x86.CF] {
+		t.Errorf("rcr: al=%#x cf=%v", st.Regs[x86.EAX]&0xff, st.Flags[x86.CF])
+	}
+}
+
+func TestBitScan(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.BSF, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.EBX)}}, 3,
+		func(s *machine.State) { s.Regs[x86.EBX] = 0x00f00000 })
+	if st.Regs[x86.EAX] != 20 || st.Flags[x86.ZF] {
+		t.Errorf("bsf = %d", st.Regs[x86.EAX])
+	}
+	st = exec(t, x86.Inst{Op: x86.BSR, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.EBX)}}, 3,
+		func(s *machine.State) { s.Regs[x86.EBX] = 0x00f00000 })
+	if st.Regs[x86.EAX] != 23 || st.Flags[x86.ZF] {
+		t.Errorf("bsr = %d", st.Regs[x86.EAX])
+	}
+	st = exec(t, x86.Inst{Op: x86.BSF, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.EBX)}}, 3, nil)
+	if !st.Flags[x86.ZF] {
+		t.Error("bsf of zero sets ZF")
+	}
+}
+
+func TestCmpxchg(t *testing.T) {
+	// Equal: ZF set, destination gets the source.
+	st := exec(t, x86.Inst{Op: x86.CMPXCHG, W: true, Args: []x86.Operand{reg(x86.EBX), reg(x86.ECX)}}, 3,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 7
+			s.Regs[x86.EBX] = 7
+			s.Regs[x86.ECX] = 99
+		})
+	if st.Regs[x86.EBX] != 99 || !st.Flags[x86.ZF] {
+		t.Error("cmpxchg equal case wrong")
+	}
+	// Unequal: accumulator loads destination.
+	st = exec(t, x86.Inst{Op: x86.CMPXCHG, W: true, Args: []x86.Operand{reg(x86.EBX), reg(x86.ECX)}}, 3,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 1
+			s.Regs[x86.EBX] = 7
+			s.Regs[x86.ECX] = 99
+		})
+	if st.Regs[x86.EAX] != 7 || st.Regs[x86.EBX] != 7 || st.Flags[x86.ZF] {
+		t.Error("cmpxchg unequal case wrong")
+	}
+}
+
+func TestLahfSahfRoundTrip(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.LAHF}, 1, func(s *machine.State) {
+		s.Flags[x86.CF] = true
+		s.Flags[x86.ZF] = true
+		s.Flags[x86.SF] = false
+		s.Flags[x86.PF] = true
+		s.Flags[x86.AF] = false
+	})
+	ah := st.Regs[x86.EAX] >> 8 & 0xff
+	if ah != 0b01000111 {
+		t.Fatalf("lahf ah = %#b", ah)
+	}
+	st2 := exec(t, x86.Inst{Op: x86.SAHF}, 1, func(s *machine.State) {
+		s.Regs[x86.EAX] = ah << 8
+	})
+	if !st2.Flags[x86.CF] || !st2.Flags[x86.ZF] || st2.Flags[x86.SF] || !st2.Flags[x86.PF] || st2.Flags[x86.AF] {
+		t.Fatal("sahf did not restore flags")
+	}
+}
+
+func TestConditionCodes(t *testing.T) {
+	// setl: SF != OF.
+	st := exec(t, x86.Inst{Op: x86.SETcc, Cond: x86.CondL, Args: []x86.Operand{reg(x86.EAX)}}, 3,
+		func(s *machine.State) {
+			s.Flags[x86.SF] = true
+			s.Flags[x86.OF] = false
+		})
+	if st.Regs[x86.EAX]&0xff != 1 {
+		t.Error("setl must set AL when SF!=OF")
+	}
+	// setnle: !(ZF || SF != OF).
+	st = exec(t, x86.Inst{Op: x86.SETcc, Cond: x86.CondNLE, Args: []x86.Operand{reg(x86.EAX)}}, 3,
+		func(s *machine.State) {
+			s.Flags[x86.ZF] = false
+			s.Flags[x86.SF] = true
+			s.Flags[x86.OF] = true
+		})
+	if st.Regs[x86.EAX]&0xff != 1 {
+		t.Error("setnle wrong")
+	}
+	// setbe: CF || ZF.
+	st = exec(t, x86.Inst{Op: x86.SETcc, Cond: x86.CondBE, Args: []x86.Operand{reg(x86.EAX)}}, 3,
+		func(s *machine.State) { s.Flags[x86.CF] = true })
+	if st.Regs[x86.EAX]&0xff != 1 {
+		t.Error("setbe wrong")
+	}
+}
+
+func TestDecimalAdjust(t *testing.T) {
+	// DAA: 0x0f + packed adjust -> 0x15.
+	st := exec(t, x86.Inst{Op: x86.DAA}, 1, func(s *machine.State) {
+		s.Regs[x86.EAX] = 0x0f
+	})
+	if st.Regs[x86.EAX]&0xff != 0x15 || !st.Flags[x86.AF] {
+		t.Errorf("daa(0x0f) = %#x af=%v", st.Regs[x86.EAX]&0xff, st.Flags[x86.AF])
+	}
+	// AAM splits AL by base 10.
+	st = exec(t, x86.Inst{Op: x86.AAM, Args: []x86.Operand{imm(10)}}, 2, func(s *machine.State) {
+		s.Regs[x86.EAX] = 47
+	})
+	if st.Regs[x86.EAX]&0xff != 7 || st.Regs[x86.EAX]>>8&0xff != 4 {
+		t.Errorf("aam(47) ah:al = %#x", st.Regs[x86.EAX]&0xffff)
+	}
+	// AAD recombines.
+	st = exec(t, x86.Inst{Op: x86.AAD, Args: []x86.Operand{imm(10)}}, 2, func(s *machine.State) {
+		s.Regs[x86.EAX] = 0x0407 // AH=4 AL=7
+	})
+	if st.Regs[x86.EAX]&0xffff != 47 {
+		t.Errorf("aad = %d", st.Regs[x86.EAX]&0xffff)
+	}
+}
+
+func TestSegmentOverridePicksSegment(t *testing.T) {
+	fs := x86.FS
+	st := machine.New()
+	st.SegBase[x86.FS] = 0x5000
+	st.Mem.Store(0x5010, 0x77)
+	inst := x86.Inst{Op: x86.MOV, W: false, Prefix: x86.Prefix{Seg: &fs},
+		Args: []x86.Operand{reg(x86.EAX), x86.MemOp{Addr: x86.Addr{Disp: 0x10}}}}
+	prog, err := semantics.Translate(inst, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtl.Exec(prog, rtl.NewState(st, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[x86.EAX]&0xff != 0x77 {
+		t.Fatalf("fs override ignored: al=%#x", st.Regs[x86.EAX]&0xff)
+	}
+}
+
+func TestEBPDefaultsToStackSegment(t *testing.T) {
+	ebp := x86.EBP
+	st := machine.New()
+	st.SegBase[x86.SS] = 0x9000
+	st.Regs[x86.EBP] = 0x10
+	st.Mem.Store(0x9010, 0x55)
+	inst := x86.Inst{Op: x86.MOV, W: false,
+		Args: []x86.Operand{reg(x86.EAX), x86.MemOp{Addr: x86.Addr{Base: &ebp}}}}
+	prog, err := semantics.Translate(inst, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtl.Exec(prog, rtl.NewState(st, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[x86.EAX]&0xff != 0x55 {
+		t.Fatal("EBP-based access must default to SS")
+	}
+}
+
+func TestUnsupportedInstructionsTrap(t *testing.T) {
+	for _, op := range []x86.Op{x86.HLT, x86.INT3, x86.IN, x86.OUT, x86.IRET} {
+		inst := x86.Inst{Op: op, W: true}
+		if op == x86.IN || op == x86.OUT {
+			inst.Args = []x86.Operand{reg(x86.EAX), reg(x86.EDX)}
+		}
+		prog, err := semantics.Translate(inst, 0, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if err := rtl.Exec(prog, rtl.NewState(machine.New(), nil)); err == nil {
+			t.Errorf("%v must trap", op)
+		}
+	}
+}
+
+func TestPushEsp(t *testing.T) {
+	// PUSH ESP pushes the pre-decrement value.
+	st := exec(t, x86.Inst{Op: x86.PUSH, W: true, Args: []x86.Operand{reg(x86.ESP)}}, 1,
+		func(s *machine.State) { s.Regs[x86.ESP] = 0x100 })
+	if st.Regs[x86.ESP] != 0xfc {
+		t.Fatalf("esp after push = %#x", st.Regs[x86.ESP])
+	}
+	got := uint32(st.Mem.Load(0xfc)) | uint32(st.Mem.Load(0xfd))<<8 |
+		uint32(st.Mem.Load(0xfe))<<16 | uint32(st.Mem.Load(0xff))<<24
+	if got != 0x100 {
+		t.Fatalf("pushed value = %#x, want pre-decrement 0x100", got)
+	}
+}
+
+func TestRTLOpCountPerInstruction(t *testing.T) {
+	// The design-note metric: translations are small RTL terms.
+	prog, err := semantics.Translate(
+		x86.Inst{Op: x86.ADD, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.EBX)}}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) == 0 || len(prog) > 120 {
+		t.Fatalf("conv_ADD emits %d RTL ops; expected a small term", len(prog))
+	}
+}
+
+func TestEnter(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.ENTER, W: true,
+		Args: []x86.Operand{imm(0x20), imm(0)}}, 4,
+		func(s *machine.State) {
+			s.Regs[x86.ESP] = 0x1000
+			s.Regs[x86.EBP] = 0xaabbccdd
+		})
+	if st.Regs[x86.EBP] != 0xffc {
+		t.Fatalf("ebp = %#x, want 0xffc", st.Regs[x86.EBP])
+	}
+	if st.Regs[x86.ESP] != 0xffc-0x20 {
+		t.Fatalf("esp = %#x", st.Regs[x86.ESP])
+	}
+	// The old EBP was pushed.
+	got := st.Mem.ReadBytes(0xffc, 4)
+	if got[0] != 0xdd || got[3] != 0xaa {
+		t.Fatalf("saved ebp = % x", got)
+	}
+	// Nesting levels trap.
+	prog, err := semantics.Translate(x86.Inst{Op: x86.ENTER, W: true,
+		Args: []x86.Operand{imm(0), imm(1)}}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtl.Exec(prog, rtl.NewState(machine.New(), nil)); err == nil {
+		t.Fatal("enter with nesting must trap")
+	}
+}
+
+func TestCmpxchg8b(t *testing.T) {
+	// Equal case: memory gets ECX:EBX and ZF is set.
+	st := exec(t, x86.Inst{Op: x86.CMPXCHG8B, W: true,
+		Args: []x86.Operand{x86.MemOp{Addr: x86.Addr{Disp: 0x100}}}}, 3,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 0x11111111
+			s.Regs[x86.EDX] = 0x22222222
+			s.Regs[x86.EBX] = 0xdeadbeef
+			s.Regs[x86.ECX] = 0xcafebabe
+			s.Mem.WriteBytes(0x100, []byte{0x11, 0x11, 0x11, 0x11, 0x22, 0x22, 0x22, 0x22})
+		})
+	if !st.Flags[x86.ZF] {
+		t.Fatal("equal cmpxchg8b must set ZF")
+	}
+	got := st.Mem.ReadBytes(0x100, 8)
+	if got[0] != 0xef || got[4] != 0xbe {
+		t.Fatalf("memory after equal cmpxchg8b: % x", got)
+	}
+	// Unequal case: EDX:EAX loads the memory value.
+	st = exec(t, x86.Inst{Op: x86.CMPXCHG8B, W: true,
+		Args: []x86.Operand{x86.MemOp{Addr: x86.Addr{Disp: 0x100}}}}, 3,
+		func(s *machine.State) {
+			s.Regs[x86.EAX] = 1
+			s.Mem.WriteBytes(0x100, []byte{8, 7, 6, 5, 4, 3, 2, 1})
+		})
+	if st.Flags[x86.ZF] {
+		t.Fatal("unequal cmpxchg8b must clear ZF")
+	}
+	if st.Regs[x86.EAX] != 0x05060708 || st.Regs[x86.EDX] != 0x01020304 {
+		t.Fatalf("edx:eax = %#x:%#x", st.Regs[x86.EDX], st.Regs[x86.EAX])
+	}
+}
+
+func TestRdtscCpuidZeroOracle(t *testing.T) {
+	st := exec(t, x86.Inst{Op: x86.RDTSC, W: true}, 2, func(s *machine.State) {
+		s.Regs[x86.EAX] = 99
+		s.Regs[x86.EDX] = 99
+	})
+	if st.Regs[x86.EAX] != 0 || st.Regs[x86.EDX] != 0 {
+		t.Fatal("rdtsc under the zero oracle yields zero")
+	}
+	if st.PC != 0x1002 {
+		t.Fatal("rdtsc must fall through")
+	}
+	st = exec(t, x86.Inst{Op: x86.CPUID, W: true}, 2, func(s *machine.State) {
+		s.Regs[x86.EBX] = 7
+	})
+	if st.Regs[x86.EBX] != 0 {
+		t.Fatal("cpuid overwrites EBX")
+	}
+}
+
+func TestUd2Traps(t *testing.T) {
+	prog, err := semantics.Translate(x86.Inst{Op: x86.UD2}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtl.Exec(prog, rtl.NewState(machine.New(), nil)); err == nil {
+		t.Fatal("ud2 must trap")
+	}
+}
+
+func TestAddr16Wraparound(t *testing.T) {
+	// a16 mov al, [bx+si] with BX+SI exceeding 0xffff must wrap at 64K.
+	ebx, esi := x86.EBX, x86.ESI
+	inst := x86.Inst{Op: x86.MOV, W: false, Prefix: x86.Prefix{AddrSize: true},
+		Args: []x86.Operand{reg(x86.EAX),
+			x86.MemOp{Addr: x86.Addr{Base: &ebx, Index: &esi, Scale: 1}}}}
+	st := exec(t, inst, 3, func(s *machine.State) {
+		s.Regs[x86.EBX] = 0xc000
+		s.Regs[x86.ESI] = 0x5000 // c000+5000 = 0x11000 -> wraps to 0x1000
+		s.Mem.Store(0x1000, 0x5a)
+		s.Mem.Store(0x11000, 0xff) // must NOT be read
+	})
+	if got := st.Regs[x86.EAX] & 0xff; got != 0x5a {
+		t.Fatalf("a16 EA did not wrap: al = %#x", got)
+	}
+	// High 16 bits of registers are ignored too.
+	st = exec(t, inst, 3, func(s *machine.State) {
+		s.Regs[x86.EBX] = 0xdead0100
+		s.Regs[x86.ESI] = 0x00000010
+		s.Mem.Store(0x110, 0x77)
+	})
+	if got := st.Regs[x86.EAX] & 0xff; got != 0x77 {
+		t.Fatalf("a16 EA used high register bits: al = %#x", got)
+	}
+}
+
+// TestOracleSensitivity: the choose operation really is the only source
+// of non-determinism — defined results are oracle-independent, while
+// documented-undefined results (RDTSC, BSF of zero) vary with the oracle.
+func TestOracleSensitivity(t *testing.T) {
+	run := func(inst x86.Inst, length int, mut func(*machine.State), oracle rtl.Oracle) *machine.State {
+		st := machine.New()
+		if mut != nil {
+			mut(st)
+		}
+		prog, err := semantics.Translate(inst, 0x1000, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rtl.Exec(prog, rtl.NewState(st, oracle)); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	ones := &rtl.StreamOracle{Bits: []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}}
+
+	// Defined: ADD result and all its flags are oracle-independent.
+	add := x86.Inst{Op: x86.ADD, W: true, Args: []x86.Operand{reg(x86.EAX), imm(5)}}
+	a := run(add, 3, nil, rtl.ZeroOracle{})
+	b := run(add, 3, nil, ones)
+	if !a.EqualRegs(b) {
+		t.Fatalf("ADD must be deterministic: %s", a.Diff(b))
+	}
+
+	// Undefined: RDTSC's value comes from the oracle.
+	rdtsc := x86.Inst{Op: x86.RDTSC, W: true}
+	a = run(rdtsc, 2, nil, rtl.ZeroOracle{})
+	b = run(rdtsc, 2, nil, ones)
+	if a.Regs[x86.EAX] == b.Regs[x86.EAX] {
+		t.Fatal("RDTSC must depend on the oracle")
+	}
+
+	// Undefined: BSF of zero leaves the destination to the oracle, but
+	// ZF (defined) must agree.
+	bsf := x86.Inst{Op: x86.BSF, W: true, Args: []x86.Operand{reg(x86.EAX), reg(x86.EBX)}}
+	a = run(bsf, 3, nil, rtl.ZeroOracle{})
+	b = run(bsf, 3, nil, ones)
+	if a.Flags[x86.ZF] != b.Flags[x86.ZF] || !a.Flags[x86.ZF] {
+		t.Fatal("BSF(0) must set ZF under every oracle")
+	}
+	if a.Regs[x86.EAX] == b.Regs[x86.EAX] {
+		t.Fatal("BSF(0) destination must be oracle-chosen")
+	}
+
+	// MUL's SF/ZF/AF/PF are documented-undefined and oracle-chosen, while
+	// the product is defined.
+	mul := x86.Inst{Op: x86.MUL, W: true, Args: []x86.Operand{reg(x86.EBX)}}
+	setup := func(s *machine.State) { s.Regs[x86.EAX], s.Regs[x86.EBX] = 6, 7 }
+	a = run(mul, 2, setup, rtl.ZeroOracle{})
+	b = run(mul, 2, setup, ones)
+	if a.Regs[x86.EAX] != 42 || b.Regs[x86.EAX] != 42 {
+		t.Fatal("product must be oracle-independent")
+	}
+	if a.Flags[x86.SF] == b.Flags[x86.SF] {
+		t.Fatal("MUL's SF is undefined and must track the oracle")
+	}
+}

@@ -1,0 +1,241 @@
+package semantics
+
+import (
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+)
+
+// shiftCount loads and masks the shift count (x86 masks counts to 5 bits).
+func (t *tr) shiftCount(op x86.Operand) rtl.Var {
+	c := t.loadOpSized(op, 8)
+	c = t.b.Arith(rtl.And, c, t.b.ImmU(8, 0x1f))
+	return t.b.CastU(t.size, c)
+}
+
+// convShift translates the shift and rotate group. x86 flag behavior here
+// is count-dependent: a zero count leaves every flag unchanged; OF is
+// architecturally defined only for single-bit shifts (modeled with choose
+// otherwise); CF receives the last bit shifted out.
+func (t *tr) convShift() error {
+	b := t.b
+	dst := t.inst.Args[0]
+	cnt := t.shiftCount(t.inst.Args[1])
+	v := t.loadOp(dst)
+	size := uint64(t.size)
+	zero := b.IsZero(cnt)
+	one := b.ImmU(t.size, 1)
+
+	keep := func(f x86.Flag, val rtl.Var) {
+		t.setFlag(f, b.Mux(zero, t.flag(f), val))
+	}
+	switch t.inst.Op {
+	case x86.SHL:
+		r := b.Arith(rtl.Shl, v, cnt)
+		// CF = bit (size-count) of v — the last bit shifted out.
+		out := b.Arith(rtl.ShrU, v, b.Arith(rtl.Sub, b.ImmU(t.size, size), cnt))
+		cf := b.CastU(1, out)
+		// OF (count==1): MSB(result) != CF.
+		of := b.Arith(rtl.Xor, b.MSB(r), cf)
+		t.finishShift(dst, r, zero, cf, of, keep)
+	case x86.SHR:
+		r := b.Arith(rtl.ShrU, v, cnt)
+		out := b.Arith(rtl.ShrU, v, b.Arith(rtl.Sub, cnt, one))
+		cf := b.CastU(1, out)
+		of := b.MSB(v) // OF (count==1) = original MSB
+		t.finishShift(dst, r, zero, cf, of, keep)
+	case x86.SAR:
+		r := b.Arith(rtl.ShrS, v, cnt)
+		out := b.Arith(rtl.ShrS, v, b.Arith(rtl.Sub, cnt, one))
+		cf := b.CastU(1, out)
+		of := b.Bool(false) // OF (count==1) = 0 for SAR
+		t.finishShift(dst, r, zero, cf, of, keep)
+	case x86.ROL:
+		r := b.Arith(rtl.Rol, v, cnt)
+		cf := b.CastU(1, r) // CF = bit rotated into LSB
+		of := b.Arith(rtl.Xor, b.MSB(r), cf)
+		t.finishRotate(dst, r, zero, cf, of, keep)
+	case x86.ROR:
+		r := b.Arith(rtl.Ror, v, cnt)
+		cf := b.MSB(r)
+		secondMSB := b.BitAt(r, uint(size-2))
+		of := b.Arith(rtl.Xor, b.MSB(r), secondMSB)
+		t.finishRotate(dst, r, zero, cf, of, keep)
+	case x86.RCL, x86.RCR:
+		return t.convRotateCarry()
+	}
+	t.fallThrough()
+	return nil
+}
+
+// finishShift stores the result and sets the shift-group flags (SZP
+// defined, AF undefined, all preserved on zero count).
+func (t *tr) finishShift(dst x86.Operand, r, zero, cf, of rtl.Var, keep func(x86.Flag, rtl.Var)) {
+	b := t.b
+	old := t.loadOp(dst)
+	t.storeOp(dst, b.Mux(zero, old, r))
+	keep(x86.CF, cf)
+	keep(x86.OF, b.Mux(t.oneCount(), of, b.Choose(1)))
+	keep(x86.SF, b.MSB(r))
+	keep(x86.ZF, b.IsZero(r))
+	keep(x86.PF, t.parity(r))
+	keep(x86.AF, b.Choose(1))
+}
+
+// finishRotate stores the result; rotates set only CF and OF.
+func (t *tr) finishRotate(dst x86.Operand, r, zero, cf, of rtl.Var, keep func(x86.Flag, rtl.Var)) {
+	b := t.b
+	old := t.loadOp(dst)
+	t.storeOp(dst, b.Mux(zero, old, r))
+	keep(x86.CF, cf)
+	keep(x86.OF, b.Mux(t.oneCount(), of, b.Choose(1)))
+}
+
+// oneCount tests whether the (already masked) count equals one. It
+// re-derives the count from the operand to stay context-free.
+func (t *tr) oneCount() rtl.Var {
+	cnt := t.shiftCount(t.inst.Args[1])
+	return t.b.Test(rtl.Eq, cnt, t.b.ImmU(t.size, 1))
+}
+
+// convRotateCarry translates RCL/RCR: rotation through the carry flag,
+// implemented as a (size+1)-bit rotate.
+func (t *tr) convRotateCarry() error {
+	b := t.b
+	dst := t.inst.Args[0]
+	cnt := t.shiftCount(t.inst.Args[1])
+	v := t.loadOp(dst)
+	wsize := t.size + 1
+	// Build CF:v as a (size+1)-bit vector.
+	wide := b.CastU(wsize, v)
+	cfTop := b.Arith(rtl.Shl, b.CastU(wsize, t.flag(x86.CF)), b.ImmU(wsize, uint64(t.size)))
+	wide = b.Arith(rtl.Or, wide, cfTop)
+	wcnt := b.CastU(wsize, cnt)
+	// Count is taken modulo size+1 by the Rol/Ror semantics of the RTL op.
+	var rot rtl.Var
+	if t.inst.Op == x86.RCL {
+		rot = b.Arith(rtl.Rol, wide, wcnt)
+	} else {
+		rot = b.Arith(rtl.Ror, wide, wcnt)
+	}
+	r := b.CastU(t.size, rot)
+	newCF := b.BitAt(rot, uint(t.size))
+	zero := b.IsZero(cnt)
+	old := t.loadOp(dst)
+	t.storeOp(dst, b.Mux(zero, old, r))
+	t.setFlag(x86.CF, b.Mux(zero, t.flag(x86.CF), newCF))
+	var of rtl.Var
+	if t.inst.Op == x86.RCL {
+		of = b.Arith(rtl.Xor, b.MSB(r), newCF)
+	} else {
+		of = b.Arith(rtl.Xor, b.MSB(r), b.BitAt(r, uint(t.size-2)))
+	}
+	t.setFlag(x86.OF, b.Mux(zero, t.flag(x86.OF), b.Mux(t.oneCount(), of, b.Choose(1))))
+	t.fallThrough()
+	return nil
+}
+
+// convShiftD translates the double-precision shifts SHLD/SHRD.
+func (t *tr) convShiftD() error {
+	b := t.b
+	dst, srcOp, cntOp := t.inst.Args[0], t.inst.Args[1], t.inst.Args[2]
+	cnt := t.shiftCount(cntOp)
+	v := t.loadOp(dst)
+	src := t.loadOp(srcOp)
+	size := uint64(t.size)
+	zero := b.IsZero(cnt)
+	// Build the 2*size-bit concatenation and shift it.
+	wsize := t.size * 2
+	var wide, res, cfBit rtl.Var
+	if t.inst.Op == x86.SHLD {
+		// dst:src shifted left; result is the high half.
+		wide = b.Arith(rtl.Or,
+			b.Arith(rtl.Shl, b.CastU(wsize, v), b.ImmU(wsize, size)),
+			b.CastU(wsize, src))
+		sh := b.Arith(rtl.Shl, wide, b.CastU(wsize, cnt))
+		res = b.CastU(t.size, b.Arith(rtl.ShrU, sh, b.ImmU(wsize, size)))
+		out := b.Arith(rtl.ShrU, v, b.Arith(rtl.Sub, b.ImmU(t.size, size), cnt))
+		cfBit = b.CastU(1, out)
+	} else {
+		// src:dst shifted right; result is the low half.
+		wide = b.Arith(rtl.Or,
+			b.Arith(rtl.Shl, b.CastU(wsize, src), b.ImmU(wsize, size)),
+			b.CastU(wsize, v))
+		sh := b.Arith(rtl.ShrU, wide, b.CastU(wsize, cnt))
+		res = b.CastU(t.size, sh)
+		out := b.Arith(rtl.ShrU, v, b.Arith(rtl.Sub, cnt, b.ImmU(t.size, 1)))
+		cfBit = b.CastU(1, out)
+	}
+	old := t.loadOp(dst)
+	t.storeOp(dst, b.Mux(zero, old, res))
+	keep := func(f x86.Flag, val rtl.Var) {
+		t.setFlag(f, b.Mux(zero, t.flag(f), val))
+	}
+	keep(x86.CF, cfBit)
+	keep(x86.SF, b.MSB(res))
+	keep(x86.ZF, b.IsZero(res))
+	keep(x86.PF, t.parity(res))
+	keep(x86.AF, b.Choose(1))
+	keep(x86.OF, b.Choose(1)) // defined only for count 1; over-approximate
+	t.fallThrough()
+	return nil
+}
+
+// convBitTest translates BT/BTS/BTR/BTC. Bit offsets are taken modulo the
+// operand size (a deliberate simplification of the unbounded memory form,
+// documented in DESIGN.md; the segment limit check still applies).
+func (t *tr) convBitTest() error {
+	b := t.b
+	dst := t.inst.Args[0]
+	off := t.loadOp(t.inst.Args[1])
+	off = b.Arith(rtl.And, off, b.ImmU(t.size, uint64(t.size-1)))
+	v := t.loadOp(dst)
+	bit := b.CastU(1, b.Arith(rtl.ShrU, v, off))
+	t.setFlag(x86.CF, bit)
+	mask := b.Arith(rtl.Shl, b.ImmU(t.size, 1), off)
+	switch t.inst.Op {
+	case x86.BTS:
+		t.storeOp(dst, b.Arith(rtl.Or, v, mask))
+	case x86.BTR:
+		notMask := b.Arith(rtl.Xor, mask, b.Imm(allOnesVec(t.size)))
+		t.storeOp(dst, b.Arith(rtl.And, v, notMask))
+	case x86.BTC:
+		t.storeOp(dst, b.Arith(rtl.Xor, v, mask))
+	}
+	t.chooseFlag(x86.OF)
+	t.chooseFlag(x86.SF)
+	t.chooseFlag(x86.AF)
+	t.chooseFlag(x86.PF)
+	t.fallThrough()
+	return nil
+}
+
+// convBitScan translates BSF/BSR with an unrolled priority mux chain.
+// When the source is zero, ZF is set and the destination is undefined.
+func (t *tr) convBitScan() error {
+	b := t.b
+	src := t.loadOp(t.inst.Args[1])
+	zero := b.IsZero(src)
+	t.setFlag(x86.ZF, zero)
+	idx := b.ImmU(t.size, 0)
+	if t.inst.Op == x86.BSF {
+		// Lowest set bit: scan from high index down so lower indices win.
+		for i := t.size - 1; i >= 0; i-- {
+			set := b.BitAt(src, uint(i))
+			idx = b.Mux(set, b.ImmU(t.size, uint64(i)), idx)
+		}
+	} else {
+		for i := 0; i < t.size; i++ {
+			set := b.BitAt(src, uint(i))
+			idx = b.Mux(set, b.ImmU(t.size, uint64(i)), idx)
+		}
+	}
+	undef := b.Choose(t.size)
+	t.storeOp(t.inst.Args[0], b.Mux(zero, undef, idx))
+	t.chooseFlag(x86.CF)
+	t.chooseFlag(x86.OF)
+	t.chooseFlag(x86.SF)
+	t.chooseFlag(x86.AF)
+	t.chooseFlag(x86.PF)
+	t.fallThrough()
+	return nil
+}

@@ -1,0 +1,137 @@
+package semantics
+
+import (
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/x86"
+)
+
+// convString translates the string instructions. A REP-prefixed string
+// instruction performs at most one iteration per machine step: it tests
+// ECX, performs the element operation, decrements ECX, and leaves the PC
+// on itself while iterations remain — the standard way to express
+// iteration in a language without loops (the machine re-decodes the same
+// instruction until the count is exhausted).
+func (t *tr) convString() error {
+	b := t.b
+	i := t.inst
+	rep := i.Prefix.Rep || i.Prefix.RepN
+	n := uint64(t.size / 8)
+
+	self := b.ImmU(32, uint64(t.pc))
+	next := b.ImmU(32, uint64(t.nextPC()))
+
+	ecx := b.Get(machineLoc(x86.ECX))
+	countZero := b.IsZero(ecx)
+
+	// Element step: direction delta = DF ? -n : +n.
+	df := t.flag(x86.DF)
+	fwd := b.ImmU(32, n)
+	back := b.ImmU(32, uint64(-int64(n)))
+	delta := b.Mux(df, back, fwd)
+
+	esi := b.Get(machineLoc(x86.ESI))
+	edi := b.Get(machineLoc(x86.EDI))
+	srcSeg := t.segOverridable(x86.DS) // ESI side, overridable
+	// The EDI side always uses ES and cannot be overridden.
+
+	// For REP forms we must not perform the element op when ECX is zero.
+	// Memory effects cannot be muxed away once emitted, so the zero-count
+	// case is handled by making every address computation collapse to the
+	// current pointer and every store re-store the loaded value... that
+	// quickly becomes unreadable. Instead we exploit that a REP with
+	// ECX=0 only sets PC := next; the simulator executes this RTL
+	// sequence, so we guard the whole element operation behind a
+	// conditional skip using Mux on the *addresses written*: when
+	// ECX = 0 under REP, stores write back the bytes just loaded.
+	guard := func(storeVal, origVal rtl.Var) rtl.Var {
+		if !rep {
+			return storeVal
+		}
+		return b.Mux(countZero, origVal, storeVal)
+	}
+
+	advanceSI := false
+	advanceDI := false
+	switch i.Op {
+	case x86.MOVS:
+		v := t.loadMem(srcSeg, esi, t.size)
+		t.storeMem(x86.ES, edi, guard(v, t.loadMem(x86.ES, edi, t.size)))
+		advanceSI, advanceDI = true, true
+	case x86.STOS:
+		acc := t.loadReg(x86.EAX, t.size)
+		t.storeMem(x86.ES, edi, guard(acc, t.loadMem(x86.ES, edi, t.size)))
+		advanceDI = true
+	case x86.LODS:
+		v := t.loadMem(srcSeg, esi, t.size)
+		old := t.loadReg(x86.EAX, t.size)
+		t.storeReg(x86.EAX, guard(v, old))
+		advanceSI = true
+	case x86.SCAS:
+		acc := t.loadReg(x86.EAX, t.size)
+		v := t.loadMem(x86.ES, edi, t.size)
+		r := b.Arith(rtl.Sub, acc, v)
+		t.setSubFlagsGuarded(acc, v, r, rep, countZero)
+		advanceDI = true
+	case x86.CMPS:
+		vs := t.loadMem(srcSeg, esi, t.size)
+		vd := t.loadMem(x86.ES, edi, t.size)
+		r := b.Arith(rtl.Sub, vs, vd)
+		t.setSubFlagsGuarded(vs, vd, r, rep, countZero)
+		advanceSI, advanceDI = true, true
+	}
+
+	// Pointer updates (skipped when a REP count is exhausted).
+	adv := delta
+	if rep {
+		adv = b.Mux(countZero, b.ImmU(32, 0), delta)
+	}
+	if advanceSI {
+		b.Set(machineLoc(x86.ESI), b.Arith(rtl.Add, esi, adv))
+	}
+	if advanceDI {
+		b.Set(machineLoc(x86.EDI), b.Arith(rtl.Add, edi, adv))
+	}
+
+	if !rep {
+		t.fallThrough()
+		return nil
+	}
+
+	// REP bookkeeping: decrement ECX (unless already zero) and decide
+	// whether to iterate. REPE/REPNE on CMPS/SCAS additionally test ZF.
+	one := b.ImmU(32, 1)
+	dec := b.Arith(rtl.Sub, ecx, one)
+	newECX := b.Mux(countZero, ecx, dec)
+	b.Set(machineLoc(x86.ECX), newECX)
+	done := b.IsZero(newECX)
+	if i.Op == x86.CMPS || i.Op == x86.SCAS {
+		zf := t.flag(x86.ZF)
+		if i.Prefix.Rep { // REPE: stop when ZF clear
+			done = b.Arith(rtl.Or, done, b.Not1(zf))
+		} else { // REPNE: stop when ZF set
+			done = b.Arith(rtl.Or, done, zf)
+		}
+	}
+	done = b.Arith(rtl.Or, done, countZero)
+	t.setPC(b.Mux(done, next, self))
+	return nil
+}
+
+// setSubFlagsGuarded sets comparison flags, preserving them when a REP
+// count of zero suppresses the iteration.
+func (t *tr) setSubFlagsGuarded(a, v, r rtl.Var, rep bool, countZero rtl.Var) {
+	if !rep {
+		t.setSubFlags(a, v, t.b.Bool(false), r)
+		t.setSZP(r)
+		return
+	}
+	saved := make(map[x86.Flag]rtl.Var)
+	for _, f := range []x86.Flag{x86.CF, x86.OF, x86.AF, x86.SF, x86.ZF, x86.PF} {
+		saved[f] = t.flag(f)
+	}
+	t.setSubFlags(a, v, t.b.Bool(false), r)
+	t.setSZP(r)
+	for _, f := range []x86.Flag{x86.CF, x86.OF, x86.AF, x86.SF, x86.ZF, x86.PF} {
+		t.setFlag(f, t.b.Mux(countZero, saved[f], t.flag(f)))
+	}
+}
