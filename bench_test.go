@@ -5,7 +5,9 @@ package rocksalt
 //
 //	go test -bench=. -benchmem .
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"rocksalt/internal/armor"
@@ -29,6 +31,8 @@ var fixtures struct {
 	bigN    int
 	small   []byte // ~300 instructions
 	smallN  int
+	huge    []byte // ~1M instructions (the E2-sized image)
+	hugeN   int
 }
 
 func setup(b *testing.B) {
@@ -76,6 +80,48 @@ func BenchmarkRockSaltThroughput(b *testing.B) {
 		if !fixtures.checker.Verify(fixtures.big) {
 			b.Fatal("rejected")
 		}
+	}
+}
+
+// setupHuge lazily builds the E2-sized (~1M instruction) image used by
+// the parallel-scaling benchmark; it is expensive, so only benchmarks
+// that need it pay for it.
+func setupHuge(b *testing.B) {
+	b.Helper()
+	setup(b)
+	if fixtures.huge != nil {
+		return
+	}
+	img, err := nacl.NewGenerator(103).Random(1000000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixtures.huge = img
+	fixtures.hugeN = countUnits(fixtures.checker, img)
+}
+
+// BenchmarkRockSaltThroughputParallel is the scaling companion to E1:
+// the staged engine at 1/2/4/GOMAXPROCS stage-1 workers on the E2-sized
+// image. MB/s comes from b.SetBytes; the speedup over workers-1 is the
+// sharding payoff (bounded by physical core count).
+func BenchmarkRockSaltThroughputParallel(b *testing.B) {
+	setupHuge(b)
+	workerSet := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerSet = append(workerSet, n)
+	}
+	for _, w := range workerSet {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			opts := core.VerifyOptions{Workers: w}
+			b.SetBytes(int64(len(fixtures.huge)))
+			b.ReportMetric(float64(fixtures.hugeN), "instructions")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := fixtures.checker.VerifyWith(fixtures.huge, opts); !rep.Safe {
+					b.Fatal("rejected")
+				}
+			}
+		})
 	}
 }
 

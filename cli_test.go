@@ -45,6 +45,28 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatalf("rocksalt (tables): %v\n%s", err, out)
 	}
 
+	// Parallel verification must agree with the sequential run.
+	for _, j := range []string{"0", "4"} {
+		out, err = exec.Command(bin("rocksalt"), "-j", j, img).CombinedOutput()
+		if err != nil || !strings.Contains(string(out), "SAFE") {
+			t.Fatalf("rocksalt -j %s: %v\n%s", j, err, out)
+		}
+	}
+
+	// An empty input file is a usage error (exit 2), not a verdict.
+	empty := filepath.Join(dir, "empty.bin")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin("rocksalt"), empty)
+	msg, err := cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("rocksalt on empty file: want exit 2, got %v", err)
+	}
+	if !strings.Contains(string(msg), "empty") {
+		t.Errorf("empty-file message not descriptive: %q", msg)
+	}
+
 	// The unsafe corpus must be rejected with exit status 1.
 	unsafeDir := filepath.Join(dir, "unsafe")
 	if out, err := exec.Command(bin("naclgen"), "-unsafe", unsafeDir).CombinedOutput(); err != nil {
@@ -62,8 +84,9 @@ func TestCLIPipeline(t *testing.T) {
 		}
 	}
 
-	// A truncated image (not bundle aligned in a bad way): flip a byte of
-	// the compliant image's first instruction and require rejection.
+	// A tampered image: flip a byte of the compliant image's first
+	// instruction and require rejection with the structured diagnostic
+	// (kind + offset + byte window) on the non-quiet path.
 	data, err := os.ReadFile(img)
 	if err != nil {
 		t.Fatal(err)
@@ -75,5 +98,14 @@ func TestCLIPipeline(t *testing.T) {
 	}
 	if err := exec.Command(bin("rocksalt"), "-q", bad).Run(); err == nil {
 		t.Error("tampered image must be rejected")
+	}
+	diag, err := exec.Command(bin("rocksalt"), bad).CombinedOutput()
+	if err == nil {
+		t.Error("tampered image must be rejected on the diagnostic path")
+	}
+	for _, want := range []string{"REJECTED", "offset", "bytes at"} {
+		if !strings.Contains(string(diag), want) {
+			t.Errorf("diagnostic output missing %q:\n%s", want, diag)
+		}
 	}
 }

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	rocksalt [-entries 0x10000,0x10020] file.bin
+//	rocksalt [-entries 0x10000,0x10020] [-j N] file.bin
 //
-// The exit status is 0 when the image is safe, 1 when it is rejected.
+// The exit status is 0 when the image is safe, 1 when it is rejected,
+// and 2 on usage or input errors (including an empty input file).
 package main
 
 import (
@@ -23,14 +24,19 @@ func main() {
 	entries := flag.String("entries", "", "comma-separated out-of-image entry points (hex) direct jumps may target")
 	quiet := flag.Bool("q", false, "suppress output; use the exit status")
 	tables := flag.String("tables", "", "load pre-generated DFA tables (from dfagen -o) instead of compiling grammars")
+	workers := flag.Int("j", 1, "stage-1 verification workers (0 = all CPUs)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rocksalt [-entries addr,addr] [-q] file.bin")
+		fmt.Fprintln(os.Stderr, "usage: rocksalt [-entries addr,addr] [-j N] [-q] file.bin")
 		os.Exit(2)
 	}
 	code, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rocksalt:", err)
+		os.Exit(2)
+	}
+	if len(code) == 0 {
+		fmt.Fprintf(os.Stderr, "rocksalt: %s: empty input image (nothing to verify)\n", flag.Arg(0))
 		os.Exit(2)
 	}
 
@@ -62,16 +68,27 @@ func main() {
 		}
 	}
 	start := time.Now()
-	ok, verr := checker.VerifyReport(code)
+	rep := checker.VerifyWith(code, core.VerifyOptions{Workers: *workers})
 	elapsed := time.Since(start)
 	if !*quiet {
-		if ok {
-			fmt.Printf("%s: SAFE (%d bytes checked in %v)\n", flag.Arg(0), len(code), elapsed)
+		if rep.Safe {
+			fmt.Printf("%s: SAFE (%d bytes, %d shards, %d workers, checked in %v)\n",
+				flag.Arg(0), rep.Size, rep.Shards, rep.Workers, elapsed)
 		} else {
-			fmt.Printf("%s: REJECTED: %v\n", flag.Arg(0), verr)
+			v := rep.First()
+			fmt.Printf("%s: REJECTED: %s at offset %#x\n", flag.Arg(0), v.Kind, v.Offset)
+			if v.Detail != "" {
+				fmt.Printf("  detail: %s\n", v.Detail)
+			}
+			if len(v.Window) > 0 {
+				fmt.Printf("  bytes at %#x: % x\n", v.Offset, v.Window)
+			}
+			if rep.Total > 1 {
+				fmt.Printf("  (%d violations in total; lowest offset shown)\n", rep.Total)
+			}
 		}
 	}
-	if !ok {
+	if !rep.Safe {
 		os.Exit(1)
 	}
 }

@@ -41,6 +41,26 @@ func NewCheckerFromTables(r io.Reader) (*Checker, error) {
 	return core.NewCheckerFromTables(r)
 }
 
+// VerifyOptions configures the staged verification engine behind
+// Checker.VerifyWith: Workers spreads stage-1 shard parsing over a
+// worker pool (0 = GOMAXPROCS, 1 = in-line). Sequential and parallel
+// runs return identical reports.
+type VerifyOptions = core.VerifyOptions
+
+// Report is the structured verification outcome: the verdict plus every
+// violation found, sorted so Report.First is the canonical lowest-offset
+// diagnostic regardless of worker count.
+type Report = core.Report
+
+// Violation is one structured policy violation (offset, kind, byte
+// window, detail). It implements error.
+type Violation = core.Violation
+
+// ViolationKind classifies violations (core.IllegalInstruction,
+// core.TargetOutOfImage, core.MisalignedCall, core.TargetNotBoundary,
+// core.BundleStraddle).
+type ViolationKind = core.ViolationKind
+
 // ---------- The x86 model ----------
 
 // Inst is a decoded x86 instruction (abstract syntax).

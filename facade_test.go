@@ -33,6 +33,28 @@ func ExampleChecker() {
 	// tampered:  false
 }
 
+// ExampleChecker_VerifyWith runs the sharded verification engine and
+// inspects the structured report. The verdict and the first-violation
+// diagnostic are identical for any worker count.
+func ExampleChecker_VerifyWith() {
+	checker, err := rocksalt.NewChecker()
+	if err != nil {
+		panic(err)
+	}
+	// jmp +3 lands inside the following 5-byte mov.
+	img := []byte{0xeb, 0x03, 0xb8, 0x00, 0x00, 0x00, 0x00}
+	for len(img)%rocksalt.BundleSize != 0 {
+		img = append(img, 0x90)
+	}
+	rep := checker.VerifyWith(img, rocksalt.VerifyOptions{Workers: 0}) // 0 = all CPUs
+	fmt.Println("safe:", rep.Safe)
+	v := rep.First()
+	fmt.Printf("first violation: %v at offset %#x\n", v.Kind, v.Offset)
+	// Output:
+	// safe: false
+	// first violation: jump into instruction interior at offset 0x5
+}
+
 // ExampleSimulator runs three instructions through the executable model.
 func ExampleSimulator() {
 	st := rocksalt.NewMachine()

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// This file is the staged verification engine. The NaCl policy itself
+// licenses the decomposition: every 32-byte bundle boundary must be an
+// instruction boundary and no matched unit (including the two-
+// instruction masked pair) may straddle one, so the image partitions
+// into aligned groups of bundles that parse independently.
+//
+// Stage 1 parses each shard with the Figure 5/6 match loop, producing
+// shard-local valid/pairJmp bitmaps, the shard's direct-jump targets,
+// and any shard-local violation. Stage 2 is a cheap sequential
+// reconciliation: it validates every collected jump target against the
+// merged boundary map, flags unreached bundle boundaries, and sorts all
+// violations by (offset, kind) so the reported first violation is
+// identical no matter how many workers ran stage 1.
+
+// VerifyOptions configures a verification run.
+type VerifyOptions struct {
+	// Workers is the number of goroutines parsing stage-1 shards: 1 (or
+	// an image smaller than one shard) runs in-line with no goroutines;
+	// 0 or negative means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// ShardBytes is the stage-1 shard size: an aligned group of 512
+// bundles. It is a constant rather than an option because the shard
+// decomposition defines the canonical violation report — with a fixed
+// decomposition, sequential and parallel runs agree byte-for-byte.
+const ShardBytes = 512 * BundleSize
+
+// shardResult is what stage 1 reports per shard, besides the bitmap
+// ranges it writes in place.
+type shardResult struct {
+	// violations holds the shard-local violation that stopped the
+	// parse, if any (at most one entry).
+	violations []Violation
+	// targets are the in-image destinations of the shard's direct
+	// jumps, validated globally in stage 2.
+	targets []int32
+}
+
+// VerifyWith runs the staged engine and returns the structured report.
+func (c *Checker) VerifyWith(code []byte, opts VerifyOptions) *Report {
+	_, _, rep := c.run(code, opts.Workers)
+	return rep
+}
+
+// AnalyzeWith is VerifyWith plus the instruction-boundary bitmap and
+// masked-pair jump positions (see Analyze for their meaning). The
+// bitmaps are only meaningful when the report is Safe.
+func (c *Checker) AnalyzeWith(code []byte, opts VerifyOptions) (valid, pairJmp []bool, rep *Report) {
+	return c.run(code, opts.Workers)
+}
+
+// run executes stage 1 over the shard decomposition and stage 2 over
+// the merged results.
+func (c *Checker) run(code []byte, workers int) (valid, pairJmp []bool, rep *Report) {
+	size := len(code)
+	shards := (size + ShardBytes - 1) / ShardBytes
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	valid = make([]bool, size)
+	pairJmp = make([]bool, size)
+	results := make([]shardResult, shards)
+
+	parse := func(s int) {
+		start := s * ShardBytes
+		end := start + ShardBytes
+		if end > size {
+			end = size
+		}
+		// Workers write disjoint [start,end) ranges of the shared
+		// bitmaps, so no synchronization is needed beyond the pool's.
+		results[s] = c.parseShard(code, start, end, valid, pairJmp)
+	}
+	if workers == 1 {
+		for s := 0; s < shards; s++ {
+			parse(s)
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int, shards)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := range jobs {
+					parse(s)
+				}
+			}()
+		}
+		for s := 0; s < shards; s++ {
+			jobs <- s
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	return valid, pairJmp, c.reconcile(code, valid, results, shards, workers)
+}
+
+// parseShard is stage 1: the Figure 5 loop restricted to one shard.
+// The shard start is a bundle boundary, which the policy requires to be
+// an instruction boundary, so on any compliant image the shard-local
+// parse reproduces exactly the boundaries the sequential parse would
+// find. A matched unit extending past the shard end means that bundle
+// boundary sits inside an instruction — itself a violation — so the
+// shard stops there instead of racing into its neighbour's range.
+func (c *Checker) parseShard(code []byte, start, end int, valid, pairJmp []bool) (res shardResult) {
+	masked, noCF, direct := c.masked, c.noCF, c.direct
+	size := len(code)
+	stop := func(off int, kind ViolationKind, detail string) {
+		res.violations = append(res.violations, violation(code, off, kind, detail))
+	}
+	straddles := func(saved, pos int) bool {
+		if pos <= end || end == size {
+			return false
+		}
+		stop(end, BundleStraddle, fmt.Sprintf("instruction at %#x extends past the boundary", saved))
+		return true
+	}
+	pos := start
+	for pos < end {
+		valid[pos] = true
+		saved := pos
+		if match(masked, code, &pos) {
+			if straddles(saved, pos) {
+				return
+			}
+			pairJmp[saved+maskLen] = true
+			// The call form of the pair is FF /2 (0xD0|r in the modrm).
+			if c.AlignedCalls && code[pos-1]>>3&7 == 2 && pos%BundleSize != 0 {
+				stop(pos, MisalignedCall, "masked call leaves a misaligned return address")
+				return
+			}
+			continue
+		}
+		if match(noCF, code, &pos) {
+			if straddles(saved, pos) {
+				return
+			}
+			continue
+		}
+		if match(direct, code, &pos) {
+			if straddles(saved, pos) {
+				return
+			}
+			if c.AlignedCalls && code[saved] == 0xe8 && pos%BundleSize != 0 {
+				stop(pos, MisalignedCall, "call leaves a misaligned return address")
+				return
+			}
+			t, ok := jumpTarget(code, saved, pos)
+			if !ok {
+				stop(saved, IllegalInstruction, "unrecognized direct jump form")
+				return
+			}
+			if t >= 0 && t < int64(size) {
+				res.targets = append(res.targets, int32(t))
+			} else if !c.Entries[uint32(t)] {
+				stop(saved, TargetOutOfImage, fmt.Sprintf("direct jump targets %#x, outside the image", uint32(t)))
+				return
+			}
+			continue
+		}
+		stop(saved, IllegalInstruction, "")
+		return
+	}
+	return
+}
+
+// jumpTarget decodes the direct jump occupying code[saved:pos] and
+// computes its absolute destination (the analogue of Figure 5's
+// extract). The destination may lie outside the image; the caller
+// decides whether that is legal.
+func jumpTarget(code []byte, saved, pos int) (int64, bool) {
+	var rel int32
+	switch b := code[saved]; {
+	case b == 0xeb || b>>4 == 0x7: // JMP rel8 / Jcc rel8
+		rel = int32(int8(code[pos-1]))
+	case b == 0xe8 || b == 0xe9: // CALL/JMP rel32
+		rel = int32(le32(code[pos-4 : pos]))
+	case b == 0x0f: // Jcc rel32
+		rel = int32(le32(code[pos-4 : pos]))
+	default:
+		return 0, false
+	}
+	return int64(pos) + int64(rel), true
+}
+
+// reconcile is stage 2: merge shard results, validate every direct-jump
+// target against the merged boundary map, flag bundle boundaries the
+// parse never reached, and select the deterministic lowest-offset
+// violation ordering.
+func (c *Checker) reconcile(code []byte, valid []bool, results []shardResult, shards, workers int) *Report {
+	size := len(code)
+	var all []Violation
+	for i := range results {
+		all = append(all, results[i].violations...)
+	}
+	// Cross-shard jump-target validation against the merged boundary
+	// map. Several jumps may share a bad target; dedupe after sorting
+	// so the report is one violation per offending offset.
+	var badTargets []int
+	for i := range results {
+		for _, t := range results[i].targets {
+			if !valid[t] {
+				badTargets = append(badTargets, int(t))
+			}
+		}
+	}
+	if len(badTargets) > 0 {
+		sort.Ints(badTargets)
+		prev := -1
+		for _, t := range badTargets {
+			if t == prev {
+				continue
+			}
+			prev = t
+			all = append(all, violation(code, t, TargetNotBoundary, "direct jump targets a non-boundary offset"))
+		}
+	}
+	// Every bundle boundary must be an instruction boundary.
+	for i := 0; i < size; i += BundleSize {
+		if !valid[i] {
+			all = append(all, violation(code, i, BundleStraddle, ""))
+		}
+	}
+	// Violations never collide on (Offset, Kind): each shard stops at
+	// its first violation and the global scan emits at most one of each
+	// kind per offset, so this order is total and the report is
+	// deterministic. The stable sort is belt and braces.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Offset != all[j].Offset {
+			return all[i].Offset < all[j].Offset
+		}
+		return all[i].Kind < all[j].Kind
+	})
+	total := len(all)
+	if len(all) > MaxReportViolations {
+		all = all[:MaxReportViolations]
+	}
+	return &Report{
+		Safe:       total == 0,
+		Size:       size,
+		Shards:     shards,
+		Workers:    workers,
+		Violations: all,
+		Total:      total,
+	}
+}

@@ -1,0 +1,261 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+)
+
+// requireSameReport asserts that two runs of the engine produced the
+// same verdict and the same violation list (the Workers field is the
+// one legitimate difference).
+func requireSameReport(t *testing.T, seq, par *core.Report, ctx string) {
+	t.Helper()
+	if seq.Safe != par.Safe {
+		t.Fatalf("%s: verdict diverged: sequential=%v parallel=%v", ctx, seq.Safe, par.Safe)
+	}
+	if seq.Shards != par.Shards || seq.Size != par.Size || seq.Total != par.Total {
+		t.Fatalf("%s: report shape diverged: seq={shards %d size %d total %d} par={shards %d size %d total %d}",
+			ctx, seq.Shards, seq.Size, seq.Total, par.Shards, par.Size, par.Total)
+	}
+	if !reflect.DeepEqual(seq.Violations, par.Violations) {
+		t.Fatalf("%s: violations diverged:\nseq: %+v\npar: %+v", ctx, seq.Violations, par.Violations)
+	}
+}
+
+// TestVerifyWithMatchesSequential is the equivalence property the
+// tentpole is stated over: on compliant images, tampered mutants, and
+// the hand-crafted unsafe corpus, the parallel engine reports exactly
+// the sequential verdict and first-violation offset.
+func TestVerifyWithMatchesSequential(t *testing.T) {
+	c := checker(t)
+	gen := nacl.NewGenerator(41)
+	rng := rand.New(rand.NewSource(42))
+	workerCounts := []int{2, 3, 8, 0}
+
+	check := func(img []byte, ctx string) {
+		t.Helper()
+		seq := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+		for _, w := range workerCounts {
+			par := c.VerifyWith(img, core.VerifyOptions{Workers: w})
+			requireSameReport(t, seq, par, ctx)
+		}
+	}
+
+	// Compliant images, including ones spanning several shards.
+	sizes := []int{10, 300, 12000}
+	if testing.Short() {
+		sizes = []int{10, 300}
+	}
+	for _, n := range sizes {
+		img, err := gen.Random(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Verify(img) {
+			t.Fatalf("compliant image (%d instructions) rejected", n)
+		}
+		check(img, "compliant")
+		// Tampered variants: flipped bytes (including near shard
+		// boundaries) and truncation to a non-bundle length.
+		for m := 0; m < 6; m++ {
+			mut := append([]byte{}, img...)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+			}
+			if len(mut) > core.ShardBytes {
+				mut[core.ShardBytes-1+rng.Intn(3)] = byte(rng.Intn(256))
+			}
+			check(mut, "tampered")
+			check(mut[:len(mut)-1-rng.Intn(7)], "truncated")
+		}
+	}
+
+	// The unsafe corpus.
+	for name, img := range nacl.UnsafeCorpus() {
+		if c.Verify(img) {
+			t.Fatalf("unsafe image %q accepted", name)
+		}
+		check(img, "unsafe:"+name)
+	}
+}
+
+// TestAnalyzeWithBitmapEquality: on an accepted image the boundary
+// bitmaps (the safety theorem's invariant) are identical however many
+// workers parsed stage 1.
+func TestAnalyzeWithBitmapEquality(t *testing.T) {
+	c := checker(t)
+	img, err := nacl.NewGenerator(43).Random(12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, p1, rep1 := c.AnalyzeWith(img, core.VerifyOptions{Workers: 1})
+	if !rep1.Safe {
+		t.Fatalf("image rejected: %v", rep1.Err())
+	}
+	if rep1.Shards < 2 {
+		t.Fatalf("image too small to exercise sharding: %d shards", rep1.Shards)
+	}
+	v4, p4, rep4 := c.AnalyzeWith(img, core.VerifyOptions{Workers: 4})
+	if !rep4.Safe {
+		t.Fatal("parallel run rejected an accepted image")
+	}
+	if !reflect.DeepEqual(v1, v4) || !reflect.DeepEqual(p1, p4) {
+		t.Fatal("boundary bitmaps differ between sequential and parallel runs")
+	}
+}
+
+// TestShardBoundaryStraddle: an instruction straddling a shard (and
+// hence bundle) boundary is reported at that boundary with the same
+// offset sequentially and in parallel — the case where stage 1 must
+// stop at its shard end rather than race into its neighbour's range.
+func TestShardBoundaryStraddle(t *testing.T) {
+	c := checker(t)
+	img := make([]byte, 0, core.ShardBytes+core.BundleSize)
+	for len(img) < core.ShardBytes-2 {
+		img = append(img, 0x90)
+	}
+	img = append(img, 0xb8, 1, 2, 3, 4) // 5-byte mov straddling the shard end
+	for len(img)%core.BundleSize != 0 {
+		img = append(img, 0x90)
+	}
+	seq := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	if seq.Safe {
+		t.Fatal("straddling image accepted")
+	}
+	if v := seq.First(); v.Offset != core.ShardBytes || v.Kind != core.BundleStraddle {
+		t.Fatalf("first violation = %v, want %v at %#x", v, core.BundleStraddle, core.ShardBytes)
+	}
+	par := c.VerifyWith(img, core.VerifyOptions{Workers: 4})
+	requireSameReport(t, seq, par, "shard straddle")
+}
+
+// TestReportDiagnostics pins the structured diagnostics for
+// representative corpus entries: offset, kind and byte window.
+func TestReportDiagnostics(t *testing.T) {
+	c := checker(t)
+	cases := []struct {
+		kind   nacl.UnsafeKind
+		offset int
+		want   core.ViolationKind
+	}{
+		{nacl.BareIndirectJump, 0, core.IllegalInstruction},
+		{nacl.Syscall, 0, core.IllegalInstruction},
+		{nacl.StraddlingBoundary, 32, core.BundleStraddle},
+		{nacl.JumpIntoInstruction, 5, core.TargetNotBoundary},
+		{nacl.JumpOutOfImage, 0, core.TargetOutOfImage},
+		{nacl.ReturnInstruction, 0, core.IllegalInstruction},
+	}
+	for _, tc := range cases {
+		img := nacl.Unsafe(tc.kind)
+		rep := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+		if rep.Safe {
+			t.Errorf("%v: accepted", tc.kind)
+			continue
+		}
+		v := rep.First()
+		if v.Offset != tc.offset || v.Kind != tc.want {
+			t.Errorf("%v: first violation %v at %#x, want %v at %#x",
+				tc.kind, v.Kind, v.Offset, tc.want, tc.offset)
+		}
+		if v.Offset < len(img) && len(v.Window) == 0 {
+			t.Errorf("%v: violation carries no byte window", tc.kind)
+		}
+		if v.Error() == "" {
+			t.Errorf("%v: empty diagnostic", tc.kind)
+		}
+	}
+}
+
+// TestViolationThroughErrorInterface: the legacy (bool, error) entry
+// point now surfaces the structured violation.
+func TestViolationThroughErrorInterface(t *testing.T) {
+	c := checker(t)
+	ok, err := c.VerifyReport(nacl.Unsafe(nacl.BareIndirectJump))
+	if ok || err == nil {
+		t.Fatal("expected a diagnostic")
+	}
+	var v *core.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error is %T, want *core.Violation", err)
+	}
+	if v.Kind != core.IllegalInstruction || v.Offset != 0 {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+}
+
+// TestReportShape covers the bookkeeping fields and edge cases.
+func TestReportShape(t *testing.T) {
+	c := checker(t)
+
+	// Empty image: vacuously safe, zero shards.
+	rep := c.VerifyWith(nil, core.VerifyOptions{Workers: 8})
+	if !rep.Safe || rep.Shards != 0 || rep.Total != 0 || rep.Err() != nil || rep.First() != nil {
+		t.Fatalf("empty image report: %+v", rep)
+	}
+
+	// A single-bundle image occupies one shard; workers clamp to it.
+	img := make([]byte, core.BundleSize)
+	for i := range img {
+		img[i] = 0x90
+	}
+	rep = c.VerifyWith(img, core.VerifyOptions{Workers: 8})
+	if !rep.Safe || rep.Shards != 1 || rep.Workers != 1 {
+		t.Fatalf("single-bundle report: %+v", rep)
+	}
+
+	// Garbage across several shards: Total counts everything even when
+	// the retained list is capped.
+	garbage := make([]byte, 3*core.ShardBytes)
+	for i := range garbage {
+		garbage[i] = 0xc3 // ret: always illegal
+	}
+	rep = c.VerifyWith(garbage, core.VerifyOptions{Workers: 2})
+	if rep.Safe {
+		t.Fatal("garbage accepted")
+	}
+	if len(rep.Violations) > core.MaxReportViolations {
+		t.Fatalf("retained %d violations, cap is %d", len(rep.Violations), core.MaxReportViolations)
+	}
+	if rep.Total < len(rep.Violations) {
+		t.Fatalf("Total %d < retained %d", rep.Total, len(rep.Violations))
+	}
+	if v := rep.First(); v.Offset != 0 {
+		t.Fatalf("first violation at %#x, want 0", v.Offset)
+	}
+}
+
+// TestAlignedCallsParallelParity: the optional strict policy must agree
+// across worker counts too (it adds the MisalignedCall violation kind).
+func TestAlignedCallsParallelParity(t *testing.T) {
+	strict := checker(t)
+	strict.AlignedCalls = true
+	imgs := [][]byte{
+		nacl.Unsafe(nacl.BareIndirectJump),
+	}
+	b := nacl.NewBuilder()
+	b.Label("f")
+	b.Call("f") // misaligned call: rejected only under AlignedCalls
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs = append(imgs, img)
+	for i, img := range imgs {
+		seq := strict.VerifyWith(img, core.VerifyOptions{Workers: 1})
+		par := strict.VerifyWith(img, core.VerifyOptions{Workers: 4})
+		requireSameReport(t, seq, par, "aligned-calls")
+		if i == 1 {
+			if seq.Safe {
+				t.Fatal("misaligned call accepted by strict checker")
+			}
+			if v := seq.First(); v.Kind != core.MisalignedCall {
+				t.Fatalf("first violation %v, want %v", v.Kind, core.MisalignedCall)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+)
+
+// FuzzVerifyParallelEquiv asserts the engine's defining property on
+// arbitrary byte strings: the parallel verdict, the canonical first-
+// violation offset, and in fact the whole violation list are identical
+// to the sequential run's. Seeds come from the compliant-image
+// generator (including a multi-shard image) and the unsafe corpus. Run
+// longer with
+//
+//	go test -fuzz FuzzVerifyParallelEquiv ./internal/core
+func FuzzVerifyParallelEquiv(f *testing.F) {
+	gen := nacl.NewGenerator(31)
+	for _, n := range []int{5, 60, 6000} {
+		img, err := gen.Random(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img)
+	}
+	for _, img := range nacl.UnsafeCorpus() {
+		f.Add(img)
+	}
+	f.Add([]byte{0x83, 0xe0, 0xe0, 0xff, 0xe0}) // masked pair, short bundle
+	f.Add([]byte{0xeb, 0x03, 0xb8, 0, 0, 0, 0}) // jump into an instruction
+
+	c, err := core.NewChecker()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, img []byte) {
+		if len(img) > 1<<20 {
+			t.Skip()
+		}
+		seq := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+		for _, w := range []int{2, 4, 0} {
+			par := c.VerifyWith(img, core.VerifyOptions{Workers: w})
+			if par.Safe != seq.Safe {
+				t.Fatalf("workers=%d: verdict %v, sequential %v on % x", w, par.Safe, seq.Safe, img)
+			}
+			if !reflect.DeepEqual(par.Violations, seq.Violations) || par.Total != seq.Total {
+				t.Fatalf("workers=%d: violations diverged on % x\nseq: %+v\npar: %+v",
+					w, img, seq.Violations, par.Violations)
+			}
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package core
+
+import "fmt"
+
+// This file is the structured diagnostic channel of the verification
+// engine. The sequential checker used to surface violations as
+// fmt.Errorf strings produced in discovery order; the sharded engine
+// instead collects every violation as a typed Violation and reconciles
+// them into a Report whose first entry is the canonical lowest-offset
+// violation — the same one no matter how many workers ran stage 1.
+
+// ViolationKind classifies a sandbox-policy violation. The ordinal
+// doubles as the tie-break priority when two violations share a byte
+// offset (lower ordinal wins), so the merged report is deterministic.
+type ViolationKind uint8
+
+const (
+	// IllegalInstruction: no policy grammar matches at a position the
+	// parse reached (an undecodable or forbidden instruction sequence).
+	IllegalInstruction ViolationKind = iota
+	// TargetOutOfImage: a direct jump's destination lies outside the
+	// image and is not a whitelisted trampoline entry.
+	TargetOutOfImage
+	// MisalignedCall (AlignedCalls checkers only): a call does not end
+	// exactly at a bundle boundary, so its return address is unaligned.
+	MisalignedCall
+	// TargetNotBoundary: a direct jump targets the interior of an
+	// instruction rather than an instruction boundary.
+	TargetNotBoundary
+	// BundleStraddle: a 32-byte bundle boundary is not an instruction
+	// boundary (an instruction straddles it, or the parse never reached
+	// it).
+	BundleStraddle
+)
+
+var kindNames = [...]string{
+	"illegal instruction sequence",
+	"direct jump out of image",
+	"misaligned call return address",
+	"jump into instruction interior",
+	"bundle boundary inside instruction",
+}
+
+func (k ViolationKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+}
+
+// windowBytes is how much code context a Violation carries.
+const windowBytes = 8
+
+// Violation is one structured policy violation. It implements error, so
+// the legacy (bool, error) entry points keep working unchanged.
+type Violation struct {
+	// Offset is the byte offset the violation is attributed to: the
+	// instruction start for parse failures, the destination for target
+	// violations, the boundary for bundle violations, and the end of
+	// the offending call for alignment violations.
+	Offset int
+	Kind   ViolationKind
+	// Window holds up to 8 code bytes starting at Offset (empty when
+	// Offset is at the end of the image).
+	Window []byte
+	// Detail is a human-readable elaboration (e.g. the jump target).
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	s := fmt.Sprintf("core: %s at offset %#x", v.Kind, v.Offset)
+	if v.Detail != "" {
+		s += ": " + v.Detail
+	}
+	if len(v.Window) > 0 {
+		s += fmt.Sprintf(" [bytes % x]", v.Window)
+	}
+	return s
+}
+
+// MaxReportViolations caps the diagnostics retained in a Report. A
+// thoroughly garbage image would otherwise yield one violation per
+// bundle boundary; Total still counts them all.
+const MaxReportViolations = 64
+
+// Report is the structured outcome of a verification run.
+type Report struct {
+	// Safe is the verdict: true exactly when the image satisfies the
+	// aligned sandbox policy.
+	Safe bool
+	// Size is the image size in bytes.
+	Size int
+	// Shards is the number of stage-1 shards the image was split into.
+	Shards int
+	// Workers is the number of workers that executed stage 1.
+	Workers int
+	// Violations is sorted by (Offset, Kind) and capped at
+	// MaxReportViolations; Violations[0] is the canonical first
+	// violation, identical for sequential and parallel runs.
+	Violations []Violation
+	// Total is the number of violations found (>= len(Violations)).
+	Total int
+}
+
+// First returns the canonical (lowest-offset) violation, or nil for a
+// safe image.
+func (r *Report) First() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return &r.Violations[0]
+}
+
+// Err returns nil for a safe image and the first violation otherwise.
+func (r *Report) Err() error {
+	if v := r.First(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// violation builds a Violation carrying a window of code bytes.
+func violation(code []byte, off int, kind ViolationKind, detail string) Violation {
+	v := Violation{Offset: off, Kind: kind, Detail: detail}
+	if off >= 0 && off < len(code) {
+		w := off + windowBytes
+		if w > len(code) {
+			w = len(code)
+		}
+		v.Window = append([]byte(nil), code[off:w]...)
+	}
+	return v
+}

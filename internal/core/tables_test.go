@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"rocksalt/internal/core"
@@ -47,6 +48,56 @@ func TestTableRoundTrip(t *testing.T) {
 		if loaded.Verify(img) {
 			t.Errorf("table-loaded checker accepted %q", name)
 		}
+	}
+}
+
+// TestNewCheckerFromTablesErrorPaths: every malformed table bundle must
+// fail with a descriptive error, never a panic.
+func TestNewCheckerFromTablesErrorPaths(t *testing.T) {
+	set, err := core.BuildDFAs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte{}, good...))
+	}
+	cases := []struct {
+		name    string
+		input   []byte
+		wantSub string
+	}{
+		{"empty input", nil, "magic"},
+		{"truncated magic", mutate(func(b []byte) []byte { return b[:3] }), "magic"},
+		{"wrong version byte", mutate(func(b []byte) []byte { b[4] = '2'; return b }), "not a rocksalt table bundle"},
+		{"truncated header", mutate(func(b []byte) []byte { return b[:8] }), ""},
+		{"truncated bundle", mutate(func(b []byte) []byte { return b[:len(b)/3] }), ""},
+		{"truncated final checksum", mutate(func(b []byte) []byte { return b[:len(b)-2] }), ""},
+		{"corrupted table byte", mutate(func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b }), ""},
+		{"corrupted status byte", mutate(func(b []byte) []byte { b[16] ^= 0x04; return b }), ""},
+		{"zero-state DFA", mutate(func(b []byte) []byte {
+			copy(b[6:10], []byte{0, 0, 0, 0}) // first DFA's state count
+			return b
+		}), "implausible"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := core.NewCheckerFromTables(bytes.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("accepted a malformed bundle (checker %v)", c != nil)
+			}
+			if err.Error() == "" {
+				t.Fatal("error has no message")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
 	}
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"rocksalt/internal/grammar"
 )
 
@@ -89,16 +87,18 @@ func newDFA(g *grammar.DFA) *dfa {
 }
 
 // Verify is Figure 5: returns true exactly when the image satisfies the
-// aligned sandbox policy.
+// aligned sandbox policy. It runs the staged engine sequentially; use
+// VerifyWith to spread stage 1 over a worker pool.
 func (c *Checker) Verify(code []byte) bool {
-	ok, _ := c.VerifyReport(code)
-	return ok
+	return c.VerifyWith(code, VerifyOptions{Workers: 1}).Safe
 }
 
-// VerifyReport is Verify with a diagnostic for the first violation.
+// VerifyReport is Verify with a diagnostic for the first violation. The
+// returned error, when non-nil, is a *Violation carrying the offset,
+// kind and byte window of the canonical lowest-offset violation.
 func (c *Checker) VerifyReport(code []byte) (bool, error) {
-	_, _, err := c.analyze(code)
-	return err == nil, err
+	rep := c.VerifyWith(code, VerifyOptions{Workers: 1})
+	return rep.Safe, rep.Err()
 }
 
 // Analyze runs the verifier and additionally returns its instruction-
@@ -108,81 +108,12 @@ func (c *Checker) VerifyReport(code []byte) (bool, error) {
 // the PC is always at a valid offset, or at a pairJmp offset reached by
 // fall-through from its mask.
 func (c *Checker) Analyze(code []byte) (valid, pairJmp []bool, ok bool) {
-	valid, pairJmp, err := c.analyze(code)
-	return valid, pairJmp, err == nil
+	valid, pairJmp, rep := c.AnalyzeWith(code, VerifyOptions{Workers: 1})
+	return valid, pairJmp, rep.Safe
 }
 
 // maskLen is the encoded size of the masking AND (0x83 modrm imm8).
 const maskLen = 3
-
-func (c *Checker) analyze(code []byte) (valid, pairJmp []bool, err error) {
-	size := len(code)
-	masked, noCF, direct := c.masked, c.noCF, c.direct
-
-	valid = make([]bool, size)
-	pairJmp = make([]bool, size)
-	target := make([]bool, size)
-	pos := 0
-	for pos < size {
-		valid[pos] = true
-		saved := pos
-		if match(masked, code, &pos) {
-			pairJmp[saved+maskLen] = true
-			// The call form of the pair is FF /2 (0xD0|r in the modrm).
-			if c.AlignedCalls && code[pos-1]>>3&7 == 2 && pos%BundleSize != 0 {
-				return nil, nil, fmt.Errorf("core: masked call ending at %#x leaves a misaligned return address", pos)
-			}
-			continue
-		}
-		if match(noCF, code, &pos) {
-			continue
-		}
-		if match(direct, code, &pos) {
-			if c.AlignedCalls && code[saved] == 0xe8 && pos%BundleSize != 0 {
-				return nil, nil, fmt.Errorf("core: call ending at %#x leaves a misaligned return address", pos)
-			}
-			if c.extract(code, saved, pos, target) {
-				continue
-			}
-			return nil, nil, fmt.Errorf("core: direct jump at offset %#x targets outside the image", saved)
-		}
-		return nil, nil, fmt.Errorf("core: illegal instruction sequence at offset %#x", saved)
-	}
-	for i := 0; i < size; i++ {
-		if target[i] && !valid[i] {
-			return nil, nil, fmt.Errorf("core: direct jump targets offset %#x, which is not an instruction boundary", i)
-		}
-		if i&(BundleSize-1) == 0 && !valid[i] {
-			return nil, nil, fmt.Errorf("core: bundle boundary %#x is not an instruction boundary", i)
-		}
-	}
-	return valid, pairJmp, nil
-}
-
-// extract decodes the direct jump occupying code[saved:pos], computes its
-// destination, and records in-image targets in the target array. Targets
-// outside the image are legal only when listed in Entries (the NaCl
-// trampolines). It returns false on an illegal target — the analogue of
-// Figure 5's `extract(...)` failing.
-func (c *Checker) extract(code []byte, saved, pos int, target []bool) bool {
-	var rel int32
-	switch b := code[saved]; {
-	case b == 0xeb || b>>4 == 0x7: // JMP rel8 / Jcc rel8
-		rel = int32(int8(code[pos-1]))
-	case b == 0xe8 || b == 0xe9: // CALL/JMP rel32
-		rel = int32(le32(code[pos-4 : pos]))
-	case b == 0x0f: // Jcc rel32
-		rel = int32(le32(code[pos-4 : pos]))
-	default:
-		return false
-	}
-	t := int64(pos) + int64(rel)
-	if t >= 0 && t < int64(len(code)) {
-		target[t] = true
-		return true
-	}
-	return c.Entries[uint32(t)]
-}
 
 func le32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
