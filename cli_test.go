@@ -19,7 +19,7 @@ func TestCLIPipeline(t *testing.T) {
 	dir := t.TempDir()
 	bin := func(name string) string { return filepath.Join(dir, name) }
 
-	for _, tool := range []string{"rocksalt", "naclgen", "dfagen"} {
+	for _, tool := range []string{"rocksalt", "naclgen", "dfagen", "x86sim"} {
 		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
 		if err != nil {
 			t.Fatalf("building %s: %v\n%s", tool, err, out)
@@ -65,6 +65,28 @@ func TestCLIPipeline(t *testing.T) {
 	}
 	if !strings.Contains(string(msg), "empty") {
 		t.Errorf("empty-file message not descriptive: %q", msg)
+	}
+
+	// x86sim matches rocksalt's behavior on empty input (exit 2, usage
+	// error) instead of wrapping the CS limit to 0xffffffff.
+	cmd = exec.Command(bin("x86sim"), empty)
+	msg, err = cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("x86sim on empty file: want exit 2, got %v", err)
+	}
+	if !strings.Contains(string(msg), "empty") {
+		t.Errorf("x86sim empty-file message not descriptive: %q", msg)
+	}
+
+	// An expired -timeout interrupts verification: exit 3, no verdict,
+	// and in particular never SAFE.
+	cmd = exec.Command(bin("rocksalt"), "-timeout", "1ns", img)
+	msg, err = cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
+		t.Errorf("rocksalt -timeout 1ns: want exit 3, got %v\n%s", err, msg)
+	}
+	if strings.Contains(string(msg), "SAFE") || !strings.Contains(string(msg), "INTERRUPTED") {
+		t.Errorf("interrupted run output wrong: %q", msg)
 	}
 
 	// The unsafe corpus must be rejected with exit status 1.

@@ -5,6 +5,8 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,6 +20,7 @@ import (
 
 	"rocksalt/internal/armor"
 	"rocksalt/internal/core"
+	"rocksalt/internal/faultinject"
 	"rocksalt/internal/grammar"
 	"rocksalt/internal/nacl"
 	"rocksalt/internal/ncval"
@@ -32,7 +35,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 func main() {
-	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso); empty = all")
+	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault); empty = all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -59,6 +62,7 @@ func main() {
 		{"par", parScaling},
 		{"rtl", rtlStats},
 		{"tso", tsoLitmus},
+		{"fault", faultCampaign},
 	} {
 		if sel(e.id) {
 			e.fn()
@@ -543,6 +547,80 @@ func tsoLitmus() {
 	fmt.Printf("   r0=r1=0 under TSO: %d/%d schedules; under SC: %d/%d\n", tsoZZ, trials, scZZ, trials)
 	fmt.Printf("   verdict: %s (the TSO-only outcome is reachable exactly when store buffers exist)\n",
 		pass(tsoZZ > 0 && scZZ == 0))
+}
+
+// faultCampaign runs the adversarial fault-injection harness (the
+// robustness extension): >= 10,000 deterministic mutants of compliant
+// images, each either rejected by the checker or accepted and executed
+// in the sandbox without escaping, plus a DFA-table corruption pass
+// that must fail closed at the loader.
+func faultCampaign() {
+	header("fault", "adversarial fault injection (extension)",
+		"beyond the paper: every mutant of a safe image is rejected, or accepted and contained — zero sandbox escapes")
+	c, err := core.NewChecker()
+	if err != nil {
+		panic(err)
+	}
+	gen := nacl.NewGenerator(17)
+	nBases, perKind := 5, 500 // 5 bases x 4 kinds x 500 = 10,000 mutants
+	if *quick {
+		nBases, perKind = 3, 100
+	}
+	bases := make([][]byte, nBases)
+	for i := range bases {
+		if bases[i], err = gen.Random(60); err != nil {
+			panic(err)
+		}
+		if !c.Verify(bases[i]) {
+			panic("base image rejected before mutation")
+		}
+	}
+	h := &faultinject.Harness{Checker: c}
+	start := time.Now()
+	stats, err := h.Run(context.Background(), bases, perKind, 1)
+	if err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("   %d mutants over %d base images in %v (%.0f mutants/s)\n",
+		stats.Mutants, len(bases), elapsed, float64(stats.Mutants)/elapsed.Seconds())
+	fmt.Printf("   %-12s %8s %8s %10s %8s\n", "mutator", "mutants", "killed", "contained", "escapes")
+	for k := 0; k < faultinject.NumImageKinds; k++ {
+		ks := stats.PerKind[faultinject.Kind(k)]
+		fmt.Printf("   %-12s %8d %8d %10d %8d\n",
+			faultinject.Kind(k), ks.Mutants, ks.Rejected, ks.Contained, ks.Escapes)
+	}
+	fmt.Printf("   %-12s %8d %8d %10d %8d\n", "total",
+		stats.Mutants, stats.Rejected, stats.Contained, len(stats.Escapes))
+	for _, e := range stats.Escapes {
+		fmt.Printf("   ESCAPE: %v\n", e)
+	}
+
+	// DFA-table corruption: the loader must fail closed.
+	set, err := core.BuildDFAs()
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteTables(&buf); err != nil {
+		panic(err)
+	}
+	probes := append([][]byte{}, bases[0], bases[1])
+	for _, img := range nacl.UnsafeCorpus() {
+		probes = append(probes, img)
+	}
+	nTables := 1000
+	if *quick {
+		nTables = 200
+	}
+	rejectedLoads, cleanLoads, terr := faultinject.CheckTables(buf.Bytes(), probes, c, nTables, 3)
+	fmt.Printf("   table corruption: %d corrupt bundles -> %d rejected by loader, %d loaded verdict-identical\n",
+		nTables, rejectedLoads, cleanLoads)
+	if terr != nil {
+		fmt.Printf("   FAIL-OPEN: %v\n", terr)
+	}
+	fmt.Printf("   verdict: %s (zero escapes, table loads fail closed)\n",
+		pass(len(stats.Escapes) == 0 && terr == nil))
 }
 
 func errString(err error) string {

@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	rocksalt [-entries 0x10000,0x10020] [-j N] file.bin
+//	rocksalt [-entries 0x10000,0x10020] [-j N] [-timeout 5s] file.bin
 //
 // The exit status is 0 when the image is safe, 1 when it is rejected,
-// and 2 on usage or input errors (including an empty input file).
+// 2 on usage or input errors (including an empty input file), and 3
+// when -timeout expired before verification finished — an interrupted
+// run is never reported safe.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +28,10 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress output; use the exit status")
 	tables := flag.String("tables", "", "load pre-generated DFA tables (from dfagen -o) instead of compiling grammars")
 	workers := flag.Int("j", 1, "stage-1 verification workers (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 0, "abort verification after this duration (exit 3); 0 = no limit")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rocksalt [-entries addr,addr] [-j N] [-q] file.bin")
+		fmt.Fprintln(os.Stderr, "usage: rocksalt [-entries addr,addr] [-j N] [-timeout d] [-q] file.bin")
 		os.Exit(2)
 	}
 	code, err := os.ReadFile(flag.Arg(0))
@@ -67,9 +71,21 @@ func main() {
 			checker.Entries[uint32(v)] = true
 		}
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	rep := checker.VerifyWith(code, core.VerifyOptions{Workers: *workers})
+	rep := checker.VerifyContext(ctx, code, core.VerifyOptions{Workers: *workers})
 	elapsed := time.Since(start)
+	if rep.Interrupted() {
+		if !*quiet {
+			fmt.Printf("%s: INTERRUPTED (%s after %v; no verdict)\n", flag.Arg(0), rep.Outcome, elapsed)
+		}
+		os.Exit(3)
+	}
 	if !*quiet {
 		if rep.Safe {
 			fmt.Printf("%s: SAFE (%d bytes, %d shards, %d workers, checked in %v)\n",
@@ -82,6 +98,9 @@ func main() {
 			}
 			if len(v.Window) > 0 {
 				fmt.Printf("  bytes at %#x: % x\n", v.Offset, v.Window)
+			}
+			if v.Stack != "" {
+				fmt.Printf("  recovered stack:\n%s\n", v.Stack)
 			}
 			if rep.Total > 1 {
 				fmt.Printf("  (%d violations in total; lowest offset shown)\n", rep.Total)

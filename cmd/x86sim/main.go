@@ -31,6 +31,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "x86sim:", err)
 		os.Exit(2)
 	}
+	if len(code) == 0 {
+		// Without this, uint32(len(code)-1) wraps to 0xffffffff and the
+		// empty file gets a 4 GiB code segment of zero bytes.
+		fmt.Fprintf(os.Stderr, "x86sim: %s: empty input image (nothing to simulate)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
 	st := machine.New()
 	for _, s := range []x86.SegReg{x86.ES, x86.SS, x86.DS, x86.FS, x86.GS} {

@@ -42,23 +42,37 @@ func NewCheckerFromTables(r io.Reader) (*Checker, error) {
 }
 
 // VerifyOptions configures the staged verification engine behind
-// Checker.VerifyWith: Workers spreads stage-1 shard parsing over a
-// worker pool (0 = GOMAXPROCS, 1 = in-line). Sequential and parallel
+// Checker.VerifyWith and Checker.VerifyContext: Workers spreads stage-1
+// shard parsing over a worker pool (0 = GOMAXPROCS, 1 = in-line; absurd
+// values are clamped, see core.MaxWorkers). Sequential and parallel
 // runs return identical reports.
+//
+// Checker.VerifyContext / AnalyzeContext accept a context.Context:
+// workers poll cancellation between shards, and an interrupted run
+// returns a report with Outcome Canceled or Deadline — never Safe and
+// never a partial violation list. Shard-worker panics are contained and
+// fail closed as InternalFault violations carrying the recovered stack.
 type VerifyOptions = core.VerifyOptions
 
 // Report is the structured verification outcome: the verdict plus every
 // violation found, sorted so Report.First is the canonical lowest-offset
-// diagnostic regardless of worker count.
+// diagnostic regardless of worker count. Report.Outcome distinguishes a
+// completed verdict from a canceled or deadline-exceeded run
+// (Report.Interrupted).
 type Report = core.Report
 
+// Outcome classifies how a run ended (core.OutcomeSafe,
+// core.OutcomeRejected, core.OutcomeCanceled, core.OutcomeDeadline).
+type Outcome = core.Outcome
+
 // Violation is one structured policy violation (offset, kind, byte
-// window, detail). It implements error.
+// window, detail; InternalFault violations also carry the recovered
+// stack). It implements error.
 type Violation = core.Violation
 
 // ViolationKind classifies violations (core.IllegalInstruction,
 // core.TargetOutOfImage, core.MisalignedCall, core.TargetNotBoundary,
-// core.BundleStraddle).
+// core.BundleStraddle, core.InternalFault).
 type ViolationKind = core.ViolationKind
 
 // ---------- The x86 model ----------

@@ -1,10 +1,12 @@
 package rocksalt_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"rocksalt"
+	"rocksalt/internal/core"
 	"rocksalt/internal/sim"
 	"rocksalt/internal/x86"
 )
@@ -53,6 +55,36 @@ func ExampleChecker_VerifyWith() {
 	// Output:
 	// safe: false
 	// first violation: jump into instruction interior at offset 0x5
+}
+
+// ExampleChecker_VerifyContext shows the fail-closed cancellation
+// contract: a verification run whose context is already dead reaches no
+// verdict — it is never reported safe, carries no partial violations,
+// and surfaces the context error.
+func ExampleChecker_VerifyContext() {
+	checker, err := rocksalt.NewChecker()
+	if err != nil {
+		panic(err)
+	}
+	img := make([]byte, 4*rocksalt.BundleSize)
+	for i := range img {
+		img[i] = 0x90 // nop
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the run starts
+	rep := checker.VerifyContext(ctx, img, rocksalt.VerifyOptions{Workers: 0})
+	fmt.Println("safe:", rep.Safe)
+	fmt.Println("outcome:", rep.Outcome)
+	fmt.Println("interrupted:", rep.Interrupted())
+	fmt.Println("err:", rep.Err())
+	fmt.Println("completed run:", checker.VerifyContext(context.Background(), img,
+		rocksalt.VerifyOptions{}).Outcome == core.OutcomeSafe)
+	// Output:
+	// safe: false
+	// outcome: canceled
+	// interrupted: true
+	// err: context canceled
+	// completed run: true
 }
 
 // ExampleSimulator runs three instructions through the executable model.

@@ -1,0 +1,201 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+)
+
+func bigImage(t testing.TB, instrs int) []byte {
+	t.Helper()
+	img, err := nacl.NewGenerator(55).Random(instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestVerifyContextCompleted: with a live context, VerifyContext is
+// exactly VerifyWith — same verdict, outcome and violations.
+func TestVerifyContextCompleted(t *testing.T) {
+	c := checker(t)
+	img := bigImage(t, 2000)
+	for _, w := range []int{1, 4} {
+		rep := c.VerifyContext(context.Background(), img, core.VerifyOptions{Workers: w})
+		if !rep.Safe || rep.Outcome != core.OutcomeSafe || rep.Interrupted() || rep.Err() != nil {
+			t.Fatalf("workers=%d: completed run misreported: %+v", w, rep)
+		}
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] = 0xc3
+	rep := c.VerifyContext(context.Background(), bad, core.VerifyOptions{Workers: 4})
+	if rep.Safe || rep.Outcome != core.OutcomeRejected {
+		t.Fatalf("rejected run misreported: %+v", rep)
+	}
+}
+
+// TestVerifyContextPreCanceled: an already-dead context never reports
+// Safe, carries no partial violations, and surfaces the context error.
+func TestVerifyContextPreCanceled(t *testing.T) {
+	c := checker(t)
+	img := bigImage(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		rep := c.VerifyContext(ctx, img, core.VerifyOptions{Workers: w})
+		if rep.Safe {
+			t.Fatalf("workers=%d: canceled run reported Safe", w)
+		}
+		if rep.Outcome != core.OutcomeCanceled || !rep.Interrupted() {
+			t.Fatalf("workers=%d: outcome = %v, want canceled", w, rep.Outcome)
+		}
+		if len(rep.Violations) != 0 || rep.Total != 0 {
+			t.Fatalf("workers=%d: interrupted run carries partial violations: %+v", w, rep)
+		}
+		if !errors.Is(rep.Err(), context.Canceled) {
+			t.Fatalf("workers=%d: Err() = %v, want context.Canceled", w, rep.Err())
+		}
+	}
+}
+
+// TestVerifyContextCanceledMidStage1 injects cancellation from inside a
+// stage-1 shard worker: the run must stop promptly, never report Safe,
+// and never surface the nondeterministic subset of violations the
+// surviving workers happened to find. This is the acceptance-criteria
+// test that a canceled run returns a non-Safe structured report.
+func TestVerifyContextCanceledMidStage1(t *testing.T) {
+	c := checker(t)
+	img := bigImage(t, 60000) // dozens of shards
+	if n := (len(img) + core.ShardBytes - 1) / core.ShardBytes; n < 8 {
+		t.Fatalf("image too small to exercise mid-run cancellation: %d shards", n)
+	}
+	for _, w := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var fired atomic.Int32
+		core.SetShardHook(func(shard int) {
+			if fired.Add(1) == 3 { // cancel while stage 1 is in flight
+				cancel()
+			}
+		})
+		rep := c.VerifyContext(ctx, img, core.VerifyOptions{Workers: w})
+		core.SetShardHook(nil)
+		cancel()
+		if rep.Safe {
+			t.Fatalf("workers=%d: mid-run-canceled verification reported Safe", w)
+		}
+		if rep.Outcome != core.OutcomeCanceled {
+			t.Fatalf("workers=%d: outcome = %v, want canceled", w, rep.Outcome)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("workers=%d: canceled run leaked %d partial violations", w, len(rep.Violations))
+		}
+		if int(fired.Load()) >= rep.Shards {
+			t.Fatalf("workers=%d: cancellation did not stop stage 1 early (%d/%d shards parsed)",
+				w, fired.Load(), rep.Shards)
+		}
+	}
+}
+
+// TestVerifyContextDeadline: an expired deadline yields the Deadline
+// outcome and context.DeadlineExceeded, on the safe and unsafe image
+// alike (deterministically non-Safe either way).
+func TestVerifyContextDeadline(t *testing.T) {
+	c := checker(t)
+	img := bigImage(t, 2000)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	rep := c.VerifyContext(ctx, img, core.VerifyOptions{Workers: 2})
+	if rep.Safe || rep.Outcome != core.OutcomeDeadline || !rep.Interrupted() {
+		t.Fatalf("deadline run misreported: %+v", rep)
+	}
+	if !errors.Is(rep.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want context.DeadlineExceeded", rep.Err())
+	}
+}
+
+// TestShardWorkerPanicFailsClosed injects a panic into one stage-1
+// shard worker: the pool must drain normally (no deadlock, no process
+// crash) and the report must fail closed with an InternalFault
+// violation carrying the panic value and the recovered stack.
+func TestShardWorkerPanicFailsClosed(t *testing.T) {
+	c := checker(t)
+	img := bigImage(t, 20000)
+	shards := (len(img) + core.ShardBytes - 1) / core.ShardBytes
+	if shards < 3 {
+		t.Fatalf("need >= 3 shards, have %d", shards)
+	}
+	for _, w := range []int{1, 4} {
+		core.SetShardHook(func(shard int) {
+			if shard == 1 {
+				panic("injected shard fault")
+			}
+		})
+		rep := c.VerifyWith(img, core.VerifyOptions{Workers: w})
+		core.SetShardHook(nil)
+		if rep.Safe {
+			t.Fatalf("workers=%d: panicking run reported Safe", w)
+		}
+		if rep.Outcome != core.OutcomeRejected {
+			t.Fatalf("workers=%d: outcome = %v, want rejected", w, rep.Outcome)
+		}
+		var fault *core.Violation
+		for i := range rep.Violations {
+			if rep.Violations[i].Kind == core.InternalFault {
+				fault = &rep.Violations[i]
+				break
+			}
+		}
+		if fault == nil {
+			t.Fatalf("workers=%d: no InternalFault violation in %+v", w, rep.Violations)
+		}
+		if fault.Offset != core.ShardBytes {
+			t.Errorf("workers=%d: fault attributed to %#x, want shard 1 start %#x",
+				w, fault.Offset, core.ShardBytes)
+		}
+		if !strings.Contains(fault.Detail, "injected shard fault") {
+			t.Errorf("workers=%d: panic value missing from detail: %q", w, fault.Detail)
+		}
+		if !strings.Contains(fault.Stack, "goroutine") {
+			t.Errorf("workers=%d: recovered stack missing from violation", w)
+		}
+	}
+	// The checker must remain fully usable after containment.
+	if !c.Verify(img) {
+		t.Fatal("checker broken after contained panic")
+	}
+}
+
+// TestWorkersClampAbsurd is the robustness satellite: Workers: 1<<30
+// must neither allocate per-worker state proportionally (the run
+// completes instantly in bounded memory) nor diverge from the
+// sequential report.
+func TestWorkersClampAbsurd(t *testing.T) {
+	c := checker(t)
+	img := bigImage(t, 20000)
+	seq := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	for _, w := range []int{1 << 30, -5, core.MaxWorkers + 1} {
+		par := c.VerifyWith(img, core.VerifyOptions{Workers: w})
+		if par.Workers > core.MaxWorkers || par.Workers > par.Shards || par.Workers < 1 {
+			t.Fatalf("Workers: %d ran with %d workers (shards %d, cap %d)",
+				w, par.Workers, par.Shards, core.MaxWorkers)
+		}
+		if seq.Safe != par.Safe || !reflect.DeepEqual(seq.Violations, par.Violations) {
+			t.Fatalf("Workers: %d diverged from sequential", w)
+		}
+	}
+	// The mutated image must agree too (violations, not just verdicts).
+	bad := append([]byte(nil), img...)
+	bad[17] = 0xcd
+	seq = c.VerifyWith(bad, core.VerifyOptions{Workers: 1})
+	par := c.VerifyWith(bad, core.VerifyOptions{Workers: 1 << 30})
+	if seq.Safe != par.Safe || !reflect.DeepEqual(seq.Violations, par.Violations) {
+		t.Fatal("absurd worker count diverged from sequential on a rejected image")
+	}
+}

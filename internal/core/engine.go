@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 )
@@ -25,8 +27,37 @@ import (
 type VerifyOptions struct {
 	// Workers is the number of goroutines parsing stage-1 shards: 1 (or
 	// an image smaller than one shard) runs in-line with no goroutines;
-	// 0 or negative means runtime.GOMAXPROCS(0).
+	// 0 or negative means runtime.GOMAXPROCS(0). The value is clamped by
+	// clampWorkers — to the shard count and to MaxWorkers — so absurd
+	// requests (Workers: 1<<30) cost nothing: no per-worker state is
+	// allocated beyond the clamped count, and the report is identical to
+	// the sequential one. Report.Workers records the clamped value.
 	Workers int
+}
+
+// MaxWorkers is the hard ceiling on stage-1 workers. Beyond the machine
+// parallelism extra goroutines only add scheduling overhead; the cap
+// keeps a hostile or buggy caller from turning Workers into a
+// goroutine-exhaustion vector on many-shard images.
+const MaxWorkers = 1024
+
+// clampWorkers is the single place worker-count hygiene lives: <= 0
+// means all CPUs, and the result is bounded by the shard count, by
+// MaxWorkers, and below by 1.
+func clampWorkers(workers, shards int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > MaxWorkers {
+		workers = MaxWorkers
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // ShardBytes is the stage-1 shard size: an aligned group of 512
@@ -48,7 +79,18 @@ type shardResult struct {
 
 // VerifyWith runs the staged engine and returns the structured report.
 func (c *Checker) VerifyWith(code []byte, opts VerifyOptions) *Report {
-	_, _, rep := c.run(code, opts.Workers)
+	_, _, rep := c.run(context.Background(), code, opts.Workers)
+	return rep
+}
+
+// VerifyContext is VerifyWith under a context. Stage-1 shard workers
+// check for cancellation between shards; once the context is done the
+// run stops promptly and returns a report with Outcome Canceled or
+// Deadline (and Safe == false) instead of a partial verdict. A canceled
+// run never reports Safe and never surfaces the nondeterministic subset
+// of violations it happened to reach.
+func (c *Checker) VerifyContext(ctx context.Context, code []byte, opts VerifyOptions) *Report {
+	_, _, rep := c.run(ctx, code, opts.Workers)
 	return rep
 }
 
@@ -56,28 +98,70 @@ func (c *Checker) VerifyWith(code []byte, opts VerifyOptions) *Report {
 // masked-pair jump positions (see Analyze for their meaning). The
 // bitmaps are only meaningful when the report is Safe.
 func (c *Checker) AnalyzeWith(code []byte, opts VerifyOptions) (valid, pairJmp []bool, rep *Report) {
-	return c.run(code, opts.Workers)
+	return c.run(context.Background(), code, opts.Workers)
+}
+
+// AnalyzeContext is AnalyzeWith under a context, with VerifyContext's
+// cancellation semantics. The bitmaps are only meaningful when the
+// report is Safe (in particular, never for an interrupted run).
+func (c *Checker) AnalyzeContext(ctx context.Context, code []byte, opts VerifyOptions) (valid, pairJmp []bool, rep *Report) {
+	return c.run(ctx, code, opts.Workers)
+}
+
+// testShardHook, when non-nil, runs at the start of every stage-1 shard
+// parse with the shard index. Tests use it to inject cancellation and
+// panics mid-stage-1; it is never set in production.
+var testShardHook func(shard int)
+
+// interrupted builds the fail-closed report for a run whose context
+// ended before stage 2: no verdict, no partial violations.
+func interrupted(size, shards, workers int, err error) *Report {
+	out := OutcomeCanceled
+	if err == context.DeadlineExceeded {
+		out = OutcomeDeadline
+	}
+	return &Report{
+		Safe:    false,
+		Outcome: out,
+		Size:    size,
+		Shards:  shards,
+		Workers: workers,
+		ctxErr:  err,
+	}
 }
 
 // run executes stage 1 over the shard decomposition and stage 2 over
-// the merged results.
-func (c *Checker) run(code []byte, workers int) (valid, pairJmp []bool, rep *Report) {
+// the merged results. Shard workers poll ctx between shards and panics
+// inside a shard parse are converted to InternalFault violations, so a
+// hostile image (or a bug behind it) can stop the run early or fail it
+// closed, but can neither hang the pool nor crash the process.
+func (c *Checker) run(ctx context.Context, code []byte, workers int) (valid, pairJmp []bool, rep *Report) {
 	size := len(code)
 	shards := (size + ShardBytes - 1) / ShardBytes
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > shards {
-		workers = shards
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers = clampWorkers(workers, shards)
 	valid = make([]bool, size)
 	pairJmp = make([]bool, size)
 	results := make([]shardResult, shards)
 
 	parse := func(s int) {
+		defer func() {
+			if r := recover(); r != nil {
+				// Fail closed: a panicking shard becomes a structured
+				// violation attributed to the shard start, carrying the
+				// recovered value and stack. The worker itself survives,
+				// so the pool drains normally instead of deadlocking on
+				// a lost wg.Done.
+				results[s] = shardResult{violations: []Violation{{
+					Offset: s * ShardBytes,
+					Kind:   InternalFault,
+					Detail: fmt.Sprintf("shard %d worker panicked: %v", s, r),
+					Stack:  string(debug.Stack()),
+				}}}
+			}
+		}()
+		if testShardHook != nil {
+			testShardHook(s)
+		}
 		start := s * ShardBytes
 		end := start + ShardBytes
 		if end > size {
@@ -87,8 +171,14 @@ func (c *Checker) run(code []byte, workers int) (valid, pairJmp []bool, rep *Rep
 		// bitmaps, so no synchronization is needed beyond the pool's.
 		results[s] = c.parseShard(code, start, end, valid, pairJmp)
 	}
+	// Workers poll ctx.Err between shards: one atomic load per 16 KiB
+	// shard parse, observed synchronously (a cancel that happened-before
+	// a shard starts is always seen).
 	if workers == 1 {
 		for s := 0; s < shards; s++ {
+			if ctx.Err() != nil {
+				break
+			}
 			parse(s)
 		}
 	} else {
@@ -99,6 +189,11 @@ func (c *Checker) run(code []byte, workers int) (valid, pairJmp []bool, rep *Rep
 			go func() {
 				defer wg.Done()
 				for s := range jobs {
+					if ctx.Err() != nil {
+						// The channel is buffered and already closed, so
+						// returning early cannot block the producer.
+						return
+					}
 					parse(s)
 				}
 			}()
@@ -108,6 +203,9 @@ func (c *Checker) run(code []byte, workers int) (valid, pairJmp []bool, rep *Rep
 		}
 		close(jobs)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return valid, pairJmp, interrupted(size, shards, workers, err)
 	}
 	return valid, pairJmp, c.reconcile(code, valid, results, shards, workers)
 }
@@ -252,8 +350,13 @@ func (c *Checker) reconcile(code []byte, valid []bool, results []shardResult, sh
 	if len(all) > MaxReportViolations {
 		all = all[:MaxReportViolations]
 	}
+	outcome := OutcomeSafe
+	if total > 0 {
+		outcome = OutcomeRejected
+	}
 	return &Report{
 		Safe:       total == 0,
+		Outcome:    outcome,
 		Size:       size,
 		Shards:     shards,
 		Workers:    workers,

@@ -31,6 +31,11 @@ const (
 	// boundary (an instruction straddles it, or the parse never reached
 	// it).
 	BundleStraddle
+	// InternalFault: a stage-1 shard worker panicked. The checker fails
+	// closed — a run that faulted internally can never report Safe — and
+	// the recovered panic value and goroutine stack ride along in Detail
+	// and Stack for diagnostics.
+	InternalFault
 )
 
 var kindNames = [...]string{
@@ -39,6 +44,7 @@ var kindNames = [...]string{
 	"misaligned call return address",
 	"jump into instruction interior",
 	"bundle boundary inside instruction",
+	"internal fault in verifier",
 }
 
 func (k ViolationKind) String() string {
@@ -65,6 +71,9 @@ type Violation struct {
 	Window []byte
 	// Detail is a human-readable elaboration (e.g. the jump target).
 	Detail string
+	// Stack is the recovered goroutine stack for InternalFault
+	// violations; empty otherwise.
+	Stack string
 }
 
 func (v *Violation) Error() string {
@@ -83,11 +92,42 @@ func (v *Violation) Error() string {
 // bundle boundary; Total still counts them all.
 const MaxReportViolations = 64
 
+// Outcome classifies how a verification run ended. Only OutcomeSafe
+// pairs with Safe == true; an interrupted run (canceled or past its
+// deadline) is never Safe, so callers that only look at the boolean
+// still fail closed.
+type Outcome uint8
+
+const (
+	// OutcomeSafe: the run completed and the image satisfies the policy.
+	OutcomeSafe Outcome = iota
+	// OutcomeRejected: the run completed and found violations (including
+	// the fail-closed InternalFault conversion of a worker panic).
+	OutcomeRejected
+	// OutcomeCanceled: the context was canceled before the run finished;
+	// no verdict was reached and Violations is empty.
+	OutcomeCanceled
+	// OutcomeDeadline: the context deadline expired before the run
+	// finished; no verdict was reached and Violations is empty.
+	OutcomeDeadline
+)
+
+var outcomeNames = [...]string{"safe", "rejected", "canceled", "deadline exceeded"}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
 // Report is the structured outcome of a verification run.
 type Report struct {
 	// Safe is the verdict: true exactly when the image satisfies the
-	// aligned sandbox policy.
+	// aligned sandbox policy. Interrupted runs are never Safe.
 	Safe bool
+	// Outcome distinguishes a completed verdict from an interrupted run.
+	Outcome Outcome
 	// Size is the image size in bytes.
 	Size int
 	// Shards is the number of stage-1 shards the image was split into.
@@ -100,6 +140,17 @@ type Report struct {
 	Violations []Violation
 	// Total is the number of violations found (>= len(Violations)).
 	Total int
+	// ctxErr is the context error that interrupted the run (nil for a
+	// completed run); surfaced through Err.
+	ctxErr error
+}
+
+// Interrupted reports whether the run stopped before reaching a verdict
+// because its context was canceled or its deadline expired. Interrupted
+// reports carry no violations: the partial stage-1 results are
+// discarded rather than presented as a (nondeterministic) diagnosis.
+func (r *Report) Interrupted() bool {
+	return r.Outcome == OutcomeCanceled || r.Outcome == OutcomeDeadline
 }
 
 // First returns the canonical (lowest-offset) violation, or nil for a
@@ -111,8 +162,12 @@ func (r *Report) First() *Violation {
 	return &r.Violations[0]
 }
 
-// Err returns nil for a safe image and the first violation otherwise.
+// Err returns nil for a safe image, the context error for an
+// interrupted run, and the first violation otherwise.
 func (r *Report) Err() error {
+	if r.ctxErr != nil {
+		return r.ctxErr
+	}
 	if v := r.First(); v != nil {
 		return v
 	}

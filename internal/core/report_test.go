@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rocksalt/internal/core"
+)
+
+// TestViolationKindStrings pins the String() of every violation kind:
+// these are part of the CLI's diagnostic contract, so a reorder or an
+// off-by-one in the name table must fail loudly.
+func TestViolationKindStrings(t *testing.T) {
+	want := map[core.ViolationKind]string{
+		core.IllegalInstruction: "illegal instruction sequence",
+		core.TargetOutOfImage:   "direct jump out of image",
+		core.MisalignedCall:     "misaligned call return address",
+		core.TargetNotBoundary:  "jump into instruction interior",
+		core.BundleStraddle:     "bundle boundary inside instruction",
+		core.InternalFault:      "internal fault in verifier",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", k, got, s)
+		}
+	}
+	// Out-of-range kinds must not panic or alias a real name.
+	if got := core.ViolationKind(99).String(); got != "ViolationKind(99)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+// TestOutcomeStrings does the same for run outcomes.
+func TestOutcomeStrings(t *testing.T) {
+	want := map[core.Outcome]string{
+		core.OutcomeSafe:     "safe",
+		core.OutcomeRejected: "rejected",
+		core.OutcomeCanceled: "canceled",
+		core.OutcomeDeadline: "deadline exceeded",
+	}
+	for o, s := range want {
+		if got := o.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", o, got, s)
+		}
+	}
+	if got := core.Outcome(42).String(); got != "Outcome(42)" {
+		t.Errorf("unknown outcome String() = %q", got)
+	}
+}
+
+// TestViolationWindowEdges drives the byte-window printer to the edges
+// of the image: the window must clip at the end, exist at the start,
+// and never slice negatively. The checker path is used (not the raw
+// constructor) so the test pins real behavior.
+func TestViolationWindowEdges(t *testing.T) {
+	c := checker(t)
+
+	// Violation at offset 0 of a tiny image: window is the whole image.
+	tiny := []byte{0xc3} // ret, illegal
+	rep := c.VerifyWith(tiny, core.VerifyOptions{Workers: 1})
+	if rep.Safe {
+		t.Fatal("ret accepted")
+	}
+	v := rep.First()
+	if v.Offset != 0 || !bytes.Equal(v.Window, tiny) {
+		t.Fatalf("tiny-image violation: offset %d window % x", v.Offset, v.Window)
+	}
+
+	// Violation at the very end: a bundle of nops with an illegal last
+	// byte; the straddle/illegal offset sits one byte before the end, so
+	// the window must clip to that single byte.
+	img := bytes.Repeat([]byte{0x90}, 32)
+	img[31] = 0xc3
+	rep = c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	if rep.Safe {
+		t.Fatal("trailing ret accepted")
+	}
+	v = rep.First()
+	if v.Offset != 31 {
+		t.Fatalf("trailing violation at %d, want 31", v.Offset)
+	}
+	if len(v.Window) != 1 || v.Window[0] != 0xc3 {
+		t.Fatalf("window at image end = % x, want c3", v.Window)
+	}
+
+	// Violation attributed to the end-of-image offset (a straddle
+	// reported at a boundary == len(code)) carries an empty window and a
+	// printable message.
+	short := bytes.Repeat([]byte{0x90}, 30)
+	short[29] = 0xb8 // 5-byte mov truncated by the image end
+	rep = c.VerifyWith(short, core.VerifyOptions{Workers: 1})
+	if rep.Safe {
+		t.Fatal("truncated mov accepted")
+	}
+	for i := range rep.Violations {
+		v := &rep.Violations[i]
+		if v.Offset > len(short) || (v.Offset == len(short) && len(v.Window) != 0) {
+			t.Fatalf("violation %v: offset %d window % x escapes the image", v.Kind, v.Offset, v.Window)
+		}
+		if v.Error() == "" {
+			t.Fatalf("violation %v: empty message", v.Kind)
+		}
+	}
+
+	// A full window mid-image is exactly 8 bytes.
+	mid := bytes.Repeat([]byte{0x90}, 64)
+	mid[32] = 0xc3
+	rep = c.VerifyWith(mid, core.VerifyOptions{Workers: 1})
+	if v := rep.First(); len(v.Window) != 8 {
+		t.Fatalf("mid-image window = %d bytes, want 8", len(v.Window))
+	}
+}
+
+// TestViolationErrorFormat pins the message shape with and without
+// detail and window.
+func TestViolationErrorFormat(t *testing.T) {
+	c := checker(t)
+	img := bytes.Repeat([]byte{0x90}, 32)
+	img[0] = 0xe9 // jmp rel32 out of the image
+	rep := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	if rep.Safe {
+		t.Fatal("wild jump accepted")
+	}
+	msg := rep.First().Error()
+	for _, want := range []string{"core:", "offset", "bytes"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic %q missing %q", msg, want)
+		}
+	}
+	v := core.Violation{Offset: 3, Kind: core.IllegalInstruction}
+	if got := v.Error(); got != "core: illegal instruction sequence at offset 0x3" {
+		t.Errorf("bare violation message = %q", got)
+	}
+	v.Detail = "why"
+	if got := v.Error(); !strings.HasSuffix(got, ": why") {
+		t.Errorf("detailed message = %q", got)
+	}
+}

@@ -1,0 +1,107 @@
+// Package faultinject is the adversarial side of the verification
+// stack: deterministic, seedable mutators that corrupt code images (and
+// the serialized DFA tables the checker can be loaded from), plus a
+// harness that checks the fail-closed soundness invariant on every
+// mutant — a mutant is either rejected by the checker, or it is
+// accepted and the simulator cannot escape the sandbox while running
+// it. The mutator families follow where SFI soundness bugs actually
+// hide: flipped bits inside encodings, spliced and truncated images,
+// and instructions straddling the 32-byte bundle boundary.
+//
+// Everything is deterministic: Mutate(img, kind, seed) is a pure
+// function, so a failing (kind, seed) pair from the experiment harness
+// or the fuzzer reproduces exactly.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rocksalt/internal/core"
+)
+
+// Kind enumerates the mutator families.
+type Kind int
+
+const (
+	// BitFlip flips 1–4 random bits anywhere in the image.
+	BitFlip Kind = iota
+	// ByteSplice overwrites a short run of bytes, either with random
+	// garbage or with a run copied from elsewhere in the image (the
+	// latter preserves local plausibility — every byte is one the
+	// assembler really emitted).
+	ByteSplice
+	// Truncate cuts the image to a shorter (usually bundle-misaligned)
+	// length.
+	Truncate
+	// Straddle plants a multi-byte immediate instruction so that it
+	// begins before a bundle boundary and extends across it — the exact
+	// shape the bundle invariant exists to reject.
+	Straddle
+	// TableCorrupt corrupts the serialized DFA table bundle rather than
+	// the image; the harness asserts the table loader fails closed. It
+	// is handled by CheckTables, not Mutate.
+	TableCorrupt
+
+	// NumImageKinds counts the mutator families that apply to images
+	// (everything before TableCorrupt).
+	NumImageKinds = int(TableCorrupt)
+)
+
+var kindNames = [...]string{"bit-flip", "byte-splice", "truncate", "straddle", "table-corrupt"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Mutate returns a deterministic mutant of img for (kind, seed). The
+// input is never modified; the mutant is always a fresh slice. Images
+// too small for a given mutator (or kind TableCorrupt) are returned as
+// plain copies.
+func Mutate(img []byte, kind Kind, seed int64) []byte {
+	out := append([]byte(nil), img...)
+	if len(out) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case BitFlip:
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			bit := rng.Intn(len(out) * 8)
+			out[bit/8] ^= 1 << (bit % 8)
+		}
+	case ByteSplice:
+		n := 1 + rng.Intn(16)
+		if n > len(out) {
+			n = len(out)
+		}
+		dst := rng.Intn(len(out) - n + 1)
+		if rng.Intn(2) == 0 {
+			rng.Read(out[dst : dst+n])
+		} else {
+			src := rng.Intn(len(out) - n + 1)
+			copy(out[dst:dst+n], img[src:src+n])
+		}
+	case Truncate:
+		if len(out) > 1 {
+			out = out[:1+rng.Intn(len(out)-1)]
+		}
+	case Straddle:
+		// A MOV r32, imm32 (0xb8+r, 5 bytes) planted 1–4 bytes before a
+		// bundle boundary necessarily crosses it.
+		if len(out) > core.BundleSize {
+			boundaries := len(out) / core.BundleSize
+			b := (1 + rng.Intn(boundaries)) * core.BundleSize
+			at := b - 1 - rng.Intn(4)
+			if at < 0 {
+				at = 0
+			}
+			enc := []byte{0xb8 + byte(rng.Intn(8)), byte(rng.Int()), byte(rng.Int()), byte(rng.Int()), byte(rng.Int())}
+			copy(out[at:], enc[:min(len(enc), len(out)-at)])
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/rtl"
+	"rocksalt/internal/sim"
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/decode"
+	"rocksalt/internal/x86/machine"
+)
+
+// The sandbox layout the harness simulates accepted mutants under —
+// the same shape as the executable soundness theorem's tests: code and
+// data segments disjoint, with guard space between and around them.
+const (
+	codeBase = 0x10000
+	dataBase = 0x200000
+	dataLim  = 0xffff
+)
+
+// Escape records one invariant violation: an accepted mutant whose
+// simulation left the sandbox. Any Escape is a soundness bug in the
+// checker (or a containment bug in the model) — the campaign's expected
+// count is zero, always.
+type Escape struct {
+	Kind   Kind
+	Seed   int64
+	Base   int // index of the base image the mutant came from
+	Detail string
+}
+
+func (e Escape) String() string {
+	return fmt.Sprintf("%v mutant (base %d, seed %d): %s", e.Kind, e.Base, e.Seed, e.Detail)
+}
+
+// Stats aggregates a mutation campaign. PerKind is the mutant-kill
+// table: for each mutator family, how many mutants were generated, how
+// many the checker rejected (killed), and how many were accepted and
+// then simulated without escaping.
+type Stats struct {
+	Mutants   int
+	Rejected  int
+	Contained int
+	PerKind   map[Kind]*KindStats
+	Escapes   []Escape
+}
+
+// KindStats is one row of the mutant-kill table.
+type KindStats struct {
+	Mutants   int
+	Rejected  int
+	Contained int
+	Escapes   int
+}
+
+// Harness drives deterministic mutation campaigns against a checker.
+// The zero value is not usable; fill in Checker.
+type Harness struct {
+	Checker *core.Checker
+	// MaxSteps bounds the simulation of each accepted mutant (default
+	// 200). Traps, decode failures and contained panics are safe halts.
+	MaxSteps int
+	// SimSeeds is how many (register file, oracle) randomizations each
+	// accepted mutant is executed under (default 2).
+	SimSeeds int
+	// Workers is passed through to the verifier (default 1; the
+	// campaign itself is the parallel dimension).
+	Workers int
+
+	// dec and s are shared by every simulation: the decoder's lazy parse
+	// trie and the simulator's translation cache warm up across mutants,
+	// which dominates campaign throughput. The cache key is (pc,
+	// instruction bytes), so reuse across unrelated images is sound.
+	dec *decode.Decoder
+	s   *sim.Simulator
+}
+
+func (h *Harness) decoder() *decode.Decoder {
+	if h.dec == nil {
+		h.dec = decode.NewDecoder()
+	}
+	return h.dec
+}
+
+// simulator returns the shared simulator retargeted at st.
+func (h *Harness) simulator(st *machine.State) *sim.Simulator {
+	if h.s == nil {
+		h.s = sim.New(st)
+		h.s.Dec = h.decoder()
+	}
+	h.s.St = st
+	return h.s
+}
+
+func (h *Harness) maxSteps() int {
+	if h.MaxSteps > 0 {
+		return h.MaxSteps
+	}
+	return 200
+}
+
+func (h *Harness) simSeeds() int {
+	if h.SimSeeds > 0 {
+		return h.SimSeeds
+	}
+	return 2
+}
+
+// Run applies perKind mutants of every image-mutator family to every
+// base image and checks the soundness invariant on each. Mutant m of
+// kind k over base b uses seed baseSeed + int64(m) derived per (b, k,
+// m), so campaigns are reproducible byte for byte. Run polls ctx
+// between mutants and returns early (with the partial Stats and
+// ctx.Err()) when it is done — a campaign is itself a long-running
+// verification workload and obeys the same cancellation discipline as
+// the engine it is testing.
+func (h *Harness) Run(ctx context.Context, bases [][]byte, perKind int, baseSeed int64) (*Stats, error) {
+	stats := &Stats{PerKind: map[Kind]*KindStats{}}
+	for k := 0; k < NumImageKinds; k++ {
+		stats.PerKind[Kind(k)] = &KindStats{}
+	}
+	for b, base := range bases {
+		for k := 0; k < NumImageKinds; k++ {
+			kind := Kind(k)
+			ks := stats.PerKind[kind]
+			for m := 0; m < perKind; m++ {
+				if err := ctx.Err(); err != nil {
+					return stats, err
+				}
+				seed := baseSeed + int64(b)*1_000_003 + int64(k)*10_007 + int64(m)
+				mut := Mutate(base, kind, seed)
+				stats.Mutants++
+				ks.Mutants++
+				rejected, err := h.CheckMutant(ctx, mut)
+				switch {
+				case err != nil && ctx.Err() != nil:
+					return stats, ctx.Err()
+				case err != nil:
+					ks.Escapes++
+					stats.Escapes = append(stats.Escapes, Escape{
+						Kind: kind, Seed: seed, Base: b, Detail: err.Error(),
+					})
+				case rejected:
+					stats.Rejected++
+					ks.Rejected++
+				default:
+					stats.Contained++
+					ks.Contained++
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+// CheckMutant checks the soundness invariant on one image: verify it,
+// and if it is accepted, execute it in the sandbox under several
+// randomized machine states. It returns rejected == true when the
+// checker killed the mutant, and a non-nil error exactly when the
+// invariant is violated — the image was accepted and its simulation
+// escaped the sandbox.
+func (h *Harness) CheckMutant(ctx context.Context, img []byte) (rejected bool, err error) {
+	valid, pairJmp, rep := h.Checker.AnalyzeContext(ctx, img, core.VerifyOptions{Workers: h.Workers})
+	if rep.Interrupted() {
+		return false, rep.Err()
+	}
+	if !rep.Safe {
+		return true, nil
+	}
+	for seed := 0; seed < h.simSeeds(); seed++ {
+		if err := h.contained(img, valid, pairJmp, int64(seed)); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// contained executes an accepted image from a randomized start state
+// and asserts, at every step, the executable form of the paper's
+// safety theorem: the PC rests only on checker-validated boundaries
+// (or the jump half of a masked pair reached by fall-through from its
+// mask), the segment registers never change, and — exactly, via the
+// memory's nonzero-byte walk — no write lands outside the code image
+// and the data segment window.
+func (h *Harness) contained(img []byte, valid, pairJmp []bool, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	st := machine.New()
+	for _, s := range []x86.SegReg{x86.ES, x86.SS, x86.DS, x86.FS, x86.GS} {
+		st.SegBase[s] = dataBase
+		st.SegLimit[s] = dataLim
+		st.SegSel[s] = 0x2b
+	}
+	st.SegBase[x86.CS] = codeBase
+	st.SegLimit[x86.CS] = uint32(len(img) - 1)
+	st.SegSel[x86.CS] = 0x23
+	st.Mem.WriteBytes(codeBase, img)
+	for r := range st.Regs {
+		st.Regs[r] = uint32(rng.Intn(1 << 16))
+	}
+	st.Regs[x86.ESP] = 0x8000
+	st.PC = 0
+	initSel, initBase, initLimit := st.SegSel, st.SegBase, st.SegLimit
+
+	oracleBits := make([]byte, 64)
+	rng.Read(oracleBits)
+	s := h.simulator(st)
+	s.Oracle = &rtl.StreamOracle{Bits: oracleBits}
+
+	prevPC := uint32(0xffffffff)
+	for step := 0; step < h.maxSteps(); step++ {
+		pc := st.PC
+		if pc >= uint32(len(img)) {
+			break // fetch beyond the CS limit faults: a safe halt
+		}
+		if !valid[pc] {
+			if !pairJmp[pc] {
+				return fmt.Errorf("step %d: pc %#x is not a checker-validated boundary", step, pc)
+			}
+			if prevPC != pc-3 {
+				return fmt.Errorf("step %d: pair jump at %#x reached from %#x, not its mask", step, pc, prevPC)
+			}
+		}
+		prevPC = pc
+		if err := s.Step(); err != nil {
+			break // traps, unsupported instructions and contained panics are safe halts
+		}
+		if st.SegSel != initSel || st.SegBase != initBase || st.SegLimit != initLimit {
+			return fmt.Errorf("step %d: segment state changed during execution", step)
+		}
+	}
+	// Code immutability and exact write confinement.
+	if got := st.Mem.ReadBytes(codeBase, len(img)); !bytes.Equal(got, img) {
+		return fmt.Errorf("code bytes changed during execution")
+	}
+	var escape error
+	st.Mem.Nonzero(func(addr uint32, b byte) bool {
+		inCode := addr >= codeBase && addr < codeBase+uint32(len(img))
+		inData := addr >= dataBase && addr <= dataBase+dataLim
+		if !inCode && !inData {
+			escape = fmt.Errorf("memory write escaped the sandbox at %#x (byte %#x)", addr, b)
+			return false
+		}
+		return true
+	})
+	return escape
+}
+
+// CheckTables corrupts the serialized DFA table bundle n times and
+// asserts the loader fails closed: every corruption either fails to
+// load (the CRC, bounds and shape checks catch it) or — for mutations
+// the checks cannot distinguish from the original, e.g. a flip that
+// cancels itself — produces a checker whose verdicts on the probe
+// images agree with the pristine checker. It returns how many
+// corruptions the loader rejected and how many loaded cleanly; err is
+// non-nil only on a fail-open: a corrupted bundle that loaded AND
+// changed a verdict.
+func CheckTables(tables []byte, probes [][]byte, pristine *core.Checker, n int, baseSeed int64) (rejectedLoads, cleanLoads int, err error) {
+	want := make([]bool, len(probes))
+	for i, p := range probes {
+		want[i] = pristine.Verify(p)
+	}
+	kinds := []Kind{BitFlip, ByteSplice, Truncate}
+	for m := 0; m < n; m++ {
+		seed := baseSeed + int64(m)
+		mut := Mutate(tables, kinds[m%len(kinds)], seed)
+		c, lerr := core.NewCheckerFromTables(bytes.NewReader(mut))
+		if lerr != nil {
+			rejectedLoads++
+			continue
+		}
+		cleanLoads++
+		for i, p := range probes {
+			if c.Verify(p) != want[i] {
+				return rejectedLoads, cleanLoads, fmt.Errorf(
+					"table corruption (kind %v, seed %d) loaded cleanly and flipped the verdict on probe %d",
+					kinds[m%len(kinds)], seed, i)
+			}
+		}
+	}
+	return rejectedLoads, cleanLoads, nil
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rocksalt/internal/x86"
+	"rocksalt/internal/x86/machine"
+)
+
+// TestStepContainsPanics: a panic anywhere in the decode → RTL →
+// interpret pipeline is converted to an ErrHalt+ErrInternalFault error
+// instead of unwinding into the caller. A nil decoder is the simplest
+// genuine panic source (nil-map/nil-pointer class), the same class a
+// latent bug in the pipeline would produce on hostile input.
+func TestStepContainsPanics(t *testing.T) {
+	st := machine.New()
+	st.SegLimit[x86.CS] = 0xff
+	st.Mem.WriteBytes(0, []byte{0x90})
+	s := New(st)
+	s.Dec = nil
+	s.CacheTranslations = false // force the FetchDecode path
+	err := s.Step()
+	if err == nil {
+		t.Fatal("Step with a broken pipeline returned nil")
+	}
+	if !errors.Is(err, ErrHalt) || !errors.Is(err, ErrInternalFault) {
+		t.Fatalf("err = %v, want ErrHalt and ErrInternalFault", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("recovered stack missing from error: %v", err)
+	}
+}
+
+// TestFetchDecodeContainsPanics: the exported decode-only entry fails
+// closed the same way.
+func TestFetchDecodeContainsPanics(t *testing.T) {
+	st := machine.New()
+	st.SegLimit[x86.CS] = 0xff
+	s := New(st)
+	s.Dec = nil
+	_, _, err := s.FetchDecode()
+	if !errors.Is(err, ErrInternalFault) {
+		t.Fatalf("err = %v, want ErrInternalFault", err)
+	}
+}
+
+// TestRunSurvivesInternalFault: Run treats a contained fault as a halt
+// (counted steps, non-nil error), not a crash.
+func TestRunSurvivesInternalFault(t *testing.T) {
+	st := machine.New()
+	st.SegLimit[x86.CS] = 0xff
+	st.Mem.WriteBytes(0, []byte{0x90, 0x90})
+	s := New(st)
+	n, err := s.Run(2) // two nops execute fine
+	if n != 2 || err != nil {
+		t.Fatalf("warmup run: n=%d err=%v", n, err)
+	}
+	s.Dec = nil
+	s.CacheTranslations = false
+	st.PC = 0
+	n, err = s.Run(5)
+	if n != 0 || !errors.Is(err, ErrInternalFault) {
+		t.Fatalf("faulting run: n=%d err=%v", n, err)
+	}
+}

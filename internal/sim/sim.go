@@ -7,6 +7,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"rocksalt/internal/rtl"
 	"rocksalt/internal/x86"
@@ -58,8 +59,30 @@ func New(st *machine.State) *Simulator {
 // unsupported instruction; inspect the message for the trap reason.
 var ErrHalt = errors.New("sim: halted")
 
+// ErrInternalFault is returned (wrapped, alongside ErrHalt) when the
+// decode → RTL → interpret pipeline panics. The simulator fails closed:
+// the panic is contained, the instruction is treated as a fault, and the
+// recovered value plus goroutine stack ride along in the error message.
+// Containment matters because the simulator's inputs are adversarial —
+// fault-injection mutants and fuzzer corpora must not be able to crash
+// the process that is judging them.
+var ErrInternalFault = errors.New("sim: internal fault")
+
 // FetchDecode decodes the instruction at CS:PC without executing it.
-func (s *Simulator) FetchDecode() (x86.Inst, int, error) {
+// Like Step, it contains decoder panics and reports them as an
+// ErrHalt/ErrInternalFault error.
+func (s *Simulator) FetchDecode() (inst x86.Inst, n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inst, n = x86.Inst{}, 0
+			err = fmt.Errorf("%w: %w at pc %#x: %v\n%s",
+				ErrHalt, ErrInternalFault, s.St.PC, r, debug.Stack())
+		}
+	}()
+	return s.fetchDecode()
+}
+
+func (s *Simulator) fetchDecode() (x86.Inst, int, error) {
 	lin := s.St.SegBase[x86.CS] + s.St.PC
 	window := s.St.Mem.ReadBytes(lin, decode.MaxInstLen)
 	// The code fetch itself is bounded by the CS limit.
@@ -69,8 +92,21 @@ func (s *Simulator) FetchDecode() (x86.Inst, int, error) {
 	return s.Dec.Decode(window)
 }
 
-// Step fetches, decodes, translates and executes one instruction.
-func (s *Simulator) Step() error {
+// Step fetches, decodes, translates and executes one instruction. A
+// panic anywhere in the pipeline is contained and converted to an error
+// wrapping both ErrHalt and ErrInternalFault (fail-closed) rather than
+// unwinding into the caller.
+func (s *Simulator) Step() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %w at pc %#x: %v\n%s",
+				ErrHalt, ErrInternalFault, s.St.PC, r, debug.Stack())
+		}
+	}()
+	return s.step()
+}
+
+func (s *Simulator) step() error {
 	var inst x86.Inst
 	var n int
 	var prog []rtl.Instr
@@ -93,7 +129,9 @@ func (s *Simulator) Step() error {
 		var err error
 		inst, n, err = s.FetchDecode()
 		if err != nil {
-			return fmt.Errorf("%w: %v at pc %#x", ErrHalt, err, s.St.PC)
+			// %w keeps sentinel chains (ErrHalt, ErrInternalFault) from
+			// FetchDecode intact.
+			return fmt.Errorf("%w: %w at pc %#x", ErrHalt, err, s.St.PC)
 		}
 		prog, err = semantics.Translate(inst, s.St.PC, n)
 		if err != nil {

@@ -94,6 +94,20 @@ func (m *Memory) ReadBytes(addr uint32, n int) []byte {
 	return out
 }
 
+// Nonzero calls f for every nonzero byte of memory, in no particular
+// order, stopping early if f returns false. It lets a sandbox-escape
+// check assert exact write confinement — every nonzero byte must be
+// accounted for — instead of sampling guard zones around the segments.
+func (m *Memory) Nonzero(f func(addr uint32, b byte) bool) {
+	for k, p := range m.pages {
+		for i, v := range p {
+			if v != 0 && !f(k<<pageBits|uint32(i), v) {
+				return
+			}
+		}
+	}
+}
+
 // Clone deep-copies the memory.
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
