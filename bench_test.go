@@ -83,6 +83,47 @@ func BenchmarkRockSaltThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAblation isolates the tentpole speedup: the same
+// sequential verification with the fused product automaton (lane engine
+// plus scalar fused fallback) versus the reference three-DFA Figure-5
+// loop. Both engines produce byte-identical reports (FuzzFusedEquiv);
+// the ratio is the fused hot path's payoff alone, free of the
+// cross-process noise that plagues absolute MB/s on shared hardware.
+func BenchmarkEngineAblation(b *testing.B) {
+	setup(b)
+	for _, e := range []struct {
+		name   string
+		engine core.EngineKind
+	}{
+		{"fused", core.EngineFused},
+		{"reference", core.EngineReference},
+	} {
+		b.Run(e.name, func(b *testing.B) {
+			opts := core.VerifyOptions{Workers: 1, Engine: e.engine}
+			b.SetBytes(int64(len(fixtures.big)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := fixtures.checker.VerifyWith(fixtures.big, opts); !rep.Safe {
+					b.Fatal("rejected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNewChecker measures checker construction from the embedded
+// RSLT2 bundle — the startup cost a process pays before its first
+// Verify. The acceptance bar is under a millisecond; compiling the
+// grammars from scratch (the pre-bundle path, still available through
+// NewCheckerFromGrammars) takes ~170ms.
+func BenchmarkNewChecker(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewChecker(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // setupHuge lazily builds the E2-sized (~1M instruction) image used by
 // the parallel-scaling benchmark; it is expensive, so only benchmarks
 // that need it pay for it.

@@ -1,7 +1,12 @@
 // Command dfagen performs the paper's offline table generation (§3.2):
-// it compiles the three policy grammars to DFAs, reports their sizes,
-// and can emit the tables as Go source — the analogue of generating the
-// trusted C arrays from the verified Coq definitions.
+// it compiles the three policy grammars to DFAs, fuses them into the
+// product automaton the hot path walks, reports their sizes, and can
+// emit the tables as a loadable bundle or as Go source — the analogue
+// of generating the trusted C arrays from the verified Coq definitions.
+//
+// The repository's embedded bundle is regenerated with
+//
+//	go run ./cmd/dfagen -o internal/core/rocksalt_tables_v2.bin
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 func main() {
 	emit := flag.Bool("emit", false, "emit the DFA tables as Go source on stdout")
 	out := flag.String("o", "", "write a binary table bundle (loadable by rocksalt -tables)")
+	format := flag.Int("format", 2, "bundle format for -o: 2 = RSLT2 (fused + component DFAs), 1 = legacy RSLT1")
 	flag.Parse()
 
 	start := time.Now()
@@ -42,13 +48,30 @@ func main() {
 	fmt.Printf("  %-14s %3d states total\n", "all", total)
 	fmt.Println("  (paper: largest checker DFA has 61 states; no minimization needed)")
 
+	start = time.Now()
+	fusedStates, fusedBytes, err := core.FusedStats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfagen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fused product automaton: %d states (%d table bytes), built in %v\n",
+		fusedStates, fusedBytes, time.Since(start))
+
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dfagen:", err)
 			os.Exit(1)
 		}
-		if err := dfas.WriteTables(f); err != nil {
+		switch *format {
+		case 1:
+			err = dfas.WriteTables(f)
+		case 2:
+			err = dfas.WriteTablesV2(f)
+		default:
+			err = fmt.Errorf("unknown bundle format %d (want 1 or 2)", *format)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "dfagen:", err)
 			os.Exit(1)
 		}
@@ -57,7 +80,7 @@ func main() {
 			os.Exit(1)
 		}
 		st, _ := os.Stat(*out)
-		fmt.Printf("wrote %s (%d bytes)\n", *out, st.Size())
+		fmt.Printf("wrote %s (RSLT%d, %d bytes)\n", *out, *format, st.Size())
 	}
 
 	if *emit {

@@ -35,7 +35,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 func main() {
-	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault); empty = all")
+	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench); empty = all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -63,6 +63,7 @@ func main() {
 		{"rtl", rtlStats},
 		{"tso", tsoLitmus},
 		{"fault", faultCampaign},
+		{"bench", benchFused},
 	} {
 		if sel(e.id) {
 			e.fn()
@@ -575,7 +576,9 @@ func faultCampaign() {
 			panic("base image rejected before mutation")
 		}
 	}
-	h := &faultinject.Harness{Checker: c}
+	// CrossCheck makes every mutant also a differential test of the
+	// fused engine against the reference three-DFA loop.
+	h := &faultinject.Harness{Checker: c, CrossCheck: true}
 	start := time.Now()
 	stats, err := h.Run(context.Background(), bases, perKind, 1)
 	if err != nil {
@@ -596,13 +599,10 @@ func faultCampaign() {
 		fmt.Printf("   ESCAPE: %v\n", e)
 	}
 
-	// DFA-table corruption: the loader must fail closed.
+	// DFA-table corruption: the loader must fail closed, for both the
+	// legacy v1 bundles and the fused v2 bundles NewChecker ships with.
 	set, err := core.BuildDFAs()
 	if err != nil {
-		panic(err)
-	}
-	var buf bytes.Buffer
-	if err := set.WriteTables(&buf); err != nil {
 		panic(err)
 	}
 	probes := append([][]byte{}, bases[0], bases[1])
@@ -613,13 +613,27 @@ func faultCampaign() {
 	if *quick {
 		nTables = 200
 	}
-	rejectedLoads, cleanLoads, terr := faultinject.CheckTables(buf.Bytes(), probes, c, nTables, 3)
-	fmt.Printf("   table corruption: %d corrupt bundles -> %d rejected by loader, %d loaded verdict-identical\n",
-		nTables, rejectedLoads, cleanLoads)
-	if terr != nil {
-		fmt.Printf("   FAIL-OPEN: %v\n", terr)
+	var terr error
+	for _, v := range []struct {
+		name  string
+		write func(*bytes.Buffer) error
+	}{
+		{"v1", func(b *bytes.Buffer) error { return set.WriteTables(b) }},
+		{"v2", func(b *bytes.Buffer) error { return set.WriteTablesV2(b) }},
+	} {
+		var buf bytes.Buffer
+		if err := v.write(&buf); err != nil {
+			panic(err)
+		}
+		rejectedLoads, cleanLoads, verr := faultinject.CheckTables(buf.Bytes(), probes, c, nTables, 3)
+		fmt.Printf("   table corruption (%s): %d corrupt bundles -> %d rejected by loader, %d loaded verdict-identical\n",
+			v.name, nTables, rejectedLoads, cleanLoads)
+		if verr != nil {
+			fmt.Printf("   FAIL-OPEN: %v\n", verr)
+			terr = verr
+		}
 	}
-	fmt.Printf("   verdict: %s (zero escapes, table loads fail closed)\n",
+	fmt.Printf("   verdict: %s (zero escapes, engines agree, table loads fail closed)\n",
 		pass(len(stats.Escapes) == 0 && terr == nil))
 }
 

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+)
+
+// TestVerifyZeroAlloc pins the steady-state allocation behaviour of the
+// hot path: after one warm-up call (which populates the scratch pool),
+// Checker.Verify must not touch the heap, for a single-bundle image and
+// for a 100-bundle one. A regression here usually means a closure or a
+// Report snuck back into the lean path.
+func TestVerifyZeroAlloc(t *testing.T) {
+	c := checker(t)
+	images := []struct {
+		name string
+		img  []byte
+	}{
+		{"1 bundle", bytes.Repeat([]byte{0x90}, core.BundleSize)},
+		{"100 bundles", bytes.Repeat([]byte{0x90}, 100*core.BundleSize)},
+	}
+	for _, tc := range images {
+		t.Run(tc.name, func(t *testing.T) {
+			if !c.Verify(tc.img) {
+				t.Fatal("NOP image must verify")
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				c.Verify(tc.img)
+			})
+			if allocs != 0 {
+				t.Errorf("Verify allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestVerifyZeroAllocGenerated repeats the bound on a realistic
+// generated image (jumps, masked pairs, padding) rather than pure NOPs,
+// so the direct-jump target path is exercised too.
+func TestVerifyZeroAllocGenerated(t *testing.T) {
+	c := checker(t)
+	gen := nacl.NewGenerator(9)
+	img, err := gen.Random(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Verify(img) {
+		t.Fatal("generated image must verify")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Verify(img)
+	})
+	if allocs != 0 {
+		t.Errorf("Verify allocated %.1f times per run, want 0", allocs)
+	}
+}

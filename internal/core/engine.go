@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+
+	"rocksalt/internal/bitset"
 )
 
 // This file is the staged verification engine. The NaCl policy itself
@@ -15,13 +17,34 @@ import (
 // instruction masked pair) may straddle one, so the image partitions
 // into aligned groups of bundles that parse independently.
 //
-// Stage 1 parses each shard with the Figure 5/6 match loop, producing
-// shard-local valid/pairJmp bitmaps, the shard's direct-jump targets,
-// and any shard-local violation. Stage 2 is a cheap sequential
-// reconciliation: it validates every collected jump target against the
-// merged boundary map, flags unreached bundle boundaries, and sorts all
-// violations by (offset, kind) so the reported first violation is
-// identical no matter how many workers ran stage 1.
+// Stage 1 parses each shard, producing shard-local valid/pairJmp
+// bitmaps, the shard's direct-jump targets, and any shard-local
+// violation. By default the inner loop is one walk of the fused product
+// automaton per offset (see fused.go); the seed's three-sequential-DFA
+// loop survives as the reference engine, selectable per run, and the
+// two are held byte-identical by FuzzFusedEquiv and the fault-injection
+// harness. Stage 2 is a cheap sequential reconciliation: it validates
+// every collected jump target against the merged boundary map, flags
+// unreached bundle boundaries, and sorts all violations by (offset,
+// kind) so the reported first violation is identical no matter how many
+// workers ran stage 1 and which engine matched the bytes.
+//
+// All per-run mutable state (the two packed bitmaps and the shard
+// result array) lives in a pooled scratch, so steady-state Verify runs
+// without allocating.
+
+// EngineKind selects the stage-1 matcher.
+type EngineKind uint8
+
+const (
+	// EngineFused walks the fused product automaton once per offset
+	// (the default).
+	EngineFused EngineKind = iota
+	// EngineReference runs the seed's Figure-5 loop: up to three
+	// sequential DFA match attempts per offset. It exists as the
+	// cross-check oracle for the fused engine.
+	EngineReference
+)
 
 // VerifyOptions configures a verification run.
 type VerifyOptions struct {
@@ -33,6 +56,9 @@ type VerifyOptions struct {
 	// allocated beyond the clamped count, and the report is identical to
 	// the sequential one. Report.Workers records the clamped value.
 	Workers int
+	// Engine selects the stage-1 matcher; the zero value is the fused
+	// product automaton. Reports are engine-invariant byte for byte.
+	Engine EngineKind
 }
 
 // MaxWorkers is the hard ceiling on stage-1 workers. Beyond the machine
@@ -64,10 +90,13 @@ func clampWorkers(workers, shards int) int {
 // bundles. It is a constant rather than an option because the shard
 // decomposition defines the canonical violation report — with a fixed
 // decomposition, sequential and parallel runs agree byte-for-byte.
+// It is also a multiple of 64, so shards own disjoint word ranges of
+// the packed bitmaps and stage-1 workers need no synchronization.
 const ShardBytes = 512 * BundleSize
 
 // shardResult is what stage 1 reports per shard, besides the bitmap
-// ranges it writes in place.
+// ranges it writes in place. Its slices are recycled through the
+// scratch pool; reset truncates them while keeping their capacity.
 type shardResult struct {
 	// violations holds the shard-local violation that stopped the
 	// parse, if any (at most one entry).
@@ -77,10 +106,41 @@ type shardResult struct {
 	targets []int32
 }
 
+func (r *shardResult) reset() {
+	r.violations = r.violations[:0]
+	r.targets = r.targets[:0]
+}
+
+// scratch is the reusable per-run state: the packed boundary bitmaps
+// and the shard result array. A sync.Pool recycles it across runs so a
+// warmed checker verifies without allocating.
+type scratch struct {
+	valid, pairJmp bitset.Set
+	results        []shardResult
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch(size, shards int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.valid.Reset(size)
+	sc.pairJmp.Reset(size)
+	if cap(sc.results) < shards {
+		sc.results = make([]shardResult, shards)
+	} else {
+		sc.results = sc.results[:shards]
+	}
+	for i := range sc.results {
+		sc.results[i].reset()
+	}
+	return sc
+}
+
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
 // VerifyWith runs the staged engine and returns the structured report.
 func (c *Checker) VerifyWith(code []byte, opts VerifyOptions) *Report {
-	_, _, rep := c.run(context.Background(), code, opts.Workers)
-	return rep
+	return c.VerifyContext(context.Background(), code, opts)
 }
 
 // VerifyContext is VerifyWith under a context. Stage-1 shard workers
@@ -90,22 +150,39 @@ func (c *Checker) VerifyWith(code []byte, opts VerifyOptions) *Report {
 // run never reports Safe and never surfaces the nondeterministic subset
 // of violations it happened to reach.
 func (c *Checker) VerifyContext(ctx context.Context, code []byte, opts VerifyOptions) *Report {
-	_, _, rep := c.run(ctx, code, opts.Workers)
-	return rep
+	sc := getScratch(len(code), shardCount(len(code)))
+	defer putScratch(sc)
+	return c.report(c.run(ctx, code, opts, sc), len(code))
 }
 
 // AnalyzeWith is VerifyWith plus the instruction-boundary bitmap and
 // masked-pair jump positions (see Analyze for their meaning). The
 // bitmaps are only meaningful when the report is Safe.
 func (c *Checker) AnalyzeWith(code []byte, opts VerifyOptions) (valid, pairJmp []bool, rep *Report) {
-	return c.run(context.Background(), code, opts.Workers)
+	return c.AnalyzeContext(context.Background(), code, opts)
 }
 
 // AnalyzeContext is AnalyzeWith under a context, with VerifyContext's
 // cancellation semantics. The bitmaps are only meaningful when the
 // report is Safe (in particular, never for an interrupted run).
 func (c *Checker) AnalyzeContext(ctx context.Context, code []byte, opts VerifyOptions) (valid, pairJmp []bool, rep *Report) {
-	return c.run(ctx, code, opts.Workers)
+	sc := getScratch(len(code), shardCount(len(code)))
+	defer putScratch(sc)
+	rep = c.report(c.run(ctx, code, opts, sc), len(code))
+	return sc.valid.Bools(), sc.pairJmp.Bools(), rep
+}
+
+// verifyLean is the allocation-free boolean path behind Verify: it runs
+// the engine on pooled scratch and never materializes a Report.
+func (c *Checker) verifyLean(code []byte) bool {
+	sc := getScratch(len(code), shardCount(len(code)))
+	defer putScratch(sc)
+	out := c.run(context.Background(), code, VerifyOptions{Workers: 1}, sc)
+	return out.ctxErr == nil && out.total == 0
+}
+
+func shardCount(size int) int {
+	return (size + ShardBytes - 1) / ShardBytes
 }
 
 // testShardHook, when non-nil, runs at the start of every stage-1 shard
@@ -113,64 +190,63 @@ func (c *Checker) AnalyzeContext(ctx context.Context, code []byte, opts VerifyOp
 // panics mid-stage-1; it is never set in production.
 var testShardHook func(shard int)
 
-// interrupted builds the fail-closed report for a run whose context
-// ended before stage 2: no verdict, no partial violations.
-func interrupted(size, shards, workers int, err error) *Report {
-	out := OutcomeCanceled
-	if err == context.DeadlineExceeded {
-		out = OutcomeDeadline
+// runResult is what run hands to the report builders: the reconciled,
+// sorted, capped violation list (nil for a safe completed run), the
+// uncapped total, the clamped worker count, and the context error for
+// an interrupted run.
+type runResult struct {
+	violations []Violation
+	total      int
+	shards     int
+	workers    int
+	ctxErr     error
+}
+
+// report materializes a runResult as a caller-owned Report.
+func (c *Checker) report(out runResult, size int) *Report {
+	if out.ctxErr != nil {
+		outc := OutcomeCanceled
+		if out.ctxErr == context.DeadlineExceeded {
+			outc = OutcomeDeadline
+		}
+		return &Report{
+			Safe:    false,
+			Outcome: outc,
+			Size:    size,
+			Shards:  out.shards,
+			Workers: out.workers,
+			ctxErr:  out.ctxErr,
+		}
+	}
+	outcome := OutcomeSafe
+	if out.total > 0 {
+		outcome = OutcomeRejected
 	}
 	return &Report{
-		Safe:    false,
-		Outcome: out,
-		Size:    size,
-		Shards:  shards,
-		Workers: workers,
-		ctxErr:  err,
+		Safe:       out.total == 0,
+		Outcome:    outcome,
+		Size:       size,
+		Shards:     out.shards,
+		Workers:    out.workers,
+		Violations: out.violations,
+		Total:      out.total,
 	}
 }
 
 // run executes stage 1 over the shard decomposition and stage 2 over
-// the merged results. Shard workers poll ctx between shards and panics
-// inside a shard parse are converted to InternalFault violations, so a
-// hostile image (or a bug behind it) can stop the run early or fail it
-// closed, but can neither hang the pool nor crash the process.
-func (c *Checker) run(ctx context.Context, code []byte, workers int) (valid, pairJmp []bool, rep *Report) {
+// the merged results, writing all per-run state into sc. Shard workers
+// poll ctx between shards and panics inside a shard parse are converted
+// to InternalFault violations, so a hostile image (or a bug behind it)
+// can stop the run early or fail it closed, but can neither hang the
+// pool nor crash the process.
+func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *scratch) runResult {
 	size := len(code)
-	shards := (size + ShardBytes - 1) / ShardBytes
-	workers = clampWorkers(workers, shards)
-	valid = make([]bool, size)
-	pairJmp = make([]bool, size)
-	results := make([]shardResult, shards)
+	shards := shardCount(size)
+	workers := clampWorkers(opts.Workers, shards)
 
-	parse := func(s int) {
-		defer func() {
-			if r := recover(); r != nil {
-				// Fail closed: a panicking shard becomes a structured
-				// violation attributed to the shard start, carrying the
-				// recovered value and stack. The worker itself survives,
-				// so the pool drains normally instead of deadlocking on
-				// a lost wg.Done.
-				results[s] = shardResult{violations: []Violation{{
-					Offset: s * ShardBytes,
-					Kind:   InternalFault,
-					Detail: fmt.Sprintf("shard %d worker panicked: %v", s, r),
-					Stack:  string(debug.Stack()),
-				}}}
-			}
-		}()
-		if testShardHook != nil {
-			testShardHook(s)
-		}
-		start := s * ShardBytes
-		end := start + ShardBytes
-		if end > size {
-			end = size
-		}
-		// Workers write disjoint [start,end) ranges of the shared
-		// bitmaps, so no synchronization is needed beyond the pool's.
-		results[s] = c.parseShard(code, start, end, valid, pairJmp)
-	}
+	// Workers write disjoint [start,end) bit ranges of the shared
+	// bitmaps; ShardBytes is a multiple of 64, so the ranges are also
+	// word-disjoint and no synchronization is needed beyond the pool's.
 	// Workers poll ctx.Err between shards: one atomic load per 16 KiB
 	// shard parse, observed synchronously (a cancel that happened-before
 	// a shard starts is always seen).
@@ -179,7 +255,7 @@ func (c *Checker) run(ctx context.Context, code []byte, workers int) (valid, pai
 			if ctx.Err() != nil {
 				break
 			}
-			parse(s)
+			c.parseOne(code, s, sc, opts.Engine)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -194,7 +270,7 @@ func (c *Checker) run(ctx context.Context, code []byte, workers int) (valid, pai
 						// returning early cannot block the producer.
 						return
 					}
-					parse(s)
+					c.parseOne(code, s, sc, opts.Engine)
 				}
 			}()
 		}
@@ -205,78 +281,255 @@ func (c *Checker) run(ctx context.Context, code []byte, workers int) (valid, pai
 		wg.Wait()
 	}
 	if err := ctx.Err(); err != nil {
-		return valid, pairJmp, interrupted(size, shards, workers, err)
+		return runResult{shards: shards, workers: workers, ctxErr: err}
 	}
-	return valid, pairJmp, c.reconcile(code, valid, results, shards, workers)
+	violations, total := c.reconcile(code, sc)
+	return runResult{violations: violations, total: total, shards: shards, workers: workers}
 }
 
-// parseShard is stage 1: the Figure 5 loop restricted to one shard.
-// The shard start is a bundle boundary, which the policy requires to be
-// an instruction boundary, so on any compliant image the shard-local
-// parse reproduces exactly the boundaries the sequential parse would
-// find. A matched unit extending past the shard end means that bundle
-// boundary sits inside an instruction — itself a violation — so the
-// shard stops there instead of racing into its neighbour's range.
-func (c *Checker) parseShard(code []byte, start, end int, valid, pairJmp []bool) (res shardResult) {
-	masked, noCF, direct := c.masked, c.noCF, c.direct
-	size := len(code)
-	stop := func(off int, kind ViolationKind, detail string) {
-		res.violations = append(res.violations, violation(code, off, kind, detail))
-	}
-	straddles := func(saved, pos int) bool {
-		if pos <= end || end == size {
-			return false
+// parseOne runs stage 1 on shard s, containing panics as InternalFault
+// violations so the worker (and the pool behind it) survives.
+func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind) {
+	res := &sc.results[s]
+	defer func() {
+		if r := recover(); r != nil {
+			// Fail closed: a panicking shard becomes a structured
+			// violation attributed to the shard start, carrying the
+			// recovered value and stack. The worker itself survives,
+			// so the pool drains normally instead of deadlocking on
+			// a lost wg.Done.
+			res.targets = res.targets[:0]
+			res.violations = append(res.violations[:0], Violation{
+				Offset: s * ShardBytes,
+				Kind:   InternalFault,
+				Detail: fmt.Sprintf("shard %d worker panicked: %v", s, r),
+				Stack:  string(debug.Stack()),
+			})
 		}
-		stop(end, BundleStraddle, fmt.Sprintf("instruction at %#x extends past the boundary", saved))
-		return true
+	}()
+	if testShardHook != nil {
+		testShardHook(s)
 	}
-	pos := start
-	for pos < end {
-		valid[pos] = true
-		saved := pos
-		if match(masked, code, &pos) {
-			if straddles(saved, pos) {
-				return
+	start := s * ShardBytes
+	end := start + ShardBytes
+	if end > len(code) {
+		end = len(code)
+	}
+	if engine == EngineReference || c.fused == nil {
+		c.parseShardRef(code, start, end, sc, res)
+	} else {
+		c.parseShardFused(code, start, end, sc, res)
+	}
+}
+
+// stopShard appends the shard-local violation that ends a parse.
+func stopShard(res *shardResult, code []byte, off int, kind ViolationKind, detail string) {
+	res.violations = append(res.violations, violation(code, off, kind, detail))
+}
+
+// parseShardFused is stage 1 around the fused product automaton. The
+// whole-bundle prefix of the shard runs through the four-lane
+// interleaved parser (engine_lanes.go), which assumes the image is
+// compliant; if it finds anything irregular its partial writes are
+// erased and the canonical scalar loop below re-parses the shard from
+// the start, so every violating shard is diagnosed by exactly the same
+// code path regardless of the optimistic phase. A trailing partial
+// bundle (only the image's last shard can have one) is parsed scalar
+// as well, continuing where the lanes proved the prefix regular.
+func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res *shardResult) {
+	full := start + (end-start)/BundleSize*BundleSize
+	if full-start >= laneCount*BundleSize {
+		if c.parseShardLanes(code, start, full, sc, res) {
+			if full < end {
+				c.parseShardFusedScalar(code, full, end, sc, res)
 			}
-			pairJmp[saved+maskLen] = true
+			return
+		}
+		sc.valid.ClearRange(start, end)
+		sc.pairJmp.ClearRange(start, end)
+		res.reset()
+	}
+	c.parseShardFusedScalar(code, start, end, sc, res)
+}
+
+// parseShardFusedScalar is the sequential fused walk: one table walk per
+// offset yields every component's earliest accept length, and the seed's
+// priority — masked, then noCF, then direct — picks the match. The shard
+// start is a bundle boundary, which the policy requires to be an
+// instruction boundary, so on any compliant image the shard-local parse
+// reproduces exactly the boundaries the sequential parse would find. A
+// matched unit extending past the shard end means that bundle boundary
+// sits inside an instruction — itself a violation — so the shard stops
+// there instead of racing into its neighbour's range.
+func (c *Checker) parseShardFusedScalar(code []byte, start, end int, sc *scratch, res *shardResult) {
+	f := c.fused
+	table, tags := f.table, f.tags
+	nocf1 := &f.nocf1
+	fstart, quiet := uint16(f.start), uint16(f.quiet)
+	size := len(code)
+	pos := start
+
+	// Boundary bits are buffered in a register-resident word: the shard
+	// owns whole words of the bitmap (ShardBytes is a multiple of 64) and
+	// pos only moves forward, so each word is flushed exactly once — at
+	// the word crossing or at the single exit below — replacing one
+	// read-modify-write of shared memory per instruction with an OR.
+	wvalid := sc.valid.Words()
+	curw := uint(pos) / 64
+	var acc uint64
+
+loop:
+	for pos < end {
+		if w := uint(pos) / 64; w != curw {
+			wvalid[curw] |= acc
+			curw, acc = w, 0
+		}
+		acc |= 1 << (uint(pos) % 64)
+		// Single-byte fast path: the byte alone is a complete noCF
+		// instruction and resolves every component (NOP padding is the
+		// common case), so the walk and its bookkeeping are skipped.
+		if nocf1[code[pos]] {
+			pos++
+			continue
+		}
+		saved := pos
+
+		// The fused walk, inlined (see fusedDFA.scan for the stop-rule
+		// argument): quiet states cost one table load and one compare;
+		// the walk ends as soon as the priority decision is determined.
+		state := fstart
+		lm, ln, ld := 0, 0, 0
+		off := saved
+		for off < size {
+			state = table[state][code[off]]
+			off++
+			if state < quiet {
+				continue
+			}
+			tag := tags[state]
+			n := off - saved
+			if tag&tagAccMasked != 0 {
+				lm = n
+				break
+			}
+			if tag&tagAccNoCF != 0 && ln == 0 {
+				ln = n
+			}
+			if tag&tagAccDirect != 0 && ld == 0 {
+				ld = n
+			}
+			if tag&tagLiveMasked == 0 &&
+				(ln != 0 || tag&tagLiveNoCF == 0 && (ld != 0 || tag&tagLiveDirect == 0)) {
+				break
+			}
+		}
+
+		// The pos > end guards keep the (never-inlined) straddle helper
+		// off the hot path; straddling is always a violation en route.
+		switch {
+		case lm != 0:
+			pos = saved + lm
+			if pos > end && c.straddles(res, code, saved, pos, end) {
+				break loop
+			}
+			sc.pairJmp.Set(saved + maskLen)
 			// The call form of the pair is FF /2 (0xD0|r in the modrm).
 			if c.AlignedCalls && code[pos-1]>>3&7 == 2 && pos%BundleSize != 0 {
-				stop(pos, MisalignedCall, "masked call leaves a misaligned return address")
+				stopShard(res, code, pos, MisalignedCall, "masked call leaves a misaligned return address")
+				break loop
+			}
+		case ln != 0:
+			pos = saved + ln
+			if pos > end && c.straddles(res, code, saved, pos, end) {
+				break loop
+			}
+		case ld != 0:
+			pos = saved + ld
+			if pos > end && c.straddles(res, code, saved, pos, end) {
+				break loop
+			}
+			if c.directJump(res, code, saved, pos) {
+				break loop
+			}
+		default:
+			stopShard(res, code, saved, IllegalInstruction, "")
+			break loop
+		}
+	}
+	wvalid[curw] |= acc
+}
+
+// parseShardRef is the reference stage 1: the seed's Figure 5 loop, up
+// to three sequential DFA match attempts per offset. It is the oracle
+// the fused engine is held byte-identical to.
+func (c *Checker) parseShardRef(code []byte, start, end int, sc *scratch, res *shardResult) {
+	masked, noCF, direct := c.masked, c.noCF, c.direct
+	pos := start
+	for pos < end {
+		sc.valid.Set(pos)
+		saved := pos
+		if match(masked, code, &pos) {
+			if c.straddles(res, code, saved, pos, end) {
+				return
+			}
+			sc.pairJmp.Set(saved + maskLen)
+			// The call form of the pair is FF /2 (0xD0|r in the modrm).
+			if c.AlignedCalls && code[pos-1]>>3&7 == 2 && pos%BundleSize != 0 {
+				stopShard(res, code, pos, MisalignedCall, "masked call leaves a misaligned return address")
 				return
 			}
 			continue
 		}
 		if match(noCF, code, &pos) {
-			if straddles(saved, pos) {
+			if c.straddles(res, code, saved, pos, end) {
 				return
 			}
 			continue
 		}
 		if match(direct, code, &pos) {
-			if straddles(saved, pos) {
+			if c.straddles(res, code, saved, pos, end) {
 				return
 			}
-			if c.AlignedCalls && code[saved] == 0xe8 && pos%BundleSize != 0 {
-				stop(pos, MisalignedCall, "call leaves a misaligned return address")
-				return
-			}
-			t, ok := jumpTarget(code, saved, pos)
-			if !ok {
-				stop(saved, IllegalInstruction, "unrecognized direct jump form")
-				return
-			}
-			if t >= 0 && t < int64(size) {
-				res.targets = append(res.targets, int32(t))
-			} else if !c.Entries[uint32(t)] {
-				stop(saved, TargetOutOfImage, fmt.Sprintf("direct jump targets %#x, outside the image", uint32(t)))
+			if c.directJump(res, code, saved, pos) {
 				return
 			}
 			continue
 		}
-		stop(saved, IllegalInstruction, "")
+		stopShard(res, code, saved, IllegalInstruction, "")
 		return
 	}
-	return
+}
+
+// straddles flags a matched unit extending past the shard end (a bundle
+// boundary inside an instruction) unless the shard ends at the image end.
+func (c *Checker) straddles(res *shardResult, code []byte, saved, pos, end int) bool {
+	if pos <= end || end == len(code) {
+		return false
+	}
+	stopShard(res, code, end, BundleStraddle, fmt.Sprintf("instruction at %#x extends past the boundary", saved))
+	return true
+}
+
+// directJump applies the policy checks shared by both engines to a
+// direct-jump match occupying code[saved:pos]; it reports whether the
+// shard parse must stop.
+func (c *Checker) directJump(res *shardResult, code []byte, saved, pos int) (stop bool) {
+	if c.AlignedCalls && code[saved] == 0xe8 && pos%BundleSize != 0 {
+		stopShard(res, code, pos, MisalignedCall, "call leaves a misaligned return address")
+		return true
+	}
+	t, ok := jumpTarget(code, saved, pos)
+	if !ok {
+		stopShard(res, code, saved, IllegalInstruction, "unrecognized direct jump form")
+		return true
+	}
+	if t >= 0 && t < int64(len(code)) {
+		res.targets = append(res.targets, int32(t))
+	} else if !c.Entries[uint32(t)] {
+		stopShard(res, code, saved, TargetOutOfImage, fmt.Sprintf("direct jump targets %#x, outside the image", uint32(t)))
+		return true
+	}
+	return false
 }
 
 // jumpTarget decodes the direct jump occupying code[saved:pos] and
@@ -301,20 +554,20 @@ func jumpTarget(code []byte, saved, pos int) (int64, bool) {
 // reconcile is stage 2: merge shard results, validate every direct-jump
 // target against the merged boundary map, flag bundle boundaries the
 // parse never reached, and select the deterministic lowest-offset
-// violation ordering.
-func (c *Checker) reconcile(code []byte, valid []bool, results []shardResult, shards, workers int) *Report {
+// violation ordering. A safe image takes the nil fast path: no slice is
+// allocated.
+func (c *Checker) reconcile(code []byte, sc *scratch) (all []Violation, total int) {
 	size := len(code)
-	var all []Violation
-	for i := range results {
-		all = append(all, results[i].violations...)
+	for i := range sc.results {
+		all = append(all, sc.results[i].violations...)
 	}
 	// Cross-shard jump-target validation against the merged boundary
 	// map. Several jumps may share a bad target; dedupe after sorting
 	// so the report is one violation per offending offset.
 	var badTargets []int
-	for i := range results {
-		for _, t := range results[i].targets {
-			if !valid[t] {
+	for i := range sc.results {
+		for _, t := range sc.results[i].targets {
+			if !sc.valid.Get(int(t)) {
 				badTargets = append(badTargets, int(t))
 			}
 		}
@@ -332,7 +585,7 @@ func (c *Checker) reconcile(code []byte, valid []bool, results []shardResult, sh
 	}
 	// Every bundle boundary must be an instruction boundary.
 	for i := 0; i < size; i += BundleSize {
-		if !valid[i] {
+		if !sc.valid.Get(i) {
 			all = append(all, violation(code, i, BundleStraddle, ""))
 		}
 	}
@@ -340,27 +593,17 @@ func (c *Checker) reconcile(code []byte, valid []bool, results []shardResult, sh
 	// its first violation and the global scan emits at most one of each
 	// kind per offset, so this order is total and the report is
 	// deterministic. The stable sort is belt and braces.
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].Offset != all[j].Offset {
-			return all[i].Offset < all[j].Offset
-		}
-		return all[i].Kind < all[j].Kind
-	})
-	total := len(all)
+	if len(all) > 1 {
+		sort.SliceStable(all, func(i, j int) bool {
+			if all[i].Offset != all[j].Offset {
+				return all[i].Offset < all[j].Offset
+			}
+			return all[i].Kind < all[j].Kind
+		})
+	}
+	total = len(all)
 	if len(all) > MaxReportViolations {
 		all = all[:MaxReportViolations]
 	}
-	outcome := OutcomeSafe
-	if total > 0 {
-		outcome = OutcomeRejected
-	}
-	return &Report{
-		Safe:       total == 0,
-		Outcome:    outcome,
-		Size:       size,
-		Shards:     shards,
-		Workers:    workers,
-		Violations: all,
-		Total:      total,
-	}
+	return all, total
 }

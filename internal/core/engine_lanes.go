@@ -1,0 +1,417 @@
+package core
+
+// This file is the bundle-interleaved fast path of the fused engine.
+//
+// The policy makes every 32-byte bundle of a *compliant* image an
+// independent parse unit: each bundle boundary must be an instruction
+// boundary, and no matched unit may cross one. The scalar fused walk
+// cannot exploit that — each table step depends on the previous one and
+// each instruction end is an unpredictable branch — so the CPU stalls
+// on load latency and branch mispredictions. The lane parser attacks
+// both: it runs four bundles at once, interleaving their walks byte by
+// byte so four independent load chains cover each other's latency, and
+// it walks the restart-closed table (fusedDFA.closed), in which the
+// common instruction end — a state whose tag is exactly tagAccNoCF, a
+// complete noCF instruction with every other component resolved — is
+// not a stop at all: the walk flows straight into the next instruction,
+// and the boundary position is recovered branchlessly from the state
+// number (conditional moves, no mispredictable jump). Only masked
+// pairs, direct jumps, dead states and bundle completions take a real
+// branch.
+//
+// Optimism is what keeps the lanes exactly equivalent to the scalar
+// parse. A lane validates every instruction with the same priority rule
+// and the same policy checks the scalar path applies, plus one stronger
+// structural demand: instructions must resolve inside the lane's bundle
+// and tile it exactly. The moment anything irregular appears — no
+// match, a unit or an undecided walk reaching the bundle end, a
+// misaligned call, a bad direct-jump target — the whole lane parse
+// reports failure and the dispatcher erases its partial writes and
+// re-parses the shard with the canonical scalar loop. So the lane phase
+// either proves the region violation-free (in which case its
+// valid/pairJmp bits are precisely the scalar ones and its collected
+// jump targets are the same multiset — stage 2 sorts them), or it
+// contributes nothing. Reports stay byte-identical either way, which is
+// what FuzzFusedEquiv and the fault-injection cross-check enforce.
+
+// laneCount is the interleave width. Four keeps every lane's hot state
+// in registers on amd64 while covering most of the L1 latency of the
+// dependent table loads.
+const laneCount = 4
+
+const (
+	laneWalking = iota // all lanes stepping; the unrolled loop runs
+	laneDrain          // a lane ran out of bundles; finish the rest one by one
+	laneFailed         // irregularity found; caller must fall back to scalar
+)
+
+// flane is one lane's parse state. The driver keeps the hot subset
+// (state, offset, bundle bounds, instruction start, valid-bit
+// accumulator) in named locals for register allocation and syncs them
+// here only around the rare method calls.
+type flane struct {
+	saved  int    // start of the instruction being walked
+	recFor int    // instruction start the ln/ld records belong to
+	bs, be int    // current bundle [bs, be)
+	ln, ld int    // earliest noCF/direct accept lengths recorded mid-walk
+	off    int    // walk offset (synced from the driver's local)
+	acc    uint64 // valid bits of the current bundle (bit j = bs+j)
+	st     uint16 // walk state (synced from the driver's local)
+	done   bool
+}
+
+// laneCtx is the shared state of one lane parse, stack-allocated by the
+// driver and threaded through the event methods by pointer.
+type laneCtx struct {
+	code    []byte
+	tags    []uint8
+	wvalid  []uint64
+	res     *shardResult
+	sc      *scratch
+	size    int
+	next    int // next unclaimed bundle start
+	fullEnd int // end of the whole-bundle region
+	fstart  uint16
+	status  uint8
+	lanes   [laneCount]flane
+}
+
+func laneFail(lc *laneCtx) (uint16, int) {
+	lc.status = laneFailed
+	return 0, 0
+}
+
+// laneClaim flushes lane i's bundle accumulator (bit 32, set by an
+// instruction ending exactly at the bundle end, belongs to the next
+// bundle and is dropped — its owner sets bit 0 on claim) and hands the
+// lane the next unclaimed bundle, or marks it done when the region is
+// exhausted.
+func (c *Checker) laneClaim(lc *laneCtx, i int) (uint16, int) {
+	l := &lc.lanes[i]
+	lc.wvalid[uint(l.bs)/64] |= uint64(uint32(l.acc)) << (uint(l.bs) % 64)
+	if lc.next >= lc.fullEnd {
+		l.done = true
+		if lc.status == laneWalking {
+			lc.status = laneDrain
+		}
+		return 0, 0
+	}
+	bs := lc.next
+	lc.next += BundleSize
+	l.bs, l.be = bs, bs+BundleSize
+	l.acc = 1
+	l.saved = bs
+	return lc.fstart, bs
+}
+
+// laneNext restarts the walk at pos, the start of the next instruction
+// (the caller has validated that the previous one ends at or before the
+// bundle end), completing the bundle when pos reaches its end. pos may
+// rewind below the walk offset — a resolution from recorded accepts
+// re-walks the tail bytes with a fresh state; the doomed segment it
+// replaces can never have recorded boundary bits (a class-1 state in it
+// would itself have resolved the instruction), so nothing stale is left
+// behind.
+func (c *Checker) laneNext(lc *laneCtx, i int, pos int) (uint16, int) {
+	l := &lc.lanes[i]
+	if pos == l.be {
+		return c.laneClaim(lc, i)
+	}
+	l.saved = pos
+	l.acc |= 1 << uint(pos-l.bs)
+	return lc.fstart, pos
+}
+
+// laneMasked ends lane i's walk on a masked-pair accept of length n —
+// the top-priority match, so it resolves the instruction outright.
+func (c *Checker) laneMasked(lc *laneCtx, i int, n int) (uint16, int) {
+	l := &lc.lanes[i]
+	saved := l.saved
+	pos := saved + n
+	if pos > l.be {
+		return laneFail(lc)
+	}
+	lc.sc.pairJmp.Set(saved + maskLen)
+	// The call form of the pair is FF /2 (0xD0|r in the modrm).
+	if c.AlignedCalls && lc.code[pos-1]>>3&7 == 2 && pos%BundleSize != 0 {
+		return laneFail(lc)
+	}
+	return c.laneNext(lc, i, pos)
+}
+
+// laneResolve ends lane i's walk from the recorded accept lengths (no
+// masked accept happened — that resolves immediately via laneMasked):
+// a recorded noCF accept wins, else a recorded direct one, else the
+// walk found nothing and the lane parse fails for the scalar fallback
+// to diagnose. The policy checks mirror the scalar path exactly.
+func (c *Checker) laneResolve(lc *laneCtx, i int) (uint16, int) {
+	l := &lc.lanes[i]
+	code := lc.code
+	saved := l.saved
+	var pos int
+	switch {
+	case l.ln != 0:
+		pos = saved + l.ln
+		if pos > l.be {
+			return laneFail(lc)
+		}
+	case l.ld != 0:
+		pos = saved + l.ld
+		if pos > l.be {
+			return laneFail(lc)
+		}
+		if c.AlignedCalls && code[saved] == 0xe8 && pos%BundleSize != 0 {
+			return laneFail(lc)
+		}
+		t, ok := jumpTarget(code, saved, pos)
+		if !ok {
+			return laneFail(lc)
+		}
+		if t >= 0 && t < int64(lc.size) {
+			lc.res.targets = append(lc.res.targets, int32(t))
+		} else if !c.Entries[uint32(t)] {
+			return laneFail(lc)
+		}
+	default:
+		return laneFail(lc)
+	}
+	return c.laneNext(lc, i, pos)
+}
+
+// laneTag handles lane i entering a class-2 state s (anything the
+// branchless inline cases do not cover) with the walk at off — the
+// out-of-line tail of the scalar loop's stop logic (see fusedDFA.scan
+// for the argument): record each component's earliest accept, resolve
+// as soon as the priority decision is determined. A walk still
+// undecided when it reaches the bundle end fails the lane parse: its
+// instruction either crosses the boundary (a violation the scalar
+// fallback will report) or resolves from a recorded accept that a
+// longer match might still outrank — the lane cannot decide without
+// walking out of its bundle, so it hands the shard back instead.
+func (c *Checker) laneTag(lc *laneCtx, i int, s uint16, off int) (uint16, int) {
+	l := &lc.lanes[i]
+	if l.recFor != l.saved {
+		l.recFor = l.saved
+		l.ln, l.ld = 0, 0
+	}
+	tag := lc.tags[s]
+	n := off - l.saved
+	if tag&tagAccMasked != 0 {
+		return c.laneMasked(lc, i, n)
+	}
+	if tag&tagAccNoCF != 0 && l.ln == 0 {
+		l.ln = n
+	}
+	if tag&tagAccDirect != 0 && l.ld == 0 {
+		l.ld = n
+	}
+	if tag&tagLiveMasked == 0 &&
+		(l.ln != 0 || tag&tagLiveNoCF == 0 && (l.ld != 0 || tag&tagLiveDirect == 0)) {
+		return c.laneResolve(lc, i)
+	}
+	if off >= l.be {
+		return laneFail(lc)
+	}
+	return s, off
+}
+
+// parseShardLanes runs the four-lane interleaved parse over the
+// whole-bundle region [start, fullEnd). It reports whether the region
+// was fully regular; on false the caller must discard the shard's
+// bitmap/result writes and re-parse with the scalar loop.
+func (c *Checker) parseShardLanes(code []byte, start, fullEnd int, sc *scratch, res *shardResult) bool {
+	f := c.fused
+	closed := f.closed
+	quiet := uint16(f.quiet)
+	nc := uint16(f.nc)
+	c1w := uint16(f.nc - f.quiet)
+
+	lc := laneCtx{
+		code:    code,
+		tags:    f.tags,
+		wvalid:  sc.valid.Words(),
+		res:     res,
+		sc:      sc,
+		size:    len(code),
+		next:    start,
+		fullEnd: fullEnd,
+		fstart:  uint16(f.start),
+	}
+	for i := range lc.lanes {
+		lc.lanes[i].bs = start // first laneClaim flushes an empty acc here
+	}
+	var s0, s1, s2, s3 uint16
+	var o0, o1, o2, o3 int
+	s0, o0 = c.laneClaim(&lc, 0)
+	s1, o1 = c.laneClaim(&lc, 1)
+	s2, o2 = c.laneClaim(&lc, 2)
+	s3, o3 = c.laneClaim(&lc, 3)
+	bs0, be0, sv0, a0 := lc.lanes[0].bs, lc.lanes[0].be, lc.lanes[0].saved, lc.lanes[0].acc
+	bs1, be1, sv1, a1 := lc.lanes[1].bs, lc.lanes[1].be, lc.lanes[1].saved, lc.lanes[1].acc
+	bs2, be2, sv2, a2 := lc.lanes[2].bs, lc.lanes[2].be, lc.lanes[2].saved, lc.lanes[2].acc
+	bs3, be3, sv3, a3 := lc.lanes[3].bs, lc.lanes[3].be, lc.lanes[3].saved, lc.lanes[3].acc
+
+	// The unrolled interleave: one closed-table step per lane per round.
+	// The quiet and class-1 cases are a single straight line — the
+	// instruction-boundary bit and the new instruction start are derived
+	// from `s` with conditional moves, no data-dependent branch — and a
+	// walk never reads past its bundle end: an undecided walk reaching it
+	// fails (m == 0 below) rather than crossing. Class-2 states and
+	// bundle completions sync the lane's registers to its flane, run the
+	// out-of-line methods, and reload (they may claim a new bundle or
+	// rewind the walk). When any lane retires or fails the round
+	// finishes and the loop exits; a just-retired or just-failed lane
+	// parks on (0, bs) and is not stepped again because the round check
+	// runs first.
+	for lc.status == laneWalking {
+		{
+			s := closed[s0][code[o0]]
+			if s < nc {
+				o0++
+				c1 := uint16(s-quiet) < c1w
+				var m uint64
+				if c1 {
+					m = 1
+					sv0 = o0
+				}
+				a0 |= m << (uint(o0) - uint(bs0))
+				s0 = s
+				if o0 == be0 {
+					if !c1 {
+						lc.status = laneFailed
+					} else {
+						lc.lanes[0].acc = a0
+						s0, o0 = c.laneClaim(&lc, 0)
+						bs0, be0, sv0, a0 = lc.lanes[0].bs, lc.lanes[0].be, lc.lanes[0].saved, lc.lanes[0].acc
+					}
+				}
+			} else {
+				l := &lc.lanes[0]
+				l.saved, l.acc = sv0, a0
+				s0, o0 = c.laneTag(&lc, 0, s, o0+1)
+				bs0, be0, sv0, a0 = l.bs, l.be, l.saved, l.acc
+			}
+		}
+		{
+			s := closed[s1][code[o1]]
+			if s < nc {
+				o1++
+				c1 := uint16(s-quiet) < c1w
+				var m uint64
+				if c1 {
+					m = 1
+					sv1 = o1
+				}
+				a1 |= m << (uint(o1) - uint(bs1))
+				s1 = s
+				if o1 == be1 {
+					if !c1 {
+						lc.status = laneFailed
+					} else {
+						lc.lanes[1].acc = a1
+						s1, o1 = c.laneClaim(&lc, 1)
+						bs1, be1, sv1, a1 = lc.lanes[1].bs, lc.lanes[1].be, lc.lanes[1].saved, lc.lanes[1].acc
+					}
+				}
+			} else {
+				l := &lc.lanes[1]
+				l.saved, l.acc = sv1, a1
+				s1, o1 = c.laneTag(&lc, 1, s, o1+1)
+				bs1, be1, sv1, a1 = l.bs, l.be, l.saved, l.acc
+			}
+		}
+		{
+			s := closed[s2][code[o2]]
+			if s < nc {
+				o2++
+				c1 := uint16(s-quiet) < c1w
+				var m uint64
+				if c1 {
+					m = 1
+					sv2 = o2
+				}
+				a2 |= m << (uint(o2) - uint(bs2))
+				s2 = s
+				if o2 == be2 {
+					if !c1 {
+						lc.status = laneFailed
+					} else {
+						lc.lanes[2].acc = a2
+						s2, o2 = c.laneClaim(&lc, 2)
+						bs2, be2, sv2, a2 = lc.lanes[2].bs, lc.lanes[2].be, lc.lanes[2].saved, lc.lanes[2].acc
+					}
+				}
+			} else {
+				l := &lc.lanes[2]
+				l.saved, l.acc = sv2, a2
+				s2, o2 = c.laneTag(&lc, 2, s, o2+1)
+				bs2, be2, sv2, a2 = l.bs, l.be, l.saved, l.acc
+			}
+		}
+		{
+			s := closed[s3][code[o3]]
+			if s < nc {
+				o3++
+				c1 := uint16(s-quiet) < c1w
+				var m uint64
+				if c1 {
+					m = 1
+					sv3 = o3
+				}
+				a3 |= m << (uint(o3) - uint(bs3))
+				s3 = s
+				if o3 == be3 {
+					if !c1 {
+						lc.status = laneFailed
+					} else {
+						lc.lanes[3].acc = a3
+						s3, o3 = c.laneClaim(&lc, 3)
+						bs3, be3, sv3, a3 = lc.lanes[3].bs, lc.lanes[3].be, lc.lanes[3].saved, lc.lanes[3].acc
+					}
+				}
+			} else {
+				l := &lc.lanes[3]
+				l.saved, l.acc = sv3, a3
+				s3, o3 = c.laneTag(&lc, 3, s, o3+1)
+				bs3, be3, sv3, a3 = l.bs, l.be, l.saved, l.acc
+			}
+		}
+	}
+	if lc.status == laneFailed {
+		return false
+	}
+
+	// Drain: bundles are exhausted, so each remaining lane just finishes
+	// the one it holds, sequentially, with the same step logic.
+	lc.lanes[0].st, lc.lanes[0].off, lc.lanes[0].saved, lc.lanes[0].acc = s0, o0, sv0, a0
+	lc.lanes[1].st, lc.lanes[1].off, lc.lanes[1].saved, lc.lanes[1].acc = s1, o1, sv1, a1
+	lc.lanes[2].st, lc.lanes[2].off, lc.lanes[2].saved, lc.lanes[2].acc = s2, o2, sv2, a2
+	lc.lanes[3].st, lc.lanes[3].off, lc.lanes[3].saved, lc.lanes[3].acc = s3, o3, sv3, a3
+	for i := 0; i < laneCount; i++ {
+		l := &lc.lanes[i]
+		for !l.done {
+			if lc.status == laneFailed {
+				return false
+			}
+			s := closed[l.st][code[l.off]]
+			if s < nc {
+				o := l.off + 1
+				c1 := uint16(s-quiet) < c1w
+				if c1 {
+					l.saved = o
+					l.acc |= 1 << (uint(o) - uint(l.bs))
+				}
+				l.st, l.off = s, o
+				if o == l.be {
+					if !c1 {
+						return false
+					}
+					l.st, l.off = c.laneClaim(&lc, i)
+				}
+			} else {
+				l.st, l.off = c.laneTag(&lc, i, s, l.off+1)
+			}
+		}
+	}
+	return lc.status != laneFailed
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+
+	"rocksalt/internal/grammar"
+)
+
+// This file builds the fused policy automaton: the product of the three
+// checker DFAs (MaskedJump × NoControlFlow × DirectJump) with a tag
+// byte per state recording which components accept or are still live.
+// The seed engine's Figure-5 loop tries the three DFAs sequentially at
+// every offset, rescanning the same bytes on each failed attempt; the
+// fused automaton reproduces the exact same decision — masked's first
+// accept wins, else noCF's, else direct's — in a single table walk that
+// stops as soon as every component has either accepted or rejected.
+//
+// Two observations keep the product small. First, each component only
+// matters up to its *first* accepting state (Figure 6's match stops
+// there), so an accepting component collapses to a one-shot "accept
+// now" state and then to a done sink — its post-accept behaviour can
+// never influence the verdict. Second, rejecting states are already
+// sinks (the derivative is Void). With both collapses the product of
+// the 25/46/8-state policy DFAs stays in the low hundreds of states,
+// and the existing Hopcroft-style refinement (grammar.MinimizeTaggedDFA,
+// with tags in place of accept bits) shrinks it further.
+
+// Tag bits of a fused state. Accept bits are set exactly on the state
+// entered by the byte that completes a component's first match, so a
+// walk observes each accept bit at most once; live bits are set while
+// the component can still reach an accept. Serialized in RSLT2 bundles,
+// so the layout is part of the table format.
+const (
+	tagAccMasked  = 1 << 0
+	tagAccNoCF    = 1 << 1
+	tagAccDirect  = 1 << 2
+	tagLiveMasked = 1 << 3
+	tagLiveNoCF   = 1 << 4
+	tagLiveDirect = 1 << 5
+
+	tagAccAny  = tagAccMasked | tagAccNoCF | tagAccDirect
+	tagLiveAny = tagLiveMasked | tagLiveNoCF | tagLiveDirect
+
+	// tagMask covers every defined bit; loaders reject tags outside it.
+	tagMask = tagAccAny | tagLiveAny
+)
+
+// fusedDFA is the product automaton in the table form the engine walks.
+// States are renumbered by class (see stateClass): quiet states occupy
+// [0, quiet), states whose tag is exactly tagAccNoCF — a complete noCF
+// instruction with every other component resolved, the overwhelmingly
+// common way an instruction ends — occupy [quiet, nc), and the rest
+// [nc, n). The hot loops then classify a state with integer compares on
+// the number itself, no tag load: `s < quiet` skips all stop logic, and
+// `s < nc` resolves the common instruction end inline.
+type fusedDFA struct {
+	start int
+	quiet int
+	nc    int
+	tags  []uint8
+	table [][256]uint16
+	// closed is the restart-closed transition table the lane engine
+	// walks: identical to table except that class-1 states (pure noCF
+	// accept, nothing live — the instruction just ended and nothing else
+	// can match) transition as if from the start state. A walk over
+	// closed never stops at the common instruction end; it flows straight
+	// into the next instruction, and the engine recovers the boundary
+	// positions branchlessly from the state numbers it passes through.
+	// Derived on load, never serialized.
+	closed [][256]uint16
+	// nocf1[b] means byte b alone is a complete noCF instruction and no
+	// component can match anything else from the start state — the walk's
+	// outcome is fully determined by one byte. Derived from the table
+	// (never serialized), it lets the engine skip the walk for the
+	// single-byte instructions (NOPs above all) that dominate real images.
+	nocf1 [256]bool
+}
+
+// computeFast derives the never-serialized fast-path structures: the
+// single-byte noCF table (entering a state whose tag is exactly
+// tagAccNoCF means noCF just accepted and every component is resolved,
+// so the priority decision is "noCF, length 1") and the restart-closed
+// transition table.
+func (f *fusedDFA) computeFast() {
+	row := &f.table[f.start]
+	for b := 0; b < 256; b++ {
+		f.nocf1[b] = f.tags[row[b]] == tagAccNoCF
+	}
+	f.closed = make([][256]uint16, len(f.table))
+	for s := range f.table {
+		if s >= f.quiet && s < f.nc {
+			f.closed[s] = *row
+		} else {
+			f.closed[s] = f.table[s]
+		}
+	}
+}
+
+// eventfulTag reports whether a walk must inspect the state's tag: a
+// component just accepted, or no component is live anymore. Quiet states
+// (live, nothing accepting) are the overwhelming majority of steps.
+func eventfulTag(g uint8) bool {
+	return g&tagAccAny != 0 || g&tagLiveAny == 0
+}
+
+// stateClass orders the renumbering classes: 0 quiet, 1 "pure noCF
+// accept" (tag exactly tagAccNoCF), 2 everything else eventful.
+func stateClass(g uint8) int {
+	switch {
+	case !eventfulTag(g):
+		return 0
+	case g == tagAccNoCF:
+		return 1
+	}
+	return 2
+}
+
+// Normalized component states for the product construction: non-negative
+// values are live states of the component DFA (never accepting or
+// rejecting), the rest are the three collapsed states.
+const (
+	compAccept = -1 // entered by the byte completing the first match
+	compDone   = -2 // post-accept sink
+	compReject = -3 // reject sink (the component's Void derivative)
+)
+
+// compStep advances one normalized component by one byte.
+func compStep(d *grammar.DFA, s int, b int) int {
+	switch s {
+	case compAccept, compDone:
+		return compDone
+	case compReject:
+		return compReject
+	}
+	t := int(d.Table[s][b])
+	switch {
+	case d.Accepts[t]:
+		return compAccept
+	case d.Rejects[t]:
+		return compReject
+	}
+	return t
+}
+
+// fuseDFAs builds the minimized fused product automaton for a DFA set.
+// The construction is deterministic: states are discovered breadth-first
+// in ascending byte order and the minimizer numbers blocks by first
+// occurrence, so the same tables always fuse to the same bytes — the
+// property the embedded-bundle regeneration guard checks.
+func fuseDFAs(set *DFASet) (*fusedDFA, error) {
+	comps := [3]*grammar.DFA{set.MaskedJump, set.NoControlFlow, set.DirectJump}
+	for i, d := range comps {
+		if d.Accepts[d.Start] {
+			return nil, fmt.Errorf("core: fusing component %d: start state accepts the empty string", i)
+		}
+		if d.Rejects[d.Start] {
+			return nil, fmt.Errorf("core: fusing component %d: start state rejects everything", i)
+		}
+	}
+
+	type triple [3]int
+	tag := func(t triple) uint8 {
+		var g uint8
+		accBits := [3]uint8{tagAccMasked, tagAccNoCF, tagAccDirect}
+		liveBits := [3]uint8{tagLiveMasked, tagLiveNoCF, tagLiveDirect}
+		for i, s := range t {
+			switch {
+			case s == compAccept:
+				g |= accBits[i]
+			case s >= 0:
+				g |= liveBits[i]
+			}
+		}
+		return g
+	}
+
+	start := triple{comps[0].Start, comps[1].Start, comps[2].Start}
+	index := map[triple]int{start: 0}
+	states := []triple{start}
+	var table [][256]uint16
+	for i := 0; i < len(states); i++ {
+		var row [256]uint16
+		cur := states[i]
+		for b := 0; b < 256; b++ {
+			nxt := triple{compStep(comps[0], cur[0], b),
+				compStep(comps[1], cur[1], b),
+				compStep(comps[2], cur[2], b)}
+			j, ok := index[nxt]
+			if !ok {
+				j = len(states)
+				if j >= 1<<16 {
+					return nil, fmt.Errorf("core: fused product exceeds %d states", 1<<16)
+				}
+				index[nxt] = j
+				states = append(states, nxt)
+			}
+			row[b] = uint16(j)
+		}
+		table = append(table, row)
+	}
+	tags := make([]uint8, len(states))
+	for i, t := range states {
+		tags[i] = tag(t)
+	}
+
+	mStart, mTags, mTable := grammar.MinimizeTaggedDFA(0, tags, table)
+	return reorderByClass(mStart, mTags, mTable), nil
+}
+
+// reorderByClass renumbers the minimized product so the stateClass
+// sequence is non-decreasing, preserving relative order within each
+// class — a deterministic permutation, so serialized bundles stay
+// reproducible. The boundaries themselves are not serialized; they are
+// recomputed from the tags on load (validate checks the partition).
+func reorderByClass(start int, tags []uint8, table [][256]uint16) *fusedDFA {
+	n := len(tags)
+	perm := make([]int, n)
+	var count [3]int
+	for _, g := range tags {
+		count[stateClass(g)]++
+	}
+	next := [3]int{0, count[0], count[0] + count[1]}
+	for i, g := range tags {
+		cl := stateClass(g)
+		perm[i] = next[cl]
+		next[cl]++
+	}
+	f := &fusedDFA{
+		start: perm[start],
+		quiet: count[0],
+		nc:    count[0] + count[1],
+		tags:  make([]uint8, n),
+		table: make([][256]uint16, n),
+	}
+	for i, g := range tags {
+		ni := perm[i]
+		f.tags[ni] = g
+		for b := 0; b < 256; b++ {
+			f.table[ni][b] = uint16(perm[int(table[i][b])])
+		}
+	}
+	f.computeFast()
+	return f
+}
+
+// scan is the fused engine's inner step: one walk of the product
+// automaton from code[pos:], returning each component's earliest accept
+// length (0 = the component never accepts) — the same values the seed's
+// three sequential match calls would produce, in one pass. The walk
+// stops as soon as the priority decision is determined: a masked accept
+// wins outright; once masked can no longer accept, a recorded noCF
+// accept wins; once noCF is out too, a recorded direct accept; and a
+// state with nothing live and nothing recorded is the illegal case.
+// Quiet states skip all of that behind the state-number compare.
+func (f *fusedDFA) scan(code []byte, pos int) (lm, ln, ld int) {
+	table, tags := f.table, f.tags
+	quiet := uint16(f.quiet)
+	state := uint16(f.start)
+	off := pos
+	for off < len(code) {
+		state = table[state][code[off]]
+		off++
+		if state < quiet {
+			continue
+		}
+		tag := tags[state]
+		n := off - pos
+		if tag&tagAccMasked != 0 {
+			lm = n
+			break
+		}
+		if tag&tagAccNoCF != 0 && ln == 0 {
+			ln = n
+		}
+		if tag&tagAccDirect != 0 && ld == 0 {
+			ld = n
+		}
+		if tag&tagLiveMasked == 0 &&
+			(ln != 0 || tag&tagLiveNoCF == 0 && (ld != 0 || tag&tagLiveDirect == 0)) {
+			break
+		}
+	}
+	return lm, ln, ld
+}
+
+// validate bounds-checks a deserialized fused automaton so a corrupt
+// bundle can never index out of range at verification time, and
+// recomputes the quiet boundary the hot loop depends on (rejecting
+// tables that are not quiet-first partitioned — the walk would silently
+// skip accepts in the quiet region otherwise).
+func (f *fusedDFA) validate() error {
+	n := len(f.table)
+	if n == 0 || n > 1<<16 {
+		return fmt.Errorf("core: implausible fused automaton size %d", n)
+	}
+	if len(f.tags) != n {
+		return fmt.Errorf("core: fused tag count %d does not match %d states", len(f.tags), n)
+	}
+	if f.start < 0 || f.start >= n {
+		return fmt.Errorf("core: fused start state out of range")
+	}
+	for i, g := range f.tags {
+		if g&^uint8(tagMask) != 0 {
+			return fmt.Errorf("core: fused state %d has undefined tag bits %#x", i, g)
+		}
+	}
+	// Recompute the class boundaries the hot loops depend on, rejecting
+	// tables that are not class-partitioned — the walk would silently
+	// misclassify states otherwise (a quiet-region accept state would
+	// never be seen; an out-of-place eventful state would resolve as a
+	// plain noCF instruction).
+	prev := 0
+	q, nc := n, n
+	for i, g := range f.tags {
+		cl := stateClass(g)
+		if cl < prev {
+			return fmt.Errorf("core: fused states are not class-partitioned (class %d state %d after class %d)", cl, i, prev)
+		}
+		if cl >= 1 && q == n {
+			q = i
+		}
+		if cl == 2 && nc == n {
+			nc = i
+		}
+		prev = cl
+	}
+	f.quiet, f.nc = q, nc
+	for s := range f.table {
+		for b := 0; b < 256; b++ {
+			if int(f.table[s][b]) >= n {
+				return fmt.Errorf("core: fused transition out of range")
+			}
+		}
+	}
+	f.computeFast()
+	return nil
+}

@@ -52,3 +52,56 @@ func FuzzVerifyParallelEquiv(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFusedEquiv holds the fused product automaton to the reference
+// three-DFA engine on arbitrary byte strings: same verdict, identical
+// violation lists (offset, kind, detail, window — byte for byte), same
+// uncapped total, with and without the AlignedCalls extension. This is
+// the executable statement that the fusion is a pure performance
+// transformation. Run longer with
+//
+//	go test -fuzz FuzzFusedEquiv ./internal/core
+func FuzzFusedEquiv(f *testing.F) {
+	gen := nacl.NewGenerator(47)
+	for _, n := range []int{5, 60, 6000} {
+		img, err := gen.Random(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img)
+	}
+	for _, img := range nacl.UnsafeCorpus() {
+		f.Add(img)
+	}
+	f.Add([]byte{0x83, 0xe0, 0xe0, 0xff, 0xe0}) // masked pair, short bundle
+	f.Add([]byte{0xeb, 0x03, 0xb8, 0, 0, 0, 0}) // jump into an instruction
+	f.Add([]byte{0xe8, 0, 0, 0, 0})             // call (AlignedCalls-sensitive)
+
+	plain, err := core.NewChecker()
+	if err != nil {
+		f.Fatal(err)
+	}
+	aligned, err := core.NewChecker()
+	if err != nil {
+		f.Fatal(err)
+	}
+	aligned.AlignedCalls = true
+
+	f.Fuzz(func(t *testing.T, img []byte) {
+		if len(img) > 1<<20 {
+			t.Skip()
+		}
+		for _, c := range []*core.Checker{plain, aligned} {
+			ref := c.VerifyWith(img, core.VerifyOptions{Workers: 1, Engine: core.EngineReference})
+			fus := c.VerifyWith(img, core.VerifyOptions{Workers: 1, Engine: core.EngineFused})
+			if fus.Safe != ref.Safe {
+				t.Fatalf("alignedCalls=%v: fused verdict %v, reference %v on % x",
+					c.AlignedCalls, fus.Safe, ref.Safe, img)
+			}
+			if !reflect.DeepEqual(fus.Violations, ref.Violations) || fus.Total != ref.Total {
+				t.Fatalf("alignedCalls=%v: reports diverged on % x\nref: %+v\nfus: %+v",
+					c.AlignedCalls, img, ref.Violations, fus.Violations)
+			}
+		}
+	})
+}

@@ -14,17 +14,38 @@ import (
 // grammars and shipped alongside the tiny trusted C checker; here
 // cmd/dfagen can emit a table bundle and NewCheckerFromTables can run
 // without touching the grammar machinery at all — the run-time trusted
-// computing base is then exactly: this loader, verifier.go, and the
-// bytes of the tables.
+// computing base is then exactly: this loader, verifier.go, engine.go,
+// and the bytes of the tables.
+//
+// Two bundle versions exist:
+//
+//	RSLT1: the three policy DFAs, CRC-checked (the seed format).
+//	RSLT2: the fused product automaton (states, start, tag bytes,
+//	       transition table, CRC) followed by the complete v1-layout
+//	       component DFAs, so one bundle carries both the fast path
+//	       and the reference engine.
+//
+// Loading a v1 bundle reconstructs the fused automaton from the
+// component tables; loading a v2 bundle is pure deserialization, which
+// is what makes NewChecker on the embedded bundle a sub-millisecond
+// operation.
 
-// tableMagic identifies a serialized DFA bundle (version 1).
-const tableMagic = "RSLT1\x00"
+// tableMagicV1 and tableMagicV2 identify serialized DFA bundles.
+const (
+	tableMagicV1 = "RSLT1\x00"
+	tableMagicV2 = "RSLT2\x00"
+	magicLen     = len(tableMagicV1)
+)
 
-// WriteTables serializes the three policy DFAs.
+// WriteTables serializes the three policy DFAs in the v1 format.
 func (s *DFASet) WriteTables(w io.Writer) error {
-	if _, err := io.WriteString(w, tableMagic); err != nil {
+	if _, err := io.WriteString(w, tableMagicV1); err != nil {
 		return err
 	}
+	return s.writeBody(w)
+}
+
+func (s *DFASet) writeBody(w io.Writer) error {
 	for _, d := range []*grammar.DFA{s.MaskedJump, s.NoControlFlow, s.DirectJump} {
 		if err := writeDFA(w, d); err != nil {
 			return err
@@ -33,15 +54,57 @@ func (s *DFASet) WriteTables(w io.Writer) error {
 	return nil
 }
 
-// ReadTables deserializes a bundle written by WriteTables.
-func ReadTables(r io.Reader) (*DFASet, error) {
-	magic := make([]byte, len(tableMagic))
+// WriteTablesV2 serializes the fused product automaton of the set
+// followed by the three component DFAs — the v2 bundle format.
+func (s *DFASet) WriteTablesV2(w io.Writer) error {
+	fused, err := fuseDFAs(s)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, tableMagicV2); err != nil {
+		return err
+	}
+	if err := writeFused(w, fused); err != nil {
+		return err
+	}
+	return s.writeBody(w)
+}
+
+// sniffVersion consumes the magic and returns the bundle version, or an
+// error naming the unknown version so CLI users know a re-generation
+// (or a different tool) is needed.
+func sniffVersion(r io.Reader) (int, error) {
+	magic := make([]byte, magicLen)
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, fmt.Errorf("core: reading table magic: %w", err)
+		return 0, fmt.Errorf("core: reading table magic: %w", err)
 	}
-	if string(magic) != tableMagic {
-		return nil, fmt.Errorf("core: not a rocksalt table bundle")
+	switch string(magic) {
+	case tableMagicV1:
+		return 1, nil
+	case tableMagicV2:
+		return 2, nil
 	}
+	return 0, fmt.Errorf("core: unknown table bundle version %q (want %q or %q)",
+		string(magic), tableMagicV1, tableMagicV2)
+}
+
+// ReadTables deserializes the component DFA set from a bundle of either
+// version (for v2 the fused section is read and discarded; use
+// NewCheckerFromTables to keep it).
+func ReadTables(r io.Reader) (*DFASet, error) {
+	version, err := sniffVersion(r)
+	if err != nil {
+		return nil, err
+	}
+	if version == 2 {
+		if _, err := readFused(r); err != nil {
+			return nil, err
+		}
+	}
+	return readSet(r)
+}
+
+func readSet(r io.Reader) (*DFASet, error) {
 	var out [3]*grammar.DFA
 	for i := range out {
 		d, err := readDFA(r)
@@ -53,10 +116,29 @@ func ReadTables(r io.Reader) (*DFASet, error) {
 	return &DFASet{MaskedJump: out[0], NoControlFlow: out[1], DirectJump: out[2]}, nil
 }
 
-// NewCheckerFromTables builds a checker directly from serialized tables,
-// bypassing grammar compilation entirely.
+// NewCheckerFromTables builds a checker directly from a serialized
+// bundle, bypassing grammar compilation entirely. v1 bundles carry only
+// the component DFAs, so the fused automaton is reconstructed (a few
+// milliseconds of product construction); v2 bundles deserialize both.
+// Every load is CRC- and bounds-checked: a corrupted bundle fails
+// closed at this boundary, never at verification time.
 func NewCheckerFromTables(r io.Reader) (*Checker, error) {
-	set, err := ReadTables(r)
+	version, err := sniffVersion(r)
+	if err != nil {
+		return nil, err
+	}
+	if version == 1 {
+		set, err := readSet(r)
+		if err != nil {
+			return nil, err
+		}
+		return newCheckerFromSet(set)
+	}
+	fused, err := readFused(r)
+	if err != nil {
+		return nil, err
+	}
+	set, err := readSet(r)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +146,82 @@ func NewCheckerFromTables(r io.Reader) (*Checker, error) {
 		masked: newDFA(set.MaskedJump),
 		noCF:   newDFA(set.NoControlFlow),
 		direct: newDFA(set.DirectJump),
+		fused:  fused,
 	}, nil
+}
+
+// writeFused serializes the fused automaton: state count, start state,
+// tag bytes, transition rows, and a CRC over tags+rows.
+func writeFused(w io.Writer, f *fusedDFA) error {
+	n := uint32(len(f.table))
+	if err := binary.Write(w, binary.LittleEndian, n); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(f.start)); err != nil {
+		return err
+	}
+	if _, err := w.Write(f.tags); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(f.tags)
+	buf := make([]byte, 512)
+	for _, row := range f.table {
+		for i, v := range row {
+			binary.LittleEndian.PutUint16(buf[i*2:], v)
+		}
+		crc.Write(buf)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// readFused deserializes and validates a fused automaton section.
+func readFused(r io.Reader) (*fusedDFA, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n == 0 || n > 1<<16 {
+		return nil, fmt.Errorf("core: implausible fused automaton size %d", n)
+	}
+	var start uint16
+	if err := binary.Read(r, binary.LittleEndian, &start); err != nil {
+		return nil, err
+	}
+	f := &fusedDFA{
+		start: int(start),
+		tags:  make([]uint8, n),
+		table: make([][256]uint16, n),
+	}
+	if _, err := io.ReadFull(r, f.tags); err != nil {
+		return nil, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(f.tags)
+	buf := make([]byte, 512)
+	for s := range f.table {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		crc.Write(buf)
+		for i := 0; i < 256; i++ {
+			f.table[s][i] = binary.LittleEndian.Uint16(buf[i*2:])
+		}
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return nil, err
+	}
+	if sum != crc.Sum32() {
+		return nil, fmt.Errorf("core: fused table checksum mismatch")
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 func writeDFA(w io.Writer, d *grammar.DFA) error {

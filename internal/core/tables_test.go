@@ -9,26 +9,10 @@ import (
 	"rocksalt/internal/nacl"
 )
 
-func TestTableRoundTrip(t *testing.T) {
-	set, err := core.BuildDFAs()
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := set.WriteTables(&buf); err != nil {
-		t.Fatal(err)
-	}
-	size := buf.Len()
-	t.Logf("serialized tables: %d bytes", size)
-
-	loaded, err := core.NewCheckerFromTables(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	fresh := checker(t)
-
-	// The table-loaded checker and the grammar-compiled one must agree on
-	// a mixed corpus.
+// agreeOnCorpus asserts two checkers produce the same verdict on a
+// mixed corpus of compliant images, mutants, and the unsafe corpus.
+func agreeOnCorpus(t *testing.T, loaded, fresh *core.Checker, what string) {
+	t.Helper()
 	gen := nacl.NewGenerator(77)
 	for i := 0; i < 50; i++ {
 		img, err := gen.Random(30)
@@ -36,19 +20,95 @@ func TestTableRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		if loaded.Verify(img) != fresh.Verify(img) {
-			t.Fatal("table-loaded checker disagrees on compliant image")
+			t.Fatalf("%s checker disagrees on compliant image", what)
 		}
 		mut := append([]byte{}, img...)
 		mut[i%len(mut)] ^= 0xff
 		if loaded.Verify(mut) != fresh.Verify(mut) {
-			t.Fatal("table-loaded checker disagrees on mutant")
+			t.Fatalf("%s checker disagrees on mutant", what)
 		}
 	}
 	for name, img := range nacl.UnsafeCorpus() {
 		if loaded.Verify(img) {
-			t.Errorf("table-loaded checker accepted %q", name)
+			t.Errorf("%s checker accepted %q", what, name)
 		}
 	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	set, err := core.BuildDFAs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := checker(t)
+
+	var v1 bytes.Buffer
+	if err := set.WriteTables(&v1); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serialized v1 tables: %d bytes", v1.Len())
+	loaded, err := core.NewCheckerFromTables(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeOnCorpus(t, loaded, fresh, "v1 table-loaded")
+
+	var v2 bytes.Buffer
+	if err := set.WriteTablesV2(&v2); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serialized v2 tables: %d bytes", v2.Len())
+	loaded2, err := core.NewCheckerFromTables(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeOnCorpus(t, loaded2, fresh, "v2 table-loaded")
+
+	// ReadTables must recover the component set from either version.
+	for _, buf := range [][]byte{v1.Bytes(), v2.Bytes()} {
+		got, err := core.ReadTables(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MaskedJump.NumStates() != set.MaskedJump.NumStates() ||
+			got.NoControlFlow.NumStates() != set.NoControlFlow.NumStates() ||
+			got.DirectJump.NumStates() != set.DirectJump.NumStates() {
+			t.Fatal("ReadTables state counts differ from the generated set")
+		}
+	}
+}
+
+// TestEmbeddedBundleFresh is the regeneration guard: the bundle
+// embedded in the binary must be byte-identical to what the current
+// grammars generate, and the checker it produces must agree with the
+// grammar-compiled one. A failure means someone changed the grammars
+// (or the fusion/serialization) without re-running
+//
+//	go run ./cmd/dfagen -o internal/core/rocksalt_tables_v2.bin
+func TestEmbeddedBundleFresh(t *testing.T) {
+	set, err := core.BuildDFAs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := set.WriteTablesV2(&want); err != nil {
+		t.Fatal(err)
+	}
+	got := core.EmbeddedTableBytes()
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("embedded table bundle is stale (%d bytes vs %d freshly generated): re-run 'go run ./cmd/dfagen -o internal/core/rocksalt_tables_v2.bin'",
+			len(got), want.Len())
+	}
+
+	emb, err := core.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGrammars, err := core.NewCheckerFromGrammars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeOnCorpus(t, emb, fromGrammars, "embedded-bundle")
 }
 
 // TestNewCheckerFromTablesErrorPaths: every malformed table bundle must
@@ -63,9 +123,14 @@ func TestNewCheckerFromTablesErrorPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	good := buf.Bytes()
+	var buf2 bytes.Buffer
+	if err := set.WriteTablesV2(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	goodV2 := buf2.Bytes()
 
-	mutate := func(f func(b []byte) []byte) []byte {
-		return f(append([]byte{}, good...))
+	mutate := func(src []byte, f func(b []byte) []byte) []byte {
+		return f(append([]byte{}, src...))
 	}
 	cases := []struct {
 		name    string
@@ -73,17 +138,27 @@ func TestNewCheckerFromTablesErrorPaths(t *testing.T) {
 		wantSub string
 	}{
 		{"empty input", nil, "magic"},
-		{"truncated magic", mutate(func(b []byte) []byte { return b[:3] }), "magic"},
-		{"wrong version byte", mutate(func(b []byte) []byte { b[4] = '2'; return b }), "not a rocksalt table bundle"},
-		{"truncated header", mutate(func(b []byte) []byte { return b[:8] }), ""},
-		{"truncated bundle", mutate(func(b []byte) []byte { return b[:len(b)/3] }), ""},
-		{"truncated final checksum", mutate(func(b []byte) []byte { return b[:len(b)-2] }), ""},
-		{"corrupted table byte", mutate(func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b }), ""},
-		{"corrupted status byte", mutate(func(b []byte) []byte { b[16] ^= 0x04; return b }), ""},
-		{"zero-state DFA", mutate(func(b []byte) []byte {
+		{"truncated magic", mutate(good, func(b []byte) []byte { return b[:3] }), "magic"},
+		{"unknown version", mutate(good, func(b []byte) []byte { b[4] = '9'; return b }), "unknown table bundle version"},
+		{"not a bundle at all", []byte("GARBAGE BYTES"), "unknown table bundle version"},
+		{"v1 body behind v2 magic", mutate(good, func(b []byte) []byte { b[4] = '2'; return b }), ""},
+		{"truncated header", mutate(good, func(b []byte) []byte { return b[:8] }), ""},
+		{"truncated bundle", mutate(good, func(b []byte) []byte { return b[:len(b)/3] }), ""},
+		{"truncated final checksum", mutate(good, func(b []byte) []byte { return b[:len(b)-2] }), ""},
+		{"corrupted table byte", mutate(good, func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b }), ""},
+		{"corrupted status byte", mutate(good, func(b []byte) []byte { b[16] ^= 0x04; return b }), ""},
+		{"zero-state DFA", mutate(good, func(b []byte) []byte {
 			copy(b[6:10], []byte{0, 0, 0, 0}) // first DFA's state count
 			return b
 		}), "implausible"},
+		{"v2 zero-state fused", mutate(goodV2, func(b []byte) []byte {
+			copy(b[6:10], []byte{0, 0, 0, 0}) // fused state count
+			return b
+		}), "implausible"},
+		{"v2 corrupted tag byte", mutate(goodV2, func(b []byte) []byte { b[13] ^= 0x01; return b }), ""},
+		{"v2 corrupted fused table", mutate(goodV2, func(b []byte) []byte { b[2048] ^= 0x80; return b }), ""},
+		{"v2 truncated fused section", mutate(goodV2, func(b []byte) []byte { return b[:1024] }), ""},
+		{"v2 corrupted component table", mutate(goodV2, func(b []byte) []byte { b[len(b)-100] ^= 0x01; return b }), ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -106,26 +181,33 @@ func TestTableCorruptionDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if err := set.WriteTables(&buf); err != nil {
-		t.Fatal(err)
-	}
-	good := buf.Bytes()
+	for _, version := range []int{1, 2} {
+		var buf bytes.Buffer
+		if version == 1 {
+			err = set.WriteTables(&buf)
+		} else {
+			err = set.WriteTablesV2(&buf)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := buf.Bytes()
 
-	// Bad magic.
-	bad := append([]byte{}, good...)
-	bad[0] ^= 0xff
-	if _, err := core.NewCheckerFromTables(bytes.NewReader(bad)); err == nil {
-		t.Fatal("bad magic must be rejected")
-	}
-	// Flipped table byte (checksum).
-	bad = append([]byte{}, good...)
-	bad[len(bad)/2] ^= 0x01
-	if _, err := core.NewCheckerFromTables(bytes.NewReader(bad)); err == nil {
-		t.Fatal("corrupted table must be rejected")
-	}
-	// Truncation.
-	if _, err := core.NewCheckerFromTables(bytes.NewReader(good[:len(good)/3])); err == nil {
-		t.Fatal("truncated bundle must be rejected")
+		// Bad magic.
+		bad := append([]byte{}, good...)
+		bad[0] ^= 0xff
+		if _, err := core.NewCheckerFromTables(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("v%d: bad magic must be rejected", version)
+		}
+		// Flipped table byte (checksum).
+		bad = append([]byte{}, good...)
+		bad[len(bad)/2] ^= 0x01
+		if _, err := core.NewCheckerFromTables(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("v%d: corrupted table must be rejected", version)
+		}
+		// Truncation.
+		if _, err := core.NewCheckerFromTables(bytes.NewReader(good[:len(good)/3])); err == nil {
+			t.Fatalf("v%d: truncated bundle must be rejected", version)
+		}
 	}
 }

@@ -7,11 +7,16 @@ import (
 // This file is the Go rendition of the paper's trusted checker: the
 // verifier main routine of Figure 5 and the DFA match routine of
 // Figure 6. Everything clever lives in the generated tables; the code
-// below is deliberately a line-by-line transcription.
+// below is deliberately a line-by-line transcription. The fused product
+// automaton (fused.go) is the performance path; the three-DFA match
+// loop here is the reference semantics it is held to.
 
 // Checker verifies flat code images against the NaCl sandbox policy.
 type Checker struct {
 	masked, noCF, direct *dfa
+	// fused is the product automaton the default engine walks; the
+	// three component DFAs above remain the reference engine.
+	fused *fusedDFA
 	// Entries is the set of permitted out-of-image direct-jump targets
 	// (the NaCl runtime's trampoline entry points).
 	Entries map[uint32]bool
@@ -23,16 +28,41 @@ type Checker struct {
 	AlignedCalls bool
 }
 
-// NewChecker builds (or reuses) the policy DFAs and returns a checker.
+// NewChecker returns a checker backed by the pregenerated table bundle
+// embedded in the binary (parsed once, behind a sync.Once). This is the
+// paper's deployment story — tables generated offline, shipped beside
+// the tiny trusted loop — and it makes construction a microsecond
+// operation instead of the ~170 ms grammar compilation.
+// NewCheckerFromGrammars recompiles from the grammars and is the
+// cross-check path; the embedded-bundle regeneration test holds the two
+// identical.
 func NewChecker() (*Checker, error) {
-	dfas, err := BuildDFAs()
+	return newCheckerFromEmbedded()
+}
+
+// NewCheckerFromGrammars compiles the policy grammars to DFAs (memoized
+// across calls), fuses them, and returns a checker. It is the slow,
+// self-contained construction the embedded bundle is generated from.
+func NewCheckerFromGrammars() (*Checker, error) {
+	set, err := BuildDFAs()
+	if err != nil {
+		return nil, err
+	}
+	return newCheckerFromSet(set)
+}
+
+// newCheckerFromSet builds the runtime checker — component DFAs plus
+// the fused product — from a compiled or deserialized DFA set.
+func newCheckerFromSet(set *DFASet) (*Checker, error) {
+	fused, err := fuseDFAs(set)
 	if err != nil {
 		return nil, err
 	}
 	return &Checker{
-		masked: newDFA(dfas.MaskedJump),
-		noCF:   newDFA(dfas.NoControlFlow),
-		direct: newDFA(dfas.DirectJump),
+		masked: newDFA(set.MaskedJump),
+		noCF:   newDFA(set.NoControlFlow),
+		direct: newDFA(set.DirectJump),
+		fused:  fused,
 	}, nil
 }
 
@@ -87,10 +117,11 @@ func newDFA(g *grammar.DFA) *dfa {
 }
 
 // Verify is Figure 5: returns true exactly when the image satisfies the
-// aligned sandbox policy. It runs the staged engine sequentially; use
-// VerifyWith to spread stage 1 over a worker pool.
+// aligned sandbox policy. It runs the staged engine sequentially on
+// pooled scratch — steady state it performs no heap allocation; use
+// VerifyWith to spread stage 1 over a worker pool or to get a Report.
 func (c *Checker) Verify(code []byte) bool {
-	return c.VerifyWith(code, VerifyOptions{Workers: 1}).Safe
+	return c.verifyLean(code)
 }
 
 // VerifyReport is Verify with a diagnostic for the first violation. The
@@ -132,4 +163,19 @@ func DFAStats() (map[string]int, error) {
 		"NoControlFlow": dfas.NoControlFlow.NumStates(),
 		"DirectJump":    dfas.DirectJump.NumStates(),
 	}, nil
+}
+
+// FusedStats reports the size of the minimized fused product automaton:
+// its state count and the bytes of its transition table plus tags.
+func FusedStats() (states, tableBytes int, err error) {
+	dfas, err := BuildDFAs()
+	if err != nil {
+		return 0, 0, err
+	}
+	fused, err := fuseDFAs(dfas)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := len(fused.table)
+	return n, n*512 + n, nil
 }

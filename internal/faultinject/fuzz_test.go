@@ -33,7 +33,9 @@ func FuzzFaultInjectSoundness(f *testing.F) {
 		f.Add(img, int64(0))
 	}
 
-	h := &faultinject.Harness{Checker: checker(f), MaxSteps: 100, SimSeeds: 1}
+	// CrossCheck makes every fuzz input also a differential test of the
+	// fused engine against the reference three-DFA loop.
+	h := &faultinject.Harness{Checker: checker(f), MaxSteps: 100, SimSeeds: 1, CrossCheck: true}
 	f.Fuzz(func(t *testing.T, img []byte, simSeed int64) {
 		if len(img) > 1<<14 {
 			t.Skip()

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"reflect"
 
 	"rocksalt/internal/core"
 	"rocksalt/internal/rtl"
@@ -71,6 +72,13 @@ type Harness struct {
 	// Workers is passed through to the verifier (default 1; the
 	// campaign itself is the parallel dimension).
 	Workers int
+	// CrossCheck additionally runs every mutant through both stage-1
+	// engines — the fused product automaton and the reference three-DFA
+	// loop — and treats any divergence in the structured reports as an
+	// invariant violation. It turns the campaign into a differential
+	// test of the fusion on exactly the adversarial inputs mutation
+	// produces.
+	CrossCheck bool
 
 	// dec and s are shared by every simulation: the decoder's lazy parse
 	// trie and the simulator's translation cache warm up across mutants,
@@ -169,6 +177,11 @@ func (h *Harness) CheckMutant(ctx context.Context, img []byte) (rejected bool, e
 	if rep.Interrupted() {
 		return false, rep.Err()
 	}
+	if h.CrossCheck {
+		if err := h.crossCheck(ctx, img, rep); err != nil {
+			return false, err
+		}
+	}
 	if !rep.Safe {
 		return true, nil
 	}
@@ -178,6 +191,26 @@ func (h *Harness) CheckMutant(ctx context.Context, img []byte) (rejected bool, e
 		}
 	}
 	return false, nil
+}
+
+// crossCheck reruns img under the reference engine and asserts its
+// report is byte-identical to the default run's: same verdict, same
+// violation list (offset, kind, detail, window), same uncapped total.
+// Any divergence is a bug in the fused product automaton (or in the
+// fusion itself) and fails the campaign like an escape would.
+func (h *Harness) crossCheck(ctx context.Context, img []byte, got *core.Report) error {
+	ref := h.Checker.VerifyContext(ctx, img, core.VerifyOptions{
+		Workers: h.Workers, Engine: core.EngineReference,
+	})
+	if ref.Interrupted() {
+		return ref.Err()
+	}
+	if got.Safe != ref.Safe || got.Total != ref.Total ||
+		!reflect.DeepEqual(got.Violations, ref.Violations) {
+		return fmt.Errorf("fused/reference divergence: fused safe=%v total=%d %+v, reference safe=%v total=%d %+v",
+			got.Safe, got.Total, got.Violations, ref.Safe, ref.Total, ref.Violations)
+	}
+	return nil
 }
 
 // contained executes an accepted image from a randomized start state

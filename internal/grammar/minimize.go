@@ -110,6 +110,106 @@ func MinimizeBitDFA(d *BitDFA) *BitDFA {
 	return out
 }
 
+// MinimizeTaggedDFA minimizes a byte-transition automaton whose states
+// carry opaque tag bytes instead of accept/reject booleans — the shape
+// of the checker's fused product automaton, where a tag packs the
+// accept/live status of every component DFA. Unreachable states are
+// dropped and states are merged exactly when they have equal tags and
+// lead to mergeable successors on every byte, so every walk through the
+// minimized automaton observes the identical tag sequence. The result
+// is deterministic (block ids are assigned in first-occurrence order
+// over ascending state ids), which the serialized-table regeneration
+// guard relies on.
+func MinimizeTaggedDFA(start int, tags []uint8, table [][256]uint16) (newStart int, newTags []uint8, newTable [][256]uint16) {
+	n := len(table)
+	// Reachability from the start, exploring bytes in ascending order so
+	// discovery order is deterministic.
+	reach := make([]bool, n)
+	reach[start] = true
+	stack := []int{start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for b := 0; b < 256; b++ {
+			t := int(table[s][b])
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+
+	// Initial partition: one block per distinct tag byte, numbered by
+	// first occurrence.
+	part := make([]int, n) // state -> block id; -1 = unreachable
+	for i := range part {
+		part[i] = -1
+	}
+	tagBlock := map[uint8]int{}
+	blocks := 0
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		id, ok := tagBlock[tags[i]]
+		if !ok {
+			id = blocks
+			blocks++
+			tagBlock[tags[i]] = id
+		}
+		part[i] = id
+	}
+
+	// Moore refinement: split blocks by the 256-successor-block
+	// signature until stable. The fused automata are a few hundred
+	// states, so the simple quadratic-ish refinement is instant.
+	sig := make([]byte, 2+2*256)
+	for {
+		next := map[string]int{}
+		newPart := make([]int, n)
+		copy(newPart, part)
+		newBlocks := 0
+		for i := 0; i < n; i++ {
+			if part[i] < 0 {
+				continue
+			}
+			sig[0] = byte(part[i])
+			sig[1] = byte(part[i] >> 8)
+			for b := 0; b < 256; b++ {
+				t := part[table[i][b]]
+				sig[2+2*b] = byte(t)
+				sig[3+2*b] = byte(t >> 8)
+			}
+			id, ok := next[string(sig)]
+			if !ok {
+				id = newBlocks
+				newBlocks++
+				next[string(sig)] = id
+			}
+			newPart[i] = id
+		}
+		part = newPart
+		if newBlocks == blocks {
+			break
+		}
+		blocks = newBlocks
+	}
+
+	newTags = make([]uint8, blocks)
+	newTable = make([][256]uint16, blocks)
+	for i := 0; i < n; i++ {
+		if part[i] < 0 {
+			continue
+		}
+		b := part[i]
+		newTags[b] = tags[i]
+		for c := 0; c < 256; c++ {
+			newTable[b][c] = uint16(part[table[i][c]])
+		}
+	}
+	return part[start], newTags, newTable
+}
+
 // SubsetOfBitDFAs reports whether L(a) ⊆ L(b): no reachable product state
 // is accepting in a but not in b. This is the executable form of the
 // paper's §4.1 language-containment lemmas (each policy expression's
