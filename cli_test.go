@@ -1,6 +1,9 @@
 package rocksalt_test
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -129,6 +132,66 @@ func TestCLIPipeline(t *testing.T) {
 		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
 			t.Errorf("rocksalt on %s: want exit 1, got %v", e.Name(), err)
 		}
+	}
+
+	// -stats prints the per-run engine record; -json emits the verdict
+	// machine-readably with the stats embedded.
+	out, err = exec.Command(bin("rocksalt"), "-stats", img).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "lane batches") {
+		t.Errorf("rocksalt -stats missing engine record: %v\n%s", err, out)
+	}
+	out, err = exec.Command(bin("rocksalt"), "-json", img).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), `"safe": true`) ||
+		!strings.Contains(string(out), `"bytes_scanned"`) {
+		t.Errorf("rocksalt -json output wrong: %v\n%s", err, out)
+	}
+
+	// -metrics-addr serves Prometheus metrics, expvar and pprof for the
+	// life of the process; -linger keeps a one-shot run scrapable.
+	srv := exec.Command(bin("rocksalt"), "-metrics-addr", "127.0.0.1:0", "-linger", "30s", "-q", img)
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if i := strings.Index(sc.Text(), "addr="); i >= 0 {
+			addr = strings.Fields(sc.Text()[i+len("addr="):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("rocksalt -metrics-addr never logged its address")
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		return string(body)
+	}
+	if m := get("/metrics"); !strings.Contains(m, "rocksalt_verify_runs_total 1") ||
+		!strings.Contains(m, "# TYPE rocksalt_verify_duration_ns histogram") {
+		t.Errorf("/metrics exposition missing run counters:\n%.800s", m)
+	}
+	if v := get("/debug/vars"); !strings.Contains(v, `"rocksalt"`) {
+		t.Errorf("/debug/vars missing the rocksalt expvar:\n%.400s", v)
+	}
+	if p := get("/debug/pprof/cmdline"); !strings.Contains(p, "rocksalt") {
+		t.Errorf("/debug/pprof/cmdline wrong:\n%q", p)
 	}
 
 	// A tampered image: flip a byte of the compliant image's first

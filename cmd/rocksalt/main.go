@@ -3,25 +3,64 @@
 //
 // Usage:
 //
-//	rocksalt [-entries 0x10000,0x10020] [-j N] [-timeout 5s] file.bin
+//	rocksalt [-entries 0x10000,0x10020] [-tables tables.bin] [-j N]
+//	         [-timeout 5s] [-stats] [-json] [-v]
+//	         [-metrics-addr :9090] [-linger 0s] file.bin
 //
 // The exit status is 0 when the image is safe, 1 when it is rejected,
 // 2 on usage or input errors (including an empty input file), and 3
 // when -timeout expired before verification finished — an interrupted
 // run is never reported safe.
+//
+// -stats prints the per-run engine record (bytes, bundles, instruction
+// boundaries, shard parse modes, per-stage wall times); -json switches
+// the whole verdict to a machine-readable JSON object on stdout.
+// -metrics-addr serves Prometheus metrics on /metrics, expvar on
+// /debug/vars and the pprof profiles on /debug/pprof/ for the life of
+// the process (use -linger to keep serving after the verdict, e.g. to
+// scrape a one-shot run); it also enables global telemetry. -v emits
+// structured run logs on stderr, correlated by a random run_id.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"rocksalt/internal/core"
+	"rocksalt/internal/telemetry"
 )
+
+// jsonViolation is the machine-readable form of one violation.
+type jsonViolation struct {
+	Offset int    `json:"offset"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// jsonVerdict is the -json output: the full verdict plus the per-run
+// engine stats.
+type jsonVerdict struct {
+	File       string          `json:"file"`
+	Safe       bool            `json:"safe"`
+	Outcome    string          `json:"outcome"`
+	Size       int             `json:"size"`
+	Shards     int             `json:"shards"`
+	Workers    int             `json:"workers"`
+	Total      int             `json:"total_violations"`
+	Violations []jsonViolation `json:"violations,omitempty"`
+	Stats      core.Stats      `json:"stats"`
+	ElapsedNS  int64           `json:"elapsed_ns"`
+	MBPerSec   float64         `json:"mb_per_s"`
+}
 
 func main() {
 	entries := flag.String("entries", "", "comma-separated out-of-image entry points (hex) direct jumps may target")
@@ -29,11 +68,24 @@ func main() {
 	tables := flag.String("tables", "", "load pre-generated DFA tables (from dfagen -o) instead of compiling grammars")
 	workers := flag.Int("j", 1, "stage-1 verification workers (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 0, "abort verification after this duration (exit 3); 0 = no limit")
+	stats := flag.Bool("stats", false, "print the per-run engine stats after the verdict")
+	jsonOut := flag.Bool("json", false, "print the verdict and stats as JSON on stdout")
+	verbose := flag.Bool("v", false, "structured run logs on stderr")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; enables telemetry")
+	linger := flag.Duration("linger", 0, "keep the metrics server up this long after the verdict (with -metrics-addr)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rocksalt [-entries addr,addr] [-j N] [-timeout d] [-q] file.bin")
+		fmt.Fprintln(os.Stderr, "usage: rocksalt [-entries addr,addr] [-tables f] [-j N] [-timeout d] [-stats] [-json] [-v] [-metrics-addr a] [-q] file.bin")
 		os.Exit(2)
 	}
+
+	level := slog.LevelError
+	if *verbose || *metricsAddr != "" {
+		level = slog.LevelInfo
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})).
+		With("run_id", telemetry.NewRunID())
+
 	code, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rocksalt:", err)
@@ -42,6 +94,23 @@ func main() {
 	if len(code) == 0 {
 		fmt.Fprintf(os.Stderr, "rocksalt: %s: empty input image (nothing to verify)\n", flag.Arg(0))
 		os.Exit(2)
+	}
+
+	if *metricsAddr != "" {
+		telemetry.SetEnabled(true)
+		telemetry.PublishExpvar(telemetry.Default())
+		ln, lerr := net.Listen("tcp", *metricsAddr)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", lerr)
+			os.Exit(2)
+		}
+		log.Info("metrics serving", "addr", ln.Addr().String())
+		go func() {
+			srv := &http.Server{Handler: telemetry.Handler(telemetry.Default())}
+			if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+				log.Error("metrics server", "err", serr)
+			}
+		}()
 	}
 
 	var checker *core.Checker
@@ -77,19 +146,61 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	log.Info("verify start", "file", flag.Arg(0), "bytes", len(code), "workers", *workers)
 	start := time.Now()
 	rep := checker.VerifyContext(ctx, code, core.VerifyOptions{Workers: *workers})
 	elapsed := time.Since(start)
+	mbs := float64(len(code)) / (1 << 20) / elapsed.Seconds()
+	log.Info("verify done", "outcome", rep.Outcome.String(), "elapsed", elapsed,
+		"mb_per_s", fmt.Sprintf("%.1f", mbs), "violations", rep.Total)
+
+	status := 0
+	switch {
+	case rep.Interrupted():
+		status = 3
+	case !rep.Safe:
+		status = 1
+	}
+
+	if *jsonOut {
+		jv := jsonVerdict{
+			File:      flag.Arg(0),
+			Safe:      rep.Safe,
+			Outcome:   rep.Outcome.String(),
+			Size:      rep.Size,
+			Shards:    rep.Shards,
+			Workers:   rep.Workers,
+			Total:     rep.Total,
+			Stats:     rep.Stats,
+			ElapsedNS: int64(elapsed),
+			MBPerSec:  mbs,
+		}
+		for i := range rep.Violations {
+			v := &rep.Violations[i]
+			jv.Violations = append(jv.Violations, jsonViolation{
+				Offset: v.Offset, Kind: v.Kind.String(), Detail: v.Detail,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jv); err != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", err)
+			os.Exit(2)
+		}
+		lingerExit(log, *metricsAddr, *linger, status)
+	}
+
 	if rep.Interrupted() {
 		if !*quiet {
 			fmt.Printf("%s: INTERRUPTED (%s after %v; no verdict)\n", flag.Arg(0), rep.Outcome, elapsed)
 		}
-		os.Exit(3)
+		lingerExit(log, *metricsAddr, *linger, 3)
 	}
 	if !*quiet {
 		if rep.Safe {
-			fmt.Printf("%s: SAFE (%d bytes, %d shards, %d workers, checked in %v)\n",
-				flag.Arg(0), rep.Size, rep.Shards, rep.Workers, elapsed)
+			fmt.Printf("%s: SAFE (%d bytes, %d shards, %d workers, checked in %v, %.1f MB/s)\n",
+				flag.Arg(0), rep.Size, rep.Shards, rep.Workers, elapsed, mbs)
 		} else {
 			v := rep.First()
 			fmt.Printf("%s: REJECTED: %s at offset %#x\n", flag.Arg(0), v.Kind, v.Offset)
@@ -106,8 +217,20 @@ func main() {
 				fmt.Printf("  (%d violations in total; lowest offset shown)\n", rep.Total)
 			}
 		}
+		if *stats {
+			fmt.Println(rep.Stats.String())
+		}
 	}
-	if !rep.Safe {
-		os.Exit(1)
+	lingerExit(log, *metricsAddr, *linger, status)
+}
+
+// lingerExit optionally keeps the metrics server reachable after the
+// verdict (so a scraper or test can read the final counters of a
+// one-shot run), then exits with the verdict status.
+func lingerExit(log *slog.Logger, metricsAddr string, linger time.Duration, status int) {
+	if metricsAddr != "" && linger > 0 {
+		log.Info("lingering", "for", linger)
+		time.Sleep(linger)
 	}
+	os.Exit(status)
 }

@@ -8,9 +8,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"time"
 
 	"rocksalt/internal/sim"
+	"rocksalt/internal/telemetry"
 	"rocksalt/internal/x86"
 	"rocksalt/internal/x86/machine"
 )
@@ -18,6 +21,7 @@ import (
 func main() {
 	steps := flag.Int("steps", 100000, "maximum instructions to execute")
 	trace := flag.Bool("trace", false, "print each instruction as it executes")
+	verbose := flag.Bool("v", false, "structured run logs on stderr")
 	codeBase := flag.Uint64("code-base", 0x10000, "linear base of the code segment")
 	dataBase := flag.Uint64("data-base", 0x100000, "linear base of the data segments")
 	dataLimit := flag.Uint64("data-limit", 0xffff, "data segment limit (bytes-1)")
@@ -38,6 +42,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	level := slog.LevelError
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})).
+		With("run_id", telemetry.NewRunID())
+	log.Info("sim start", "file", flag.Arg(0), "bytes", len(code), "max_steps", *steps)
+
 	st := machine.New()
 	for _, s := range []x86.SegReg{x86.ES, x86.SS, x86.DS, x86.FS, x86.GS} {
 		st.SegBase[s] = uint32(*dataBase)
@@ -54,7 +66,9 @@ func main() {
 			fmt.Printf("%08x  %s\n", pc, inst)
 		}
 	}
+	begin := time.Now()
 	n, err := s.Run(*steps)
+	log.Info("sim done", "instructions", n, "elapsed", time.Since(begin), "err", err)
 	fmt.Printf("executed %d instructions\n", n)
 	if err != nil && !errors.Is(err, sim.ErrHalt) {
 		fmt.Fprintln(os.Stderr, "x86sim:", err)

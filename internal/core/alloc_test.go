@@ -6,6 +6,7 @@ import (
 
 	"rocksalt/internal/core"
 	"rocksalt/internal/nacl"
+	"rocksalt/internal/telemetry"
 )
 
 // TestVerifyZeroAlloc pins the steady-state allocation behaviour of the
@@ -13,7 +14,16 @@ import (
 // Checker.Verify must not touch the heap, for a single-bundle image and
 // for a 100-bundle one. A regression here usually means a closure or a
 // Report snuck back into the lean path.
+//
+// The bound is checked with telemetry disabled (the default) and
+// enabled. Disabled must be exactly zero. Enabled must also be zero:
+// the per-run Stats live on the stack and publishing is atomic adds,
+// so turning metrics on costs branches, never heap — that is the
+// "zero-overhead" contract.
 func TestVerifyZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the bound only holds in normal builds")
+	}
 	c := checker(t)
 	images := []struct {
 		name string
@@ -22,16 +32,27 @@ func TestVerifyZeroAlloc(t *testing.T) {
 		{"1 bundle", bytes.Repeat([]byte{0x90}, core.BundleSize)},
 		{"100 bundles", bytes.Repeat([]byte{0x90}, 100*core.BundleSize)},
 	}
-	for _, tc := range images {
-		t.Run(tc.name, func(t *testing.T) {
-			if !c.Verify(tc.img) {
-				t.Fatal("NOP image must verify")
-			}
-			allocs := testing.AllocsPerRun(100, func() {
-				c.Verify(tc.img)
-			})
-			if allocs != 0 {
-				t.Errorf("Verify allocated %.1f times per run, want 0", allocs)
+	for _, enabled := range []bool{false, true} {
+		name := "telemetry=off"
+		if enabled {
+			name = "telemetry=on"
+		}
+		t.Run(name, func(t *testing.T) {
+			prev := telemetry.Enabled()
+			telemetry.SetEnabled(enabled)
+			defer telemetry.SetEnabled(prev)
+			for _, tc := range images {
+				t.Run(tc.name, func(t *testing.T) {
+					if !c.Verify(tc.img) {
+						t.Fatal("NOP image must verify")
+					}
+					allocs := testing.AllocsPerRun(100, func() {
+						c.Verify(tc.img)
+					})
+					if allocs != 0 {
+						t.Errorf("Verify allocated %.1f times per run, want 0", allocs)
+					}
+				})
 			}
 		})
 	}
@@ -41,6 +62,9 @@ func TestVerifyZeroAlloc(t *testing.T) {
 // generated image (jumps, masked pairs, padding) rather than pure NOPs,
 // so the direct-jump target path is exercised too.
 func TestVerifyZeroAllocGenerated(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the bound only holds in normal builds")
+	}
 	c := checker(t)
 	gen := nacl.NewGenerator(9)
 	img, err := gen.Random(100)

@@ -7,8 +7,10 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"rocksalt/internal/bitset"
+	"rocksalt/internal/telemetry"
 )
 
 // This file is the staged verification engine. The NaCl policy itself
@@ -104,11 +106,16 @@ type shardResult struct {
 	// targets are the in-image destinations of the shard's direct
 	// jumps, validated globally in stage 2.
 	targets []int32
+	// lane/scalar/restart classify how the shard was parsed (see
+	// Stats.LaneBatches, ScalarFallbacks, Restarts); merged into the
+	// run's Stats at reconciliation. A shard sets at most one.
+	lane, scalar, restart bool
 }
 
 func (r *shardResult) reset() {
 	r.violations = r.violations[:0]
 	r.targets = r.targets[:0]
+	r.lane, r.scalar, r.restart = false, false, false
 }
 
 // scratch is the reusable per-run state: the packed boundary bitmaps
@@ -152,7 +159,10 @@ func (c *Checker) VerifyWith(code []byte, opts VerifyOptions) *Report {
 func (c *Checker) VerifyContext(ctx context.Context, code []byte, opts VerifyOptions) *Report {
 	sc := getScratch(len(code), shardCount(len(code)))
 	defer putScratch(sc)
-	return c.report(c.run(ctx, code, opts, sc), len(code))
+	var st Stats
+	rep := c.report(c.run(ctx, code, opts, sc, &st), len(code))
+	rep.Stats = st
+	return rep
 }
 
 // AnalyzeWith is VerifyWith plus the instruction-boundary bitmap and
@@ -168,16 +178,27 @@ func (c *Checker) AnalyzeWith(code []byte, opts VerifyOptions) (valid, pairJmp [
 func (c *Checker) AnalyzeContext(ctx context.Context, code []byte, opts VerifyOptions) (valid, pairJmp []bool, rep *Report) {
 	sc := getScratch(len(code), shardCount(len(code)))
 	defer putScratch(sc)
-	rep = c.report(c.run(ctx, code, opts, sc), len(code))
+	var st Stats
+	rep = c.report(c.run(ctx, code, opts, sc, &st), len(code))
+	rep.Stats = st
 	return sc.valid.Bools(), sc.pairJmp.Bools(), rep
 }
 
 // verifyLean is the allocation-free boolean path behind Verify: it runs
-// the engine on pooled scratch and never materializes a Report.
+// the engine on pooled scratch and never materializes a Report. Stats
+// collection is skipped entirely unless global telemetry is enabled —
+// the disabled path's whole observability cost is this one branch —
+// and when it is enabled, the Stats live on the stack and publication
+// is atomic adds, so the path stays allocation-free either way.
 func (c *Checker) verifyLean(code []byte) bool {
 	sc := getScratch(len(code), shardCount(len(code)))
 	defer putScratch(sc)
-	out := c.run(context.Background(), code, VerifyOptions{Workers: 1}, sc)
+	var st *Stats
+	var stv Stats
+	if telemetry.Enabled() {
+		st = &stv
+	}
+	out := c.run(context.Background(), code, VerifyOptions{Workers: 1}, sc, st)
 	return out.ctxErr == nil && out.total == 0
 }
 
@@ -239,10 +260,24 @@ func (c *Checker) report(out runResult, size int) *Report {
 // to InternalFault violations, so a hostile image (or a bug behind it)
 // can stop the run early or fail it closed, but can neither hang the
 // pool nor crash the process.
-func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *scratch) runResult {
+//
+// st, when non-nil, receives the per-run Stats: the size/shard facts
+// up front, wall times at each stage boundary, and at the end the
+// per-shard parse-mode flags and the bitmap population merged during
+// reconciliation. Everything written to st is stack- or scratch-
+// resident, so collecting it never allocates.
+func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *scratch, st *Stats) runResult {
 	size := len(code)
 	shards := shardCount(size)
 	workers := clampWorkers(opts.Workers, shards)
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+		st.BytesScanned = int64(size)
+		st.Bundles = int64((size + BundleSize - 1) / BundleSize)
+		st.Shards = int64(shards)
+	}
+	endStage1 := telemetry.Region(ctx, "rocksalt.stage1.parse")
 
 	// Workers write disjoint [start,end) bit ranges of the shared
 	// bitmaps; ShardBytes is a multiple of 64, so the ranges are also
@@ -280,10 +315,42 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 		close(jobs)
 		wg.Wait()
 	}
+	endStage1()
+	if st != nil {
+		st.Stage1Wall = time.Since(t0)
+	}
 	if err := ctx.Err(); err != nil {
+		if st != nil {
+			st.Wall = time.Since(t0)
+			publishStats(st, true, false)
+		}
 		return runResult{shards: shards, workers: workers, ctxErr: err}
 	}
-	violations, total := c.reconcile(code, sc)
+	var t1 time.Time
+	if st != nil {
+		t1 = time.Now()
+	}
+	endReconcile := telemetry.Region(ctx, "rocksalt.stage2.reconcile")
+	violations, total := c.reconcile(ctx, code, sc, st)
+	endReconcile()
+	if st != nil {
+		for i := range sc.results {
+			r := &sc.results[i]
+			if r.lane {
+				st.LaneBatches++
+			}
+			if r.scalar {
+				st.ScalarFallbacks++
+			}
+			if r.restart {
+				st.Restarts++
+			}
+		}
+		st.Instructions = int64(sc.valid.Count())
+		st.Stage2Wall = time.Since(t1)
+		st.Wall = time.Since(t0)
+		publishStats(st, false, total > 0)
+	}
 	return runResult{violations: violations, total: total, shards: shards, workers: workers}
 }
 
@@ -297,7 +364,10 @@ func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind) {
 			// violation attributed to the shard start, carrying the
 			// recovered value and stack. The worker itself survives,
 			// so the pool drains normally instead of deadlocking on
-			// a lost wg.Done.
+			// a lost wg.Done. The global counter is bumped here, at
+			// the containment site, so even a run that is later
+			// canceled leaves the fault visible in metrics.
+			coreMetrics.containedPanics.Add(1)
 			res.targets = res.targets[:0]
 			res.violations = append(res.violations[:0], Violation{
 				Offset: s * ShardBytes,
@@ -316,6 +386,7 @@ func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind) {
 		end = len(code)
 	}
 	if engine == EngineReference || c.fused == nil {
+		res.scalar = true
 		c.parseShardRef(code, start, end, sc, res)
 	} else {
 		c.parseShardFused(code, start, end, sc, res)
@@ -340,6 +411,7 @@ func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res 
 	full := start + (end-start)/BundleSize*BundleSize
 	if full-start >= laneCount*BundleSize {
 		if c.parseShardLanes(code, start, full, sc, res) {
+			res.lane = true
 			if full < end {
 				c.parseShardFusedScalar(code, full, end, sc, res)
 			}
@@ -348,6 +420,9 @@ func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res 
 		sc.valid.ClearRange(start, end)
 		sc.pairJmp.ClearRange(start, end)
 		res.reset()
+		res.restart = true
+	} else {
+		res.scalar = true
 	}
 	c.parseShardFusedScalar(code, start, end, sc, res)
 }
@@ -555,8 +630,10 @@ func jumpTarget(code []byte, saved, pos int) (int64, bool) {
 // target against the merged boundary map, flag bundle boundaries the
 // parse never reached, and select the deterministic lowest-offset
 // violation ordering. A safe image takes the nil fast path: no slice is
-// allocated.
-func (c *Checker) reconcile(code []byte, sc *scratch) (all []Violation, total int) {
+// allocated. When st is non-nil the uncapped per-kind violation census
+// is recorded before the report cap is applied, so Stats sees every
+// violation even when the Report is truncated.
+func (c *Checker) reconcile(ctx context.Context, code []byte, sc *scratch, st *Stats) (all []Violation, total int) {
 	size := len(code)
 	for i := range sc.results {
 		all = append(all, sc.results[i].violations...)
@@ -564,6 +641,7 @@ func (c *Checker) reconcile(code []byte, sc *scratch) (all []Violation, total in
 	// Cross-shard jump-target validation against the merged boundary
 	// map. Several jumps may share a bad target; dedupe after sorting
 	// so the report is one violation per offending offset.
+	endJumps := telemetry.Region(ctx, "rocksalt.stage2.jumps")
 	var badTargets []int
 	for i := range sc.results {
 		for _, t := range sc.results[i].targets {
@@ -583,6 +661,7 @@ func (c *Checker) reconcile(code []byte, sc *scratch) (all []Violation, total in
 			all = append(all, violation(code, t, TargetNotBoundary, "direct jump targets a non-boundary offset"))
 		}
 	}
+	endJumps()
 	// Every bundle boundary must be an instruction boundary.
 	for i := 0; i < size; i += BundleSize {
 		if !sc.valid.Get(i) {
@@ -602,6 +681,12 @@ func (c *Checker) reconcile(code []byte, sc *scratch) (all []Violation, total in
 		})
 	}
 	total = len(all)
+	if st != nil {
+		for i := range all {
+			st.ViolationsByKind[all[i].Kind]++
+		}
+		st.ContainedPanics = st.ViolationsByKind[InternalFault]
+	}
 	if len(all) > MaxReportViolations {
 		all = all[:MaxReportViolations]
 	}

@@ -102,6 +102,14 @@ func FuzzFusedEquiv(f *testing.F) {
 				t.Fatalf("alignedCalls=%v: reports diverged on % x\nref: %+v\nfus: %+v",
 					c.AlignedCalls, img, ref.Violations, fus.Violations)
 			}
+			// The engine-invariant Stats subset (bytes, bundles,
+			// instruction boundaries, per-kind census) must match too:
+			// the fused engine may take a different route through the
+			// bytes, but it must conclude exactly the same facts.
+			if fs, rs := fus.Stats.EngineInvariant(), ref.Stats.EngineInvariant(); fs != rs {
+				t.Fatalf("alignedCalls=%v: stats diverged on % x\nref: %+v\nfus: %+v",
+					c.AlignedCalls, img, rs, fs)
+			}
 		}
 	})
 }

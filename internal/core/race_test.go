@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation adds allocations the zero-alloc
+// guards would misattribute to the engine.
+const raceEnabled = true

@@ -38,6 +38,10 @@ const (
 	InternalFault
 )
 
+// NumViolationKinds is the number of violation kinds; Stats uses it to
+// size its per-kind census array.
+const NumViolationKinds = int(InternalFault) + 1
+
 var kindNames = [...]string{
 	"illegal instruction sequence",
 	"direct jump out of image",
@@ -140,6 +144,14 @@ type Report struct {
 	Violations []Violation
 	// Total is the number of violations found (>= len(Violations)).
 	Total int
+	// Stats is the per-run engine record: bytes, bundles, instruction
+	// boundaries, shard parse modes, per-stage wall times and the
+	// uncapped per-kind violation census. All fields except the wall
+	// times are deterministic for a given image and engine — identical
+	// under any worker count (Stats.Counters compares that subset).
+	// For an interrupted run Stats is partial: the stage-1 facts are
+	// present, reconciliation-derived counts are zero.
+	Stats Stats
 	// ctxErr is the context error that interrupted the run (nil for a
 	// completed run); surfaced through Err.
 	ctxErr error

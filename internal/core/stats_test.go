@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/telemetry"
+)
+
+// TestStatsDeterministic pins the acceptance criterion that
+// Report.Stats counters are byte-identical across worker counts: the
+// same image verified with Workers 1, 4, and 0 (= all CPUs) yields
+// identical deterministic counters (wall times excluded via Counters).
+// It covers a safe multi-shard image, a rejected image with violations
+// in several shards, and a tiny single-bundle image.
+func TestStatsDeterministic(t *testing.T) {
+	c := checker(t)
+	gen := nacl.NewGenerator(55)
+	safe, err := gen.Random(6000) // multiple shards
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), safe...)
+	bad[0] = 0xc3                    // illegal at the very start
+	bad[len(bad)/2] = 0xc3           // and mid-image
+	tiny := []byte{0x90, 0x90, 0x90} // sub-bundle image
+	for _, tc := range []struct {
+		name string
+		img  []byte
+	}{
+		{"safe", safe},
+		{"rejected", bad},
+		{"tiny", tiny},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := c.VerifyWith(tc.img, core.VerifyOptions{Workers: 1})
+			want := base.Stats.Counters()
+			if want.BytesScanned != int64(len(tc.img)) {
+				t.Errorf("BytesScanned = %d, want %d", want.BytesScanned, len(tc.img))
+			}
+			if base.Safe && want.Instructions == 0 {
+				t.Error("safe image reported zero instruction boundaries")
+			}
+			kindTotal := int64(0)
+			for _, n := range want.ViolationsByKind {
+				kindTotal += n
+			}
+			if kindTotal != int64(base.Total) {
+				t.Errorf("ViolationsByKind sums to %d, Report.Total is %d", kindTotal, base.Total)
+			}
+			for _, w := range []int{4, 0} {
+				rep := c.VerifyWith(tc.img, core.VerifyOptions{Workers: w})
+				if got := rep.Stats.Counters(); got != want {
+					t.Errorf("workers=%d: stats diverged\n got %+v\nwant %+v", w, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStatsEngineModes pins the lane/scalar/restart classification: a
+// large compliant image goes through the lane batches, the reference
+// engine is all scalar fallbacks, and a violating image forces lane
+// restarts (erase + scalar re-parse).
+func TestStatsEngineModes(t *testing.T) {
+	c := checker(t)
+	gen := nacl.NewGenerator(56)
+	img, err := gen.Random(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	if !rep.Safe {
+		t.Fatal("image rejected")
+	}
+	if rep.Stats.LaneBatches == 0 {
+		t.Error("compliant multi-shard image parsed without any lane batch")
+	}
+	if rep.Stats.Restarts != 0 {
+		t.Errorf("compliant image forced %d lane restarts", rep.Stats.Restarts)
+	}
+
+	ref := c.VerifyWith(img, core.VerifyOptions{Workers: 1, Engine: core.EngineReference})
+	if ref.Stats.LaneBatches != 0 || ref.Stats.Restarts != 0 {
+		t.Errorf("reference engine recorded lane activity: %+v", ref.Stats)
+	}
+	if ref.Stats.ScalarFallbacks != ref.Stats.Shards {
+		t.Errorf("reference engine: ScalarFallbacks %d != Shards %d",
+			ref.Stats.ScalarFallbacks, ref.Stats.Shards)
+	}
+
+	bad := append([]byte(nil), img...)
+	bad[0] = 0xc3 // RET at an instruction start is always illegal
+	badRep := c.VerifyWith(bad, core.VerifyOptions{Workers: 1})
+	if badRep.Safe {
+		t.Fatal("tampered image accepted")
+	}
+	if badRep.Stats.Restarts == 0 {
+		t.Error("violating shard did not record a lane restart")
+	}
+	if badRep.Stats.ViolationsByKind[core.IllegalInstruction] == 0 {
+		t.Error("per-kind census missed the illegal instruction")
+	}
+}
+
+// TestStatsUncappedCensus: ViolationsByKind must count past the
+// MaxReportViolations cap — its sum equals Report.Total, not
+// len(Report.Violations).
+func TestStatsUncappedCensus(t *testing.T) {
+	c := checker(t)
+	// An image of 0xC3 (RET) bytes violates at every bundle boundary;
+	// 200 bundles overflows the 64-violation report cap comfortably.
+	img := make([]byte, 200*core.BundleSize)
+	for i := range img {
+		img[i] = 0xc3
+	}
+	rep := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	if rep.Safe {
+		t.Fatal("garbage image accepted")
+	}
+	if rep.Total <= core.MaxReportViolations {
+		t.Fatalf("test image too tame: total %d", rep.Total)
+	}
+	sum := int64(0)
+	for _, n := range rep.Stats.ViolationsByKind {
+		sum += n
+	}
+	if sum != int64(rep.Total) {
+		t.Errorf("census sums to %d, want the uncapped total %d", sum, rep.Total)
+	}
+}
+
+// TestContainedPanicMetric: a shard panic must bump the process-wide
+// contained-panic counter (with telemetry enabled) in addition to the
+// fail-closed InternalFault violation, so containment regressions are
+// visible on /metrics, not only in test failures.
+func TestContainedPanicMetric(t *testing.T) {
+	c := checker(t)
+	prev := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+
+	core.SetShardHook(func(shard int) {
+		if shard == 1 {
+			panic("injected shard fault")
+		}
+	})
+	defer core.SetShardHook(nil)
+
+	img := make([]byte, 2*core.ShardBytes)
+	for i := range img {
+		img[i] = 0x90
+	}
+	before, _ := telemetry.Default().Value("rocksalt_verify_contained_panics_total")
+	rep := c.VerifyWith(img, core.VerifyOptions{Workers: 2})
+	after, _ := telemetry.Default().Value("rocksalt_verify_contained_panics_total")
+	if rep.Safe {
+		t.Fatal("run with a panicking shard reported safe")
+	}
+	if rep.Stats.ContainedPanics != 1 {
+		t.Errorf("Stats.ContainedPanics = %d, want 1", rep.Stats.ContainedPanics)
+	}
+	if after-before != 1 {
+		t.Errorf("contained-panic counter moved by %d, want 1", after-before)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"rocksalt/internal/core"
 	"rocksalt/internal/faultinject"
 	"rocksalt/internal/nacl"
+	"rocksalt/internal/telemetry"
 )
 
 func checker(t testing.TB) *core.Checker {
@@ -90,10 +91,35 @@ func TestFaultInjectionCampaign(t *testing.T) {
 	if testing.Short() {
 		perKind = 50
 	}
+	// Run with telemetry enabled and hold the campaign counters to the
+	// same accounting as the returned Stats (deltas: other tests in the
+	// binary also bump the process-wide counters).
+	prevTel := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prevTel)
+	reg := telemetry.Default()
+	mutants0, _ := reg.Value("rocksalt_faultinject_mutants_total")
+	rejected0, _ := reg.Value("rocksalt_faultinject_rejected_total")
+	contained0, _ := reg.Value("rocksalt_faultinject_contained_total")
+	escapes0, _ := reg.Value("rocksalt_faultinject_escapes_total")
+
 	h := &faultinject.Harness{Checker: checker(t)}
 	stats, err := h.Run(context.Background(), bases, perKind, 1)
 	if err != nil {
 		t.Fatalf("campaign interrupted: %v", err)
+	}
+
+	mutants1, _ := reg.Value("rocksalt_faultinject_mutants_total")
+	rejected1, _ := reg.Value("rocksalt_faultinject_rejected_total")
+	contained1, _ := reg.Value("rocksalt_faultinject_contained_total")
+	escapes1, _ := reg.Value("rocksalt_faultinject_escapes_total")
+	if mutants1-mutants0 != int64(stats.Mutants) ||
+		rejected1-rejected0 != int64(stats.Rejected) ||
+		contained1-contained0 != int64(stats.Contained) ||
+		escapes1-escapes0 != int64(len(stats.Escapes)) {
+		t.Errorf("campaign counters diverged from Stats: mutants %d/%d rejected %d/%d contained %d/%d escapes %d/%d",
+			mutants1-mutants0, stats.Mutants, rejected1-rejected0, stats.Rejected,
+			contained1-contained0, stats.Contained, escapes1-escapes0, len(stats.Escapes))
 	}
 	if want := len(bases) * faultinject.NumImageKinds * perKind; stats.Mutants != want {
 		t.Fatalf("ran %d mutants, want %d", stats.Mutants, want)

@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/sim"
+	"rocksalt/internal/telemetry"
+	"rocksalt/internal/x86/machine"
+)
+
+// White-box tests for the two alarm counters. Genuine triggers are
+// unreachable through the public API — an accepted image that escapes
+// would be a soundness bug — so these tests drive the detection paths
+// directly: a stray byte planted in memory, and a simulator broken on
+// purpose.
+
+func withTelemetry(t *testing.T) {
+	t.Helper()
+	prev := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+}
+
+// TestEscapeScanDetects plants bytes inside and outside the sandbox
+// windows and asserts the scan flags exactly the outside one — and
+// bumps the memory-escape counter.
+func TestEscapeScanDetects(t *testing.T) {
+	withTelemetry(t)
+	img := bytes.Repeat([]byte{0x90}, 64)
+
+	st := machine.New()
+	st.Mem.WriteBytes(codeBase, img)
+	st.Mem.WriteBytes(dataBase+100, []byte{0xaa}) // in the data window: fine
+	if err := escapeScan(st.Mem, len(img)); err != nil {
+		t.Fatalf("in-sandbox writes flagged as escape: %v", err)
+	}
+
+	before, _ := telemetry.Default().Value("rocksalt_faultinject_memory_escapes_total")
+	st.Mem.WriteBytes(dataBase+dataLim+0x1000, []byte{0xbb}) // outside both windows
+	err := escapeScan(st.Mem, len(img))
+	if err == nil {
+		t.Fatal("stray byte outside the sandbox not detected")
+	}
+	if !strings.Contains(err.Error(), "escaped the sandbox") {
+		t.Errorf("unexpected escape error: %v", err)
+	}
+	after, _ := telemetry.Default().Value("rocksalt_faultinject_memory_escapes_total")
+	if after-before != 1 {
+		t.Errorf("memory-escape counter moved by %d, want 1", after-before)
+	}
+}
+
+// TestContainedPanicCounter breaks the shared simulator (nil decoder,
+// the same trick sim's own panic tests use) and asserts that the
+// containment path in contained() counts the resulting internal-fault
+// halt instead of hiding it.
+func TestContainedPanicCounter(t *testing.T) {
+	withTelemetry(t)
+	c, err := core.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := bytes.Repeat([]byte{0x90}, core.BundleSize)
+	valid, pairJmp, rep := c.AnalyzeContext(context.Background(), img, core.VerifyOptions{Workers: 1})
+	if !rep.Safe {
+		t.Fatal("NOP image rejected")
+	}
+
+	h := &Harness{Checker: c, MaxSteps: 5, SimSeeds: 1}
+	h.s = sim.New(machine.New())
+	h.s.Dec = nil // every Step now panics in decode and is contained
+
+	before, _ := telemetry.Default().Value("rocksalt_faultinject_contained_panics_total")
+	if err := h.contained(img, valid, pairJmp, 0); err != nil {
+		t.Fatalf("contained panic escalated to an invariant violation: %v", err)
+	}
+	after, _ := telemetry.Default().Value("rocksalt_faultinject_contained_panics_total")
+	if after-before != 1 {
+		t.Errorf("contained-panic counter moved by %d, want 1", after-before)
+	}
+}

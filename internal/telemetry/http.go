@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar publication: expvar panics on duplicate
+// names, and Handler may be called more than once in a process.
+var publishOnce sync.Once
+
+// PublishExpvar exposes the registry as the expvar variable "rocksalt":
+// a map of full series name to value (histograms appear as
+// {count, sum}). Safe to call repeatedly; only the first call binds.
+func PublishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("rocksalt", expvar.Func(func() any { return r.expvarSnapshot() }))
+	})
+}
+
+func (r *Registry) expvarSnapshot() map[string]any {
+	out := map[string]any{}
+	for _, f := range r.snapshot() {
+		for _, e := range f.entries {
+			key := f.name
+			if e.labels != "" {
+				key = f.name + "{" + e.labels + "}"
+			}
+			switch {
+			case e.c != nil:
+				out[key] = e.c.Value()
+			case e.g != nil:
+				out[key] = e.g.Value()
+			case e.h != nil:
+				out[key] = map[string]int64{"count": e.h.Count(), "sum": e.h.Sum()}
+			}
+		}
+	}
+	return out
+}
+
+// Handler returns the observability mux: the Prometheus text endpoint
+// at /metrics, the expvar JSON dump at /debug/vars, and the full
+// net/http/pprof suite under /debug/pprof/. It is what the CLIs serve
+// behind -metrics-addr; embedding servers can mount it wherever they
+// like.
+func Handler(r *Registry) http.Handler {
+	PublishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Histograms are exported with
+// cumulative power-of-two `le` buckets plus the implicit +Inf bucket,
+// `_sum` and `_count` series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, e := range f.entries {
+			var err error
+			switch {
+			case e.c != nil:
+				err = writeSeries(w, f.name, e.labels, e.c.Value())
+			case e.g != nil:
+				err = writeSeries(w, f.name, e.labels, e.g.Value())
+			case e.h != nil:
+				err = writeHistogram(w, f.name, e.h)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name, labels string, v int64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+	return err
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	// Bucket b holds v < 2^b, so the cumulative le bound of bucket b is
+	// 2^b - 1 in integer terms; Prometheus wants float bounds, and 2^b
+	// is exact in a float64 for every b we use.
+	cum := int64(0)
+	for b := 0; b < histBuckets; b++ {
+		n := h.buckets[b].Load()
+		if n == 0 && b > 0 {
+			continue // sparse exposition: skip empty interior buckets
+		}
+		cum += n
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, pow2(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count()); err != nil {
+		return err
+	}
+	return nil
+}
+
+func pow2(b int) float64 {
+	v := 1.0
+	for i := 0; i < b; i++ {
+		v *= 2
+	}
+	return v
+}

@@ -1,0 +1,271 @@
+// Package telemetry is the engine's observability substrate: atomic
+// counter/gauge/histogram primitives, a process-wide registry, and
+// exporters for the Prometheus text format and expvar.
+//
+// The package is built around one invariant: when telemetry is
+// disabled (the default), the record path is a single atomic load and
+// a branch — no allocation, no lock, no clock read — so hot loops can
+// leave their instrumentation calls in place unconditionally. When
+// enabled, recording is one or two uncontended atomic adds; there is
+// still no allocation on the record path, which is what lets the
+// engine's zero-alloc guarantee survive with metrics on.
+//
+// Metrics are registered once, at package init time, against the
+// Default registry; per-run statistics that must stay deterministic
+// (core.Stats) are collected separately by the engine and only
+// *published* here, so the registry never influences a verdict.
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	mathbits "math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// on is the process-wide enable gate. All record paths check it first,
+// so a disabled process pays one atomic load and a predictable branch
+// per call site.
+var on atomic.Bool
+
+// SetEnabled turns global metric recording on or off. Reads (Value,
+// exporters) work regardless, so a scrape after disabling still sees
+// the final counts.
+func SetEnabled(v bool) { on.Store(v) }
+
+// Enabled reports whether global metric recording is on.
+func Enabled() bool { return on.Load() }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n when telemetry is enabled.
+func (c *Counter) Add(n int64) {
+	if !on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v when telemetry is enabled.
+func (g *Gauge) Set(v int64) {
+	if !on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n when telemetry is enabled.
+func (g *Gauge) Add(n int64) {
+	if !on.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket
+// b counts observations v with 2^(b-1) <= v < 2^b (bucket 0 counts
+// v <= 0). 40 buckets cover 1 ns .. ~9 minutes of latency.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket histogram with power-of-two bucket
+// boundaries. Observing is bucket-index arithmetic plus three atomic
+// adds; nothing allocates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value (typically nanoseconds) when telemetry is
+// enabled.
+func (h *Histogram) Observe(v int64) {
+	if !on.Load() {
+		return
+	}
+	b := 0
+	if v > 0 {
+		b = mathbits.Len64(uint64(v))
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// metricEntry is one series inside a family: an optional label pair
+// plus exactly one live primitive.
+type metricEntry struct {
+	labels string // rendered label set, e.g. `kind="illegal_instruction"`, or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name (and therefore one
+// HELP/TYPE header in the Prometheus exposition).
+type family struct {
+	name, help, typ string
+	entries         []*metricEntry
+}
+
+// Registry holds registered metrics. Registration happens at process
+// init; the record path never touches the registry, so its mutex is
+// scrape-time only.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry. Most code uses Default.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every package registers
+// its metrics against.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) familyFor(name, help, typ string) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (r *Registry) add(name, help, typ, labels string) *metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, typ)
+	for _, e := range f.entries {
+		if e.labels == labels {
+			panic(fmt.Sprintf("telemetry: duplicate metric %s{%s}", name, labels))
+		}
+	}
+	e := &metricEntry{labels: labels}
+	f.entries = append(f.entries, e)
+	return e
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	e := r.add(name, help, "counter", "")
+	e.c = &Counter{}
+	return e.c
+}
+
+// NewLabeledCounter registers a counter carrying one label pair; all
+// counters sharing name form one family in the exposition.
+func (r *Registry) NewLabeledCounter(name, help, label, value string) *Counter {
+	e := r.add(name, help, "counter", fmt.Sprintf("%s=%q", label, value))
+	e.c = &Counter{}
+	return e.c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	e := r.add(name, help, "gauge", "")
+	e.g = &Gauge{}
+	return e.g
+}
+
+// NewHistogram registers and returns a power-of-two-bucket histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	e := r.add(name, help, "histogram", "")
+	e.h = &Histogram{}
+	return e.h
+}
+
+// Value looks a series up by its full name — `name` for unlabeled
+// series, `name{label="value"}` for labeled ones — and returns its
+// current value (the observation count for histograms). Tests use it
+// to assert on metrics without holding the primitive.
+func (r *Registry) Value(full string) (int64, bool) {
+	name, labels := full, ""
+	if i := indexByte(full, '{'); i >= 0 {
+		name = full[:i]
+		labels = full[i+1 : len(full)-1]
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	for _, e := range f.entries {
+		if e.labels != labels {
+			continue
+		}
+		switch {
+		case e.c != nil:
+			return e.c.Value(), true
+		case e.g != nil:
+			return e.g.Value(), true
+		case e.h != nil:
+			return e.h.Count(), true
+		}
+	}
+	return 0, false
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// snapshot returns the families sorted by name with their entries, for
+// the exporters. The per-family entry order is registration order.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	copy(out, r.families)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// NewRunID returns a 16-hex-digit random identifier for correlating a
+// run's log lines, metrics and trace regions.
+func NewRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant id keeps
+		// logging alive rather than taking the process down.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func withEnabled(t *testing.T) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(prev) })
+}
+
+func TestCounterGate(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_gate_total", "gate test")
+	SetEnabled(false)
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("disabled counter recorded: %d", c.Value())
+	}
+	withEnabled(t)
+	c.Add(5)
+	c.Add(2)
+	if c.Value() != 7 {
+		t.Fatalf("counter = %d, want 7", c.Value())
+	}
+	if v, ok := r.Value("test_gate_total"); !ok || v != 7 {
+		t.Fatalf("Value lookup = %d,%v", v, ok)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	withEnabled(t)
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_ns", "latency test")
+	for _, v := range []int64{0, 1, 2, 3, 1000, 1 << 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	wantSum := int64(0 + 1 + 2 + 3 + 1000 + 1<<50)
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+	// 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 1000 → bucket 10;
+	// 1<<50 saturates into the last bucket.
+	for b, want := range map[int]int64{0: 1, 1: 1, 2: 2, 10: 1, histBuckets - 1: 1} {
+		if got := h.buckets[b].Load(); got != want {
+			t.Errorf("bucket %d = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestLabeledCounterFamily(t *testing.T) {
+	withEnabled(t)
+	r := NewRegistry()
+	a := r.NewLabeledCounter("test_violations_total", "by kind", "kind", "illegal")
+	b := r.NewLabeledCounter("test_violations_total", "by kind", "kind", "straddle")
+	a.Add(3)
+	b.Add(1)
+	if v, ok := r.Value(`test_violations_total{kind="illegal"}`); !ok || v != 3 {
+		t.Fatalf("labeled lookup = %d,%v", v, ok)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if strings.Count(text, "# TYPE test_violations_total counter") != 1 {
+		t.Errorf("family must have exactly one TYPE line:\n%s", text)
+	}
+	for _, want := range []string{
+		`test_violations_total{kind="illegal"} 3`,
+		`test_violations_total{kind="straddle"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPrometheusHistogramExposition(t *testing.T) {
+	withEnabled(t)
+	r := NewRegistry()
+	h := r.NewHistogram("test_hist_ns", "hist")
+	h.Observe(3) // bucket 2, le 4
+	h.Observe(3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`test_hist_ns_bucket{le="4"} 2`,
+		`test_hist_ns_bucket{le="+Inf"} 2`,
+		"test_hist_ns_sum 6",
+		"test_hist_ns_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	withEnabled(t)
+	r := NewRegistry()
+	r.NewCounter("test_http_total", "http test").Add(9)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 1<<16)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String()
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "test_http_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["rocksalt"]; !ok {
+		t.Error("/debug/vars missing the rocksalt map")
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestRegionDisabledNoAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		end := Region(ctx, "test.region")
+		end()
+	})
+	if allocs != 0 {
+		t.Errorf("Region with tracing off allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRunID(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("run ids not unique 16-hex: %q %q", a, b)
+	}
+}
