@@ -6,7 +6,7 @@
 //
 // The repository's embedded bundle is regenerated with
 //
-//	go run ./cmd/dfagen -o internal/core/rocksalt_tables_v2.bin
+//	go run ./cmd/dfagen -o internal/core/rocksalt_tables_v3.bin
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 func main() {
 	emit := flag.Bool("emit", false, "emit the DFA tables as Go source on stdout")
 	out := flag.String("o", "", "write a binary table bundle (loadable by rocksalt -tables)")
-	format := flag.Int("format", 2, "bundle format for -o: 2 = RSLT2 (fused + component DFAs), 1 = legacy RSLT1")
+	format := flag.Int("format", 3, "bundle format for -o: 3 = RSLT3 (fused + stride tables + component DFAs), 2 = RSLT2 (no stride section), 1 = legacy RSLT1")
 	flag.Parse()
 
 	start := time.Now()
@@ -68,8 +68,10 @@ func main() {
 			err = dfas.WriteTables(f)
 		case 2:
 			err = dfas.WriteTablesV2(f)
+		case 3:
+			err = dfas.WriteTablesV3(f)
 		default:
-			err = fmt.Errorf("unknown bundle format %d (want 1 or 2)", *format)
+			err = fmt.Errorf("unknown bundle format %d (want 1, 2 or 3)", *format)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dfagen:", err)

@@ -131,6 +131,7 @@ func benchFused() {
 	out := struct {
 		GeneratedBy    string        `json:"generated_by"`
 		Quick          bool          `json:"quick"`
+		Host           hostMeta      `json:"host"`
 		PrePRMBs       float64       `json:"pre_pr_mb_per_s"`
 		PrePRAllocs    float64       `json:"pre_pr_allocs_per_op"`
 		BaselineMBs    float64       `json:"baseline_reference_mb_per_s"`
@@ -141,6 +142,7 @@ func benchFused() {
 	}{
 		GeneratedBy:    "go run ./cmd/experiments -run bench",
 		Quick:          *quick,
+		Host:           hostInfo(),
 		PrePRMBs:       prePRMBs,
 		PrePRAllocs:    prePRAllocs,
 		BaselineMBs:    refMBs,

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// hostMeta stamps every benchmark JSON with where and when the numbers
+// were taken, so a recorded run can be judged against the machine that
+// produced it instead of being mistaken for a universal constant.
+type hostMeta struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Timestamp  string `json:"timestamp"`
+}
+
+func hostInfo() hostMeta {
+	return hostMeta{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUModel:   cpuModel(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// cpuModel best-efforts the CPU model string ("" where unavailable —
+// the field is informational, never load-bearing).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, val, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(name) {
+			case "model name", "Processor", "cpu model":
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
+}

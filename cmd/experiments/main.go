@@ -35,7 +35,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 func main() {
-	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv); empty = all")
+	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride); empty = all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -65,6 +65,7 @@ func main() {
 		{"fault", faultCampaign},
 		{"bench", benchFused},
 		{"obsv", obsvOverhead},
+		{"stride", benchStride},
 	} {
 		if sel(e.id) {
 			e.fn()

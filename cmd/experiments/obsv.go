@@ -83,20 +83,22 @@ func obsvOverhead() {
 	}
 
 	out := struct {
-		GeneratedBy     string  `json:"generated_by"`
-		Quick           bool    `json:"quick"`
-		Bytes           int     `json:"bytes"`
-		DisabledNsPerOp float64 `json:"disabled_ns_per_op"`
-		DisabledMBs     float64 `json:"disabled_mb_per_s"`
-		DisabledAllocs  float64 `json:"disabled_allocs_per_op"`
-		EnabledNsPerOp  float64 `json:"enabled_ns_per_op"`
-		EnabledMBs      float64 `json:"enabled_mb_per_s"`
-		EnabledAllocs   float64 `json:"enabled_allocs_per_op"`
-		OverheadPct     float64 `json:"overhead_pct"`
-		FusedRefMBs     float64 `json:"bench_fused_mb_per_s"`
+		GeneratedBy     string   `json:"generated_by"`
+		Quick           bool     `json:"quick"`
+		Host            hostMeta `json:"host"`
+		Bytes           int      `json:"bytes"`
+		DisabledNsPerOp float64  `json:"disabled_ns_per_op"`
+		DisabledMBs     float64  `json:"disabled_mb_per_s"`
+		DisabledAllocs  float64  `json:"disabled_allocs_per_op"`
+		EnabledNsPerOp  float64  `json:"enabled_ns_per_op"`
+		EnabledMBs      float64  `json:"enabled_mb_per_s"`
+		EnabledAllocs   float64  `json:"enabled_allocs_per_op"`
+		OverheadPct     float64  `json:"overhead_pct"`
+		FusedRefMBs     float64  `json:"bench_fused_mb_per_s"`
 	}{
 		GeneratedBy:     "go run ./cmd/experiments -run obsv",
 		Quick:           *quick,
+		Host:            hostInfo(),
 		Bytes:           len(img),
 		DisabledNsPerOp: float64(offD.Nanoseconds()),
 		DisabledMBs:     offMBs,

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestUsageMentionsEveryFlag is the CLI doc-drift guard: every
+// registered flag must appear in the usage synopsis and in the package
+// doc comment, so adding a flag without documenting it fails here
+// instead of shipping silently.
+func TestUsageMentionsEveryFlag(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The package doc comment is everything before the package clause.
+	doc, _, ok := strings.Cut(string(src), "\npackage main")
+	if !ok {
+		t.Fatal("cannot locate the package clause in main.go")
+	}
+
+	fs := flag.NewFlagSet("rocksalt", flag.ContinueOnError)
+	registerFlags(fs)
+	n := 0
+	fs.VisitAll(func(fl *flag.Flag) {
+		n++
+		if !strings.Contains(usage, "-"+fl.Name) {
+			t.Errorf("flag -%s missing from the usage string:\n%s", fl.Name, usage)
+		}
+		if !strings.Contains(doc, "-"+fl.Name) {
+			t.Errorf("flag -%s missing from the package doc comment", fl.Name)
+		}
+		if fl.Usage == "" {
+			t.Errorf("flag -%s has no help text", fl.Name)
+		}
+	})
+	if n < 11 {
+		t.Fatalf("only %d flags registered; the registry and main drifted apart", n)
+	}
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rocksalt [-entries 0x10000,0x10020] [-tables tables.bin] [-j N]
-//	         [-timeout 5s] [-stats] [-json] [-v]
+//	         [-timeout 5s] [-cache 64] [-stats] [-json] [-q] [-v]
 //	         [-metrics-addr :9090] [-linger 0s] file.bin
 //
 // The exit status is 0 when the image is safe, 1 when it is rejected,
@@ -12,9 +12,22 @@
 // when -timeout expired before verification finished — an interrupted
 // run is never reported safe.
 //
+// -entries whitelists out-of-image entry points direct jumps may
+// target; -tables loads a pre-generated DFA bundle (from dfagen -o)
+// instead of compiling the grammars; -j sets the stage-1 worker count
+// (0 = all CPUs); -timeout aborts long runs; -q suppresses output in
+// favour of the exit status.
+//
+// -cache N attaches an N-MiB content-addressed verdict cache for the
+// process lifetime and reports the image's content key. One-shot runs
+// mostly pay for the hashing; the flag is the CLI surface of the same
+// engine feature a long-lived embedder would use across many Verify
+// calls, and -stats/-json expose its hit/miss counters.
+//
 // -stats prints the per-run engine record (bytes, bundles, instruction
-// boundaries, shard parse modes, per-stage wall times); -json switches
-// the whole verdict to a machine-readable JSON object on stdout.
+// boundaries, shard parse modes, cache effectiveness, per-stage wall
+// times); -json switches the whole verdict to a machine-readable JSON
+// object on stdout (including the cache_key under -cache).
 // -metrics-addr serves Prometheus metrics on /metrics, expvar on
 // /debug/vars and the pprof profiles on /debug/pprof/ for the life of
 // the process (use -linger to keep serving after the verdict, e.g. to
@@ -37,7 +50,45 @@ import (
 
 	"rocksalt/internal/core"
 	"rocksalt/internal/telemetry"
+	"rocksalt/internal/vcache"
 )
+
+// usage is the one-line synopsis printed on argument errors. A test
+// (cli_test.go) holds it and the package doc comment to the actual flag
+// set, so neither can drift when a flag is added.
+const usage = "usage: rocksalt [-entries addr,addr] [-tables f] [-j N] [-timeout d] [-cache MiB] [-stats] [-json] [-v] [-metrics-addr a] [-linger d] [-q] file.bin"
+
+// cliFlags is every rocksalt flag, registered on a caller-supplied
+// FlagSet so tests can enumerate the registry without running main.
+type cliFlags struct {
+	entries     *string
+	quiet       *bool
+	tables      *string
+	workers     *int
+	timeout     *time.Duration
+	cacheMiB    *int
+	stats       *bool
+	jsonOut     *bool
+	verbose     *bool
+	metricsAddr *string
+	linger      *time.Duration
+}
+
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		entries:     fs.String("entries", "", "comma-separated out-of-image entry points (hex) direct jumps may target"),
+		quiet:       fs.Bool("q", false, "suppress output; use the exit status"),
+		tables:      fs.String("tables", "", "load pre-generated DFA tables (from dfagen -o) instead of compiling grammars"),
+		workers:     fs.Int("j", 1, "stage-1 verification workers (0 = all CPUs)"),
+		timeout:     fs.Duration("timeout", 0, "abort verification after this duration (exit 3); 0 = no limit"),
+		cacheMiB:    fs.Int("cache", 0, "attach a content-addressed verdict cache of this many MiB (0 = no cache)"),
+		stats:       fs.Bool("stats", false, "print the per-run engine stats after the verdict"),
+		jsonOut:     fs.Bool("json", false, "print the verdict and stats as JSON on stdout"),
+		verbose:     fs.Bool("v", false, "structured run logs on stderr"),
+		metricsAddr: fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; enables telemetry"),
+		linger:      fs.Duration("linger", 0, "keep the metrics server up this long after the verdict (with -metrics-addr)"),
+	}
+}
 
 // jsonViolation is the machine-readable form of one violation.
 type jsonViolation struct {
@@ -58,24 +109,19 @@ type jsonVerdict struct {
 	Total      int             `json:"total_violations"`
 	Violations []jsonViolation `json:"violations,omitempty"`
 	Stats      core.Stats      `json:"stats"`
+	CacheKey   string          `json:"cache_key,omitempty"`
 	ElapsedNS  int64           `json:"elapsed_ns"`
 	MBPerSec   float64         `json:"mb_per_s"`
 }
 
 func main() {
-	entries := flag.String("entries", "", "comma-separated out-of-image entry points (hex) direct jumps may target")
-	quiet := flag.Bool("q", false, "suppress output; use the exit status")
-	tables := flag.String("tables", "", "load pre-generated DFA tables (from dfagen -o) instead of compiling grammars")
-	workers := flag.Int("j", 1, "stage-1 verification workers (0 = all CPUs)")
-	timeout := flag.Duration("timeout", 0, "abort verification after this duration (exit 3); 0 = no limit")
-	stats := flag.Bool("stats", false, "print the per-run engine stats after the verdict")
-	jsonOut := flag.Bool("json", false, "print the verdict and stats as JSON on stdout")
-	verbose := flag.Bool("v", false, "structured run logs on stderr")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; enables telemetry")
-	linger := flag.Duration("linger", 0, "keep the metrics server up this long after the verdict (with -metrics-addr)")
+	f := registerFlags(flag.CommandLine)
 	flag.Parse()
+	entries, quiet, tables, workers := f.entries, f.quiet, f.tables, f.workers
+	timeout, stats, jsonOut, verbose := f.timeout, f.stats, f.jsonOut, f.verbose
+	metricsAddr, linger := f.metricsAddr, f.linger
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rocksalt [-entries addr,addr] [-tables f] [-j N] [-timeout d] [-stats] [-json] [-v] [-metrics-addr a] [-q] file.bin")
+		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
 
@@ -147,9 +193,14 @@ func main() {
 		defer cancel()
 	}
 
-	log.Info("verify start", "file", flag.Arg(0), "bytes", len(code), "workers", *workers)
+	opts := core.VerifyOptions{Workers: *workers}
+	if *f.cacheMiB > 0 {
+		opts.Cache = vcache.New(int64(*f.cacheMiB) << 20)
+	}
+	log.Info("verify start", "file", flag.Arg(0), "bytes", len(code), "workers", *workers,
+		"cache_mib", *f.cacheMiB)
 	start := time.Now()
-	rep := checker.VerifyContext(ctx, code, core.VerifyOptions{Workers: *workers})
+	rep := checker.VerifyContext(ctx, code, opts)
 	elapsed := time.Since(start)
 	mbs := float64(len(code)) / (1 << 20) / elapsed.Seconds()
 	log.Info("verify done", "outcome", rep.Outcome.String(), "elapsed", elapsed,
@@ -173,6 +224,7 @@ func main() {
 			Workers:   rep.Workers,
 			Total:     rep.Total,
 			Stats:     rep.Stats,
+			CacheKey:  rep.CacheKey,
 			ElapsedNS: int64(elapsed),
 			MBPerSec:  mbs,
 		}
@@ -219,6 +271,9 @@ func main() {
 		}
 		if *stats {
 			fmt.Println(rep.Stats.String())
+			if rep.CacheKey != "" {
+				fmt.Printf("content key %s\n", rep.CacheKey)
+			}
 		}
 	}
 	lingerExit(log, *metricsAddr, *linger, status)

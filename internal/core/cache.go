@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"sort"
+
+	"rocksalt/internal/vcache"
+)
+
+// This file wires the content-addressed verdict cache (internal/vcache)
+// into the engine, at two granularities:
+//
+//   - Whole-image: VerifyWith/VerifyContext with VerifyOptions.Cache
+//     set first look the image's content key up; a hit returns a copy
+//     of the cached Report without scanning a byte. Callers that track
+//     content identity themselves (a build system, a module registry)
+//     can hand the key in via VerifyOptions.CacheKey and skip even the
+//     hashing pass — that is the >100x warm re-verification path.
+//   - Per-chunk: on a whole-image miss, the image's aligned 64KiB
+//     chunks are individually content-addressed. A chunk hit restores
+//     the chunk's parse artifacts — its boundary/pairJmp bitmap words
+//     and collected jump targets — and stage 1 skips the chunk's
+//     shards; only chunks that actually changed are re-parsed. Stage 2
+//     always runs in full, so cross-chunk properties (jump targets,
+//     bundle coverage) are re-validated against the current image.
+//
+// Soundness rests on two facts. Keys are collision-resistant hashes
+// (vcache.Sum) over everything the parse depends on: the table
+// fingerprint, the policy configuration (AlignedCalls, Entries), the
+// image size, and — for chunks — the chunk's offset and bytes. A shard
+// parse is a pure function of exactly those inputs, so a chunk hit
+// replays byte-identical artifacts; a final or partial chunk, whose
+// parse could depend on the image end, is never cached (chunkEnd <
+// size). Chunks with violations are never stored, so replayed chunks
+// are always clean and every rejected image re-diagnoses its violating
+// chunks through the ordinary engine paths.
+
+// chunkBytes is the chunk-cache granularity: an aligned span of four
+// stage-1 shards. Coarse enough that stored artifacts (two bitmap
+// slices, ~1/4 of the chunk size) amortize, fine enough that a local
+// edit invalidates little.
+const chunkBytes = 64 << 10
+
+// chunkShards is how many stage-1 shards one chunk covers.
+const chunkShards = chunkBytes / ShardBytes
+
+// chunkEntry is the cached parse artifact of one clean chunk: the
+// boundary and masked-pair bitmap words for its bit range and the
+// in-image jump targets its shards collected.
+type chunkEntry struct {
+	valid   []uint64
+	pairJmp []uint64
+	targets []int32
+}
+
+func (e *chunkEntry) size() int64 {
+	return int64(8*len(e.valid) + 8*len(e.pairJmp) + 4*len(e.targets))
+}
+
+// cacheCtx carries a run's chunk-cache state: the per-chunk keys (index
+// i covers bytes [i*chunkBytes, (i+1)*chunkBytes)) and the cache
+// itself. keys is truncated to the cacheable prefix — the final chunk,
+// whose parse may depend on the image end, is excluded.
+type cacheCtx struct {
+	cache *vcache.Cache
+	keys  []vcache.Key
+}
+
+// configKey hashes everything except the code bytes that a verdict
+// depends on: the fused-table fingerprint and the checker's policy
+// knobs. Two checkers with equal configKey parse any image identically.
+func (c *Checker) configKey() vcache.Key {
+	fp := c.fused.fingerprint()
+	cfg := make([]byte, 0, 17+4*len(c.Entries))
+	cfg = append(cfg, fp[:]...)
+	if c.AlignedCalls {
+		cfg = append(cfg, 1)
+	} else {
+		cfg = append(cfg, 0)
+	}
+	entries := make([]uint32, 0, len(c.Entries))
+	for e, ok := range c.Entries {
+		if ok {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+	for _, e := range entries {
+		cfg = binary.LittleEndian.AppendUint32(cfg, e)
+	}
+	return vcache.Sum("rocksalt/config", cfg)
+}
+
+// fingerprint returns the (memoized) content hash of the fused
+// automaton: start, tags and transition rows. It identifies the policy
+// tables in cache keys, so checkers loaded from different-but-equal
+// bundles share cache entries and different tables never collide.
+func (f *fusedDFA) fingerprint() vcache.Key {
+	f.fpOnce.Do(func() {
+		buf := make([]byte, 0, 8+len(f.tags)+512*len(f.table))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.start))
+		buf = append(buf, f.tags...)
+		for s := range f.table {
+			for b := 0; b < 256; b++ {
+				buf = binary.LittleEndian.AppendUint16(buf, f.table[s][b])
+			}
+		}
+		f.fp = vcache.Sum("rocksalt/tables", buf)
+	})
+	return f.fp
+}
+
+// cacheKeys computes the per-chunk keys for the cacheable prefix of the
+// image and the derived whole-image key. The whole-image key is
+// hierarchical — the hash of the chunk keys plus the non-cacheable tail
+// — so both layers are addressed with a single pass over the content.
+func (c *Checker) cacheKeys(code []byte) (whole vcache.Key, chunks []vcache.Key) {
+	cfg := c.configKey()
+	size := len(code)
+	nchunks := size / chunkBytes
+	if nchunks*chunkBytes == size && nchunks > 0 {
+		nchunks-- // the final chunk's parse may depend on the image end
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(size))
+	chunks = make([]vcache.Key, nchunks)
+	keyBytes := make([]byte, 0, 16*nchunks)
+	for i := range chunks {
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(i*chunkBytes))
+		chunks[i] = vcache.Sum("rocksalt/chunk", cfg[:], hdr[:], code[i*chunkBytes:(i+1)*chunkBytes])
+		keyBytes = append(keyBytes, chunks[i][:]...)
+	}
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(nchunks*chunkBytes))
+	whole = vcache.Sum("rocksalt/image", cfg[:], hdr[:8], keyBytes, code[nchunks*chunkBytes:])
+	return whole, chunks
+}
+
+// verifyCached is VerifyContext's path when a cache is attached.
+func (c *Checker) verifyCached(ctx context.Context, code []byte, opts VerifyOptions) *Report {
+	var whole vcache.Key
+	var chunks []vcache.Key
+	if opts.CacheKey != nil {
+		// The caller vouches that this key identifies (config, image);
+		// trusting it is what makes the warm path free of hashing.
+		whole = *opts.CacheKey
+	} else {
+		whole, chunks = c.cacheKeys(code)
+	}
+	if v, ok := opts.Cache.Get(whole); ok {
+		rep := *(v.(*Report))
+		rep.Stats.CacheWholeHits = 1
+		rep.Stats.CacheChunkHits, rep.Stats.CacheChunkMisses = 0, 0
+		rep.Stats.CacheBytesSaved = int64(len(code))
+		publishCacheStats(&rep.Stats)
+		return &rep
+	}
+	if opts.CacheKey != nil {
+		_, chunks = c.cacheKeys(code)
+	}
+	sc := getScratch(len(code), shardCount(len(code)))
+	defer putScratch(sc)
+	var st Stats
+	cc := &cacheCtx{cache: opts.Cache, keys: chunks}
+	rep := c.report(c.run(ctx, code, opts, sc, &st, cc), len(code))
+	rep.Stats = st
+	rep.CacheKey = whole.String()
+	if !rep.Interrupted() {
+		stored := *rep
+		opts.Cache.Put(whole, &stored, int64(reportSize(&stored)))
+	}
+	publishCacheStats(&rep.Stats)
+	return rep
+}
+
+// reportSize approximates a Report's retained bytes for the cache's
+// capacity accounting.
+func reportSize(r *Report) int {
+	n := 256
+	for i := range r.Violations {
+		n += 96 + len(r.Violations[i].Window) + len(r.Violations[i].Detail) + len(r.Violations[i].Stack)
+	}
+	return n
+}
+
+// probeChunks runs before stage 1: for every cacheable chunk with a
+// resident entry it restores the chunk's parse artifacts and marks its
+// shards to be skipped. The returned slice is indexed by shard (nil
+// when nothing was restored).
+func (c *Checker) probeChunks(cc *cacheCtx, sc *scratch, st *Stats) []bool {
+	var skip []bool
+	wvalid, wpair := sc.valid.Words(), sc.pairJmp.Words()
+	for i, key := range cc.keys {
+		v, ok := cc.cache.Get(key)
+		if !ok {
+			if st != nil {
+				st.CacheChunkMisses++
+			}
+			continue
+		}
+		e := v.(*chunkEntry)
+		w0 := i * chunkBytes / 64
+		copy(wvalid[w0:w0+len(e.valid)], e.valid)
+		copy(wpair[w0:w0+len(e.pairJmp)], e.pairJmp)
+		res := &sc.results[i*chunkShards]
+		res.targets = append(res.targets, e.targets...)
+		if skip == nil {
+			skip = make([]bool, len(sc.results))
+		}
+		for s := 0; s < chunkShards; s++ {
+			skip[i*chunkShards+s] = true
+		}
+		if st != nil {
+			st.CacheChunkHits++
+			st.CacheBytesSaved += chunkBytes
+		}
+	}
+	return skip
+}
+
+// storeChunks runs after a completed stage 1: every cacheable chunk
+// that was parsed this run (not restored) and is violation-free is
+// stored for the next run. Chunks whose shards found violations are
+// never cached, so replay can only ever reproduce clean parses.
+func (c *Checker) storeChunks(cc *cacheCtx, sc *scratch, skip []bool) {
+	wvalid, wpair := sc.valid.Words(), sc.pairJmp.Words()
+	for i, key := range cc.keys {
+		if skip != nil && skip[i*chunkShards] {
+			continue // restored from cache this run
+		}
+		clean := true
+		var ntargets int
+		for s := 0; s < chunkShards; s++ {
+			res := &sc.results[i*chunkShards+s]
+			if len(res.violations) > 0 {
+				clean = false
+				break
+			}
+			ntargets += len(res.targets)
+		}
+		if !clean {
+			continue
+		}
+		w0 := i * chunkBytes / 64
+		e := &chunkEntry{
+			valid:   append([]uint64(nil), wvalid[w0:w0+chunkBytes/64]...),
+			pairJmp: append([]uint64(nil), wpair[w0:w0+chunkBytes/64]...),
+			targets: make([]int32, 0, ntargets),
+		}
+		for s := 0; s < chunkShards; s++ {
+			e.targets = append(e.targets, sc.results[i*chunkShards+s].targets...)
+		}
+		cc.cache.Put(key, e, e.size())
+	}
+}

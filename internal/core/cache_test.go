@@ -1,0 +1,220 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/vcache"
+)
+
+// cacheImage builds a compliant multi-chunk image (several 64KiB cache
+// chunks) so the chunk layer has something to do.
+func cacheImage(t *testing.T, seed int64, insns int) []byte {
+	t.Helper()
+	img, err := nacl.NewGenerator(seed).Random(insns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) < 3*64<<10 {
+		t.Fatalf("generated image too small for chunk tests: %d bytes", len(img))
+	}
+	return img
+}
+
+// sameVerdict asserts two reports agree on everything the cache
+// promises to preserve: the verdict and the full diagnosis. Stats and
+// CacheKey legitimately differ between cached and uncached runs.
+func sameVerdict(t *testing.T, got, want *core.Report, what string) {
+	t.Helper()
+	if got.Safe != want.Safe || got.Outcome != want.Outcome || got.Total != want.Total ||
+		got.Size != want.Size || got.Shards != want.Shards {
+		t.Fatalf("%s: verdict differs: got {safe %v %v total %d} want {safe %v %v total %d}",
+			what, got.Safe, got.Outcome, got.Total, want.Safe, want.Outcome, want.Total)
+	}
+	if !reflect.DeepEqual(got.Violations, want.Violations) {
+		t.Fatalf("%s: violations differ", what)
+	}
+}
+
+func TestCacheWholeImageHit(t *testing.T) {
+	c := checker(t)
+	img := cacheImage(t, 1, 60000)
+	cache := vcache.New(64 << 20)
+	opts := core.VerifyOptions{Workers: 1, Cache: cache}
+
+	want := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	first := c.VerifyWith(img, opts)
+	sameVerdict(t, first, want, "first cached run")
+	if first.Stats.CacheWholeHits != 0 {
+		t.Fatal("cold run reported a whole-image hit")
+	}
+	if first.CacheKey == "" {
+		t.Fatal("cached run did not report its content key")
+	}
+
+	second := c.VerifyWith(img, opts)
+	sameVerdict(t, second, want, "warm run")
+	if second.Stats.CacheWholeHits != 1 {
+		t.Fatalf("warm run stats %+v: expected a whole-image hit", second.Stats)
+	}
+	if second.Stats.CacheBytesSaved != int64(len(img)) {
+		t.Fatalf("whole hit saved %d bytes, want %d", second.Stats.CacheBytesSaved, len(img))
+	}
+
+	// The keyed path: hand the reported key back and hit without any
+	// hashing pass over the content.
+	key, err := vcache.ParseKey(first.CacheKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed := c.VerifyWith(img, core.VerifyOptions{Workers: 1, Cache: cache, CacheKey: &key})
+	sameVerdict(t, keyed, want, "keyed warm run")
+	if keyed.Stats.CacheWholeHits != 1 {
+		t.Fatal("keyed run missed")
+	}
+}
+
+func TestCacheChunkReuseAfterEdit(t *testing.T) {
+	c := checker(t)
+	img := cacheImage(t, 2, 60000)
+	cache := vcache.New(64 << 20)
+	opts := core.VerifyOptions{Workers: 1, Cache: cache}
+
+	if rep := c.VerifyWith(img, opts); !rep.Safe {
+		t.Fatalf("generated image not safe: %v", rep.Err())
+	}
+
+	// Corrupt one byte in the middle of the last cacheable chunk — and
+	// keep flipping until the image actually rejects (a lone flip can
+	// land on another valid encoding). Every untouched chunk must come
+	// back from the cache; the verdict must be byte-identical to an
+	// uncached verification of the edited image.
+	edited := append([]byte(nil), img...)
+	var want *core.Report
+	for editAt := 2*64<<10 + 300; ; editAt++ {
+		edited[editAt] ^= 0xff
+		if want = c.VerifyWith(edited, core.VerifyOptions{Workers: 1}); !want.Safe {
+			break
+		}
+		edited[editAt] ^= 0xff
+	}
+	got := c.VerifyWith(edited, opts)
+	sameVerdict(t, got, want, "edited image via chunk cache")
+	if got.Stats.CacheWholeHits != 0 {
+		t.Fatal("edited image claimed a whole-image hit")
+	}
+	if got.Stats.CacheChunkHits == 0 {
+		t.Fatalf("no chunk hits on a one-byte edit: %+v", got.Stats)
+	}
+	if got.Stats.CacheChunkMisses == 0 {
+		t.Fatalf("the edited chunk should have missed: %+v", got.Stats)
+	}
+	if got.Stats.CacheBytesSaved != got.Stats.CacheChunkHits*64<<10 {
+		t.Fatalf("bytes saved %d inconsistent with %d chunk hits",
+			got.Stats.CacheBytesSaved, got.Stats.CacheChunkHits)
+	}
+
+	// Parallel workers must reach the same verdict with the same cache.
+	gotPar := c.VerifyWith(edited, core.VerifyOptions{Workers: 8, Cache: cache})
+	sameVerdict(t, gotPar, want, "edited image, parallel workers")
+
+	// A violating chunk is never stored: re-verifying the edited image
+	// after evicting its whole-image report must re-miss that chunk.
+	// (Fresh cache isolates the property.)
+	fresh := vcache.New(64 << 20)
+	r1 := c.VerifyWith(edited, core.VerifyOptions{Workers: 1, Cache: fresh})
+	r2 := c.VerifyWith(edited, core.VerifyOptions{Workers: 1, Cache: fresh})
+	sameVerdict(t, r2, want, "rejected image re-verified")
+	if r1.Safe || r2.Stats.CacheWholeHits != 1 {
+		t.Fatalf("rejected whole-image reports should still be cached: %+v", r2.Stats)
+	}
+}
+
+func TestCacheConfigSeparation(t *testing.T) {
+	base := checker(t)
+	img := cacheImage(t, 3, 60000)
+	cache := vcache.New(64 << 20)
+
+	rep := base.VerifyWith(img, core.VerifyOptions{Workers: 1, Cache: cache})
+	if rep.CacheKey == "" {
+		t.Fatal("no cache key reported")
+	}
+
+	// A checker with different policy knobs must not share entries even
+	// for identical bytes: its config hash differs, so its keys differ.
+	other := checker(t)
+	other.AlignedCalls = true
+	rep2 := other.VerifyWith(img, core.VerifyOptions{Workers: 1, Cache: cache})
+	if rep2.CacheKey == rep.CacheKey {
+		t.Fatal("different configurations produced the same content key")
+	}
+	if rep2.Stats.CacheWholeHits != 0 {
+		t.Fatal("different configuration hit the other checker's entry")
+	}
+
+	entries := checker(t)
+	entries.Entries = map[uint32]bool{0x1000: true}
+	rep3 := entries.VerifyWith(img, core.VerifyOptions{Workers: 1, Cache: cache})
+	if rep3.CacheKey == rep.CacheKey || rep3.Stats.CacheWholeHits != 0 {
+		t.Fatal("Entries whitelist not separated in the config hash")
+	}
+
+	// Same configuration in a distinct checker instance shares entries:
+	// the key is content-addressed, not instance-addressed.
+	twin := checker(t)
+	rep4 := twin.VerifyWith(img, core.VerifyOptions{Workers: 1, Cache: cache})
+	if rep4.CacheKey != rep.CacheKey || rep4.Stats.CacheWholeHits != 1 {
+		t.Fatalf("equal configuration did not share the cache: key match %v, whole hits %d",
+			rep4.CacheKey == rep.CacheKey, rep4.Stats.CacheWholeHits)
+	}
+}
+
+func TestCacheAnalyzeChunkLayer(t *testing.T) {
+	c := checker(t)
+	img := cacheImage(t, 4, 60000)
+	cache := vcache.New(64 << 20)
+	opts := core.VerifyOptions{Workers: 1, Cache: cache}
+
+	wantValid, wantPair, wantRep := c.AnalyzeWith(img, core.VerifyOptions{Workers: 1})
+	v1, p1, r1 := c.AnalyzeWith(img, opts)
+	v2, p2, r2 := c.AnalyzeWith(img, opts)
+	if r2.Stats.CacheChunkHits == 0 {
+		t.Fatalf("warm Analyze used no chunk hits: %+v", r2.Stats)
+	}
+	if r2.Stats.CacheWholeHits != 0 {
+		t.Fatal("Analyze must not take the whole-image path (it has bitmaps to fill)")
+	}
+	sameVerdict(t, r1, wantRep, "cold cached Analyze")
+	sameVerdict(t, r2, wantRep, "warm cached Analyze")
+	if !reflect.DeepEqual(v1, wantValid) || !reflect.DeepEqual(v2, wantValid) {
+		t.Fatal("cached Analyze boundary bitmap differs from uncached")
+	}
+	if !reflect.DeepEqual(p1, wantPair) || !reflect.DeepEqual(p2, wantPair) {
+		t.Fatal("cached Analyze pairJmp bitmap differs from uncached")
+	}
+}
+
+func TestCacheSmallImageAndTail(t *testing.T) {
+	// Images smaller than one chunk exercise only the whole-image layer;
+	// the final chunk of any image is never chunk-cached.
+	c := checker(t)
+	img, err := nacl.NewGenerator(5).Random(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := vcache.New(1 << 20)
+	opts := core.VerifyOptions{Workers: 1, Cache: cache}
+	want := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	first := c.VerifyWith(img, opts)
+	sameVerdict(t, first, want, "small image cold")
+	if first.Stats.CacheChunkHits != 0 || first.Stats.CacheChunkMisses != 0 {
+		t.Fatalf("sub-chunk image touched the chunk layer: %+v", first.Stats)
+	}
+	second := c.VerifyWith(img, opts)
+	sameVerdict(t, second, want, "small image warm")
+	if second.Stats.CacheWholeHits != 1 {
+		t.Fatal("small image did not whole-hit")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"rocksalt/internal/bitset"
 	"rocksalt/internal/telemetry"
+	"rocksalt/internal/vcache"
 )
 
 // This file is the staged verification engine. The NaCl policy itself
@@ -46,6 +47,17 @@ const (
 	// sequential DFA match attempts per offset. It exists as the
 	// cross-check oracle for the fused engine.
 	EngineReference
+	// EngineFusedScalar forces the canonical scalar fused walk on every
+	// shard — the diagnosing path the lane engine rewinds to — with the
+	// optimistic lane phase disabled. It exists for cross-checks and as
+	// the like-for-like baseline in benchmarks.
+	EngineFusedScalar
+	// EngineStrided forces the two-stride lane walk, building (and
+	// semantically verifying) the pair tables if needed, regardless of
+	// the size budget. EngineFused selects striding automatically only
+	// when bundled tables fit StrideBudgetBytes; a table build or
+	// verification failure falls back to the single-stride lanes.
+	EngineStrided
 )
 
 // VerifyOptions configures a verification run.
@@ -61,6 +73,27 @@ type VerifyOptions struct {
 	// Engine selects the stage-1 matcher; the zero value is the fused
 	// product automaton. Reports are engine-invariant byte for byte.
 	Engine EngineKind
+	// StrideBudgetBytes bounds the hot two-stride table footprint
+	// EngineFused will auto-select (see strideAuto): 0 means the default
+	// ceiling, negative disables auto-striding. Ignored by the other
+	// engines; EngineStrided always strides.
+	StrideBudgetBytes int
+	// Cache, when non-nil, attaches the content-addressed verdict cache
+	// (see cache.go): Verify* runs first look up the whole image's
+	// content key and return the cached Report on a hit; on a miss the
+	// image's aligned 64KiB chunks are individually cached so a later
+	// run re-parses only what changed. Requires fused tables (every
+	// current bundle has them); ignored otherwise. Cached runs record
+	// their effectiveness in Stats.CacheWholeHits et al.
+	Cache *vcache.Cache
+	// CacheKey, when non-nil, is a caller-computed key identifying this
+	// exact (checker configuration, image) pair — obtained from a prior
+	// Report.CacheKey for the same checker and bytes. A whole-image hit
+	// under it skips even the hashing pass over the content, which is
+	// what makes warm re-verification O(1). The caller vouches for the
+	// association; a wrong key returns the wrong report. Ignored unless
+	// Cache is set.
+	CacheKey *vcache.Key
 }
 
 // MaxWorkers is the hard ceiling on stage-1 workers. Beyond the machine
@@ -157,10 +190,13 @@ func (c *Checker) VerifyWith(code []byte, opts VerifyOptions) *Report {
 // run never reports Safe and never surfaces the nondeterministic subset
 // of violations it happened to reach.
 func (c *Checker) VerifyContext(ctx context.Context, code []byte, opts VerifyOptions) *Report {
+	if opts.Cache != nil && c.fused != nil {
+		return c.verifyCached(ctx, code, opts)
+	}
 	sc := getScratch(len(code), shardCount(len(code)))
 	defer putScratch(sc)
 	var st Stats
-	rep := c.report(c.run(ctx, code, opts, sc, &st), len(code))
+	rep := c.report(c.run(ctx, code, opts, sc, &st, nil), len(code))
 	rep.Stats = st
 	return rep
 }
@@ -179,7 +215,14 @@ func (c *Checker) AnalyzeContext(ctx context.Context, code []byte, opts VerifyOp
 	sc := getScratch(len(code), shardCount(len(code)))
 	defer putScratch(sc)
 	var st Stats
-	rep = c.report(c.run(ctx, code, opts, sc, &st), len(code))
+	// Analyze uses the chunk layer only: a whole-image Report hit would
+	// skip filling the bitmaps this entry point exists to return.
+	var cc *cacheCtx
+	if opts.Cache != nil && c.fused != nil {
+		_, chunks := c.cacheKeys(code)
+		cc = &cacheCtx{cache: opts.Cache, keys: chunks}
+	}
+	rep = c.report(c.run(ctx, code, opts, sc, &st, cc), len(code))
 	rep.Stats = st
 	return sc.valid.Bools(), sc.pairJmp.Bools(), rep
 }
@@ -198,7 +241,7 @@ func (c *Checker) verifyLean(code []byte) bool {
 	if telemetry.Enabled() {
 		st = &stv
 	}
-	out := c.run(context.Background(), code, VerifyOptions{Workers: 1}, sc, st)
+	out := c.run(context.Background(), code, VerifyOptions{Workers: 1}, sc, st, nil)
 	return out.ctxErr == nil && out.total == 0
 }
 
@@ -266,7 +309,7 @@ func (c *Checker) report(out runResult, size int) *Report {
 // per-shard parse-mode flags and the bitmap population merged during
 // reconciliation. Everything written to st is stack- or scratch-
 // resident, so collecting it never allocates.
-func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *scratch, st *Stats) runResult {
+func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *scratch, st *Stats, cc *cacheCtx) runResult {
 	size := len(code)
 	shards := shardCount(size)
 	workers := clampWorkers(opts.Workers, shards)
@@ -276,6 +319,19 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 		st.BytesScanned = int64(size)
 		st.Bundles = int64((size + BundleSize - 1) / BundleSize)
 		st.Shards = int64(shards)
+	}
+	// The effective engine is resolved once per run and is uniform across
+	// shards, so reports stay deterministic. (Assign-once locals: the
+	// worker closure below captures them by value.)
+	engine, strided := c.resolveEngine(opts)
+	// Chunk-cache probe: restore the parse artifacts of every resident
+	// chunk and mark its shards skipped. Skipped shards set none of the
+	// lane/scalar/restart flags, so Stats' parse-mode counts cover only
+	// the shards actually parsed this run. (skip, like engine above, is
+	// assign-once so the worker closure captures it by value.)
+	var skip []bool
+	if cc != nil && len(cc.keys) > 0 {
+		skip = c.probeChunks(cc, sc, st)
 	}
 	endStage1 := telemetry.Region(ctx, "rocksalt.stage1.parse")
 
@@ -287,10 +343,13 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 	// a shard starts is always seen).
 	if workers == 1 {
 		for s := 0; s < shards; s++ {
+			if skip != nil && skip[s] {
+				continue
+			}
 			if ctx.Err() != nil {
 				break
 			}
-			c.parseOne(code, s, sc, opts.Engine)
+			c.parseOne(code, s, sc, engine, strided)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -305,11 +364,14 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 						// returning early cannot block the producer.
 						return
 					}
-					c.parseOne(code, s, sc, opts.Engine)
+					c.parseOne(code, s, sc, engine, strided)
 				}
 			}()
 		}
 		for s := 0; s < shards; s++ {
+			if skip != nil && skip[s] {
+				continue
+			}
 			jobs <- s
 		}
 		close(jobs)
@@ -325,6 +387,11 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 			publishStats(st, true, false)
 		}
 		return runResult{shards: shards, workers: workers, ctxErr: err}
+	}
+	if cc != nil && len(cc.keys) > 0 {
+		// The run completed, so every freshly-parsed clean chunk's
+		// artifacts are final; bank them for the next run.
+		c.storeChunks(cc, sc, skip)
 	}
 	var t1 time.Time
 	if st != nil {
@@ -354,9 +421,33 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 	return runResult{violations: violations, total: total, shards: shards, workers: workers}
 }
 
+// resolveEngine maps the requested engine to the one a run will
+// actually use: EngineStrided needs the two-stride tables ready (built
+// and semantically verified on first use) and degrades to the
+// single-stride lanes if they cannot be; EngineFused upgrades to them
+// only when bundled tables fit the size budget.
+func (c *Checker) resolveEngine(opts VerifyOptions) (EngineKind, bool) {
+	engine := opts.Engine
+	if c.fused == nil {
+		return engine, false
+	}
+	switch engine {
+	case EngineStrided:
+		if c.fused.ensureStride() == nil {
+			return engine, true
+		}
+		return EngineFused, false
+	case EngineFused:
+		if c.fused.strideAuto(opts.StrideBudgetBytes) && c.fused.ensureStride() == nil {
+			return engine, true
+		}
+	}
+	return engine, false
+}
+
 // parseOne runs stage 1 on shard s, containing panics as InternalFault
 // violations so the worker (and the pool behind it) survives.
-func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind) {
+func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, strided bool) {
 	res := &sc.results[s]
 	defer func() {
 		if r := recover(); r != nil {
@@ -385,11 +476,15 @@ func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind) {
 	if end > len(code) {
 		end = len(code)
 	}
-	if engine == EngineReference || c.fused == nil {
+	switch {
+	case engine == EngineReference || c.fused == nil:
 		res.scalar = true
 		c.parseShardRef(code, start, end, sc, res)
-	} else {
-		c.parseShardFused(code, start, end, sc, res)
+	case engine == EngineFusedScalar:
+		res.scalar = true
+		c.parseShardFusedScalar(code, start, end, sc, res)
+	default:
+		c.parseShardFused(code, start, end, sc, res, strided)
 	}
 }
 
@@ -407,10 +502,10 @@ func stopShard(res *shardResult, code []byte, off int, kind ViolationKind, detai
 // code path regardless of the optimistic phase. A trailing partial
 // bundle (only the image's last shard can have one) is parsed scalar
 // as well, continuing where the lanes proved the prefix regular.
-func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res *shardResult) {
+func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res *shardResult, strided bool) {
 	full := start + (end-start)/BundleSize*BundleSize
 	if full-start >= laneCount*BundleSize {
-		if c.parseShardLanes(code, start, full, sc, res) {
+		if c.parseShardLanes(code, start, full, sc, res, strided) {
 			res.lane = true
 			if full < end {
 				c.parseShardFusedScalar(code, full, end, sc, res)

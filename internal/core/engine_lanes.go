@@ -1,417 +1,444 @@
 package core
 
-// This file is the bundle-interleaved fast path of the fused engine.
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// This file is the two-pass region-interleaved fast path of the fused
+// engine.
 //
-// The policy makes every 32-byte bundle of a *compliant* image an
-// independent parse unit: each bundle boundary must be an instruction
-// boundary, and no matched unit may cross one. The scalar fused walk
-// cannot exploit that — each table step depends on the previous one and
-// each instruction end is an unpredictable branch — so the CPU stalls
-// on load latency and branch mispredictions. The lane parser attacks
-// both: it runs four bundles at once, interleaving their walks byte by
-// byte so four independent load chains cover each other's latency, and
-// it walks the restart-closed table (fusedDFA.closed), in which the
-// common instruction end — a state whose tag is exactly tagAccNoCF, a
-// complete noCF instruction with every other component resolved — is
-// not a stop at all: the walk flows straight into the next instruction,
-// and the boundary position is recovered branchlessly from the state
-// number (conditional moves, no mispredictable jump). Only masked
-// pairs, direct jumps, dead states and bundle completions take a real
-// branch.
+// Pass 1 splits a shard's whole-bundle range into laneCount contiguous
+// regions and walks all of them at once, interleaving the restart-closed
+// table steps byte by byte so four independent load chains cover each
+// other's latency. Unlike a per-bundle engine, a lane never stops at a
+// bundle end: the walk is continuous, and for every byte it consumes it
+// stores the resulting state number into a per-shard state buffer
+// (scratch.stbuf). Thanks to the four-band state numbering (see
+// fusedDFA), the only states that interrupt the walk are the truly
+// eventful ones [rec, n): masked-pair accepts, direct jumps, dead walks
+// and the rare history-dependent continuations. Recording states —
+// an accept noted mid-instruction while a masked pair is still live —
+// are absorbed into the inline path entirely: the accept they would
+// record is recovered later from the state bytes, by scanning the
+// current instruction's stored states when an event finally needs the
+// earliest noCF/direct accept positions.
 //
-// Optimism is what keeps the lanes exactly equivalent to the scalar
-// parse. A lane validates every instruction with the same priority rule
-// and the same policy checks the scalar path applies, plus one stronger
-// structural demand: instructions must resolve inside the lane's bundle
-// and tile it exactly. The moment anything irregular appears — no
-// match, a unit or an undecided walk reaching the bundle end, a
-// misaligned call, a bad direct-jump target — the whole lane parse
-// reports failure and the dispatcher erases its partial writes and
-// re-parses the shard with the canonical scalar loop. So the lane phase
-// either proves the region violation-free (in which case its
-// valid/pairJmp bits are precisely the scalar ones and its collected
-// jump targets are the same multiset — stage 2 sorts them), or it
-// contributes nothing. Reports stay byte-identical either way, which is
-// what FuzzFusedEquiv and the fault-injection cross-check enforce.
+// Pass 2 turns the state buffer into the instruction-boundary bitmap
+// with branch-free SWAR: eight state bytes are range-checked against the
+// class-1 band [quiet, nc) per 64-bit load (a class-1 state marks "an
+// instruction ended after this byte"), the per-byte results are packed
+// into one bit per byte, and the words are OR-ed into the shared valid
+// bitmap. The same pass enforces the policy's structural demand
+// posteriorly: every 32-byte bundle boundary in the region must carry a
+// boundary bit. If any does not — an instruction straddled a bundle
+// boundary, or a lane's walk ended mid-instruction at its region seam —
+// the parse reports failure, the dispatcher erases the shard's partial
+// writes, and the canonical scalar loop re-parses the shard.
+//
+// Equivalence argument. When parseShardLanes returns true, its
+// valid/pairJmp bits and collected jump targets are exactly those of the
+// canonical scalar parse (parseShardFusedScalar) over the same range:
+//
+//   - Within a region the walk is the canonical continuous parse.
+//     Class-1 states resolve instructions inline (their closed rows are
+//     the start row, so flowing through one is identical to restarting),
+//     and those are exactly the positions the scalar walk resolves via
+//     its "pure noCF accept" rule. Recording states never resolve the
+//     scalar walk either (masked is still live), so absorbing them loses
+//     nothing; their accept positions are recovered verbatim from the
+//     stored state tags when an event resolves by priority. Events apply
+//     the same priority rule and the same policy checks as the scalar
+//     path, or fail the lane parse.
+//   - A resolution may rewind the walk; the bytes it re-walks cannot
+//     contain a class-1 state (one would itself have resolved the
+//     instruction earlier), so no stale boundary survives in the buffer
+//     — rewritten states overwrite the doomed segment.
+//   - Region seams are bundle boundaries. The posterior bundle check
+//     passing at a seam means the previous lane's walk ended exactly at
+//     an instruction boundary, so the next lane starting from the start
+//     state is the canonical continuation — inductively the whole range
+//     matches the single continuous parse.
+//   - Any canonical violation in the range (illegal instruction,
+//     misaligned call, bad jump target, bundle straddle) either fails a
+//     lane event directly or leaves a bundle boundary bit unset, so it
+//     can never be reported here: the scalar fallback diagnoses it, and
+//     reports stay byte-identical, which FuzzFusedEquiv and the
+//     fault-injection cross-check enforce.
+//
+// The optional two-stride variant consumes two bytes per dependent load
+// through the pair-class tables (fused_stride.go); a superstate entry is
+// the two state bytes the single-stride walk would have stored, so the
+// state buffer — and therefore pass 2 and every recovery scan — is
+// byte-identical between the variants.
 
 // laneCount is the interleave width. Four keeps every lane's hot state
 // in registers on amd64 while covering most of the L1 latency of the
 // dependent table loads.
 const laneCount = 4
 
-const (
-	laneWalking = iota // all lanes stepping; the unrolled loop runs
-	laneDrain          // a lane ran out of bundles; finish the rest one by one
-	laneFailed         // irregularity found; caller must fall back to scalar
-)
-
-// flane is one lane's parse state. The driver keeps the hot subset
-// (state, offset, bundle bounds, instruction start, valid-bit
-// accumulator) in named locals for register allocation and syncs them
-// here only around the rare method calls.
-type flane struct {
-	saved  int    // start of the instruction being walked
-	recFor int    // instruction start the ln/ld records belong to
-	bs, be int    // current bundle [bs, be)
-	ln, ld int    // earliest noCF/direct accept lengths recorded mid-walk
-	off    int    // walk offset (synced from the driver's local)
-	acc    uint64 // valid bits of the current bundle (bit j = bs+j)
-	st     uint16 // walk state (synced from the driver's local)
-	done   bool
-}
+// stbufPool recycles the pass-1 state buffers (one byte per shard byte).
+// They are pooled separately from scratch because stage-1 workers parse
+// shards of the same run concurrently and each in-flight shard needs its
+// own buffer; the pool holds the steady state at one buffer per worker.
+var stbufPool = sync.Pool{New: func() any {
+	b := make([]byte, ShardBytes)
+	return &b
+}}
 
 // laneCtx is the shared state of one lane parse, stack-allocated by the
-// driver and threaded through the event methods by pointer.
+// driver and threaded through the event method by pointer.
 type laneCtx struct {
-	code    []byte
-	tags    []uint8
-	wvalid  []uint64
-	res     *shardResult
-	sc      *scratch
-	size    int
-	next    int // next unclaimed bundle start
-	fullEnd int // end of the whole-bundle region
+	code []byte
+	buf  []byte // state byte per parsed byte; index = offset - base
+	tags []uint8
+	res  *shardResult
+	sc   *scratch
+	base int // region-range start (the shard start)
+	size int
+	// Class-1 band test on state bytes: b is class-1 iff b-qb < c1w
+	// (unsigned byte arithmetic).
+	qb, c1w uint8
 	fstart  uint16
-	status  uint8
-	lanes   [laneCount]flane
+	failed  bool
 }
 
-func laneFail(lc *laneCtx) (uint16, int) {
-	lc.status = laneFailed
-	return 0, 0
-}
-
-// laneClaim flushes lane i's bundle accumulator (bit 32, set by an
-// instruction ending exactly at the bundle end, belongs to the next
-// bundle and is dropped — its owner sets bit 0 on claim) and hands the
-// lane the next unclaimed bundle, or marks it done when the region is
-// exhausted.
-func (c *Checker) laneClaim(lc *laneCtx, i int) (uint16, int) {
-	l := &lc.lanes[i]
-	lc.wvalid[uint(l.bs)/64] |= uint64(uint32(l.acc)) << (uint(l.bs) % 64)
-	if lc.next >= lc.fullEnd {
-		l.done = true
-		if lc.status == laneWalking {
-			lc.status = laneDrain
+// laneEvent handles a walk entering an eventful state s (>= rec) with
+// the event byte at absolute offset o-1; rs is the lane's region start
+// and re its end. It returns the state and absolute offset to continue
+// from; on an irregularity it marks the parse failed and parks the lane
+// at its region end. The logic mirrors fusedDFA.scan's out-of-line tail
+// exactly, with the recorded accepts recovered from the state buffer:
+// the instruction start is the last class-1 byte before the event (the
+// region start if none), and the earliest noCF/direct accept positions
+// are read off the stored states' tags.
+func (c *Checker) laneEvent(lc *laneCtx, s uint16, o, rs, re int) (uint16, int) {
+	buf, base, tags := lc.buf, lc.base, lc.tags
+	saved := rs
+	for j := o - 2; j >= rs; j-- {
+		if buf[j-base]-lc.qb < lc.c1w {
+			saved = j + 1
+			break
 		}
-		return 0, 0
 	}
-	bs := lc.next
-	lc.next += BundleSize
-	l.bs, l.be = bs, bs+BundleSize
-	l.acc = 1
-	l.saved = bs
-	return lc.fstart, bs
-}
-
-// laneNext restarts the walk at pos, the start of the next instruction
-// (the caller has validated that the previous one ends at or before the
-// bundle end), completing the bundle when pos reaches its end. pos may
-// rewind below the walk offset — a resolution from recorded accepts
-// re-walks the tail bytes with a fresh state; the doomed segment it
-// replaces can never have recorded boundary bits (a class-1 state in it
-// would itself have resolved the instruction), so nothing stale is left
-// behind.
-func (c *Checker) laneNext(lc *laneCtx, i int, pos int) (uint16, int) {
-	l := &lc.lanes[i]
-	if pos == l.be {
-		return c.laneClaim(lc, i)
-	}
-	l.saved = pos
-	l.acc |= 1 << uint(pos-l.bs)
-	return lc.fstart, pos
-}
-
-// laneMasked ends lane i's walk on a masked-pair accept of length n —
-// the top-priority match, so it resolves the instruction outright.
-func (c *Checker) laneMasked(lc *laneCtx, i int, n int) (uint16, int) {
-	l := &lc.lanes[i]
-	saved := l.saved
-	pos := saved + n
-	if pos > l.be {
-		return laneFail(lc)
-	}
-	lc.sc.pairJmp.Set(saved + maskLen)
-	// The call form of the pair is FF /2 (0xD0|r in the modrm).
-	if c.AlignedCalls && lc.code[pos-1]>>3&7 == 2 && pos%BundleSize != 0 {
-		return laneFail(lc)
-	}
-	return c.laneNext(lc, i, pos)
-}
-
-// laneResolve ends lane i's walk from the recorded accept lengths (no
-// masked accept happened — that resolves immediately via laneMasked):
-// a recorded noCF accept wins, else a recorded direct one, else the
-// walk found nothing and the lane parse fails for the scalar fallback
-// to diagnose. The policy checks mirror the scalar path exactly.
-func (c *Checker) laneResolve(lc *laneCtx, i int) (uint16, int) {
-	l := &lc.lanes[i]
-	code := lc.code
-	saved := l.saved
-	var pos int
-	switch {
-	case l.ln != 0:
-		pos = saved + l.ln
-		if pos > l.be {
-			return laneFail(lc)
-		}
-	case l.ld != 0:
-		pos = saved + l.ld
-		if pos > l.be {
-			return laneFail(lc)
-		}
-		if c.AlignedCalls && code[saved] == 0xe8 && pos%BundleSize != 0 {
-			return laneFail(lc)
-		}
-		t, ok := jumpTarget(code, saved, pos)
-		if !ok {
-			return laneFail(lc)
-		}
-		if t >= 0 && t < int64(lc.size) {
-			lc.res.targets = append(lc.res.targets, int32(t))
-		} else if !c.Entries[uint32(t)] {
-			return laneFail(lc)
-		}
-	default:
-		return laneFail(lc)
-	}
-	return c.laneNext(lc, i, pos)
-}
-
-// laneTag handles lane i entering a class-2 state s (anything the
-// branchless inline cases do not cover) with the walk at off — the
-// out-of-line tail of the scalar loop's stop logic (see fusedDFA.scan
-// for the argument): record each component's earliest accept, resolve
-// as soon as the priority decision is determined. A walk still
-// undecided when it reaches the bundle end fails the lane parse: its
-// instruction either crosses the boundary (a violation the scalar
-// fallback will report) or resolves from a recorded accept that a
-// longer match might still outrank — the lane cannot decide without
-// walking out of its bundle, so it hands the shard back instead.
-func (c *Checker) laneTag(lc *laneCtx, i int, s uint16, off int) (uint16, int) {
-	l := &lc.lanes[i]
-	if l.recFor != l.saved {
-		l.recFor = l.saved
-		l.ln, l.ld = 0, 0
-	}
-	tag := lc.tags[s]
-	n := off - l.saved
+	tag := tags[s]
 	if tag&tagAccMasked != 0 {
-		return c.laneMasked(lc, i, n)
+		// Masked pair: top priority, resolves outright at o.
+		lc.sc.pairJmp.Set(saved + maskLen)
+		// The call form of the pair is FF /2 (0xD0|r in the modrm).
+		if c.AlignedCalls && lc.code[o-1]>>3&7 == 2 && o%BundleSize != 0 {
+			lc.failed = true
+			return lc.fstart, re
+		}
+		buf[o-1-base] = lc.qb
+		return lc.fstart, o
 	}
-	if tag&tagAccNoCF != 0 && l.ln == 0 {
-		l.ln = n
+	var ln, ld int
+	for j := saved; j < o-1; j++ {
+		g := tags[buf[j-base]]
+		if g&tagAccNoCF != 0 && ln == 0 {
+			ln = j + 1
+		}
+		if g&tagAccDirect != 0 && ld == 0 {
+			ld = j + 1
+		}
 	}
-	if tag&tagAccDirect != 0 && l.ld == 0 {
-		l.ld = n
+	if tag&tagAccNoCF != 0 && ln == 0 {
+		ln = o
+	}
+	if tag&tagAccDirect != 0 && ld == 0 {
+		ld = o
 	}
 	if tag&tagLiveMasked == 0 &&
-		(l.ln != 0 || tag&tagLiveNoCF == 0 && (l.ld != 0 || tag&tagLiveDirect == 0)) {
-		return c.laneResolve(lc, i)
+		(ln != 0 || tag&tagLiveNoCF == 0 && (ld != 0 || tag&tagLiveDirect == 0)) {
+		pos := ln
+		if pos == 0 {
+			pos = ld
+			if pos == 0 {
+				// Dead walk: nothing matched. The scalar fallback reports
+				// IllegalInstruction here.
+				lc.failed = true
+				return lc.fstart, re
+			}
+			if c.AlignedCalls && lc.code[saved] == 0xe8 && pos%BundleSize != 0 {
+				lc.failed = true
+				return lc.fstart, re
+			}
+			t, ok := jumpTarget(lc.code, saved, pos)
+			if !ok {
+				lc.failed = true
+				return lc.fstart, re
+			}
+			if t >= 0 && t < int64(lc.size) {
+				lc.res.targets = append(lc.res.targets, int32(t))
+			} else if !c.Entries[uint32(t)] {
+				lc.failed = true
+				return lc.fstart, re
+			}
+		}
+		// Resolution may rewind below o; the doomed bytes in [pos, o)
+		// contain no class-1 state and are overwritten by the re-walk.
+		buf[pos-1-base] = lc.qb
+		return lc.fstart, pos
 	}
-	if off >= l.be {
-		return laneFail(lc)
-	}
-	return s, off
+	// History-dependent continuation (e.g. a direct accept with noCF
+	// still live and nothing recorded): store the state itself so later
+	// recovery scans see its accept bits, and keep walking.
+	buf[o-1-base] = byte(s)
+	return s, o
 }
 
-// parseShardLanes runs the four-lane interleaved parse over the
+// parseShardLanes runs the interleaved two-pass parse over the
 // whole-bundle region [start, fullEnd). It reports whether the region
 // was fully regular; on false the caller must discard the shard's
-// bitmap/result writes and re-parse with the scalar loop.
-func (c *Checker) parseShardLanes(code []byte, start, fullEnd int, sc *scratch, res *shardResult) bool {
+// bitmap/result writes and re-parse with the scalar loop. With strided
+// set it consumes byte pairs through the two-stride tables (the caller
+// has run ensureStride); the stored states, and so the result, are
+// byte-identical to the single-stride walk.
+func (c *Checker) parseShardLanes(code []byte, start, fullEnd int, sc *scratch, res *shardResult, strided bool) bool {
 	f := c.fused
-	closed := f.closed
-	quiet := uint16(f.quiet)
-	nc := uint16(f.nc)
-	c1w := uint16(f.nc - f.quiet)
-
-	lc := laneCtx{
-		code:    code,
-		tags:    f.tags,
-		wvalid:  sc.valid.Words(),
-		res:     res,
-		sc:      sc,
-		size:    len(code),
-		next:    start,
-		fullEnd: fullEnd,
-		fstart:  uint16(f.start),
-	}
-	for i := range lc.lanes {
-		lc.lanes[i].bs = start // first laneClaim flushes an empty acc here
-	}
-	var s0, s1, s2, s3 uint16
-	var o0, o1, o2, o3 int
-	s0, o0 = c.laneClaim(&lc, 0)
-	s1, o1 = c.laneClaim(&lc, 1)
-	s2, o2 = c.laneClaim(&lc, 2)
-	s3, o3 = c.laneClaim(&lc, 3)
-	bs0, be0, sv0, a0 := lc.lanes[0].bs, lc.lanes[0].be, lc.lanes[0].saved, lc.lanes[0].acc
-	bs1, be1, sv1, a1 := lc.lanes[1].bs, lc.lanes[1].be, lc.lanes[1].saved, lc.lanes[1].acc
-	bs2, be2, sv2, a2 := lc.lanes[2].bs, lc.lanes[2].be, lc.lanes[2].saved, lc.lanes[2].acc
-	bs3, be3, sv3, a3 := lc.lanes[3].bs, lc.lanes[3].be, lc.lanes[3].saved, lc.lanes[3].acc
-
-	// The unrolled interleave: one closed-table step per lane per round.
-	// The quiet and class-1 cases are a single straight line — the
-	// instruction-boundary bit and the new instruction start are derived
-	// from `s` with conditional moves, no data-dependent branch — and a
-	// walk never reads past its bundle end: an undecided walk reaching it
-	// fails (m == 0 below) rather than crossing. Class-2 states and
-	// bundle completions sync the lane's registers to its flane, run the
-	// out-of-line methods, and reload (they may claim a new bundle or
-	// rewind the walk). When any lane retires or fails the round
-	// finishes and the loop exits; a just-retired or just-failed lane
-	// parks on (0, bs) and is not stepped again because the round check
-	// runs first.
-	for lc.status == laneWalking {
-		{
-			s := closed[s0][code[o0]]
-			if s < nc {
-				o0++
-				c1 := uint16(s-quiet) < c1w
-				var m uint64
-				if c1 {
-					m = 1
-					sv0 = o0
-				}
-				a0 |= m << (uint(o0) - uint(bs0))
-				s0 = s
-				if o0 == be0 {
-					if !c1 {
-						lc.status = laneFailed
-					} else {
-						lc.lanes[0].acc = a0
-						s0, o0 = c.laneClaim(&lc, 0)
-						bs0, be0, sv0, a0 = lc.lanes[0].bs, lc.lanes[0].be, lc.lanes[0].saved, lc.lanes[0].acc
-					}
-				}
-			} else {
-				l := &lc.lanes[0]
-				l.saved, l.acc = sv0, a0
-				s0, o0 = c.laneTag(&lc, 0, s, o0+1)
-				bs0, be0, sv0, a0 = l.bs, l.be, l.saved, l.acc
-			}
-		}
-		{
-			s := closed[s1][code[o1]]
-			if s < nc {
-				o1++
-				c1 := uint16(s-quiet) < c1w
-				var m uint64
-				if c1 {
-					m = 1
-					sv1 = o1
-				}
-				a1 |= m << (uint(o1) - uint(bs1))
-				s1 = s
-				if o1 == be1 {
-					if !c1 {
-						lc.status = laneFailed
-					} else {
-						lc.lanes[1].acc = a1
-						s1, o1 = c.laneClaim(&lc, 1)
-						bs1, be1, sv1, a1 = lc.lanes[1].bs, lc.lanes[1].be, lc.lanes[1].saved, lc.lanes[1].acc
-					}
-				}
-			} else {
-				l := &lc.lanes[1]
-				l.saved, l.acc = sv1, a1
-				s1, o1 = c.laneTag(&lc, 1, s, o1+1)
-				bs1, be1, sv1, a1 = l.bs, l.be, l.saved, l.acc
-			}
-		}
-		{
-			s := closed[s2][code[o2]]
-			if s < nc {
-				o2++
-				c1 := uint16(s-quiet) < c1w
-				var m uint64
-				if c1 {
-					m = 1
-					sv2 = o2
-				}
-				a2 |= m << (uint(o2) - uint(bs2))
-				s2 = s
-				if o2 == be2 {
-					if !c1 {
-						lc.status = laneFailed
-					} else {
-						lc.lanes[2].acc = a2
-						s2, o2 = c.laneClaim(&lc, 2)
-						bs2, be2, sv2, a2 = lc.lanes[2].bs, lc.lanes[2].be, lc.lanes[2].saved, lc.lanes[2].acc
-					}
-				}
-			} else {
-				l := &lc.lanes[2]
-				l.saved, l.acc = sv2, a2
-				s2, o2 = c.laneTag(&lc, 2, s, o2+1)
-				bs2, be2, sv2, a2 = l.bs, l.be, l.saved, l.acc
-			}
-		}
-		{
-			s := closed[s3][code[o3]]
-			if s < nc {
-				o3++
-				c1 := uint16(s-quiet) < c1w
-				var m uint64
-				if c1 {
-					m = 1
-					sv3 = o3
-				}
-				a3 |= m << (uint(o3) - uint(bs3))
-				s3 = s
-				if o3 == be3 {
-					if !c1 {
-						lc.status = laneFailed
-					} else {
-						lc.lanes[3].acc = a3
-						s3, o3 = c.laneClaim(&lc, 3)
-						bs3, be3, sv3, a3 = lc.lanes[3].bs, lc.lanes[3].be, lc.lanes[3].saved, lc.lanes[3].acc
-					}
-				}
-			} else {
-				l := &lc.lanes[3]
-				l.saved, l.acc = sv3, a3
-				s3, o3 = c.laneTag(&lc, 3, s, o3+1)
-				bs3, be3, sv3, a3 = l.bs, l.be, l.saved, l.acc
-			}
-		}
-	}
-	if lc.status == laneFailed {
+	if f.flat == nil || f.nc == f.quiet {
 		return false
 	}
+	flat := (*[flatStates * 256]uint16)(f.flat)
+	rec := uint16(f.rec)
+	L := fullEnd - start
+	bp := stbufPool.Get().(*[]byte)
+	defer stbufPool.Put(bp)
+	buf := (*bp)[:L]
 
-	// Drain: bundles are exhausted, so each remaining lane just finishes
-	// the one it holds, sequentially, with the same step logic.
-	lc.lanes[0].st, lc.lanes[0].off, lc.lanes[0].saved, lc.lanes[0].acc = s0, o0, sv0, a0
-	lc.lanes[1].st, lc.lanes[1].off, lc.lanes[1].saved, lc.lanes[1].acc = s1, o1, sv1, a1
-	lc.lanes[2].st, lc.lanes[2].off, lc.lanes[2].saved, lc.lanes[2].acc = s2, o2, sv2, a2
-	lc.lanes[3].st, lc.lanes[3].off, lc.lanes[3].saved, lc.lanes[3].acc = s3, o3, sv3, a3
-	for i := 0; i < laneCount; i++ {
-		l := &lc.lanes[i]
-		for !l.done {
-			if lc.status == laneFailed {
-				return false
-			}
-			s := closed[l.st][code[l.off]]
-			if s < nc {
-				o := l.off + 1
-				c1 := uint16(s-quiet) < c1w
-				if c1 {
-					l.saved = o
-					l.acc |= 1 << (uint(o) - uint(l.bs))
-				}
-				l.st, l.off = s, o
-				if o == l.be {
-					if !c1 {
-						return false
+	lc := laneCtx{
+		code:   code,
+		buf:    buf,
+		tags:   f.tags,
+		res:    res,
+		sc:     sc,
+		base:   start,
+		size:   len(code),
+		qb:     uint8(f.quiet),
+		c1w:    uint8(f.nc - f.quiet),
+		fstart: uint16(f.start),
+	}
+
+	// Contiguous bundle-aligned regions; the last lane takes the
+	// remainder. The caller guarantees at least laneCount bundles.
+	q := L / laneCount / BundleSize * BundleSize
+	st0, st1, st2, st3 := start, start+q, start+2*q, start+3*q
+	en0, en1, en2, en3 := st1, st2, st3, fullEnd
+	li0, li1, li2, li3 := code[st0:en0], code[st1:en1], code[st2:en2], code[st3:en3]
+	sb0 := buf[st0-start : en0-start]
+	sb1 := buf[st1-start : en1-start]
+	sb2 := buf[st2-start : en2-start]
+	sb3 := buf[st3-start : en3-start]
+	// Same-length reslices: the loop guard on sb then proves the li
+	// index in bounds too.
+	sb0, sb1, sb2, sb3 = sb0[:len(li0)], sb1[:len(li1)], sb2[:len(li2)], sb3[:len(li3)]
+	var i0, i1, i2, i3 int
+	s0, s1, s2, s3 := lc.fstart, lc.fstart, lc.fstart, lc.fstart
+
+	if strided {
+		sw := f.stride
+		pcls := (*[1 << 16]uint16)(sw.pcls)
+		walk := (*[flatStates << strideShift]uint16)(sw.walk)
+		for i0 < len(sb0) || i1 < len(sb1) || i2 < len(sb2) || i3 < len(sb3) {
+			if i0 < len(sb0) {
+				if i0+2 <= len(sb0) {
+					v := walk[int(s0&127)<<strideShift|int(pcls[binary.LittleEndian.Uint16(li0[i0:])])&(stridePairCap-1)]
+					if v < 0x8000 {
+						sb0[i0] = byte(v)
+						sb0[i0+1] = byte(v >> 8)
+						s0 = v >> 8
+						i0 += 2
+						goto lane1
 					}
-					l.st, l.off = c.laneClaim(&lc, i)
 				}
-			} else {
-				l.st, l.off = c.laneTag(&lc, i, s, l.off+1)
+				if s := flat[int(s0&127)<<8|int(li0[i0])]; s < rec {
+					sb0[i0] = byte(s)
+					s0 = s
+					i0++
+				} else {
+					var o int
+					s0, o = c.laneEvent(&lc, s, st0+i0+1, st0, en0)
+					i0 = o - st0
+				}
+			}
+		lane1:
+			if i1 < len(sb1) {
+				if i1+2 <= len(sb1) {
+					v := walk[int(s1&127)<<strideShift|int(pcls[binary.LittleEndian.Uint16(li1[i1:])])&(stridePairCap-1)]
+					if v < 0x8000 {
+						sb1[i1] = byte(v)
+						sb1[i1+1] = byte(v >> 8)
+						s1 = v >> 8
+						i1 += 2
+						goto lane2
+					}
+				}
+				if s := flat[int(s1&127)<<8|int(li1[i1])]; s < rec {
+					sb1[i1] = byte(s)
+					s1 = s
+					i1++
+				} else {
+					var o int
+					s1, o = c.laneEvent(&lc, s, st1+i1+1, st1, en1)
+					i1 = o - st1
+				}
+			}
+		lane2:
+			if i2 < len(sb2) {
+				if i2+2 <= len(sb2) {
+					v := walk[int(s2&127)<<strideShift|int(pcls[binary.LittleEndian.Uint16(li2[i2:])])&(stridePairCap-1)]
+					if v < 0x8000 {
+						sb2[i2] = byte(v)
+						sb2[i2+1] = byte(v >> 8)
+						s2 = v >> 8
+						i2 += 2
+						goto lane3
+					}
+				}
+				if s := flat[int(s2&127)<<8|int(li2[i2])]; s < rec {
+					sb2[i2] = byte(s)
+					s2 = s
+					i2++
+				} else {
+					var o int
+					s2, o = c.laneEvent(&lc, s, st2+i2+1, st2, en2)
+					i2 = o - st2
+				}
+			}
+		lane3:
+			if i3 < len(sb3) {
+				if i3+2 <= len(sb3) {
+					v := walk[int(s3&127)<<strideShift|int(pcls[binary.LittleEndian.Uint16(li3[i3:])])&(stridePairCap-1)]
+					if v < 0x8000 {
+						sb3[i3] = byte(v)
+						sb3[i3+1] = byte(v >> 8)
+						s3 = v >> 8
+						i3 += 2
+						continue
+					}
+				}
+				if s := flat[int(s3&127)<<8|int(li3[i3])]; s < rec {
+					sb3[i3] = byte(s)
+					s3 = s
+					i3++
+				} else {
+					var o int
+					s3, o = c.laneEvent(&lc, s, st3+i3+1, st3, en3)
+					i3 = o - st3
+				}
+			}
+		}
+	} else {
+		for i0 < len(sb0) || i1 < len(sb1) || i2 < len(sb2) || i3 < len(sb3) {
+			if i0 < len(sb0) {
+				if s := flat[int(s0&127)<<8|int(li0[i0])]; s < rec {
+					sb0[i0] = byte(s)
+					s0 = s
+					i0++
+				} else {
+					var o int
+					s0, o = c.laneEvent(&lc, s, st0+i0+1, st0, en0)
+					i0 = o - st0
+				}
+			}
+			if i1 < len(sb1) {
+				if s := flat[int(s1&127)<<8|int(li1[i1])]; s < rec {
+					sb1[i1] = byte(s)
+					s1 = s
+					i1++
+				} else {
+					var o int
+					s1, o = c.laneEvent(&lc, s, st1+i1+1, st1, en1)
+					i1 = o - st1
+				}
+			}
+			if i2 < len(sb2) {
+				if s := flat[int(s2&127)<<8|int(li2[i2])]; s < rec {
+					sb2[i2] = byte(s)
+					s2 = s
+					i2++
+				} else {
+					var o int
+					s2, o = c.laneEvent(&lc, s, st2+i2+1, st2, en2)
+					i2 = o - st2
+				}
+			}
+			if i3 < len(sb3) {
+				if s := flat[int(s3&127)<<8|int(li3[i3])]; s < rec {
+					sb3[i3] = byte(s)
+					s3 = s
+					i3++
+				} else {
+					var o int
+					s3, o = c.laneEvent(&lc, s, st3+i3+1, st3, en3)
+					i3 = o - st3
+				}
 			}
 		}
 	}
-	return lc.status != laneFailed
+	if lc.failed {
+		return false
+	}
+	return c.laneExtract(buf, sc, start, L)
+}
+
+// laneExtract is pass 2: SWAR-extract the boundary bits from the state
+// buffer into the shared valid bitmap and enforce that every 32-byte
+// bundle boundary in [start, start+L] is an instruction boundary. Bit
+// offset start+base+j+1 is set iff buf[base+j] is a class-1 state (the
+// instruction ended after that byte); bit `start` is set unconditionally
+// (the region start is an instruction start by construction). The bit
+// for offset start+L belongs to the following parse and is only checked
+// (the walk must have ended exactly at an instruction boundary), never
+// written.
+func (c *Checker) laneExtract(buf []byte, sc *scratch, start, L int) bool {
+	f := c.fused
+	// Range test x in [quiet, nc) per byte lane: state bytes are < 128,
+	// so x+128-quiet carries into the high bit iff x >= quiet and
+	// x+128-nc iff x >= nc; no carry crosses byte lanes.
+	const ones = 0x0101010101010101
+	A := ones * uint64(128-f.quiet)
+	B := ones * uint64(128-f.nc)
+	wvalid := sc.valid.Words()
+	w := start / 64 // shard starts are 64-aligned
+	carry := uint64(1)
+	ok := true
+	base := 0
+	for ; base+64 <= L; base += 64 {
+		var bits uint64
+		for k := 0; k < 64; k += 8 {
+			x := binary.LittleEndian.Uint64(buf[base+k:])
+			m := ((x + A) &^ (x + B)) & 0x8080808080808080
+			bits |= (m >> 7 * 0x0102040810204080 >> 56) << k
+		}
+		v := bits<<1 | carry
+		wvalid[w] |= v
+		carry = bits >> 63
+		if v&1 == 0 || v>>32&1 == 0 {
+			ok = false
+		}
+		w++
+	}
+	if base < L {
+		// Trailing 32-byte half word (the region length is a multiple of
+		// 32, not 64 — only the image's last shard can end like this).
+		// Bit 32 of the word is the offset start+L bit: checked via the
+		// final carry, not written.
+		var bits uint64
+		for k := 0; k < 32; k += 8 {
+			x := binary.LittleEndian.Uint64(buf[base+k:])
+			m := ((x + A) &^ (x + B)) & 0x8080808080808080
+			bits |= (m >> 7 * 0x0102040810204080 >> 56) << k
+		}
+		v := bits<<1 | carry
+		wvalid[w] |= v & (1<<32 - 1)
+		carry = bits >> 31 & 1
+		if v&1 == 0 {
+			ok = false
+		}
+	}
+	// The walk must have tiled the region exactly: the last byte's state
+	// is class-1, i.e. offset start+L is an instruction boundary.
+	return ok && carry == 1
 }

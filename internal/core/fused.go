@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"rocksalt/internal/grammar"
+	"rocksalt/internal/vcache"
 )
 
 // This file builds the fused policy automaton: the product of the three
@@ -49,14 +51,19 @@ const (
 // States are renumbered by class (see stateClass): quiet states occupy
 // [0, quiet), states whose tag is exactly tagAccNoCF — a complete noCF
 // instruction with every other component resolved, the overwhelmingly
-// common way an instruction ends — occupy [quiet, nc), and the rest
-// [nc, n). The hot loops then classify a state with integer compares on
-// the number itself, no tag load: `s < quiet` skips all stop logic, and
-// `s < nc` resolves the common instruction end inline.
+// common way an instruction ends — occupy [quiet, nc), recording states
+// (an accept happened but a masked pair is still live, so the walk just
+// remembers it and keeps going) occupy [nc, rec), and the rest [rec, n).
+// The hot loops then classify a state with integer compares on the
+// number itself, no tag load: `s < quiet` skips all stop logic, and
+// `s < rec` keeps the restart-closed walk inline — recording states need
+// no action at all during the walk, because the accept they would record
+// is recoverable later from the state the walk stored for that byte.
 type fusedDFA struct {
 	start int
 	quiet int
 	nc    int
+	rec   int
 	tags  []uint8
 	table [][256]uint16
 	// closed is the restart-closed transition table the lane engine
@@ -65,16 +72,48 @@ type fusedDFA struct {
 	// can match) transition as if from the start state. A walk over
 	// closed never stops at the common instruction end; it flows straight
 	// into the next instruction, and the engine recovers the boundary
-	// positions branchlessly from the state numbers it passes through.
-	// Derived on load, never serialized.
+	// positions from the state numbers it passes through. Derived on
+	// load, never serialized.
 	closed [][256]uint16
+	// flat is the restart-closed table flattened and padded to 128 state
+	// rows: flat[s<<8|b] == closed[s][b]. The pass-1 walk indexes it as
+	// flat[int(s&127)<<8|int(b)], which the compiler can prove in-bounds
+	// against the fixed 1<<15 length, so the hottest load carries no
+	// bounds check. Derived on load, never serialized.
+	flat []uint16
 	// nocf1[b] means byte b alone is a complete noCF instruction and no
 	// component can match anything else from the start state — the walk's
 	// outcome is fully determined by one byte. Derived from the table
 	// (never serialized), it lets the engine skip the walk for the
 	// single-byte instructions (NOPs above all) that dominate real images.
 	nocf1 [256]bool
+	// cls partitions the byte alphabet by column equality over closed
+	// (grammar.ByteClasses): cls[b1] == cls[b2] iff every state maps b1
+	// and b2 to the same successor. ncls is the class count. The
+	// compacted states×classes table this induces is what the two-stride
+	// construction works from; see fused_stride.go.
+	cls  [256]uint8
+	ncls int
+	// stride holds the optional two-stride tables (pair-class map +
+	// superstate transitions); nil when no bundle carried them and
+	// ensureStride has not built them. Guarded by strideOnce: the first
+	// strided run verifies (or builds) the tables and materializes the
+	// padded walk table; a sticky strideErr keeps later runs on the
+	// single-stride path. See fused_stride.go.
+	stride     *strideTables
+	strideOnce sync.Once
+	strideErr  error
+	// fp memoizes the content hash of (start, tags, table) — the
+	// automaton's identity in verdict-cache keys (see cache.go).
+	fpOnce sync.Once
+	fp     vcache.Key
 }
+
+// flatStates is the padded state capacity of the flat table. Automata
+// with more states (possible only through custom table bundles; the
+// shipped fused product has 66) get no flat table and are verified by
+// the scalar-fused path alone.
+const flatStates = 128
 
 // computeFast derives the never-serialized fast-path structures: the
 // single-byte noCF table (entering a state whose tag is exactly
@@ -94,6 +133,14 @@ func (f *fusedDFA) computeFast() {
 			f.closed[s] = f.table[s]
 		}
 	}
+	f.cls, f.ncls = grammar.ByteClasses(f.closed)
+	f.flat = nil
+	if len(f.table) <= flatStates {
+		f.flat = make([]uint16, flatStates*256)
+		for s := range f.closed {
+			copy(f.flat[s<<8:(s+1)<<8], f.closed[s][:])
+		}
+	}
 }
 
 // eventfulTag reports whether a walk must inspect the state's tag: a
@@ -104,16 +151,23 @@ func eventfulTag(g uint8) bool {
 }
 
 // stateClass orders the renumbering classes: 0 quiet, 1 "pure noCF
-// accept" (tag exactly tagAccNoCF), 2 everything else eventful.
+// accept" (tag exactly tagAccNoCF), 2 recording (an accept with no
+// masked accept and masked still live — the walk can never resolve
+// here, whatever was recorded earlier, so it only needs to remember
+// the state), 3 everything else eventful.
 func stateClass(g uint8) int {
 	switch {
 	case !eventfulTag(g):
 		return 0
 	case g == tagAccNoCF:
 		return 1
+	case g&tagAccMasked == 0 && g&tagLiveMasked != 0:
+		return 2
 	}
-	return 2
+	return 3
 }
+
+const numStateClasses = 4
 
 // Normalized component states for the product construction: non-negative
 // values are live states of the component DFA (never accepting or
@@ -215,11 +269,14 @@ func fuseDFAs(set *DFASet) (*fusedDFA, error) {
 func reorderByClass(start int, tags []uint8, table [][256]uint16) *fusedDFA {
 	n := len(tags)
 	perm := make([]int, n)
-	var count [3]int
+	var count [numStateClasses]int
 	for _, g := range tags {
 		count[stateClass(g)]++
 	}
-	next := [3]int{0, count[0], count[0] + count[1]}
+	var next [numStateClasses]int
+	for cl := 1; cl < numStateClasses; cl++ {
+		next[cl] = next[cl-1] + count[cl-1]
+	}
 	for i, g := range tags {
 		cl := stateClass(g)
 		perm[i] = next[cl]
@@ -229,6 +286,7 @@ func reorderByClass(start int, tags []uint8, table [][256]uint16) *fusedDFA {
 		start: perm[start],
 		quiet: count[0],
 		nc:    count[0] + count[1],
+		rec:   count[0] + count[1] + count[2],
 		tags:  make([]uint8, n),
 		table: make([][256]uint16, n),
 	}
@@ -310,7 +368,7 @@ func (f *fusedDFA) validate() error {
 	// never be seen; an out-of-place eventful state would resolve as a
 	// plain noCF instruction).
 	prev := 0
-	q, nc := n, n
+	q, nc, rec := n, n, n
 	for i, g := range f.tags {
 		cl := stateClass(g)
 		if cl < prev {
@@ -319,12 +377,15 @@ func (f *fusedDFA) validate() error {
 		if cl >= 1 && q == n {
 			q = i
 		}
-		if cl == 2 && nc == n {
+		if cl >= 2 && nc == n {
 			nc = i
+		}
+		if cl == 3 && rec == n {
+			rec = i
 		}
 		prev = cl
 	}
-	f.quiet, f.nc = q, nc
+	f.quiet, f.nc, f.rec = q, nc, rec
 	for s := range f.table {
 		for b := 0; b < 256; b++ {
 			if int(f.table[s][b]) >= n {

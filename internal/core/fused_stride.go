@@ -1,0 +1,213 @@
+package core
+
+import "fmt"
+
+// This file builds the optional two-stride (byte-pair) tables for the
+// lane engine — the second classic regex-engine acceleration after byte
+// classes. Two byte pairs are equivalent iff from every state the
+// restart-closed two-step walk stores the same two states (or is
+// eventful either step); the pair-class map pcls collapses the 2^16
+// pair space onto those classes, and the strided table gives, per
+// (state, pair class), the two state bytes the single-stride walk would
+// have stored — packed little-endian so one uint16 entry is exactly the
+// two-byte store into the state buffer. An entry is the sentinel
+// strideEventful when either step leaves the inline bands [0, rec); the
+// walk then falls back to two single-byte steps, which re-discover the
+// event at the right byte. Because entries are *defined* as the
+// single-stride stores, the state buffer — and everything derived from
+// it — is byte-identical between the variants.
+//
+// The tables are big (pcls is 128 KiB; the dense strided table is
+// states×pairClasses×2 bytes, ~520 KiB for the shipped 66-state
+// automaton), so EngineFused only auto-selects them under a size budget
+// (strideAuto) — on typical hosts they fall out of L2 and lose to the
+// single-stride walk, so the default budget rejects them and the engine
+// falls back to single-stride automatically. EngineStrided forces them.
+// RSLT3 bundles carry the tables precomputed; they are fully
+// semantically verified against the in-process closed table before
+// first use (ensureStride), so a corrupt or stale bundle can disable
+// striding but never change a verdict.
+
+const (
+	// strideShift is the pair-class capacity exponent: the padded walk
+	// table is flatStates << strideShift entries, so (state&127)<<shift
+	// | (class & (cap-1)) is provably in bounds. Automata whose pair
+	// partition exceeds the capacity get no stride tables (the size
+	// budget would reject them anyway).
+	strideShift   = 12
+	stridePairCap = 1 << strideShift
+	// strideEventful marks a pair transition that leaves the inline
+	// bands; valid entries pack two states < 128, so the high bit
+	// distinguishes.
+	strideEventful = 0xFFFF
+)
+
+// defaultStrideBudgetBytes is the auto-selection ceiling on the hot
+// stride-table footprint (pcls + dense rows). Past ~256 KiB the tables
+// contend with the code bytes for L2 and the two-stride walk measures
+// slower than single-stride on commodity cores, so the default keeps
+// striding off unless the automaton is small enough to stay cache
+// resident; VerifyOptions.StrideBudgetBytes overrides.
+const defaultStrideBudgetBytes = 256 << 10
+
+// strideTables holds the pair-class machinery. pcls and dense are the
+// serialized form (RSLT3); walk is the padded runtime table built by
+// ensureStride.
+type strideTables struct {
+	npcls int
+	pcls  []uint16 // 1<<16: byte pair (little-endian uint16) -> class
+	dense []uint16 // n*npcls: packed two-state entries, row-major by state
+	walk  []uint16 // flatStates<<strideShift, sentinel-padded
+}
+
+// encStride is the defining map: the packed entry for state s consuming
+// bytes b1 then b2 through the restart-closed table.
+func (f *fusedDFA) encStride(s uint16, b1, b2 byte) uint16 {
+	s1 := f.closed[s][b1]
+	if int(s1) >= f.rec {
+		return strideEventful
+	}
+	s2 := f.closed[s1][b2]
+	if int(s2) >= f.rec {
+		return strideEventful
+	}
+	return s1 | s2<<8
+}
+
+// buildStride constructs the pair-class map and dense strided table
+// from the closed table, deterministically (classes numbered by first
+// occurrence in ascending pair order). Fails if the automaton is too
+// large for the packed encoding or the pair partition exceeds the
+// capacity.
+func (f *fusedDFA) buildStride() (*strideTables, error) {
+	n := len(f.table)
+	if n > flatStates {
+		return nil, fmt.Errorf("core: %d states exceed the %d the strided walk supports", n, flatStates)
+	}
+	sig := make([]byte, 2*n)
+	seen := make(map[string]uint16, stridePairCap)
+	pcls := make([]uint16, 1<<16)
+	var cols [][]uint16
+	colbuf := make([]uint16, n)
+	for p := 0; p < 1<<16; p++ {
+		b1, b2 := byte(p), byte(p>>8) // pair index is the LE uint16 of [b1 b2]
+		for s := 0; s < n; s++ {
+			v := f.encStride(uint16(s), b1, b2)
+			colbuf[s] = v
+			sig[2*s] = byte(v)
+			sig[2*s+1] = byte(v >> 8)
+		}
+		id, ok := seen[string(sig)]
+		if !ok {
+			if len(seen) >= stridePairCap {
+				return nil, fmt.Errorf("core: pair-class count exceeds %d", stridePairCap)
+			}
+			id = uint16(len(seen))
+			seen[string(sig)] = id
+			cols = append(cols, append([]uint16(nil), colbuf...))
+		}
+		pcls[p] = id
+	}
+	npcls := len(seen)
+	dense := make([]uint16, n*npcls)
+	for s := 0; s < n; s++ {
+		for p := 0; p < npcls; p++ {
+			dense[s*npcls+p] = cols[p][s]
+		}
+	}
+	return &strideTables{npcls: npcls, pcls: pcls, dense: dense}, nil
+}
+
+// verifyStride checks a deserialized stride section exhaustively
+// against the in-process closed table: every pair's class entry must
+// reproduce encStride for every state. A bundle whose stride tables
+// passed the CRC but disagree semantically (a stale or hand-edited
+// bundle) is rejected here, before the strided walk ever consumes them.
+func (f *fusedDFA) verifyStride(st *strideTables) error {
+	n := len(f.table)
+	if n > flatStates {
+		return fmt.Errorf("core: %d states exceed the %d the strided walk supports", n, flatStates)
+	}
+	if st.npcls < 1 || st.npcls > stridePairCap {
+		return fmt.Errorf("core: implausible pair-class count %d", st.npcls)
+	}
+	if len(st.pcls) != 1<<16 || len(st.dense) != n*st.npcls {
+		return fmt.Errorf("core: stride table sizes do not match the automaton")
+	}
+	for p := 0; p < 1<<16; p++ {
+		id := int(st.pcls[p])
+		if id >= st.npcls {
+			return fmt.Errorf("core: pair class out of range")
+		}
+		b1, b2 := byte(p), byte(p>>8)
+		for s := 0; s < n; s++ {
+			if st.dense[s*st.npcls+id] != f.encStride(uint16(s), b1, b2) {
+				return fmt.Errorf("core: strided table disagrees with the closed walk at state %d pair %#04x", s, p)
+			}
+		}
+	}
+	return nil
+}
+
+// ensureStride makes f's stride tables ready for the walk, once:
+// bundle-shipped tables are semantically verified, otherwise they are
+// built from the closed table, and either way the padded walk table is
+// materialized. Runs once per automaton (tens of milliseconds); the
+// error is sticky, and a failure leaves the engine on the single-stride
+// path.
+func (f *fusedDFA) ensureStride() error {
+	f.strideOnce.Do(func() {
+		st := f.stride
+		if st != nil {
+			if err := f.verifyStride(st); err != nil {
+				f.stride = nil
+				f.strideErr = err
+				return
+			}
+		} else {
+			built, err := f.buildStride()
+			if err != nil {
+				f.strideErr = err
+				return
+			}
+			st = built
+			f.stride = st
+		}
+		walk := make([]uint16, flatStates<<strideShift)
+		for i := range walk {
+			walk[i] = strideEventful
+		}
+		n := len(f.table)
+		for s := 0; s < n; s++ {
+			copy(walk[s<<strideShift:s<<strideShift+st.npcls], st.dense[s*st.npcls:(s+1)*st.npcls])
+		}
+		st.walk = walk
+	})
+	return f.strideErr
+}
+
+// strideReady reports whether the walk tables are materialized and
+// verified (ensureStride succeeded).
+func (f *fusedDFA) strideReady() bool {
+	return f.stride != nil && f.stride.walk != nil
+}
+
+// strideAuto decides whether EngineFused should use the two-stride walk:
+// only when tables were shipped in the bundle (building them ad hoc
+// would dwarf any win) and their hot footprint — the pair-class map
+// plus the dense rows actually touched — fits the budget. budget 0
+// means defaultStrideBudgetBytes; negative disables striding outright.
+func (f *fusedDFA) strideAuto(budget int) bool {
+	if budget < 0 {
+		return false
+	}
+	if budget == 0 {
+		budget = defaultStrideBudgetBytes
+	}
+	st := f.stride
+	if st == nil {
+		return false
+	}
+	hot := 2*(1<<16) + 2*len(f.table)*st.npcls
+	return hot <= budget
+}

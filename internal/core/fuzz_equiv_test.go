@@ -113,3 +113,72 @@ func FuzzFusedEquiv(f *testing.F) {
 		}
 	})
 }
+
+// FuzzByteClassEquiv holds the byte-class compacted scalar walk and the
+// two-stride superstate engine to the reference three-DFA engine (and,
+// transitively, to the default fused lane engine) on arbitrary byte
+// strings: same verdict, byte-identical violation lists, same uncapped
+// total, same engine-invariant Stats, with and without AlignedCalls.
+// This is the executable statement that the compaction and the stride
+// composition are pure performance transformations. Run longer with
+//
+//	go test -fuzz FuzzByteClassEquiv ./internal/core
+func FuzzByteClassEquiv(f *testing.F) {
+	gen := nacl.NewGenerator(53)
+	for _, n := range []int{5, 60, 6000} {
+		img, err := gen.Random(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img)
+	}
+	for _, img := range nacl.UnsafeCorpus() {
+		f.Add(img)
+	}
+	f.Add([]byte{0x83, 0xe0, 0xe0, 0xff, 0xe0}) // masked pair, short bundle
+	f.Add([]byte{0xeb, 0x03, 0xb8, 0, 0, 0, 0}) // jump into an instruction
+	f.Add([]byte{0xe8, 0, 0, 0, 0})             // call (AlignedCalls-sensitive)
+	f.Add([]byte{0x90})                         // odd length: stride tail byte
+
+	plain, err := core.NewChecker()
+	if err != nil {
+		f.Fatal(err)
+	}
+	aligned, err := core.NewChecker()
+	if err != nil {
+		f.Fatal(err)
+	}
+	aligned.AlignedCalls = true
+
+	engines := []struct {
+		name string
+		e    core.EngineKind
+	}{
+		{"fused", core.EngineFused},
+		{"fused-scalar", core.EngineFusedScalar},
+		{"strided", core.EngineStrided},
+	}
+	f.Fuzz(func(t *testing.T, img []byte) {
+		if len(img) > 1<<20 {
+			t.Skip()
+		}
+		for _, c := range []*core.Checker{plain, aligned} {
+			ref := c.VerifyWith(img, core.VerifyOptions{Workers: 1, Engine: core.EngineReference})
+			for _, eng := range engines {
+				got := c.VerifyWith(img, core.VerifyOptions{Workers: 1, Engine: eng.e})
+				if got.Safe != ref.Safe {
+					t.Fatalf("alignedCalls=%v %s: verdict %v, reference %v on % x",
+						c.AlignedCalls, eng.name, got.Safe, ref.Safe, img)
+				}
+				if !reflect.DeepEqual(got.Violations, ref.Violations) || got.Total != ref.Total {
+					t.Fatalf("alignedCalls=%v %s: reports diverged on % x\nref: %+v\ngot: %+v",
+						c.AlignedCalls, eng.name, img, ref.Violations, got.Violations)
+				}
+				if gs, rs := got.Stats.EngineInvariant(), ref.Stats.EngineInvariant(); gs != rs {
+					t.Fatalf("alignedCalls=%v %s: stats diverged on % x\nref: %+v\ngot: %+v",
+						c.AlignedCalls, eng.name, img, rs, gs)
+				}
+			}
+		}
+	})
+}

@@ -152,6 +152,11 @@ type Report struct {
 	// For an interrupted run Stats is partial: the stage-1 facts are
 	// present, reconciliation-derived counts are zero.
 	Stats Stats
+	// CacheKey is the whole-image content key of a cached run (hex), or
+	// "" when the run had no cache attached. Passing it back as
+	// VerifyOptions.CacheKey for the same checker and bytes turns the
+	// next verification into a single lookup with no hashing pass.
+	CacheKey string
 	// ctxErr is the context error that interrupted the run (nil for a
 	// completed run); surfaced through Err.
 	ctxErr error

@@ -59,6 +59,20 @@ type Stats struct {
 	// ContainedPanics counts stage-1 shard panics converted to
 	// InternalFault violations (always 0 unless something is wrong).
 	ContainedPanics int64 `json:"contained_panics"`
+	// CacheWholeHits is 1 when the run was answered entirely from the
+	// verdict cache (no byte was scanned), else 0. Cache fields are
+	// populated only when VerifyOptions.Cache is set; they describe
+	// cache state, not the image, so they sit outside the
+	// engine-invariance contract (they are zero in uncached runs, which
+	// is what the equivalence tests compare).
+	CacheWholeHits int64 `json:"cache_whole_hits"`
+	// CacheChunkHits / CacheChunkMisses count the cacheable 64KiB
+	// chunks restored from, respectively missing from, the chunk cache.
+	CacheChunkHits   int64 `json:"cache_chunk_hits"`
+	CacheChunkMisses int64 `json:"cache_chunk_misses"`
+	// CacheBytesSaved is how many image bytes stage 1 did not have to
+	// parse thanks to cache hits (the whole image on a whole-image hit).
+	CacheBytesSaved int64 `json:"cache_bytes_saved"`
 	// ViolationsByKind is the uncapped per-kind violation census —
 	// unlike Report.Violations it is not truncated at
 	// MaxReportViolations, so its sum equals Report.Total.
@@ -97,6 +111,10 @@ func (s Stats) String() string {
 		s.BytesScanned, s.Bundles, s.Instructions, s.Shards)
 	fmt.Fprintf(&b, "lane batches %d, scalar fallbacks %d, restarts %d, contained panics %d\n",
 		s.LaneBatches, s.ScalarFallbacks, s.Restarts, s.ContainedPanics)
+	if s.CacheWholeHits != 0 || s.CacheChunkHits != 0 || s.CacheChunkMisses != 0 {
+		fmt.Fprintf(&b, "cache: whole hits %d, chunk hits %d, chunk misses %d, bytes saved %d\n",
+			s.CacheWholeHits, s.CacheChunkHits, s.CacheChunkMisses, s.CacheBytesSaved)
+	}
 	total := int64(0)
 	for k, n := range s.ViolationsByKind {
 		if n > 0 {
@@ -133,6 +151,10 @@ var coreMetrics struct {
 	scalarFallbacks *telemetry.Counter
 	restarts        *telemetry.Counter
 	containedPanics *telemetry.Counter
+	cacheWholeHits  *telemetry.Counter
+	cacheChunkHits  *telemetry.Counter
+	cacheChunkMiss  *telemetry.Counter
+	cacheBytesSaved *telemetry.Counter
 	byKind          [NumViolationKinds]*telemetry.Counter
 	runNanos        *telemetry.Histogram
 }
@@ -150,6 +172,10 @@ func init() {
 	coreMetrics.scalarFallbacks = r.NewCounter("rocksalt_verify_scalar_fallbacks_total", "shards parsed scalar without a lane attempt")
 	coreMetrics.restarts = r.NewCounter("rocksalt_verify_restarts_total", "lane parses erased and re-parsed scalar")
 	coreMetrics.containedPanics = r.NewCounter("rocksalt_verify_contained_panics_total", "stage-1 shard panics contained as InternalFault")
+	coreMetrics.cacheWholeHits = r.NewCounter("rocksalt_cache_whole_hits_total", "runs answered entirely from the verdict cache")
+	coreMetrics.cacheChunkHits = r.NewCounter("rocksalt_cache_chunk_hits_total", "64KiB chunks restored from the verdict cache")
+	coreMetrics.cacheChunkMiss = r.NewCounter("rocksalt_cache_chunk_misses_total", "cacheable chunks not found in the verdict cache")
+	coreMetrics.cacheBytesSaved = r.NewCounter("rocksalt_cache_bytes_saved_total", "image bytes not re-parsed thanks to cache hits")
 	for k := range coreMetrics.byKind {
 		coreMetrics.byKind[k] = r.NewLabeledCounter("rocksalt_verify_violations_total",
 			"policy violations found, by kind", "kind", kindSlugs[k])
@@ -186,4 +212,27 @@ func publishStats(st *Stats, interrupted, rejected bool) {
 		}
 	}
 	m.runNanos.Observe(int64(st.Wall))
+}
+
+// publishCacheStats folds a cached run's cache effectiveness into the
+// process-wide metrics. Separate from publishStats because the
+// whole-image hit path never reaches run()/reconcile — it publishes
+// here and nowhere else.
+func publishCacheStats(st *Stats) {
+	if !telemetry.Enabled() {
+		return
+	}
+	m := &coreMetrics
+	if st.CacheWholeHits > 0 {
+		m.cacheWholeHits.Add(st.CacheWholeHits)
+	}
+	if st.CacheChunkHits > 0 {
+		m.cacheChunkHits.Add(st.CacheChunkHits)
+	}
+	if st.CacheChunkMisses > 0 {
+		m.cacheChunkMiss.Add(st.CacheChunkMisses)
+	}
+	if st.CacheBytesSaved > 0 {
+		m.cacheBytesSaved.Add(st.CacheBytesSaved)
+	}
 }

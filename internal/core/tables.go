@@ -17,23 +17,34 @@ import (
 // computing base is then exactly: this loader, verifier.go, engine.go,
 // and the bytes of the tables.
 //
-// Two bundle versions exist:
+// Three bundle versions exist:
 //
 //	RSLT1: the three policy DFAs, CRC-checked (the seed format).
 //	RSLT2: the fused product automaton (states, start, tag bytes,
 //	       transition table, CRC) followed by the complete v1-layout
 //	       component DFAs, so one bundle carries both the fast path
 //	       and the reference engine.
+//	RSLT3: RSLT2 plus a stride section between the fused automaton and
+//	       the component DFAs: the byte-class map and compacted
+//	       states×classes table, and (optionally) the two-stride pair
+//	       tables, under their own CRC. The stride section is pure
+//	       acceleration data — the loader cross-checks the class map
+//	       against its own recomputation and ensureStride semantically
+//	       verifies the pair tables before first use, so a corrupt or
+//	       stale section can cost speed but never change a verdict.
 //
 // Loading a v1 bundle reconstructs the fused automaton from the
-// component tables; loading a v2 bundle is pure deserialization, which
-// is what makes NewChecker on the embedded bundle a sub-millisecond
-// operation.
+// component tables; loading a v2/v3 bundle is pure deserialization,
+// which is what makes NewChecker on the embedded bundle a
+// sub-millisecond operation. Fused sections from any version are
+// renumbered into the current class-band state order on load
+// (reorderByClass), so bundles written by older builds keep loading.
 
-// tableMagicV1 and tableMagicV2 identify serialized DFA bundles.
+// tableMagicV1..V3 identify serialized DFA bundles.
 const (
 	tableMagicV1 = "RSLT1\x00"
 	tableMagicV2 = "RSLT2\x00"
+	tableMagicV3 = "RSLT3\x00"
 	magicLen     = len(tableMagicV1)
 )
 
@@ -70,6 +81,31 @@ func (s *DFASet) WriteTablesV2(w io.Writer) error {
 	return s.writeBody(w)
 }
 
+// WriteTablesV3 serializes the v3 bundle: the fused automaton, the
+// byte-class/two-stride acceleration section, and the component DFAs.
+// The stride pair tables are built here (offline, where the cost
+// belongs); an automaton whose pair partition overflows the packed
+// encoding simply gets none and loaders fall back to single-stride.
+func (s *DFASet) WriteTablesV3(w io.Writer) error {
+	fused, err := fuseDFAs(s)
+	if err != nil {
+		return err
+	}
+	if st, err := fused.buildStride(); err == nil {
+		fused.stride = st
+	}
+	if _, err := io.WriteString(w, tableMagicV3); err != nil {
+		return err
+	}
+	if err := writeFused(w, fused); err != nil {
+		return err
+	}
+	if err := writeStride(w, fused); err != nil {
+		return err
+	}
+	return s.writeBody(w)
+}
+
 // sniffVersion consumes the magic and returns the bundle version, or an
 // error naming the unknown version so CLI users know a re-generation
 // (or a different tool) is needed.
@@ -83,22 +119,30 @@ func sniffVersion(r io.Reader) (int, error) {
 		return 1, nil
 	case tableMagicV2:
 		return 2, nil
+	case tableMagicV3:
+		return 3, nil
 	}
-	return 0, fmt.Errorf("core: unknown table bundle version %q (want %q or %q)",
-		string(magic), tableMagicV1, tableMagicV2)
+	return 0, fmt.Errorf("core: unknown table bundle version %q (want %q, %q or %q)",
+		string(magic), tableMagicV1, tableMagicV2, tableMagicV3)
 }
 
-// ReadTables deserializes the component DFA set from a bundle of either
-// version (for v2 the fused section is read and discarded; use
-// NewCheckerFromTables to keep it).
+// ReadTables deserializes the component DFA set from a bundle of any
+// version (for v2/v3 the fused and stride sections are read and
+// discarded; use NewCheckerFromTables to keep them).
 func ReadTables(r io.Reader) (*DFASet, error) {
 	version, err := sniffVersion(r)
 	if err != nil {
 		return nil, err
 	}
-	if version == 2 {
-		if _, err := readFused(r); err != nil {
+	if version >= 2 {
+		f, err := readFused(r)
+		if err != nil {
 			return nil, err
+		}
+		if version >= 3 {
+			if err := readStride(r, f); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return readSet(r)
@@ -137,6 +181,11 @@ func NewCheckerFromTables(r io.Reader) (*Checker, error) {
 	fused, err := readFused(r)
 	if err != nil {
 		return nil, err
+	}
+	if version >= 3 {
+		if err := readStride(r, fused); err != nil {
+			return nil, err
+		}
 	}
 	set, err := readSet(r)
 	if err != nil {
@@ -218,10 +267,149 @@ func readFused(r io.Reader) (*fusedDFA, error) {
 	if sum != crc.Sum32() {
 		return nil, fmt.Errorf("core: fused table checksum mismatch")
 	}
+	// Bounds pre-check, then renumber into the current class-band state
+	// order. Freshly written bundles are already in it (the permutation
+	// is the identity); bundles from builds with an older band layout are
+	// permuted into place, so they keep loading. validate then recomputes
+	// the band boundaries and derives the fast-path structures.
+	if int(start) >= int(n) {
+		return nil, fmt.Errorf("core: fused start state out of range")
+	}
+	for s := range f.table {
+		for b := 0; b < 256; b++ {
+			if uint32(f.table[s][b]) >= n {
+				return nil, fmt.Errorf("core: fused transition out of range")
+			}
+		}
+	}
+	for i, g := range f.tags {
+		if g&^uint8(tagMask) != 0 {
+			return nil, fmt.Errorf("core: fused state %d has undefined tag bits %#x", i, g)
+		}
+	}
+	f = reorderByClass(f.start, f.tags, f.table)
 	if err := f.validate(); err != nil {
 		return nil, err
 	}
 	return f, nil
+}
+
+// writeStride serializes the v3 acceleration section: the byte-class
+// map and compacted table, the optional two-stride pair tables, and a
+// CRC over all of it. The byte classes are recomputed from the fused
+// automaton's restart-closed table (computeFast has run by
+// construction), so the section is always consistent with the fused
+// section it follows.
+func writeStride(w io.Writer, f *fusedDFA) error {
+	var buf []byte
+	le16 := func(v uint16) { buf = append(buf, byte(v), byte(v>>8)) }
+	le16(uint16(f.ncls))
+	buf = append(buf, f.cls[:]...)
+	for _, v := range grammar.CompactTable(f.closed, f.cls, f.ncls) {
+		le16(v)
+	}
+	if st := f.stride; st != nil {
+		le16(uint16(st.npcls))
+		for _, v := range st.pcls {
+			le16(v)
+		}
+		for _, v := range st.dense {
+			le16(v)
+		}
+	} else {
+		le16(0)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(buf))
+}
+
+// readStride deserializes and cross-checks a v3 acceleration section
+// against the already-loaded (and renumbered) fused automaton f. The
+// class map must equal the loader's own recomputation and the compacted
+// table must verify against the closed table (grammar.VerifyByteClasses);
+// pair tables get structural checks here and full semantic verification
+// in ensureStride before the strided walk ever consumes them. Any
+// mismatch rejects the bundle: acceleration data that disagrees with
+// the automaton it ships with means the bundle is corrupt or
+// mis-generated, and refusing it loudly beats silently dropping to a
+// slower path.
+func readStride(r io.Reader, f *fusedDFA) error {
+	n := len(f.table)
+	crc := crc32.NewIEEE()
+	var ncls uint16
+	head := make([]byte, 2+256)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return fmt.Errorf("core: reading stride section: %w", err)
+	}
+	crc.Write(head)
+	ncls = binary.LittleEndian.Uint16(head)
+	if ncls < 1 || ncls > 256 {
+		return fmt.Errorf("core: implausible byte-class count %d", ncls)
+	}
+	var cls [256]uint8
+	copy(cls[:], head[2:])
+	readU16s := func(count int) ([]uint16, error) {
+		b := make([]byte, 2*count)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("core: reading stride section: %w", err)
+		}
+		crc.Write(b)
+		out := make([]uint16, count)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint16(b[2*i:])
+		}
+		return out, nil
+	}
+	compact, err := readU16s(n * int(ncls))
+	if err != nil {
+		return err
+	}
+	np, err := readU16s(1)
+	if err != nil {
+		return err
+	}
+	npcls := int(np[0])
+	var pcls, dense []uint16
+	if npcls > 0 {
+		if npcls > stridePairCap {
+			return fmt.Errorf("core: implausible pair-class count %d", npcls)
+		}
+		if pcls, err = readU16s(1 << 16); err != nil {
+			return err
+		}
+		if dense, err = readU16s(n * npcls); err != nil {
+			return err
+		}
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return err
+	}
+	if sum != crc.Sum32() {
+		return fmt.Errorf("core: stride section checksum mismatch")
+	}
+	if cls != f.cls || int(ncls) != f.ncls {
+		return fmt.Errorf("core: bundled byte-class map disagrees with the fused automaton")
+	}
+	if !grammar.VerifyByteClasses(f.closed, cls, int(ncls), compact) {
+		return fmt.Errorf("core: bundled byte-class tables fail verification")
+	}
+	if npcls > 0 {
+		for _, v := range pcls {
+			if int(v) >= npcls {
+				return fmt.Errorf("core: pair class out of range")
+			}
+		}
+		for _, v := range dense {
+			if v != strideEventful && (v&0xFF >= uint16(n) || v>>8 >= uint16(n)) {
+				return fmt.Errorf("core: strided transition out of range")
+			}
+		}
+		f.stride = &strideTables{npcls: npcls, pcls: pcls, dense: dense}
+	}
+	return nil
 }
 
 func writeDFA(w io.Writer, d *grammar.DFA) error {

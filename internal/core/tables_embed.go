@@ -6,19 +6,19 @@ import (
 	"sync"
 )
 
-// The pregenerated v2 table bundle, regenerated with
+// The pregenerated v3 table bundle, regenerated with
 //
-//	go run ./cmd/dfagen -o internal/core/rocksalt_tables_v2.bin
+//	go run ./cmd/dfagen -o internal/core/rocksalt_tables_v3.bin
 //
 // whenever the policy grammars change. CI's regeneration guard (and
 // TestEmbeddedBundleFresh) byte-compare a fresh generation against this
 // file, so a stale bundle fails loudly instead of silently diverging
 // from the grammars.
 //
-//go:embed rocksalt_tables_v2.bin
+//go:embed rocksalt_tables_v3.bin
 var embeddedTables []byte
 
-// EmbeddedTableBytes returns (a copy of) the embedded v2 bundle — the
+// EmbeddedTableBytes returns (a copy of) the embedded v3 bundle — the
 // regeneration guard and the benchmark suite read it to measure and
 // cross-check the table-load path.
 func EmbeddedTableBytes() []byte {

@@ -64,8 +64,19 @@ func TestTableRoundTrip(t *testing.T) {
 	}
 	agreeOnCorpus(t, loaded2, fresh, "v2 table-loaded")
 
-	// ReadTables must recover the component set from either version.
-	for _, buf := range [][]byte{v1.Bytes(), v2.Bytes()} {
+	var v3 bytes.Buffer
+	if err := set.WriteTablesV3(&v3); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serialized v3 tables: %d bytes", v3.Len())
+	loaded3, err := core.NewCheckerFromTables(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeOnCorpus(t, loaded3, fresh, "v3 table-loaded")
+
+	// ReadTables must recover the component set from every version.
+	for _, buf := range [][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()} {
 		got, err := core.ReadTables(bytes.NewReader(buf))
 		if err != nil {
 			t.Fatal(err)
@@ -84,19 +95,19 @@ func TestTableRoundTrip(t *testing.T) {
 // grammar-compiled one. A failure means someone changed the grammars
 // (or the fusion/serialization) without re-running
 //
-//	go run ./cmd/dfagen -o internal/core/rocksalt_tables_v2.bin
+//	go run ./cmd/dfagen -o internal/core/rocksalt_tables_v3.bin
 func TestEmbeddedBundleFresh(t *testing.T) {
 	set, err := core.BuildDFAs()
 	if err != nil {
 		t.Fatal(err)
 	}
 	var want bytes.Buffer
-	if err := set.WriteTablesV2(&want); err != nil {
+	if err := set.WriteTablesV3(&want); err != nil {
 		t.Fatal(err)
 	}
 	got := core.EmbeddedTableBytes()
 	if !bytes.Equal(got, want.Bytes()) {
-		t.Fatalf("embedded table bundle is stale (%d bytes vs %d freshly generated): re-run 'go run ./cmd/dfagen -o internal/core/rocksalt_tables_v2.bin'",
+		t.Fatalf("embedded table bundle is stale (%d bytes vs %d freshly generated): re-run 'go run ./cmd/dfagen -o internal/core/rocksalt_tables_v3.bin'",
 			len(got), want.Len())
 	}
 
@@ -128,6 +139,11 @@ func TestNewCheckerFromTablesErrorPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	goodV2 := buf2.Bytes()
+	var buf3 bytes.Buffer
+	if err := set.WriteTablesV3(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	goodV3 := buf3.Bytes()
 
 	mutate := func(src []byte, f func(b []byte) []byte) []byte {
 		return f(append([]byte{}, src...))
@@ -159,6 +175,17 @@ func TestNewCheckerFromTablesErrorPaths(t *testing.T) {
 		{"v2 corrupted fused table", mutate(goodV2, func(b []byte) []byte { b[2048] ^= 0x80; return b }), ""},
 		{"v2 truncated fused section", mutate(goodV2, func(b []byte) []byte { return b[:1024] }), ""},
 		{"v2 corrupted component table", mutate(goodV2, func(b []byte) []byte { b[len(b)-100] ^= 0x01; return b }), ""},
+		{"v3 zero-state fused", mutate(goodV3, func(b []byte) []byte {
+			copy(b[6:10], []byte{0, 0, 0, 0}) // fused state count
+			return b
+		}), "implausible"},
+		{"v3 corrupted fused table", mutate(goodV3, func(b []byte) []byte { b[2048] ^= 0x80; return b }), ""},
+		{"v3 truncated mid-stride", mutate(goodV3, func(b []byte) []byte { return b[:len(goodV2)+500] }), ""},
+		{"v3 corrupted stride interior", mutate(goodV3, func(b []byte) []byte {
+			b[len(goodV2)+(len(b)-len(goodV2))/2] ^= 0x01 // middle of the stride section
+			return b
+		}), ""},
+		{"v3 corrupted component table", mutate(goodV3, func(b []byte) []byte { b[len(b)-100] ^= 0x01; return b }), ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -181,12 +208,15 @@ func TestTableCorruptionDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, version := range []int{1, 2} {
+	for _, version := range []int{1, 2, 3} {
 		var buf bytes.Buffer
-		if version == 1 {
+		switch version {
+		case 1:
 			err = set.WriteTables(&buf)
-		} else {
+		case 2:
 			err = set.WriteTablesV2(&buf)
+		default:
+			err = set.WriteTablesV3(&buf)
 		}
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,114 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A tiny table whose byte classes are known by construction: state 0
+// distinguishes bytes by their low 2 bits, state 1 by bit 7, so the
+// partition is (low 2 bits, bit 7) with 8 classes.
+func classTestTable() [][256]uint16 {
+	table := make([][256]uint16, 3)
+	for b := 0; b < 256; b++ {
+		table[0][b] = uint16(b & 3)
+		table[1][b] = uint16(b >> 7)
+		table[2][b] = 2
+	}
+	return table
+}
+
+func TestByteClassesKnownPartition(t *testing.T) {
+	table := classTestTable()
+	cls, n := ByteClasses(table)
+	if n != 8 {
+		t.Fatalf("expected 8 classes, got %d", n)
+	}
+	for b1 := 0; b1 < 256; b1++ {
+		for b2 := 0; b2 < 256; b2++ {
+			want := b1&3 == b2&3 && b1>>7 == b2>>7
+			if (cls[b1] == cls[b2]) != want {
+				t.Fatalf("bytes %#x,%#x: class equality %v, want %v", b1, b2, cls[b1] == cls[b2], want)
+			}
+		}
+	}
+	if cls[0] != 0 {
+		t.Fatalf("class ids must be numbered by first occurrence; cls[0]=%d", cls[0])
+	}
+	if !VerifyByteClasses(table, cls, n, CompactTable(table, cls, n)) {
+		t.Fatal("VerifyByteClasses rejected its own construction")
+	}
+}
+
+func TestByteClassesPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		ns := 1 + rng.Intn(12)
+		table := make([][256]uint16, ns)
+		// Few distinct columns so classes merge; successor values bounded
+		// by the state count.
+		for b := 0; b < 256; b++ {
+			col := rng.Intn(6)
+			for s := 0; s < ns; s++ {
+				table[s][b] = uint16((col + s) % ns)
+			}
+		}
+		cls, n := ByteClasses(table)
+		compact := CompactTable(table, cls, n)
+		if !VerifyByteClasses(table, cls, n, compact) {
+			t.Fatalf("trial %d: verification failed", trial)
+		}
+		// Every byte's column must equal its class representative's column
+		// in the compacted table.
+		for b := 0; b < 256; b++ {
+			for s := 0; s < ns; s++ {
+				if compact[s*n+int(cls[b])] != table[s][b] {
+					t.Fatalf("trial %d: compact[%d][%d] != table[%d][%#x]", trial, s, cls[b], s, b)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyByteClassesRejectsCorruption(t *testing.T) {
+	table := classTestTable()
+	cls, n := ByteClasses(table)
+	compact := CompactTable(table, cls, n)
+
+	// Merging two distinct classes must be rejected (coarser than column
+	// equality).
+	bad := cls
+	for b := 0; b < 256; b++ {
+		if bad[b] == 1 {
+			bad[b] = 0
+		}
+	}
+	if VerifyByteClasses(table, bad, n, nil) {
+		t.Fatal("accepted a class map that merges distinct columns")
+	}
+
+	// Splitting one class in two must be rejected (not refining: two ids,
+	// same column — and with n unchanged, some id is uninhabited or out of
+	// range).
+	bad = cls
+	bad[0] = uint8(n - 1)
+	if bad[0] == cls[0] {
+		t.Skip("degenerate: single class")
+	}
+	if VerifyByteClasses(table, bad, n, nil) {
+		t.Fatal("accepted a class map that splits a column across ids")
+	}
+
+	// Out-of-range id.
+	bad = cls
+	bad[5] = uint8(n)
+	if VerifyByteClasses(table, bad, n, nil) {
+		t.Fatal("accepted an out-of-range class id")
+	}
+
+	// Corrupt compacted table.
+	compact[3] ^= 1
+	if VerifyByteClasses(table, cls, n, compact) {
+		t.Fatal("accepted a corrupt compacted table")
+	}
+}

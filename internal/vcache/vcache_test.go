@@ -1,0 +1,137 @@
+package vcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(1 << 20)
+	k1 := Sum("t", []byte("one"))
+	k2 := Sum("t", []byte("two"))
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put(k1, "v1", 10)
+	c.Put(k2, "v2", 20)
+	if v, ok := c.Get(k1); !ok || v.(string) != "v1" {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	// Replacement updates value and accounting.
+	c.Put(k1, "v1b", 15)
+	if v, _ := c.Get(k1); v.(string) != "v1b" {
+		t.Fatal("replacement not visible")
+	}
+	ct := c.Counters()
+	if ct.Entries != 2 || ct.Bytes != 35 {
+		t.Fatalf("counters %+v", ct)
+	}
+	if ct.Hits != 2 || ct.Misses != 1 {
+		t.Fatalf("hit/miss accounting %+v", ct)
+	}
+}
+
+func TestEvictionByCapacity(t *testing.T) {
+	// One shard gets capBytes/numShards; craft keys landing in shard 0.
+	c := New(numShards * 100)
+	keyIn := func(i int) Key {
+		for n := 0; ; n++ {
+			k := Sum("ev", []byte(fmt.Sprint(i, n)))
+			if k[0]&(numShards-1) == 0 {
+				return k
+			}
+		}
+	}
+	keys := make([]Key, 5)
+	for i := range keys {
+		keys[i] = keyIn(i)
+		c.Put(keys[i], i, 40) // 5*40 = 200 > 100 shard cap
+	}
+	ct := c.Counters()
+	if ct.Evictions == 0 || ct.Bytes > 100 {
+		t.Fatalf("expected evictions to bound shard bytes, got %+v", ct)
+	}
+	// The most recently inserted survives; the oldest is gone.
+	if _, ok := c.Get(keys[len(keys)-1]); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	// Oversized values are refused outright.
+	big := keyIn(99)
+	c.Put(big, "big", 101)
+	if _, ok := c.Get(big); ok {
+		t.Fatal("oversized value was stored")
+	}
+}
+
+func TestLRUTouchOrder(t *testing.T) {
+	c := New(numShards * 100)
+	keyIn := func(s string) Key {
+		for n := 0; ; n++ {
+			k := Sum("lru", []byte(fmt.Sprint(s, n)))
+			if k[0]&(numShards-1) == 0 {
+				return k
+			}
+		}
+	}
+	a, b, d := keyIn("a"), keyIn("b"), keyIn("d")
+	c.Put(a, "a", 40)
+	c.Put(b, "b", 40)
+	c.Get(a) // touch a so b becomes the eviction victim
+	c.Put(d, "d", 40)
+	if _, ok := c.Get(a); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, ok := c.Get(b); ok {
+		t.Fatal("least-recently-used entry survived")
+	}
+}
+
+func TestKeyDomainsAndParts(t *testing.T) {
+	if Sum("a", []byte("xy")) == Sum("b", []byte("xy")) {
+		t.Fatal("domains do not separate")
+	}
+	// Partition into parts is part of the identity.
+	if Sum("a", []byte("xy"), []byte("z")) == Sum("a", []byte("x"), []byte("yz")) {
+		t.Fatal("part boundaries do not separate")
+	}
+	if Sum("a", []byte("xy")) != Sum("a", []byte("xy")) {
+		t.Fatal("hashing is not deterministic")
+	}
+	k := Sum("a")
+	if len(k.String()) != 32 {
+		t.Fatalf("hex key length %d", len(k.String()))
+	}
+	back, err := ParseKey(k.String())
+	if err != nil || back != k {
+		t.Fatalf("ParseKey(%q) = %v, %v", k.String(), back, err)
+	}
+	for _, bad := range []string{"", "xyz", k.String()[:31], k.String() + "0", "g" + k.String()[1:]} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Fatalf("ParseKey accepted %q", bad)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Sum("cc", []byte{byte(g), byte(i)})
+				c.Put(k, i, 16)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ct := c.Counters(); ct.Entries == 0 {
+		t.Fatalf("nothing stored: %+v", ct)
+	}
+}
