@@ -1,12 +1,18 @@
 // Command dfagen performs the paper's offline table generation (§3.2):
-// it compiles the three policy grammars to DFAs, fuses them into the
-// product automaton the hot path walks, reports their sizes, and can
-// emit the tables as a loadable bundle or as Go source — the analogue
-// of generating the trusted C arrays from the verified Coq definitions.
+// it runs the runtime policy compiler (internal/policy) on a policy
+// spec — the default NaCl policy unless -spec names a JSON spec file —
+// reports the DFA sizes, and can emit the tables as a loadable bundle
+// or as Go source — the analogue of generating the trusted C arrays
+// from the verified Coq definitions.
 //
 // The repository's embedded bundle is regenerated with
 //
 //	go run ./cmd/dfagen -o internal/core/rocksalt_tables_v3.bin
+//
+// Non-default specs serialize as RSLT4 bundles, which carry the
+// policy's engine parameters (bundle size, mask length, guard cutoff)
+// alongside the tables; formats 1–3 imply the default NaCl parameters
+// and are refused for any other spec.
 package main
 
 import (
@@ -17,72 +23,119 @@ import (
 	"time"
 
 	"rocksalt/internal/core"
+	"rocksalt/internal/policy"
 )
 
 func main() {
 	emit := flag.Bool("emit", false, "emit the DFA tables as Go source on stdout")
 	out := flag.String("o", "", "write a binary table bundle (loadable by rocksalt -tables)")
-	format := flag.Int("format", 3, "bundle format for -o: 3 = RSLT3 (fused + stride tables + component DFAs), 2 = RSLT2 (no stride section), 1 = legacy RSLT1")
+	format := flag.Int("format", 0, "bundle format for -o: 0 = auto (3 for the default policy, 4 otherwise), 4 = RSLT4 (policy parameters + v3 body), 3 = RSLT3 (fused + stride tables + component DFAs), 2 = RSLT2 (no stride section), 1 = legacy RSLT1")
+	specPath := flag.String("spec", "", "compile this JSON policy spec instead of the default NaCl policy")
 	flag.Parse()
 
-	start := time.Now()
-	dfas, err := core.BuildDFAs()
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "dfagen:", err)
 		os.Exit(1)
 	}
-	build := time.Since(start)
 
-	stats, _ := core.DFAStats()
+	spec := policy.NaCl()
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		if spec, err = policy.ParseSpec(data); err != nil {
+			fail(err)
+		}
+	}
+	start := time.Now()
+	com, err := policy.Compile(spec)
+	if err != nil {
+		fail(err)
+	}
+	defNorm, err := policy.NaCl().Normalize()
+	if err != nil {
+		fail(err)
+	}
+	defaultPolicy := com.Fingerprint == defNorm.Fingerprint()
+	build := time.Since(start)
+	dfas := &core.DFASet{
+		MaskedJump:    com.MaskedJump,
+		NoControlFlow: com.NoControlFlow,
+		DirectJump:    com.DirectJump,
+	}
+
+	stats := map[string]int{
+		"MaskedJump":    com.MaskedJump.NumStates(),
+		"NoControlFlow": com.NoControlFlow.NumStates(),
+		"DirectJump":    com.DirectJump.NumStates(),
+	}
 	names := make([]string, 0, len(stats))
 	for n := range stats {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Printf("policy DFAs generated in %v\n", build)
+	fmt.Printf("policy %q DFAs generated in %v\n", com.Spec.Name, build)
 	total := 0
 	for _, n := range names {
 		fmt.Printf("  %-14s %3d states (%5d table bytes)\n", n, stats[n], stats[n]*256*2)
 		total += stats[n]
 	}
 	fmt.Printf("  %-14s %3d states total\n", "all", total)
-	fmt.Println("  (paper: largest checker DFA has 61 states; no minimization needed)")
+	if defaultPolicy {
+		fmt.Println("  (paper: largest checker DFA has 61 states; no minimization needed)")
+	}
 
 	start = time.Now()
-	fusedStates, fusedBytes, err := core.FusedStats()
+	_, _, fusedTable, err := policy.FuseProduct(com.MaskedJump, com.NoControlFlow, com.DirectJump)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfagen:", err)
-		os.Exit(1)
+		fail(err)
 	}
+	n := len(fusedTable)
 	fmt.Printf("fused product automaton: %d states (%d table bytes), built in %v\n",
-		fusedStates, fusedBytes, time.Since(start))
+		n, n*512+n, time.Since(start))
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dfagen:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		switch *format {
+		fmtUsed := *format
+		if fmtUsed == 0 {
+			fmtUsed = 3
+			if !defaultPolicy {
+				fmtUsed = 4
+			}
+		}
+		if fmtUsed >= 1 && fmtUsed <= 3 && !defaultPolicy {
+			fail(fmt.Errorf("policy %q is not the default NaCl policy; formats 1-3 cannot carry its engine parameters, use -format 4 (or 0)", com.Spec.Name))
+		}
+		switch fmtUsed {
 		case 1:
 			err = dfas.WriteTables(f)
 		case 2:
 			err = dfas.WriteTablesV2(f)
 		case 3:
 			err = dfas.WriteTablesV3(f)
+		case 4:
+			info := core.PolicyInfo{
+				Name:        com.Spec.Name,
+				BundleSize:  com.Spec.BundleSize,
+				MaskLen:     com.Spec.MaskLen(),
+				GuardCutoff: com.Spec.GuardCutoff,
+			}
+			err = dfas.WriteTablesV4(f, info, com.Spec.AlignedCalls)
 		default:
-			err = fmt.Errorf("unknown bundle format %d (want 1, 2 or 3)", *format)
+			err = fmt.Errorf("unknown bundle format %d (want 0, 1, 2, 3 or 4)", fmtUsed)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dfagen:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dfagen:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		st, _ := os.Stat(*out)
-		fmt.Printf("wrote %s (RSLT%d, %d bytes)\n", *out, *format, st.Size())
+		fmt.Printf("wrote %s (RSLT%d, %d bytes)\n", *out, fmtUsed, st.Size())
 	}
 
 	if *emit {

@@ -35,7 +35,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 func main() {
-	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride); empty = all")
+	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride, policy); empty = all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -66,6 +66,7 @@ func main() {
 		{"bench", benchFused},
 		{"obsv", obsvOverhead},
 		{"stride", benchStride},
+		{"policy", benchPolicy},
 	} {
 		if sel(e.id) {
 			e.fn()

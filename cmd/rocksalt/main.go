@@ -3,20 +3,25 @@
 //
 // Usage:
 //
-//	rocksalt [-entries 0x10000,0x10020] [-tables tables.bin] [-j N]
-//	         [-timeout 5s] [-cache 64] [-stats] [-json] [-q] [-v]
-//	         [-metrics-addr :9090] [-linger 0s] file.bin
+//	rocksalt [-entries 0x10000,0x10020] [-tables tables.bin]
+//	         [-policy spec.json] [-j N] [-timeout 5s] [-cache 64]
+//	         [-stats] [-json] [-q] [-v] [-metrics-addr :9090]
+//	         [-linger 0s] file.bin
 //
 // The exit status is 0 when the image is safe, 1 when it is rejected,
-// 2 on usage or input errors (including an empty input file), and 3
-// when -timeout expired before verification finished — an interrupted
-// run is never reported safe.
+// 2 on usage or input errors (including an empty input file, a
+// malformed or contradictory -policy spec, and combining -policy with
+// -tables), and 3 when -timeout expired before verification finished —
+// an interrupted run is never reported safe.
 //
 // -entries whitelists out-of-image entry points direct jumps may
 // target; -tables loads a pre-generated DFA bundle (from dfagen -o)
-// instead of compiling the grammars; -j sets the stage-1 worker count
-// (0 = all CPUs); -timeout aborts long runs; -q suppresses output in
-// favour of the exit status.
+// instead of compiling the grammars; -policy compiles a JSON policy
+// spec (see DESIGN.md §6g for the schema) at runtime and verifies
+// against that policy instead of the default NaCl one — mutually
+// exclusive with -tables, which already fixes the policy; -j sets the
+// stage-1 worker count (0 = all CPUs); -timeout aborts long runs; -q
+// suppresses output in favour of the exit status.
 //
 // -cache N attaches an N-MiB content-addressed verdict cache for the
 // process lifetime and reports the image's content key. One-shot runs
@@ -49,6 +54,7 @@ import (
 	"time"
 
 	"rocksalt/internal/core"
+	"rocksalt/internal/policy"
 	"rocksalt/internal/telemetry"
 	"rocksalt/internal/vcache"
 )
@@ -56,7 +62,7 @@ import (
 // usage is the one-line synopsis printed on argument errors. A test
 // (cli_test.go) holds it and the package doc comment to the actual flag
 // set, so neither can drift when a flag is added.
-const usage = "usage: rocksalt [-entries addr,addr] [-tables f] [-j N] [-timeout d] [-cache MiB] [-stats] [-json] [-v] [-metrics-addr a] [-linger d] [-q] file.bin"
+const usage = "usage: rocksalt [-entries addr,addr] [-tables f] [-policy spec.json] [-j N] [-timeout d] [-cache MiB] [-stats] [-json] [-v] [-metrics-addr a] [-linger d] [-q] file.bin"
 
 // cliFlags is every rocksalt flag, registered on a caller-supplied
 // FlagSet so tests can enumerate the registry without running main.
@@ -64,6 +70,7 @@ type cliFlags struct {
 	entries     *string
 	quiet       *bool
 	tables      *string
+	policySpec  *string
 	workers     *int
 	timeout     *time.Duration
 	cacheMiB    *int
@@ -79,6 +86,7 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		entries:     fs.String("entries", "", "comma-separated out-of-image entry points (hex) direct jumps may target"),
 		quiet:       fs.Bool("q", false, "suppress output; use the exit status"),
 		tables:      fs.String("tables", "", "load pre-generated DFA tables (from dfagen -o) instead of compiling grammars"),
+		policySpec:  fs.String("policy", "", "compile this JSON policy spec at runtime and verify against it (mutually exclusive with -tables)"),
 		workers:     fs.Int("j", 1, "stage-1 verification workers (0 = all CPUs)"),
 		timeout:     fs.Duration("timeout", 0, "abort verification after this duration (exit 3); 0 = no limit"),
 		cacheMiB:    fs.Int("cache", 0, "attach a content-addressed verdict cache of this many MiB (0 = no cache)"),
@@ -160,7 +168,11 @@ func main() {
 	}
 
 	var checker *core.Checker
-	if *tables != "" {
+	switch {
+	case *tables != "" && *f.policySpec != "":
+		fmt.Fprintln(os.Stderr, "rocksalt: -tables and -policy are mutually exclusive (a table bundle already fixes the policy)")
+		os.Exit(2)
+	case *tables != "":
 		f, ferr := os.Open(*tables)
 		if ferr != nil {
 			fmt.Fprintln(os.Stderr, "rocksalt:", ferr)
@@ -168,7 +180,20 @@ func main() {
 		}
 		checker, err = core.NewCheckerFromTables(f)
 		f.Close()
-	} else {
+	case *f.policySpec != "":
+		data, ferr := os.ReadFile(*f.policySpec)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", ferr)
+			os.Exit(2)
+		}
+		var spec policy.Spec
+		if spec, err = policy.ParseSpec(data); err == nil {
+			var com *policy.Compiled
+			if com, err = policy.Compile(spec); err == nil {
+				checker, err = core.NewCheckerFromPolicy(com)
+			}
+		}
+	default:
 		checker, err = core.NewChecker()
 	}
 	if err != nil {

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildCLI compiles the rocksalt binary once into a temp dir.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rocksalt")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building rocksalt: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestPolicyFlagExitCodes pins the documented exit statuses of the
+// -policy flag: 2 for malformed or contradictory specs and for
+// combining -policy with -tables, 0/1 for verdicts under a compiled
+// policy.
+func TestPolicyFlagExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// A 16-byte all-NOP image is compliant under nacl-16; a leading RET
+	// is not.
+	safe := write("safe.bin", bytes.Repeat([]byte{0x90}, 16))
+	unsafe := write("unsafe.bin", append([]byte{0xc3}, bytes.Repeat([]byte{0x90}, 15)...))
+	goodSpec := write("nacl16.json", []byte(`{"name":"nacl-16","bundle_size":16}`))
+	badJSON := write("bad.json", []byte(`{"bundle_size":`))
+	contradictory := write("contra.json", []byte(`{"bundle_size":16,"mask_regs":["ebx"],"scratch_regs":["ebx"]}`))
+
+	run := func(args ...string) int {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout, cmd.Stderr = nil, nil
+		err := cmd.Run()
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("running %v: %v", args, err)
+		return -1
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"safe-under-policy", []string{"-q", "-policy", goodSpec, safe}, 0},
+		{"rejected-under-policy", []string{"-q", "-policy", goodSpec, unsafe}, 1},
+		{"malformed-spec", []string{"-q", "-policy", badJSON, safe}, 2},
+		{"contradictory-spec", []string{"-q", "-policy", contradictory, safe}, 2},
+		{"missing-spec-file", []string{"-q", "-policy", filepath.Join(dir, "nope.json"), safe}, 2},
+		{"policy-plus-tables", []string{"-q", "-policy", goodSpec, "-tables", goodSpec, safe}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args...); got != tc.want {
+				t.Fatalf("rocksalt %v exited %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

@@ -3,7 +3,11 @@
 // Tristan, Gan; PLDI 2012): an executable model of 32-bit x86 built from
 // a grammar DSL and an RTL core language, and a DFA-driven verifier for
 // the Native Client sandbox policy, together with the baselines and
-// harnesses that regenerate the paper's evaluation.
+// harnesses that regenerate the paper's evaluation. The policy itself
+// is data: CompilePolicy runs the grammar→DFA pipeline at runtime over
+// a declarative PolicySpec (bundle size, mask discipline, guard region,
+// banned instruction classes), and the default spec reproduces the
+// embedded NaCl tables byte-identically.
 //
 // The root package holds only documentation and the benchmark suite; the
 // implementation lives under internal/ (see DESIGN.md for the map) and

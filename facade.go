@@ -13,6 +13,7 @@ import (
 	"rocksalt/internal/core"
 	"rocksalt/internal/mips"
 	"rocksalt/internal/nacl"
+	"rocksalt/internal/policy"
 	"rocksalt/internal/rtl"
 	"rocksalt/internal/sim"
 	"rocksalt/internal/tso"
@@ -39,6 +40,33 @@ func NewChecker() (*Checker, error) { return core.NewChecker() }
 // bundle (see cmd/dfagen -o), avoiding grammar compilation entirely.
 func NewCheckerFromTables(r io.Reader) (*Checker, error) {
 	return core.NewCheckerFromTables(r)
+}
+
+// PolicySpec declaratively describes a sandbox policy for the runtime
+// policy compiler: bundle size, mask width and registers, entry
+// alignment, call discipline, guard-region cutoff and banned
+// instruction classes. The zero value (after normalization) is the
+// default NaCl policy; policy.NaCl, policy.NaCl16 and policy.REINS are
+// ready-made presets. See DESIGN.md §6g for the JSON schema.
+type PolicySpec = policy.Spec
+
+// ParsePolicySpec decodes and validates a JSON policy spec (see
+// DESIGN.md §6g for the schema; unknown fields are rejected).
+func ParsePolicySpec(data []byte) (PolicySpec, error) {
+	return policy.ParseSpec(data)
+}
+
+// CompilePolicy runs the full offline pipeline at runtime — grammars →
+// derivative DFAs → minimize → fuse → compact — for the given spec and
+// returns a verifier enforcing that policy. Compilation is memoized on
+// the spec fingerprint; compiling the default NaCl spec reproduces the
+// embedded table bundle byte-identically.
+func CompilePolicy(spec PolicySpec) (*Checker, error) {
+	com, err := policy.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCheckerFromPolicy(com)
 }
 
 // VerifyOptions configures the staged verification engine behind

@@ -69,16 +69,24 @@ type cacheCtx struct {
 
 // configKey hashes everything except the code bytes that a verdict
 // depends on: the fused-table fingerprint and the checker's policy
-// knobs. Two checkers with equal configKey parse any image identically.
+// knobs — AlignedCalls, the entry whitelist, and the compiled policy's
+// engine parameters (bundle size, mask length, guard cutoff). Two
+// checkers with equal configKey parse any image identically; checkers
+// compiled from different specs never share verdict-cache entries even
+// when their tables coincide (e.g. specs differing only in the guard
+// cutoff).
 func (c *Checker) configKey() vcache.Key {
 	fp := c.fused.fingerprint()
-	cfg := make([]byte, 0, 17+4*len(c.Entries))
+	cfg := make([]byte, 0, 25+4*len(c.Entries))
 	cfg = append(cfg, fp[:]...)
 	if c.AlignedCalls {
 		cfg = append(cfg, 1)
 	} else {
 		cfg = append(cfg, 0)
 	}
+	cfg = binary.LittleEndian.AppendUint16(cfg, uint16(c.params.bundle))
+	cfg = append(cfg, byte(c.params.maskLen))
+	cfg = binary.LittleEndian.AppendUint32(cfg, c.params.guard)
 	entries := make([]uint32, 0, len(c.Entries))
 	for e, ok := range c.Entries {
 		if ok {

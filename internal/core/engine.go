@@ -317,7 +317,7 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 	if st != nil {
 		t0 = time.Now()
 		st.BytesScanned = int64(size)
-		st.Bundles = int64((size + BundleSize - 1) / BundleSize)
+		st.Bundles = int64((size + c.params.bundle - 1) / c.params.bundle)
 		st.Shards = int64(shards)
 	}
 	// The effective engine is resolved once per run and is uniform across
@@ -502,23 +502,33 @@ func stopShard(res *shardResult, code []byte, off int, kind ViolationKind, detai
 // code path regardless of the optimistic phase. A trailing partial
 // bundle (only the image's last shard can have one) is parsed scalar
 // as well, continuing where the lanes proved the prefix regular.
+//
+// The lane engine's SWAR boundary extraction is specialized to the
+// default 32-byte bundle (laneExtract checks bundle bits at fixed word
+// positions), so checkers compiled for another bundle size take the
+// canonical scalar walk — every policy-relevant decision lives there
+// and in the shared helpers, so the verdict is engine-invariant either
+// way (FuzzPolicyEquiv holds the engines identical per policy).
 func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res *shardResult, strided bool) {
-	full := start + (end-start)/BundleSize*BundleSize
-	if full-start >= laneCount*BundleSize {
-		if c.parseShardLanes(code, start, full, sc, res, strided) {
-			res.lane = true
-			if full < end {
-				c.parseShardFusedScalar(code, full, end, sc, res)
+	if c.params.bundle == BundleSize {
+		full := start + (end-start)/BundleSize*BundleSize
+		if full-start >= laneCount*BundleSize {
+			if c.parseShardLanes(code, start, full, sc, res, strided) {
+				res.lane = true
+				if full < end {
+					c.parseShardFusedScalar(code, full, end, sc, res)
+				}
+				return
 			}
+			sc.valid.ClearRange(start, end)
+			sc.pairJmp.ClearRange(start, end)
+			res.reset()
+			res.restart = true
+			c.parseShardFusedScalar(code, start, end, sc, res)
 			return
 		}
-		sc.valid.ClearRange(start, end)
-		sc.pairJmp.ClearRange(start, end)
-		res.reset()
-		res.restart = true
-	} else {
-		res.scalar = true
 	}
+	res.scalar = true
 	c.parseShardFusedScalar(code, start, end, sc, res)
 }
 
@@ -536,6 +546,7 @@ func (c *Checker) parseShardFusedScalar(code []byte, start, end int, sc *scratch
 	table, tags := f.table, f.tags
 	nocf1 := &f.nocf1
 	fstart, quiet := uint16(f.start), uint16(f.quiet)
+	mlen, bundle := c.params.maskLen, c.params.bundle
 	size := len(code)
 	pos := start
 
@@ -602,9 +613,9 @@ loop:
 			if pos > end && c.straddles(res, code, saved, pos, end) {
 				break loop
 			}
-			sc.pairJmp.Set(saved + maskLen)
+			sc.pairJmp.Set(saved + mlen)
 			// The call form of the pair is FF /2 (0xD0|r in the modrm).
-			if c.AlignedCalls && code[pos-1]>>3&7 == 2 && pos%BundleSize != 0 {
+			if c.AlignedCalls && code[pos-1]>>3&7 == 2 && pos%bundle != 0 {
 				stopShard(res, code, pos, MisalignedCall, "masked call leaves a misaligned return address")
 				break loop
 			}
@@ -642,9 +653,9 @@ func (c *Checker) parseShardRef(code []byte, start, end int, sc *scratch, res *s
 			if c.straddles(res, code, saved, pos, end) {
 				return
 			}
-			sc.pairJmp.Set(saved + maskLen)
+			sc.pairJmp.Set(saved + c.params.maskLen)
 			// The call form of the pair is FF /2 (0xD0|r in the modrm).
-			if c.AlignedCalls && code[pos-1]>>3&7 == 2 && pos%BundleSize != 0 {
+			if c.AlignedCalls && code[pos-1]>>3&7 == 2 && pos%c.params.bundle != 0 {
 				stopShard(res, code, pos, MisalignedCall, "masked call leaves a misaligned return address")
 				return
 			}
@@ -684,7 +695,7 @@ func (c *Checker) straddles(res *shardResult, code []byte, saved, pos, end int) 
 // direct-jump match occupying code[saved:pos]; it reports whether the
 // shard parse must stop.
 func (c *Checker) directJump(res *shardResult, code []byte, saved, pos int) (stop bool) {
-	if c.AlignedCalls && code[saved] == 0xe8 && pos%BundleSize != 0 {
+	if c.AlignedCalls && code[saved] == 0xe8 && pos%c.params.bundle != 0 {
 		stopShard(res, code, pos, MisalignedCall, "call leaves a misaligned return address")
 		return true
 	}
@@ -695,11 +706,25 @@ func (c *Checker) directJump(res *shardResult, code []byte, saved, pos int) (sto
 	}
 	if t >= 0 && t < int64(len(code)) {
 		res.targets = append(res.targets, int32(t))
-	} else if !c.Entries[uint32(t)] {
-		stopShard(res, code, saved, TargetOutOfImage, fmt.Sprintf("direct jump targets %#x, outside the image", uint32(t)))
+	} else if !c.targetAllowed(uint32(t)) {
+		detail := fmt.Sprintf("direct jump targets %#x, outside the image", uint32(t))
+		if c.params.guard != 0 && uint32(t) < c.params.guard {
+			detail = fmt.Sprintf("direct jump targets %#x, inside the guard region below %#x", uint32(t), c.params.guard)
+		}
+		stopShard(res, code, saved, TargetOutOfImage, detail)
 		return true
 	}
 	return false
+}
+
+// targetAllowed reports whether an out-of-image direct-jump target is
+// permitted: it must be a whitelisted entry point and must not fall in
+// the policy's guard region.
+func (c *Checker) targetAllowed(t uint32) bool {
+	if c.params.guard != 0 && t < c.params.guard {
+		return false
+	}
+	return c.Entries[t]
 }
 
 // jumpTarget decodes the direct jump occupying code[saved:pos] and
@@ -758,7 +783,7 @@ func (c *Checker) reconcile(ctx context.Context, code []byte, sc *scratch, st *S
 	}
 	endJumps()
 	// Every bundle boundary must be an instruction boundary.
-	for i := 0; i < size; i += BundleSize {
+	for i := 0; i < size; i += c.params.bundle {
 		if !sc.valid.Get(i) {
 			all = append(all, violation(code, i, BundleStraddle, ""))
 		}

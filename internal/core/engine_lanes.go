@@ -124,9 +124,9 @@ func (c *Checker) laneEvent(lc *laneCtx, s uint16, o, rs, re int) (uint16, int) 
 	tag := tags[s]
 	if tag&tagAccMasked != 0 {
 		// Masked pair: top priority, resolves outright at o.
-		lc.sc.pairJmp.Set(saved + maskLen)
+		lc.sc.pairJmp.Set(saved + c.params.maskLen)
 		// The call form of the pair is FF /2 (0xD0|r in the modrm).
-		if c.AlignedCalls && lc.code[o-1]>>3&7 == 2 && o%BundleSize != 0 {
+		if c.AlignedCalls && lc.code[o-1]>>3&7 == 2 && o%c.params.bundle != 0 {
 			lc.failed = true
 			return lc.fstart, re
 		}
@@ -160,7 +160,7 @@ func (c *Checker) laneEvent(lc *laneCtx, s uint16, o, rs, re int) (uint16, int) 
 				lc.failed = true
 				return lc.fstart, re
 			}
-			if c.AlignedCalls && lc.code[saved] == 0xe8 && pos%BundleSize != 0 {
+			if c.AlignedCalls && lc.code[saved] == 0xe8 && pos%c.params.bundle != 0 {
 				lc.failed = true
 				return lc.fstart, re
 			}
@@ -171,7 +171,7 @@ func (c *Checker) laneEvent(lc *laneCtx, s uint16, o, rs, re int) (uint16, int) 
 			}
 			if t >= 0 && t < int64(lc.size) {
 				lc.res.targets = append(lc.res.targets, int32(t))
-			} else if !c.Entries[uint32(t)] {
+			} else if !c.targetAllowed(uint32(t)) {
 				lc.failed = true
 				return lc.fstart, re
 			}

@@ -5,46 +5,39 @@ import (
 	"sync"
 
 	"rocksalt/internal/grammar"
+	"rocksalt/internal/policy"
 	"rocksalt/internal/vcache"
 )
 
-// This file builds the fused policy automaton: the product of the three
-// checker DFAs (MaskedJump × NoControlFlow × DirectJump) with a tag
-// byte per state recording which components accept or are still live.
-// The seed engine's Figure-5 loop tries the three DFAs sequentially at
-// every offset, rescanning the same bytes on each failed attempt; the
-// fused automaton reproduces the exact same decision — masked's first
-// accept wins, else noCF's, else direct's — in a single table walk that
-// stops as soon as every component has either accepted or rejected.
-//
-// Two observations keep the product small. First, each component only
-// matters up to its *first* accepting state (Figure 6's match stops
-// there), so an accepting component collapses to a one-shot "accept
-// now" state and then to a done sink — its post-accept behaviour can
-// never influence the verdict. Second, rejecting states are already
-// sinks (the derivative is Void). With both collapses the product of
-// the 25/46/8-state policy DFAs stays in the low hundreds of states,
-// and the existing Hopcroft-style refinement (grammar.MinimizeTaggedDFA,
-// with tags in place of accept bits) shrinks it further.
+// This file hosts the fused policy automaton in the table form the
+// engine walks: the product of the three checker DFAs (MaskedJump ×
+// NoControlFlow × DirectJump) with a tag byte per state recording which
+// components accept or are still live. The product construction itself
+// (collapse-to-sinks, BFS discovery, tagged minimization) lives in
+// internal/policy (FuseProduct), since it is part of the grammar→tables
+// pipeline; this file layers the engine-facing renumbering and derived
+// fast-path structures on top. The seed engine's Figure-5 loop tries
+// the three DFAs sequentially at every offset, rescanning the same
+// bytes on each failed attempt; the fused automaton reproduces the
+// exact same decision — masked's first accept wins, else noCF's, else
+// direct's — in a single table walk that stops as soon as every
+// component has either accepted or rejected.
 
-// Tag bits of a fused state. Accept bits are set exactly on the state
-// entered by the byte that completes a component's first match, so a
-// walk observes each accept bit at most once; live bits are set while
-// the component can still reach an accept. Serialized in RSLT2 bundles,
-// so the layout is part of the table format.
+// Tag bits of a fused state, aliased from the policy compiler (which
+// owns the serialized layout; see policy.TagAccMasked and friends).
 const (
-	tagAccMasked  = 1 << 0
-	tagAccNoCF    = 1 << 1
-	tagAccDirect  = 1 << 2
-	tagLiveMasked = 1 << 3
-	tagLiveNoCF   = 1 << 4
-	tagLiveDirect = 1 << 5
+	tagAccMasked  = policy.TagAccMasked
+	tagAccNoCF    = policy.TagAccNoCF
+	tagAccDirect  = policy.TagAccDirect
+	tagLiveMasked = policy.TagLiveMasked
+	tagLiveNoCF   = policy.TagLiveNoCF
+	tagLiveDirect = policy.TagLiveDirect
 
-	tagAccAny  = tagAccMasked | tagAccNoCF | tagAccDirect
-	tagLiveAny = tagLiveMasked | tagLiveNoCF | tagLiveDirect
+	tagAccAny  = policy.TagAccAny
+	tagLiveAny = policy.TagLiveAny
 
 	// tagMask covers every defined bit; loaders reject tags outside it.
-	tagMask = tagAccAny | tagLiveAny
+	tagMask = policy.TagMask
 )
 
 // fusedDFA is the product automaton in the table form the engine walks.
@@ -169,95 +162,16 @@ func stateClass(g uint8) int {
 
 const numStateClasses = 4
 
-// Normalized component states for the product construction: non-negative
-// values are live states of the component DFA (never accepting or
-// rejecting), the rest are the three collapsed states.
-const (
-	compAccept = -1 // entered by the byte completing the first match
-	compDone   = -2 // post-accept sink
-	compReject = -3 // reject sink (the component's Void derivative)
-)
-
-// compStep advances one normalized component by one byte.
-func compStep(d *grammar.DFA, s int, b int) int {
-	switch s {
-	case compAccept, compDone:
-		return compDone
-	case compReject:
-		return compReject
-	}
-	t := int(d.Table[s][b])
-	switch {
-	case d.Accepts[t]:
-		return compAccept
-	case d.Rejects[t]:
-		return compReject
-	}
-	return t
-}
-
-// fuseDFAs builds the minimized fused product automaton for a DFA set.
-// The construction is deterministic: states are discovered breadth-first
-// in ascending byte order and the minimizer numbers blocks by first
-// occurrence, so the same tables always fuse to the same bytes — the
-// property the embedded-bundle regeneration guard checks.
+// fuseDFAs builds the minimized fused product automaton for a DFA set
+// (policy.FuseProduct) and renumbers it into the engine's class bands.
+// The construction is deterministic end to end, so the same tables
+// always fuse to the same bytes — the property the embedded-bundle
+// regeneration guard checks.
 func fuseDFAs(set *DFASet) (*fusedDFA, error) {
-	comps := [3]*grammar.DFA{set.MaskedJump, set.NoControlFlow, set.DirectJump}
-	for i, d := range comps {
-		if d.Accepts[d.Start] {
-			return nil, fmt.Errorf("core: fusing component %d: start state accepts the empty string", i)
-		}
-		if d.Rejects[d.Start] {
-			return nil, fmt.Errorf("core: fusing component %d: start state rejects everything", i)
-		}
+	mStart, mTags, mTable, err := policy.FuseProduct(set.MaskedJump, set.NoControlFlow, set.DirectJump)
+	if err != nil {
+		return nil, err
 	}
-
-	type triple [3]int
-	tag := func(t triple) uint8 {
-		var g uint8
-		accBits := [3]uint8{tagAccMasked, tagAccNoCF, tagAccDirect}
-		liveBits := [3]uint8{tagLiveMasked, tagLiveNoCF, tagLiveDirect}
-		for i, s := range t {
-			switch {
-			case s == compAccept:
-				g |= accBits[i]
-			case s >= 0:
-				g |= liveBits[i]
-			}
-		}
-		return g
-	}
-
-	start := triple{comps[0].Start, comps[1].Start, comps[2].Start}
-	index := map[triple]int{start: 0}
-	states := []triple{start}
-	var table [][256]uint16
-	for i := 0; i < len(states); i++ {
-		var row [256]uint16
-		cur := states[i]
-		for b := 0; b < 256; b++ {
-			nxt := triple{compStep(comps[0], cur[0], b),
-				compStep(comps[1], cur[1], b),
-				compStep(comps[2], cur[2], b)}
-			j, ok := index[nxt]
-			if !ok {
-				j = len(states)
-				if j >= 1<<16 {
-					return nil, fmt.Errorf("core: fused product exceeds %d states", 1<<16)
-				}
-				index[nxt] = j
-				states = append(states, nxt)
-			}
-			row[b] = uint16(j)
-		}
-		table = append(table, row)
-	}
-	tags := make([]uint8, len(states))
-	for i, t := range states {
-		tags[i] = tag(t)
-	}
-
-	mStart, mTags, mTable := grammar.MinimizeTaggedDFA(0, tags, table)
 	return reorderByClass(mStart, mTags, mTable), nil
 }
 

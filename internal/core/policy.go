@@ -1,17 +1,19 @@
 // Package core implements the RockSalt checker: a verifier for the NaCl
 // sandbox policy whose decoding logic is three DFAs compiled from
 // grammars — MaskedJump, NoControlFlow and DirectJump (§3 of the paper) —
-// driven by the small match/verify routines of Figures 5 and 6.
+// driven by the small match/verify routines of Figures 5 and 6. The
+// grammar→DFA pipeline itself lives in internal/policy (the runtime
+// policy compiler); this package consumes its output and keeps thin
+// delegates for the default NaCl policy so existing callers are
+// undisturbed.
 package core
 
 import (
-	"fmt"
-	"math/rand"
 	"sync"
 
 	"rocksalt/internal/grammar"
+	"rocksalt/internal/policy"
 	"rocksalt/internal/x86"
-	"rocksalt/internal/x86/decode"
 )
 
 // SafeMask is the byte-sized immediate whose sign extension
@@ -20,160 +22,42 @@ import (
 const SafeMask = 0xe0
 
 // BundleSize is the NaCl alignment quantum: computed jump targets must be
-// 32-byte aligned.
+// 32-byte aligned. This is the default policy's bundle size; checkers
+// compiled from a non-default spec carry their own (see PolicyInfo).
 const BundleSize = 32
 
-// maskableRegs are the registers a masked jump may go through — the
-// paper's list (every general register except ESP).
-var maskableRegs = []x86.Reg{
-	x86.EAX, x86.ECX, x86.EDX, x86.EBX, x86.EBP, x86.ESI, x86.EDI,
-}
-
-// naclMaskP is the paper's nacl_MASK_p: the pattern for
-// "AND r, safeMask" (opcode 0x83 /4, mod=11, imm8 = 0xe0).
-func naclMaskP(r x86.Reg) *grammar.Grammar {
-	return grammar.Then(grammar.Bits("1000 0011"),
-		grammar.Then(grammar.Bits("11"),
-			grammar.Then(grammar.Bits("100"),
-				grammar.Then(grammar.BitsValue(3, uint64(r)),
-					grammar.BitsValue(8, SafeMask)))))
-}
-
-// naclJmpP is nacl_JMP_p: "JMP r" (0xFF /4, mod=11).
-func naclJmpP(r x86.Reg) *grammar.Grammar {
-	return grammar.Then(grammar.Bits("1111 1111"),
-		grammar.Then(grammar.Bits("11"),
-			grammar.Then(grammar.Bits("100"), grammar.BitsValue(3, uint64(r)))))
-}
-
-// naclCallP is nacl_CALL_p: "CALL r" (0xFF /2, mod=11).
-func naclCallP(r x86.Reg) *grammar.Grammar {
-	return grammar.Then(grammar.Bits("1111 1111"),
-		grammar.Then(grammar.Bits("11"),
-			grammar.Then(grammar.Bits("010"), grammar.BitsValue(3, uint64(r)))))
-}
-
-// naclJmpPair is nacljmp_p: a mask of r immediately followed by an
-// indirect jump or call through the same r.
-func naclJmpPair(r x86.Reg) *grammar.Grammar {
-	return grammar.Cat(naclMaskP(r), grammar.Alt(naclJmpP(r), naclCallP(r)))
-}
-
-// MaskedJumpGrammar is nacljmp_mask: the union over all maskable
-// registers.
+// MaskedJumpGrammar is the default policy's nacljmp_mask: the union of
+// masked pairs over all maskable registers (every general register
+// except ESP).
 func MaskedJumpGrammar() *grammar.Grammar {
-	var alts []*grammar.Grammar
-	for _, r := range maskableRegs {
-		alts = append(alts, naclJmpPair(r))
-	}
-	return grammar.Alt(alts...)
+	return policy.MaskedJumpGrammar(defaultSpec())
 }
 
 // DirectJumpGrammar matches exactly the direct, PC-relative control
 // transfers the policy allows: JMP rel8/rel32, Jcc rel8/rel32, and CALL
 // rel32, all unprefixed.
 func DirectJumpGrammar() *grammar.Grammar {
-	rel8 := grammar.AnyByte()
-	rel32 := grammar.Then(grammar.AnyByte(),
-		grammar.Then(grammar.AnyByte(), grammar.Then(grammar.AnyByte(), grammar.AnyByte())))
-	return grammar.Alt(
-		grammar.Then(grammar.LitByte(0xeb), rel8),
-		grammar.Then(grammar.LitByte(0xe9), rel32),
-		grammar.Then(grammar.LitByte(0xe8), rel32),
-		grammar.Then(grammar.Bits("0111"), grammar.Then(grammar.Field(4), rel8)),
-		grammar.Then(grammar.LitByte(0x0f),
-			grammar.Then(grammar.Bits("1000"), grammar.Then(grammar.Field(4), rel32))),
-	)
-}
-
-// SafeInst is the policy predicate on abstract syntax: an instruction the
-// sandbox can always allow. It is the semantic counterpart of the
-// NoControlFlow grammar, used both to build that grammar (forms are
-// classified by sampling) and as the specification in the inversion-
-// principle tests.
-func SafeInst(i x86.Inst) bool {
-	if i.IsControlFlow() || i.Far {
-		return false
-	}
-	switch i.Op {
-	case x86.IN, x86.OUT, x86.INS, x86.OUTS, x86.HLT, x86.BOUND,
-		x86.LDS, x86.LES, x86.LSS, x86.LFS, x86.LGS, x86.UD2, x86.BAD:
-		return false
-	}
-	for _, a := range i.Args {
-		if _, isSeg := a.(x86.SegOp); isSeg {
-			return false
-		}
-	}
-	if i.Prefix.Seg != nil || i.Prefix.AddrSize || i.Prefix.Lock {
-		return false
-	}
-	// REP/REPNE are meaningful (and allowed) only on string operations.
-	if (i.Prefix.Rep || i.Prefix.RepN) && !isStringOp(i.Op) {
-		return false
-	}
-	return true
-}
-
-// isStringOp reports the REP-able string operations.
-func isStringOp(op x86.Op) bool {
-	switch op {
-	case x86.MOVS, x86.STOS, x86.LODS, x86.SCAS, x86.CMPS:
-		return true
-	}
-	return false
-}
-
-// classifyForms splits the decoder's instruction forms into the safe
-// subset by sampling: each form is homogeneous (one constructor), so a
-// handful of samples decides its class. The deterministic seed keeps the
-// generated DFAs reproducible.
-func classifyForms(opsize16 bool) (safe, strings []*grammar.Grammar) {
-	s := grammar.NewSampler(rand.New(rand.NewSource(1)))
-	for _, form := range decode.InstructionForms(opsize16) {
-		var inst x86.Inst
-		ok := false
-		allSafe, allString := true, true
-		for k := 0; k < 8; k++ {
-			_, v, sampled := s.Sample(form)
-			if !sampled {
-				break
-			}
-			ok = true
-			inst = v.(x86.Inst)
-			if !SafeInst(inst) {
-				allSafe = false
-			}
-			if !isStringOp(inst.Op) {
-				allString = false
-			}
-		}
-		if !ok {
-			panic("core: unsampleable instruction form")
-		}
-		if allSafe {
-			safe = append(safe, form)
-			if allString {
-				strings = append(strings, form)
-			}
-		}
-	}
-	return safe, strings
+	return policy.DirectJumpGrammar()
 }
 
 // NoControlFlowGrammar matches one legal NaCl non-control-flow
 // instruction: a safe instruction form, optionally under an operand-size
-// override, or a REP/REPN-prefixed string operation. Lock prefixes,
-// segment overrides and 16-bit addressing are rejected outright.
+// override, or a REP/REPN-prefixed string operation.
 func NoControlFlowGrammar() *grammar.Grammar {
-	safe32, strings32 := classifyForms(false)
-	safe16, _ := classifyForms(true)
-	var alts []*grammar.Grammar
-	alts = append(alts, safe32...)
-	alts = append(alts, grammar.Then(grammar.LitByte(0x66), grammar.Alt(safe16...)))
-	alts = append(alts, grammar.Then(grammar.LitByte(0xf3), grammar.Alt(strings32...)))
-	alts = append(alts, grammar.Then(grammar.LitByte(0xf2), grammar.Alt(strings32...)))
-	return grammar.Alt(alts...)
+	return policy.NoControlFlowGrammar(defaultSpec())
+}
+
+// SafeInst is the policy predicate on abstract syntax: an instruction the
+// sandbox can always allow (see policy.SafeInst).
+func SafeInst(i x86.Inst) bool { return policy.SafeInst(i) }
+
+// defaultSpec is the normalized default NaCl spec.
+func defaultSpec() policy.Spec {
+	s, err := policy.NaCl().Normalize()
+	if err != nil {
+		panic("core: the default policy spec must normalize: " + err.Error())
+	}
+	return s
 }
 
 // DFASet holds the three compiled checker automata.
@@ -189,29 +73,20 @@ var (
 	dfaErr  error
 )
 
-// BuildDFAs compiles the three policy grammars to DFAs. This is the
-// paper's offline table generation (§3.2); the result is memoized.
+// BuildDFAs compiles the three default-policy grammars to DFAs via the
+// runtime policy compiler. This is the paper's offline table generation
+// (§3.2); the result is memoized.
 func BuildDFAs() (*DFASet, error) {
 	dfaOnce.Do(func() {
-		ctx := grammar.NewCtx()
-		compile := func(g *grammar.Grammar, name string) *grammar.DFA {
-			if dfaErr != nil {
-				return nil
-			}
-			d, err := ctx.CompileDFA(ctx.Strip(g), 0)
-			if err != nil {
-				dfaErr = fmt.Errorf("core: compiling %s: %w", name, err)
-				return nil
-			}
-			return d
+		c, err := policy.CompileDefault()
+		if err != nil {
+			dfaErr = err
+			return
 		}
-		set := &DFASet{
-			MaskedJump:    compile(MaskedJumpGrammar(), "MaskedJump"),
-			NoControlFlow: compile(NoControlFlowGrammar(), "NoControlFlow"),
-			DirectJump:    compile(DirectJumpGrammar(), "DirectJump"),
-		}
-		if dfaErr == nil {
-			dfaSet = set
+		dfaSet = &DFASet{
+			MaskedJump:    c.MaskedJump,
+			NoControlFlow: c.NoControlFlow,
+			DirectJump:    c.DirectJump,
 		}
 	})
 	return dfaSet, dfaErr

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -17,7 +18,7 @@ import (
 // computing base is then exactly: this loader, verifier.go, engine.go,
 // and the bytes of the tables.
 //
-// Three bundle versions exist:
+// Four bundle versions exist:
 //
 //	RSLT1: the three policy DFAs, CRC-checked (the seed format).
 //	RSLT2: the fused product automaton (states, start, tag bytes,
@@ -32,6 +33,12 @@ import (
 //	       against its own recomputation and ensureStride semantically
 //	       verifies the pair tables before first use, so a corrupt or
 //	       stale section can cost speed but never change a verdict.
+//	RSLT4: a CRC-checked policy-parameter block (bundle size, mask
+//	       length, aligned-calls flag, guard cutoff, policy name)
+//	       followed by the full v3 body. This is the format for
+//	       non-default compiled policies (cmd/dfagen -spec), whose
+//	       engine parameters must travel with their tables; v1–v3
+//	       bundles always describe the default NaCl policy.
 //
 // Loading a v1 bundle reconstructs the fused automaton from the
 // component tables; loading a v2/v3 bundle is pure deserialization,
@@ -40,11 +47,18 @@ import (
 // renumbered into the current class-band state order on load
 // (reorderByClass), so bundles written by older builds keep loading.
 
-// tableMagicV1..V3 identify serialized DFA bundles.
+// tableMagicV1..V4 identify serialized DFA bundles. RSLT4 is RSLT3
+// prefixed by a CRC-checked policy-parameter block (bundle size, mask
+// length, guard cutoff, aligned-calls flag, policy name), so one bundle
+// carries everything a non-default compiled policy needs; the default
+// NaCl policy keeps shipping as RSLT3 (parameters implied), which is
+// what holds the embedded bundle byte-stable across the policy-compiler
+// refactor.
 const (
 	tableMagicV1 = "RSLT1\x00"
 	tableMagicV2 = "RSLT2\x00"
 	tableMagicV3 = "RSLT3\x00"
+	tableMagicV4 = "RSLT4\x00"
 	magicLen     = len(tableMagicV1)
 )
 
@@ -106,6 +120,98 @@ func (s *DFASet) WriteTablesV3(w io.Writer) error {
 	return s.writeBody(w)
 }
 
+// WriteTablesV4 serializes the v4 bundle: the policy-parameter block,
+// then the full v3 body (fused automaton, stride section, component
+// DFAs). This is the format for non-default compiled policies, whose
+// engine parameters must travel with the tables.
+func (s *DFASet) WriteTablesV4(w io.Writer, info PolicyInfo, alignedCalls bool) error {
+	if _, err := io.WriteString(w, tableMagicV4); err != nil {
+		return err
+	}
+	if err := writeParams(w, info, alignedCalls); err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	if err := s.WriteTablesV3(&body); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes()[magicLen:])
+	return err
+}
+
+// writeParams serializes the v4 policy-parameter block: bundle size,
+// mask length, flags (bit 0 = aligned calls), guard cutoff, the policy
+// name, and a CRC over all of it.
+func writeParams(w io.Writer, info PolicyInfo, alignedCalls bool) error {
+	name := info.Name
+	if len(name) > maxPolicyNameLen {
+		name = name[:maxPolicyNameLen]
+	}
+	buf := make([]byte, 0, 10+len(name))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(info.BundleSize))
+	buf = append(buf, byte(info.MaskLen))
+	var flags byte
+	if alignedCalls {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, info.GuardCutoff)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(buf))
+}
+
+// maxPolicyNameLen bounds the serialized policy name.
+const maxPolicyNameLen = 64
+
+// readParams deserializes and validates a v4 policy-parameter block.
+func readParams(r io.Reader) (params policyParams, alignedCalls bool, err error) {
+	head := make([]byte, 10)
+	if _, e := io.ReadFull(r, head); e != nil {
+		return params, false, fmt.Errorf("core: reading policy parameters: %w", e)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(head)
+	bundle := int(binary.LittleEndian.Uint16(head))
+	mlen := int(head[2])
+	flags := head[3]
+	guard := binary.LittleEndian.Uint32(head[4:])
+	nameLen := int(binary.LittleEndian.Uint16(head[8:]))
+	if nameLen > maxPolicyNameLen {
+		return params, false, fmt.Errorf("core: implausible policy name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, e := io.ReadFull(r, name); e != nil {
+		return params, false, fmt.Errorf("core: reading policy name: %w", e)
+	}
+	crc.Write(name)
+	var sum uint32
+	if e := binary.Read(r, binary.LittleEndian, &sum); e != nil {
+		return params, false, e
+	}
+	if sum != crc.Sum32() {
+		return params, false, fmt.Errorf("core: policy parameter checksum mismatch")
+	}
+	if bundle < 16 || bundle > 4096 || bundle&(bundle-1) != 0 {
+		return params, false, fmt.Errorf("core: implausible policy bundle size %d", bundle)
+	}
+	if mlen < 1 || mlen > 15 {
+		return params, false, fmt.Errorf("core: implausible policy mask length %d", mlen)
+	}
+	if flags&^byte(1) != 0 {
+		return params, false, fmt.Errorf("core: undefined policy flag bits %#x", flags)
+	}
+	return policyParams{
+		name:    string(name),
+		bundle:  bundle,
+		maskLen: mlen,
+		guard:   guard,
+	}, flags&1 != 0, nil
+}
+
 // sniffVersion consumes the magic and returns the bundle version, or an
 // error naming the unknown version so CLI users know a re-generation
 // (or a different tool) is needed.
@@ -121,9 +227,11 @@ func sniffVersion(r io.Reader) (int, error) {
 		return 2, nil
 	case tableMagicV3:
 		return 3, nil
+	case tableMagicV4:
+		return 4, nil
 	}
-	return 0, fmt.Errorf("core: unknown table bundle version %q (want %q, %q or %q)",
-		string(magic), tableMagicV1, tableMagicV2, tableMagicV3)
+	return 0, fmt.Errorf("core: unknown table bundle version %q (want %q, %q, %q or %q)",
+		string(magic), tableMagicV1, tableMagicV2, tableMagicV3, tableMagicV4)
 }
 
 // ReadTables deserializes the component DFA set from a bundle of any
@@ -133,6 +241,11 @@ func ReadTables(r io.Reader) (*DFASet, error) {
 	version, err := sniffVersion(r)
 	if err != nil {
 		return nil, err
+	}
+	if version >= 4 {
+		if _, _, err := readParams(r); err != nil {
+			return nil, err
+		}
 	}
 	if version >= 2 {
 		f, err := readFused(r)
@@ -163,13 +276,21 @@ func readSet(r io.Reader) (*DFASet, error) {
 // NewCheckerFromTables builds a checker directly from a serialized
 // bundle, bypassing grammar compilation entirely. v1 bundles carry only
 // the component DFAs, so the fused automaton is reconstructed (a few
-// milliseconds of product construction); v2 bundles deserialize both.
-// Every load is CRC- and bounds-checked: a corrupted bundle fails
-// closed at this boundary, never at verification time.
+// milliseconds of product construction); v2+ bundles deserialize both,
+// and v4 bundles additionally restore the compiled policy's engine
+// parameters (v1–v3 imply the default NaCl parameters). Every load is
+// CRC- and bounds-checked: a corrupted bundle fails closed at this
+// boundary, never at verification time.
 func NewCheckerFromTables(r io.Reader) (*Checker, error) {
 	version, err := sniffVersion(r)
 	if err != nil {
 		return nil, err
+	}
+	params, alignedCalls := naclParams, false
+	if version >= 4 {
+		if params, alignedCalls, err = readParams(r); err != nil {
+			return nil, err
+		}
 	}
 	if version == 1 {
 		set, err := readSet(r)
@@ -192,10 +313,12 @@ func NewCheckerFromTables(r io.Reader) (*Checker, error) {
 		return nil, err
 	}
 	return &Checker{
-		masked: newDFA(set.MaskedJump),
-		noCF:   newDFA(set.NoControlFlow),
-		direct: newDFA(set.DirectJump),
-		fused:  fused,
+		masked:       newDFA(set.MaskedJump),
+		noCF:         newDFA(set.NoControlFlow),
+		direct:       newDFA(set.DirectJump),
+		fused:        fused,
+		params:       params,
+		AlignedCalls: alignedCalls,
 	}, nil
 }
 

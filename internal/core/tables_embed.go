@@ -46,5 +46,6 @@ func newCheckerFromEmbedded() (*Checker, error) {
 		noCF:   embChecker.noCF,
 		direct: embChecker.direct,
 		fused:  embChecker.fused,
+		params: embChecker.params,
 	}, nil
 }

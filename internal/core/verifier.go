@@ -2,6 +2,7 @@ package core
 
 import (
 	"rocksalt/internal/grammar"
+	"rocksalt/internal/policy"
 )
 
 // This file is the Go rendition of the paper's trusted checker: the
@@ -11,12 +12,17 @@ import (
 // automaton (fused.go) is the performance path; the three-DFA match
 // loop here is the reference semantics it is held to.
 
-// Checker verifies flat code images against the NaCl sandbox policy.
+// Checker verifies flat code images against a compiled sandbox policy
+// (the NaCl policy by default; see NewCheckerFromPolicy for others).
 type Checker struct {
 	masked, noCF, direct *dfa
 	// fused is the product automaton the default engine walks; the
 	// three component DFAs above remain the reference engine.
 	fused *fusedDFA
+	// params are the engine knobs of the compiled policy: bundle size,
+	// mask-instruction length and guard cutoff. Every constructor sets
+	// them (to naclParams unless a spec says otherwise).
+	params policyParams
 	// Entries is the set of permitted out-of-image direct-jump targets
 	// (the NaCl runtime's trampoline entry points).
 	Entries map[uint32]bool
@@ -26,6 +32,50 @@ type Checker struct {
 	// production NaCl uses to make its replacement for RET safe. Off by
 	// default (the paper's five requirements do not include it).
 	AlignedCalls bool
+}
+
+// policyParams are the non-table engine parameters of a compiled
+// policy. They are part of the verdict-cache configuration key
+// (cache.go) and of the RSLT4 bundle format (tables.go).
+type policyParams struct {
+	// name labels the policy in PolicyInfo; it has no engine effect.
+	name string
+	// bundle is the alignment quantum (a power of two dividing
+	// ShardBytes).
+	bundle int
+	// maskLen is the encoded size of the masking AND; the jump half of
+	// a masked pair starts maskLen bytes into the pair.
+	maskLen int
+	// guard, when nonzero, rejects out-of-image direct-jump targets
+	// below it even when whitelisted in Entries.
+	guard uint32
+}
+
+// naclParams are the default NaCl policy's engine parameters.
+var naclParams = policyParams{name: "nacl-32", bundle: BundleSize, maskLen: maskLen}
+
+// PolicyInfo describes the compiled policy a checker enforces.
+type PolicyInfo struct {
+	// Name is the policy's display name (from the spec; "nacl-32" for
+	// the default).
+	Name string
+	// BundleSize is the alignment quantum in bytes.
+	BundleSize int
+	// MaskLen is the encoded size of the masking AND instruction.
+	MaskLen int
+	// GuardCutoff is the guard-region ceiling (0 = no guard region).
+	GuardCutoff uint32
+}
+
+// PolicyInfo reports the compiled policy parameters this checker
+// enforces.
+func (c *Checker) PolicyInfo() PolicyInfo {
+	return PolicyInfo{
+		Name:        c.params.name,
+		BundleSize:  c.params.bundle,
+		MaskLen:     c.params.maskLen,
+		GuardCutoff: c.params.guard,
+	}
 }
 
 // NewChecker returns a checker backed by the pregenerated table bundle
@@ -52,18 +102,52 @@ func NewCheckerFromGrammars() (*Checker, error) {
 }
 
 // newCheckerFromSet builds the runtime checker — component DFAs plus
-// the fused product — from a compiled or deserialized DFA set.
+// the fused product — from a compiled or deserialized DFA set, under
+// the default NaCl engine parameters.
 func newCheckerFromSet(set *DFASet) (*Checker, error) {
+	return newCheckerFromSetParams(set, naclParams, false)
+}
+
+// newCheckerFromSetParams is newCheckerFromSet with explicit engine
+// parameters (for non-default policies and RSLT4 bundles).
+func newCheckerFromSetParams(set *DFASet, params policyParams, alignedCalls bool) (*Checker, error) {
 	fused, err := fuseDFAs(set)
 	if err != nil {
 		return nil, err
 	}
 	return &Checker{
-		masked: newDFA(set.MaskedJump),
-		noCF:   newDFA(set.NoControlFlow),
-		direct: newDFA(set.DirectJump),
-		fused:  fused,
+		masked:       newDFA(set.MaskedJump),
+		noCF:         newDFA(set.NoControlFlow),
+		direct:       newDFA(set.DirectJump),
+		fused:        fused,
+		params:       params,
+		AlignedCalls: alignedCalls,
 	}, nil
+}
+
+// NewCheckerFromPolicy builds a checker from a runtime-compiled policy:
+// the compiled component DFAs are fused, compacted and (lazily) strided
+// through exactly the pipeline the embedded bundle was generated with,
+// and the engine takes its bundle size, mask length and guard cutoff
+// from the spec. Compiling the default NaCl spec yields a checker
+// byte-identical in behaviour (and in serialized tables) to NewChecker.
+func NewCheckerFromPolicy(com *policy.Compiled) (*Checker, error) {
+	set := &DFASet{
+		MaskedJump:    com.MaskedJump,
+		NoControlFlow: com.NoControlFlow,
+		DirectJump:    com.DirectJump,
+	}
+	return newCheckerFromSetParams(set, specParams(com.Spec), com.Spec.AlignedCalls)
+}
+
+// specParams extracts the engine parameters from a normalized spec.
+func specParams(s policy.Spec) policyParams {
+	return policyParams{
+		name:    s.Name,
+		bundle:  s.BundleSize,
+		maskLen: s.MaskLen(),
+		guard:   s.GuardCutoff,
+	}
 }
 
 // match is Figure 6: run the DFA over code starting at *pos; on reaching

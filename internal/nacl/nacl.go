@@ -13,12 +13,90 @@ import (
 
 	"rocksalt/internal/core"
 	"rocksalt/internal/grammar"
+	"rocksalt/internal/policy"
 	"rocksalt/internal/x86"
 	"rocksalt/internal/x86/encode"
 )
 
-// Builder assembles a NaCl-compliant code image.
+// Profile captures the image-layout conventions of one compiled policy
+// — everything the builder and generator need to emit compliant code
+// for it: the bundle size and the encoding of the masked jump/call
+// pair. The zero-value-free constructors are NaClProfile (the default
+// 32-byte policy) and ProfileForSpec (any normalized policy.Spec).
+type Profile struct {
+	// Name labels the profile (matches the spec name).
+	Name string
+	// Bundle is the alignment quantum in bytes.
+	Bundle int
+	// Regs are the maskable registers (the generator draws jump
+	// registers from these).
+	Regs []x86.Reg
+	// Pair encodes the masked AND+JMP (or AND+CALL) sequence through r.
+	Pair func(r x86.Reg, call bool) []byte
+}
+
+// NaClProfile is the default 32-byte-bundle NaCl profile.
+func NaClProfile() Profile {
+	return Profile{
+		Name:   "nacl-32",
+		Bundle: core.BundleSize,
+		Regs:   maskableRegs([]x86.Reg{x86.ESP}),
+		Pair:   naclPair,
+	}
+}
+
+// ProfileForSpec derives the builder/generator conventions from a
+// policy spec (normalized first, so presets and hand-written specs both
+// work).
+func ProfileForSpec(s policy.Spec) (Profile, error) {
+	norm, err := s.Normalize()
+	if err != nil {
+		return Profile{}, err
+	}
+	imm := norm.MaskImm()
+	width32 := norm.MaskWidth == 32
+	regs := norm.MaskRegisters()
+	return Profile{
+		Name:   norm.Name,
+		Bundle: norm.BundleSize,
+		Regs:   regs,
+		Pair: func(r x86.Reg, call bool) []byte {
+			modrm := byte(0xe0) // /4 = jmp
+			if call {
+				modrm = 0xd0 // /2 = call
+			}
+			if width32 {
+				return []byte{0x81, 0xe0 | byte(r),
+					byte(imm), byte(imm >> 8), byte(imm >> 16), byte(imm >> 24),
+					0xff, modrm | byte(r)}
+			}
+			return []byte{0x83, 0xe0 | byte(r), byte(imm), 0xff, modrm | byte(r)}
+		},
+	}, nil
+}
+
+// maskableRegs returns the GP registers in encoding order minus the
+// scratch set.
+func maskableRegs(scratch []x86.Reg) []x86.Reg {
+	var out []x86.Reg
+	for r := x86.EAX; r <= x86.EDI; r++ {
+		skip := false
+		for _, s := range scratch {
+			if r == s {
+				skip = true
+			}
+		}
+		if !skip {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Builder assembles a policy-compliant code image (NaCl's 32-byte
+// bundles by default; see NewBuilderProfile for other policies).
 type Builder struct {
+	prof   Profile
 	buf    []byte
 	labels map[string]int
 	fixups []fixup
@@ -30,9 +108,16 @@ type fixup struct {
 	label string
 }
 
-// NewBuilder returns an empty image builder.
+// NewBuilder returns an empty image builder for the default NaCl
+// profile.
 func NewBuilder() *Builder {
-	return &Builder{labels: make(map[string]int)}
+	return NewBuilderProfile(NaClProfile())
+}
+
+// NewBuilderProfile returns an empty image builder emitting code under
+// the given policy profile.
+func NewBuilderProfile(p Profile) *Builder {
+	return &Builder{prof: p, labels: make(map[string]int)}
 }
 
 // Len returns the current image size.
@@ -48,9 +133,10 @@ func (b *Builder) padTo(off int) {
 }
 
 // fit pads to the next bundle when n more bytes would cross a bundle
-// boundary (the policy requires every 32nd byte to start an instruction).
+// boundary (the policy requires every bundle-size-th byte to start an
+// instruction).
 func (b *Builder) fit(n int) {
-	rem := core.BundleSize - len(b.buf)%core.BundleSize
+	rem := b.prof.Bundle - len(b.buf)%b.prof.Bundle
 	if n > rem {
 		b.padTo(len(b.buf) + rem)
 	}
@@ -78,27 +164,27 @@ func (b *Builder) Label(name string) {
 	b.labels[name] = len(b.buf)
 }
 
-// AlignBundle pads to the next 32-byte boundary (no-op when already
+// AlignBundle pads to the next bundle boundary (no-op when already
 // aligned). Jump targets for computed jumps must be bundle-aligned.
 func (b *Builder) AlignBundle() {
-	if rem := len(b.buf) % core.BundleSize; rem != 0 {
-		b.padTo(len(b.buf) + core.BundleSize - rem)
+	if rem := len(b.buf) % b.prof.Bundle; rem != 0 {
+		b.padTo(len(b.buf) + b.prof.Bundle - rem)
 	}
 }
 
 // MaskedJump emits the two-instruction nacljmp sequence through r
-// (AND r, -32; JMP r), as one unit within a bundle.
+// (AND r, mask; JMP r), as one unit within a bundle.
 func (b *Builder) MaskedJump(r x86.Reg) {
-	b.Raw(naclPair(r, false))
+	b.Raw(b.prof.Pair(r, false))
 }
 
-// MaskedCall emits AND r, -32; CALL r. The call is placed so that it ends
-// exactly at a bundle boundary, making the return address bundle-aligned
-// (the NaCl convention for returns, which replace RET).
+// MaskedCall emits AND r, mask; CALL r. The call is placed so that it
+// ends exactly at a bundle boundary, making the return address
+// bundle-aligned (the NaCl convention for returns, which replace RET).
 func (b *Builder) MaskedCall(r x86.Reg) {
-	pair := naclPair(r, true)
-	want := core.BundleSize - len(pair) // start offset within the bundle
-	pos := len(b.buf) % core.BundleSize
+	pair := b.prof.Pair(r, true)
+	want := b.prof.Bundle - len(pair) // start offset within the bundle
+	pos := len(b.buf) % b.prof.Bundle
 	if pos > want {
 		b.AlignBundle()
 		pos = 0
@@ -141,8 +227,8 @@ func (b *Builder) Call(label string) {
 // checkers running with AlignedCalls.
 func (b *Builder) CallAligned(label string) {
 	const n = 5 // e8 rel32
-	want := core.BundleSize - n
-	pos := len(b.buf) % core.BundleSize
+	want := b.prof.Bundle - n
+	pos := len(b.buf) % b.prof.Bundle
 	if pos > want {
 		b.AlignBundle()
 		pos = 0
@@ -178,24 +264,36 @@ func (b *Builder) Finish() ([]byte, error) {
 // legal instructions), interleaved with masked jumps and direct jumps to
 // bundle boundaries.
 type Generator struct {
+	prof    Profile
 	rng     *rand.Rand
 	sampler *grammar.Sampler
 	safe    *grammar.Grammar
 }
 
-// NewGenerator creates a generator with the given seed.
+// NewGenerator creates a generator with the given seed for the default
+// NaCl policy.
 func NewGenerator(seed int64) *Generator {
+	return NewGeneratorFor(seed, NaClProfile(), core.NoControlFlowGrammar())
+}
+
+// NewGeneratorFor creates a generator emitting images compliant with an
+// arbitrary compiled policy: the profile supplies the layout
+// conventions and safe is the policy's own NoControlFlow grammar
+// (policy.Compiled.SafeGrammar), so sampled instruction bytes are
+// definitionally legal under that policy.
+func NewGeneratorFor(seed int64, prof Profile, safe *grammar.Grammar) *Generator {
 	rng := rand.New(rand.NewSource(seed))
 	return &Generator{
+		prof:    prof,
 		rng:     rng,
 		sampler: grammar.NewSampler(rng),
-		safe:    core.NoControlFlowGrammar(),
+		safe:    safe,
 	}
 }
 
 // Random produces a compliant image containing roughly n instructions.
 func (g *Generator) Random(n int) ([]byte, error) {
-	b := NewBuilder()
+	b := NewBuilderProfile(g.prof)
 	bundles := 1
 	for i := 0; i < n; i++ {
 		switch r := g.rng.Intn(100); {
@@ -206,10 +304,7 @@ func (g *Generator) Random(n int) ([]byte, error) {
 			}
 			b.Raw(code)
 		case r < 90:
-			reg := x86.Reg(g.rng.Intn(8))
-			if reg == x86.ESP {
-				reg = x86.EAX
-			}
+			reg := g.prof.Regs[g.rng.Intn(len(g.prof.Regs))]
 			b.MaskedJump(reg)
 		case r < 96:
 			// Direct jump to a random bundle boundary (bundle starts are
@@ -224,7 +319,7 @@ func (g *Generator) Random(n int) ([]byte, error) {
 			b.AlignBundle()
 		}
 		// Define a label at every bundle boundary we cross.
-		for len(b.buf)/core.BundleSize >= bundles {
+		for len(b.buf)/g.prof.Bundle >= bundles {
 			b.Label(fmt.Sprintf("b%d", bundles))
 			// Labels at bundle starts require the boundary to be an
 			// instruction start, which the builder guarantees.
@@ -241,7 +336,7 @@ func (g *Generator) Random(n int) ([]byte, error) {
 	}
 	// The final position may be referenced; make it a real boundary with
 	// one more bundle of nops.
-	b.Raw(encode.NopPad(core.BundleSize))
+	b.Raw(encode.NopPad(g.prof.Bundle))
 	return b.Finish()
 }
 

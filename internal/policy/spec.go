@@ -1,0 +1,265 @@
+// Package policy is the runtime policy compiler: the full grammar →
+// derivative-DFA → fused-product pipeline behind the RockSalt checker,
+// driven by a declarative PolicySpec instead of being frozen into
+// cmd/dfagen at build time. The paper's central idea is that a sandbox
+// policy is *data* — regular grammars compiled to DFAs — and this
+// package makes that literal: a Spec names the mask discipline, bundle
+// size, call/return rules, guard region and banned instruction classes,
+// and Compile turns it into the three policy DFAs the core engine
+// consumes. Compiling the default NaCl spec reproduces, byte for byte,
+// the tables cmd/dfagen embeds (the regeneration guard holds the two
+// paths identical).
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+
+	"rocksalt/internal/vcache"
+	"rocksalt/internal/x86"
+)
+
+// Spec is the declarative sandbox policy description. The zero value of
+// every optional field means "the NaCl default"; Normalize fills the
+// defaults in and Validate rejects contradictory combinations. Specs
+// are written as JSON (see ParseSpec), e.g.:
+//
+//	{
+//	  "name":         "reins-16",
+//	  "bundle_size":  16,
+//	  "mask_width":   32,
+//	  "code_limit":   268435456,
+//	  "guard_cutoff": 65536,
+//	  "banned_classes": ["string"]
+//	}
+type Spec struct {
+	// Name labels the policy in reports and benchmarks. It does not
+	// affect the compiled tables or the fingerprint.
+	Name string `json:"name"`
+	// BundleSize is the alignment quantum: computed jump targets must be
+	// multiples of it and no instruction may straddle a multiple. Must be
+	// a power of two in [16, 4096]; masks of width 8 additionally require
+	// it to be at most 128 (the sign-extended imm8 cannot express more).
+	BundleSize int `json:"bundle_size"`
+	// MaskWidth selects the masking AND's immediate width: 8 (the NaCl
+	// "AND r, imm8" whose sign extension clears the low bits — the
+	// default) or 32 (a REINS-style "AND r, imm32" that additionally
+	// confines the target below CodeLimit).
+	MaskWidth int `json:"mask_width,omitempty"`
+	// CodeLimit is the power-of-two ceiling of the sandboxed code region,
+	// required exactly when MaskWidth is 32: the mask immediate becomes
+	// (CodeLimit-1) &^ (BundleSize-1).
+	CodeLimit uint32 `json:"code_limit,omitempty"`
+	// MaskRegs are the registers a masked jump may go through, by name
+	// ("eax".."edi"). Empty means every general register that is not a
+	// scratch register, in encoding order — the paper's list.
+	MaskRegs []string `json:"mask_regs,omitempty"`
+	// ScratchRegs are registers excluded from masked jumps. Empty means
+	// ["esp"]; esp is always scratch (masking the stack pointer is
+	// unsound) and listing it in MaskRegs is a validation error.
+	ScratchRegs []string `json:"scratch_regs,omitempty"`
+	// AlignedCalls additionally requires every call to end exactly at a
+	// bundle boundary, so return addresses are always bundle-aligned.
+	AlignedCalls bool `json:"aligned_calls,omitempty"`
+	// GuardCutoff, when nonzero, declares [0, GuardCutoff) a guard
+	// region: out-of-image direct-jump targets below it are rejected even
+	// when whitelisted as entry points (the REINS low-memory guard).
+	GuardCutoff uint32 `json:"guard_cutoff,omitempty"`
+	// BannedClasses removes instruction classes from the safe set:
+	// "string" (the string operations and their REP forms), "rep-prefix"
+	// (REP/REPNE prefixes only), "opsize16" (the 0x66 operand-size
+	// override).
+	BannedClasses []string `json:"banned_classes,omitempty"`
+}
+
+// regNames maps the spec's register names to encodings; ESP is absent
+// on purpose (it can never be a mask register).
+var regNames = map[string]x86.Reg{
+	"eax": x86.EAX, "ecx": x86.ECX, "edx": x86.EDX, "ebx": x86.EBX,
+	"esp": x86.ESP, "ebp": x86.EBP, "esi": x86.ESI, "edi": x86.EDI,
+}
+
+// bannedClassNames is the closed set Validate accepts.
+var bannedClassNames = map[string]bool{
+	"string": true, "rep-prefix": true, "opsize16": true,
+}
+
+// NaCl returns the default policy: the paper's NaCl sandbox (32-byte
+// bundles, AND r,imm8 masks through every register but esp). Compiling
+// it reproduces the embedded table bundle byte-identically.
+func NaCl() Spec {
+	return Spec{Name: "nacl-32", BundleSize: 32}
+}
+
+// NaCl16 returns the 16-byte-bundle NaCl variant — the padding/overhead
+// tradeoff point studied by Emamdoost & McCamant: denser images, a
+// 0xf0 mask, and twice as many alignment constraints.
+func NaCl16() Spec {
+	return Spec{Name: "nacl-16", BundleSize: 16}
+}
+
+// REINS returns a REINS-style policy: 16-byte chunks, a 32-bit AND mask
+// confining computed targets below a 256 MiB code ceiling, a 64 KiB
+// low-memory guard region, and the string operations banned. The IAT
+// (import address table) call forms of full REINS rewrite through
+// trusted trampolines and are not modeled here; this is the non-IAT
+// subset expressible as a pure image policy.
+func REINS() Spec {
+	return Spec{
+		Name:          "reins-16",
+		BundleSize:    16,
+		MaskWidth:     32,
+		CodeLimit:     1 << 28,
+		GuardCutoff:   1 << 16,
+		BannedClasses: []string{"string"},
+	}
+}
+
+// ParseSpec decodes a JSON policy spec, rejecting unknown fields, and
+// validates it. The returned spec is normalized.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("policy: parsing spec: %w", err)
+	}
+	return s.Normalize()
+}
+
+// Normalize validates the spec and fills in the defaults, returning the
+// canonical form Compile and Fingerprint work from.
+func (s Spec) Normalize() (Spec, error) {
+	if s.Name == "" {
+		s.Name = "custom"
+	}
+	if s.MaskWidth == 0 {
+		s.MaskWidth = 8
+	}
+	if s.MaskWidth != 8 && s.MaskWidth != 32 {
+		return Spec{}, fmt.Errorf("policy: mask_width must be 8 or 32, not %d", s.MaskWidth)
+	}
+	b := s.BundleSize
+	if b < 16 || b > 4096 || bits.OnesCount(uint(b)) != 1 {
+		return Spec{}, fmt.Errorf("policy: bundle_size must be a power of two in [16, 4096], not %d", b)
+	}
+	if s.MaskWidth == 8 && b > 128 {
+		return Spec{}, fmt.Errorf("policy: bundle_size %d needs mask_width 32 (a sign-extended imm8 reaches at most 128)", b)
+	}
+	if s.MaskWidth == 8 && s.CodeLimit != 0 {
+		return Spec{}, fmt.Errorf("policy: code_limit requires mask_width 32 (an imm8 mask cannot bound the code region)")
+	}
+	if s.MaskWidth == 32 {
+		cl := s.CodeLimit
+		if cl == 0 {
+			return Spec{}, fmt.Errorf("policy: mask_width 32 requires code_limit")
+		}
+		if bits.OnesCount32(cl) != 1 || int64(cl) <= int64(b) {
+			return Spec{}, fmt.Errorf("policy: code_limit must be a power of two above bundle_size %d, not %#x", b, cl)
+		}
+	}
+	if s.GuardCutoff != 0 && s.GuardCutoff%uint32(b) != 0 {
+		return Spec{}, fmt.Errorf("policy: guard_cutoff %#x is not bundle-aligned", s.GuardCutoff)
+	}
+	if len(s.ScratchRegs) == 0 {
+		s.ScratchRegs = []string{"esp"}
+	}
+	scratch := map[x86.Reg]bool{x86.ESP: true} // esp is always scratch
+	for _, n := range s.ScratchRegs {
+		r, ok := regNames[n]
+		if !ok {
+			return Spec{}, fmt.Errorf("policy: unknown scratch register %q", n)
+		}
+		scratch[r] = true
+	}
+	if len(s.MaskRegs) == 0 {
+		s.MaskRegs = nil
+		for r := x86.EAX; r <= x86.EDI; r++ {
+			if !scratch[r] {
+				s.MaskRegs = append(s.MaskRegs, r.String())
+			}
+		}
+	}
+	if len(s.MaskRegs) == 0 {
+		return Spec{}, fmt.Errorf("policy: every register is scratch; no register left for masked jumps")
+	}
+	seen := map[x86.Reg]bool{}
+	for _, n := range s.MaskRegs {
+		r, ok := regNames[n]
+		if !ok {
+			return Spec{}, fmt.Errorf("policy: unknown mask register %q", n)
+		}
+		if r == x86.ESP {
+			return Spec{}, fmt.Errorf("policy: esp cannot be a mask register (masking the stack pointer is unsound)")
+		}
+		if scratch[r] {
+			return Spec{}, fmt.Errorf("policy: register %q is both a mask register and a scratch register", n)
+		}
+		if seen[r] {
+			return Spec{}, fmt.Errorf("policy: duplicate mask register %q", n)
+		}
+		seen[r] = true
+	}
+	for _, c := range s.BannedClasses {
+		if !bannedClassNames[c] {
+			return Spec{}, fmt.Errorf("policy: unknown banned class %q (want string, rep-prefix or opsize16)", c)
+		}
+	}
+	return s, nil
+}
+
+// MaskRegisters returns the mask registers as encodings, in spec
+// order. The spec must be normalized.
+func (s Spec) MaskRegisters() []x86.Reg {
+	out := make([]x86.Reg, len(s.MaskRegs))
+	for i, n := range s.MaskRegs {
+		out[i] = regNames[n]
+	}
+	return out
+}
+
+// banned reports whether the named class is banned.
+func (s Spec) banned(class string) bool {
+	for _, c := range s.BannedClasses {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// MaskImm is the masking AND's immediate value under the normalized
+// spec: for width 8 the byte whose sign extension is ^(BundleSize-1);
+// for width 32 the full alignment-and-region mask.
+func (s Spec) MaskImm() uint32 {
+	if s.MaskWidth == 32 {
+		return (s.CodeLimit - 1) &^ uint32(s.BundleSize-1)
+	}
+	return uint32(0x100-s.BundleSize) & 0xff
+}
+
+// MaskLen is the encoded size of the masking AND: 3 bytes for the imm8
+// form (0x83 modrm imm8), 6 for the imm32 form (0x81 modrm imm32).
+func (s Spec) MaskLen() int {
+	if s.MaskWidth == 32 {
+		return 6
+	}
+	return 3
+}
+
+// Fingerprint is the content hash of the normalized spec, excluding the
+// display name: two specs with equal fingerprints compile to the same
+// policy. It keys the compile memoization; verdict-cache separation
+// additionally rests on core's configKey, which hashes the compiled
+// tables and engine parameters themselves.
+func (s Spec) Fingerprint() vcache.Key {
+	c := s
+	c.Name = ""
+	buf, err := json.Marshal(c)
+	if err != nil {
+		panic("policy: marshaling a normalized spec cannot fail: " + err.Error())
+	}
+	return vcache.Sum("rocksalt/policy-spec", buf)
+}

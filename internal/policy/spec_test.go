@@ -1,0 +1,216 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"rocksalt/internal/x86"
+)
+
+// TestNormalizeDefaults pins the normalized form of the default spec:
+// the paper's register list (everything but esp, in encoding order),
+// width 8, esp scratch.
+func TestNormalizeDefaults(t *testing.T) {
+	s, err := NaCl().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaskWidth != 8 || s.BundleSize != 32 {
+		t.Fatalf("normalized defaults wrong: %+v", s)
+	}
+	want := []string{"eax", "ecx", "edx", "ebx", "ebp", "esi", "edi"}
+	if len(s.MaskRegs) != len(want) {
+		t.Fatalf("mask regs = %v, want %v", s.MaskRegs, want)
+	}
+	for i, n := range want {
+		if s.MaskRegs[i] != n {
+			t.Fatalf("mask regs = %v, want %v", s.MaskRegs, want)
+		}
+	}
+	if got := s.MaskRegisters(); got[0] != x86.EAX || len(got) != 7 {
+		t.Fatalf("MaskRegisters = %v", got)
+	}
+	if len(s.ScratchRegs) != 1 || s.ScratchRegs[0] != "esp" {
+		t.Fatalf("scratch regs = %v, want [esp]", s.ScratchRegs)
+	}
+}
+
+// TestNormalizeErrors is the malformed/contradictory-spec table: every
+// entry must be rejected with a message mentioning the offending knob.
+func TestNormalizeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"bundle-not-pow2", Spec{BundleSize: 24}, "power of two"},
+		{"bundle-too-small", Spec{BundleSize: 8}, "power of two"},
+		{"bundle-too-big", Spec{BundleSize: 8192}, "power of two"},
+		{"bundle-beyond-imm8", Spec{BundleSize: 256}, "mask_width 32"},
+		{"bad-width", Spec{BundleSize: 32, MaskWidth: 16}, "mask_width"},
+		{"code-limit-with-imm8", Spec{BundleSize: 32, CodeLimit: 1 << 20}, "code_limit requires mask_width 32"},
+		{"width32-without-limit", Spec{BundleSize: 32, MaskWidth: 32}, "requires code_limit"},
+		{"code-limit-not-pow2", Spec{BundleSize: 32, MaskWidth: 32, CodeLimit: 3 << 20}, "power of two"},
+		{"code-limit-below-bundle", Spec{BundleSize: 64, MaskWidth: 32, CodeLimit: 32}, "above bundle_size"},
+		{"guard-unaligned", Spec{BundleSize: 32, GuardCutoff: 48}, "not bundle-aligned"},
+		{"unknown-scratch", Spec{BundleSize: 32, ScratchRegs: []string{"rax"}}, "unknown scratch register"},
+		{"unknown-mask-reg", Spec{BundleSize: 32, MaskRegs: []string{"r8"}}, "unknown mask register"},
+		{"esp-mask-reg", Spec{BundleSize: 32, MaskRegs: []string{"esp"}}, "esp cannot be a mask register"},
+		{"mask-and-scratch", Spec{BundleSize: 32, MaskRegs: []string{"ebx"}, ScratchRegs: []string{"ebx"}}, "both a mask register and a scratch register"},
+		{"duplicate-mask-reg", Spec{BundleSize: 32, MaskRegs: []string{"eax", "eax"}}, "duplicate mask register"},
+		{"all-scratch", Spec{BundleSize: 32, ScratchRegs: []string{"eax", "ecx", "edx", "ebx", "ebp", "esi", "edi"}}, "no register left"},
+		{"unknown-banned-class", Spec{BundleSize: 32, BannedClasses: []string{"sse"}}, "unknown banned class"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.spec.Normalize()
+			if err == nil {
+				t.Fatalf("spec %+v normalized without error", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSpec pins the JSON surface: valid specs parse normalized,
+// unknown fields and syntax errors are rejected.
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"name":"p","bundle_size":16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "p" || s.BundleSize != 16 || s.MaskWidth != 8 || len(s.MaskRegs) != 7 {
+		t.Fatalf("parsed spec not normalized: %+v", s)
+	}
+	if _, err := ParseSpec([]byte(`{"bundle_size":16,"mask_bits":8}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseSpec([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"bundle_size":24}`)); err == nil {
+		t.Fatal("contradictory spec accepted")
+	}
+}
+
+// TestMaskImmAndLen pins the mask encodings of the three shipped
+// policies: NaCl-32 AND r,0xe0 (3 bytes), NaCl-16 AND r,0xf0, REINS
+// AND r,0x0ffffff0 (6 bytes).
+func TestMaskImmAndLen(t *testing.T) {
+	cases := []struct {
+		spec    Spec
+		imm     uint32
+		maskLen int
+	}{
+		{NaCl(), 0xe0, 3},
+		{NaCl16(), 0xf0, 3},
+		{REINS(), 0x0ffffff0, 6},
+	}
+	for _, tc := range cases {
+		s, err := tc.spec.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.MaskImm(); got != tc.imm {
+			t.Errorf("%s: MaskImm = %#x, want %#x", s.Name, got, tc.imm)
+		}
+		if got := s.MaskLen(); got != tc.maskLen {
+			t.Errorf("%s: MaskLen = %d, want %d", s.Name, got, tc.maskLen)
+		}
+	}
+}
+
+// TestFingerprint: the display name must not affect the fingerprint;
+// any policy-relevant knob must.
+func TestFingerprint(t *testing.T) {
+	a, err := NaCl().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := NaCl()
+	renamed.Name = "production"
+	b, err := renamed.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("renaming a spec changed its fingerprint")
+	}
+	c, err := NaCl16().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different bundle sizes share a fingerprint")
+	}
+	guarded := NaCl()
+	guarded.GuardCutoff = 1 << 16
+	d, err := guarded.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("guard-only spec difference not reflected in the fingerprint")
+	}
+}
+
+// TestCompileMemoized: same spec returns the identical Compiled value;
+// a renamed twin returns a copy carrying the new name but the same
+// automata.
+func TestCompileMemoized(t *testing.T) {
+	a, err := Compile(NaCl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(NaCl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("recompiling the same spec did not hit the memo")
+	}
+	renamed := NaCl()
+	renamed.Name = "production"
+	c, err := Compile(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spec.Name != "production" {
+		t.Fatalf("renamed compile kept name %q", c.Spec.Name)
+	}
+	if c.MaskedJump != a.MaskedJump || c.NoControlFlow != a.NoControlFlow {
+		t.Fatal("renamed compile rebuilt the automata instead of sharing them")
+	}
+}
+
+// TestCompileShapes pins the component DFA state counts of the default
+// policy (the paper's §3.2 numbers) and sanity-checks the variants.
+func TestCompileShapes(t *testing.T) {
+	def, err := CompileDefault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := def.MaskedJump.NumStates(); n != 25 {
+		t.Errorf("default MaskedJump has %d states, want 25", n)
+	}
+	if n := def.NoControlFlow.NumStates(); n != 46 {
+		t.Errorf("default NoControlFlow has %d states, want 46", n)
+	}
+	if n := def.DirectJump.NumStates(); n != 8 {
+		t.Errorf("default DirectJump has %d states, want 8", n)
+	}
+	for _, spec := range []Spec{NaCl16(), REINS()} {
+		com, err := Compile(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if com.MaskedJump.NumStates() < 2 || com.NoControlFlow.NumStates() < 2 {
+			t.Fatalf("%s: degenerate automata", spec.Name)
+		}
+		if com.SafeGrammar == nil {
+			t.Fatalf("%s: missing safe grammar", spec.Name)
+		}
+	}
+}
