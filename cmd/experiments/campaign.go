@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rocksalt/internal/campaign"
+	"rocksalt/internal/faultinject"
+	"rocksalt/internal/seedflag"
+	"rocksalt/internal/telemetry"
+)
+
+var (
+	campaignDir = flag.String("campaign-dir", "campaign", "campaign state directory (plan, journal, checkpoint, repros)")
+	resumeDir   = flag.String("resume", "", "resume the campaign in this directory (overrides -campaign-dir)")
+	campSeed    = seedflag.Register(flag.CommandLine)
+)
+
+// runCampaign drives the crash-safe mass-agreement campaign: the
+// deterministic work-plan of mutants per policy preset, each judged by
+// rocksalt vs ncval vs armor and escape-checked in the simulator, with
+// journal/checkpoint resume (-resume <dir>) and ddmin'd repros for any
+// finding. It prints the per-policy kill/agree table, writes
+// host-stamped BENCH_campaign.json, and — the CI smoke — exits nonzero
+// under -quick on any disagreement, escape or reference fault.
+func runCampaign() {
+	header("campaign", "crash-safe mass-agreement campaign (extension)",
+		"beyond the paper: the §3.3 agreement experiment as a resumable, fault-tolerant soak across policy presets")
+
+	telemetry.SetEnabled(true)
+	dir := *campaignDir
+	if *resumeDir != "" {
+		dir = *resumeDir
+	}
+	cfg := campaign.Config{
+		Seed:    *campSeed,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	if *quick {
+		// A few thousand tasks across all three presets: enough to
+		// exercise every mutator/policy cell and the armor stride.
+		cfg.Bases, cfg.BaseInstrs, cfg.PerKind, cfg.ArmorStride = 2, 40, 130, 40
+	} else {
+		// 3 policies x 4 bases x 4 kinds x 2100 = 100,800 tasks.
+		cfg.Bases, cfg.BaseInstrs, cfg.PerKind, cfg.ArmorStride = 4, 60, 2100, 16
+	}
+	seedflag.Announce(os.Stdout, "experiments -run campaign", *campSeed)
+
+	c, err := campaign.Open(dir, cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	eff := c.Config()
+	if c.Resumed() {
+		fmt.Printf("   resuming %s: %d/%d tasks already journaled (plan seed %d)\n",
+			dir, c.Done(), eff.NumTasks(), eff.Seed)
+	} else {
+		fmt.Printf("   new campaign in %s: %d tasks (%d policies x %d bases x %d kinds x %d mutants)\n",
+			dir, eff.NumTasks(), len(eff.Policies), eff.Bases, faultinject.NumImageKinds, eff.PerKind)
+	}
+
+	start := time.Now()
+	res, err := c.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("   %d/%d tasks done in %v (%.0f tasks/s this run)\n",
+		res.Done, res.Tasks, elapsed.Round(time.Millisecond),
+		float64(res.Done)/elapsed.Seconds())
+	fmt.Printf("   %-10s %8s %8s %8s %10s %8s %8s\n",
+		"policy", "tasks", "kills", "agree", "disagree", "escape", "fault")
+	bad := int64(0)
+	for _, pt := range res.Policies {
+		fmt.Printf("   %-10s %8d %8d %8d %10d %8d %8d\n",
+			pt.Policy, pt.Tasks, pt.Kills, pt.Agreements, pt.Disagreements, pt.Escapes, pt.Faults)
+		bad += pt.Disagreements + pt.Escapes + pt.Faults
+	}
+	for _, f := range res.Findings {
+		fmt.Printf("   FINDING: task %d (%s/%s) %s: %s\n", f.Task, f.Policy, f.Kind, f.Verdict, f.Detail)
+	}
+
+	out := struct {
+		Host     hostMeta         `json:"host"`
+		Seed     int64            `json:"seed"`
+		Dir      string           `json:"dir"`
+		Resumed  bool             `json:"resumed"`
+		Quick    bool             `json:"quick"`
+		Elapsed  float64          `json:"elapsed_s"`
+		TasksPerS float64         `json:"tasks_per_s"`
+		Result   *campaign.Result `json:"result"`
+	}{
+		Host: hostInfo(), Seed: eff.Seed, Dir: dir, Resumed: c.Resumed(), Quick: *quick,
+		Elapsed: elapsed.Seconds(), TasksPerS: float64(res.Done) / elapsed.Seconds(),
+		Result: res,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_campaign.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("   wrote BENCH_campaign.json (seed %d embedded)\n", eff.Seed)
+	fmt.Printf("   verdict: %s (0 disagreements, 0 escapes, 0 faults across %d policies)\n",
+		pass(bad == 0), len(res.Policies))
+	if *quick && bad != 0 {
+		os.Exit(1)
+	}
+}

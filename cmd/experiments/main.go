@@ -35,7 +35,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 func main() {
-	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride, policy); empty = all")
+	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride, policy, campaign); empty = all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -67,7 +67,13 @@ func main() {
 		{"obsv", obsvOverhead},
 		{"stride", benchStride},
 		{"policy", benchPolicy},
+		{"campaign", runCampaign},
 	} {
+		// The campaign is a soak, not a benchmark: it only runs when
+		// named explicitly, never as part of the default full pass.
+		if e.id == "campaign" && !want[e.id] {
+			continue
+		}
 		if sel(e.id) {
 			e.fn()
 			fmt.Println()

@@ -10,14 +10,16 @@ import (
 	"path/filepath"
 
 	"rocksalt/internal/nacl"
+	"rocksalt/internal/seedflag"
 )
 
 func main() {
 	n := flag.Int("n", 200, "approximate instruction count for random images")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := seedflag.Register(flag.CommandLine)
 	unsafeDir := flag.String("unsafe", "", "write the unsafe corpus into this directory")
 	out := flag.String("o", "image.bin", "output file for the random image")
 	flag.Parse()
+	seedflag.Announce(os.Stdout, "naclgen", *seed)
 
 	if *unsafeDir != "" {
 		if err := os.MkdirAll(*unsafeDir, 0o755); err != nil {
@@ -45,5 +47,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "naclgen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %d bytes (~%d instructions), NaCl-compliant\n", *out, len(img), *n)
+	// A raw .bin carries no provenance, so write a sidecar recording the
+	// seed and size needed to regenerate it.
+	meta, err := seedflag.MarshalMeta("naclgen", *seed, map[string]any{"n": *n})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "naclgen:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out+".meta.json", meta, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "naclgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d bytes (~%d instructions), NaCl-compliant (seed in %s.meta.json)\n", *out, len(img), *n, *out)
 }

@@ -17,6 +17,7 @@ import (
 	"rocksalt/internal/grammar"
 	"rocksalt/internal/nacl"
 	"rocksalt/internal/ncval"
+	"rocksalt/internal/seedflag"
 	"rocksalt/internal/sim"
 	"rocksalt/internal/x86"
 	"rocksalt/internal/x86/decode"
@@ -25,9 +26,10 @@ import (
 
 func main() {
 	n := flag.Int("n", 10000, "number of instruction instances")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := seedflag.Register(flag.CommandLine)
 	mode := flag.String("mode", "decode", "decode (grammar round-trip), diff (model vs reference), or checkers (three-way validator differential)")
 	flag.Parse()
+	seedflag.Announce(os.Stdout, "x86fuzz -mode "+*mode, *seed)
 
 	rng := rand.New(rand.NewSource(*seed))
 	sampler := grammar.NewSampler(rng)

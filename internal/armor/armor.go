@@ -23,15 +23,33 @@ package armor
 import (
 	"rocksalt/internal/core"
 	"rocksalt/internal/grammar"
+	"rocksalt/internal/policy"
 	"rocksalt/internal/semanticsutil"
 	"rocksalt/internal/x86"
 	"rocksalt/internal/x86/decode"
 	"rocksalt/internal/x86/semantics"
 )
 
-// Verify checks the NaCl sandbox policy symbolically. It is deliberately
-// table-free; see the package comment.
+// Verify checks the default NaCl-32 sandbox policy symbolically. It is
+// deliberately table-free; see the package comment.
 func Verify(code []byte) bool {
+	return VerifyPolicy(code, policy.NaCl(), nil)
+}
+
+// VerifyPolicy checks code against an arbitrary policy spec with the
+// same symbolic machinery: the spec's mask encoding, bundle size,
+// call-alignment rule, guard region and banned classes replace the
+// NaCl-32 constants, but every instruction still goes through fresh
+// grammar derivatives and RTL verification conditions. entries
+// whitelists out-of-image direct-jump targets (nil rejects them all).
+// An invalid spec rejects every image.
+func VerifyPolicy(code []byte, spec policy.Spec, entries map[uint32]bool) bool {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return false
+	}
+	pp := newPolicyParams(norm, entries)
+
 	size := len(code)
 	valid := make([]bool, size)
 	target := make([]bool, size)
@@ -45,7 +63,7 @@ func Verify(code []byte) bool {
 			return false
 		}
 		switch {
-		case isMask(inst, n):
+		case pp.isMask(inst, n):
 			// Try the masked-pair rule: the next instruction must be an
 			// indirect jump or call through the same register.
 			jmp, m, err := parseRaw(top, code[pos+n:])
@@ -57,20 +75,28 @@ func Verify(code []byte) bool {
 				pos += n
 				continue
 			}
+			if pp.alignedCalls && jmp.Op == x86.CALL && (pos+n+m)%pp.bundle != 0 {
+				return false
+			}
 			pos += n + m
-		case core.SafeInst(inst):
+		case pp.safeInst(inst):
 			if !checkDataVCs(inst, uint32(pos), n) {
 				return false
 			}
 			pos += n
 		case inst.Rel && (inst.Op == x86.JMP || inst.Op == x86.Jcc || inst.Op == x86.CALL) &&
 			inst.Prefix == (x86.Prefix{}):
-			t := int64(pos+n) + int64(int32(inst.Args[0].(x86.Imm).Val))
-			if t < 0 || t >= int64(size) {
+			end := pos + n
+			if pp.alignedCalls && inst.Op == x86.CALL && end%pp.bundle != 0 {
 				return false
 			}
-			target[t] = true
-			pos += n
+			t := int64(end) + int64(int32(inst.Args[0].(x86.Imm).Val))
+			if t >= 0 && t < int64(size) {
+				target[t] = true
+			} else if !pp.allowedEntry(uint32(t)) {
+				return false
+			}
+			pos = end
 		default:
 			return false
 		}
@@ -79,11 +105,95 @@ func Verify(code []byte) bool {
 		if target[i] && !valid[i] {
 			return false
 		}
-		if i%core.BundleSize == 0 && !valid[i] {
+		if i%pp.bundle == 0 && !valid[i] {
 			return false
 		}
 	}
 	return true
+}
+
+// policyParams restates a normalized spec in the terms this verifier's
+// checks are written in (decoded immediates and register sets rather
+// than grammars).
+type policyParams struct {
+	bundle       int
+	maskLen      int
+	maskImm      uint32 // as decoded: sign-extended for the imm8 form
+	maskable     map[x86.Reg]bool
+	banString    bool
+	banRep       bool
+	banOpsize16  bool
+	alignedCalls bool
+	guard        uint32
+	entries      map[uint32]bool
+}
+
+func newPolicyParams(norm policy.Spec, entries map[uint32]bool) *policyParams {
+	pp := &policyParams{
+		bundle:       norm.BundleSize,
+		maskLen:      norm.MaskLen(),
+		maskImm:      norm.MaskImm(),
+		maskable:     map[x86.Reg]bool{},
+		alignedCalls: norm.AlignedCalls,
+		guard:        norm.GuardCutoff,
+		entries:      entries,
+	}
+	if norm.MaskWidth == 8 {
+		// The decoder sign-extends the AND imm8 to 32 bits.
+		pp.maskImm = uint32(int32(int8(norm.MaskImm())))
+	}
+	for _, r := range norm.MaskRegisters() {
+		pp.maskable[r] = true
+	}
+	for _, c := range norm.BannedClasses {
+		switch c {
+		case "string":
+			pp.banString = true
+			pp.banRep = true // REP is only legal before the (now banned) string ops
+		case "rep-prefix":
+			pp.banRep = true
+		case "opsize16":
+			pp.banOpsize16 = true
+		}
+	}
+	return pp
+}
+
+// safeInst layers the spec's banned classes on top of the base policy
+// predicate.
+func (pp *policyParams) safeInst(i x86.Inst) bool {
+	if !core.SafeInst(i) {
+		return false
+	}
+	if pp.banString && isStringInst(i.Op) {
+		return false
+	}
+	if pp.banRep && (i.Prefix.Rep || i.Prefix.RepN) {
+		return false
+	}
+	if pp.banOpsize16 && i.Prefix.OpSize {
+		return false
+	}
+	return true
+}
+
+// isStringInst reports the REP-able string operations — the "string"
+// banned class.
+func isStringInst(op x86.Op) bool {
+	switch op {
+	case x86.MOVS, x86.STOS, x86.LODS, x86.SCAS, x86.CMPS:
+		return true
+	}
+	return false
+}
+
+// allowedEntry reports whether an out-of-image direct-jump target is
+// permitted: whitelisted and not inside the guard region.
+func (pp *policyParams) allowedEntry(t uint32) bool {
+	if pp.guard != 0 && t < pp.guard {
+		return false
+	}
+	return pp.entries[t]
 }
 
 // parseRaw decodes one instruction with fresh grammar derivatives — the
@@ -96,18 +206,19 @@ func parseRaw(top *grammar.Grammar, code []byte) (x86.Inst, int, error) {
 	return v.(x86.Inst), n, nil
 }
 
-// isMask recognizes the 3-byte NaCl mask: AND r, 0xffffffe0 through a
-// non-ESP register.
-func isMask(i x86.Inst, n int) bool {
-	if i.Op != x86.AND || !i.W || n != 3 || i.Prefix != (x86.Prefix{}) {
+// isMask recognizes the policy's masking AND in its canonical encoding
+// (the exact length the compiled grammars accept) through a maskable
+// register.
+func (pp *policyParams) isMask(i x86.Inst, n int) bool {
+	if i.Op != x86.AND || !i.W || n != pp.maskLen || i.Prefix != (x86.Prefix{}) {
 		return false
 	}
 	r, ok := i.Args[0].(x86.RegOp)
-	if !ok || r.Reg == x86.ESP {
+	if !ok || !pp.maskable[r.Reg] {
 		return false
 	}
 	imm, ok := i.Args[1].(x86.Imm)
-	return ok && imm.Val == 0xffffffe0
+	return ok && imm.Val == pp.maskImm
 }
 
 func maskReg(i x86.Inst) x86.Reg { return i.Args[0].(x86.RegOp).Reg }

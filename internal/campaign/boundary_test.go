@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"testing"
+
+	"rocksalt/internal/armor"
+	"rocksalt/internal/core"
+	"rocksalt/internal/ncval"
+	"rocksalt/internal/policy"
+)
+
+// TestGuardRegionBoundaryAgreement pins down the out-of-image
+// direct-target semantics at the exact boundaries — guard_cutoff-1,
+// guard_cutoff, guard_cutoff+1, code_limit-1, code_limit, code_limit+1,
+// and the in-image/out-of-image edge — and requires rocksalt, ncval and
+// armor to agree on every case for every shipped policy preset. These
+// are the off-by-one cliffs a differential campaign samples only by
+// luck; here they are enumerated.
+func TestGuardRegionBoundaryAgreement(t *testing.T) {
+	for _, preset := range []string{"nacl-32", "nacl-16", "reins-16"} {
+		t.Run(preset, func(t *testing.T) {
+			spec, err := PresetSpec(preset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			com, err := policy.Compile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check, err := core.NewCheckerFromPolicy(com)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ncf, err := ncval.ConfigForSpec(com.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			B := uint32(com.Spec.BundleSize)
+			G := com.Spec.GuardCutoff
+			CL := com.Spec.CodeLimit
+			imgLen := 2 * B
+
+			// jumpTo builds a two-bundle image whose first instruction is
+			// "jmp rel32" to the given absolute target, padded with nops.
+			// Everything but the jump target is trivially policy-clean.
+			jumpTo := func(target uint32) []byte {
+				img := make([]byte, imgLen)
+				for i := range img {
+					img[i] = 0x90
+				}
+				img[0] = 0xe9
+				rel := int32(target) - 5
+				img[1] = byte(rel)
+				img[2] = byte(rel >> 8)
+				img[3] = byte(rel >> 16)
+				img[4] = byte(rel >> 24)
+				return img
+			}
+
+			type tc struct {
+				name    string
+				target  uint32
+				entries []uint32 // whitelisted entry points
+				want    bool
+			}
+			cases := []tc{
+				{"in-image bundle start", B, nil, true},
+				{"in-image nop, misaligned", B + 1, nil, true},
+				{"in-image mid-instruction", 2, nil, false},
+				{"out-of-image, not whitelisted", 8 * B, nil, false},
+				{"first out-of-image byte, not whitelisted", imgLen, nil, false},
+				// A whitelisted entry just past the image is reachable
+				// unless it sits inside the guard region (as it does for
+				// reins-16, whose guard dwarfs the test image).
+				{"first out-of-image byte, whitelisted", imgLen, []uint32{imgLen}, G == 0 || imgLen >= G},
+				{"last in-image byte (nop), no whitelist", imgLen - 1, nil, true},
+			}
+			if G != 0 {
+				cases = append(cases,
+					// The guard overrides the whitelist below the cutoff...
+					tc{"whitelisted at guard_cutoff-1", G - 1, []uint32{G - 1}, false},
+					tc{"whitelisted at guard_cutoff-bundle (last guard bundle)", G - B, []uint32{G - B}, false},
+					// ...and stops mattering exactly at it.
+					tc{"whitelisted at guard_cutoff", G, []uint32{G}, true},
+					tc{"whitelisted at guard_cutoff+1", G + 1, []uint32{G + 1}, true},
+					tc{"guard_cutoff-1 without whitelist", G - 1, nil, false},
+				)
+			}
+			if CL != 0 {
+				// Direct targets are governed by the entry whitelist and
+				// the guard, not the mask's code_limit: a whitelisted
+				// entry at or above code_limit is a (trusted) runtime
+				// address, like NaCl's trampolines above the sandbox.
+				cases = append(cases,
+					tc{"whitelisted at code_limit-1", CL - 1, []uint32{CL - 1}, true},
+					tc{"whitelisted at code_limit", CL, []uint32{CL}, true},
+					tc{"whitelisted at code_limit+1", CL + 1, []uint32{CL + 1}, true},
+					tc{"code_limit-1 without whitelist", CL - 1, nil, false},
+				)
+			}
+
+			for _, c := range cases {
+				t.Run(c.name, func(t *testing.T) {
+					entries := map[uint32]bool{}
+					for _, e := range c.entries {
+						entries[e] = true
+					}
+					img := jumpTo(c.target)
+
+					check.Entries = entries
+					rs := check.Verify(img)
+
+					ncf.Entries = entries
+					nv := ncf.Validate(img)
+
+					am := armor.VerifyPolicy(img, com.Spec, entries)
+
+					if rs != nv || rs != am {
+						t.Fatalf("checkers disagree: rocksalt=%v ncval=%v armor=%v (target %#x, entries %v)",
+							rs, nv, am, c.target, c.entries)
+					}
+					if rs != c.want {
+						t.Fatalf("all checkers say %v, want %v (target %#x, entries %v)",
+							rs, c.want, c.target, c.entries)
+					}
+				})
+			}
+		})
+	}
+}

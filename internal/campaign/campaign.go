@@ -1,0 +1,573 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"rocksalt/internal/armor"
+	"rocksalt/internal/core"
+	"rocksalt/internal/faultinject"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/ncval"
+	"rocksalt/internal/policy"
+	"rocksalt/internal/telemetry"
+)
+
+// cmMetrics are the campaign's live-progress counters (scrapable via
+// internal/telemetry's exporters). The alarm counters — disagreements,
+// escapes, faults — staying at zero is the continuously monitored form
+// of the agreement claim.
+var cmMetrics struct {
+	tasks, kills, agrees, disagrees, escapes, faults *telemetry.Counter
+	retries, resumedTasks                            *telemetry.Counter
+}
+
+func init() {
+	r := telemetry.Default()
+	cmMetrics.tasks = r.NewCounter("rocksalt_campaign_tasks_total", "campaign tasks completed")
+	cmMetrics.kills = r.NewCounter("rocksalt_campaign_kills_total", "mutants rejected by all checkers")
+	cmMetrics.agrees = r.NewCounter("rocksalt_campaign_agreements_total", "mutants accepted by all checkers and contained")
+	cmMetrics.disagrees = r.NewCounter("rocksalt_campaign_disagreements_total", "checker disagreements found")
+	cmMetrics.escapes = r.NewCounter("rocksalt_campaign_escapes_total", "sandbox escapes found")
+	cmMetrics.faults = r.NewCounter("rocksalt_campaign_faults_total", "reference-checker faults contained")
+	cmMetrics.retries = r.NewCounter("rocksalt_campaign_retries_total", "watchdog retries")
+	cmMetrics.resumedTasks = r.NewCounter("rocksalt_campaign_resumed_tasks_total", "tasks recovered from the journal on resume")
+}
+
+// Campaign is one differential soak run rooted in a directory:
+// plan.json (the identity config), journal.jsonl (the append-only task
+// log), checkpoint.json (the periodic snapshot) and repros/ (minimized
+// findings).
+type Campaign struct {
+	cfg     Config
+	dir     string
+	st      *state
+	j       *journal
+	resumed bool
+	// sinceCheckpoint counts newly applied records since the last
+	// snapshot.
+	sinceCheckpoint int
+	journalOffset   int64
+}
+
+// Open creates a campaign in dir, or resumes the one already there: if
+// plan.json exists, its identity fields replace cfg's (the plan on disk
+// is the campaign; cfg's execution knobs still apply), the checkpoint
+// is loaded, and the journal tail is replayed. Crash-safety note: the
+// journal is the source of truth and the checkpoint is a replay
+// shortcut, so any prefix of a crashed run — including a torn final
+// journal line — resumes to the same final table.
+func Open(dir string, cfg Config) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(filepath.Join(dir, "repros"), 0o755); err != nil {
+		return nil, err
+	}
+	planPath := filepath.Join(dir, "plan.json")
+	resumed := false
+	if data, err := os.ReadFile(planPath); err == nil {
+		var persisted Config
+		if err := json.Unmarshal(data, &persisted); err != nil {
+			return nil, fmt.Errorf("campaign: corrupt plan.json: %v", err)
+		}
+		persisted.Workers = cfg.Workers
+		persisted.TaskTimeout = cfg.TaskTimeout
+		persisted.MaxRetries = cfg.MaxRetries
+		persisted.CheckpointEvery = cfg.CheckpointEvery
+		cfg = persisted.withDefaults()
+		resumed = true
+	} else {
+		data, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		tmp := planPath + ".tmp"
+		if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		if err := os.Rename(tmp, planPath); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range cfg.Policies {
+		if _, err := PresetSpec(name); err != nil {
+			return nil, err
+		}
+	}
+
+	c := &Campaign{cfg: cfg, dir: dir, st: newState(cfg), resumed: resumed}
+	jpath := filepath.Join(dir, "journal.jsonl")
+	if resumed {
+		from, _ := loadCheckpoint(dir, c.st)
+		recovered := 0
+		offset, err := replayJournal(jpath, from, func(r record) {
+			if c.st.apply(r) {
+				recovered++
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.journalOffset = offset
+		cmMetrics.resumedTasks.Add(int64(c.st.nDone))
+		_ = recovered
+	}
+	j, err := openJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+	c.j = j
+	return c, nil
+}
+
+// Resumed reports whether Open found an existing plan in the directory.
+func (c *Campaign) Resumed() bool { return c.resumed }
+
+// Config returns the effective (persisted) configuration.
+func (c *Campaign) Config() Config { return c.cfg }
+
+// Done reports how many tasks are already journaled.
+func (c *Campaign) Done() int { return c.st.nDone }
+
+// Close releases the journal handle. Run leaves the campaign open so a
+// caller can inspect state; Close is idempotent via the OS.
+func (c *Campaign) Close() error { return c.j.close() }
+
+// policyCtx is the per-policy runtime: the compiled rocksalt checker
+// (safe for concurrent use), the ncval enforcement config and armor
+// spec (both pure), the mutator geometry, and the base images.
+type policyCtx struct {
+	index  int
+	name   string
+	spec   policy.Spec // normalized
+	check  *core.Checker
+	nc     ncval.Config
+	params faultinject.Params
+	bases  [][]byte
+}
+
+// buildPolicies compiles each preset, derives the three checkers'
+// parameterizations, and generates the policy's base images — each of
+// which must be accepted by all three checkers before any mutation
+// happens (a divergence on an unmutated image is a finding, but of a
+// different kind: it would poison every task, so it fails fast here).
+func (c *Campaign) buildPolicies() ([]*policyCtx, error) {
+	pcs := make([]*policyCtx, len(c.cfg.Policies))
+	for i, name := range c.cfg.Policies {
+		spec, err := PresetSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		com, err := policy.Compile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: compiling %s: %v", name, err)
+		}
+		check, err := core.NewCheckerFromPolicy(com)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: building checker for %s: %v", name, err)
+		}
+		nc, err := ncval.ConfigForSpec(com.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: ncval config for %s: %v", name, err)
+		}
+		prof, err := nacl.ProfileForSpec(com.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: generator profile for %s: %v", name, err)
+		}
+		pc := &policyCtx{
+			index:  i,
+			name:   name,
+			spec:   com.Spec,
+			check:  check,
+			nc:     nc,
+			params: faultinject.ParamsFor(check.PolicyInfo()),
+		}
+		pc.bases = make([][]byte, c.cfg.Bases)
+		for b := range pc.bases {
+			gen := nacl.NewGeneratorFor(c.cfg.BaseSeed(i, b), prof, com.SafeGrammar)
+			img, err := gen.Random(c.cfg.BaseInstrs)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: generating base %d for %s: %v", b, name, err)
+			}
+			if !check.Verify(img) {
+				return nil, fmt.Errorf("campaign: %s base %d rejected by rocksalt before mutation", name, b)
+			}
+			if !pc.nc.Validate(img) {
+				return nil, fmt.Errorf("campaign: %s base %d rejected by ncval before mutation", name, b)
+			}
+			if !armor.VerifyPolicy(img, pc.spec, nil) {
+				return nil, fmt.Errorf("campaign: %s base %d rejected by armor before mutation", name, b)
+			}
+			pc.bases[b] = img
+		}
+		pcs[i] = pc
+	}
+	return pcs, nil
+}
+
+// Run drives the campaign to completion (or until ctx is cancelled,
+// returning the partial result and ctx's error — everything journaled
+// so far resumes). The final Result is a pure function of the plan: it
+// is folded from the deduplicated journal, so worker scheduling,
+// retries and kill/resume cycles cannot change a byte of it.
+func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	pcs, err := c.buildPolicies()
+	if err != nil {
+		return nil, err
+	}
+
+	n := c.cfg.NumTasks()
+	ids := make(chan int)
+	recs := make(chan record, c.cfg.Workers)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The feeder skips tasks by the resume-time snapshot of the done
+	// bitmap, not the live one: the collector mutates live state
+	// concurrently, and the only tasks that finish mid-run are ones the
+	// feeder already handed out.
+	doneAtStart := append([]uint64(nil), c.st.done...)
+	go func() {
+		defer close(ids)
+		for id := 0; id < n; id++ {
+			if doneAtStart[id/64]&(1<<(id%64)) != 0 {
+				continue
+			}
+			select {
+			case ids <- id:
+			case <-wctx.Done():
+				return
+			}
+		}
+	}()
+
+	workerDone := make(chan struct{})
+	for w := 0; w < c.cfg.Workers; w++ {
+		go func() {
+			defer func() { workerDone <- struct{}{} }()
+			c.worker(wctx, ids, recs, pcs)
+		}()
+	}
+	go func() {
+		for w := 0; w < c.cfg.Workers; w++ {
+			<-workerDone
+		}
+		close(recs)
+	}()
+
+	for r := range recs {
+		if err := c.j.append(r); err != nil {
+			cancel()
+			return nil, fmt.Errorf("campaign: journal write failed: %v", err)
+		}
+		if !c.st.apply(r) {
+			continue
+		}
+		c.journalOffset = -1 // unknown past the replayed prefix; recompute at checkpoint
+		c.bumpCounters(r)
+		c.sinceCheckpoint++
+		if c.sinceCheckpoint >= c.cfg.CheckpointEvery {
+			c.snapshot()
+		}
+	}
+	c.snapshot()
+	if err := ctx.Err(); err != nil {
+		return c.result(), err
+	}
+	return c.result(), nil
+}
+
+// snapshot writes a checkpoint covering everything journaled so far.
+func (c *Campaign) snapshot() {
+	off := c.journalOffset
+	if off < 0 {
+		fi, err := os.Stat(filepath.Join(c.dir, "journal.jsonl"))
+		if err != nil {
+			return
+		}
+		off = fi.Size()
+		c.journalOffset = off
+	}
+	if writeCheckpoint(c.dir, c.st, off) == nil {
+		c.sinceCheckpoint = 0
+	}
+}
+
+func (c *Campaign) bumpCounters(r record) {
+	cmMetrics.tasks.Add(1)
+	switch r.Verdict {
+	case VerdictKill:
+		cmMetrics.kills.Add(1)
+	case VerdictAgree:
+		cmMetrics.agrees.Add(1)
+	case VerdictDisagree:
+		cmMetrics.disagrees.Add(1)
+	case VerdictEscape:
+		cmMetrics.escapes.Add(1)
+	case VerdictReferenceFault:
+		cmMetrics.faults.Add(1)
+	}
+}
+
+// executor owns the goroutine that actually runs tasks. The worker
+// talks to it through channels so a stuck task can be abandoned: the
+// out channel is buffered, so an abandoned executor finishes its task,
+// parks its result nobody will read, sees its in channel closed, and
+// exits — the leak is bounded to the duration of the stuck task.
+type executor struct {
+	in  chan int
+	out chan record
+}
+
+func (c *Campaign) newExecutor(pcs []*policyCtx) *executor {
+	e := &executor{in: make(chan int), out: make(chan record, 1)}
+	go func() {
+		// The simulator harness is not safe for concurrent use, so each
+		// executor carries its own per policy.
+		hs := make([]*faultinject.Harness, len(pcs))
+		for id := range e.in {
+			e.out <- c.runTask(id, pcs, hs)
+		}
+	}()
+	return e
+}
+
+// worker pulls task IDs, runs each under the watchdog, and forwards
+// exactly one record per task. A task that outlives its timeout is
+// retried on a fresh executor with linear backoff; after MaxRetries it
+// is recorded as a ReferenceFault so the campaign keeps moving.
+func (c *Campaign) worker(ctx context.Context, ids <-chan int, recs chan<- record, pcs []*policyCtx) {
+	ex := c.newExecutor(pcs)
+	defer func() { close(ex.in) }()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for id := range ids {
+		var rec record
+		got := false
+		for attempt := 0; attempt <= c.cfg.MaxRetries && !got; attempt++ {
+			if attempt > 0 {
+				cmMetrics.retries.Add(1)
+				select {
+				case <-time.After(time.Duration(attempt) * 100 * time.Millisecond):
+				case <-ctx.Done():
+					return
+				}
+			}
+			select {
+			case ex.in <- id:
+			case <-ctx.Done():
+				return
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(c.cfg.TaskTimeout)
+			select {
+			case rec = <-ex.out:
+				got = true
+			case <-timer.C:
+				// Abandon the stuck executor and replace it. Closing in
+				// lets it exit once (if ever) the stuck task returns.
+				close(ex.in)
+				ex = c.newExecutor(pcs)
+			case <-ctx.Done():
+				return
+			}
+		}
+		if !got {
+			rec = record{ID: id, Verdict: VerdictReferenceFault,
+				Detail: fmt.Sprintf("watchdog: task exceeded %v on %d attempts", c.cfg.TaskTimeout, c.cfg.MaxRetries+1)}
+		}
+		select {
+		case recs <- rec:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Test hooks: testNcvalHook substitutes the ncval reference (the fault-
+// containment tests install a panicking one), testTaskDelay slows every
+// task down (the kill-and-resume test uses it to hold the child process
+// mid-campaign without changing any verdict).
+var (
+	testNcvalHook func(img []byte) bool
+	testTaskDelay atomic.Int64 // nanoseconds; atomic because abandoned executors outlive the test that set it
+)
+
+// runTask derives the task's mutant and judges it. Any panic — in the
+// engine, a reference checker, or the simulator — is contained into a
+// ReferenceFault verdict.
+func (c *Campaign) runTask(id int, pcs []*policyCtx, hs []*faultinject.Harness) (rec record) {
+	if d := testTaskDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			rec = record{ID: id, Verdict: VerdictReferenceFault, Detail: fmt.Sprintf("panic: %v", p)}
+		}
+	}()
+	t := c.cfg.TaskFor(id)
+	pc := pcs[t.Policy]
+	if hs[t.Policy] == nil {
+		hs[t.Policy] = &faultinject.Harness{Checker: pc.check, SimSeeds: c.cfg.SimSeeds, MaxSteps: c.cfg.MaxSteps}
+	}
+	h := hs[t.Policy]
+	mut := faultinject.MutateParams(pc.bases[t.Base], t.Kind, c.cfg.MutSeed(t), pc.params)
+	v, detail := c.judge(pc, h, mut, c.armorTurn(id))
+	if v == VerdictDisagree || v == VerdictEscape {
+		if path, err := c.minimizeAndPersist(pc, h, t, mut, v, detail); err == nil {
+			detail += "; repro " + path
+		} else {
+			detail += "; minimization failed: " + err.Error()
+		}
+	}
+	return record{ID: id, Verdict: v, Detail: detail}
+}
+
+// armorTurn deterministically samples which tasks consult the armor
+// comparator (see Config.ArmorStride).
+func (c *Campaign) armorTurn(id int) bool {
+	return id%c.cfg.ArmorStride == 0
+}
+
+// judge runs one image through the consulted checkers and, when all
+// accept, the escape check. The harness h must belong to pc.
+func (c *Campaign) judge(pc *policyCtx, h *faultinject.Harness, img []byte, withArmor bool) (Verdict, string) {
+	valid, pairJmp, rep := pc.check.AnalyzeContext(context.Background(), img, core.VerifyOptions{})
+	if rep.Interrupted() {
+		return VerdictReferenceFault, fmt.Sprintf("rocksalt interrupted: %v", rep.Err())
+	}
+	rs := rep.Safe
+
+	nc, err := safeBool(func() bool {
+		if testNcvalHook != nil {
+			return testNcvalHook(img)
+		}
+		return pc.nc.Validate(img)
+	})
+	if err != nil {
+		return VerdictReferenceFault, "ncval panicked: " + err.Error()
+	}
+	if nc != rs {
+		return VerdictDisagree, fmt.Sprintf("rocksalt=%v ncval=%v", rs, nc)
+	}
+	if withArmor {
+		am, err := safeBool(func() bool { return armor.VerifyPolicy(img, pc.spec, nil) })
+		if err != nil {
+			return VerdictReferenceFault, "armor panicked: " + err.Error()
+		}
+		if am != rs {
+			return VerdictDisagree, fmt.Sprintf("rocksalt=%v armor=%v", rs, am)
+		}
+	}
+	if !rs {
+		return VerdictKill, ""
+	}
+	for seed := 0; seed < c.cfg.SimSeeds; seed++ {
+		if err := h.Contained(img, valid, pairJmp, int64(seed)); err != nil {
+			return VerdictEscape, err.Error()
+		}
+	}
+	return VerdictAgree, ""
+}
+
+// safeBool runs a reference checker with panic containment.
+func safeBool(f func() bool) (v bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%v", p)
+		}
+	}()
+	return f(), nil
+}
+
+// Result is the campaign's per-policy kill/agree table plus every
+// finding, in canonical order (policies in plan order, kinds in enum
+// order, findings by task ID), so two runs of the same plan marshal to
+// identical bytes.
+type Result struct {
+	Seed     int64         `json:"seed"`
+	Tasks    int           `json:"tasks"`
+	Done     int           `json:"done"`
+	Policies []PolicyTable `json:"policies"`
+	Findings []Finding     `json:"findings,omitempty"`
+}
+
+// PolicyTable is one policy's row group.
+type PolicyTable struct {
+	Policy        string    `json:"policy"`
+	Tasks         int64     `json:"tasks"`
+	Kills         int64     `json:"kills"`
+	Agreements    int64     `json:"agreements"`
+	Disagreements int64     `json:"disagreements"`
+	Escapes       int64     `json:"escapes"`
+	Faults        int64     `json:"faults"`
+	Kinds         []KindRow `json:"kinds"`
+}
+
+// KindRow is one mutator family's row within a policy.
+type KindRow struct {
+	Kind          string `json:"kind"`
+	Tasks         int64  `json:"tasks"`
+	Kills         int64  `json:"kills"`
+	Agreements    int64  `json:"agreements"`
+	Disagreements int64  `json:"disagreements"`
+	Escapes       int64  `json:"escapes"`
+	Faults        int64  `json:"faults"`
+}
+
+// Finding is one journaled disagreement, escape or fault.
+type Finding struct {
+	Task    int    `json:"task"`
+	Policy  string `json:"policy"`
+	Kind    string `json:"kind"`
+	Verdict string `json:"verdict"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// result folds the state into the canonical Result.
+func (c *Campaign) result() *Result {
+	res := &Result{Seed: c.cfg.Seed, Tasks: c.cfg.NumTasks(), Done: c.st.nDone}
+	for p, name := range c.cfg.Policies {
+		pt := PolicyTable{Policy: name}
+		for k := 0; k < numKinds; k++ {
+			row := KindRow{Kind: faultinject.Kind(k).String()}
+			base := (p*numKinds + k) * numVerdicts
+			row.Kills = c.st.counts[base+verdictIndex[VerdictKill]]
+			row.Agreements = c.st.counts[base+verdictIndex[VerdictAgree]]
+			row.Disagreements = c.st.counts[base+verdictIndex[VerdictDisagree]]
+			row.Escapes = c.st.counts[base+verdictIndex[VerdictEscape]]
+			row.Faults = c.st.counts[base+verdictIndex[VerdictReferenceFault]]
+			row.Tasks = row.Kills + row.Agreements + row.Disagreements + row.Escapes + row.Faults
+			pt.Kinds = append(pt.Kinds, row)
+			pt.Tasks += row.Tasks
+			pt.Kills += row.Kills
+			pt.Agreements += row.Agreements
+			pt.Disagreements += row.Disagreements
+			pt.Escapes += row.Escapes
+			pt.Faults += row.Faults
+		}
+		res.Policies = append(res.Policies, pt)
+	}
+	sort.Slice(c.st.failing, func(i, j int) bool { return c.st.failing[i].ID < c.st.failing[j].ID })
+	for _, r := range c.st.failing {
+		t := c.cfg.TaskFor(r.ID)
+		res.Findings = append(res.Findings, Finding{
+			Task:    r.ID,
+			Policy:  c.cfg.Policies[t.Policy],
+			Kind:    t.Kind.String(),
+			Verdict: string(r.Verdict),
+			Detail:  r.Detail,
+		})
+	}
+	return res
+}

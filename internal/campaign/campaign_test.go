@@ -1,0 +1,413 @@
+package campaign
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testConfig is a small two-policy plan that still exercises every
+// mutator family, the armor stride, and both mask widths.
+func testConfig() Config {
+	return Config{
+		Seed:            7,
+		Policies:        []string{"nacl-32", "reins-16"},
+		Bases:           2,
+		BaseInstrs:      30,
+		PerKind:         6,
+		ArmorStride:     11,
+		SimSeeds:        1,
+		MaxSteps:        100,
+		Workers:         2,
+		TaskTimeout:     time.Minute,
+		MaxRetries:      1,
+		CheckpointEvery: 16,
+	}
+}
+
+func runToCompletion(t *testing.T, dir string, cfg Config) *Result {
+	t.Helper()
+	c, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func marshal(t *testing.T, res *Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// journalIDs reads the journal's intact records.
+func journalIDs(t *testing.T, dir string) []int {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var ids []int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r record
+		if json.Unmarshal(sc.Bytes(), &r) == nil {
+			ids = append(ids, r.ID)
+		}
+	}
+	return ids
+}
+
+// TestCampaignCleanRun: a small campaign across both mask widths
+// completes with zero findings, journals every task exactly once, and
+// reports a table whose totals cover the whole plan.
+func TestCampaignCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	res := runToCompletion(t, dir, cfg)
+	if res.Done != cfg.NumTasks() {
+		t.Fatalf("done %d of %d tasks", res.Done, cfg.NumTasks())
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("clean campaign produced findings: %+v", res.Findings)
+	}
+	var total int64
+	for _, pt := range res.Policies {
+		if pt.Disagreements+pt.Escapes+pt.Faults != 0 {
+			t.Fatalf("policy %s has nonzero findings: %+v", pt.Policy, pt)
+		}
+		total += pt.Tasks
+	}
+	if total != int64(cfg.NumTasks()) {
+		t.Fatalf("table covers %d tasks, want %d", total, cfg.NumTasks())
+	}
+	ids := journalIDs(t, dir)
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("task %d journaled twice", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != cfg.NumTasks() {
+		t.Fatalf("journal holds %d unique tasks, want %d", len(seen), cfg.NumTasks())
+	}
+}
+
+// TestResumeDeterminism: cancel a campaign partway, resume it in the
+// same directory, and require the final table to be byte-identical to
+// an uninterrupted run of the same plan — with no task journaled twice
+// across the two sessions.
+func TestResumeDeterminism(t *testing.T) {
+	cfg := testConfig()
+
+	want := marshal(t, runToCompletion(t, t.TempDir(), cfg))
+
+	dir := t.TempDir()
+	c, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel once the journal shows real progress; file size is the
+	// only signal the test shares with the collector goroutine.
+	stop := make(chan struct{})
+	go func() {
+		defer cancel()
+		jpath := filepath.Join(dir, "journal.jsonl")
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if fi, err := os.Stat(jpath); err == nil && fi.Size() > 600 {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	if _, err := c.Run(ctx); err == nil {
+		t.Log("campaign finished before cancellation; mid-run resume not exercised")
+	}
+	close(stop)
+	c.Close()
+
+	c2, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Resumed() {
+		t.Fatal("second Open did not resume")
+	}
+	res, err := c2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(t, res); string(got) != string(want) {
+		t.Fatalf("resumed table differs from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+
+	// No task re-run, no task lost: the journal across both sessions
+	// holds every task ID exactly once.
+	ids := journalIDs(t, dir)
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("task %d re-run after resume (journaled twice)", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != cfg.NumTasks() {
+		t.Fatalf("journal holds %d unique tasks, want %d (no task lost)", len(seen), cfg.NumTasks())
+	}
+}
+
+// TestCheckpointTailReplay: a resume that finds a checkpoint replays
+// only the journal tail and reconstructs the same state; a corrupt
+// checkpoint falls back to a full-journal fold with the same answer.
+func TestCheckpointTailReplay(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckpointEvery = 10 // several snapshots over the run
+	dir := t.TempDir()
+	want := marshal(t, runToCompletion(t, dir, cfg))
+
+	c, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Done() != cfg.NumTasks() {
+		t.Fatalf("resume reconstructed %d done tasks, want %d", c.Done(), cfg.NumTasks())
+	}
+	if got := marshal(t, c.result()); string(got) != string(want) {
+		t.Fatalf("reconstructed table differs:\n got %s\nwant %s", got, want)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := marshal(t, c2.result()); string(got) != string(want) {
+		t.Fatalf("full-replay table differs after checkpoint corruption:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestTornJournalLine: a torn final journal line (the crash case) is
+// skipped on replay and its task simply runs again on resume, ending at
+// the same table.
+func TestTornJournalLine(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	want := marshal(t, runToCompletion(t, dir, cfg))
+
+	jpath := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The final checkpoint covers the untruncated journal; drop it so
+	// the discard-and-replay path is what's under test. (loadCheckpoint
+	// would discard it anyway: its offset exceeds the file size.)
+	os.Remove(filepath.Join(dir, "checkpoint.json"))
+
+	c, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Done() != cfg.NumTasks()-1 {
+		t.Fatalf("after torn line: %d done, want %d", c.Done(), cfg.NumTasks()-1)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(t, res); string(got) != string(want) {
+		t.Fatalf("table after torn-line resume differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestReferenceFaultContainment: a reference checker that panics must
+// be recorded as ReferenceFault verdicts while the campaign completes —
+// graceful degradation, not a dead process.
+func TestReferenceFaultContainment(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policies = []string{"nacl-32"}
+	testNcvalHook = func(img []byte) bool {
+		panic("injected reference-checker crash")
+	}
+	defer func() { testNcvalHook = nil }()
+
+	dir := t.TempDir()
+	res := runToCompletion(t, dir, cfg)
+	if res.Done != cfg.NumTasks() {
+		t.Fatalf("campaign did not complete under reference faults: %d/%d", res.Done, cfg.NumTasks())
+	}
+	var faults int64
+	for _, pt := range res.Policies {
+		faults += pt.Faults
+	}
+	if faults != int64(cfg.NumTasks()) {
+		t.Fatalf("%d faults recorded, want every task (%d)", faults, cfg.NumTasks())
+	}
+	for _, f := range res.Findings {
+		if f.Verdict != string(VerdictReferenceFault) {
+			t.Fatalf("unexpected verdict %q among faults: %+v", f.Verdict, f)
+		}
+		if f.Detail == "" {
+			t.Fatalf("fault finding without detail: %+v", f)
+		}
+	}
+}
+
+// TestDisagreementMinimized: a (synthetic) reference divergence is
+// journaled as a disagreement and ddmin'd to a persisted, no-larger,
+// alignment-preserving repro.
+func TestDisagreementMinimized(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policies = []string{"nacl-32"}
+	// The hooked ncval rejects everything: every mutant rocksalt
+	// accepts becomes a disagreement (and nothing else changes — the
+	// mutants rocksalt rejects stay kills).
+	testNcvalHook = func(img []byte) bool { return false }
+	defer func() { testNcvalHook = nil }()
+
+	dir := t.TempDir()
+	res := runToCompletion(t, dir, cfg)
+	var disagreements int64
+	for _, pt := range res.Policies {
+		disagreements += pt.Disagreements
+		if pt.Escapes != 0 || pt.Faults != 0 {
+			t.Fatalf("unexpected escapes/faults: %+v", pt)
+		}
+	}
+	if disagreements == 0 {
+		t.Fatal("hook produced no disagreements; test is vacuous")
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "repros"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(entries)) != disagreements {
+		t.Fatalf("%d repro files for %d disagreements", len(entries), disagreements)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, "repros", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep Repro
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("repro %s: %v", e.Name(), err)
+		}
+		if rep.Verdict != string(VerdictDisagree) {
+			t.Fatalf("repro %s verdict %q", e.Name(), rep.Verdict)
+		}
+		if n := len(rep.MinimizedHex); n == 0 || n > len(rep.ImageHex) {
+			t.Fatalf("repro %s: minimized %d hex chars vs image %d", e.Name(), n, len(rep.ImageHex))
+		}
+		// ddmin removes bundle multiples at bundle-aligned offsets, so
+		// the minimized length is congruent to the original mod bundle.
+		if (len(rep.ImageHex)-len(rep.MinimizedHex))%(2*32) != 0 {
+			t.Fatalf("repro %s: removed %d hex chars, not a bundle multiple",
+				e.Name(), len(rep.ImageHex)-len(rep.MinimizedHex))
+		}
+	}
+}
+
+// TestDDMin: the chunk minimizer reaches the smallest bundle-aligned
+// image containing the "bad" marker and never proposes an empty image.
+func TestDDMin(t *testing.T) {
+	const bundle = 32
+	img := make([]byte, 8*bundle)
+	img[5*bundle+3] = 0xAA // the byte the predicate keys on
+	bad := func(b []byte) bool {
+		for _, x := range b {
+			if x == 0xAA {
+				return true
+			}
+		}
+		return false
+	}
+	min := ddmin(img, bundle, bad)
+	if len(min) != bundle {
+		t.Fatalf("minimized to %d bytes, want one bundle (%d)", len(min), bundle)
+	}
+	if !bad(min) {
+		t.Fatal("minimized image no longer reproduces")
+	}
+
+	// An image that is all marker never minimizes to empty.
+	all := make([]byte, 4*bundle)
+	for i := range all {
+		all[i] = 0xAA
+	}
+	if min := ddmin(all, bundle, bad); len(min) == 0 {
+		t.Fatal("ddmin produced an empty image")
+	}
+}
+
+// TestTaskRoundTrip: the mixed-radix task indexing is a bijection.
+func TestTaskRoundTrip(t *testing.T) {
+	cfg := testConfig().withDefaults()
+	n := cfg.NumTasks()
+	for id := 0; id < n; id++ {
+		tk := cfg.TaskFor(id)
+		back := ((tk.Policy*cfg.Bases+tk.Base)*numKinds+int(tk.Kind))*cfg.PerKind + tk.Mutant
+		if back != id {
+			t.Fatalf("task %d round-trips to %d (%+v)", id, back, tk)
+		}
+		if tk.Policy < 0 || tk.Policy >= len(cfg.Policies) || tk.Base < 0 || tk.Base >= cfg.Bases ||
+			tk.Mutant < 0 || tk.Mutant >= cfg.PerKind {
+			t.Fatalf("task %d decodes out of range: %+v", id, tk)
+		}
+	}
+}
+
+// TestWatchdogTimeout: a task that outlives its timeout is abandoned,
+// retried, and finally recorded as a ReferenceFault — the campaign
+// finishes anyway.
+func TestWatchdogTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policies = []string{"nacl-32"}
+	cfg.Bases, cfg.PerKind = 1, 1 // 4 tasks
+	cfg.Workers = 1
+	cfg.TaskTimeout = 20 * time.Millisecond
+	cfg.MaxRetries = 1
+	testTaskDelay.Store(int64(200 * time.Millisecond))
+	defer testTaskDelay.Store(0)
+
+	res := runToCompletion(t, t.TempDir(), cfg)
+	if res.Done != cfg.NumTasks() {
+		t.Fatalf("campaign stuck: %d/%d", res.Done, cfg.NumTasks())
+	}
+	var faults int64
+	for _, pt := range res.Policies {
+		faults += pt.Faults
+	}
+	if faults != int64(cfg.NumTasks()) {
+		t.Fatalf("%d watchdog faults, want %d", faults, cfg.NumTasks())
+	}
+}

@@ -1,0 +1,258 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Verdict classifies one task's outcome. Kill and Agree are the healthy
+// outcomes (all checkers agreed, and accepted mutants were simulated
+// without escaping); Disagree, Escape and ReferenceFault are the
+// findings a campaign exists to surface.
+type Verdict string
+
+const (
+	// VerdictKill: every consulted checker rejected the mutant.
+	VerdictKill Verdict = "kill"
+	// VerdictAgree: every consulted checker accepted the mutant and its
+	// simulation stayed inside the sandbox.
+	VerdictAgree Verdict = "agree"
+	// VerdictDisagree: the checkers returned different verdicts — a bug
+	// in one of the three implementations.
+	VerdictDisagree Verdict = "disagree"
+	// VerdictEscape: an accepted mutant's simulation left the sandbox —
+	// a soundness bug.
+	VerdictEscape Verdict = "escape"
+	// VerdictReferenceFault: a checker panicked or the task exhausted
+	// its watchdog retries; the campaign degrades gracefully and moves
+	// on.
+	VerdictReferenceFault Verdict = "fault"
+)
+
+// verdictIndex maps verdicts to aggregate-table columns.
+var verdictIndex = map[Verdict]int{
+	VerdictKill: 0, VerdictAgree: 1, VerdictDisagree: 2, VerdictEscape: 3, VerdictReferenceFault: 4,
+}
+
+const numVerdicts = 5
+
+// record is one journal line: task ID, verdict, and (for findings) a
+// short diagnostic.
+type record struct {
+	ID      int     `json:"id"`
+	Verdict Verdict `json:"v"`
+	Detail  string  `json:"d,omitempty"`
+}
+
+// journal is the append-only task log. Every record is written as one
+// JSON line in a single Write syscall, so a crash can tear at most the
+// final line — and replay tolerates exactly that.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(r record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(line)
+	return err
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// replayJournal streams the journal's records from byte offset from,
+// calling fn for each, and returns the offset just past the last intact
+// record. A torn final line (the crash case) is skipped — its task
+// simply runs again, and the dedup in state.apply keeps the replay
+// idempotent. A malformed line that is not the final one means real
+// corruption and is an error.
+func replayJournal(path string, from int64, fn func(record)) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) && from == 0 {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return 0, err
+	}
+	offset := from
+	br := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: a torn write. Leave offset before it.
+			return offset, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		var r record
+		if jerr := json.Unmarshal(bytes.TrimSpace(line), &r); jerr != nil {
+			// A malformed line that still got its newline: only tolerable
+			// as the final line (torn mid-buffer by the crash).
+			if _, perr := br.Peek(1); perr == io.EOF {
+				return offset, nil
+			}
+			return 0, fmt.Errorf("campaign: corrupt journal at offset %d: %v", offset, jerr)
+		}
+		offset += int64(len(line))
+		fn(r)
+	}
+}
+
+// state is the campaign's resumable position: which tasks are done (a
+// bitmap over task IDs), the per-policy/kind/verdict aggregate table,
+// and the list of finding records. It is exactly the fold of the
+// journal's deduplicated records, which is what makes the final table a
+// pure function of the plan: replay order, retries and timing all wash
+// out.
+type state struct {
+	n       int
+	done    []uint64
+	nDone   int
+	counts  []int64 // [policy][kind][verdict], flattened
+	failing []record
+	cfg     Config
+}
+
+func newState(cfg Config) *state {
+	n := cfg.NumTasks()
+	return &state{
+		n:      n,
+		done:   make([]uint64, (n+63)/64),
+		counts: make([]int64, len(cfg.Policies)*numKinds*numVerdicts),
+		cfg:    cfg,
+	}
+}
+
+const numKinds = 4 // faultinject.NumImageKinds
+
+func (s *state) isDone(id int) bool {
+	return s.done[id/64]&(1<<(id%64)) != 0
+}
+
+// apply folds one record in; it returns false (and changes nothing) for
+// duplicates and out-of-range IDs, which is what makes journal replay
+// idempotent.
+func (s *state) apply(r record) bool {
+	if r.ID < 0 || r.ID >= s.n || s.isDone(r.ID) {
+		return false
+	}
+	vi, ok := verdictIndex[r.Verdict]
+	if !ok {
+		return false
+	}
+	s.done[r.ID/64] |= 1 << (r.ID % 64)
+	s.nDone++
+	t := s.cfg.TaskFor(r.ID)
+	s.counts[(t.Policy*numKinds+int(t.Kind))*numVerdicts+vi]++
+	if r.Verdict == VerdictDisagree || r.Verdict == VerdictEscape || r.Verdict == VerdictReferenceFault {
+		s.failing = append(s.failing, r)
+	}
+	return true
+}
+
+// checkpoint is the periodic snapshot: the state as of the journal
+// prefix [0, Offset). Resume loads it and replays only the journal tail
+// past Offset. It is advisory — a missing or stale checkpoint only
+// means a longer replay, never a wrong answer.
+type checkpoint struct {
+	Offset  int64    `json:"offset"`
+	NDone   int      `json:"n_done"`
+	Done    []byte   `json:"done"`
+	Counts  []int64  `json:"counts"`
+	Failing []record `json:"failing,omitempty"`
+}
+
+// writeCheckpoint persists the state atomically (tmp + rename), tagged
+// with the journal offset it covers.
+func writeCheckpoint(dir string, s *state, offset int64) error {
+	ck := checkpoint{
+		Offset:  offset,
+		NDone:   s.nDone,
+		Done:    packBitmap(s.done),
+		Counts:  append([]int64(nil), s.counts...),
+		Failing: s.failing,
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "checkpoint.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "checkpoint.json"))
+}
+
+// loadCheckpoint restores a state snapshot. Any inconsistency (wrong
+// sizes, offset beyond the journal) discards the checkpoint and reports
+// ok=false; the caller falls back to a full journal replay.
+func loadCheckpoint(dir string, s *state) (offset int64, ok bool) {
+	data, err := os.ReadFile(filepath.Join(dir, "checkpoint.json"))
+	if err != nil {
+		return 0, false
+	}
+	var ck checkpoint
+	if json.Unmarshal(data, &ck) != nil {
+		return 0, false
+	}
+	done, err := unpackBitmap(ck.Done, len(s.done))
+	if err != nil || len(ck.Counts) != len(s.counts) || ck.Offset < 0 {
+		return 0, false
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "journal.jsonl")); err != nil || fi.Size() < ck.Offset {
+		return 0, false
+	}
+	s.done = done
+	s.nDone = ck.NDone
+	copy(s.counts, ck.Counts)
+	s.failing = append(s.failing[:0], ck.Failing...)
+	return ck.Offset, true
+}
+
+func packBitmap(words []uint64) []byte {
+	out := make([]byte, len(words)*8)
+	for i, w := range words {
+		for b := 0; b < 8; b++ {
+			out[i*8+b] = byte(w >> (8 * b))
+		}
+	}
+	return out
+}
+
+func unpackBitmap(data []byte, words int) ([]uint64, error) {
+	if len(data) != words*8 {
+		return nil, fmt.Errorf("campaign: bitmap is %d bytes, want %d", len(data), words*8)
+	}
+	out := make([]uint64, words)
+	for i := range out {
+		for b := 0; b < 8; b++ {
+			out[i] |= uint64(data[i*8+b]) << (8 * b)
+		}
+	}
+	return out, nil
+}

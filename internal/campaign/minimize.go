@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rocksalt/internal/faultinject"
+)
+
+// minimizeBudget caps how many re-judgings one minimization may spend.
+// Each probe is a full differential judging (three checkers plus the
+// escape check), so the budget bounds a finding's cost at roughly 200x
+// a normal task — still minutes, not hours, even with armor in the
+// loop.
+const minimizeBudget = 200
+
+// Repro is the persisted, self-contained reproduction of one finding:
+// everything needed to regenerate and re-judge the image without the
+// campaign directory — the plan coordinates, the derived seeds, the
+// full mutant and its minimized form.
+type Repro struct {
+	Task         int    `json:"task"`
+	Policy       string `json:"policy"`
+	Kind         string `json:"kind"`
+	Base         int    `json:"base"`
+	Mutant       int    `json:"mutant"`
+	CampaignSeed int64  `json:"campaign_seed"`
+	MutSeed      int64  `json:"mut_seed"`
+	BaseSeed     int64  `json:"base_seed"`
+	Verdict      string `json:"verdict"`
+	Detail       string `json:"detail,omitempty"`
+	ImageHex     string `json:"image_hex"`
+	MinimizedHex string `json:"minimized_hex"`
+}
+
+// minimizeAndPersist delta-debugs a finding down to a minimal
+// bundle-aligned image that still reproduces a bad verdict, and writes
+// the repro under <dir>/repros/. The reproduction predicate is "the
+// differential judging still finds a disagreement or an escape" — not
+// "the same disagreement" — which is the standard ddmin fixpoint
+// condition and keeps the minimized image meaningful even when chunk
+// removal shifts which checker flips first.
+func (c *Campaign) minimizeAndPersist(pc *policyCtx, h *faultinject.Harness, t Task, img []byte, v Verdict, detail string) (string, error) {
+	budget := minimizeBudget
+	bad := func(cand []byte) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		vv, _ := c.judge(pc, h, cand, true)
+		return vv == VerdictDisagree || vv == VerdictEscape
+	}
+	min := ddmin(img, pc.params.Bundle, bad)
+
+	rep := Repro{
+		Task:         t.ID,
+		Policy:       pc.name,
+		Kind:         t.Kind.String(),
+		Base:         t.Base,
+		Mutant:       t.Mutant,
+		CampaignSeed: c.cfg.Seed,
+		MutSeed:      c.cfg.MutSeed(t),
+		BaseSeed:     c.cfg.BaseSeed(t.Policy, t.Base),
+		Verdict:      string(v),
+		Detail:       detail,
+		ImageHex:     hex.EncodeToString(img),
+		MinimizedHex: hex.EncodeToString(min),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("task-%08d.json", t.ID)
+	path := filepath.Join(c.dir, "repros", name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return filepath.Join("repros", name), nil
+}
+
+// ddmin is greedy bundle-chunk delta debugging: starting from the
+// largest bundle-multiple chunk size, repeatedly remove any aligned
+// chunk whose removal keeps the image bad, then halve the chunk size,
+// down to single bundles. Removing a bundle-multiple at a
+// bundle-aligned offset preserves the alignment of everything after it,
+// so the minimized image exercises the same alignment discipline as the
+// original.
+func ddmin(img []byte, bundle int, bad func([]byte) bool) []byte {
+	cur := append([]byte(nil), img...)
+	if len(cur) <= bundle || !bad(cur) {
+		return cur
+	}
+	start := bundle
+	for start*2 <= len(cur)/2 {
+		start *= 2
+	}
+	for size := start; size >= bundle; size /= 2 {
+		for changed := true; changed; {
+			changed = false
+			for off := 0; off+size <= len(cur); off += size {
+				if len(cur) == size {
+					break // never minimize to an empty image
+				}
+				cand := make([]byte, 0, len(cur)-size)
+				cand = append(cand, cur[:off]...)
+				cand = append(cand, cur[off+size:]...)
+				if bad(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return cur
+}

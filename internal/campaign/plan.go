@@ -1,0 +1,168 @@
+// Package campaign is the standing soundness harness: a long-running,
+// crash-safe differential-testing subsystem that pushes generated and
+// mutated images through rocksalt-vs-ncval-vs-armor agreement plus
+// simulator escape checks, per policy. A campaign is a deterministic
+// work-plan — every task is a pure function of (campaign seed, task ID)
+// — sharded across a worker pool, with an append-only journal and
+// periodic checkpoints so a killed process resumes exactly where it
+// left off, per-task watchdog timeouts with bounded retry, panic
+// containment per worker (a crashing reference checker becomes a
+// ReferenceFault verdict, not a dead campaign), and automatic
+// delta-debugging minimization of every disagreement into a persisted
+// repro.
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"rocksalt/internal/faultinject"
+	"rocksalt/internal/policy"
+)
+
+// Config describes a campaign. The JSON-tagged fields are the
+// campaign's identity: they are persisted in plan.json and, together
+// with the deterministic task derivation below, fix every task's input
+// bytes and expected verdict. The untagged fields are execution knobs —
+// worker count, timeouts, checkpoint cadence — which may differ between
+// a run and its resume without changing any verdict.
+type Config struct {
+	// Seed roots every derived seed in the campaign: base-image
+	// generation, mutation, and simulation all key off it.
+	Seed int64 `json:"seed"`
+	// Policies are the policy presets under test (see PresetSpec).
+	Policies []string `json:"policies"`
+	// Bases is how many generated base images each policy gets.
+	Bases int `json:"bases"`
+	// BaseInstrs sizes each base image, in generated instructions.
+	BaseInstrs int `json:"base_instrs"`
+	// PerKind is how many mutants of each mutator family are derived
+	// from each base image.
+	PerKind int `json:"per_kind"`
+	// ArmorStride runs the armor comparator on every Nth task only:
+	// armor re-derives grammar derivatives and RTL verification
+	// conditions per instruction and is orders of magnitude slower than
+	// the other two checkers (that gap is the point of experiment E3),
+	// so sampling it is a deliberate budget decision, not an accident.
+	ArmorStride int `json:"armor_stride"`
+	// SimSeeds is how many randomized machine states each accepted
+	// mutant is executed under for the escape check.
+	SimSeeds int `json:"sim_seeds"`
+	// MaxSteps bounds each simulation.
+	MaxSteps int `json:"max_steps"`
+
+	// Workers sizes the worker pool (default 1).
+	Workers int `json:"-"`
+	// TaskTimeout is the per-task watchdog: a task running longer is
+	// abandoned and retried (default 60s).
+	TaskTimeout time.Duration `json:"-"`
+	// MaxRetries bounds watchdog retries per task before the task is
+	// recorded as a ReferenceFault (default 2).
+	MaxRetries int `json:"-"`
+	// CheckpointEvery is how many newly journaled tasks pass between
+	// checkpoint snapshots (default 512).
+	CheckpointEvery int `json:"-"`
+}
+
+// withDefaults fills the zero fields in.
+func (c Config) withDefaults() Config {
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"nacl-32", "nacl-16", "reins-16"}
+	}
+	if c.Bases == 0 {
+		c.Bases = 2
+	}
+	if c.BaseInstrs == 0 {
+		c.BaseInstrs = 40
+	}
+	if c.PerKind == 0 {
+		c.PerKind = 50
+	}
+	if c.ArmorStride == 0 {
+		c.ArmorStride = 16
+	}
+	if c.SimSeeds == 0 {
+		c.SimSeeds = 2
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 200
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.TaskTimeout == 0 {
+		c.TaskTimeout = 60 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 512
+	}
+	return c
+}
+
+// PresetSpec resolves a policy preset name to its spec.
+func PresetSpec(name string) (policy.Spec, error) {
+	switch name {
+	case "nacl-32":
+		return policy.NaCl(), nil
+	case "nacl-16":
+		return policy.NaCl16(), nil
+	case "reins-16":
+		return policy.REINS(), nil
+	}
+	return policy.Spec{}, fmt.Errorf("campaign: unknown policy preset %q (want nacl-32, nacl-16 or reins-16)", name)
+}
+
+// Task locates one unit of work in the campaign's deterministic plan:
+// mutant Mutant of mutator family Kind over base image Base under
+// policy Policy. Task IDs enumerate the plan in mixed-radix order —
+// policy-major, then base, kind, mutant — so the mapping ID <-> task is
+// a pure function of the config.
+type Task struct {
+	ID     int
+	Policy int // index into Config.Policies
+	Base   int
+	Kind   faultinject.Kind
+	Mutant int
+}
+
+// NumTasks is the plan size.
+func (c Config) NumTasks() int {
+	return len(c.Policies) * c.Bases * faultinject.NumImageKinds * c.PerKind
+}
+
+// TaskFor decodes a task ID back into plan coordinates.
+func (c Config) TaskFor(id int) Task {
+	t := Task{ID: id}
+	t.Mutant = id % c.PerKind
+	id /= c.PerKind
+	t.Kind = faultinject.Kind(id % faultinject.NumImageKinds)
+	id /= faultinject.NumImageKinds
+	t.Base = id % c.Bases
+	t.Policy = id / c.Bases
+	return t
+}
+
+// mix is a splitmix64-style finalizer: it turns structured coordinates
+// into well-dispersed seeds so adjacent tasks do not share rng streams.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// MutSeed is the mutation seed of a task — a pure function of the
+// campaign seed and the task ID.
+func (c Config) MutSeed(t Task) int64 {
+	return int64(mix(uint64(c.Seed)*0x9e3779b97f4a7c15 + uint64(t.ID) + 1))
+}
+
+// BaseSeed is the generator seed of base image b under policy p.
+func (c Config) BaseSeed(p, b int) int64 {
+	return int64(mix(uint64(c.Seed)*0xd1b54a32d192ed03 + uint64(p)*1_000_003 + uint64(b) + 1))
+}

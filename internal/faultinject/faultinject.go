@@ -57,11 +57,49 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Mutate returns a deterministic mutant of img for (kind, seed). The
-// input is never modified; the mutant is always a fresh slice. Images
-// too small for a given mutator (or kind TableCorrupt) are returned as
-// plain copies.
+// Params aim the mutators at one policy's decision surface: the
+// mutators that exploit image geometry (Straddle, the seam-anchored
+// ByteSplice mode) place their offsets relative to the checker's bundle
+// boundaries and masked-pair layout, not the NaCl-32 constants. The
+// zero value is invalid; use DefaultParams or ParamsFor.
+type Params struct {
+	// Bundle is the policy's alignment quantum (the checker's
+	// PolicyInfo().BundleSize).
+	Bundle int
+	// MaskLen is the encoded size of the policy's masking AND: the jump
+	// half of a masked pair sits MaskLen bytes into the pair, which is
+	// the seam splice mutants aim for (3 for imm8 masks, 6 for the
+	// imm32 masks a 32-bit mask width compiles to).
+	MaskLen int
+}
+
+// DefaultParams are the default NaCl-32 mutator parameters; Mutate uses
+// them.
+func DefaultParams() Params {
+	return Params{Bundle: core.BundleSize, MaskLen: 3}
+}
+
+// ParamsFor derives mutator parameters from a checker's compiled
+// policy.
+func ParamsFor(info core.PolicyInfo) Params {
+	return Params{Bundle: info.BundleSize, MaskLen: info.MaskLen}
+}
+
+// Mutate returns a deterministic mutant of img for (kind, seed) under
+// the default NaCl-32 parameters. The input is never modified; the
+// mutant is always a fresh slice. Images too small for a given mutator
+// (or kind TableCorrupt) are returned as plain copies.
 func Mutate(img []byte, kind Kind, seed int64) []byte {
+	return MutateParams(img, kind, seed, DefaultParams())
+}
+
+// MutateParams is Mutate parameterized on the target policy's geometry:
+// straddle mutants cross the policy's own bundle boundaries and splice
+// mutants can anchor on the mask/jump seam of its masked pairs, so
+// NaCl-16 and REINS campaigns mutate at the boundaries their checkers
+// actually enforce. MutateParams(img, kind, seed, p) is a pure function
+// of its arguments.
+func MutateParams(img []byte, kind Kind, seed int64, p Params) []byte {
 	out := append([]byte(nil), img...)
 	if len(out) == 0 {
 		return out
@@ -79,6 +117,20 @@ func Mutate(img []byte, kind Kind, seed int64) []byte {
 			n = len(out)
 		}
 		dst := rng.Intn(len(out) - n + 1)
+		if len(out) > p.Bundle && rng.Intn(4) == 0 {
+			// Seam-anchored mode: start the splice just before a bundle
+			// boundary, inside the window where a masked pair's AND would
+			// sit — severing mask from jump, or splitting the boundary,
+			// at exactly the offsets this policy's checker must police.
+			b := (1 + rng.Intn(len(out)/p.Bundle)) * p.Bundle
+			dst = b - 1 - rng.Intn(p.MaskLen+2)
+			if dst < 0 {
+				dst = 0
+			}
+			if dst > len(out)-n {
+				dst = len(out) - n
+			}
+		}
 		if rng.Intn(2) == 0 {
 			rng.Read(out[dst : dst+n])
 		} else {
@@ -92,9 +144,9 @@ func Mutate(img []byte, kind Kind, seed int64) []byte {
 	case Straddle:
 		// A MOV r32, imm32 (0xb8+r, 5 bytes) planted 1–4 bytes before a
 		// bundle boundary necessarily crosses it.
-		if len(out) > core.BundleSize {
-			boundaries := len(out) / core.BundleSize
-			b := (1 + rng.Intn(boundaries)) * core.BundleSize
+		if len(out) > p.Bundle {
+			boundaries := len(out) / p.Bundle
+			b := (1 + rng.Intn(boundaries)) * p.Bundle
 			at := b - 1 - rng.Intn(4)
 			if at < 0 {
 				at = 0

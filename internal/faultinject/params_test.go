@@ -1,0 +1,79 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rocksalt/internal/faultinject"
+)
+
+// TestMutateParamsDeterministic: MutateParams is a pure function of
+// (img, kind, seed, params) and never modifies its input, for
+// non-default policy geometry.
+func TestMutateParamsDeterministic(t *testing.T) {
+	base := corpus(t, 1, 60)[0]
+	orig := append([]byte(nil), base...)
+	p := faultinject.Params{Bundle: 16, MaskLen: 6} // reins-16 geometry
+	for k := 0; k < faultinject.NumImageKinds; k++ {
+		kind := faultinject.Kind(k)
+		for seed := int64(0); seed < 50; seed++ {
+			a := faultinject.MutateParams(base, kind, seed, p)
+			b := faultinject.MutateParams(base, kind, seed, p)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%v seed %d: two runs differ", kind, seed)
+			}
+			if !bytes.Equal(base, orig) {
+				t.Fatalf("%v seed %d: input image modified", kind, seed)
+			}
+		}
+	}
+}
+
+// TestMutateParamsGeometry: the geometry-aware mutators actually
+// consume the policy parameters — Straddle under a 16-byte bundle
+// plants its instruction within the last 4 bytes before a 16-byte
+// boundary, not a 32-byte one.
+func TestMutateParamsGeometry(t *testing.T) {
+	img := bytes.Repeat([]byte{0x90}, 4*16)
+	p := faultinject.Params{Bundle: 16, MaskLen: 6}
+	placed := 0
+	for seed := int64(0); seed < 100; seed++ {
+		out := faultinject.MutateParams(img, faultinject.Straddle, seed, p)
+		first := -1
+		for i := range out {
+			if out[i] != img[i] {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			continue // the planted bytes happened to equal the nops
+		}
+		placed++
+		// Straddle writes a 5-byte MOV starting 1-4 bytes before a
+		// bundle boundary, so the first changed byte lands in the last
+		// 4 bytes of a 16-byte bundle.
+		if first%16 < 12 {
+			t.Fatalf("seed %d: straddle starts at offset %d (mod 16 = %d), not before a 16-byte boundary",
+				seed, first, first%16)
+		}
+	}
+	if placed == 0 {
+		t.Fatal("no straddle mutant changed the image; geometry unexercised")
+	}
+
+	// The same seeds under different geometry must eventually diverge:
+	// if no seed distinguishes Params{16,6} from Params{32,3}, the
+	// parameters are dead.
+	img32 := bytes.Repeat([]byte{0x90}, 4*32)
+	q := faultinject.Params{Bundle: 32, MaskLen: 3}
+	diverged := false
+	for seed := int64(0); seed < 100 && !diverged; seed++ {
+		a := faultinject.MutateParams(img32, faultinject.Straddle, seed, p)
+		b := faultinject.MutateParams(img32, faultinject.Straddle, seed, q)
+		diverged = !bytes.Equal(a, b)
+	}
+	if !diverged {
+		t.Fatal("Params{16,6} and Params{32,3} produced identical straddle mutants for 100 seeds")
+	}
+}

@@ -5,13 +5,103 @@
 // whose size and opacity motivated RockSalt. It exists to reproduce the
 // speed and agreement experiments (E2, E6, E7) and as a differential
 // testing partner for the DFA-based checker.
+//
+// The checker is parameterized by a Config — bundle size, mask encoding,
+// maskable registers, banned instruction classes, guard region — so the
+// differential campaigns can hold it against RockSalt checkers compiled
+// from any policy.Spec, not just the default NaCl-32 policy. The
+// decoding tables and control structure stay deliberately independent of
+// internal/core: agreement between the two implementations is evidence
+// precisely because they share no code.
 package ncval
 
-// The accept language is intended to be identical to internal/core's:
-// NaCl-safe instructions, direct jumps to instruction boundaries, and
-// contiguous mask+jump pairs, under the 32-byte alignment discipline.
+import (
+	"rocksalt/internal/policy"
+)
 
-const bundleSize = 32
+// The accept language is intended to be identical to internal/core's
+// under the same policy spec: policy-safe instructions, direct jumps to
+// instruction boundaries, and contiguous mask+jump pairs, under the
+// spec's alignment discipline.
+
+// Config carries the policy parameters the validator enforces. The
+// fields mirror what a normalized policy.Spec pins down, restated in
+// this package's own terms (opcode bytes and register encodings rather
+// than grammars) so the enforcement logic stays independent of the DFA
+// pipeline it is compared against.
+type Config struct {
+	// Bundle is the alignment quantum in bytes.
+	Bundle int
+	// MaskOp is the masking AND's opcode: 0x83 (imm8 form) or 0x81
+	// (imm32 form).
+	MaskOp byte
+	// MaskImm is the mask immediate: the raw byte for the imm8 form,
+	// the full little-endian value for the imm32 form.
+	MaskImm uint32
+	// Maskable marks the register encodings allowed in masked jumps.
+	Maskable [8]bool
+	// BanString rejects the string operations (and, transitively, the
+	// REP prefixes that are only legal before them).
+	BanString bool
+	// BanRep rejects the REP/REPNE prefixes while keeping bare string
+	// operations legal.
+	BanRep bool
+	// BanOpsize16 rejects the 0x66 operand-size override.
+	BanOpsize16 bool
+	// AlignedCalls requires every call (direct or the call half of a
+	// masked pair) to end exactly at a bundle boundary.
+	AlignedCalls bool
+	// Guard, when nonzero, rejects out-of-image direct-jump targets
+	// below it even when whitelisted in Entries.
+	Guard uint32
+	// Entries whitelists out-of-image direct-jump targets (the NaCl
+	// runtime's trampoline entry points).
+	Entries map[uint32]bool
+}
+
+// NaClConfig is the default NaCl-32 policy: 32-byte bundles, AND r,0xe0
+// masks through every register but ESP.
+func NaClConfig() Config {
+	cf := Config{Bundle: 32, MaskOp: 0x83, MaskImm: 0xe0}
+	for r := 0; r < 8; r++ {
+		cf.Maskable[r] = r != 4 // ESP
+	}
+	return cf
+}
+
+// ConfigForSpec translates a policy.Spec (normalized first) into this
+// validator's enforcement parameters.
+func ConfigForSpec(s policy.Spec) (Config, error) {
+	norm, err := s.Normalize()
+	if err != nil {
+		return Config{}, err
+	}
+	cf := Config{
+		Bundle:       norm.BundleSize,
+		MaskOp:       0x83,
+		MaskImm:      norm.MaskImm(),
+		AlignedCalls: norm.AlignedCalls,
+		Guard:        norm.GuardCutoff,
+	}
+	if norm.MaskWidth == 32 {
+		cf.MaskOp = 0x81
+	}
+	for _, r := range norm.MaskRegisters() {
+		cf.Maskable[int(r)&7] = true
+	}
+	for _, c := range norm.BannedClasses {
+		switch c {
+		case "string":
+			cf.BanString = true
+			cf.BanRep = true // REP is only legal before the (now banned) string ops
+		case "rep-prefix":
+			cf.BanRep = true
+		case "opsize16":
+			cf.BanOpsize16 = true
+		}
+	}
+	return cf, nil
+}
 
 // immKind describes the immediate following the opcode/ModRM.
 type immKind uint8
@@ -177,34 +267,42 @@ const moffsMarker = immKind(200)
 // decoded summarizes a partially decoded instruction.
 type decoded struct {
 	length   int
-	maskReg  int // >= 0 when the instruction is "AND reg, 0xe0" (83 /4)
+	maskReg  int // >= 0 when the instruction is the policy's masking AND
 	indirect int // register of an indirect FF/2|/4 jump/call, else -1
 	direct   bool
+	call     bool  // direct CALL or indirect FF/2
 	target   int64 // direct target (image-relative), valid when direct
 }
 
 // decode partially decodes the instruction at code[pos:], returning false
-// when it is illegal or truncated. This is the "partial decoding
-// intertwined with policy enforcement" the paper describes.
-func decode(code []byte, pos int) (decoded, bool) {
+// when it is illegal or truncated under the config. This is the "partial
+// decoding intertwined with policy enforcement" the paper describes.
+func (cf *Config) decode(code []byte, pos int) (decoded, bool) {
 	d := decoded{maskReg: -1, indirect: -1}
 	p := pos
 	n := len(code)
 	opsize16 := false
 	rep := false
 
-	// Prefixes: only 0x66 and F2/F3 (string ops) are legal.
+	// Prefixes: only 0x66 and F2/F3 (string ops) are legal, and only
+	// when the policy has not banned their class.
 	for {
 		if p >= n {
 			return d, false
 		}
 		b := code[p]
 		if b == 0x66 && !opsize16 && !rep {
+			if cf.BanOpsize16 {
+				return d, false
+			}
 			opsize16 = true
 			p++
 			continue
 		}
 		if (b == 0xf2 || b == 0xf3) && !rep && !opsize16 {
+			if cf.BanRep || cf.BanString {
+				return d, false
+			}
 			rep = true
 			p++
 			continue
@@ -238,6 +336,7 @@ func decode(code []byte, pos int) (decoded, bool) {
 			p += 4
 			d.length = p - pos
 			d.direct = true
+			d.call = op == 0xe8
 			d.target = int64(p) + rel
 			return d, true
 		case op == 0x0f && p < n && code[p]>>4 == 0x8: // Jcc rel32
@@ -262,6 +361,7 @@ func decode(code []byte, pos int) (decoded, bool) {
 			ext := modrm >> 3 & 7
 			if ext == 2 || ext == 4 {
 				d.indirect = int(modrm & 7)
+				d.call = ext == 2
 				d.length = p + 1 - pos
 				return d, true
 			}
@@ -279,6 +379,9 @@ func decode(code []byte, pos int) (decoded, bool) {
 		f = oneByte[op]
 	}
 	if !f.legal {
+		return d, false
+	}
+	if cf.BanString && op != 0x0f && isStringOpcode(op) {
 		return d, false
 	}
 	if rep {
@@ -301,11 +404,16 @@ func decode(code []byte, pos int) (decoded, bool) {
 		if f.extMask != 0 && f.extMask&(1<<ext) == 0 {
 			return d, false
 		}
-		// Mask detection: AND r/m32, imm8 is 83 /4; the NaCl mask is the
-		// register form with immediate 0xe0.
-		if op == 0x83 && ext == 4 && isReg && !opsize16 {
+		// Mask detection: the policy's AND r/m32, imm is MaskOp /4; the
+		// mask is the register form through a maskable register with
+		// exactly the mask immediate.
+		if op == cf.MaskOp && ext == 4 && isReg && !opsize16 && cf.Maskable[rm] {
 			immPos := p + ml
-			if immPos < n && code[immPos] == 0xe0 {
+			if cf.MaskOp == 0x81 {
+				if immPos+4 <= n && le32(code[immPos:]) == cf.MaskImm {
+					d.maskReg = int(rm)
+				}
+			} else if immPos < n && code[immPos] == byte(cf.MaskImm) {
 				d.maskReg = int(rm)
 			}
 		}
@@ -388,10 +496,26 @@ func le32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
-// Validate checks the image against the sandbox policy, Google-checker
+// isStringOpcode reports the one-byte string operations — the "string"
+// banned class (their REP forms are rejected via the prefix).
+func isStringOpcode(op byte) bool {
+	switch op {
+	case 0xa4, 0xa5, 0xa6, 0xa7, 0xaa, 0xab, 0xac, 0xad, 0xae, 0xaf:
+		return true
+	}
+	return false
+}
+
+// Validate checks the image against the default NaCl-32 sandbox policy.
+func Validate(code []byte) bool {
+	cf := NaClConfig()
+	return cf.Validate(code)
+}
+
+// Validate checks the image against cf's sandbox policy, Google-checker
 // style: one pass decoding instructions and recording instruction starts
 // and jump targets, then the alignment and target checks.
-func Validate(code []byte) bool {
+func (cf *Config) Validate(code []byte) bool {
 	size := len(code)
 	valid := make([]bool, size)
 	target := make([]bool, size)
@@ -400,7 +524,7 @@ func Validate(code []byte) bool {
 	lastMaskReg := -1
 	lastMaskEnd := -1
 	for pos < size {
-		d, ok := decode(code, pos)
+		d, ok := cf.decode(code, pos)
 		if !ok {
 			return false
 		}
@@ -408,18 +532,22 @@ func Validate(code []byte) bool {
 		end := pos + d.length
 		if d.indirect >= 0 {
 			// Legal only as the contiguous second half of a masked pair
-			// through the same (non-ESP) register.
-			if d.indirect == 4 || lastMaskReg != d.indirect || lastMaskEnd != pos {
+			// through the same maskable register.
+			if !cf.Maskable[d.indirect] || lastMaskReg != d.indirect || lastMaskEnd != pos {
 				return false
 			}
 			// The jump itself must not be reachable directly.
 			valid[pos] = false
 		}
+		if cf.AlignedCalls && d.call && end%cf.Bundle != 0 {
+			return false
+		}
 		if d.direct {
-			if d.target < 0 || d.target >= int64(size) {
+			if d.target >= 0 && d.target < int64(size) {
+				target[d.target] = true
+			} else if !cf.allowedEntry(uint32(d.target)) {
 				return false
 			}
-			target[d.target] = true
 		}
 		if d.maskReg >= 0 {
 			lastMaskReg = d.maskReg
@@ -433,9 +561,19 @@ func Validate(code []byte) bool {
 		if target[i] && !valid[i] {
 			return false
 		}
-		if i%bundleSize == 0 && !valid[i] {
+		if i%cf.Bundle == 0 && !valid[i] {
 			return false
 		}
 	}
 	return true
+}
+
+// allowedEntry reports whether an out-of-image direct-jump target is
+// permitted: whitelisted as an entry point and not inside the guard
+// region.
+func (cf *Config) allowedEntry(t uint32) bool {
+	if cf.Guard != 0 && t < cf.Guard {
+		return false
+	}
+	return cf.Entries[t]
 }

@@ -1,0 +1,53 @@
+// Package seedflag unifies -seed handling across the CLIs that generate
+// or mutate deterministic workloads (cmd/x86fuzz, cmd/naclgen, the
+// campaign runner in cmd/experiments). Every tool registers the flag
+// through Register so the name, default and help text never drift, and
+// every run both prints its seed and embeds it in the artifacts it
+// writes — a run is reproducible from its own output alone, without the
+// shell history that launched it.
+package seedflag
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Default is the seed every tool starts from when -seed is not given.
+// Keeping one shared default means "the" reference run of any tool is
+// the unflagged invocation.
+const Default = 1
+
+// Register installs the shared -seed flag on fs and returns the value
+// pointer. Call before fs.Parse.
+func Register(fs *flag.FlagSet) *int64 {
+	return fs.Int64("seed", Default,
+		"deterministic seed; printed and embedded in artifacts so runs reproduce from their output alone")
+}
+
+// Announce prints the canonical one-line seed banner for a tool. Tools
+// call it immediately after flag parsing so the seed is on record even
+// when the run later fails.
+func Announce(w io.Writer, tool string, seed int64) {
+	fmt.Fprintf(w, "%s: seed %d\n", tool, seed)
+}
+
+// Meta is the sidecar metadata embedded beside artifacts that are not
+// themselves JSON (e.g. naclgen's raw .bin images): the tool, its seed,
+// and any tool-specific fields needed to regenerate the artifact.
+type Meta struct {
+	Tool  string         `json:"tool"`
+	Seed  int64          `json:"seed"`
+	Extra map[string]any `json:"extra,omitempty"`
+}
+
+// MarshalMeta renders a Meta as indented JSON with a trailing newline,
+// ready to write next to the artifact it describes.
+func MarshalMeta(tool string, seed int64, extra map[string]any) ([]byte, error) {
+	data, err := json.MarshalIndent(Meta{Tool: tool, Seed: seed, Extra: extra}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

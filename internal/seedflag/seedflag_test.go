@@ -1,0 +1,53 @@
+package seedflag
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"testing"
+)
+
+func TestRegisterDefaultAndParse(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	seed := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != Default {
+		t.Fatalf("unflagged seed = %d, want Default (%d)", *seed, Default)
+	}
+
+	fs2 := flag.NewFlagSet("tool", flag.ContinueOnError)
+	seed2 := Register(fs2)
+	if err := fs2.Parse([]string{"-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	if *seed2 != 42 {
+		t.Fatalf("-seed 42 parsed as %d", *seed2)
+	}
+}
+
+func TestAnnounceFormat(t *testing.T) {
+	var buf bytes.Buffer
+	Announce(&buf, "naclgen", 7)
+	if got, want := buf.String(), "naclgen: seed 7\n"; got != want {
+		t.Fatalf("Announce wrote %q, want %q", got, want)
+	}
+}
+
+func TestMarshalMetaRoundTrip(t *testing.T) {
+	data, err := MarshalMeta("naclgen", 9, map[string]any{"n": 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("meta JSON missing trailing newline")
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "naclgen" || m.Seed != 9 || m.Extra["n"] != float64(200) {
+		t.Fatalf("round-trip mismatch: %+v", m)
+	}
+}
