@@ -35,7 +35,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 func main() {
-	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride, policy, campaign); empty = all")
+	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride, policy, scale, campaign); empty = all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -67,6 +67,7 @@ func main() {
 		{"obsv", obsvOverhead},
 		{"stride", benchStride},
 		{"policy", benchPolicy},
+		{"scale", benchScale},
 		{"campaign", runCampaign},
 	} {
 		// The campaign is a soak, not a benchmark: it only runs when

@@ -4,9 +4,9 @@
 // Usage:
 //
 //	rocksalt [-entries 0x10000,0x10020] [-tables tables.bin]
-//	         [-policy spec.json] [-j N] [-timeout 5s] [-cache 64]
-//	         [-stats] [-json] [-q] [-v] [-metrics-addr :9090]
-//	         [-linger 0s] file.bin
+//	         [-policy spec.json] [-engine auto] [-j N] [-timeout 5s]
+//	         [-cache 64] [-stats] [-json] [-q] [-v]
+//	         [-metrics-addr :9090] [-linger 0s] file.bin
 //
 // The exit status is 0 when the image is safe, 1 when it is rejected,
 // 2 on usage or input errors (including an empty input file, a
@@ -22,6 +22,15 @@
 // exclusive with -tables, which already fixes the policy; -j sets the
 // stage-1 worker count (0 = all CPUs); -timeout aborts long runs; -q
 // suppresses output in favour of the exit status.
+//
+// -engine pins the stage-1 stepper: auto (the default; the engine
+// picks the fastest available stepper, currently the SWAR multi-byte
+// walk with its density backoff), scalar (the canonical byte-at-a-time
+// fused walk), lanes (the four-lane single-stride walk, auto with the
+// stride upgrade disabled), strided (the forced two-stride pair walk),
+// or swar (the forced SWAR stepper). Verdicts are engine-invariant
+// byte for byte; the resolved stepper is recorded in the -stats/-json
+// engine field. Anything else exits 2.
 //
 // -cache N attaches an N-MiB content-addressed verdict cache for the
 // process lifetime and reports the image's content key. One-shot runs
@@ -62,7 +71,7 @@ import (
 // usage is the one-line synopsis printed on argument errors. A test
 // (cli_test.go) holds it and the package doc comment to the actual flag
 // set, so neither can drift when a flag is added.
-const usage = "usage: rocksalt [-entries addr,addr] [-tables f] [-policy spec.json] [-j N] [-timeout d] [-cache MiB] [-stats] [-json] [-v] [-metrics-addr a] [-linger d] [-q] file.bin"
+const usage = "usage: rocksalt [-entries addr,addr] [-tables f] [-policy spec.json] [-engine auto|scalar|lanes|strided|swar] [-j N] [-timeout d] [-cache MiB] [-stats] [-json] [-v] [-metrics-addr a] [-linger d] [-q] file.bin"
 
 // cliFlags is every rocksalt flag, registered on a caller-supplied
 // FlagSet so tests can enumerate the registry without running main.
@@ -71,6 +80,7 @@ type cliFlags struct {
 	quiet       *bool
 	tables      *string
 	policySpec  *string
+	engine      *string
 	workers     *int
 	timeout     *time.Duration
 	cacheMiB    *int
@@ -87,6 +97,7 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		quiet:       fs.Bool("q", false, "suppress output; use the exit status"),
 		tables:      fs.String("tables", "", "load pre-generated DFA tables (from dfagen -o) instead of compiling grammars"),
 		policySpec:  fs.String("policy", "", "compile this JSON policy spec at runtime and verify against it (mutually exclusive with -tables)"),
+		engine:      fs.String("engine", "auto", "stage-1 stepper: auto, scalar, lanes, strided or swar (verdicts are engine-invariant)"),
 		workers:     fs.Int("j", 1, "stage-1 verification workers (0 = all CPUs)"),
 		timeout:     fs.Duration("timeout", 0, "abort verification after this duration (exit 3); 0 = no limit"),
 		cacheMiB:    fs.Int("cache", 0, "attach a content-addressed verdict cache of this many MiB (0 = no cache)"),
@@ -219,6 +230,21 @@ func main() {
 	}
 
 	opts := core.VerifyOptions{Workers: *workers}
+	switch *f.engine {
+	case "auto", "":
+		// The engine resolves the fastest available stepper itself.
+	case "scalar":
+		opts.Engine = core.EngineFusedScalar
+	case "lanes":
+		opts.StrideBudgetBytes = -1
+	case "strided":
+		opts.Engine = core.EngineStrided
+	case "swar":
+		opts.Engine = core.EngineSWAR
+	default:
+		fmt.Fprintf(os.Stderr, "rocksalt: unknown -engine %q (want auto, scalar, lanes, strided or swar)\n", *f.engine)
+		os.Exit(2)
+	}
 	if *f.cacheMiB > 0 {
 		opts.Cache = vcache.New(int64(*f.cacheMiB) << 20)
 	}

@@ -46,16 +46,22 @@ const chunkBytes = 64 << 10
 const chunkShards = chunkBytes / ShardBytes
 
 // chunkEntry is the cached parse artifact of one clean chunk: the
-// boundary and masked-pair bitmap words for its bit range and the
-// in-image jump targets its shards collected.
+// boundary and masked-pair bitmap words for its bit range, the
+// cross-shard jump targets its shards collected, and the in-shard
+// targets already proven bad by the stage-1 workers. bad must be
+// replayed: a chunk is "clean" when its parse found no shard-local
+// violation, but a jump into the middle of an instruction only becomes
+// a TargetNotBoundary violation at reconcile — dropping bad would make
+// a cached replay accept what a cold run rejects.
 type chunkEntry struct {
 	valid   []uint64
 	pairJmp []uint64
 	targets []int32
+	bad     []int32
 }
 
 func (e *chunkEntry) size() int64 {
-	return int64(8*len(e.valid) + 8*len(e.pairJmp) + 4*len(e.targets))
+	return int64(8*len(e.valid) + 8*len(e.pairJmp) + 4*len(e.targets) + 4*len(e.bad))
 }
 
 // cacheCtx carries a run's chunk-cache state: the per-chunk keys (index
@@ -212,6 +218,7 @@ func (c *Checker) probeChunks(cc *cacheCtx, sc *scratch, st *Stats) []bool {
 		copy(wpair[w0:w0+len(e.pairJmp)], e.pairJmp)
 		res := &sc.results[i*chunkShards]
 		res.targets = append(res.targets, e.targets...)
+		res.bad = append(res.bad, e.bad...)
 		if skip == nil {
 			skip = make([]bool, len(sc.results))
 		}
@@ -237,7 +244,7 @@ func (c *Checker) storeChunks(cc *cacheCtx, sc *scratch, skip []bool) {
 			continue // restored from cache this run
 		}
 		clean := true
-		var ntargets int
+		var ntargets, nbad int
 		for s := 0; s < chunkShards; s++ {
 			res := &sc.results[i*chunkShards+s]
 			if len(res.violations) > 0 {
@@ -245,6 +252,7 @@ func (c *Checker) storeChunks(cc *cacheCtx, sc *scratch, skip []bool) {
 				break
 			}
 			ntargets += len(res.targets)
+			nbad += len(res.bad)
 		}
 		if !clean {
 			continue
@@ -255,8 +263,12 @@ func (c *Checker) storeChunks(cc *cacheCtx, sc *scratch, skip []bool) {
 			pairJmp: append([]uint64(nil), wpair[w0:w0+chunkBytes/64]...),
 			targets: make([]int32, 0, ntargets),
 		}
+		if nbad > 0 {
+			e.bad = make([]int32, 0, nbad)
+		}
 		for s := 0; s < chunkShards; s++ {
 			e.targets = append(e.targets, sc.results[i*chunkShards+s].targets...)
+			e.bad = append(e.bad, sc.results[i*chunkShards+s].bad...)
 		}
 		cc.cache.Put(key, e, e.size())
 	}

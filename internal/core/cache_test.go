@@ -196,6 +196,57 @@ func TestCacheAnalyzeChunkLayer(t *testing.T) {
 	}
 }
 
+// TestCacheBadTargetReplay pins the subtlest chunk-cache invariant: a
+// chunk with no shard-local violation is stored and replayed, but its
+// shards may have proven in-shard jump targets bad — a fact that only
+// becomes a TargetNotBoundary violation at reconcile. The replay must
+// carry those bad targets, or a warm run would accept an image the cold
+// run rejects.
+func TestCacheBadTargetReplay(t *testing.T) {
+	c := checker(t)
+	// Three full 64KiB chunks of NOPs plus a tail, with one direct jump
+	// in chunk 0 whose target (offset 2) is inside the jump instruction
+	// itself: no shard-local violation, but reconcile must reject.
+	img := make([]byte, 3*64<<10+64)
+	for i := range img {
+		img[i] = 0x90
+	}
+	img[0] = 0xe9 // jmp rel32 to offset 2 = 5 + (-3)
+	rel := int32(-3)
+	img[1], img[2], img[3], img[4] = byte(rel), byte(rel>>8), byte(rel>>16), byte(rel>>24)
+
+	want := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	if want.Safe {
+		t.Fatal("jump into an instruction should reject")
+	}
+	if len(want.Violations) == 0 || want.Violations[0].Kind != core.TargetNotBoundary {
+		t.Fatalf("expected TargetNotBoundary, got %+v", want.Violations)
+	}
+
+	cache := vcache.New(64 << 20)
+	opts := core.VerifyOptions{Workers: 1, Cache: cache}
+	cold := c.VerifyWith(img, opts)
+	sameVerdict(t, cold, want, "cold run")
+
+	// Change only the non-cacheable tail so the whole-image key misses
+	// while every chunk key still hits; the replayed chunk 0 must carry
+	// its bad target into reconcile.
+	edited := append([]byte(nil), img...)
+	edited[len(edited)-1] = 0x50 // push eax: safe, single byte
+	want2 := c.VerifyWith(edited, core.VerifyOptions{Workers: 1})
+	warm := c.VerifyWith(edited, opts)
+	sameVerdict(t, warm, want2, "warm run with replayed bad target")
+	if warm.Stats.CacheWholeHits != 0 {
+		t.Fatal("tail edit should have missed the whole-image layer")
+	}
+	if warm.Stats.CacheChunkHits == 0 {
+		t.Fatalf("no chunk hits on a tail-only edit: %+v", warm.Stats)
+	}
+	if warm.Safe || len(warm.Violations) == 0 || warm.Violations[0].Kind != core.TargetNotBoundary {
+		t.Fatalf("replayed run lost the bad target: %+v", warm.Violations)
+	}
+}
+
 func TestCacheSmallImageAndTail(t *testing.T) {
 	// Images smaller than one chunk exercise only the whole-image layer;
 	// the final chunk of any image is never chunk-cached.

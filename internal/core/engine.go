@@ -54,11 +54,54 @@ const (
 	EngineFusedScalar
 	// EngineStrided forces the two-stride lane walk, building (and
 	// semantically verifying) the pair tables if needed, regardless of
-	// the size budget. EngineFused selects striding automatically only
-	// when bundled tables fit StrideBudgetBytes; a table build or
-	// verification failure falls back to the single-stride lanes.
+	// the size budget. EngineFused never auto-selects it (the pcls-
+	// indexed walk measured slower than the single-stride lanes, see
+	// swarAuto); it exists for cross-checks and benchmarks. A table
+	// build or verification failure falls back to the single-stride
+	// lanes.
 	EngineStrided
+	// EngineSWAR forces the SWAR multi-byte stepper (engine_swar.go):
+	// the two-stride walk driven 8 input bytes per round through the
+	// pair-class map, retiring 4-8 bytes per iteration with one
+	// eventful-sentinel branch per chain half, and handing event-dense
+	// shards back to the single-stride lanes (the density backoff).
+	// EngineFused upgrades to it automatically when the tables are
+	// present and fit StrideBudgetBytes; forcing it builds them on
+	// demand. If the automaton cannot support it (too many states, or a
+	// table failure) the run degrades to the single-stride lanes.
+	EngineSWAR
 )
+
+// stepMode is the resolved inner stepper of the lane engine for one
+// run: the single-stride flat walk, the forced two-stride pair walk, or
+// the SWAR multi-byte stepper. It is derived once per run by
+// resolveEngine and uniform across shards, so reports and stats stay
+// deterministic.
+type stepMode uint8
+
+const (
+	stepSingle stepMode = iota
+	stepStride
+	stepSWAR
+)
+
+// engineName is the human-readable engine census value recorded in
+// Stats.Engine: the requested kind refined by the resolved stepper, so
+// "what actually ran" is visible in -stats/-json output.
+func engineName(e EngineKind, mode stepMode) string {
+	switch {
+	case e == EngineReference:
+		return "reference"
+	case e == EngineFusedScalar:
+		return "fused-scalar"
+	case mode == stepSWAR:
+		return "swar"
+	case mode == stepStride:
+		return "strided"
+	default:
+		return "lanes"
+	}
+}
 
 // VerifyOptions configures a verification run.
 type VerifyOptions struct {
@@ -73,10 +116,12 @@ type VerifyOptions struct {
 	// Engine selects the stage-1 matcher; the zero value is the fused
 	// product automaton. Reports are engine-invariant byte for byte.
 	Engine EngineKind
-	// StrideBudgetBytes bounds the hot two-stride table footprint
-	// EngineFused will auto-select (see strideAuto): 0 means the default
-	// ceiling, negative disables auto-striding. Ignored by the other
-	// engines; EngineStrided always strides.
+	// StrideBudgetBytes bounds the hot stride-table footprint
+	// EngineFused will auto-select the SWAR stepper under (see
+	// swarAuto): 0 means the default ceiling, negative disables the
+	// upgrade and pins the run to the single-stride lanes. Ignored by
+	// the other engines; EngineStrided/EngineSWAR always build their
+	// tables.
 	StrideBudgetBytes int
 	// Cache, when non-nil, attaches the content-addressed verdict cache
 	// (see cache.go): Verify* runs first look up the whole image's
@@ -136,19 +181,31 @@ type shardResult struct {
 	// violations holds the shard-local violation that stopped the
 	// parse, if any (at most one entry).
 	violations []Violation
-	// targets are the in-image destinations of the shard's direct
-	// jumps, validated globally in stage 2.
+	// targets are the destinations of the shard's direct jumps that
+	// land outside the shard, validated globally in stage 2. In-shard
+	// targets are resolved at the end of the shard parse itself (the
+	// shard's bitmap words are final then), overlapping stage-2 work
+	// with stage 1; the failures land in bad.
 	targets []int32
-	// lane/scalar/restart classify how the shard was parsed (see
-	// Stats.LaneBatches, ScalarFallbacks, Restarts); merged into the
-	// run's Stats at reconciliation. A shard sets at most one.
-	lane, scalar, restart bool
+	// bad holds in-shard jump targets already proven to miss an
+	// instruction boundary; reconcile merges them with the cross-shard
+	// failures before sorting and deduping.
+	bad []int32
+	// lane/swar/scalar/restart classify how the shard was parsed (see
+	// Stats.LaneBatches, SWARBatches, ScalarFallbacks, Restarts);
+	// merged into the run's Stats at reconciliation. A shard sets at
+	// most one.
+	lane, swar, scalar, restart bool
+	// prefetch absorbs the next-shard cache-line touches (see
+	// touchLines); never read.
+	prefetch byte
 }
 
 func (r *shardResult) reset() {
 	r.violations = r.violations[:0]
 	r.targets = r.targets[:0]
-	r.lane, r.scalar, r.restart = false, false, false
+	r.bad = r.bad[:0]
+	r.lane, r.swar, r.scalar, r.restart = false, false, false, false
 }
 
 // scratch is the reusable per-run state: the packed boundary bitmaps
@@ -323,7 +380,10 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 	// The effective engine is resolved once per run and is uniform across
 	// shards, so reports stay deterministic. (Assign-once locals: the
 	// worker closure below captures them by value.)
-	engine, strided := c.resolveEngine(opts)
+	engine, mode := c.resolveEngine(opts)
+	if st != nil {
+		st.Engine = engineName(engine, mode)
+	}
 	// Chunk-cache probe: restore the parse artifacts of every resident
 	// chunk and mark its shards skipped. Skipped shards set none of the
 	// lane/scalar/restart flags, so Stats' parse-mode counts cover only
@@ -349,7 +409,7 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 			if ctx.Err() != nil {
 				break
 			}
-			c.parseOne(code, s, sc, engine, strided)
+			c.parseOne(code, s, sc, engine, mode)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -364,7 +424,7 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 						// returning early cannot block the producer.
 						return
 					}
-					c.parseOne(code, s, sc, engine, strided)
+					c.parseOne(code, s, sc, engine, mode)
 				}
 			}()
 		}
@@ -403,8 +463,14 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 	if st != nil {
 		for i := range sc.results {
 			r := &sc.results[i]
-			if r.lane {
+			// SWAR-proven shards are lane batches too (the same 4-lane
+			// two-pass parser, a different inner stepper); SWARBatches is
+			// the sub-census.
+			if r.lane || r.swar {
 				st.LaneBatches++
+			}
+			if r.swar {
+				st.SWARBatches++
 			}
 			if r.scalar {
 				st.ScalarFallbacks++
@@ -421,33 +487,43 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 	return runResult{violations: violations, total: total, shards: shards, workers: workers}
 }
 
-// resolveEngine maps the requested engine to the one a run will
-// actually use: EngineStrided needs the two-stride tables ready (built
-// and semantically verified on first use) and degrades to the
-// single-stride lanes if they cannot be; EngineFused upgrades to them
-// only when bundled tables fit the size budget.
-func (c *Checker) resolveEngine(opts VerifyOptions) (EngineKind, bool) {
+// resolveEngine maps the requested engine to the stepper a run will
+// actually use. The forced kinds (EngineStrided, EngineSWAR) build and
+// semantically verify their tables on first use and degrade to the
+// single-stride lanes if they cannot be readied. EngineFused — the
+// default — auto-upgrades to the SWAR stepper when the tables are
+// already present (shipped in the bundle or built by an earlier forced
+// run) and their hot footprint fits the budget; it never auto-selects
+// the plain two-stride walk, which measures slower than the
+// single-stride lanes (the regression TestAutoEngineSelection pins
+// this: auto must never pick a slower stepper).
+func (c *Checker) resolveEngine(opts VerifyOptions) (EngineKind, stepMode) {
 	engine := opts.Engine
 	if c.fused == nil {
-		return engine, false
+		return engine, stepSingle
 	}
 	switch engine {
 	case EngineStrided:
 		if c.fused.ensureStride() == nil {
-			return engine, true
+			return engine, stepStride
 		}
-		return EngineFused, false
+		return EngineFused, stepSingle
+	case EngineSWAR:
+		if c.fused.ensureStride() == nil && c.fused.swarReady() {
+			return engine, stepSWAR
+		}
+		return EngineFused, stepSingle
 	case EngineFused:
-		if c.fused.strideAuto(opts.StrideBudgetBytes) && c.fused.ensureStride() == nil {
-			return engine, true
+		if c.fused.swarAuto(opts.StrideBudgetBytes) && c.fused.ensureStride() == nil && c.fused.swarReady() {
+			return engine, stepSWAR
 		}
 	}
-	return engine, false
+	return engine, stepSingle
 }
 
 // parseOne runs stage 1 on shard s, containing panics as InternalFault
 // violations so the worker (and the pool behind it) survives.
-func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, strided bool) {
+func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, mode stepMode) {
 	res := &sc.results[s]
 	defer func() {
 		if r := recover(); r != nil {
@@ -460,6 +536,7 @@ func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, s
 			// canceled leaves the fault visible in metrics.
 			coreMetrics.containedPanics.Add(1)
 			res.targets = res.targets[:0]
+			res.bad = res.bad[:0]
 			res.violations = append(res.violations[:0], Violation{
 				Offset: s * ShardBytes,
 				Kind:   InternalFault,
@@ -476,6 +553,16 @@ func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, s
 	if end > len(code) {
 		end = len(code)
 	}
+	// Software prefetch: stream one byte per cache line of the *next*
+	// shard before the dependent-load walk starts on this one. The
+	// streaming pass has high memory-level parallelism (the hardware
+	// prefetcher runs ahead of it), so by the time the walk's
+	// latency-bound, table-interleaved code loads reach those lines they
+	// hit cache. Read-only and redundant across workers, so it needs no
+	// coordination; it is skipped for the last shard.
+	if end < len(code) {
+		res.prefetch = touchLines(code, end, end+ShardBytes)
+	}
 	switch {
 	case engine == EngineReference || c.fused == nil:
 		res.scalar = true
@@ -484,8 +571,42 @@ func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, s
 		res.scalar = true
 		c.parseShardFusedScalar(code, start, end, sc, res)
 	default:
-		c.parseShardFused(code, start, end, sc, res, strided)
+		c.parseShardFused(code, start, end, sc, res, mode)
 	}
+	// Overlap stage 2 with stage 1: the shard's bitmap words are final
+	// the moment its parse returns (shards own disjoint word ranges), so
+	// its in-shard jump targets can be resolved here, on the parallel
+	// workers, instead of on reconcile's serial path. Only cross-shard
+	// targets — typically a small minority — remain for stage 2; proven
+	// failures are banked in res.bad and replayed by reconcile, so the
+	// report is unchanged.
+	kept := res.targets[:0]
+	for _, t := range res.targets {
+		if int(t) >= start && int(t) < end {
+			if !sc.valid.Get(int(t)) {
+				res.bad = append(res.bad, t)
+			}
+			continue
+		}
+		kept = append(kept, t)
+	}
+	res.targets = kept
+}
+
+// touchLines reads one byte per 64-byte cache line of code[start:end)
+// (clamped to the image) and folds them into a throwaway value the
+// caller stores, which keeps the loop from looking dead. This is the
+// portable software-prefetch idiom: a pure streaming read that drags
+// the lines into cache ahead of their latency-bound consumer.
+func touchLines(code []byte, start, end int) byte {
+	if end > len(code) {
+		end = len(code)
+	}
+	var x byte
+	for i := start; i < end; i += 64 {
+		x ^= code[i]
+	}
+	return x
 }
 
 // stopShard appends the shard-local violation that ends a parse.
@@ -495,7 +616,8 @@ func stopShard(res *shardResult, code []byte, off int, kind ViolationKind, detai
 
 // parseShardFused is stage 1 around the fused product automaton. The
 // whole-bundle prefix of the shard runs through the four-lane
-// interleaved parser (engine_lanes.go), which assumes the image is
+// interleaved parser — with the single-stride, two-stride or SWAR
+// stepper per the resolved mode — which assumes the image is
 // compliant; if it finds anything irregular its partial writes are
 // erased and the canonical scalar loop below re-parses the shard from
 // the start, so every violating shard is diagnosed by exactly the same
@@ -503,18 +625,42 @@ func stopShard(res *shardResult, code []byte, off int, kind ViolationKind, detai
 // bundle (only the image's last shard can have one) is parsed scalar
 // as well, continuing where the lanes proved the prefix regular.
 //
-// The lane engine's SWAR boundary extraction is specialized to the
-// default 32-byte bundle (laneExtract checks bundle bits at fixed word
-// positions), so checkers compiled for another bundle size take the
-// canonical scalar walk — every policy-relevant decision lives there
-// and in the shared helpers, so the verdict is engine-invariant either
-// way (FuzzPolicyEquiv holds the engines identical per policy).
-func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res *shardResult, strided bool) {
-	if c.params.bundle == BundleSize {
-		full := start + (end-start)/BundleSize*BundleSize
-		if full-start >= laneCount*BundleSize {
-			if c.parseShardLanes(code, start, full, sc, res, strided) {
+// The lane engines support bundle sizes 16, 32 and 64: the pass-2
+// boundary extraction masks bundle bits per 64-bit bitmap word
+// (laneExtract), so a larger bundle has no in-word boundary to check
+// and such checkers take the canonical scalar walk — every
+// policy-relevant decision lives there and in the shared helpers, so
+// the verdict is engine-invariant either way (FuzzPolicyEquiv holds
+// the engines identical per policy).
+func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res *shardResult, mode stepMode) {
+	bundle := c.params.bundle
+	if bundle <= 64 {
+		full := start + (end-start)/bundle*bundle
+		if full-start >= laneCount*bundle {
+			ok := false
+			if mode == stepSWAR {
+				var dense bool
+				ok, dense = c.parseShardSWAR(code, start, full, sc, res)
+				if ok {
+					res.swar = true
+				} else if dense {
+					// Density backoff: the multi-byte rounds were losing on
+					// this shard. Erase the probe's writes and re-parse with
+					// the four-lane single-stride walk, which is faster on
+					// event-dense code (see the backoff comment in
+					// engine_swar.go); a further failure there still falls
+					// to the canonical scalar re-parse below.
+					sc.valid.ClearRange(start, end)
+					sc.pairJmp.ClearRange(start, end)
+					res.reset()
+					if ok = c.parseShardLanes(code, start, full, sc, res, false); ok {
+						res.lane = true
+					}
+				}
+			} else if ok = c.parseShardLanes(code, start, full, sc, res, mode == stepStride); ok {
 				res.lane = true
+			}
+			if ok {
 				if full < end {
 					c.parseShardFusedScalar(code, full, end, sc, res)
 				}
@@ -758,13 +904,19 @@ func (c *Checker) reconcile(ctx context.Context, code []byte, sc *scratch, st *S
 	for i := range sc.results {
 		all = append(all, sc.results[i].violations...)
 	}
-	// Cross-shard jump-target validation against the merged boundary
-	// map. Several jumps may share a bad target; dedupe after sorting
-	// so the report is one violation per offending offset.
+	// Jump-target validation. In-shard targets were already resolved on
+	// the stage-1 workers (parseOne) with their failures banked in bad;
+	// here only the cross-shard leftovers are checked against the merged
+	// boundary map. Several jumps may share a bad target; dedupe after
+	// sorting so the report is one violation per offending offset.
 	endJumps := telemetry.Region(ctx, "rocksalt.stage2.jumps")
 	var badTargets []int
 	for i := range sc.results {
-		for _, t := range sc.results[i].targets {
+		r := &sc.results[i]
+		for _, t := range r.bad {
+			badTargets = append(badTargets, int(t))
+		}
+		for _, t := range r.targets {
 			if !sc.valid.Get(int(t)) {
 				badTargets = append(badTargets, int(t))
 			}
@@ -782,10 +934,30 @@ func (c *Checker) reconcile(ctx context.Context, code []byte, sc *scratch, st *S
 		}
 	}
 	endJumps()
-	// Every bundle boundary must be an instruction boundary.
-	for i := 0; i < size; i += c.params.bundle {
-		if !sc.valid.Get(i) {
-			all = append(all, violation(code, i, BundleStraddle, ""))
+	// Every bundle boundary must be an instruction boundary. Shards the
+	// lane/SWAR parser proved regular already had every bundle boundary
+	// in their range checked by pass 2 (laneExtract fails otherwise and
+	// the shard restarts scalar), so the scan skips them — for a
+	// compliant image that removes the whole pass. The proof only covers
+	// a full shard: a short final shard has a scalar-parsed tail, and a
+	// cache-restored shard (no parse flags set) replays bits without the
+	// pass-2 check, so both still scan. ShardBytes is a multiple of
+	// every supported bundle size, so the per-shard scan visits exactly
+	// the offsets the whole-image scan would.
+	for s := range sc.results {
+		r := &sc.results[s]
+		start := s * ShardBytes
+		end := start + ShardBytes
+		if end > size {
+			end = size
+		}
+		if (r.lane || r.swar) && end-start == ShardBytes {
+			continue
+		}
+		for i := start; i < end; i += c.params.bundle {
+			if !sc.valid.Get(i) {
+				all = append(all, violation(code, i, BundleStraddle, ""))
+			}
 		}
 	}
 	// Violations never collide on (Offset, Kind): each shard stops at

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+	"rocksalt/internal/policy"
+)
+
+// TestAutoEngineSelection pins the engine picker's contract: the
+// default EngineFused upgrades to the SWAR stepper when the stride
+// tables are present and fit the budget, degrades to the single-stride
+// lanes when the budget forbids them, and — the regression this test
+// exists for — never resolves to the plain two-stride walk, which
+// measures slower than the lanes it would replace. Forced kinds resolve
+// to themselves (or degrade to lanes when their tables cannot be
+// readied, which the shipped automaton never hits).
+func TestAutoEngineSelection(t *testing.T) {
+	c, err := core.NewChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts core.VerifyOptions
+		want string
+	}{
+		{"auto", core.VerifyOptions{}, "swar"},
+		{"auto-default-budget", core.VerifyOptions{StrideBudgetBytes: 0}, "swar"},
+		{"auto-negative-budget", core.VerifyOptions{StrideBudgetBytes: -1}, "lanes"},
+		{"auto-tiny-budget", core.VerifyOptions{StrideBudgetBytes: 1024}, "lanes"},
+		{"forced-strided", core.VerifyOptions{Engine: core.EngineStrided}, "strided"},
+		{"forced-swar", core.VerifyOptions{Engine: core.EngineSWAR}, "swar"},
+		{"forced-scalar", core.VerifyOptions{Engine: core.EngineFusedScalar}, "fused-scalar"},
+		{"reference", core.VerifyOptions{Engine: core.EngineReference}, "reference"},
+	}
+	for _, tc := range cases {
+		if got := c.ResolvedEngineForTest(tc.opts); got != tc.want {
+			t.Errorf("%s: resolved to %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	// Auto must never pick the plain two-stride walk, whatever the
+	// budget: it is strictly a forced cross-check engine.
+	for _, b := range []int{0, 1, 4096, 1 << 20, 1 << 30} {
+		if got := c.ResolvedEngineForTest(core.VerifyOptions{StrideBudgetBytes: b}); got == "strided" {
+			t.Errorf("budget %d: auto resolved to the plain two-stride walk", b)
+		}
+	}
+
+	// The census agrees with the resolution, and the density backoff is
+	// visible in it: an event-sparse image parses its shards on the SWAR
+	// stepper, while auto stays the resolved engine either way.
+	nop := make([]byte, 64000)
+	for i := range nop {
+		nop[i] = 0x90
+	}
+	rep := c.VerifyWith(nop, core.VerifyOptions{Workers: 1})
+	if !rep.Safe {
+		t.Fatal("NOP image rejected")
+	}
+	if rep.Stats.Engine != "swar" {
+		t.Errorf("NOP image: Stats.Engine = %q, want swar", rep.Stats.Engine)
+	}
+	if rep.Stats.SWARBatches == 0 {
+		t.Error("NOP image: no shard retired on the SWAR stepper")
+	}
+
+	// A generated (jump-dense) image triggers the density backoff on its
+	// shards: they re-parse on the lanes, and the verdict and report are
+	// byte-identical to a lanes-pinned run.
+	img, err := nacl.NewGenerator(5).Random(60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+	lanes := c.VerifyWith(img, core.VerifyOptions{Workers: 1, StrideBudgetBytes: -1})
+	if !auto.Safe || !lanes.Safe {
+		t.Fatalf("generated image rejected: auto=%v lanes=%v", auto.Safe, lanes.Safe)
+	}
+	if auto.Stats.LaneBatches == 0 {
+		t.Error("generated image: no shard parsed by the lane engine")
+	}
+	if !reflect.DeepEqual(auto.Violations, lanes.Violations) ||
+		auto.Stats.EngineInvariant() != lanes.Stats.EngineInvariant() {
+		t.Error("auto and lanes runs diverged on the generated image")
+	}
+
+	// Runtime-compiled policies build their tables eagerly
+	// (NewCheckerFromPolicy), so auto rides the SWAR stepper from the
+	// first image — including the 16-byte-bundle presets.
+	for _, spec := range []policy.Spec{policy.NaCl16(), policy.REINS()} {
+		com, err := policy.Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := core.NewCheckerFromPolicy(com)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pc.ResolvedEngineForTest(core.VerifyOptions{}); got != "swar" {
+			t.Errorf("%s: auto resolved to %q, want swar", spec.Name, got)
+		}
+	}
+}

@@ -30,8 +30,9 @@ import (
 // instruction ended after this byte"), the per-byte results are packed
 // into one bit per byte, and the words are OR-ed into the shared valid
 // bitmap. The same pass enforces the policy's structural demand
-// posteriorly: every 32-byte bundle boundary in the region must carry a
-// boundary bit. If any does not — an instruction straddled a bundle
+// posteriorly: every bundle boundary in the region (16-, 32- or 64-byte
+// bundles, a mask over each word) must carry a boundary bit. If any
+// does not — an instruction straddled a bundle
 // boundary, or a lane's walk ended mid-instruction at its region seam —
 // the parse reports failure, the dispatcher erases the shard's partial
 // writes, and the canonical scalar loop re-parses the shard.
@@ -222,7 +223,7 @@ func (c *Checker) parseShardLanes(code []byte, start, fullEnd int, sc *scratch, 
 
 	// Contiguous bundle-aligned regions; the last lane takes the
 	// remainder. The caller guarantees at least laneCount bundles.
-	q := L / laneCount / BundleSize * BundleSize
+	q := L / laneCount / c.params.bundle * c.params.bundle
 	st0, st1, st2, st3 := start, start+q, start+2*q, start+3*q
 	en0, en1, en2, en3 := st1, st2, st3, fullEnd
 	li0, li1, li2, li3 := code[st0:en0], code[st1:en1], code[st2:en2], code[st3:en3]
@@ -384,14 +385,19 @@ func (c *Checker) parseShardLanes(code []byte, start, fullEnd int, sc *scratch, 
 }
 
 // laneExtract is pass 2: SWAR-extract the boundary bits from the state
-// buffer into the shared valid bitmap and enforce that every 32-byte
-// bundle boundary in [start, start+L] is an instruction boundary. Bit
+// buffer into the shared valid bitmap and enforce that every bundle
+// boundary in [start, start+L] is an instruction boundary. Bit
 // offset start+base+j+1 is set iff buf[base+j] is a class-1 state (the
 // instruction ended after that byte); bit `start` is set unconditionally
 // (the region start is an instruction start by construction). The bit
 // for offset start+L belongs to the following parse and is only checked
 // (the walk must have ended exactly at an instruction boundary), never
 // written.
+//
+// The bundle-boundary demand is a per-word mask: with bundle size 2^k
+// (16, 32 or 64 here; larger bundles never reach the lanes), boundary
+// offsets within a 64-bit word sit at fixed bit positions 0, 2^k, ...,
+// so one AND-compare per word checks them all at once.
 func (c *Checker) laneExtract(buf []byte, sc *scratch, start, L int) bool {
 	f := c.fused
 	// Range test x in [quiet, nc) per byte lane: state bytes are < 128,
@@ -400,6 +406,10 @@ func (c *Checker) laneExtract(buf []byte, sc *scratch, start, L int) bool {
 	const ones = 0x0101010101010101
 	A := ones * uint64(128-f.quiet)
 	B := ones * uint64(128-f.nc)
+	var bmask uint64
+	for b := 0; b < 64; b += c.params.bundle {
+		bmask |= 1 << uint(b)
+	}
 	wvalid := sc.valid.Words()
 	w := start / 64 // shard starts are 64-aligned
 	carry := uint64(1)
@@ -415,26 +425,31 @@ func (c *Checker) laneExtract(buf []byte, sc *scratch, start, L int) bool {
 		v := bits<<1 | carry
 		wvalid[w] |= v
 		carry = bits >> 63
-		if v&1 == 0 || v>>32&1 == 0 {
+		if v&bmask != bmask {
 			ok = false
 		}
 		w++
 	}
 	if base < L {
-		// Trailing 32-byte half word (the region length is a multiple of
-		// 32, not 64 — only the image's last shard can end like this).
-		// Bit 32 of the word is the offset start+L bit: checked via the
-		// final carry, not written.
+		// Trailing partial word: the region length is a multiple of the
+		// bundle size, not of 64, so a 16-byte-bundle region can end 16,
+		// 32 or 48 bytes in (a 32-byte one only 32 — only the image's
+		// last shard ends like this). rem is a multiple of 16, so the
+		// 8-byte loads below never read past buf[L-1]. Bit rem of the
+		// word is the offset start+L bit: checked via the final carry,
+		// never written.
+		rem := L - base
 		var bits uint64
-		for k := 0; k < 32; k += 8 {
+		for k := 0; k < rem; k += 8 {
 			x := binary.LittleEndian.Uint64(buf[base+k:])
 			m := ((x + A) &^ (x + B)) & 0x8080808080808080
 			bits |= (m >> 7 * 0x0102040810204080 >> 56) << k
 		}
 		v := bits<<1 | carry
-		wvalid[w] |= v & (1<<32 - 1)
-		carry = bits >> 31 & 1
-		if v&1 == 0 {
+		inword := uint64(1)<<uint(rem) - 1
+		wvalid[w] |= v & inword
+		carry = bits >> uint(rem-1) & 1
+		if v&(bmask&inword) != bmask&inword {
 			ok = false
 		}
 	}

@@ -51,3 +51,9 @@ func (c *Checker) StrideStepForTest(s int, b1, b2 byte) (s1, s2 int, ok bool) {
 // inline bands are [0, rec), and a two-stride entry is the sentinel
 // exactly when either composed step leaves them.
 func (c *Checker) RecBoundaryForTest() int { return c.fused.rec }
+
+// ResolvedEngineForTest reports the engine-census name (Stats.Engine) a
+// run with opts would resolve to, without running a verification.
+func (c *Checker) ResolvedEngineForTest(opts VerifyOptions) string {
+	return engineName(c.resolveEngine(opts))
+}

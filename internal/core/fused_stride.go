@@ -17,16 +17,37 @@ import "fmt"
 // single-stride stores, the state buffer — and everything derived from
 // it — is byte-identical between the variants.
 //
+// Pair classes factor through byte classes: encStride(s, b1, b2) only
+// reads closed-table columns, and two bytes in the same byte class have
+// identical columns by definition (cls is the column partition computed
+// in-process by computeFast). So the pair's class is a function of
+// (cls[b1], cls[b2]) alone. That fact powers three things here:
+//
+//   - buildStride computes one dense column per byte-class pair
+//     (ncls², ~15k for the shipped automaton) instead of one per raw
+//     pair (65,536), while numbering classes exactly as the historical
+//     per-pair construction did (first occurrence in ascending pair
+//     order, deduped by column signature) so serialized RSLT3/RSLT4
+//     bundles stay byte-identical.
+//   - verifyStride checks each byte-class pair's column exhaustively
+//     against encStride once, and holds every other pair of the same
+//     class pair to that canonical column — the same acceptance set as
+//     the old 65,536×states check at a fraction of the cost.
+//   - the SWAR stepper (engine_swar.go) indexes pcls directly with the
+//     four uint16 pair values sliced out of one 8-byte load — the pair
+//     map doubles as the SWAR translation table, so nothing new is
+//     derived or serialized and no table format grew.
+//
 // The tables are big (pcls is 128 KiB; the dense strided table is
-// states×pairClasses×2 bytes, ~520 KiB for the shipped 66-state
-// automaton), so EngineFused only auto-selects them under a size budget
-// (strideAuto) — on typical hosts they fall out of L2 and lose to the
-// single-stride walk, so the default budget rejects them and the engine
-// falls back to single-stride automatically. EngineStrided forces them.
-// RSLT3 bundles carry the tables precomputed; they are fully
-// semantically verified against the in-process closed table before
-// first use (ensureStride), so a corrupt or stale bundle can disable
-// striding but never change a verdict.
+// states×pairClasses×2 bytes, ~455 KiB for the shipped 66-state
+// automaton), so the pair-indexed walks are L2-resident rather than L1;
+// swarAuto gates auto-selection on that hot footprint, and the density
+// backoff (engine_swar.go) hands event-dense shards back to the
+// L1-resident flat walk. EngineStrided/EngineSWAR force the tables
+// regardless. RSLT3/RSLT4 bundles carry pcls/dense
+// precomputed; they are fully semantically verified against the
+// in-process closed table before first use (ensureStride), so a corrupt
+// or stale bundle can disable striding but never change a verdict.
 
 const (
 	// strideShift is the pair-class capacity exponent: the padded walk
@@ -42,17 +63,18 @@ const (
 	strideEventful = 0xFFFF
 )
 
-// defaultStrideBudgetBytes is the auto-selection ceiling on the hot
-// stride-table footprint (pcls + dense rows). Past ~256 KiB the tables
-// contend with the code bytes for L2 and the two-stride walk measures
-// slower than single-stride on commodity cores, so the default keeps
-// striding off unless the automaton is small enough to stay cache
-// resident; VerifyOptions.StrideBudgetBytes overrides.
-const defaultStrideBudgetBytes = 256 << 10
+// defaultSWARBudgetBytes is the auto-selection ceiling on the SWAR
+// stepper's hot table footprint (the 128 KiB pair map plus the dense
+// walk rows). The shipped automaton needs ~585 KiB, which stays
+// L2-resident alongside the 16 KiB code shard on commodity cores; the
+// budget rejects pathological runtime-compiled automata whose pair
+// partition balloons. VerifyOptions.StrideBudgetBytes overrides;
+// negative pins the engine to the single-stride lanes.
+const defaultSWARBudgetBytes = 1 << 20
 
 // strideTables holds the pair-class machinery. pcls and dense are the
-// serialized form (RSLT3); walk is the padded runtime table built by
-// ensureStride.
+// serialized form (RSLT3/RSLT4); walk is the padded runtime table
+// derived by ensureStride.
 type strideTables struct {
 	npcls int
 	pcls  []uint16 // 1<<16: byte pair (little-endian uint16) -> class
@@ -76,27 +98,44 @@ func (f *fusedDFA) encStride(s uint16, b1, b2 byte) uint16 {
 
 // buildStride constructs the pair-class map and dense strided table
 // from the closed table, deterministically (classes numbered by first
-// occurrence in ascending pair order). Fails if the automaton is too
-// large for the packed encoding or the pair partition exceeds the
-// capacity.
+// occurrence in ascending pair order, deduped by column signature —
+// the numbering the serialized bundles pin). The dense column is
+// computed once per byte-class pair and memoized; pairs in the same
+// class pair provably share it (closed columns are equal within a byte
+// class), so the output is byte-identical to the historical per-pair
+// construction at ~1/4 the cost. Fails if the automaton is too large
+// for the packed encoding or the pair partition exceeds the capacity.
 func (f *fusedDFA) buildStride() (*strideTables, error) {
 	n := len(f.table)
 	if n > flatStates {
 		return nil, fmt.Errorf("core: %d states exceed the %d the strided walk supports", n, flatStates)
 	}
+	ncls := f.ncls
 	sig := make([]byte, 2*n)
 	seen := make(map[string]uint16, stridePairCap)
 	pcls := make([]uint16, 1<<16)
 	var cols [][]uint16
 	colbuf := make([]uint16, n)
+	memo := make([]int32, ncls*ncls) // byte-class pair -> id, -1 unseen
+	for i := range memo {
+		memo[i] = -1
+	}
 	for p := 0; p < 1<<16; p++ {
 		b1, b2 := byte(p), byte(p>>8) // pair index is the LE uint16 of [b1 b2]
+		key := int(f.cls[b1])*ncls + int(f.cls[b2])
+		if id := memo[key]; id >= 0 {
+			pcls[p] = uint16(id)
+			continue
+		}
 		for s := 0; s < n; s++ {
 			v := f.encStride(uint16(s), b1, b2)
 			colbuf[s] = v
 			sig[2*s] = byte(v)
 			sig[2*s+1] = byte(v >> 8)
 		}
+		// Dedup by column signature, not by class pair: two distinct
+		// class pairs with coincidentally equal columns share one id,
+		// exactly as the per-pair construction numbered them.
 		id, ok := seen[string(sig)]
 		if !ok {
 			if len(seen) >= stridePairCap {
@@ -106,6 +145,7 @@ func (f *fusedDFA) buildStride() (*strideTables, error) {
 			seen[string(sig)] = id
 			cols = append(cols, append([]uint16(nil), colbuf...))
 		}
+		memo[key] = int32(id)
 		pcls[p] = id
 	}
 	npcls := len(seen)
@@ -118,11 +158,18 @@ func (f *fusedDFA) buildStride() (*strideTables, error) {
 	return &strideTables{npcls: npcls, pcls: pcls, dense: dense}, nil
 }
 
-// verifyStride checks a deserialized stride section exhaustively
-// against the in-process closed table: every pair's class entry must
-// reproduce encStride for every state. A bundle whose stride tables
-// passed the CRC but disagree semantically (a stale or hand-edited
-// bundle) is rejected here, before the strided walk ever consumes them.
+// verifyStride checks a deserialized stride section semantically
+// against the in-process closed table. The acceptance set is identical
+// to the historical exhaustive 65,536×states check, factored through
+// the byte classes: the first pair of each byte-class pair (the
+// canonical pair) has its dense column verified against encStride for
+// every state; any later pair of the same class pair provably demands
+// the same column (closed columns are equal within a byte class), so
+// it is held to the canonical pair's column — equal id passes outright,
+// a different id must carry an equal column. A bundle whose stride
+// tables passed the CRC but disagree semantically (a stale or
+// hand-edited bundle) is rejected here, before the strided walk ever
+// consumes them.
 func (f *fusedDFA) verifyStride(st *strideTables) error {
 	n := len(f.table)
 	if n > flatStates {
@@ -134,15 +181,33 @@ func (f *fusedDFA) verifyStride(st *strideTables) error {
 	if len(st.pcls) != 1<<16 || len(st.dense) != n*st.npcls {
 		return fmt.Errorf("core: stride table sizes do not match the automaton")
 	}
+	ncls := f.ncls
+	canon := make([]int32, ncls*ncls) // byte-class pair -> canonical id, -1 unseen
+	for i := range canon {
+		canon[i] = -1
+	}
 	for p := 0; p < 1<<16; p++ {
 		id := int(st.pcls[p])
 		if id >= st.npcls {
 			return fmt.Errorf("core: pair class out of range")
 		}
 		b1, b2 := byte(p), byte(p>>8)
-		for s := 0; s < n; s++ {
-			if st.dense[s*st.npcls+id] != f.encStride(uint16(s), b1, b2) {
-				return fmt.Errorf("core: strided table disagrees with the closed walk at state %d pair %#04x", s, p)
+		key := int(f.cls[b1])*ncls + int(f.cls[b2])
+		switch cid := canon[key]; {
+		case cid < 0:
+			for s := 0; s < n; s++ {
+				if st.dense[s*st.npcls+id] != f.encStride(uint16(s), b1, b2) {
+					return fmt.Errorf("core: strided table disagrees with the closed walk at state %d pair %#04x", s, p)
+				}
+			}
+			canon[key] = int32(id)
+		case int32(id) != cid:
+			// A different id for an equivalent pair is legal only if its
+			// column is identical to the canonical (already verified) one.
+			for s := 0; s < n; s++ {
+				if st.dense[s*st.npcls+id] != st.dense[s*st.npcls+int(cid)] {
+					return fmt.Errorf("core: strided table disagrees with the closed walk at state %d pair %#04x", s, p)
+				}
 			}
 		}
 	}
@@ -152,9 +217,8 @@ func (f *fusedDFA) verifyStride(st *strideTables) error {
 // ensureStride makes f's stride tables ready for the walk, once:
 // bundle-shipped tables are semantically verified, otherwise they are
 // built from the closed table, and either way the padded walk table is
-// materialized. Runs once per automaton (tens of milliseconds); the
-// error is sticky, and a failure leaves the engine on the single-stride
-// path.
+// materialized. Runs once per automaton (a few milliseconds); the error
+// is sticky, and a failure leaves the engine on the single-stride path.
 func (f *fusedDFA) ensureStride() error {
 	f.strideOnce.Do(func() {
 		st := f.stride
@@ -192,17 +256,37 @@ func (f *fusedDFA) strideReady() bool {
 	return f.stride != nil && f.stride.walk != nil
 }
 
-// strideAuto decides whether EngineFused should use the two-stride walk:
-// only when tables were shipped in the bundle (building them ad hoc
-// would dwarf any win) and their hot footprint — the pair-class map
-// plus the dense rows actually touched — fits the budget. budget 0
-// means defaultStrideBudgetBytes; negative disables striding outright.
-func (f *fusedDFA) strideAuto(budget int) bool {
+// swarReady reports whether the SWAR stepper's tables — the padded walk,
+// the pair map and the flat fallback table — are materialized.
+func (f *fusedDFA) swarReady() bool {
+	return f.strideReady() && f.flat != nil
+}
+
+// swarAuto decides whether EngineFused should upgrade to the SWAR
+// stepper: the automaton must fit the packed encodings and the hot
+// table footprint — the 128 KiB pair map plus the dense walk rows
+// actually touched — must fit the budget, so pathological
+// runtime-compiled automata degrade gracefully to the single-stride
+// lanes instead of thrashing the cache. budget 0 means
+// defaultSWARBudgetBytes; negative disables the upgrade outright (the
+// "lanes" engine of the CLI).
+//
+// Note what is deliberately absent: a plain two-stride auto-upgrade.
+// The byte-at-a-time pcls-indexed walk measured *slower* than the
+// single-stride lanes on commodity cores (its 128 KiB pair map misses
+// L1 on every load), so auto never selects it — EngineStrided still
+// forces it for cross-checks. The SWAR stepper pays the same per-load
+// latency but retires 8 bytes per round trip and backs dense shards
+// off to the flat walk, which is what makes striding pay.
+func (f *fusedDFA) swarAuto(budget int) bool {
 	if budget < 0 {
 		return false
 	}
 	if budget == 0 {
-		budget = defaultStrideBudgetBytes
+		budget = defaultSWARBudgetBytes
+	}
+	if len(f.table) > flatStates {
+		return false
 	}
 	st := f.stride
 	if st == nil {

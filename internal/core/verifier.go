@@ -126,18 +126,29 @@ func newCheckerFromSetParams(set *DFASet, params policyParams, alignedCalls bool
 }
 
 // NewCheckerFromPolicy builds a checker from a runtime-compiled policy:
-// the compiled component DFAs are fused, compacted and (lazily) strided
-// through exactly the pipeline the embedded bundle was generated with,
-// and the engine takes its bundle size, mask length and guard cutoff
-// from the spec. Compiling the default NaCl spec yields a checker
-// byte-identical in behaviour (and in serialized tables) to NewChecker.
+// the compiled component DFAs are fused, compacted and strided through
+// exactly the pipeline the embedded bundle was generated with, and the
+// engine takes its bundle size, mask length and guard cutoff from the
+// spec. The stride/SWAR tables are built eagerly here — a few
+// milliseconds folded into the one-time compile cost — so runtime
+// policies (16-byte bundles included) verify on the SWAR fast path
+// from their first image, exactly like the embedded bundle whose
+// tables ship precomputed. A table build failure is not an error: the
+// checker simply stays on the single-stride lanes (swarAuto rejects
+// what ensureStride could not ready). Compiling the default NaCl spec
+// yields a checker byte-identical in behaviour (and in serialized
+// tables) to NewChecker.
 func NewCheckerFromPolicy(com *policy.Compiled) (*Checker, error) {
 	set := &DFASet{
 		MaskedJump:    com.MaskedJump,
 		NoControlFlow: com.NoControlFlow,
 		DirectJump:    com.DirectJump,
 	}
-	return newCheckerFromSetParams(set, specParams(com.Spec), com.Spec.AlignedCalls)
+	c, err := newCheckerFromSetParams(set, specParams(com.Spec), com.Spec.AlignedCalls)
+	if err == nil && c.fused != nil {
+		_ = c.fused.ensureStride()
+	}
+	return c, err
 }
 
 // specParams extracts the engine parameters from a normalized spec.
