@@ -18,6 +18,7 @@ import (
 var (
 	campaignDir = flag.String("campaign-dir", "campaign", "campaign state directory (plan, journal, checkpoint, repros)")
 	resumeDir   = flag.String("resume", "", "resume the campaign in this directory (overrides -campaign-dir)")
+	campPostDir = flag.String("postmortem-dir", "", "write a flight-recorder postmortem bundle for every watchdog-abandoned task into this directory")
 	campSeed    = seedflag.Register(flag.CommandLine)
 )
 
@@ -38,8 +39,9 @@ func runCampaign() {
 		dir = *resumeDir
 	}
 	cfg := campaign.Config{
-		Seed:    *campSeed,
-		Workers: runtime.GOMAXPROCS(0),
+		Seed:          *campSeed,
+		Workers:       runtime.GOMAXPROCS(0),
+		PostmortemDir: *campPostDir,
 	}
 	if *quick {
 		// A few thousand tasks across all three presets: enough to
@@ -88,14 +90,14 @@ func runCampaign() {
 	}
 
 	out := struct {
-		Host     hostMeta         `json:"host"`
-		Seed     int64            `json:"seed"`
-		Dir      string           `json:"dir"`
-		Resumed  bool             `json:"resumed"`
-		Quick    bool             `json:"quick"`
-		Elapsed  float64          `json:"elapsed_s"`
-		TasksPerS float64         `json:"tasks_per_s"`
-		Result   *campaign.Result `json:"result"`
+		Host      hostMeta         `json:"host"`
+		Seed      int64            `json:"seed"`
+		Dir       string           `json:"dir"`
+		Resumed   bool             `json:"resumed"`
+		Quick     bool             `json:"quick"`
+		Elapsed   float64          `json:"elapsed_s"`
+		TasksPerS float64          `json:"tasks_per_s"`
+		Result    *campaign.Result `json:"result"`
 	}{
 		Host: hostInfo(), Seed: eff.Seed, Dir: dir, Resumed: c.Resumed(), Quick: *quick,
 		Elapsed: elapsed.Seconds(), TasksPerS: float64(res.Done) / elapsed.Seconds(),

@@ -35,7 +35,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 func main() {
-	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride, policy, scale, campaign); empty = all")
+	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride, policy, scale, campaign, trend); empty = all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -69,10 +69,12 @@ func main() {
 		{"policy", benchPolicy},
 		{"scale", benchScale},
 		{"campaign", runCampaign},
+		{"trend", trendGate},
 	} {
-		// The campaign is a soak, not a benchmark: it only runs when
-		// named explicitly, never as part of the default full pass.
-		if e.id == "campaign" && !want[e.id] {
+		// The campaign is a soak, not a benchmark, and the trend gate
+		// judges artifacts rather than producing them: each only runs
+		// when named explicitly, never as part of the default full pass.
+		if (e.id == "campaign" || e.id == "trend") && !want[e.id] {
 			continue
 		}
 		if sel(e.id) {

@@ -8,20 +8,24 @@ import (
 	"time"
 
 	"rocksalt/internal/core"
+	"rocksalt/internal/flight"
 	"rocksalt/internal/nacl"
 	"rocksalt/internal/telemetry"
 )
 
-// obsvOverhead measures the cost of the telemetry layer on the hot
-// path: the lean Verify loop with global telemetry disabled (the
-// default: every record call is one atomic load and a branch) versus
-// enabled (per-run Stats on the stack plus a dozen atomic adds at run
-// end). It writes BENCH_obsv.json so CI can hold the overhead to the
-// acceptance bound: enabled within 5% of disabled, disabled
+// obsvOverhead measures the cost of both observability layers on the
+// hot path. Telemetry: the lean Verify loop with global telemetry
+// disabled (the default: every record call is one atomic load and a
+// branch) versus enabled (per-run Stats on the stack plus a dozen
+// atomic adds at run end). Flight recorder: the same loop with a
+// recorder installed, paying one span write into the seqlock ring per
+// shard plus the run/reconcile/jumps spans. It writes BENCH_obsv.json
+// so CI can hold the overhead to the acceptance bounds: telemetry
+// within 5% of baseline, recorder within 3%, everything
 // allocation-free.
 func obsvOverhead() {
-	header("obsv", "telemetry overhead (extension)",
-		"beyond the paper: observability must be free — a disabled counter is a branch, an enabled run is atomic adds")
+	header("obsv", "telemetry and flight-recorder overhead (extension)",
+		"beyond the paper: observability must be free — a disabled counter is a branch, an enabled run is atomic adds, a recorded span is one seqlock ring write")
 
 	c, err := core.NewChecker()
 	if err != nil {
@@ -49,26 +53,42 @@ func obsvOverhead() {
 		allocs := testing.AllocsPerRun(10, func() { c.Verify(img) })
 		return d, allocs
 	}
-	// Interleave the two states A/B/A/B and keep the best of each, so a
-	// frequency ramp or background noise hits both sides alike.
+	measureRecorder := func() (time.Duration, float64) {
+		telemetry.SetEnabled(false)
+		flight.SetGlobal(flight.NewRecorder(0))
+		defer flight.SetGlobal(nil)
+		d := benchmark(func() { c.Verify(img) })
+		allocs := testing.AllocsPerRun(10, func() { c.Verify(img) })
+		return d, allocs
+	}
+	// Interleave the states A/B/C/A/B/C and keep the best of each, so a
+	// frequency ramp or background noise hits all sides alike.
 	offD, offAllocs := measure(false)
 	onD, onAllocs := measure(true)
+	frD, frAllocs := measureRecorder()
 	if d, _ := measure(false); d < offD {
 		offD = d
 	}
 	if d, _ := measure(true); d < onD {
 		onD = d
 	}
+	if d, _ := measureRecorder(); d < frD {
+		frD = d
+	}
 
 	offMBs := mb / offD.Seconds()
 	onMBs := mb / onD.Seconds()
+	frMBs := mb / frD.Seconds()
 	overheadPct := (float64(onD) - float64(offD)) / float64(offD) * 100
+	frOverheadPct := (float64(frD) - float64(offD)) / float64(offD) * 100
 
-	fmt.Printf("   image: %d bytes; Verify with telemetry off: %v (%.1f MB/s, %.1f allocs/op)\n",
+	fmt.Printf("   image: %d bytes; Verify with telemetry off:  %v (%.1f MB/s, %.1f allocs/op)\n",
 		len(img), offD, offMBs, offAllocs)
-	fmt.Printf("   image: %d bytes; Verify with telemetry on:  %v (%.1f MB/s, %.1f allocs/op)\n",
+	fmt.Printf("   image: %d bytes; Verify with telemetry on:   %v (%.1f MB/s, %.1f allocs/op)\n",
 		len(img), onD, onMBs, onAllocs)
-	fmt.Printf("   enabled overhead: %+.2f%%\n", overheadPct)
+	fmt.Printf("   image: %d bytes; Verify with flight recorder: %v (%.1f MB/s, %.1f allocs/op)\n",
+		len(img), frD, frMBs, frAllocs)
+	fmt.Printf("   telemetry overhead: %+.2f%%; recorder overhead: %+.2f%%\n", overheadPct, frOverheadPct)
 
 	// The fused-engine record this PR must stay within 2% of (disabled)
 	// and 5% of (enabled); carried into the JSON so it is self-contained.
@@ -94,6 +114,10 @@ func obsvOverhead() {
 		EnabledMBs      float64  `json:"enabled_mb_per_s"`
 		EnabledAllocs   float64  `json:"enabled_allocs_per_op"`
 		OverheadPct     float64  `json:"overhead_pct"`
+		RecorderNsPerOp float64  `json:"recorder_ns_per_op"`
+		RecorderMBs     float64  `json:"recorder_mb_per_s"`
+		RecorderAllocs  float64  `json:"recorder_allocs_per_op"`
+		RecorderOverPct float64  `json:"recorder_overhead_pct"`
 		FusedRefMBs     float64  `json:"bench_fused_mb_per_s"`
 	}{
 		GeneratedBy:     "go run ./cmd/experiments -run obsv",
@@ -107,6 +131,10 @@ func obsvOverhead() {
 		EnabledMBs:      onMBs,
 		EnabledAllocs:   onAllocs,
 		OverheadPct:     overheadPct,
+		RecorderNsPerOp: float64(frD.Nanoseconds()),
+		RecorderMBs:     frMBs,
+		RecorderAllocs:  frAllocs,
+		RecorderOverPct: frOverheadPct,
 		FusedRefMBs:     fusedMBs,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -116,8 +144,8 @@ func obsvOverhead() {
 	if err := os.WriteFile("BENCH_obsv.json", append(data, '\n'), 0o644); err != nil {
 		panic(err)
 	}
-	fmt.Printf("   wrote BENCH_obsv.json (off %.1f MB/s, on %.1f MB/s, %+.2f%% overhead)\n",
-		offMBs, onMBs, overheadPct)
-	fmt.Printf("   verdict: %s (enabled within 5%% of disabled; both allocation-free)\n",
-		pass(overheadPct <= 5 && offAllocs == 0 && onAllocs == 0))
+	fmt.Printf("   wrote BENCH_obsv.json (off %.1f MB/s, on %.1f MB/s %+.2f%%, recorder %.1f MB/s %+.2f%%)\n",
+		offMBs, onMBs, overheadPct, frMBs, frOverheadPct)
+	fmt.Printf("   verdict: %s (telemetry within 5%%, recorder within 3%%; all allocation-free)\n",
+		pass(overheadPct <= 5 && frOverheadPct <= 3 && offAllocs == 0 && onAllocs == 0 && frAllocs == 0))
 }

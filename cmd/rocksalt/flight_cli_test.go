@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rocksalt/internal/core"
+)
+
+// chromeTrace mirrors the Chrome trace-event JSON document shape for
+// validation (the real schema is what Perfetto/chrome://tracing load).
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestTraceOutFlag runs the binary with -trace-out on a safe image and
+// validates the emitted file is well-formed Chrome trace-event JSON
+// covering the pipeline spans.
+func TestTraceOutFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	img := filepath.Join(dir, "safe.bin")
+	if err := os.WriteFile(img, bytes.Repeat([]byte{0x90}, 2*512*core.BundleSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "trace.json")
+	out, err := exec.Command(bin, "-trace-out", trace, "-q", img).CombinedOutput()
+	if err != nil {
+		t.Fatalf("rocksalt -trace-out: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name]++
+		if ev.Ph != "X" && ev.Ph != "i" {
+			t.Errorf("event %q has phase %q, want X or i", ev.Name, ev.Ph)
+		}
+		if ev.Ph == "X" && ev.Dur < 0 {
+			t.Errorf("span %q has negative dur %v", ev.Name, ev.Dur)
+		}
+	}
+	for _, want := range []string{"run", "shard", "reconcile", "jumps"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q spans; have %v", want, names)
+		}
+	}
+	if names["shard"] != 2 {
+		t.Errorf("shard spans = %d, want 2 for a 2-shard image", names["shard"])
+	}
+}
+
+// TestPostmortemDirFlag checks both halves of the postmortem contract:
+// a rejected image drops a bundle carrying spans, stats and the policy
+// identity; a safe run drops nothing.
+func TestPostmortemDirFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	// A leading RET is rejected under the NaCl policy.
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, append([]byte{0xc3}, bytes.Repeat([]byte{0x90}, 31)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.bin")
+	if err := os.WriteFile(good, bytes.Repeat([]byte{0x90}, 32), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pmDir := filepath.Join(dir, "postmortems")
+
+	cmd := exec.Command(bin, "-postmortem-dir", pmDir, "-q", bad)
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("rejected image exit = %v, want status 1", err)
+	}
+	entries, err := os.ReadDir(pmDir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("postmortem dir entries = %v (err %v), want exactly 1", entries, err)
+	}
+	name := entries[0].Name()
+	if !strings.HasPrefix(name, "postmortem-") || !strings.HasSuffix(name, ".json") {
+		t.Errorf("postmortem filename %q, want postmortem-*.json", name)
+	}
+	data, err := os.ReadFile(filepath.Join(pmDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pm struct {
+		Reason            string           `json:"reason"`
+		File              string           `json:"file"`
+		TableBundle       string           `json:"table_bundle"`
+		PolicyFingerprint string           `json:"policy_fingerprint"`
+		EngineCensus      map[string]int64 `json:"engine_census"`
+		Stats             *core.Stats      `json:"stats"`
+		Violations        []struct {
+			Offset int    `json:"offset"`
+			Kind   string `json:"kind"`
+		} `json:"violations"`
+		Spans []struct {
+			Kind string `json:"kind"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &pm); err != nil {
+		t.Fatalf("postmortem is not valid JSON: %v\n%s", err, data)
+	}
+	if pm.Reason != "rejected" {
+		t.Errorf("reason = %q, want rejected", pm.Reason)
+	}
+	if pm.File != bad {
+		t.Errorf("file = %q, want %q", pm.File, bad)
+	}
+	if pm.TableBundle == "" {
+		t.Error("table_bundle empty")
+	}
+	if pm.PolicyFingerprint == "" {
+		t.Error("policy_fingerprint empty")
+	}
+	if pm.Stats == nil || pm.Stats.BytesScanned != 32 {
+		t.Errorf("stats missing or wrong: %+v", pm.Stats)
+	}
+	if len(pm.Violations) == 0 || pm.Violations[0].Offset != 0 {
+		t.Errorf("violations = %+v, want the offset-0 RET", pm.Violations)
+	}
+	if len(pm.Spans) == 0 {
+		t.Error("postmortem carries no spans")
+	}
+	if len(pm.EngineCensus) == 0 {
+		t.Error("postmortem carries no engine census")
+	}
+
+	// Safe run: exit 0, no new bundle.
+	if out, err := exec.Command(bin, "-postmortem-dir", pmDir, "-q", good).CombinedOutput(); err != nil {
+		t.Fatalf("safe run failed: %v\n%s", err, out)
+	}
+	entries, err = os.ReadDir(pmDir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("safe run wrote a postmortem: %v (err %v)", entries, err)
+	}
+}

@@ -6,7 +6,8 @@
 //	rocksalt [-entries 0x10000,0x10020] [-tables tables.bin]
 //	         [-policy spec.json] [-engine auto] [-j N] [-timeout 5s]
 //	         [-cache 64] [-stats] [-json] [-q] [-v]
-//	         [-metrics-addr :9090] [-linger 0s] file.bin
+//	         [-metrics-addr :9090] [-linger 0s]
+//	         [-trace-out t.json] [-postmortem-dir d] file.bin
 //
 // The exit status is 0 when the image is safe, 1 when it is rejected,
 // 2 on usage or input errors (including an empty input file, a
@@ -45,8 +46,20 @@
 // -metrics-addr serves Prometheus metrics on /metrics, expvar on
 // /debug/vars and the pprof profiles on /debug/pprof/ for the life of
 // the process (use -linger to keep serving after the verdict, e.g. to
-// scrape a one-shot run); it also enables global telemetry. -v emits
+// scrape a one-shot run); it also enables global telemetry and
+// registers the rocksalt_build_info identity gauge. -v emits
 // structured run logs on stderr, correlated by a random run_id.
+//
+// -trace-out installs the flight recorder for the run and writes its
+// span timeline as Chrome trace-event JSON to the given path — load it
+// in Perfetto (ui.perfetto.dev) or chrome://tracing to see the run →
+// shard → reconcile → jump-check spans per worker. -postmortem-dir
+// also installs the recorder and, when the verdict is a rejection or
+// an interrupted run, writes a postmortem bundle there: a JSON
+// snapshot of the recorded spans, the engine stats and census, the
+// policy fingerprint and table-bundle version, and the violations.
+// Both flags cost one atomic pointer load per Verify when idle; a safe,
+// uninterrupted run writes no postmortem.
 package main
 
 import (
@@ -63,6 +76,7 @@ import (
 	"time"
 
 	"rocksalt/internal/core"
+	"rocksalt/internal/flight"
 	"rocksalt/internal/policy"
 	"rocksalt/internal/telemetry"
 	"rocksalt/internal/vcache"
@@ -71,7 +85,7 @@ import (
 // usage is the one-line synopsis printed on argument errors. A test
 // (cli_test.go) holds it and the package doc comment to the actual flag
 // set, so neither can drift when a flag is added.
-const usage = "usage: rocksalt [-entries addr,addr] [-tables f] [-policy spec.json] [-engine auto|scalar|lanes|strided|swar] [-j N] [-timeout d] [-cache MiB] [-stats] [-json] [-v] [-metrics-addr a] [-linger d] [-q] file.bin"
+const usage = "usage: rocksalt [-entries addr,addr] [-tables f] [-policy spec.json] [-engine auto|scalar|lanes|strided|swar] [-j N] [-timeout d] [-cache MiB] [-stats] [-json] [-v] [-metrics-addr a] [-linger d] [-trace-out f] [-postmortem-dir d] [-q] file.bin"
 
 // cliFlags is every rocksalt flag, registered on a caller-supplied
 // FlagSet so tests can enumerate the registry without running main.
@@ -89,6 +103,8 @@ type cliFlags struct {
 	verbose     *bool
 	metricsAddr *string
 	linger      *time.Duration
+	traceOut    *string
+	postmortem  *string
 }
 
 func registerFlags(fs *flag.FlagSet) *cliFlags {
@@ -106,6 +122,8 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		verbose:     fs.Bool("v", false, "structured run logs on stderr"),
 		metricsAddr: fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; enables telemetry"),
 		linger:      fs.Duration("linger", 0, "keep the metrics server up this long after the verdict (with -metrics-addr)"),
+		traceOut:    fs.String("trace-out", "", "record the run's flight spans and write them as Chrome trace-event JSON to this file"),
+		postmortem:  fs.String("postmortem-dir", "", "on rejection or interruption, write a postmortem bundle (spans, stats, policy identity) into this directory"),
 	}
 }
 
@@ -211,6 +229,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rocksalt:", err)
 		os.Exit(2)
 	}
+	if *metricsAddr != "" {
+		core.PublishBuildInfo(checker)
+	}
+	var recorder *flight.Recorder
+	if *f.traceOut != "" || *f.postmortem != "" {
+		recorder = flight.NewRecorder(0)
+		flight.SetGlobal(recorder)
+	}
 	if *entries != "" {
 		checker.Entries = map[uint32]bool{}
 		for _, e := range strings.Split(*entries, ",") {
@@ -256,6 +282,10 @@ func main() {
 	mbs := float64(len(code)) / (1 << 20) / elapsed.Seconds()
 	log.Info("verify done", "outcome", rep.Outcome.String(), "elapsed", elapsed,
 		"mb_per_s", fmt.Sprintf("%.1f", mbs), "violations", rep.Total)
+
+	if recorder != nil {
+		flushFlight(log, recorder, checker, rep, *f.traceOut, *f.postmortem, flag.Arg(0))
+	}
 
 	status := 0
 	switch {
@@ -328,6 +358,51 @@ func main() {
 		}
 	}
 	lingerExit(log, *metricsAddr, *linger, status)
+}
+
+// flushFlight drains the flight recorder after the verdict: the span
+// timeline goes to -trace-out as Chrome trace-event JSON, and a
+// rejected or interrupted run additionally drops a postmortem bundle
+// into -postmortem-dir. A trace-write failure is a hard error (exit 2
+// — the user asked for an artifact the run cannot produce); a
+// postmortem-write failure only logs, because the verdict and exit
+// status must survive a full disk.
+func flushFlight(log *slog.Logger, recorder *flight.Recorder, checker *core.Checker,
+	rep *core.Report, traceOut, postmortemDir, file string) {
+	events := recorder.Snapshot()
+	if traceOut != "" {
+		if err := flight.WriteChromeTraceFile(traceOut, events); err != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", err)
+			os.Exit(2)
+		}
+		log.Info("trace written", "path", traceOut, "events", len(events))
+	}
+	if postmortemDir == "" || (rep.Safe && !rep.Interrupted()) {
+		return
+	}
+	var violations []jsonViolation
+	for i := range rep.Violations {
+		v := &rep.Violations[i]
+		violations = append(violations, jsonViolation{
+			Offset: v.Offset, Kind: v.Kind.String(), Detail: v.Detail,
+		})
+	}
+	pm := &flight.Postmortem{
+		Reason:            rep.Outcome.String(),
+		File:              file,
+		TableBundle:       checker.TableBundle(),
+		PolicyFingerprint: checker.Fingerprint(),
+		CacheKey:          rep.CacheKey,
+		Stats:             rep.Stats,
+		Violations:        violations,
+		Spans:             events,
+	}
+	path, err := flight.WritePostmortem(postmortemDir, pm)
+	if err != nil {
+		log.Error("postmortem write failed", "err", err)
+		return
+	}
+	log.Info("postmortem written", "path", path, "spans", len(events))
 }
 
 // lingerExit optionally keeps the metrics server reachable after the

@@ -13,6 +13,7 @@ import (
 	"rocksalt/internal/armor"
 	"rocksalt/internal/core"
 	"rocksalt/internal/faultinject"
+	"rocksalt/internal/flight"
 	"rocksalt/internal/nacl"
 	"rocksalt/internal/ncval"
 	"rocksalt/internal/policy"
@@ -79,6 +80,7 @@ func Open(dir string, cfg Config) (*Campaign, error) {
 		persisted.TaskTimeout = cfg.TaskTimeout
 		persisted.MaxRetries = cfg.MaxRetries
 		persisted.CheckpointEvery = cfg.CheckpointEvery
+		persisted.PostmortemDir = cfg.PostmortemDir
 		cfg = persisted.withDefaults()
 		resumed = true
 	} else {
@@ -219,6 +221,12 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 	pcs, err := c.buildPolicies()
 	if err != nil {
 		return nil, err
+	}
+	// Watchdog postmortems want the spans of the abandoned task's last
+	// attempt, so make sure a flight recorder is live for the run. An
+	// embedder's own recorder (already installed) is left in place.
+	if c.cfg.PostmortemDir != "" && flight.Active() == nil {
+		flight.SetGlobal(flight.NewRecorder(0))
 	}
 
 	n := c.cfg.NumTasks()
@@ -385,6 +393,7 @@ func (c *Campaign) worker(ctx context.Context, ids <-chan int, recs chan<- recor
 		if !got {
 			rec = record{ID: id, Verdict: VerdictReferenceFault,
 				Detail: fmt.Sprintf("watchdog: task exceeded %v on %d attempts", c.cfg.TaskTimeout, c.cfg.MaxRetries+1)}
+			c.writeAbandonPostmortem(id, rec, pcs)
 		}
 		select {
 		case recs <- rec:
@@ -392,6 +401,31 @@ func (c *Campaign) worker(ctx context.Context, ids <-chan int, recs chan<- recor
 			return
 		}
 	}
+}
+
+// writeAbandonPostmortem snapshots the flight recorder into a
+// postmortem bundle when the watchdog gives up on a task. Best-effort
+// by design: the campaign's forward progress never depends on the
+// bundle landing, so write errors are swallowed (the journal still
+// records the ReferenceFault verdict either way).
+func (c *Campaign) writeAbandonPostmortem(id int, rec record, pcs []*policyCtx) {
+	if c.cfg.PostmortemDir == "" {
+		return
+	}
+	var spans []flight.Event
+	if fr := flight.Active(); fr != nil {
+		spans = fr.Snapshot()
+	}
+	t := c.cfg.TaskFor(id)
+	pc := pcs[t.Policy]
+	_, _ = flight.WritePostmortem(c.cfg.PostmortemDir, &flight.Postmortem{
+		Reason:            "watchdog-abandonment",
+		Detail:            rec.Detail,
+		File:              fmt.Sprintf("task %d (policy %s, kind %s, base %d)", id, pc.name, t.Kind, t.Base),
+		TableBundle:       pc.check.TableBundle(),
+		PolicyFingerprint: pc.check.Fingerprint(),
+		Spans:             spans,
+	})
 }
 
 // Test hooks: testNcvalHook substitutes the ncval reference (the fault-

@@ -62,6 +62,12 @@ type Config struct {
 	// CheckpointEvery is how many newly journaled tasks pass between
 	// checkpoint snapshots (default 512).
 	CheckpointEvery int `json:"-"`
+	// PostmortemDir, when set, receives a flight-recorder postmortem
+	// bundle for every task the watchdog abandons after exhausting its
+	// retries. An execution knob like Workers: where the bundles land
+	// (or whether they are written at all) may differ between a run and
+	// its resume without changing any verdict.
+	PostmortemDir string `json:"-"`
 }
 
 // withDefaults fills the zero fields in.

@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rocksalt/internal/flight"
+)
+
+// TestWatchdogPostmortem: a task abandoned by the watchdog drops a
+// postmortem bundle into PostmortemDir carrying the abandonment detail
+// and the policy identity, without disturbing the campaign's verdicts.
+func TestWatchdogPostmortem(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policies = []string{"nacl-32"}
+	cfg.Bases, cfg.PerKind = 1, 1 // 4 tasks
+	cfg.Workers = 1
+	cfg.TaskTimeout = 20 * time.Millisecond
+	cfg.MaxRetries = 1
+	cfg.PostmortemDir = filepath.Join(t.TempDir(), "postmortems")
+	testTaskDelay.Store(int64(200 * time.Millisecond))
+	defer testTaskDelay.Store(0)
+	defer flight.SetGlobal(nil) // Run installs a global recorder for the dir
+
+	res := runToCompletion(t, t.TempDir(), cfg)
+	if res.Done != cfg.NumTasks() {
+		t.Fatalf("campaign stuck: %d/%d", res.Done, cfg.NumTasks())
+	}
+	entries, err := os.ReadDir(cfg.PostmortemDir)
+	if err != nil {
+		t.Fatalf("postmortem dir: %v", err)
+	}
+	if len(entries) != cfg.NumTasks() {
+		t.Fatalf("%d postmortems, want %d (one per abandoned task)", len(entries), cfg.NumTasks())
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.PostmortemDir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pm struct {
+		Reason            string `json:"reason"`
+		Detail            string `json:"detail"`
+		File              string `json:"file"`
+		TableBundle       string `json:"table_bundle"`
+		PolicyFingerprint string `json:"policy_fingerprint"`
+	}
+	if err := json.Unmarshal(data, &pm); err != nil {
+		t.Fatalf("postmortem is not valid JSON: %v\n%s", err, data)
+	}
+	if pm.Reason != "watchdog-abandonment" {
+		t.Errorf("reason = %q, want watchdog-abandonment", pm.Reason)
+	}
+	if !strings.Contains(pm.Detail, "watchdog: task exceeded") {
+		t.Errorf("detail = %q, want the watchdog message", pm.Detail)
+	}
+	if !strings.Contains(pm.File, "nacl-32") {
+		t.Errorf("file = %q, want the task's policy name", pm.File)
+	}
+	if pm.PolicyFingerprint == "" {
+		t.Error("policy_fingerprint empty")
+	}
+	if pm.TableBundle != "compiled" {
+		t.Errorf("table_bundle = %q, want compiled (campaign checkers are runtime-compiled)", pm.TableBundle)
+	}
+}

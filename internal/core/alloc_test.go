@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rocksalt/internal/core"
+	"rocksalt/internal/flight"
 	"rocksalt/internal/nacl"
 	"rocksalt/internal/telemetry"
 )
@@ -15,11 +16,13 @@ import (
 // for a 100-bundle one. A regression here usually means a closure or a
 // Report snuck back into the lean path.
 //
-// The bound is checked with telemetry disabled (the default) and
-// enabled. Disabled must be exactly zero. Enabled must also be zero:
-// the per-run Stats live on the stack and publishing is atomic adds,
-// so turning metrics on costs branches, never heap — that is the
-// "zero-overhead" contract.
+// The bound is checked across two independent observability axes:
+// telemetry disabled/enabled, and flight recorder uninstalled/
+// installed. Every combination must be exactly zero. Telemetry-on is
+// atomic adds on stack Stats; recorder-on records spans into a
+// preallocated seqlock ring, so neither instrumentation layer may
+// touch the heap on the hot path — that is the "zero-overhead"
+// contract.
 func TestVerifyZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; the bound only holds in normal builds")
@@ -33,28 +36,39 @@ func TestVerifyZeroAlloc(t *testing.T) {
 		{"100 bundles", bytes.Repeat([]byte{0x90}, 100*core.BundleSize)},
 	}
 	for _, enabled := range []bool{false, true} {
-		name := "telemetry=off"
-		if enabled {
-			name = "telemetry=on"
-		}
-		t.Run(name, func(t *testing.T) {
-			prev := telemetry.Enabled()
-			telemetry.SetEnabled(enabled)
-			defer telemetry.SetEnabled(prev)
-			for _, tc := range images {
-				t.Run(tc.name, func(t *testing.T) {
-					if !c.Verify(tc.img) {
-						t.Fatal("NOP image must verify")
-					}
-					allocs := testing.AllocsPerRun(100, func() {
-						c.Verify(tc.img)
-					})
-					if allocs != 0 {
-						t.Errorf("Verify allocated %.1f times per run, want 0", allocs)
-					}
-				})
+		for _, recorder := range []bool{false, true} {
+			name := "telemetry=off"
+			if enabled {
+				name = "telemetry=on"
 			}
-		})
+			if recorder {
+				name += "/recorder=on"
+			} else {
+				name += "/recorder=off"
+			}
+			t.Run(name, func(t *testing.T) {
+				prev := telemetry.Enabled()
+				telemetry.SetEnabled(enabled)
+				defer telemetry.SetEnabled(prev)
+				if recorder {
+					flight.SetGlobal(flight.NewRecorder(0))
+				}
+				defer flight.SetGlobal(nil)
+				for _, tc := range images {
+					t.Run(tc.name, func(t *testing.T) {
+						if !c.Verify(tc.img) {
+							t.Fatal("NOP image must verify")
+						}
+						allocs := testing.AllocsPerRun(100, func() {
+							c.Verify(tc.img)
+						})
+						if allocs != 0 {
+							t.Errorf("Verify allocated %.1f times per run, want 0", allocs)
+						}
+					})
+				}
+			})
+		}
 	}
 }
 

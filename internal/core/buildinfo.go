@@ -1,0 +1,41 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"rocksalt/internal/telemetry"
+)
+
+// buildInfoMu guards buildInfoSeen: the registry panics on duplicate
+// (name, labels) registration, so PublishBuildInfo must register each
+// distinct identity exactly once per process even when several checkers
+// share a bundle and policy.
+var (
+	buildInfoMu   sync.Mutex
+	buildInfoSeen = map[string]bool{}
+)
+
+// PublishBuildInfo registers (once per distinct identity) the
+// rocksalt_build_info gauge, the conventional always-1 info metric
+// whose labels carry the checker's identity: table-bundle version,
+// policy fingerprint, and the Go toolchain version. The gauge is set
+// with an ungated Store so it is scrapeable even before SetEnabled.
+func PublishBuildInfo(c *Checker) {
+	bundle, fp := c.TableBundle(), c.Fingerprint()
+	key := bundle + "\x00" + fp
+	buildInfoMu.Lock()
+	defer buildInfoMu.Unlock()
+	if buildInfoSeen[key] {
+		return
+	}
+	buildInfoSeen[key] = true
+	g := telemetry.Default().NewLabeledGauge(
+		"rocksalt_build_info",
+		"constant 1; labels carry the table-bundle version, policy fingerprint and go version",
+		"bundle", bundle,
+		"policy", fp,
+		"go", runtime.Version(),
+	)
+	g.Store(1)
+}

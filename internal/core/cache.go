@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/binary"
 	"sort"
+	"time"
 
+	"rocksalt/internal/flight"
 	"rocksalt/internal/vcache"
 )
 
@@ -71,6 +73,10 @@ func (e *chunkEntry) size() int64 {
 type cacheCtx struct {
 	cache *vcache.Cache
 	keys  []vcache.Key
+	// fr/frun are the run's flight recorder and run ID, filled in by
+	// run() so probe/store can attribute their events.
+	fr   *flight.Recorder
+	frun uint32
 }
 
 // configKey hashes everything except the code bytes that a verdict
@@ -152,6 +158,7 @@ func (c *Checker) cacheKeys(code []byte) (whole vcache.Key, chunks []vcache.Key)
 
 // verifyCached is VerifyContext's path when a cache is attached.
 func (c *Checker) verifyCached(ctx context.Context, code []byte, opts VerifyOptions) *Report {
+	lookupStart := time.Now()
 	var whole vcache.Key
 	var chunks []vcache.Key
 	if opts.CacheKey != nil {
@@ -163,10 +170,22 @@ func (c *Checker) verifyCached(ctx context.Context, code []byte, opts VerifyOpti
 	}
 	if v, ok := opts.Cache.Get(whole); ok {
 		rep := *(v.(*Report))
-		rep.Stats.CacheWholeHits = 1
-		rep.Stats.CacheChunkHits, rep.Stats.CacheChunkMisses = 0, 0
-		rep.Stats.CacheBytesSaved = int64(len(code))
-		publishCacheStats(&rep.Stats)
+		st := &rep.Stats
+		// The cached Report carries the originating run's Stats; a serve
+		// scanned no byte with no engine, so the census must say so
+		// instead of replaying the stale parse-mode split and timings.
+		st.Engine = "cache"
+		st.LaneBatches, st.SWARBatches, st.ScalarFallbacks, st.Restarts = 0, 0, 0, 0
+		st.CacheWholeHits = 1
+		st.CacheChunkHits, st.CacheChunkMisses = 0, 0
+		st.CacheBytesSaved = int64(len(code))
+		st.Stage1Wall, st.Stage2Wall, st.JumpsWall = 0, 0, 0
+		st.Wall = time.Since(lookupStart)
+		publishCacheStats(st)
+		if fr := flight.Active(); fr != nil {
+			fr.Record(flight.Event{Kind: flight.EventCacheServe, Engine: flight.EngineCache,
+				Run: fr.BeginRun(), Start: fr.Now(), Bytes: int64(len(code))})
+		}
 		return &rep
 	}
 	if opts.CacheKey != nil {
@@ -181,7 +200,16 @@ func (c *Checker) verifyCached(ctx context.Context, code []byte, opts VerifyOpti
 	rep.CacheKey = whole.String()
 	if !rep.Interrupted() {
 		stored := *rep
+		var t0 int64
+		fr := flight.Active()
+		if fr != nil {
+			t0 = fr.Now()
+		}
 		opts.Cache.Put(whole, &stored, int64(reportSize(&stored)))
+		if fr != nil {
+			fr.Record(flight.Event{Kind: flight.SpanCacheStore, Engine: flight.EngineCache,
+				Start: t0, Dur: fr.Now() - t0, Bytes: int64(len(code))})
+		}
 	}
 	publishCacheStats(&rep.Stats)
 	return rep
@@ -210,6 +238,10 @@ func (c *Checker) probeChunks(cc *cacheCtx, sc *scratch, st *Stats) []bool {
 			if st != nil {
 				st.CacheChunkMisses++
 			}
+			if cc.fr != nil {
+				cc.fr.Record(flight.Event{Kind: flight.EventChunkMiss, Engine: flight.EngineCache,
+					Shard: uint32(i * chunkShards), Run: cc.frun, Start: cc.fr.Now(), Bytes: chunkBytes})
+			}
 			continue
 		}
 		e := v.(*chunkEntry)
@@ -229,6 +261,10 @@ func (c *Checker) probeChunks(cc *cacheCtx, sc *scratch, st *Stats) []bool {
 			st.CacheChunkHits++
 			st.CacheBytesSaved += chunkBytes
 		}
+		if cc.fr != nil {
+			cc.fr.Record(flight.Event{Kind: flight.EventChunkHit, Engine: flight.EngineCache,
+				Shard: uint32(i * chunkShards), Run: cc.frun, Start: cc.fr.Now(), Bytes: chunkBytes})
+		}
 	}
 	return skip
 }
@@ -238,6 +274,11 @@ func (c *Checker) probeChunks(cc *cacheCtx, sc *scratch, st *Stats) []bool {
 // stored for the next run. Chunks whose shards found violations are
 // never cached, so replay can only ever reproduce clean parses.
 func (c *Checker) storeChunks(cc *cacheCtx, sc *scratch, skip []bool) {
+	var ft0 int64
+	if cc.fr != nil {
+		ft0 = cc.fr.Now()
+	}
+	var storedBytes int64
 	wvalid, wpair := sc.valid.Words(), sc.pairJmp.Words()
 	for i, key := range cc.keys {
 		if skip != nil && skip[i*chunkShards] {
@@ -271,5 +312,10 @@ func (c *Checker) storeChunks(cc *cacheCtx, sc *scratch, skip []bool) {
 			e.bad = append(e.bad, sc.results[i*chunkShards+s].bad...)
 		}
 		cc.cache.Put(key, e, e.size())
+		storedBytes += chunkBytes
+	}
+	if cc.fr != nil {
+		cc.fr.Record(flight.Event{Kind: flight.SpanCacheStore, Engine: flight.EngineCache,
+			Run: cc.frun, Start: ft0, Dur: cc.fr.Now() - ft0, Bytes: storedBytes})
 	}
 }

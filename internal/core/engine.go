@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rocksalt/internal/bitset"
+	"rocksalt/internal/flight"
 	"rocksalt/internal/telemetry"
 	"rocksalt/internal/vcache"
 )
@@ -196,6 +197,10 @@ type shardResult struct {
 	// merged into the run's Stats at reconciliation. A shard sets at
 	// most one.
 	lane, swar, scalar, restart bool
+	// backoff marks a shard whose SWAR parse hit the density backoff
+	// and was handed to the single-stride lanes; the flight recorder
+	// surfaces it as an EventSWARBackoff instant.
+	backoff bool
 	// prefetch absorbs the next-shard cache-line touches (see
 	// touchLines); never read.
 	prefetch byte
@@ -206,6 +211,7 @@ func (r *shardResult) reset() {
 	r.targets = r.targets[:0]
 	r.bad = r.bad[:0]
 	r.lane, r.swar, r.scalar, r.restart = false, false, false, false
+	r.backoff = false
 }
 
 // scratch is the reusable per-run state: the packed boundary bitmaps
@@ -384,6 +390,14 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 	if st != nil {
 		st.Engine = engineName(engine, mode)
 	}
+	// Flight recorder: one atomic pointer load decides whether this run
+	// records spans — with no recorder installed that load is the whole
+	// cost, which is what keeps Verify at 0 allocs/op recorder-off.
+	// (frun/frt0 come from a helper so they are assign-once too — a
+	// declare-then-assign local would be captured by reference and
+	// heap-allocated.)
+	fr := flight.Active()
+	frun, frt0 := flightBegin(fr)
 	// Chunk-cache probe: restore the parse artifacts of every resident
 	// chunk and mark its shards skipped. Skipped shards set none of the
 	// lane/scalar/restart flags, so Stats' parse-mode counts cover only
@@ -391,6 +405,7 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 	// assign-once so the worker closure captures it by value.)
 	var skip []bool
 	if cc != nil && len(cc.keys) > 0 {
+		cc.fr, cc.frun = fr, frun
 		skip = c.probeChunks(cc, sc, st)
 	}
 	endStage1 := telemetry.Region(ctx, "rocksalt.stage1.parse")
@@ -409,14 +424,14 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 			if ctx.Err() != nil {
 				break
 			}
-			c.parseOne(code, s, sc, engine, mode)
+			c.parseOne(code, s, sc, engine, mode, fr, frun, 0)
 		}
 	} else {
 		var wg sync.WaitGroup
 		jobs := make(chan int, shards)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for s := range jobs {
 					if ctx.Err() != nil {
@@ -424,9 +439,9 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 						// returning early cannot block the producer.
 						return
 					}
-					c.parseOne(code, s, sc, engine, mode)
+					c.parseOne(code, s, sc, engine, mode, fr, frun, w)
 				}
-			}()
+			}(w)
 		}
 		for s := 0; s < shards; s++ {
 			if skip != nil && skip[s] {
@@ -446,6 +461,10 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 			st.Wall = time.Since(t0)
 			publishStats(st, true, false)
 		}
+		if fr != nil {
+			fr.Record(flight.Event{Kind: flight.SpanRun, Engine: runFlightEngine(engine, mode),
+				Run: frun, Start: frt0, Dur: fr.Now() - frt0, Bytes: int64(size)})
+		}
 		return runResult{shards: shards, workers: workers, ctxErr: err}
 	}
 	if cc != nil && len(cc.keys) > 0 {
@@ -457,9 +476,17 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 	if st != nil {
 		t1 = time.Now()
 	}
+	var frt1 int64
+	if fr != nil {
+		frt1 = fr.Now()
+	}
 	endReconcile := telemetry.Region(ctx, "rocksalt.stage2.reconcile")
-	violations, total := c.reconcile(ctx, code, sc, st)
+	violations, total := c.reconcile(ctx, code, sc, st, fr, frun)
 	endReconcile()
+	if fr != nil {
+		fr.Record(flight.Event{Kind: flight.SpanReconcile, Run: frun,
+			Start: frt1, Dur: fr.Now() - frt1, Bytes: int64(total)})
+	}
 	if st != nil {
 		for i := range sc.results {
 			r := &sc.results[i]
@@ -484,7 +511,55 @@ func (c *Checker) run(ctx context.Context, code []byte, opts VerifyOptions, sc *
 		st.Wall = time.Since(t0)
 		publishStats(st, false, total > 0)
 	}
+	if fr != nil {
+		fr.Record(flight.Event{Kind: flight.SpanRun, Engine: runFlightEngine(engine, mode),
+			Run: frun, Start: frt0, Dur: fr.Now() - frt0, Bytes: int64(size)})
+	}
 	return runResult{violations: violations, total: total, shards: shards, workers: workers}
+}
+
+// runFlightEngine maps the run's resolved engine to the flight
+// recorder's enum — the run-level counterpart of engineName.
+// flightBegin opens a flight-recorder run, returning its run id and
+// start timestamp (zeros with no recorder installed).
+func flightBegin(fr *flight.Recorder) (frun uint32, frt0 int64) {
+	if fr == nil {
+		return 0, 0
+	}
+	return fr.BeginRun(), fr.Now()
+}
+
+func runFlightEngine(e EngineKind, mode stepMode) flight.Engine {
+	switch {
+	case e == EngineReference:
+		return flight.EngineReference
+	case e == EngineFusedScalar:
+		return flight.EngineScalar
+	case mode == stepSWAR:
+		return flight.EngineSWAR
+	case mode == stepStride:
+		return flight.EngineStrided
+	default:
+		return flight.EngineLanes
+	}
+}
+
+// shardFlightEngine classifies how one shard was actually parsed, from
+// its result flags — finer-grained than the run-level engine because a
+// shard can individually back off or restart scalar.
+func shardFlightEngine(e EngineKind, mode stepMode, res *shardResult) flight.Engine {
+	switch {
+	case e == EngineReference:
+		return flight.EngineReference
+	case res.swar:
+		return flight.EngineSWAR
+	case res.lane && mode == stepStride:
+		return flight.EngineStrided
+	case res.lane:
+		return flight.EngineLanes
+	default:
+		return flight.EngineScalar
+	}
 }
 
 // resolveEngine maps the requested engine to the stepper a run will
@@ -522,9 +597,15 @@ func (c *Checker) resolveEngine(opts VerifyOptions) (EngineKind, stepMode) {
 }
 
 // parseOne runs stage 1 on shard s, containing panics as InternalFault
-// violations so the worker (and the pool behind it) survives.
-func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, mode stepMode) {
+// violations so the worker (and the pool behind it) survives. fr, when
+// non-nil, receives a SpanShard record (and an EventSWARBackoff instant
+// when the density backoff fired) tagged with the worker index w.
+func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, mode stepMode, fr *flight.Recorder, frun uint32, w int) {
 	res := &sc.results[s]
+	var ft0 int64
+	if fr != nil {
+		ft0 = fr.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// Fail closed: a panicking shard becomes a structured
@@ -591,6 +672,15 @@ func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, m
 		kept = append(kept, t)
 	}
 	res.targets = kept
+	if fr != nil {
+		now := fr.Now()
+		fr.Record(flight.Event{Kind: flight.SpanShard, Engine: shardFlightEngine(engine, mode, res),
+			Worker: uint16(w), Shard: uint32(s), Run: frun, Start: ft0, Dur: now - ft0, Bytes: int64(end - start)})
+		if res.backoff {
+			fr.Record(flight.Event{Kind: flight.EventSWARBackoff, Engine: flight.EngineSWAR,
+				Worker: uint16(w), Shard: uint32(s), Run: frun, Start: now})
+		}
+	}
 }
 
 // touchLines reads one byte per 64-byte cache line of code[start:end)
@@ -653,6 +743,7 @@ func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res 
 					sc.valid.ClearRange(start, end)
 					sc.pairJmp.ClearRange(start, end)
 					res.reset()
+					res.backoff = true
 					if ok = c.parseShardLanes(code, start, full, sc, res, false); ok {
 						res.lane = true
 					}
@@ -668,7 +759,9 @@ func (c *Checker) parseShardFused(code []byte, start, end int, sc *scratch, res 
 			}
 			sc.valid.ClearRange(start, end)
 			sc.pairJmp.ClearRange(start, end)
+			backedOff := res.backoff
 			res.reset()
+			res.backoff = backedOff // the SWAR backoff happened regardless of the later restart
 			res.restart = true
 			c.parseShardFusedScalar(code, start, end, sc, res)
 			return
@@ -899,7 +992,7 @@ func jumpTarget(code []byte, saved, pos int) (int64, bool) {
 // allocated. When st is non-nil the uncapped per-kind violation census
 // is recorded before the report cap is applied, so Stats sees every
 // violation even when the Report is truncated.
-func (c *Checker) reconcile(ctx context.Context, code []byte, sc *scratch, st *Stats) (all []Violation, total int) {
+func (c *Checker) reconcile(ctx context.Context, code []byte, sc *scratch, st *Stats, fr *flight.Recorder, frun uint32) (all []Violation, total int) {
 	size := len(code)
 	for i := range sc.results {
 		all = append(all, sc.results[i].violations...)
@@ -909,6 +1002,14 @@ func (c *Checker) reconcile(ctx context.Context, code []byte, sc *scratch, st *S
 	// here only the cross-shard leftovers are checked against the merged
 	// boundary map. Several jumps may share a bad target; dedupe after
 	// sorting so the report is one violation per offending offset.
+	var jt0 time.Time
+	if st != nil {
+		jt0 = time.Now()
+	}
+	var fjt0 int64
+	if fr != nil {
+		fjt0 = fr.Now()
+	}
 	endJumps := telemetry.Region(ctx, "rocksalt.stage2.jumps")
 	var badTargets []int
 	for i := range sc.results {
@@ -934,6 +1035,13 @@ func (c *Checker) reconcile(ctx context.Context, code []byte, sc *scratch, st *S
 		}
 	}
 	endJumps()
+	if st != nil {
+		st.JumpsWall = time.Since(jt0)
+	}
+	if fr != nil {
+		fr.Record(flight.Event{Kind: flight.SpanJumps, Run: frun,
+			Start: fjt0, Dur: fr.Now() - fjt0, Bytes: int64(len(badTargets))})
+	}
 	// Every bundle boundary must be an instruction boundary. Shards the
 	// lane/SWAR parser proved regular already had every bundle boundary
 	// in their range checked by pass 2 (laneExtract fails otherwise and

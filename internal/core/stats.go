@@ -87,19 +87,21 @@ type Stats struct {
 	// unlike Report.Violations it is not truncated at
 	// MaxReportViolations, so its sum equals Report.Total.
 	ViolationsByKind [NumViolationKinds]int64 `json:"violations_by_kind"`
-	// Stage1Wall, Stage2Wall and Wall are wall-clock timings for the
-	// shard parse, reconciliation, and the whole run. They are the one
+	// Stage1Wall, Stage2Wall, JumpsWall and Wall are wall-clock timings
+	// for the shard parse, reconciliation, the jump-validation section
+	// inside reconciliation, and the whole run. They are the one
 	// nondeterministic part of Stats; Counters() zeroes them for
 	// comparisons.
 	Stage1Wall time.Duration `json:"stage1_wall_ns"`
 	Stage2Wall time.Duration `json:"stage2_wall_ns"`
+	JumpsWall  time.Duration `json:"jumps_wall_ns"`
 	Wall       time.Duration `json:"wall_ns"`
 }
 
 // Counters returns a copy with the wall-clock fields zeroed: the
 // deterministic subset, comparable with == across worker counts.
 func (s Stats) Counters() Stats {
-	s.Stage1Wall, s.Stage2Wall, s.Wall = 0, 0, 0
+	s.Stage1Wall, s.Stage2Wall, s.JumpsWall, s.Wall = 0, 0, 0, 0
 	return s
 }
 
@@ -136,7 +138,7 @@ func (s Stats) String() string {
 			total += n
 		}
 	}
-	fmt.Fprintf(&b, "stage1 %v, stage2 %v, total %v", s.Stage1Wall, s.Stage2Wall, s.Wall)
+	fmt.Fprintf(&b, "stage1 %v, stage2 %v (jumps %v), total %v", s.Stage1Wall, s.Stage2Wall, s.JumpsWall, s.Wall)
 	return b.String()
 }
 
@@ -170,8 +172,17 @@ var coreMetrics struct {
 	cacheChunkHits  *telemetry.Counter
 	cacheChunkMiss  *telemetry.Counter
 	cacheBytesSaved *telemetry.Counter
+	cacheServes     *telemetry.Counter
 	byKind          [NumViolationKinds]*telemetry.Counter
 	runNanos        *telemetry.Histogram
+	// stageNanos are per-stage latency histograms, one labeled series
+	// per pipeline stage; engineNanos are per-run latency histograms
+	// keyed by the resolved engine census name (including "cache" for
+	// whole-image serves).
+	stage1Nanos    *telemetry.Histogram
+	reconcileNanos *telemetry.Histogram
+	jumpsNanos     *telemetry.Histogram
+	engineNanos    map[string]*telemetry.Histogram
 }
 
 func init() {
@@ -192,11 +203,21 @@ func init() {
 	coreMetrics.cacheChunkHits = r.NewCounter("rocksalt_cache_chunk_hits_total", "64KiB chunks restored from the verdict cache")
 	coreMetrics.cacheChunkMiss = r.NewCounter("rocksalt_cache_chunk_misses_total", "cacheable chunks not found in the verdict cache")
 	coreMetrics.cacheBytesSaved = r.NewCounter("rocksalt_cache_bytes_saved_total", "image bytes not re-parsed thanks to cache hits")
+	coreMetrics.cacheServes = r.NewCounter("rocksalt_cache_serves_total", "verifies answered entirely from the whole-image verdict cache")
 	for k := range coreMetrics.byKind {
 		coreMetrics.byKind[k] = r.NewLabeledCounter("rocksalt_verify_violations_total",
 			"policy violations found, by kind", "kind", kindSlugs[k])
 	}
 	coreMetrics.runNanos = r.NewHistogram("rocksalt_verify_duration_ns", "wall time per verification run")
+	stageHelp := "wall time per verification run, by pipeline stage"
+	coreMetrics.stage1Nanos = r.NewLabeledHistogram("rocksalt_stage_duration_ns", stageHelp, "stage", "stage1")
+	coreMetrics.reconcileNanos = r.NewLabeledHistogram("rocksalt_stage_duration_ns", stageHelp, "stage", "reconcile")
+	coreMetrics.jumpsNanos = r.NewLabeledHistogram("rocksalt_stage_duration_ns", stageHelp, "stage", "jumps")
+	coreMetrics.engineNanos = map[string]*telemetry.Histogram{}
+	for _, e := range []string{"lanes", "swar", "strided", "fused-scalar", "reference", "cache"} {
+		coreMetrics.engineNanos[e] = r.NewLabeledHistogram("rocksalt_engine_duration_ns",
+			"wall time per verification run, by resolved engine", "engine", e)
+	}
 }
 
 // publishStats folds one completed (or interrupted) run into the
@@ -229,6 +250,12 @@ func publishStats(st *Stats, interrupted, rejected bool) {
 		}
 	}
 	m.runNanos.Observe(int64(st.Wall))
+	m.stage1Nanos.Observe(int64(st.Stage1Wall))
+	m.reconcileNanos.Observe(int64(st.Stage2Wall))
+	m.jumpsNanos.Observe(int64(st.JumpsWall))
+	if h := m.engineNanos[st.Engine]; h != nil {
+		h.Observe(int64(st.Wall))
+	}
 }
 
 // publishCacheStats folds a cached run's cache effectiveness into the
@@ -242,6 +269,10 @@ func publishCacheStats(st *Stats) {
 	m := &coreMetrics
 	if st.CacheWholeHits > 0 {
 		m.cacheWholeHits.Add(st.CacheWholeHits)
+		m.cacheServes.Add(1)
+		if h := m.engineNanos["cache"]; h != nil {
+			h.Observe(int64(st.Wall))
+		}
 	}
 	if st.CacheChunkHits > 0 {
 		m.cacheChunkHits.Add(st.CacheChunkHits)

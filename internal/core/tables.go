@@ -297,7 +297,11 @@ func NewCheckerFromTables(r io.Reader) (*Checker, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newCheckerFromSet(set)
+		c, err := newCheckerFromSet(set)
+		if err == nil {
+			c.bundle = "RSLT1"
+		}
+		return c, err
 	}
 	fused, err := readFused(r)
 	if err != nil {
@@ -318,6 +322,7 @@ func NewCheckerFromTables(r io.Reader) (*Checker, error) {
 		direct:       newDFA(set.DirectJump),
 		fused:        fused,
 		params:       params,
+		bundle:       fmt.Sprintf("RSLT%d", version),
 		AlignedCalls: alignedCalls,
 	}, nil
 }

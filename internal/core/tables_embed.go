@@ -47,5 +47,6 @@ func newCheckerFromEmbedded() (*Checker, error) {
 		direct: embChecker.direct,
 		fused:  embChecker.fused,
 		params: embChecker.params,
+		bundle: embChecker.bundle,
 	}, nil
 }

@@ -23,6 +23,11 @@ type Checker struct {
 	// mask-instruction length and guard cutoff. Every constructor sets
 	// them (to naclParams unless a spec says otherwise).
 	params policyParams
+	// bundle names the table provenance: the bundle version for
+	// checkers loaded from a serialized bundle ("RSLT1".."RSLT4"),
+	// "compiled" for tables built at runtime from grammars or a policy
+	// spec. Surfaced by TableBundle and the rocksalt_build_info gauge.
+	bundle string
 	// Entries is the set of permitted out-of-image direct-jump targets
 	// (the NaCl runtime's trampoline entry points).
 	Entries map[uint32]bool
@@ -78,6 +83,23 @@ func (c *Checker) PolicyInfo() PolicyInfo {
 	}
 }
 
+// TableBundle reports the checker's table provenance: the serialized
+// bundle version it was loaded from ("RSLT1".."RSLT4") or "compiled"
+// for tables built at runtime.
+func (c *Checker) TableBundle() string { return c.bundle }
+
+// Fingerprint returns the hex content key of the checker's full
+// configuration — tables plus policy knobs, the same hash the verdict
+// cache is keyed on — identifying the policy in build-info metrics and
+// postmortem bundles. Empty for a checker without fused tables.
+func (c *Checker) Fingerprint() string {
+	if c.fused == nil {
+		return ""
+	}
+	k := c.configKey()
+	return k.String()
+}
+
 // NewChecker returns a checker backed by the pregenerated table bundle
 // embedded in the binary (parsed once, behind a sync.Once). This is the
 // paper's deployment story — tables generated offline, shipped beside
@@ -121,6 +143,7 @@ func newCheckerFromSetParams(set *DFASet, params policyParams, alignedCalls bool
 		direct:       newDFA(set.DirectJump),
 		fused:        fused,
 		params:       params,
+		bundle:       "compiled",
 		AlignedCalls: alignedCalls,
 	}, nil
 }

@@ -1,0 +1,83 @@
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// This file renders a recorder snapshot as Chrome trace-event JSON
+// (the "JSON Array Format" with a traceEvents wrapper), loadable in
+// Perfetto / chrome://tracing. Span kinds become complete ("X") events
+// and instant kinds become thread-scoped instants ("i"); rows (tid) are
+// the stage-1 worker IDs, so the timeline shows shard parses fanning
+// out across the pool with reconcile and cache work on worker 0.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string    `json:"name"`
+	Ph   string    `json:"ph"`
+	Ts   float64   `json:"ts"` // microseconds
+	Dur  float64   `json:"dur,omitempty"`
+	Pid  int       `json:"pid"`
+	Tid  int       `json:"tid"`
+	S    string    `json:"s,omitempty"`
+	Args traceArgs `json:"args"`
+}
+
+type traceArgs struct {
+	Engine string `json:"engine,omitempty"`
+	Shard  uint32 `json:"shard"`
+	Run    uint32 `json:"run"`
+	Bytes  int64  `json:"bytes,omitempty"`
+}
+
+// traceDoc is the document wrapper; displayTimeUnit is advisory.
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the events as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	doc := traceDoc{TraceEvents: make([]traceEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, ev := range events {
+		te := traceEvent{
+			Name: ev.Kind.String(),
+			Ts:   float64(ev.Start) / 1e3,
+			Pid:  1,
+			Tid:  int(ev.Worker),
+			Args: traceArgs{Engine: ev.Engine.String(), Shard: ev.Shard, Run: ev.Run, Bytes: ev.Bytes},
+		}
+		if ev.Kind.Span() {
+			te.Ph = "X"
+			te.Dur = float64(ev.Dur) / 1e3
+		} else {
+			te.Ph = "i"
+			te.S = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteChromeTraceFile is WriteChromeTrace to a file path, written via
+// a temp file + rename so a crash never leaves a half-written trace.
+func WriteChromeTraceFile(path string, events []Event) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

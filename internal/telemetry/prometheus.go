@@ -22,7 +22,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case e.g != nil:
 				err = writeSeries(w, f.name, e.labels, e.g.Value())
 			case e.h != nil:
-				err = writeHistogram(w, f.name, e.h)
+				err = writeHistogram(w, f.name, e.labels, e.h)
 			}
 			if err != nil {
 				return err
@@ -41,7 +41,17 @@ func writeSeries(w io.Writer, name, labels string, v int64) error {
 	return err
 }
 
-func writeHistogram(w io.Writer, name string, h *Histogram) error {
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	// A labeled histogram merges its label set into every series: the
+	// bucket lines get `labels,le=...` and sum/count get `{labels}`.
+	le := "le="
+	if labels != "" {
+		le = labels + ",le="
+	}
+	var sumCount string
+	if labels != "" {
+		sumCount = "{" + labels + "}"
+	}
 	// Bucket b holds v < 2^b, so the cumulative le bound of bucket b is
 	// 2^b - 1 in integer terms; Prometheus wants float bounds, and 2^b
 	// is exact in a float64 for every b we use.
@@ -52,14 +62,14 @@ func writeHistogram(w io.Writer, name string, h *Histogram) error {
 			continue // sparse exposition: skip empty interior buckets
 		}
 		cum += n
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, pow2(b), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s\"%g\"} %d\n", name, le, pow2(b), cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s\"+Inf\"} %d\n", name, le, h.Count()); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count()); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", name, sumCount, h.Sum(), name, sumCount, h.Count()); err != nil {
 		return err
 	}
 	return nil

@@ -75,6 +75,13 @@ func (g *Gauge) Add(n int64) {
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// Store sets the gauge unconditionally, bypassing the enable gate. It
+// exists for registration-time constants (build/config identity gauges
+// set once, before or regardless of SetEnabled) — scrapes read the
+// registry directly, so an ungated store is visible either way. Hot
+// paths must keep using Set.
+func (g *Gauge) Store(v int64) { g.v.Store(v) }
+
 // histBuckets is the number of power-of-two histogram buckets: bucket
 // b counts observations v with 2^(b-1) <= v < 2^b (bucket 0 counts
 // v <= 0). 40 buckets cover 1 ns .. ~9 minutes of latency.
@@ -199,11 +206,47 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	return e.g
 }
 
+// NewLabeledGauge registers a gauge carrying one or more label pairs
+// (alternating label, value arguments); all gauges sharing name form
+// one family in the exposition.
+func (r *Registry) NewLabeledGauge(name, help string, labelPairs ...string) *Gauge {
+	e := r.add(name, help, "gauge", renderLabels(labelPairs))
+	e.g = &Gauge{}
+	return e.g
+}
+
 // NewHistogram registers and returns a power-of-two-bucket histogram.
 func (r *Registry) NewHistogram(name, help string) *Histogram {
 	e := r.add(name, help, "histogram", "")
 	e.h = &Histogram{}
 	return e.h
+}
+
+// NewLabeledHistogram registers a histogram carrying one label pair;
+// all histograms sharing name form one family in the exposition, with
+// the label merged into every bucket/sum/count series.
+func (r *Registry) NewLabeledHistogram(name, help, label, value string) *Histogram {
+	e := r.add(name, help, "histogram", fmt.Sprintf("%s=%q", label, value))
+	e.h = &Histogram{}
+	return e.h
+}
+
+// renderLabels renders alternating label, value pairs in the
+// Prometheus text form (`k1="v1",k2="v2"`). %q escaping matches the
+// exposition format's: backslash, double quote and newline are the
+// characters that need escaping, and Go quotes all three.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: labels must be non-empty (label, value) pairs, got %d strings", len(pairs)))
+	}
+	var b []byte
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, fmt.Sprintf("%s=%q", pairs[i], pairs[i+1])...)
+	}
+	return string(b)
 }
 
 // Value looks a series up by its full name — `name` for unlabeled
