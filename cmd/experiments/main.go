@@ -35,7 +35,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 func main() {
-	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride, policy, scale, campaign, trend); empty = all")
+	run := flag.String("run", "", "comma-separated experiment ids (e1..e8, par, rtl, tso, fault, bench, obsv, stride, policy, scale, delta, campaign, trend); empty = all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -68,6 +68,7 @@ func main() {
 		{"stride", benchStride},
 		{"policy", benchPolicy},
 		{"scale", benchScale},
+		{"delta", benchDelta},
 		{"campaign", runCampaign},
 		{"trend", trendGate},
 	} {

@@ -46,6 +46,7 @@ var trackedMetrics = []trendMetric{
 	{"warm_cache_speedup", true},
 	{"telemetry_overhead_pct", false},
 	{"recorder_overhead_pct", false},
+	{"delta_speedup", true},
 }
 
 // benchPoint is one parsed BENCH file: where it came from, which host
@@ -152,6 +153,10 @@ func parseBench(path, name string, data []byte) (benchPoint, error) {
 		}
 		if v, ok := num("warm_rehash_speedup"); ok {
 			p.Metrics["warm_cache_speedup"] = v
+		}
+	case "delta":
+		if v, ok := num("delta_speedup"); ok {
+			p.Metrics["delta_speedup"] = v
 		}
 	case "obsv":
 		if v, ok := num("overhead_pct"); ok {

@@ -37,7 +37,7 @@ func TestUsageMentionsEveryFlag(t *testing.T) {
 			t.Errorf("flag -%s has no help text", fl.Name)
 		}
 	})
-	if n < 13 {
-		t.Fatalf("only %d flags registered; the registry and main drifted apart", n)
+	if n < 17 {
+		t.Fatalf("only %d flags registered (want at least 17, including -delta and -stream); the registry and main drifted apart", n)
 	}
 }

@@ -5,8 +5,8 @@
 //
 //	rocksalt [-entries 0x10000,0x10020] [-tables tables.bin]
 //	         [-policy spec.json] [-engine auto] [-j N] [-timeout 5s]
-//	         [-cache 64] [-stats] [-json] [-q] [-v]
-//	         [-metrics-addr :9090] [-linger 0s]
+//	         [-cache 64] [-delta old.bin] [-stream] [-stats] [-json]
+//	         [-q] [-v] [-metrics-addr :9090] [-linger 0s]
 //	         [-trace-out t.json] [-postmortem-dir d] file.bin
 //
 // The exit status is 0 when the image is safe, 1 when it is rejected,
@@ -39,10 +39,24 @@
 // engine feature a long-lived embedder would use across many Verify
 // calls, and -stats/-json expose its hit/miss counters.
 //
+// -delta old.bin verifies file.bin incrementally: it first verifies
+// old.bin (the previous revision of the image) to build the retained
+// delta state, byte-diffs the two revisions into changed ranges, and
+// re-verifies file.bin through Checker.VerifyDelta — re-parsing only
+// the 64 KiB chunks the edits touched. The verdict and exit status are
+// those of file.bin, byte-identical to a full run; -stats/-json report
+// the round's chunks reparsed/replayed, delta bytes and the chunk
+// hit-ratio. -stream verifies file.bin through the bounded-window
+// streaming path (Checker.VerifyReader) instead of mapping it whole —
+// the CLI face of the multi-GiB service path; it is mutually exclusive
+// with -delta.
+//
 // -stats prints the per-run engine record (bytes, bundles, instruction
-// boundaries, shard parse modes, cache effectiveness, per-stage wall
-// times); -json switches the whole verdict to a machine-readable JSON
-// object on stdout (including the cache_key under -cache).
+// boundaries, shard parse modes, cache effectiveness with the chunk
+// hit-ratio, delta reuse counters, per-stage wall times); -json
+// switches the whole verdict to a machine-readable JSON object on
+// stdout (including the cache_key under -cache and the chunk_hit_ratio
+// under -cache/-delta).
 // -metrics-addr serves Prometheus metrics on /metrics, expvar on
 // /debug/vars and the pprof profiles on /debug/pprof/ for the life of
 // the process (use -linger to keep serving after the verdict, e.g. to
@@ -85,7 +99,7 @@ import (
 // usage is the one-line synopsis printed on argument errors. A test
 // (cli_test.go) holds it and the package doc comment to the actual flag
 // set, so neither can drift when a flag is added.
-const usage = "usage: rocksalt [-entries addr,addr] [-tables f] [-policy spec.json] [-engine auto|scalar|lanes|strided|swar] [-j N] [-timeout d] [-cache MiB] [-stats] [-json] [-v] [-metrics-addr a] [-linger d] [-trace-out f] [-postmortem-dir d] [-q] file.bin"
+const usage = "usage: rocksalt [-entries addr,addr] [-tables f] [-policy spec.json] [-engine auto|scalar|lanes|strided|swar] [-j N] [-timeout d] [-cache MiB] [-delta old.bin] [-stream] [-stats] [-json] [-v] [-metrics-addr a] [-linger d] [-trace-out f] [-postmortem-dir d] [-q] file.bin"
 
 // cliFlags is every rocksalt flag, registered on a caller-supplied
 // FlagSet so tests can enumerate the registry without running main.
@@ -105,6 +119,8 @@ type cliFlags struct {
 	linger      *time.Duration
 	traceOut    *string
 	postmortem  *string
+	delta       *string
+	stream      *bool
 }
 
 func registerFlags(fs *flag.FlagSet) *cliFlags {
@@ -124,6 +140,8 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		linger:      fs.Duration("linger", 0, "keep the metrics server up this long after the verdict (with -metrics-addr)"),
 		traceOut:    fs.String("trace-out", "", "record the run's flight spans and write them as Chrome trace-event JSON to this file"),
 		postmortem:  fs.String("postmortem-dir", "", "on rejection or interruption, write a postmortem bundle (spans, stats, policy identity) into this directory"),
+		delta:       fs.String("delta", "", "re-verify incrementally against this previous revision of the image (VerifyDelta; re-parses only changed chunks)"),
+		stream:      fs.Bool("stream", false, "verify through the bounded-window streaming path (VerifyReader) instead of mapping the image whole"),
 	}
 }
 
@@ -146,9 +164,13 @@ type jsonVerdict struct {
 	Total      int             `json:"total_violations"`
 	Violations []jsonViolation `json:"violations,omitempty"`
 	Stats      core.Stats      `json:"stats"`
-	CacheKey   string          `json:"cache_key,omitempty"`
-	ElapsedNS  int64           `json:"elapsed_ns"`
-	MBPerSec   float64         `json:"mb_per_s"`
+	// ChunkHitRatio is chunk-grade reuse effectiveness: cache chunk
+	// hits (under -cache) plus delta chunk replays (under -delta) over
+	// all chunk-grade opportunities; 0 when neither layer ran.
+	ChunkHitRatio float64 `json:"chunk_hit_ratio"`
+	CacheKey      string  `json:"cache_key,omitempty"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	MBPerSec      float64 `json:"mb_per_s"`
 }
 
 func main() {
@@ -274,10 +296,51 @@ func main() {
 	if *f.cacheMiB > 0 {
 		opts.Cache = vcache.New(int64(*f.cacheMiB) << 20)
 	}
+	if *f.delta != "" && *f.stream {
+		fmt.Fprintln(os.Stderr, "rocksalt: -delta and -stream are mutually exclusive")
+		os.Exit(2)
+	}
 	log.Info("verify start", "file", flag.Arg(0), "bytes", len(code), "workers", *workers,
-		"cache_mib", *f.cacheMiB)
+		"cache_mib", *f.cacheMiB, "delta", *f.delta, "stream", *f.stream)
 	start := time.Now()
-	rep := checker.VerifyContext(ctx, code, opts)
+	var rep *core.Report
+	switch {
+	case *f.delta != "":
+		old, derr := os.ReadFile(*f.delta)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", derr)
+			os.Exit(2)
+		}
+		// Round 1 builds the retained state from the previous revision;
+		// round 2 re-verifies the current one against it. Only round 2's
+		// report (and stats) is the verdict.
+		_, state, derr2 := checker.VerifyDeltaContext(ctx, old, nil, nil, opts)
+		if derr2 != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", derr2)
+			os.Exit(2)
+		}
+		rep, _, derr2 = checker.VerifyDeltaContext(ctx, code, diffRanges(old, code), state, opts)
+		if derr2 != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", derr2)
+			os.Exit(2)
+		}
+	case *f.stream:
+		in, serr := os.Open(flag.Arg(0))
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", serr)
+			os.Exit(2)
+		}
+		sopts := opts
+		sopts.StreamSize = int64(len(code))
+		rep, err = checker.VerifyReaderContext(ctx, in, sopts)
+		in.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rocksalt:", err)
+			os.Exit(2)
+		}
+	default:
+		rep = checker.VerifyContext(ctx, code, opts)
+	}
 	elapsed := time.Since(start)
 	mbs := float64(len(code)) / (1 << 20) / elapsed.Seconds()
 	log.Info("verify done", "outcome", rep.Outcome.String(), "elapsed", elapsed,
@@ -297,17 +360,18 @@ func main() {
 
 	if *jsonOut {
 		jv := jsonVerdict{
-			File:      flag.Arg(0),
-			Safe:      rep.Safe,
-			Outcome:   rep.Outcome.String(),
-			Size:      rep.Size,
-			Shards:    rep.Shards,
-			Workers:   rep.Workers,
-			Total:     rep.Total,
-			Stats:     rep.Stats,
-			CacheKey:  rep.CacheKey,
-			ElapsedNS: int64(elapsed),
-			MBPerSec:  mbs,
+			File:          flag.Arg(0),
+			Safe:          rep.Safe,
+			Outcome:       rep.Outcome.String(),
+			Size:          rep.Size,
+			Shards:        rep.Shards,
+			Workers:       rep.Workers,
+			Total:         rep.Total,
+			Stats:         rep.Stats,
+			ChunkHitRatio: rep.Stats.ChunkHitRatio(),
+			CacheKey:      rep.CacheKey,
+			ElapsedNS:     int64(elapsed),
+			MBPerSec:      mbs,
 		}
 		for i := range rep.Violations {
 			v := &rep.Violations[i]
@@ -358,6 +422,36 @@ func main() {
 		}
 	}
 	lingerExit(log, *metricsAddr, *linger, status)
+}
+
+// diffRanges byte-compares two revisions of an image into the changed
+// ranges VerifyDelta consumes, coalescing runs of differing bytes less
+// than a chunk apart (finer ranges cannot dirty fewer chunks, and a
+// shorter list walks faster). A length difference needs no explicit
+// range: VerifyDelta re-parses everything the size change can affect.
+func diffRanges(old, new []byte) []core.Range {
+	n := len(old)
+	if len(new) < n {
+		n = len(new)
+	}
+	var ranges []core.Range
+	const gap = 64 << 10
+	for i := 0; i < n; {
+		if old[i] == new[i] {
+			i++
+			continue
+		}
+		start := i
+		last := i
+		for i++; i < n && i-last < gap; i++ {
+			if old[i] != new[i] {
+				last = i
+			}
+		}
+		ranges = append(ranges, core.Range{Off: start, Len: last + 1 - start})
+		i = last + 1
+	}
+	return ranges
 }
 
 // flushFlight drains the flight recorder after the verdict: the span

@@ -103,6 +103,23 @@ type Violation = core.Violation
 // core.BundleStraddle, core.InternalFault).
 type ViolationKind = core.ViolationKind
 
+// Range describes one edited byte span handed to Checker.VerifyDelta:
+// the incremental re-verifier that re-parses only the 64 KiB chunks a
+// set of edits touched and reconciles them against the retained state
+// of the previous round, for verdicts byte-identical to a full
+// VerifyWith at O(changed bytes) cost. See core.Range and
+// (*core.Checker).VerifyDelta.
+type Range = core.Range
+
+// DeltaState is the retained whole-image stage-1 state a VerifyDelta
+// round reconciles against; each round consumes the previous round's
+// state and returns the next. See core.DeltaState.
+//
+// Checker.VerifyReader streams an image of a declared size
+// (VerifyOptions.StreamSize) through a bounded two-chunk window on the
+// same machinery, for images too large to hold in memory.
+type DeltaState = core.DeltaState
+
 // ---------- The x86 model ----------
 
 // Inst is a decoded x86 instruction (abstract syntax).

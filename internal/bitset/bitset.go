@@ -43,6 +43,30 @@ func (s *Set) Reset(n int) {
 	s.n = n
 }
 
+// Resize sets the length to n bits, preserving the bits below
+// min(Len, n) — unlike Reset, which clears. Bits at indices >= n are
+// cleared, so a shrink followed by a grow never resurrects stale bits
+// and Count stays exact. The delta verifier uses it to keep retained
+// boundary bitmaps across image size changes.
+func (s *Set) Resize(n int) {
+	words := (n + wordBits - 1) / wordBits
+	switch old := len(s.words); {
+	case words <= old:
+		s.words = s.words[:words]
+	case cap(s.words) >= words:
+		s.words = s.words[:words]
+		clear(s.words[old:])
+	default:
+		w := make([]uint64, words)
+		copy(w, s.words)
+		s.words = w
+	}
+	if words > 0 && n%wordBits != 0 {
+		s.words[words-1] &= 1<<(uint(n)%wordBits) - 1
+	}
+	s.n = n
+}
+
 // Len returns the length in bits.
 func (s *Set) Len() int { return s.n }
 

@@ -30,13 +30,17 @@ import (
 // Soundness rests on two facts. Keys are collision-resistant hashes
 // (vcache.Sum) over everything the parse depends on: the table
 // fingerprint, the policy configuration (AlignedCalls, Entries), the
-// image size, and — for chunks — the chunk's offset and bytes. A shard
-// parse is a pure function of exactly those inputs, so a chunk hit
-// replays byte-identical artifacts; a final or partial chunk, whose
-// parse could depend on the image end, is never cached (chunkEnd <
-// size). Chunks with violations are never stored, so replayed chunks
-// are always clean and every rejected image re-diagnoses its violating
-// chunks through the ordinary engine paths.
+// image size, and — for chunks — the chunk's offset and bytes plus the
+// lookahead overhang past its end (the scalar walk deciding the last
+// instruction of a chunk may read up to fusedDFA.lookahead()-1 bytes
+// beyond the chunk boundary, so those bytes are part of the parse's
+// input and must be part of the key). A shard parse is a pure function
+// of exactly those inputs, so a chunk hit replays byte-identical
+// artifacts; a final or partial chunk, whose parse could depend on the
+// image end, is never cached (chunkEnd < size). Chunks with violations
+// are never stored, so replayed chunks are always clean and every
+// rejected image re-diagnoses its violating chunks through the
+// ordinary engine paths.
 
 // chunkBytes is the chunk-cache granularity: an aligned span of four
 // stage-1 shards. Coarse enough that stored artifacts (two bitmap
@@ -131,6 +135,36 @@ func (f *fusedDFA) fingerprint() vcache.Key {
 	return f.fp
 }
 
+// cacheableChunks is the number of chunks eligible for caching and
+// delta retention: whole chunks strictly before the image end. The
+// final chunk — even when exactly chunk-sized — is excluded because its
+// parse depends on where the image ends (the end-of-image straddle
+// allowance).
+func cacheableChunks(size int) int {
+	nchunks := size / chunkBytes
+	if nchunks*chunkBytes == size && nchunks > 0 {
+		nchunks--
+	}
+	return nchunks
+}
+
+// chunkSum is the content key of one cacheable chunk: the config key,
+// the image size, the chunk offset, and the chunk's bytes extended by
+// the parse's lookahead overhang past its end (clamped to the image).
+// The image size is a genuine input — direct-jump targets are
+// classified against it — so equal chunks of different-sized images
+// never share entries.
+func (c *Checker) chunkSum(cfg vcache.Key, code []byte, i, overhang int) vcache.Key {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(len(code)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(i*chunkBytes))
+	end := (i+1)*chunkBytes + overhang
+	if end > len(code) {
+		end = len(code)
+	}
+	return vcache.Sum("rocksalt/chunk", cfg[:], hdr[:], code[i*chunkBytes:end])
+}
+
 // cacheKeys computes the per-chunk keys for the cacheable prefix of the
 // image and the derived whole-image key. The whole-image key is
 // hierarchical — the hash of the chunk keys plus the non-cacheable tail
@@ -138,17 +172,14 @@ func (f *fusedDFA) fingerprint() vcache.Key {
 func (c *Checker) cacheKeys(code []byte) (whole vcache.Key, chunks []vcache.Key) {
 	cfg := c.configKey()
 	size := len(code)
-	nchunks := size / chunkBytes
-	if nchunks*chunkBytes == size && nchunks > 0 {
-		nchunks-- // the final chunk's parse may depend on the image end
-	}
+	nchunks := cacheableChunks(size)
+	overhang := c.fused.lookahead()
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[:8], uint64(size))
 	chunks = make([]vcache.Key, nchunks)
 	keyBytes := make([]byte, 0, 16*nchunks)
 	for i := range chunks {
-		binary.LittleEndian.PutUint64(hdr[8:], uint64(i*chunkBytes))
-		chunks[i] = vcache.Sum("rocksalt/chunk", cfg[:], hdr[:], code[i*chunkBytes:(i+1)*chunkBytes])
+		chunks[i] = c.chunkSum(cfg, code, i, overhang)
 		keyBytes = append(keyBytes, chunks[i][:]...)
 	}
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(nchunks*chunkBytes))

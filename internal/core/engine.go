@@ -140,6 +140,14 @@ type VerifyOptions struct {
 	// association; a wrong key returns the wrong report. Ignored unless
 	// Cache is set.
 	CacheKey *vcache.Key
+	// StreamSize is the total image size VerifyReader will stream,
+	// which must be declared up front: direct-jump targets are
+	// classified against the image size, so a verifier that discovered
+	// the size only at EOF could not match full verification
+	// byte-for-byte. 0 (or negative) makes VerifyReader buffer the
+	// whole stream in memory instead. Ignored by the in-memory Verify*
+	// entry points.
+	StreamSize int64
 }
 
 // MaxWorkers is the hard ceiling on stage-1 workers. Beyond the machine
@@ -220,6 +228,16 @@ func (r *shardResult) reset() {
 type scratch struct {
 	valid, pairJmp bitset.Set
 	results        []shardResult
+	// base/imgSize place the byte slice handed to the parser inside the
+	// logical image: the slice covers image offsets [base, base+len).
+	// Ordinary runs parse the whole image, so base is 0 and imgSize is
+	// len(code); the streaming verifier (stream.go) parses one window at
+	// a time with base advanced chunk by chunk. Jump-target
+	// classification and end-of-image straddle allowance use these
+	// absolute coordinates so a windowed parse classifies targets
+	// exactly as a whole-image parse would.
+	base    int
+	imgSize int
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -228,6 +246,7 @@ func getScratch(size, shards int) *scratch {
 	sc := scratchPool.Get().(*scratch)
 	sc.valid.Reset(size)
 	sc.pairJmp.Reset(size)
+	sc.base, sc.imgSize = 0, size
 	if cap(sc.results) < shards {
 		sc.results = make([]shardResult, shards)
 	} else {
@@ -600,7 +619,16 @@ func (c *Checker) resolveEngine(opts VerifyOptions) (EngineKind, stepMode) {
 // violations so the worker (and the pool behind it) survives. fr, when
 // non-nil, receives a SpanShard record (and an EventSWARBackoff instant
 // when the density backoff fired) tagged with the worker index w.
+// Ordinary runs parse the whole image in place; the streaming verifier
+// parses a window, where s is window-relative and the shard's true
+// index differs — parseShardAt takes both so flight records and panic
+// details name the global shard while offsets stay window-relative
+// (the harvest translates them).
 func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, mode stepMode, fr *flight.Recorder, frun uint32, w int) {
+	c.parseShardAt(code, s, s, sc, engine, mode, fr, frun, w)
+}
+
+func (c *Checker) parseShardAt(code []byte, s, gs int, sc *scratch, engine EngineKind, mode stepMode, fr *flight.Recorder, frun uint32, w int) {
 	res := &sc.results[s]
 	var ft0 int64
 	if fr != nil {
@@ -621,7 +649,7 @@ func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, m
 			res.violations = append(res.violations[:0], Violation{
 				Offset: s * ShardBytes,
 				Kind:   InternalFault,
-				Detail: fmt.Sprintf("shard %d worker panicked: %v", s, r),
+				Detail: fmt.Sprintf("shard %d worker panicked: %v", gs, r),
 				Stack:  string(debug.Stack()),
 			})
 		}
@@ -675,10 +703,10 @@ func (c *Checker) parseOne(code []byte, s int, sc *scratch, engine EngineKind, m
 	if fr != nil {
 		now := fr.Now()
 		fr.Record(flight.Event{Kind: flight.SpanShard, Engine: shardFlightEngine(engine, mode, res),
-			Worker: uint16(w), Shard: uint32(s), Run: frun, Start: ft0, Dur: now - ft0, Bytes: int64(end - start)})
+			Worker: uint16(w), Shard: uint32(gs), Run: frun, Start: ft0, Dur: now - ft0, Bytes: int64(end - start)})
 		if res.backoff {
 			fr.Record(flight.Event{Kind: flight.EventSWARBackoff, Engine: flight.EngineSWAR,
-				Worker: uint16(w), Shard: uint32(s), Run: frun, Start: now})
+				Worker: uint16(w), Shard: uint32(gs), Run: frun, Start: now})
 		}
 	}
 }
@@ -849,7 +877,7 @@ loop:
 		switch {
 		case lm != 0:
 			pos = saved + lm
-			if pos > end && c.straddles(res, code, saved, pos, end) {
+			if pos > end && c.straddles(sc, res, code, saved, pos, end) {
 				break loop
 			}
 			sc.pairJmp.Set(saved + mlen)
@@ -860,15 +888,15 @@ loop:
 			}
 		case ln != 0:
 			pos = saved + ln
-			if pos > end && c.straddles(res, code, saved, pos, end) {
+			if pos > end && c.straddles(sc, res, code, saved, pos, end) {
 				break loop
 			}
 		case ld != 0:
 			pos = saved + ld
-			if pos > end && c.straddles(res, code, saved, pos, end) {
+			if pos > end && c.straddles(sc, res, code, saved, pos, end) {
 				break loop
 			}
-			if c.directJump(res, code, saved, pos) {
+			if c.directJump(sc, res, code, saved, pos) {
 				break loop
 			}
 		default:
@@ -889,7 +917,7 @@ func (c *Checker) parseShardRef(code []byte, start, end int, sc *scratch, res *s
 		sc.valid.Set(pos)
 		saved := pos
 		if match(masked, code, &pos) {
-			if c.straddles(res, code, saved, pos, end) {
+			if c.straddles(sc, res, code, saved, pos, end) {
 				return
 			}
 			sc.pairJmp.Set(saved + c.params.maskLen)
@@ -901,16 +929,16 @@ func (c *Checker) parseShardRef(code []byte, start, end int, sc *scratch, res *s
 			continue
 		}
 		if match(noCF, code, &pos) {
-			if c.straddles(res, code, saved, pos, end) {
+			if c.straddles(sc, res, code, saved, pos, end) {
 				return
 			}
 			continue
 		}
 		if match(direct, code, &pos) {
-			if c.straddles(res, code, saved, pos, end) {
+			if c.straddles(sc, res, code, saved, pos, end) {
 				return
 			}
-			if c.directJump(res, code, saved, pos) {
+			if c.directJump(sc, res, code, saved, pos) {
 				return
 			}
 			continue
@@ -921,9 +949,12 @@ func (c *Checker) parseShardRef(code []byte, start, end int, sc *scratch, res *s
 }
 
 // straddles flags a matched unit extending past the shard end (a bundle
-// boundary inside an instruction) unless the shard ends at the image end.
-func (c *Checker) straddles(res *shardResult, code []byte, saved, pos, end int) bool {
-	if pos <= end || end == len(code) {
+// boundary inside an instruction) unless the shard ends at the image
+// end. The image end is judged in absolute coordinates (sc.base+end)
+// so a windowed parse only grants the allowance at the true end of the
+// image, not at the end of every window.
+func (c *Checker) straddles(sc *scratch, res *shardResult, code []byte, saved, pos, end int) bool {
+	if pos <= end || sc.base+end == sc.imgSize {
 		return false
 	}
 	stopShard(res, code, end, BundleStraddle, fmt.Sprintf("instruction at %#x extends past the boundary", saved))
@@ -932,8 +963,11 @@ func (c *Checker) straddles(res *shardResult, code []byte, saved, pos, end int) 
 
 // directJump applies the policy checks shared by both engines to a
 // direct-jump match occupying code[saved:pos]; it reports whether the
-// shard parse must stop.
-func (c *Checker) directJump(res *shardResult, code []byte, saved, pos int) (stop bool) {
+// shard parse must stop. Targets are classified in absolute image
+// coordinates (the window-relative destination shifted by sc.base) so
+// a windowed parse agrees with a whole-image parse; in-image targets
+// are banked window-relative, matching the bitmap the caller owns.
+func (c *Checker) directJump(sc *scratch, res *shardResult, code []byte, saved, pos int) (stop bool) {
 	if c.AlignedCalls && code[saved] == 0xe8 && pos%c.params.bundle != 0 {
 		stopShard(res, code, pos, MisalignedCall, "call leaves a misaligned return address")
 		return true
@@ -943,12 +977,13 @@ func (c *Checker) directJump(res *shardResult, code []byte, saved, pos int) (sto
 		stopShard(res, code, saved, IllegalInstruction, "unrecognized direct jump form")
 		return true
 	}
-	if t >= 0 && t < int64(len(code)) {
+	tAbs := t + int64(sc.base)
+	if tAbs >= 0 && tAbs < int64(sc.imgSize) {
 		res.targets = append(res.targets, int32(t))
-	} else if !c.targetAllowed(uint32(t)) {
-		detail := fmt.Sprintf("direct jump targets %#x, outside the image", uint32(t))
-		if c.params.guard != 0 && uint32(t) < c.params.guard {
-			detail = fmt.Sprintf("direct jump targets %#x, inside the guard region below %#x", uint32(t), c.params.guard)
+	} else if !c.targetAllowed(uint32(tAbs)) {
+		detail := fmt.Sprintf("direct jump targets %#x, outside the image", uint32(tAbs))
+		if c.params.guard != 0 && uint32(tAbs) < c.params.guard {
+			detail = fmt.Sprintf("direct jump targets %#x, inside the guard region below %#x", uint32(tAbs), c.params.guard)
 		}
 		stopShard(res, code, saved, TargetOutOfImage, detail)
 		return true
@@ -993,7 +1028,11 @@ func jumpTarget(code []byte, saved, pos int) (int64, bool) {
 // is recorded before the report cap is applied, so Stats sees every
 // violation even when the Report is truncated.
 func (c *Checker) reconcile(ctx context.Context, code []byte, sc *scratch, st *Stats, fr *flight.Recorder, frun uint32) (all []Violation, total int) {
-	size := len(code)
+	// The image size comes from the scratch geometry, not len(code):
+	// the streaming verifier reconciles with code == nil (the window
+	// bytes are gone), in which case stage-2 violations simply carry no
+	// Window excerpt (violation guards the slice access).
+	size := sc.imgSize
 	for i := range sc.results {
 		all = append(all, sc.results[i].violations...)
 	}

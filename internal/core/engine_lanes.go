@@ -96,7 +96,6 @@ type laneCtx struct {
 	res  *shardResult
 	sc   *scratch
 	base int // region-range start (the shard start)
-	size int
 	// Class-1 band test on state bytes: b is class-1 iff b-qb < c1w
 	// (unsigned byte arithmetic).
 	qb, c1w uint8
@@ -170,9 +169,10 @@ func (c *Checker) laneEvent(lc *laneCtx, s uint16, o, rs, re int) (uint16, int) 
 				lc.failed = true
 				return lc.fstart, re
 			}
-			if t >= 0 && t < int64(lc.size) {
+			tAbs := t + int64(lc.sc.base)
+			if tAbs >= 0 && tAbs < int64(lc.sc.imgSize) {
 				lc.res.targets = append(lc.res.targets, int32(t))
-			} else if !c.targetAllowed(uint32(t)) {
+			} else if !c.targetAllowed(uint32(tAbs)) {
 				lc.failed = true
 				return lc.fstart, re
 			}
@@ -215,7 +215,6 @@ func (c *Checker) parseShardLanes(code []byte, start, fullEnd int, sc *scratch, 
 		res:    res,
 		sc:     sc,
 		base:   start,
-		size:   len(code),
 		qb:     uint8(f.quiet),
 		c1w:    uint8(f.nc - f.quiet),
 		fstart: uint16(f.start),

@@ -101,7 +101,6 @@ func (c *Checker) parseShardSWAR(code []byte, start, fullEnd int, sc *scratch, r
 		res:    res,
 		sc:     sc,
 		base:   start,
-		size:   len(code),
 		qb:     uint8(f.quiet),
 		c1w:    uint8(f.nc - f.quiet),
 		fstart: uint16(f.start),

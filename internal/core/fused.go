@@ -100,6 +100,71 @@ type fusedDFA struct {
 	// automaton's identity in verdict-cache keys (see cache.go).
 	fpOnce sync.Once
 	fp     vcache.Key
+	// la memoizes lookahead(): the worst-case number of bytes a single
+	// walk from the start state can consume before the stop rule fires.
+	laOnce sync.Once
+	la     int
+}
+
+// lookahead bounds how far past a position any engine can read while
+// deciding the instruction that starts there: the longest walk from the
+// start state through states the stop rule would continue from (quiet
+// states, and eventful states that neither accepted masked nor went
+// fully dead). A shard or chunk parse therefore depends only on its own
+// bytes plus at most lookahead()-1 bytes beyond its end — the fact the
+// chunk cache and the delta verifier key on. The reference engine's
+// per-component walks read no further: each component automaton's
+// liveness is a projection of the product's, so its walks die (or
+// accept) no later than the product's stop rule. A cycle among
+// continuing states (impossible for the x86 grammars, whose instruction
+// length is bounded, but reachable through a custom table bundle) falls
+// back to the chunk size, which disables cross-chunk reuse rather than
+// unsoundly enabling it.
+func (f *fusedDFA) lookahead() int {
+	f.laOnce.Do(func() {
+		cont := func(s uint16) bool {
+			if int(s) < f.quiet {
+				return true
+			}
+			tag := f.tags[s]
+			return tag&tagAccMasked == 0 && tag&tagLiveAny != 0
+		}
+		// depth[s]: 0 unvisited, -1 on the current DFS path (cycle when
+		// re-entered), otherwise 2 + longest remaining walk from s.
+		depth := make([]int, len(f.table))
+		cyclic := false
+		var walk func(s uint16) int
+		walk = func(s uint16) int {
+			switch d := depth[s]; {
+			case d == -1:
+				cyclic = true
+				return 0
+			case d > 0:
+				return d - 2
+			}
+			depth[s] = -1
+			best := 0
+			row := &f.table[s]
+			for b := 0; b < 256 && !cyclic; b++ {
+				t := row[b]
+				steps := 1
+				if cont(t) {
+					steps += walk(t)
+				}
+				if steps > best {
+					best = steps
+				}
+			}
+			depth[s] = best + 2
+			return best
+		}
+		n := walk(uint16(f.start))
+		if cyclic || n <= 0 || n > chunkBytes {
+			n = chunkBytes
+		}
+		f.la = n
+	})
+	return f.la
 }
 
 // flatStates is the padded state capacity of the flat table. Automata

@@ -83,6 +83,17 @@ type Stats struct {
 	// CacheBytesSaved is how many image bytes stage 1 did not have to
 	// parse thanks to cache hits (the whole image on a whole-image hit).
 	CacheBytesSaved int64 `json:"cache_bytes_saved"`
+	// DeltaChunksReparsed / DeltaChunksReplayed count, for a VerifyDelta
+	// round, the cacheable 64KiB chunks re-parsed (dirty under the edit
+	// set) versus replayed from the retained delta state; the
+	// never-retained final chunk is counted under reparsed when present.
+	// DeltaBytesReparsed is the total bytes stage 1 actually re-parsed
+	// in the round. Like the cache fields, they describe delta state
+	// rather than the image, so they sit outside the engine-invariance
+	// contract and are zero for ordinary full runs.
+	DeltaChunksReparsed int64 `json:"delta_chunks_reparsed"`
+	DeltaChunksReplayed int64 `json:"delta_chunks_replayed"`
+	DeltaBytesReparsed  int64 `json:"delta_bytes_reparsed"`
 	// ViolationsByKind is the uncapped per-kind violation census —
 	// unlike Report.Violations it is not truncated at
 	// MaxReportViolations, so its sum equals Report.Total.
@@ -128,8 +139,12 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "lane batches %d (swar %d), scalar fallbacks %d, restarts %d, contained panics %d\n",
 		s.LaneBatches, s.SWARBatches, s.ScalarFallbacks, s.Restarts, s.ContainedPanics)
 	if s.CacheWholeHits != 0 || s.CacheChunkHits != 0 || s.CacheChunkMisses != 0 {
-		fmt.Fprintf(&b, "cache: whole hits %d, chunk hits %d, chunk misses %d, bytes saved %d\n",
-			s.CacheWholeHits, s.CacheChunkHits, s.CacheChunkMisses, s.CacheBytesSaved)
+		fmt.Fprintf(&b, "cache: whole hits %d, chunk hits %d, chunk misses %d, bytes saved %d (hit ratio %.0f%%)\n",
+			s.CacheWholeHits, s.CacheChunkHits, s.CacheChunkMisses, s.CacheBytesSaved, 100*s.ChunkHitRatio())
+	}
+	if s.DeltaChunksReparsed != 0 || s.DeltaChunksReplayed != 0 {
+		fmt.Fprintf(&b, "delta: chunks reparsed %d, replayed %d, bytes reparsed %d\n",
+			s.DeltaChunksReparsed, s.DeltaChunksReplayed, s.DeltaBytesReparsed)
 	}
 	total := int64(0)
 	for k, n := range s.ViolationsByKind {
@@ -140,6 +155,19 @@ func (s Stats) String() string {
 	}
 	fmt.Fprintf(&b, "stage1 %v, stage2 %v (jumps %v), total %v", s.Stage1Wall, s.Stage2Wall, s.JumpsWall, s.Wall)
 	return b.String()
+}
+
+// ChunkHitRatio is the fraction of chunk-grade reuse opportunities
+// that were served from prior state: cache hits over hits+misses for a
+// cached run, replayed over replayed+reparsed chunks for a delta round.
+// It returns 0 when the run used neither layer.
+func (s Stats) ChunkHitRatio() float64 {
+	hits := s.CacheChunkHits + s.DeltaChunksReplayed
+	total := hits + s.CacheChunkMisses + s.DeltaChunksReparsed
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
 }
 
 // kindSlugs are the Prometheus label values for ViolationKind, index-
@@ -173,6 +201,10 @@ var coreMetrics struct {
 	cacheChunkMiss  *telemetry.Counter
 	cacheBytesSaved *telemetry.Counter
 	cacheServes     *telemetry.Counter
+	deltaRounds     *telemetry.Counter
+	deltaReparsed   *telemetry.Counter
+	deltaReplayed   *telemetry.Counter
+	deltaBytes      *telemetry.Counter
 	byKind          [NumViolationKinds]*telemetry.Counter
 	runNanos        *telemetry.Histogram
 	// stageNanos are per-stage latency histograms, one labeled series
@@ -204,6 +236,10 @@ func init() {
 	coreMetrics.cacheChunkMiss = r.NewCounter("rocksalt_cache_chunk_misses_total", "cacheable chunks not found in the verdict cache")
 	coreMetrics.cacheBytesSaved = r.NewCounter("rocksalt_cache_bytes_saved_total", "image bytes not re-parsed thanks to cache hits")
 	coreMetrics.cacheServes = r.NewCounter("rocksalt_cache_serves_total", "verifies answered entirely from the whole-image verdict cache")
+	coreMetrics.deltaRounds = r.NewCounter("rocksalt_delta_rounds_total", "VerifyDelta reconciliation rounds completed")
+	coreMetrics.deltaReparsed = r.NewCounter("rocksalt_delta_chunks_reparsed_total", "chunks re-parsed by VerifyDelta rounds")
+	coreMetrics.deltaReplayed = r.NewCounter("rocksalt_delta_chunks_replayed_total", "chunks replayed from retained delta state")
+	coreMetrics.deltaBytes = r.NewCounter("rocksalt_delta_bytes_reparsed_total", "image bytes re-parsed by VerifyDelta rounds")
 	for k := range coreMetrics.byKind {
 		coreMetrics.byKind[k] = r.NewLabeledCounter("rocksalt_verify_violations_total",
 			"policy violations found, by kind", "kind", kindSlugs[k])
@@ -256,6 +292,19 @@ func publishStats(st *Stats, interrupted, rejected bool) {
 	if h := m.engineNanos[st.Engine]; h != nil {
 		h.Observe(int64(st.Wall))
 	}
+}
+
+// publishDeltaStats folds one VerifyDelta round's reuse counters into
+// the process-wide metrics.
+func publishDeltaStats(st *Stats) {
+	if !telemetry.Enabled() {
+		return
+	}
+	m := &coreMetrics
+	m.deltaRounds.Add(1)
+	m.deltaReparsed.Add(st.DeltaChunksReparsed)
+	m.deltaReplayed.Add(st.DeltaChunksReplayed)
+	m.deltaBytes.Add(st.DeltaBytesReparsed)
 }
 
 // publishCacheStats folds a cached run's cache effectiveness into the

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/nacl"
+)
+
+// streamEqual asserts a streaming report matches the in-memory one on
+// everything except Window: the bounded window cannot always keep the
+// bytes around a violation resident (stage-2 violations carry no
+// excerpt at all, and shard-local ones within the automaton lookahead
+// of a chunk start clip at the window seam), so the contract is
+// identical verdict, offsets, kinds and details.
+func streamEqual(t *testing.T, got, want *core.Report, what string) {
+	t.Helper()
+	if got.Safe != want.Safe || got.Outcome != want.Outcome || got.Total != want.Total ||
+		got.Size != want.Size || got.Shards != want.Shards {
+		t.Fatalf("%s: verdict differs: got {safe %v %v total %d} want {safe %v %v total %d}",
+			what, got.Safe, got.Outcome, got.Total, want.Safe, want.Outcome, want.Total)
+	}
+	if len(got.Violations) != len(want.Violations) {
+		t.Fatalf("%s: %d violations, want %d", what, len(got.Violations), len(want.Violations))
+	}
+	for i := range got.Violations {
+		g, w := got.Violations[i], want.Violations[i]
+		if g.Offset != w.Offset || g.Kind != w.Kind || g.Detail != w.Detail {
+			t.Fatalf("%s: violation %d differs:\nstream: %+v\nmemory: %+v", what, i, g, w)
+		}
+	}
+}
+
+// TestVerifyReaderMatchesVerify: the bounded-window streaming verifier
+// agrees with the in-memory one across the window geometries — images
+// smaller than one chunk, exactly the window size, spanning many
+// windows — on both compliant and corrupted inputs.
+func TestVerifyReaderMatchesVerify(t *testing.T) {
+	c := checker(t)
+	big := cacheImage(t, 10, 60000)
+	images := map[string][]byte{
+		"tiny":         big[:64],
+		"one chunk":    big[:deltaChunk],
+		"exact window": big[:2*deltaChunk],
+		"multi-window": big,
+		"odd tail":     big[:2*deltaChunk+12345],
+	}
+	// Corrupted variants: flip bytes in every chunk so violations fall
+	// in different windows.
+	bad := append([]byte(nil), big...)
+	for off := deltaChunk / 2; off < len(bad); off += deltaChunk {
+		bad[off] ^= 0xff
+	}
+	images["corrupted"] = bad
+	// A violation straddling a window seam: corrupt right at a chunk
+	// boundary.
+	seam := append([]byte(nil), big...)
+	copy(seam[2*deltaChunk-8:2*deltaChunk+8], bytes.Repeat([]byte{0xff}, 16))
+	images["seam corruption"] = seam
+
+	for name, img := range images {
+		want := c.VerifyWith(img, core.VerifyOptions{Workers: 1})
+		got, err := c.VerifyReader(bytes.NewReader(img), core.VerifyOptions{StreamSize: int64(len(img))})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		streamEqual(t, got, want, name)
+		if got.Workers != 1 {
+			t.Fatalf("%s: streaming run reported %d workers", name, got.Workers)
+		}
+	}
+}
+
+// TestVerifyReaderSizeMismatch: a stream shorter or longer than the
+// declared size is an error, never a verdict over the wrong bytes.
+func TestVerifyReaderSizeMismatch(t *testing.T) {
+	c := checker(t)
+	img, err := nacl.NewGenerator(11).Random(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.VerifyReader(bytes.NewReader(img), core.VerifyOptions{StreamSize: int64(len(img)) + 10}); err == nil ||
+		!strings.Contains(err.Error(), "stream ended") {
+		t.Fatalf("short stream: got %v", err)
+	}
+	if _, err := c.VerifyReader(bytes.NewReader(img), core.VerifyOptions{StreamSize: int64(len(img)) - 10}); err == nil ||
+		!strings.Contains(err.Error(), "continues past") {
+		t.Fatalf("long stream: got %v", err)
+	}
+	if _, err := c.VerifyReader(bytes.NewReader(img), core.VerifyOptions{StreamSize: 1 << 31}); err == nil {
+		t.Fatal("2 GiB stream size accepted")
+	}
+}
+
+// TestVerifyReaderZeroSizeFallback: StreamSize 0 buffers the stream
+// and takes the ordinary path — reports then match in full, Windows
+// included.
+func TestVerifyReaderZeroSizeFallback(t *testing.T) {
+	c := checker(t)
+	img, err := nacl.NewGenerator(12).Random(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0xff
+	want := c.VerifyWith(img, core.VerifyOptions{})
+	got, err := c.VerifyReader(bytes.NewReader(img), core.VerifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVerdict(t, got, want, "zero-size fallback")
+}
+
+// TestVerifyReaderCanceled: cancellation between window chunks yields
+// the usual interrupted report, not an error or partial verdict.
+func TestVerifyReaderCanceled(t *testing.T) {
+	c := checker(t)
+	img := cacheImage(t, 13, 60000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := c.VerifyReaderContext(ctx, bytes.NewReader(img), core.VerifyOptions{StreamSize: int64(len(img))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != core.OutcomeCanceled || !rep.Interrupted() {
+		t.Fatalf("canceled stream reported %v", rep.Outcome)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatal("interrupted streaming run carried partial violations")
+	}
+}

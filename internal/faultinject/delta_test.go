@@ -1,0 +1,99 @@
+package faultinject_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rocksalt/internal/core"
+	"rocksalt/internal/faultinject"
+)
+
+// diffSpans reports the byte spans below min(len(a), len(b)) where a
+// and b differ, coalescing runs separated by small gaps — the shape a
+// real caller hands to VerifyDelta after a mutation. Bytes beyond the
+// shorter image are the verifier's own size-change problem, per the
+// Range contract.
+func diffSpans(a, b []byte) []core.Range {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	var out []core.Range
+	for i := 0; i < len(a); i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		j := i + 1
+		for j < len(a) && a[j] != b[j] {
+			j++
+		}
+		if n := len(out); n > 0 && i-(out[n-1].Off+out[n-1].Len) < 512 {
+			out[n-1].Len = j - out[n-1].Off
+		} else {
+			out = append(out, core.Range{Off: i, Len: j - i})
+		}
+		i = j
+	}
+	return out
+}
+
+// TestDeltaAgreementUnderMutation drives the incremental verifier the
+// way the differential campaign drives the full one: every image
+// mutator, several seeds each, applied *between* delta rounds with the
+// state threaded straight through — mutant after mutant, with periodic
+// reverts to the clean base — and each round's report compared to a
+// cold full verify of the same bytes. Any stale retained artifact
+// (a violation masked by a replayed chunk, a missed flip back to
+// clean) shows up as a disagreement.
+func TestDeltaAgreementUnderMutation(t *testing.T) {
+	c := checker(t)
+	base := corpus(t, 1, 60000)[0]
+	params := faultinject.ParamsFor(c.PolicyInfo())
+	opts := core.VerifyOptions{Workers: 1}
+
+	agree := func(what string, got, want *core.Report) {
+		t.Helper()
+		if got.Safe != want.Safe || got.Outcome != want.Outcome || got.Total != want.Total ||
+			!reflect.DeepEqual(got.Violations, want.Violations) {
+			t.Fatalf("%s: delta and full verify disagree\ndelta: safe %v total %d %+v\nfull:  safe %v total %d %+v",
+				what, got.Safe, got.Total, got.Violations, want.Safe, want.Total, want.Violations)
+		}
+	}
+
+	rep, state, err := c.VerifyDeltaWith(base, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree("base round", rep, c.VerifyWith(base, opts))
+	if !rep.Safe {
+		t.Fatal("base image rejected before mutation")
+	}
+
+	prev := base
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2
+	}
+	for k := 0; k < faultinject.NumImageKinds; k++ {
+		kind := faultinject.Kind(k)
+		for seed := int64(0); seed < seeds; seed++ {
+			mutant := faultinject.MutateParams(base, kind, seed, params)
+			rep, state, err = c.VerifyDeltaWith(mutant, diffSpans(prev, mutant), state, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agree(kind.String()+" mutant", rep, c.VerifyWith(mutant, opts))
+			prev = mutant
+		}
+		// Revert to the clean base between kinds: the state must let go
+		// of every mutant violation.
+		rep, state, err = c.VerifyDeltaWith(base, diffSpans(prev, base), state, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agree(kind.String()+" revert", rep, c.VerifyWith(base, opts))
+		if !rep.Safe {
+			t.Fatalf("%v: reverted base rejected", kind)
+		}
+		prev = base
+	}
+}

@@ -60,6 +60,9 @@ const (
 	// SpanCacheStore covers banking parse artifacts into the verdict
 	// cache (chunk entries after stage 1, or the whole-image Report).
 	SpanCacheStore
+	// SpanDelta covers one VerifyDelta reconciliation round, dirty-set
+	// computation to verdict; Bytes carries the bytes re-parsed.
+	SpanDelta
 	// EventSWARBackoff marks a shard whose SWAR multi-byte parse hit
 	// the density backoff and was re-parsed by the single-stride lanes.
 	EventSWARBackoff
@@ -70,13 +73,16 @@ const (
 	// EventCacheServe marks a Verify answered entirely from the
 	// whole-image verdict cache (no byte was scanned).
 	EventCacheServe
+	// EventChunkReplay marks one chunk replayed from retained delta
+	// state (its shards were skipped by a VerifyDelta round).
+	EventChunkReplay
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	"invalid", "run", "shard", "reconcile", "jumps", "cache-store",
-	"swar-backoff", "chunk-hit", "chunk-miss", "cache-serve",
+	"invalid", "run", "shard", "reconcile", "jumps", "cache-store", "delta",
+	"swar-backoff", "chunk-hit", "chunk-miss", "cache-serve", "chunk-replay",
 }
 
 func (k Kind) String() string {
@@ -87,7 +93,7 @@ func (k Kind) String() string {
 }
 
 // Span reports whether the kind carries a meaningful duration.
-func (k Kind) Span() bool { return k >= SpanRun && k <= SpanCacheStore }
+func (k Kind) Span() bool { return k >= SpanRun && k <= SpanDelta }
 
 // MarshalJSON renders the kind as its name, so postmortem bundles are
 // readable without this package's enum table.
